@@ -1,0 +1,67 @@
+//! E7 — Claim C5 (second half): the sequential complexity of the
+//! restructured algorithm is essentially that of standard CG.
+//!
+//! Measures wall-clock time per solve (fixed 60 iterations, no convergence
+//! check variance) for every variant on a Poisson-2D problem. On one core,
+//! the look-ahead solver should cost a small constant factor over standard
+//! CG (the extra vector families), not an asymptotic blowup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vr_cg::baselines::{ChronopoulosGearCg, PipelinedCg, ThreeTermCg};
+use vr_cg::lookahead::LookaheadCg;
+use vr_cg::overlap_k1::OverlapK1Cg;
+use vr_cg::standard::StandardCg;
+use vr_cg::{CgVariant, SolveOptions};
+use vr_linalg::gen;
+
+fn bench_solvers(c: &mut Criterion) {
+    let n = 96;
+    let a = gen::poisson2d(n); // 9216 unknowns
+    let b = gen::poisson2d_rhs(n);
+    let opts = SolveOptions {
+        tol: 0.0, // run the full iteration budget — compare equal work
+        max_iters: 60,
+        record_residuals: false,
+        ..SolveOptions::default()
+    };
+
+    let solvers: Vec<Box<dyn CgVariant>> = vec![
+        Box::new(StandardCg::new()),
+        Box::new(ThreeTermCg::new()),
+        Box::new(ChronopoulosGearCg::new()),
+        Box::new(PipelinedCg::new()),
+        Box::new(OverlapK1Cg::new()),
+        Box::new(LookaheadCg::new(1)),
+        Box::new(LookaheadCg::new(2)),
+        Box::new(LookaheadCg::new(4)),
+        Box::new(LookaheadCg::new(8)),
+    ];
+
+    let mut g = c.benchmark_group("seq-complexity/poisson2d-96x96-60iters");
+    g.sample_size(20);
+    for s in &solvers {
+        g.bench_with_input(BenchmarkId::from_parameter(s.name()), &s, |bch, s| {
+            bch.iter(|| black_box(s.solve(&a, &b, None, &opts)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_spmv_vs_dots(c: &mut Criterion) {
+    // The primitive balance underlying E7: one SpMV ≈ d/1 dot costs.
+    let a = gen::poisson2d(128);
+    let x = gen::rand_vector(a.nrows(), 3);
+    let mut y = vec![0.0; a.nrows()];
+    let mut g = c.benchmark_group("seq-complexity/primitives");
+    g.bench_function("spmv-16k", |b| {
+        b.iter(|| a.spmv_into(black_box(&x), black_box(&mut y)))
+    });
+    g.bench_function("dot-16k", |b| {
+        b.iter(|| black_box(vr_linalg::kernels::dot_serial(&x, &x)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_solvers, bench_spmv_vs_dots);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! E11 — extension: s-step CG and the basis that makes deep look-ahead
+//! practical.
+//!
+//! Van Rosendale's moment families span a *power basis*, whose conditioning
+//! grows like κ^s — the reason E9 shows degradation past k ≈ 3. The s-step
+//! literature's fix is running the same block algorithm on Newton or
+//! Chebyshev bases of the same Krylov space. This experiment sweeps the
+//! block size s for each basis on two problems and reports convergence,
+//! restarts, and iteration counts — the crossover where monomial dies and
+//! the stable bases keep going.
+
+use serde::Serialize;
+use vr_bench::{write_json, Table};
+use vr_cg::sstep::SStepCg;
+use vr_cg::standard::StandardCg;
+use vr_cg::{CgVariant, SolveOptions};
+use vr_linalg::gen;
+use vr_linalg::kernels::norm2;
+
+#[derive(Serialize)]
+struct Row {
+    problem: String,
+    solver: String,
+    s: usize,
+    converged: bool,
+    iterations: usize,
+    restarts: usize,
+    rel_true_residual: f64,
+}
+
+fn main() {
+    let problems: Vec<(&str, vr_linalg::CsrMatrix, Vec<f64>)> = vec![
+        ("poisson2d-16", gen::poisson2d(16), gen::poisson2d_rhs(16)),
+        (
+            "aniso-16(0.05)",
+            gen::anisotropic2d(16, 0.05),
+            gen::rand_vector(256, 17),
+        ),
+    ];
+    let opts = SolveOptions::default().with_tol(1e-8).with_max_iters(4000);
+
+    let mut table = Table::new(&[
+        "problem",
+        "solver",
+        "s",
+        "converged",
+        "iters",
+        "restarts",
+        "rel true resid",
+    ]);
+    let mut rows = Vec::new();
+
+    for (pname, a, b) in &problems {
+        let bn = norm2(b);
+        let std = StandardCg::new().solve(a, b, None, &opts);
+        table.row(&[
+            (*pname).to_string(),
+            "standard-cg".into(),
+            "1".into(),
+            std.converged.to_string(),
+            std.iterations.to_string(),
+            "0".into(),
+            format!("{:.2e}", std.true_residual(a, b) / bn),
+        ]);
+        for s in [2usize, 4, 8, 12, 16] {
+            for solver in [
+                SStepCg::monomial(s),
+                SStepCg::newton(s),
+                SStepCg::chebyshev(s),
+            ] {
+                let res = solver.solve(a, b, None, &opts);
+                let rel = res.true_residual(a, b) / bn;
+                table.row(&[
+                    (*pname).to_string(),
+                    solver.name(),
+                    s.to_string(),
+                    res.converged.to_string(),
+                    res.iterations.to_string(),
+                    res.counts.restarts.to_string(),
+                    format!("{rel:.2e}"),
+                ]);
+                rows.push(Row {
+                    problem: (*pname).to_string(),
+                    solver: solver.name(),
+                    s,
+                    converged: res.converged,
+                    iterations: res.iterations,
+                    restarts: res.counts.restarts,
+                    rel_true_residual: rel,
+                });
+            }
+        }
+    }
+
+    println!("E11 — s-step basis ablation (the fix for E9's power-basis decay)");
+    println!("{}", table.render());
+
+    // Shape: at the largest s, Chebyshev converges cleanly on poisson2d.
+    let cheb16 = rows
+        .iter()
+        .find(|r| r.problem == "poisson2d-16" && r.solver.contains("chebyshev") && r.s == 16)
+        .expect("row");
+    assert!(cheb16.converged, "chebyshev s=16 should converge");
+    // and monomial at s=16 is visibly worse: restarts, failure, or ≥ 1.5×
+    // the iterations.
+    let mono16 = rows
+        .iter()
+        .find(|r| r.problem == "poisson2d-16" && r.solver.contains("monomial") && r.s == 16)
+        .expect("row");
+    let degraded = !mono16.converged
+        || mono16.restarts > 0
+        || mono16.iterations as f64 >= 1.5 * cheb16.iterations as f64;
+    assert!(degraded, "monomial s=16 unexpectedly clean");
+    write_json("e11_sstep_basis", &serde_json::json!({ "rows": rows }));
+}

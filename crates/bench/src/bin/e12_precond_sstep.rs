@@ -1,0 +1,109 @@
+//! E12 — extension: preconditioning and s-step blocks on the paper's
+//! machine.
+//!
+//! Two questions the 1983 paper leaves open:
+//!
+//! 1. **Preconditioning** (§1 mentions it): Jacobi costs one depth unit —
+//!    harmless; classical SSOR/IC(0) triangular sweeps have wavefront depth
+//!    Θ(√N) on a 2-D grid, which erases every gain of the restructuring.
+//! 2. **s-step blocks** (the descendant idea): one batched reduction per s
+//!    iterations amortizes the `log N` latency like look-ahead does, with a
+//!    Θ(s)-deep small solve as the price.
+
+use serde::Serialize;
+use vr_bench::{write_json, Table};
+use vr_sim::{builders, MachineModel};
+
+#[derive(Serialize)]
+struct Row {
+    algo: String,
+    log2_n: u32,
+    cycle: f64,
+}
+
+fn main() {
+    let m = MachineModel::pram();
+    let d = 5;
+    let mut rows = Vec::new();
+
+    let mut t1 = Table::new(&[
+        "log2(N)",
+        "standard",
+        "pcg-jacobi",
+        "pcg-sweep(2√N)",
+        "lookahead(k=logN)",
+    ]);
+    for log_n in [10u32, 14, 18, 22] {
+        let n = 1usize << log_n;
+        let iters = 40;
+        let sweep_depth = 2 * (1u32 << (log_n / 2));
+        let std_c = builders::standard_cg(n, d, iters).steady_cycle_time(&m);
+        let jac = builders::preconditioned_cg(n, d, iters, 1).steady_cycle_time(&m);
+        let ssor = builders::preconditioned_cg(n, d, iters, sweep_depth).steady_cycle_time(&m);
+        let la = builders::lookahead_cg(n, d, iters, log_n as usize).steady_cycle_time(&m);
+        t1.row(&[
+            log_n.to_string(),
+            format!("{std_c:.1}"),
+            format!("{jac:.1}"),
+            format!("{ssor:.1}"),
+            format!("{la:.1}"),
+        ]);
+        for (algo, c) in [
+            ("standard", std_c),
+            ("pcg-jacobi", jac),
+            ("pcg-sweep", ssor),
+            ("lookahead", la),
+        ] {
+            rows.push(Row {
+                algo: algo.into(),
+                log2_n: log_n,
+                cycle: c,
+            });
+        }
+    }
+    println!("E12a — preconditioner parallel profile (cycle time per iteration)");
+    println!("{}", t1.render());
+
+    let mut t2 = Table::new(&["s", "sstep cycle (N=2^20)", "standard", "lookahead(k=20)"]);
+    let n = 1usize << 20;
+    let std_c = builders::standard_cg(n, d, 40).steady_cycle_time(&m);
+    let la = builders::lookahead_cg(n, d, 40, 20).steady_cycle_time(&m);
+    for s in [2usize, 4, 8, 16, 32] {
+        let blocks = (40 / s).max(4);
+        let cycle = builders::sstep_cg(n, d, blocks, s).steady_cycle_time(&m);
+        t2.row(&[
+            s.to_string(),
+            format!("{cycle:.2}"),
+            format!("{std_c:.1}"),
+            format!("{la:.1}"),
+        ]);
+        rows.push(Row {
+            algo: format!("sstep-s{s}"),
+            log2_n: 20,
+            cycle,
+        });
+    }
+    println!("E12b — s-step block amortization (per CG-equivalent iteration)");
+    println!("{}", t2.render());
+
+    // Shape checks.
+    let get = |algo: &str, log_n: u32| {
+        rows.iter()
+            .find(|r| r.algo == algo && r.log2_n == log_n)
+            .map(|r| r.cycle)
+            .expect("row")
+    };
+    // Jacobi tracks standard CG within a few units at every size.
+    for log_n in [10u32, 14, 18, 22] {
+        assert!((get("pcg-jacobi", log_n) - get("standard", log_n)).abs() <= 4.0);
+    }
+    // serialized sweeps dominate by ≥ 10× at N = 2^22
+    assert!(get("pcg-sweep", 22) > 10.0 * get("standard", 22));
+    // s-step improves monotonically toward the look-ahead number
+    let s4 = rows.iter().find(|r| r.algo == "sstep-s4").unwrap().cycle;
+    let s32 = rows.iter().find(|r| r.algo == "sstep-s32").unwrap().cycle;
+    assert!(s32 < s4, "{s32} !< {s4}");
+    assert!(s32 < std_c, "{s32} !< standard {std_c}");
+
+    write_json("e12_precond_sstep", &serde_json::json!({ "rows": rows }));
+}

@@ -1,0 +1,119 @@
+//! E13 — extension: latency tolerance across network topologies.
+//!
+//! The essence of the paper's restructuring is that a reduction's latency
+//! stops mattering once it fits inside k iterations of other work. This
+//! experiment makes the threshold visible two ways:
+//!
+//! 1. **Topology sweep**: ideal fan-in vs hypercube vs 2-D mesh at the
+//!    same hop cost. The mesh's Θ(√P) reduction latency devastates
+//!    standard CG and barely touches the look-ahead.
+//! 2. **Tolerance threshold**: fix the topology, grow the hop cost until
+//!    the look-ahead cycle starts to move — the measured knee sits where
+//!    total reduction latency ≈ k × (vector-work per iteration), the
+//!    paper's slack budget.
+
+use serde::Serialize;
+use vr_bench::{write_json, Table};
+use vr_sim::{builders, Topology};
+
+#[derive(Serialize)]
+struct Row {
+    section: String,
+    label: String,
+    x: f64,
+    standard: f64,
+    lookahead: f64,
+}
+
+fn main() {
+    let (n, d, iters) = (1usize << 16, 5usize, 30usize);
+    let k = 16;
+    let mut rows = Vec::new();
+
+    // --- topology sweep at hop = 1 flop-time ---
+    let mut t1 = Table::new(&["topology", "reduction latency", "standard", "lookahead(k=16)"]);
+    for topo in [
+        Topology::Ideal,
+        Topology::Hypercube { hop: 1.0 },
+        Topology::Mesh2d { hop: 1.0 },
+    ] {
+        let m = topo.machine();
+        let std_c = builders::standard_cg(n, d, iters).steady_cycle_time(&m);
+        let la = builders::lookahead_cg(n, d, iters, k).steady_cycle_time(&m);
+        t1.row(&[
+            topo.label().to_string(),
+            format!("{:.0}", topo.reduction_latency(n)),
+            format!("{std_c:.1}"),
+            format!("{la:.1}"),
+        ]);
+        rows.push(Row {
+            section: "topology".into(),
+            label: topo.label().into(),
+            x: topo.reduction_latency(n),
+            standard: std_c,
+            lookahead: la,
+        });
+    }
+    println!("E13a — topology sweep (N = 2^16, hop = 1 flop-time)");
+    println!("{}", t1.render());
+
+    // --- tolerance threshold: mesh hop cost sweep ---
+    let mut t2 = Table::new(&[
+        "mesh hop",
+        "total latency",
+        "standard",
+        "lookahead(k=16)",
+        "la slowdown vs ideal",
+    ]);
+    let ideal = builders::lookahead_cg(n, d, iters, k)
+        .steady_cycle_time(&Topology::Ideal.machine());
+    for hop in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let topo = Topology::Mesh2d { hop };
+        let m = topo.machine();
+        let std_c = builders::standard_cg(n, d, iters).steady_cycle_time(&m);
+        let la = builders::lookahead_cg(n, d, iters, k).steady_cycle_time(&m);
+        t2.row(&[
+            format!("{hop:.2}"),
+            format!("{:.0}", topo.reduction_latency(n)),
+            format!("{std_c:.1}"),
+            format!("{la:.1}"),
+            format!("{:.2}x", la / ideal),
+        ]);
+        rows.push(Row {
+            section: "mesh-sweep".into(),
+            label: format!("hop={hop}"),
+            x: hop,
+            standard: std_c,
+            lookahead: la,
+        });
+    }
+    println!("E13b — mesh hop-cost sweep: where the k-iteration slack runs out");
+    println!("{}", t2.render());
+    println!("reading: the look-ahead absorbs reduction latency until it exceeds");
+    println!("~k iterations of vector work; past the knee it degrades like 1/k of");
+    println!("the standard algorithm's slope.");
+
+    // Shape checks.
+    let topo_rows: Vec<&Row> = rows.iter().filter(|r| r.section == "topology").collect();
+    let mesh = topo_rows.iter().find(|r| r.label == "mesh2d").unwrap();
+    let ideal_row = topo_rows.iter().find(|r| r.label == "ideal").unwrap();
+    // mesh multiplies standard CG's cycle by > 10×...
+    assert!(mesh.standard > 10.0 * ideal_row.standard);
+    // ...but the look-ahead by far less
+    let la_factor = mesh.lookahead / ideal_row.lookahead;
+    let std_factor = mesh.standard / ideal_row.standard;
+    assert!(
+        la_factor < std_factor / 2.0,
+        "latency tolerance missing: la {la_factor} vs std {std_factor}"
+    );
+    // slope check on the sweep: standard grows ~ 2·latency, lookahead ≪
+    let sweep: Vec<&Row> = rows.iter().filter(|r| r.section == "mesh-sweep").collect();
+    let d_std = sweep.last().unwrap().standard - sweep[0].standard;
+    let d_la = sweep.last().unwrap().lookahead - sweep[0].lookahead;
+    assert!(
+        d_la < d_std / 4.0,
+        "lookahead latency slope {d_la} vs standard {d_std}"
+    );
+
+    write_json("e13_latency_tolerance", &serde_json::json!({ "rows": rows }));
+}

@@ -1,0 +1,127 @@
+//! E14 — extension: the zero-reduction floor.
+//!
+//! Chebyshev iteration needs no inner products, so on the paper's machine
+//! its cycle is `log d + O(1)` — the floor any reduction-restructuring can
+//! approach but not beat. The trade: it needs spectral bounds and takes
+//! more iterations. This experiment shows both sides:
+//!
+//! 1. **machine model**: cycle times of chebyshev vs look-ahead vs standard
+//!    across machines (ideal / hypercube / mesh);
+//! 2. **numeric**: iterations-to-tolerance and *total simulated time* =
+//!    iterations × cycle — the quantity a practitioner actually minimizes.
+
+use serde::Serialize;
+use vr_bench::{write_json, Table};
+use vr_cg::baselines::ChebyshevIteration;
+use vr_cg::lookahead::LookaheadCg;
+use vr_cg::standard::StandardCg;
+use vr_cg::{CgVariant, SolveOptions};
+use vr_linalg::gen;
+use vr_sim::{builders, Topology};
+
+#[derive(Serialize)]
+struct Row {
+    solver: String,
+    machine: String,
+    cycle: f64,
+    iterations: usize,
+    total_time: f64,
+}
+
+fn main() {
+    // --- numeric side: iterations to 1e-8 on poisson2d(32) = 1024 dims ---
+    let a = gen::poisson2d(32);
+    let b = gen::poisson2d_rhs(32);
+    let opts = SolveOptions::default().with_tol(1e-8).with_max_iters(20_000);
+    let iters_std = StandardCg::new().solve(&a, &b, None, &opts).iterations;
+    let iters_la = LookaheadCg::new(2)
+        .with_resync(12)
+        .solve(&a, &b, None, &opts)
+        .iterations;
+    let cheb_res = ChebyshevIteration::auto().solve(&a, &b, None, &opts);
+    assert!(cheb_res.converged, "{:?}", cheb_res.termination);
+    let iters_cheb = cheb_res.iterations;
+
+    // --- machine side: steady cycles on three machines at N = 2^20 ---
+    let (n, d, its, k) = (1usize << 20, 5usize, 40usize, 20usize);
+    let machines = [
+        ("ideal", Topology::Ideal),
+        ("hypercube(h=1)", Topology::Hypercube { hop: 1.0 }),
+        ("mesh2d(h=1)", Topology::Mesh2d { hop: 1.0 }),
+    ];
+
+    let mut table = Table::new(&[
+        "solver",
+        "machine",
+        "cycle",
+        "iters (poisson2d-32)",
+        "total = cycle × iters",
+    ]);
+    let mut rows = Vec::new();
+    for (mname, topo) in machines {
+        let m = topo.machine();
+        let entries = [
+            (
+                "standard-cg",
+                builders::standard_cg(n, d, its).steady_cycle_time(&m),
+                iters_std,
+            ),
+            (
+                "lookahead-cg(k=20)",
+                builders::lookahead_cg(n, d, its, k).steady_cycle_time(&m),
+                iters_la,
+            ),
+            (
+                "chebyshev",
+                builders::chebyshev_iteration(n, d, its, 10).steady_cycle_time(&m),
+                iters_cheb,
+            ),
+        ];
+        for (sname, cycle, iters) in entries {
+            let total = cycle * iters as f64;
+            table.row(&[
+                sname.to_string(),
+                mname.to_string(),
+                format!("{cycle:.1}"),
+                iters.to_string(),
+                format!("{total:.0}"),
+            ]);
+            rows.push(Row {
+                solver: sname.into(),
+                machine: mname.into(),
+                cycle,
+                iterations: iters,
+                total_time: total,
+            });
+        }
+    }
+
+    println!("E14 — the zero-reduction floor: Chebyshev vs the CG family");
+    println!("{}", table.render());
+    println!("reading: Chebyshev owns the per-iteration floor (no reductions) but");
+    println!("pays ~{:.1}× CG's iterations; the look-ahead keeps CG's iteration",
+             iters_cheb as f64 / iters_std as f64);
+    println!("count while approaching the floor — on latency-heavy machines it");
+    println!("wins the product, which is the paper's practical value proposition.");
+
+    // Shape checks.
+    let get = |s: &str, mname: &str| {
+        rows.iter()
+            .find(|r| r.solver == s && r.machine == mname)
+            .expect("row")
+    };
+    // chebyshev has the lowest cycle everywhere
+    for (mname, _) in machines {
+        assert!(get("chebyshev", mname).cycle <= get("lookahead-cg(k=20)", mname).cycle + 1.0);
+        assert!(get("chebyshev", mname).cycle < get("standard-cg", mname).cycle);
+    }
+    // chebyshev needs more iterations than CG
+    assert!(iters_cheb > iters_std, "{iters_cheb} !> {iters_std}");
+    // on the mesh, the look-ahead beats standard CG on total time
+    assert!(
+        get("lookahead-cg(k=20)", "mesh2d(h=1)").total_time
+            < get("standard-cg", "mesh2d(h=1)").total_time
+    );
+
+    write_json("e14_chebyshev_floor", &serde_json::json!({ "rows": rows }));
+}

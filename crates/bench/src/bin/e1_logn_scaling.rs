@@ -1,0 +1,60 @@
+//! E1 — Claim C1: a standard CG iteration costs Θ(log N) parallel time.
+//!
+//! Sweeps vector length N over powers of two on the paper's machine
+//! (unbounded processors, binary fan-in, free communication) and reports
+//! the steady-state per-iteration critical path of standard CG. The fitted
+//! slope against log₂N should be ≈ 2 (two serialized reductions per
+//! iteration); the d-dependence is additive.
+
+use serde::Serialize;
+use vr_bench::{fit_slope, write_json, Table};
+use vr_sim::{builders, MachineModel};
+
+#[derive(Serialize)]
+struct Row {
+    log2_n: u32,
+    d: usize,
+    cycle: f64,
+}
+
+fn main() {
+    let m = MachineModel::pram();
+    let iters = 40;
+    let mut table = Table::new(&["log2(N)", "d", "cycle time", "2·log2(N)+log2(d)"]);
+    let mut rows = Vec::new();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+
+    for d in [5usize, 27] {
+        for log_n in [6u32, 8, 10, 12, 14, 16, 18, 20, 22, 24] {
+            let n = 1usize << log_n;
+            let cycle = builders::standard_cg(n, d, iters).steady_cycle_time(&m);
+            let predict = 2.0 * f64::from(log_n) + (d as f64).log2().ceil();
+            table.row(&[
+                log_n.to_string(),
+                d.to_string(),
+                format!("{cycle:.2}"),
+                format!("{predict:.2}"),
+            ]);
+            if d == 5 {
+                xs.push(f64::from(log_n));
+                ys.push(cycle);
+            }
+            rows.push(Row {
+                log2_n: log_n,
+                d,
+                cycle,
+            });
+        }
+    }
+
+    let slope = fit_slope(&xs, &ys);
+    println!("E1 — standard CG per-iteration parallel time vs N (claim C1)");
+    println!("{}", table.render());
+    println!("fitted d(cycle)/d(log2 N) = {slope:.3}   (paper: 2 reductions/iter ⇒ ≈ 2)");
+    assert!(
+        (1.8..=2.2).contains(&slope),
+        "slope {slope} outside the claimed Θ(log N) regime"
+    );
+    write_json("e1_logn_scaling", &serde_json::json!({ "rows": rows, "slope": slope }));
+}

@@ -1,0 +1,63 @@
+//! E2 — Claim C2: the §3 one-step overlap approximately doubles parallel
+//! speed.
+//!
+//! Compares steady-state cycle times of standard CG and the overlap-k1
+//! variant on the paper's machine across N, for several d. The speedup
+//! should approach 2 from below as log N grows past log d (the overlap can
+//! only hide reduction latency, not SpMV depth).
+
+use serde::Serialize;
+use vr_bench::{write_json, Table};
+use vr_sim::{builders, MachineModel};
+
+#[derive(Serialize)]
+struct Row {
+    log2_n: u32,
+    d: usize,
+    std_cycle: f64,
+    k1_cycle: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let m = MachineModel::pram();
+    let iters = 40;
+    let mut table = Table::new(&["log2(N)", "d", "standard", "overlap-k1", "speedup"]);
+    let mut rows = Vec::new();
+
+    for d in [3usize, 5, 27] {
+        for log_n in [8u32, 12, 16, 20, 24] {
+            let n = 1usize << log_n;
+            let std_cycle = builders::standard_cg(n, d, iters).steady_cycle_time(&m);
+            let k1_cycle = builders::overlap_k1(n, d, iters).steady_cycle_time(&m);
+            let speedup = std_cycle / k1_cycle;
+            table.row(&[
+                log_n.to_string(),
+                d.to_string(),
+                format!("{std_cycle:.2}"),
+                format!("{k1_cycle:.2}"),
+                format!("{speedup:.3}"),
+            ]);
+            rows.push(Row {
+                log2_n: log_n,
+                d,
+                std_cycle,
+                k1_cycle,
+                speedup,
+            });
+        }
+    }
+
+    println!("E2 — §3 one-step overlap vs standard CG (claim C2: ≈ 2× for log N ≫ log d)");
+    println!("{}", table.render());
+
+    // Headline check: largest N, smallest d approaches the promised 2×.
+    let best = rows
+        .iter()
+        .filter(|r| r.d == 3)
+        .map(|r| r.speedup)
+        .fold(0.0_f64, f64::max);
+    println!("best speedup at d=3: {best:.3} (paper: \"approximately double\")");
+    assert!(best > 1.6, "speedup {best} far from the claimed doubling");
+    write_json("e2_k1_doubling", &serde_json::json!({ "rows": rows, "best_speedup_d3": best }));
+}

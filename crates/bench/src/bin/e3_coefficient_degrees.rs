@@ -1,0 +1,91 @@
+//! E3 — Claim C3: the (*) coefficients are polynomials in {αⱼ, λⱼ}, at
+//! most quadratic in each parameter separately, and the summation over the
+//! 3(2k+1) terms has depth log(k).
+//!
+//! The paper deferred the derivation to a follow-up that never appeared;
+//! this binary derives the coefficients symbolically for k = 1..6, audits
+//! the degree claim, and prints k=1 and k=2 in full.
+
+use serde::Serialize;
+use vr_bench::{write_json, Table};
+use vr_cg::recurrence::symbolic::Derivation;
+
+#[derive(Serialize)]
+struct Row {
+    k: usize,
+    terms: usize,
+    nonzero_rr: usize,
+    nonzero_pap: usize,
+    max_degree_rr: u32,
+    max_degree_pap: u32,
+    summation_depth: u32,
+}
+
+fn main() {
+    let mut table = Table::new(&[
+        "k",
+        "3(2k+1) terms",
+        "nonzero (r,r)",
+        "nonzero (p,Ap)",
+        "max deg/param (r,r)",
+        "max deg/param (p,Ap)",
+        "log2 depth",
+    ]);
+    let mut rows = Vec::new();
+
+    for k in 1..=6 {
+        let d = Derivation::run(k);
+        let rr = d.star_rr();
+        let pap = d.star_pap();
+        let terms = 3 * (2 * k + 1);
+        let depth = (terms as f64).log2().ceil() as u32;
+        table.row(&[
+            k.to_string(),
+            terms.to_string(),
+            rr.nonzero_terms().to_string(),
+            pap.nonzero_terms().to_string(),
+            rr.max_degree_per_parameter().to_string(),
+            pap.max_degree_per_parameter().to_string(),
+            depth.to_string(),
+        ]);
+        rows.push(Row {
+            k,
+            terms,
+            nonzero_rr: rr.nonzero_terms(),
+            nonzero_pap: pap.nonzero_terms(),
+            max_degree_rr: rr.max_degree_per_parameter(),
+            max_degree_pap: pap.max_degree_per_parameter(),
+            summation_depth: depth,
+        });
+        assert!(rr.max_degree_per_parameter() <= 2, "claim C3 violated at k={k}");
+        assert!(pap.max_degree_per_parameter() <= 2, "claim C3 violated at k={k}");
+    }
+
+    println!("E3 — symbolic audit of the (*) coefficients (claim C3)");
+    println!("{}", table.render());
+
+    // Print the k=1 and k=2 relations in full (the 'future paper' content).
+    for k in [1usize, 2] {
+        let d = Derivation::run(k);
+        let rr = d.star_rr();
+        println!("\n(r,r) relation for k = {k} (variables: x0..x{} = λ₁..λ_k, x{k}..x{} = α₁..α_k):",
+                 k - 1, 2 * k - 1);
+        for (i, a) in rr.a.iter().enumerate() {
+            if !a.is_zero() {
+                println!("  a[{i}]·(r,A^{i}r)   with a[{i}] = {a}");
+            }
+        }
+        for (i, b) in rr.b.iter().enumerate() {
+            if !b.is_zero() {
+                println!("  b[{i}]·(r,A^{i}p)   with b[{i}] = {b}");
+            }
+        }
+        for (i, c) in rr.c.iter().enumerate() {
+            if !c.is_zero() {
+                println!("  c[{i}]·(p,A^{i}p)   with c[{i}] = {c}");
+            }
+        }
+    }
+
+    write_json("e3_coefficient_degrees", &serde_json::json!({ "rows": rows }));
+}

@@ -1,0 +1,127 @@
+//! E4 — Claim C4: the look-ahead algorithm needs one matrix-vector product
+//! per iteration and "only two" directly computed inner products.
+//!
+//! Runs every solver on the same Poisson problems and reports *measured*
+//! per-iteration operation counts. Our moment-window realization needs
+//! THREE direct inner products (we do not assume CG orthogonality in the
+//! window recurrences) — an honest reproduction delta reported here.
+
+use serde::Serialize;
+use vr_bench::{write_json, Table};
+use vr_cg::baselines::{ChronopoulosGearCg, ConjugateResidual, OverlapCr, PipelinedCg, ThreeTermCg};
+use vr_cg::lookahead::LookaheadCg;
+use vr_cg::overlap_k1::OverlapK1Cg;
+use vr_cg::standard::StandardCg;
+use vr_cg::{CgVariant, SolveOptions};
+use vr_linalg::gen;
+
+#[derive(Serialize)]
+struct Row {
+    solver: String,
+    problem: String,
+    iterations: usize,
+    matvecs_per_iter: f64,
+    dots_per_iter: f64,
+    vector_ops_per_iter: f64,
+    restarts: usize,
+}
+
+fn main() {
+    let problems: Vec<(&str, vr_linalg::CsrMatrix, Vec<f64>)> = vec![
+        ("poisson2d-24", gen::poisson2d(24), gen::poisson2d_rhs(24)),
+        ("poisson3d-8", gen::poisson3d(8), gen::rand_vector(512, 7)),
+    ];
+    // (solver, look-ahead k; 0 = not a look-ahead method)
+    let solvers: Vec<(Box<dyn CgVariant>, usize)> = vec![
+        (Box::new(StandardCg::new()), 0),
+        (Box::new(ThreeTermCg::new()), 0),
+        (Box::new(ChronopoulosGearCg::new()), 0),
+        (Box::new(PipelinedCg::new()), 0),
+        (Box::new(OverlapK1Cg::new()), 0),
+        (Box::new(ConjugateResidual::new()), 0),
+        (Box::new(OverlapCr::new()), 0),
+        (Box::new(LookaheadCg::new(1)), 1),
+        (Box::new(LookaheadCg::new(2)), 2),
+        (Box::new(LookaheadCg::new(4)), 4),
+        (Box::new(LookaheadCg::new(8)), 8),
+    ];
+    let opts = SolveOptions::default().with_tol(1e-6).with_max_iters(2000);
+
+    let mut table = Table::new(&[
+        "solver",
+        "problem",
+        "iters",
+        "matvec/it",
+        "steady mv/it",
+        "dots/it",
+        "steady dots/it",
+        "vecops/it",
+        "restarts",
+    ]);
+    let mut rows = Vec::new();
+    for (pname, a, b) in &problems {
+        for (s, k) in &solvers {
+            let res = s.solve(a, b, None, &opts);
+            let per = res.counts.per_iteration(res.iterations);
+            // Steady-state rates exclude per-pass start-up + validation
+            // overhead (each pass of a look-ahead solver spends k+2 matvecs
+            // and 3(2k+2)+1 dots outside the iteration loop).
+            let passes = res.counts.restarts + 1;
+            let (steady_mv, steady_dots) = if *k > 0 {
+                let it = (res.iterations.max(passes) - passes).max(1) as f64;
+                (
+                    (res.counts.matvecs.saturating_sub(passes * (k + 2))) as f64 / it,
+                    (res.counts.dots.saturating_sub(passes * (3 * (2 * k + 2) + 1)))
+                        as f64
+                        / it,
+                )
+            } else {
+                (per.matvecs, per.dots)
+            };
+            table.row(&[
+                s.name(),
+                (*pname).to_string(),
+                res.iterations.to_string(),
+                format!("{:.2}", per.matvecs),
+                format!("{steady_mv:.2}"),
+                format!("{:.2}", per.dots),
+                format!("{steady_dots:.2}"),
+                format!("{:.2}", per.vector_ops),
+                res.counts.restarts.to_string(),
+            ]);
+            rows.push(Row {
+                solver: s.name(),
+                problem: (*pname).to_string(),
+                iterations: res.iterations,
+                matvecs_per_iter: steady_mv,
+                dots_per_iter: steady_dots,
+                vector_ops_per_iter: per.vector_ops,
+                restarts: res.counts.restarts,
+            });
+        }
+    }
+
+    println!("E4 — measured operation counts per iteration (claim C4)");
+    println!("{}", table.render());
+    println!("paper C4: look-ahead = 1 matvec + 2 direct dots per iteration.");
+    println!("measured: 1 matvec + 3 direct dots (window replenishment without");
+    println!("orthogonality assumptions) + startup ~3(2k+2) dots — see DESIGN.md.");
+
+    // Verify the matvec claim holds for the look-ahead family in steady
+    // state (start-up and restart overhead excluded).
+    for r in rows.iter().filter(|r| r.solver.starts_with("lookahead")) {
+        assert!(
+            r.matvecs_per_iter < 1.1,
+            "{}: steady matvecs/iter {} violates claim C4",
+            r.solver,
+            r.matvecs_per_iter
+        );
+        assert!(
+            r.dots_per_iter < 3.5,
+            "{}: steady dots/iter {} far above the 2-3 claimed",
+            r.solver,
+            r.dots_per_iter
+        );
+    }
+    write_json("e4_opcounts", &serde_json::json!({ "rows": rows }));
+}

@@ -1,0 +1,99 @@
+//! E5 — Claim C5 (headline): with k = log₂N the look-ahead algorithm's
+//! per-iteration parallel time is max(log d, log log N) + O(1).
+//!
+//! Sweeps N with k = log₂N and compares against standard CG and the
+//! prediction. The growth of the look-ahead cycle across a 2^18-fold
+//! increase in N must be a few time units (log log N moves from ~2.6 to
+//! ~4.6), while standard CG grows by ~36 units.
+
+use serde::Serialize;
+use vr_bench::{fit_slope, write_json, Table};
+use vr_sim::{builders, MachineModel};
+
+#[derive(Serialize)]
+struct Row {
+    log2_n: u32,
+    d: usize,
+    k: usize,
+    lookahead_cycle: f64,
+    standard_cycle: f64,
+    predict: f64,
+}
+
+fn main() {
+    let m = MachineModel::pram();
+    let iters = 48;
+    let mut table = Table::new(&[
+        "log2(N)",
+        "d",
+        "k",
+        "lookahead",
+        "standard",
+        "max(log d, log log N)",
+    ]);
+    let mut rows = Vec::new();
+
+    for d in [3usize, 5, 7, 27] {
+        for log_n in [6u32, 8, 10, 12, 14, 16, 18, 20, 22, 24] {
+            let n = 1usize << log_n;
+            let k = log_n as usize;
+            let la = builders::lookahead_cg(n, d, iters, k).steady_cycle_time(&m);
+            let std_c = builders::standard_cg(n, d, iters).steady_cycle_time(&m);
+            let predict = (d as f64).log2().ceil().max(f64::from(log_n).log2());
+            table.row(&[
+                log_n.to_string(),
+                d.to_string(),
+                k.to_string(),
+                format!("{la:.2}"),
+                format!("{std_c:.2}"),
+                format!("{predict:.2}"),
+            ]);
+            rows.push(Row {
+                log2_n: log_n,
+                d,
+                k,
+                lookahead_cycle: la,
+                standard_cycle: std_c,
+                predict,
+            });
+        }
+    }
+
+    println!("E5 — look-ahead CG with k = log2(N): per-iteration time (claim C5)");
+    println!("{}", table.render());
+
+    // Shape checks: (i) look-ahead grows sub-logarithmically, (ii) the gap
+    // to standard CG widens with N.
+    let d5: Vec<&Row> = rows.iter().filter(|r| r.d == 5).collect();
+    let xs: Vec<f64> = d5.iter().map(|r| f64::from(r.log2_n)).collect();
+    let la_slope = fit_slope(&xs, &d5.iter().map(|r| r.lookahead_cycle).collect::<Vec<_>>());
+    let std_slope = fit_slope(&xs, &d5.iter().map(|r| r.standard_cycle).collect::<Vec<_>>());
+    println!(
+        "d=5 growth per doubling of N: lookahead {la_slope:.3}, standard {std_slope:.3}"
+    );
+    assert!(
+        la_slope < 0.35 * std_slope,
+        "look-ahead slope {la_slope} not ≪ standard slope {std_slope}"
+    );
+    // d dominates when log d exceeds the scalar-summation depth log(6k):
+    // visible at small N (k = 6..8), where the d=27 cycle exceeds d=3.
+    let at = |d: usize, log_n: u32| {
+        rows.iter()
+            .find(|r| r.d == d && r.log2_n == log_n)
+            .map(|r| r.lookahead_cycle)
+            .expect("present")
+    };
+    assert!(
+        at(27, 8) > at(3, 8),
+        "d-dependence missing at small N: {} !> {}",
+        at(27, 8),
+        at(3, 8)
+    );
+    // at large N the scalar-summation depth log(6k) dominates and the
+    // d-dependence disappears — also part of the max(·,·) shape
+    assert!((at(27, 24) - at(3, 24)).abs() < 1e-9);
+    write_json(
+        "e5_loglogn",
+        &serde_json::json!({ "rows": rows, "la_slope_d5": la_slope, "std_slope_d5": std_slope }),
+    );
+}

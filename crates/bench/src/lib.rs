@@ -1,0 +1,265 @@
+//! # vr-bench
+//!
+//! Experiment harnesses reproducing every claim of Van Rosendale (1983).
+//!
+//! Each experiment in DESIGN.md's index has a binary in `src/bin/` that
+//! prints a human-readable table AND writes machine-readable JSON under
+//! `target/experiments/`. The criterion benches in `benches/` cover the
+//! wall-clock measurements (E7) and the simulator sweeps.
+//!
+//! | binary | claim | what it prints |
+//! |---|---|---|
+//! | `e1_logn_scaling` | C1 | standard-CG cycle time vs N (≈ 2·log₂N) |
+//! | `e2_k1_doubling` | C2 | standard vs §3 overlap speedup vs N |
+//! | `e3_coefficient_degrees` | C3 | (*) coefficient degree audit per k |
+//! | `e4_opcounts` | C4 | measured matvecs/dots per iteration per solver |
+//! | `e5_loglogn` | C5 | look-ahead cycle time vs N with k = log₂N |
+//! | `e6_figure1_schedule` | Fig. 1 | the pipelined data-movement Gantt |
+//! | `e8_equivalence` | implicit | iterate equivalence across variants |
+//! | `e9_stability` | extension | attainable accuracy vs k, resync ablation |
+//! | `e10_bounded_procs` | extension | bounded-P and latency crossovers |
+//! | `e11_sstep_basis` | extension | s-step basis stability (monomial vs Newton/Chebyshev) |
+//! | `e12_precond_sstep` | extension | preconditioner parallel profiles, block amortization |
+//! | `e13_latency_tolerance` | extension | interconnect topologies and the slack knee |
+//! | `e14_chebyshev_floor` | extension | the zero-reduction comparator |
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A simple aligned text table for experiment output.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create with column headers.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(line, "{:>w$}", c, w = widths[i]);
+                if i + 1 < ncols {
+                    line.push_str("  ");
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Directory where experiment JSON results are written.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("VR_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/experiments"));
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Serialize an experiment result to `target/experiments/<id>.json`.
+pub fn write_json<T: Serialize>(id: &str, value: &T) {
+    let path = results_dir().join(format!("{id}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize result");
+    std::fs::write(&path, json).expect("write result JSON");
+    eprintln!("[{id}] wrote {}", path.display());
+}
+
+/// Least-squares slope of `y` against `x` (used to fit `cycle ≈ a·log N`).
+#[must_use]
+pub fn fit_slope(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "fit_slope arity");
+    assert!(x.len() >= 2, "need ≥ 2 points");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (xi, yi) in x.iter().zip(y) {
+        num += (xi - mx) * (yi - my);
+        den += (xi - mx) * (xi - mx);
+    }
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["n", "value"]);
+        t.row(&["8".into(), "1.5".into()]);
+        t.row(&["1024".into(), "12.25".into()]);
+        let s = t.render();
+        assert!(s.contains("   n"), "{s}");
+        assert!(s.contains("1024"), "{s}");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // all lines same width
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["1".into()]);
+    }
+
+    #[test]
+    fn fit_slope_exact_line() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [3.0, 5.0, 7.0, 9.0];
+        assert!((fit_slope(&x, &y) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_json_creates_file() {
+        std::env::set_var("VR_RESULTS_DIR", std::env::temp_dir().join("vr_bench_test"));
+        write_json("selftest", &serde_json::json!({"ok": true}));
+        let p = results_dir().join("selftest.json");
+        assert!(p.exists());
+        std::fs::remove_file(p).ok();
+        std::env::remove_var("VR_RESULTS_DIR");
+    }
+}
+
+/// Render a log-scale ASCII convergence plot: one column per data point,
+/// `height` rows spanning the data's log range. Used by the convergence
+/// example and the EXPERIMENTS write-ups.
+#[must_use]
+pub fn ascii_semilog(series: &[(&str, &[f64])], height: usize) -> String {
+    let height = height.max(2);
+    let all: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .filter(|y| *y > 0.0 && y.is_finite())
+        .collect();
+    if all.is_empty() {
+        return String::from("(no positive data)\n");
+    }
+    let lo = all.iter().cloned().fold(f64::INFINITY, f64::min).log10();
+    let hi = all.iter().cloned().fold(f64::NEG_INFINITY, f64::max).log10();
+    let span = (hi - lo).max(1e-9);
+    let width = series.iter().map(|(_, ys)| ys.len()).max().unwrap_or(0);
+
+    let marks = ['*', 'o', '+', 'x', '#', '@'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        let mark = marks[si % marks.len()];
+        for (x, &y) in ys.iter().enumerate() {
+            if y > 0.0 && y.is_finite() {
+                let t = (y.log10() - lo) / span; // 0 = bottom, 1 = top
+                let row = ((1.0 - t) * (height - 1) as f64).round() as usize;
+                grid[row.min(height - 1)][x] = mark;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    for (r, row) in grid.iter().enumerate() {
+        let level = hi - span * r as f64 / (height - 1) as f64;
+        let _ = write!(out, "1e{level:+06.1} |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    let _ = write!(out, "        +{}\n         ", "-".repeat(width));
+    for (si, (name, _)) in series.iter().enumerate() {
+        let _ = write!(out, "{} = {}   ", marks[si % marks.len()], name);
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod plot_tests {
+    use super::ascii_semilog;
+
+    #[test]
+    fn plot_renders_marks_and_legend() {
+        let a: Vec<f64> = (0..20).map(|i| 10.0_f64.powi(-i)).collect();
+        let b: Vec<f64> = (0..20).map(|i| 5.0 * 10.0_f64.powf(-0.5 * i as f64)).collect();
+        let s = ascii_semilog(&[("fast", &a), ("slow", &b)], 12);
+        assert!(s.contains('*'), "{s}");
+        assert!(s.contains('o'), "{s}");
+        assert!(s.contains("* = fast"), "{s}");
+        assert!(s.contains("o = slow"), "{s}");
+        assert_eq!(s.lines().count(), 14);
+    }
+
+    #[test]
+    fn plot_handles_empty_and_nonpositive() {
+        assert_eq!(ascii_semilog(&[], 10), "(no positive data)\n");
+        let z = [0.0, -1.0, f64::NAN];
+        assert_eq!(ascii_semilog(&[("z", &z)], 10), "(no positive data)\n");
+    }
+
+    #[test]
+    fn monotone_series_descends_left_to_right() {
+        let a: Vec<f64> = (0..30).map(|i| 10.0_f64.powf(-0.3 * i as f64)).collect();
+        let s = ascii_semilog(&[("conv", &a)], 10);
+        // first column's mark must appear on an earlier line than the last
+        // prefix "1e+000.0 |" is 10 bytes, so data column x sits at 10 + x
+        let first_row = s.lines().position(|l| l.as_bytes().get(10) == Some(&b'*'));
+        let lines: Vec<&str> = s.lines().collect();
+        let last_col = 10 + 29;
+        let last_row = lines.iter().position(|l| l.as_bytes().get(last_col) == Some(&b'*'));
+        assert!(first_row.unwrap() < last_row.unwrap(), "{s}");
+    }
+}

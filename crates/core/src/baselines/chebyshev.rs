@@ -1,0 +1,280 @@
+//! Chebyshev iteration — the zero-reduction comparator.
+//!
+//! The 1983-era alternative the paper is implicitly racing: Chebyshev
+//! semi-iteration needs **no inner products at all** (its parameters come
+//! from precomputed spectral bounds), so on the paper's machine its
+//! per-iteration time is `log d + O(1)` — the floor the look-ahead
+//! algorithm approaches. The price: it needs `[λ_min, λ_max]` up front,
+//! converges slower than CG when the estimates are loose, and provides no
+//! residual-norm feedback without paying for a reduction.
+//!
+//! Recurrence (standard three-term form on `[λ_min, λ_max]`):
+//!
+//! ```text
+//! θ = (λ_max + λ_min)/2,  δ = (λ_max − λ_min)/2
+//! x₁ = x₀ + r₀/θ
+//! ρ₀ = 1/θ... with  σ = θ/δ:
+//! ρ₁ = σ/(σ² − 1/2... (classical recursion below)
+//! ```
+//!
+//! Implemented with the numerically standard recursion:
+//! `α₀ = 1/θ`, `ρ₀ = 1/σ` where `σ = θ/δ`, then
+//! `ρₖ = 1/(2σ − ρₖ₋₁)`, `αₖ = ρₖ·(2/δ)` — see Golub & Van Loan §10.1.5.
+
+use crate::instrument::OpCounts;
+use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
+use vr_linalg::eig;
+use vr_linalg::kernels::{self, dot};
+use vr_linalg::LinearOperator;
+
+/// Chebyshev iteration with spectral bounds supplied or Lanczos-estimated.
+#[derive(Debug, Clone, Copy)]
+pub struct ChebyshevIteration {
+    /// Spectral interval, if known a priori (`None` = estimate by Lanczos).
+    pub bounds: Option<(f64, f64)>,
+    /// Check the true residual every `check_every` iterations (Chebyshev
+    /// has no free residual estimate; this is its honest monitoring cost).
+    pub check_every: usize,
+}
+
+impl ChebyshevIteration {
+    /// Estimate the spectral interval with a short Lanczos run.
+    #[must_use]
+    pub fn auto() -> Self {
+        ChebyshevIteration {
+            bounds: None,
+            check_every: 10,
+        }
+    }
+
+    /// Use known spectral bounds.
+    #[must_use]
+    pub fn with_bounds(lambda_min: f64, lambda_max: f64) -> Self {
+        ChebyshevIteration {
+            bounds: Some((lambda_min, lambda_max)),
+            check_every: 10,
+        }
+    }
+
+    /// Set the residual-check period.
+    #[must_use]
+    pub fn check_every(mut self, every: usize) -> Self {
+        self.check_every = every.max(1);
+        self
+    }
+}
+
+impl CgVariant for ChebyshevIteration {
+    fn name(&self) -> String {
+        match self.bounds {
+            Some(_) => "chebyshev-iteration".into(),
+            None => "chebyshev-iteration(auto)".into(),
+        }
+    }
+
+    fn solve(
+        &self,
+        a: &dyn LinearOperator,
+        b: &[f64],
+        x0: Option<&[f64]>,
+        opts: &SolveOptions,
+    ) -> SolveResult {
+        let n = a.dim();
+        let md = opts.dot_mode;
+        let mut counts = OpCounts::default();
+        let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
+        if x0.is_some() {
+            counts.matvecs += 1;
+            counts.vector_ops += 1;
+        }
+        let thresh_sq = util::threshold_sq(opts, bnorm);
+
+        // spectral interval
+        let (lo, hi) = match self.bounds {
+            Some(be) => be,
+            None => {
+                let m = 30.min(n);
+                let tri = eig::LanczosTridiagonal::run(a, m, 0xC4EB);
+                counts.matvecs += tri.steps();
+                counts.dots += 2 * tri.steps();
+                let sb = tri.spectral_bounds();
+                // widen: Ritz values approach from inside
+                (sb.lambda_min * 0.9, sb.lambda_max * 1.05)
+            }
+        };
+        assert!(
+            lo > 0.0 && hi > lo,
+            "Chebyshev needs a positive spectral interval, got [{lo}, {hi}]"
+        );
+        let theta = 0.5 * (hi + lo);
+        let delta = 0.5 * (hi - lo);
+        let sigma = theta / delta;
+
+        let mut norms = Vec::new();
+        let mut rr = dot(md, &r, &r);
+        counts.dots += 1;
+        if opts.record_residuals {
+            norms.push(rr.max(0.0).sqrt());
+        }
+
+        let mut termination = Termination::MaxIterations;
+        let mut iterations = 0;
+        if rr <= thresh_sq {
+            termination = Termination::Converged;
+        } else {
+            // d = current update direction (scaled), x ← x + d
+            let mut d: Vec<f64> = r.iter().map(|ri| ri / theta).collect();
+            counts.vector_ops += 1;
+            let mut rho = 1.0 / sigma;
+            let mut w = vec![0.0; n];
+
+            for it in 0..opts.max_iters {
+                kernels::axpy(1.0, &d, &mut x);
+                counts.vector_ops += 1;
+                // r ← r − A·d
+                a.apply(&d, &mut w);
+                counts.matvecs += 1;
+                kernels::axpy(-1.0, &w, &mut r);
+                counts.vector_ops += 1;
+
+                iterations = it + 1;
+
+                // periodic (paid-for) residual check — the only reduction
+                if iterations % self.check_every == 0 || iterations == opts.max_iters {
+                    rr = dot(md, &r, &r);
+                    counts.dots += 1;
+                    if opts.record_residuals {
+                        norms.push(rr.max(0.0).sqrt());
+                    }
+                    if rr <= thresh_sq {
+                        termination = Termination::Converged;
+                        break;
+                    }
+                    if !rr.is_finite() {
+                        termination = Termination::Breakdown;
+                        break;
+                    }
+                }
+
+                // Chebyshev parameter recursion (no reductions)
+                let rho_next = 1.0 / (2.0 * sigma - rho);
+                let gamma = rho_next * rho; // = ρₖ·ρₖ₋₁
+                counts.scalar_ops += 2;
+                // d ← ρₖ₊₁·(2/δ)·r + γ·d
+                for (di, ri) in d.iter_mut().zip(&r) {
+                    *di = rho_next * (2.0 / delta) * ri + gamma * *di;
+                }
+                counts.vector_ops += 1;
+                rho = rho_next;
+            }
+        }
+
+        if !opts.record_residuals {
+            norms.push(rr.max(0.0).sqrt());
+        }
+        SolveResult::new(x, termination, iterations, norms, counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard::StandardCg;
+    use vr_linalg::gen;
+
+    fn opts() -> SolveOptions {
+        SolveOptions::default().with_tol(1e-8).with_max_iters(5000)
+    }
+
+    #[test]
+    fn converges_with_exact_bounds_on_poisson1d() {
+        let n = 40;
+        let a = gen::poisson1d(n);
+        // exact spectrum of tridiag(−1,2,−1)
+        let h = std::f64::consts::PI / (n as f64 + 1.0);
+        let lo = 2.0 - 2.0 * h.cos();
+        let hi = 2.0 + 2.0 * ((n as f64) * h).cos().abs();
+        let b = gen::rand_vector(n, 5);
+        let res =
+            ChebyshevIteration::with_bounds(lo, hi).solve(&a, &b, None, &opts());
+        assert!(res.converged, "{:?}", res.termination);
+        assert!(res.true_residual(&a, &b) < 1e-6);
+    }
+
+    #[test]
+    fn auto_bounds_converge_on_poisson2d() {
+        let a = gen::poisson2d(12);
+        let b = gen::poisson2d_rhs(12);
+        let res = ChebyshevIteration::auto().solve(&a, &b, None, &opts());
+        assert!(res.converged, "{:?}", res.termination);
+        assert!(res.true_residual(&a, &b) < 1e-6);
+    }
+
+    #[test]
+    fn needs_more_iterations_than_cg_but_fewer_dots() {
+        let a = gen::poisson2d(14);
+        let b = gen::poisson2d_rhs(14);
+        let cg = StandardCg::new().solve(&a, &b, None, &opts());
+        let ch = ChebyshevIteration::auto().check_every(20).solve(&a, &b, None, &opts());
+        assert!(cg.converged && ch.converged);
+        // CG is optimal in iterations; Chebyshev trades iterations for
+        // reduction-freedom
+        assert!(
+            ch.iterations >= cg.iterations,
+            "chebyshev {} < cg {}",
+            ch.iterations,
+            cg.iterations
+        );
+        let cg_dots_per_iter = cg.counts.dots as f64 / cg.iterations as f64;
+        let ch_dots_per_iter =
+            (ch.counts.dots as f64 - 60.0) / ch.iterations as f64; // minus Lanczos probe
+        assert!(
+            ch_dots_per_iter < 0.3 * cg_dots_per_iter,
+            "chebyshev dots/iter {ch_dots_per_iter} vs cg {cg_dots_per_iter}"
+        );
+    }
+
+    #[test]
+    fn loose_bounds_slow_it_down() {
+        let a = gen::poisson1d(30);
+        let b = gen::rand_vector(30, 8);
+        let h = std::f64::consts::PI / 31.0;
+        let lo = 2.0 - 2.0 * h.cos();
+        let hi = 4.0;
+        let tight = ChebyshevIteration::with_bounds(lo, hi).solve(&a, &b, None, &opts());
+        let loose =
+            ChebyshevIteration::with_bounds(lo * 0.1, hi * 2.0).solve(&a, &b, None, &opts());
+        assert!(tight.converged && loose.converged);
+        assert!(
+            loose.iterations > tight.iterations,
+            "loose {} !> tight {}",
+            loose.iterations,
+            tight.iterations
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive spectral interval")]
+    fn rejects_bad_interval() {
+        let a = gen::poisson1d(8);
+        let _ = ChebyshevIteration::with_bounds(2.0, 1.0).solve(
+            &a,
+            &[1.0; 8],
+            None,
+            &opts(),
+        );
+    }
+
+    #[test]
+    fn zero_rhs_immediate() {
+        let a = gen::poisson1d(5);
+        let res = ChebyshevIteration::with_bounds(0.1, 4.0).solve(
+            &a,
+            &[0.0; 5],
+            None,
+            &opts(),
+        );
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+    }
+}

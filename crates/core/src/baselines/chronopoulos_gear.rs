@@ -1,0 +1,187 @@
+//! Chronopoulos-Gear CG: both inner products launched together.
+//!
+//! Per iteration: one SpMV `w = A·r`, two inner products `ρ = (r,r)`,
+//! `μ = (r,w)` that depend only on `r` (so they launch simultaneously —
+//! one serialized reduction instead of standard CG's two), and the scalar
+//! identity
+//!
+//! ```text
+//! (p,Ap) = (r,Ar) − β·(r,r)/λ_prev
+//! ```
+//!
+//! (valid under CG orthogonality), giving `λ = ρ / (μ − β·ρ/λ_prev)`.
+//! `Ap` is maintained by the recurrence `Ap ← w + β·Ap` — no extra matvec.
+
+use crate::instrument::OpCounts;
+use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
+use vr_linalg::kernels::{self, dot};
+use vr_linalg::LinearOperator;
+
+/// Chronopoulos-Gear CG solver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChronopoulosGearCg;
+
+impl ChronopoulosGearCg {
+    /// Construct.
+    #[must_use]
+    pub fn new() -> Self {
+        ChronopoulosGearCg
+    }
+}
+
+impl CgVariant for ChronopoulosGearCg {
+    fn name(&self) -> String {
+        "chronopoulos-gear-cg".into()
+    }
+
+    fn solve(
+        &self,
+        a: &dyn LinearOperator,
+        b: &[f64],
+        x0: Option<&[f64]>,
+        opts: &SolveOptions,
+    ) -> SolveResult {
+        let n = a.dim();
+        let md = opts.dot_mode;
+        let mut counts = OpCounts::default();
+        let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
+        if x0.is_some() {
+            counts.matvecs += 1;
+            counts.vector_ops += 1;
+        }
+        let thresh_sq = util::threshold_sq(opts, bnorm);
+
+        let mut w = a.apply_alloc(&r);
+        counts.matvecs += 1;
+        let mut rho = dot(md, &r, &r);
+        let mut mu = dot(md, &r, &w);
+        counts.dots += 2;
+
+        let mut norms = Vec::new();
+        if opts.record_residuals {
+            norms.push(rho.max(0.0).sqrt());
+        }
+
+        let mut p = vec![0.0; n];
+        let mut s = vec![0.0; n]; // s = A·p maintained by recurrence
+        let mut lambda_prev = 0.0;
+        let mut rho_prev = 0.0;
+
+        let mut termination = Termination::MaxIterations;
+        let mut iterations = 0;
+        if rho <= thresh_sq {
+            termination = Termination::Converged;
+        } else {
+            for it in 0..opts.max_iters {
+                let (beta, denom) = if it == 0 {
+                    (0.0, mu)
+                } else {
+                    let beta = rho / rho_prev;
+                    (beta, mu - beta * rho / lambda_prev)
+                };
+                counts.scalar_ops += 3;
+                if !(denom.is_finite() && denom > 0.0) {
+                    termination = Termination::Breakdown;
+                    iterations = it;
+                    break;
+                }
+                let lambda = rho / denom;
+
+                // p ← r + β·p ; s ← w + β·s (= A·p)
+                kernels::xpay(&r, beta, &mut p);
+                kernels::xpay(&w, beta, &mut s);
+                kernels::axpy(lambda, &p, &mut x);
+                kernels::axpy(-lambda, &s, &mut r);
+                counts.vector_ops += 4;
+
+                a.apply(&r, &mut w);
+                counts.matvecs += 1;
+                rho_prev = rho;
+                rho = dot(md, &r, &r);
+                mu = dot(md, &r, &w);
+                counts.dots += 2;
+                lambda_prev = lambda;
+
+                if opts.record_residuals {
+                    norms.push(rho.max(0.0).sqrt());
+                }
+                iterations = it + 1;
+                if rho <= thresh_sq {
+                    termination = Termination::Converged;
+                    break;
+                }
+                if !rho.is_finite() {
+                    termination = Termination::Breakdown;
+                    break;
+                }
+            }
+        }
+
+        if !opts.record_residuals {
+            norms.push(rho.max(0.0).sqrt());
+        }
+        SolveResult::new(x, termination, iterations, norms, counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard::StandardCg;
+    use vr_linalg::gen;
+
+    #[test]
+    fn converges_and_matches_standard_cg() {
+        let a = gen::poisson2d(10);
+        let b = gen::poisson2d_rhs(10);
+        let opts = SolveOptions::default().with_tol(1e-9);
+        let std = StandardCg::new().solve(&a, &b, None, &opts);
+        let cg2 = ChronopoulosGearCg::new().solve(&a, &b, None, &opts);
+        assert!(cg2.converged, "{:?}", cg2.termination);
+        let m = std.residual_norms.len().min(cg2.residual_norms.len());
+        for i in 0..m.saturating_sub(2) {
+            let (s, o) = (std.residual_norms[i], cg2.residual_norms[i]);
+            assert!(
+                (s - o).abs() <= 1e-5 * (1.0 + s.abs()),
+                "iter {i}: {s} vs {o}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_matvec_two_dots_per_iteration() {
+        let a = gen::poisson2d(10);
+        let b = gen::poisson2d_rhs(10);
+        let res = ChronopoulosGearCg::new().solve(&a, &b, None, &SolveOptions::default());
+        assert!(res.converged);
+        let per = res.counts.per_iteration(res.iterations);
+        assert!((per.matvecs - 1.0).abs() < 0.2, "matvecs {}", per.matvecs);
+        assert!((per.dots - 2.0).abs() < 0.3, "dots {}", per.dots);
+    }
+
+    #[test]
+    fn solves_random_spd_exactly() {
+        let a = gen::rand_spd(30, 4, 2.0, 9);
+        let b = gen::rand_vector(30, 2);
+        let res =
+            ChronopoulosGearCg::new().solve(&a, &b, None, &SolveOptions::default().with_tol(1e-11));
+        assert!(res.converged);
+        assert!(res.true_residual(&a, &b) < 1e-8);
+    }
+
+    #[test]
+    fn zero_rhs_immediate() {
+        let a = gen::poisson1d(5);
+        let res = ChronopoulosGearCg::new().solve(&a, &[0.0; 5], None, &SolveOptions::default());
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+    }
+
+    #[test]
+    fn breakdown_on_indefinite() {
+        let a = gen::tridiag_toeplitz(10, 0.2, -1.0);
+        let b = gen::rand_vector(10, 4);
+        let res = ChronopoulosGearCg::new().solve(&a, &b, None, &SolveOptions::default());
+        assert_eq!(res.termination, Termination::Breakdown);
+    }
+}

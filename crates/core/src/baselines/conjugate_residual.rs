@@ -1,0 +1,380 @@
+//! Conjugate Residual iteration — the "large class" demonstration.
+//!
+//! §4 of the paper notes its recurrence relations are "one of a large class
+//! of such relations". CR is the nearest sibling of CG (minimizes `‖r‖₂`
+//! instead of the A-norm error; needs `(r,Ar)` and `(Ap,Ap)` instead of
+//! `(r,r)` and `(p,Ap)`), and the same restructuring applies: with
+//! `r⁺ = r − λAp`,
+//!
+//! ```text
+//! (r⁺,Ar⁺)   = (r,Ar) − 2λ(Ar,Ap)... — expressible in iteration-n
+//! (Ap⁺,Ap⁺)  inner products exactly as in §3
+//! ```
+//!
+//! [`ConjugateResidual`] is the textbook method; [`OverlapCr`] applies the
+//! paper's one-step overlap to it, carrying `(r,Ar)` and `(Ap,Ap)` by
+//! scalar recurrences — evidence that the restructuring is method-generic,
+//! not CG-specific.
+
+use crate::instrument::OpCounts;
+use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
+use vr_linalg::kernels::{self, dot};
+use vr_linalg::LinearOperator;
+
+/// Classical conjugate residual iteration.
+///
+/// Per iteration: one matvec `Ar`, two inner products `(r,Ar)`, `(Ap,Ap)`
+/// (serialized like standard CG's), recurrence `Ap⁺ = Ar⁺ + β·Ap`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConjugateResidual;
+
+impl ConjugateResidual {
+    /// Construct.
+    #[must_use]
+    pub fn new() -> Self {
+        ConjugateResidual
+    }
+}
+
+impl CgVariant for ConjugateResidual {
+    fn name(&self) -> String {
+        "conjugate-residual".into()
+    }
+
+    fn solve(
+        &self,
+        a: &dyn LinearOperator,
+        b: &[f64],
+        x0: Option<&[f64]>,
+        opts: &SolveOptions,
+    ) -> SolveResult {
+        let n = a.dim();
+        let md = opts.dot_mode;
+        let mut counts = OpCounts::default();
+        let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
+        if x0.is_some() {
+            counts.matvecs += 1;
+            counts.vector_ops += 1;
+        }
+        let thresh_sq = util::threshold_sq(opts, bnorm);
+
+        let mut ar = a.apply_alloc(&r);
+        counts.matvecs += 1;
+        let mut p = r.clone();
+        let mut ap = ar.clone();
+        counts.vector_ops += 2;
+
+        let mut rar = dot(md, &r, &ar);
+        counts.dots += 1;
+        let mut rr = dot(md, &r, &r);
+        counts.dots += 1;
+
+        let mut norms = Vec::new();
+        if opts.record_residuals {
+            norms.push(rr.max(0.0).sqrt());
+        }
+
+        let mut termination = Termination::MaxIterations;
+        let mut iterations = 0;
+        if rr <= thresh_sq {
+            termination = Termination::Converged;
+        } else {
+            for it in 0..opts.max_iters {
+                let apap = dot(md, &ap, &ap);
+                counts.dots += 1;
+                if !(apap.is_finite() && apap > 0.0 && rar > 0.0) {
+                    termination = Termination::Breakdown;
+                    iterations = it;
+                    break;
+                }
+                let lambda = rar / apap;
+                kernels::axpy(lambda, &p, &mut x);
+                kernels::axpy(-lambda, &ap, &mut r);
+                counts.vector_ops += 2;
+                counts.scalar_ops += 1;
+
+                a.apply(&r, &mut ar);
+                counts.matvecs += 1;
+                let rar_next = dot(md, &r, &ar);
+                rr = dot(md, &r, &r);
+                counts.dots += 2;
+
+                if opts.record_residuals {
+                    norms.push(rr.max(0.0).sqrt());
+                }
+                iterations = it + 1;
+                if rr <= thresh_sq {
+                    termination = Termination::Converged;
+                    break;
+                }
+                if !rr.is_finite() {
+                    termination = Termination::Breakdown;
+                    break;
+                }
+
+                let beta = rar_next / rar;
+                counts.scalar_ops += 1;
+                kernels::xpay(&r, beta, &mut p);
+                kernels::xpay(&ar, beta, &mut ap);
+                counts.vector_ops += 2;
+                rar = rar_next;
+            }
+        }
+
+        if !opts.record_residuals {
+            norms.push(rr.max(0.0).sqrt());
+        }
+        let _ = n;
+        SolveResult::new(x, termination, iterations, norms, counts)
+    }
+}
+
+/// CR with the paper's §3 one-step overlap applied.
+///
+/// The scalars `(r,Ar)` and `(Ap,Ap)` of iteration n are computed from
+/// inner products of iteration n−1 vectors, so their fan-ins overlap a full
+/// iteration of other work. Carried state: `rar = (r,Ar)`,
+/// `apap = (Ap,Ap)`; per-iteration direct inner products (on current
+/// vectors, launchable immediately): `(Ar,Ap), (Ap,Ap)', (Ar,Ar)` where
+/// `Ar` is this iteration's matvec product.
+///
+/// Derivation (exact algebra, only symmetry of A):
+///
+/// ```text
+/// r⁺ = r − λAp;  Ar⁺ = Ar − λA(Ap)         — needs v = A·Ap (2nd matvec)
+/// (r⁺,Ar⁺)  = (r,Ar) − 2λ(Ar,Ap) + λ²(Ap,v)
+/// p⁺ = r⁺ + βp;  Ap⁺ = Ar⁺ + βAp
+/// (Ap⁺,Ap⁺) = (Ar⁺,Ar⁺) + 2β(Ar⁺,Ap) + β²(Ap,Ap)
+/// (Ar⁺,Ar⁺) = (Ar,Ar) − 2λ(Ar,v) + λ²(v,v)
+/// (Ar⁺,Ap)  = (Ar,Ap) − λ(v,Ap)
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OverlapCr;
+
+impl OverlapCr {
+    /// Construct.
+    #[must_use]
+    pub fn new() -> Self {
+        OverlapCr
+    }
+}
+
+impl CgVariant for OverlapCr {
+    fn name(&self) -> String {
+        "overlap-cr".into()
+    }
+
+    fn solve(
+        &self,
+        a: &dyn LinearOperator,
+        b: &[f64],
+        x0: Option<&[f64]>,
+        opts: &SolveOptions,
+    ) -> SolveResult {
+        let md = opts.dot_mode;
+        let mut counts = OpCounts::default();
+        let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
+        if x0.is_some() {
+            counts.matvecs += 1;
+            counts.vector_ops += 1;
+        }
+        let thresh_sq = util::threshold_sq(opts, bnorm);
+
+        let mut ar = a.apply_alloc(&r);
+        counts.matvecs += 1;
+        let mut p = r.clone();
+        let mut ap = ar.clone();
+        counts.vector_ops += 2;
+        let mut v = a.apply_alloc(&ap); // A·Ap
+        counts.matvecs += 1;
+
+        let mut rr = dot(md, &r, &r);
+        let mut rar = dot(md, &r, &ar);
+        let mut apap = dot(md, &ap, &ap);
+        counts.dots += 3;
+
+        let mut norms = Vec::new();
+        if opts.record_residuals {
+            norms.push(rr.max(0.0).sqrt());
+        }
+
+        let mut termination = Termination::MaxIterations;
+        let mut iterations = 0;
+        if rr <= thresh_sq {
+            termination = Termination::Converged;
+        } else {
+            for it in 0..opts.max_iters {
+                if !(apap.is_finite() && apap > 0.0 && rar > 0.0) {
+                    // validate: near convergence the drifted recursive
+                    // scalars can cross zero just before the threshold trips
+                    let ax = a.apply_alloc(&x);
+                    let mut r_true = vec![0.0; b.len()];
+                    kernels::sub(b, &ax, &mut r_true);
+                    let rr_true = dot(md, &r_true, &r_true);
+                    counts.matvecs += 1;
+                    counts.vector_ops += 1;
+                    counts.dots += 1;
+                    termination = if rr_true <= thresh_sq {
+                        Termination::Converged
+                    } else {
+                        Termination::Breakdown
+                    };
+                    iterations = it;
+                    if let Some(last) = norms.last_mut() {
+                        *last = rr_true.max(0.0).sqrt();
+                    }
+                    break;
+                }
+                // overlappable inner products on CURRENT vectors
+                let arap = dot(md, &ar, &ap);
+                let apv = dot(md, &ap, &v);
+                let arar = dot(md, &ar, &ar);
+                let arv = dot(md, &ar, &v);
+                let vv = dot(md, &v, &v);
+                let rw = dot(md, &r, &ap); // for ‖r⁺‖ tracking
+                let ww = apap;
+                counts.dots += 6;
+
+                let lambda = rar / apap;
+                kernels::axpy(lambda, &p, &mut x);
+                counts.vector_ops += 1;
+
+                // scalar recurrences
+                let rr_next = rr - 2.0 * lambda * rw + lambda * lambda * ww;
+                let rar_next = rar - 2.0 * lambda * arap + lambda * lambda * apv;
+                let arar_next = arar - 2.0 * lambda * arv + lambda * lambda * vv;
+                let beta = rar_next / rar;
+                let arnext_ap = arap - lambda * apv;
+                let apap_next = arar_next + 2.0 * beta * arnext_ap + beta * beta * apap;
+                counts.scalar_ops += 14;
+
+                if opts.record_residuals {
+                    norms.push(rr_next.max(0.0).sqrt());
+                }
+                iterations = it + 1;
+                if rr_next <= thresh_sq {
+                    termination = Termination::Converged;
+                    break;
+                }
+                if !rr_next.is_finite() {
+                    termination = Termination::Breakdown;
+                    break;
+                }
+
+                // vector updates
+                kernels::axpy(-lambda, &ap, &mut r);
+                kernels::axpy(-lambda, &v, &mut ar);
+                kernels::xpay(&r, beta, &mut p);
+                kernels::xpay(&ar, beta, &mut ap);
+                counts.vector_ops += 4;
+                a.apply(&ap, &mut v);
+                counts.matvecs += 1;
+
+                rr = rr_next;
+                rar = rar_next;
+                apap = apap_next;
+            }
+        }
+
+        if !opts.record_residuals {
+            norms.push(rr.max(0.0).sqrt());
+        }
+        SolveResult::new(x, termination, iterations, norms, counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_linalg::gen;
+
+    fn opts() -> SolveOptions {
+        SolveOptions::default().with_tol(1e-8)
+    }
+
+    #[test]
+    fn cr_converges_on_poisson2d() {
+        let a = gen::poisson2d(12);
+        let b = gen::poisson2d_rhs(12);
+        let res = ConjugateResidual::new().solve(&a, &b, None, &opts());
+        assert!(res.converged, "{:?}", res.termination);
+        assert!(res.true_residual(&a, &b) < 1e-6);
+    }
+
+    #[test]
+    fn cr_residual_norm_is_monotone() {
+        // CR minimizes ‖r‖₂ over the Krylov space: the residual history is
+        // monotonically non-increasing (unlike CG's).
+        let a = gen::rand_spd(50, 4, 1.5, 31);
+        let b = gen::rand_vector(50, 32);
+        let res = ConjugateResidual::new().solve(&a, &b, None, &opts());
+        assert!(res.converged);
+        for w in res.residual_norms.windows(2) {
+            assert!(
+                w[1] <= w[0] * (1.0 + 1e-10),
+                "CR residual increased: {} → {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_cr_matches_cr_iterates() {
+        let a = gen::poisson2d(9);
+        let b = gen::poisson2d_rhs(9);
+        let cr = ConjugateResidual::new().solve(&a, &b, None, &opts());
+        let ocr = OverlapCr::new().solve(&a, &b, None, &opts());
+        assert!(ocr.converged, "{:?}", ocr.termination);
+        let m = cr.residual_norms.len().min(ocr.residual_norms.len());
+        for i in 0..m.saturating_sub(3) {
+            let (s, o) = (cr.residual_norms[i], ocr.residual_norms[i]);
+            assert!(
+                (s - o).abs() <= 1e-5 * (1.0 + s.abs()),
+                "iter {i}: cr {s} vs overlap {o}"
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_cr_op_counts() {
+        // 1 matvec + 6 dots per iteration: v = A·Ap serves both the Ar
+        // recurrence and the (·,v) moments
+        let a = gen::poisson2d(10);
+        let b = gen::poisson2d_rhs(10);
+        let res = OverlapCr::new().solve(&a, &b, None, &opts());
+        assert!(res.converged);
+        let per = res.counts.per_iteration(res.iterations);
+        assert!((per.matvecs - 1.0).abs() < 0.3, "matvecs {}", per.matvecs);
+        assert!((per.dots - 6.0).abs() < 0.7, "dots {}", per.dots);
+    }
+
+    #[test]
+    fn cr_equals_cg_solution_on_spd() {
+        use crate::standard::StandardCg;
+        let a = gen::rand_spd(30, 4, 2.0, 77);
+        let b = gen::rand_vector(30, 78);
+        let o = SolveOptions::default().with_tol(1e-11);
+        let cg = StandardCg::new().solve(&a, &b, None, &o);
+        let cr = ConjugateResidual::new().solve(&a, &b, None, &o);
+        assert!(cr.converged);
+        for (xi, yi) in cg.x.iter().zip(&cr.x) {
+            assert!((xi - yi).abs() < 1e-7, "{xi} vs {yi}");
+        }
+    }
+
+    #[test]
+    fn zero_rhs_and_breakdown() {
+        let a = gen::poisson1d(5);
+        let res = ConjugateResidual::new().solve(&a, &[0.0; 5], None, &opts());
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+        let res = OverlapCr::new().solve(&a, &[0.0; 5], None, &opts());
+        assert!(res.converged);
+
+        let ind = gen::tridiag_toeplitz(8, 0.2, -1.0);
+        let b = gen::rand_vector(8, 3);
+        let res = ConjugateResidual::new().solve(&ind, &b, None, &opts());
+        assert_eq!(res.termination, Termination::Breakdown);
+    }
+}

@@ -1,0 +1,191 @@
+//! Three-term recurrence CG (Concus-Golub-O'Leary / Rutishauser form).
+//!
+//! Eliminates the direction vector `p` entirely:
+//!
+//! ```text
+//! γ_n = (r_n, r_n) / (r_n, A·r_n)
+//! ρ_0 = 1
+//! ρ_n = 1 / (1 − (γ_n/γ_{n−1})·((r_n,r_n)/(r_{n−1},r_{n−1}))·(1/ρ_{n−1}))
+//! u_{n+1} = ρ_n·(u_n + γ_n·r_n) + (1 − ρ_n)·u_{n−1}
+//! r_{n+1} = ρ_n·(r_n − γ_n·A·r_n) + (1 − ρ_n)·r_{n−1}
+//! ```
+//!
+//! Mathematically equivalent to CG; included because the paper's reference
+//! [3] (Concus, Golub & O'Leary 1976) presents CG in this generalized form,
+//! and because its dependency structure (two serialized reductions, like
+//! standard CG) makes a useful control in the machine-model experiments.
+
+use crate::instrument::OpCounts;
+use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
+use vr_linalg::kernels::dot;
+use vr_linalg::LinearOperator;
+
+/// Three-term recurrence CG solver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreeTermCg;
+
+impl ThreeTermCg {
+    /// Construct.
+    #[must_use]
+    pub fn new() -> Self {
+        ThreeTermCg
+    }
+}
+
+impl CgVariant for ThreeTermCg {
+    fn name(&self) -> String {
+        "three-term-cg".into()
+    }
+
+    fn solve(
+        &self,
+        a: &dyn LinearOperator,
+        b: &[f64],
+        x0: Option<&[f64]>,
+        opts: &SolveOptions,
+    ) -> SolveResult {
+        let n = a.dim();
+        let md = opts.dot_mode;
+        let mut counts = OpCounts::default();
+        let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
+        if x0.is_some() {
+            counts.matvecs += 1;
+            counts.vector_ops += 1;
+        }
+        let thresh_sq = util::threshold_sq(opts, bnorm);
+
+        let mut x_prev = x.clone();
+        let mut r_prev = r.clone();
+        counts.vector_ops += 2;
+        let mut w = vec![0.0; n];
+
+        let mut rr = dot(md, &r, &r);
+        counts.dots += 1;
+        let mut gamma_prev = 1.0;
+        let mut rr_prev = 1.0;
+        let mut rho_prev = 1.0;
+
+        let mut norms = Vec::new();
+        if opts.record_residuals {
+            norms.push(rr.max(0.0).sqrt());
+        }
+
+        let mut termination = Termination::MaxIterations;
+        let mut iterations = 0;
+        if rr <= thresh_sq {
+            termination = Termination::Converged;
+        } else {
+            for it in 0..opts.max_iters {
+                a.apply(&r, &mut w);
+                counts.matvecs += 1;
+                let rar = dot(md, &r, &w);
+                counts.dots += 1;
+                if !(rar.is_finite() && rar > 0.0) {
+                    termination = Termination::Breakdown;
+                    iterations = it;
+                    break;
+                }
+                let gamma = rr / rar;
+                let rho = if it == 0 {
+                    1.0
+                } else {
+                    1.0 / (1.0 - (gamma / gamma_prev) * (rr / rr_prev) / rho_prev)
+                };
+                counts.scalar_ops += 4;
+                if !rho.is_finite() {
+                    termination = Termination::Breakdown;
+                    iterations = it;
+                    break;
+                }
+
+                // u_{n+1} = ρ(u + γ r) + (1−ρ) u_{n−1}
+                let mut x_next = vec![0.0; n];
+                for i in 0..n {
+                    x_next[i] = rho * (x[i] + gamma * r[i]) + (1.0 - rho) * x_prev[i];
+                }
+                // r_{n+1} = ρ(r − γ A r) + (1−ρ) r_{n−1}
+                let mut r_next = vec![0.0; n];
+                for i in 0..n {
+                    r_next[i] = rho * (r[i] - gamma * w[i]) + (1.0 - rho) * r_prev[i];
+                }
+                counts.vector_ops += 2;
+
+                x_prev = std::mem::replace(&mut x, x_next);
+                r_prev = std::mem::replace(&mut r, r_next);
+                rr_prev = rr;
+                gamma_prev = gamma;
+                rho_prev = rho;
+                rr = dot(md, &r, &r);
+                counts.dots += 1;
+
+                if opts.record_residuals {
+                    norms.push(rr.max(0.0).sqrt());
+                }
+                iterations = it + 1;
+                if rr <= thresh_sq {
+                    termination = Termination::Converged;
+                    break;
+                }
+                if !rr.is_finite() {
+                    termination = Termination::Breakdown;
+                    break;
+                }
+            }
+        }
+
+        if !opts.record_residuals {
+            norms.push(rr.max(0.0).sqrt());
+        }
+        SolveResult::new(x, termination, iterations, norms, counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard::StandardCg;
+    use vr_linalg::gen;
+
+    #[test]
+    fn matches_standard_cg_residual_history() {
+        let a = gen::poisson2d(9);
+        let b = gen::poisson2d_rhs(9);
+        let opts = SolveOptions::default().with_tol(1e-9);
+        let std = StandardCg::new().solve(&a, &b, None, &opts);
+        let tt = ThreeTermCg::new().solve(&a, &b, None, &opts);
+        assert!(tt.converged, "{:?}", tt.termination);
+        let m = std.residual_norms.len().min(tt.residual_norms.len());
+        for i in 0..m.saturating_sub(2) {
+            let (s, o) = (std.residual_norms[i], tt.residual_norms[i]);
+            assert!(
+                (s - o).abs() <= 1e-4 * (1.0 + s.abs()),
+                "iter {i}: {s} vs {o}"
+            );
+        }
+    }
+
+    #[test]
+    fn solves_random_spd() {
+        let a = gen::rand_spd(30, 4, 2.0, 21);
+        let b = gen::rand_vector(30, 22);
+        let res = ThreeTermCg::new().solve(&a, &b, None, &SolveOptions::default().with_tol(1e-11));
+        assert!(res.converged);
+        assert!(res.true_residual(&a, &b) < 1e-8);
+    }
+
+    #[test]
+    fn zero_rhs_immediate() {
+        let a = gen::poisson1d(5);
+        let res = ThreeTermCg::new().solve(&a, &[0.0; 5], None, &SolveOptions::default());
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+    }
+
+    #[test]
+    fn breakdown_on_indefinite() {
+        let a = gen::tridiag_toeplitz(10, 0.2, -1.0);
+        let b = gen::rand_vector(10, 4);
+        let res = ThreeTermCg::new().solve(&a, &b, None, &SolveOptions::default());
+        assert_eq!(res.termination, Termination::Breakdown);
+    }
+}

@@ -1,0 +1,148 @@
+//! The §3 closed-form recurrence identities, including the OCR correction.
+//!
+//! With `r⁺ = r − λ·w`, `w = A·p`:
+//!
+//! * **General identity** (pure algebra, no CG assumptions):
+//!   `(r⁺,r⁺) = (r,r) − 2λ(r,w) + λ²(w,w)` — [`rr_general`].
+//! * **CG-orthogonality form**: inside a CG iteration
+//!   `(r,Ap) = (p,Ap)` and `λ = (r,r)/(p,Ap)`, so the identity collapses to
+//!   `(r⁺,r⁺) = λ²(w,w) − (r,r)` — [`rr_cg_form`].
+//!
+//! The NASA scan of the paper prints the collapsed form as
+//! `(r⁺,r⁺) = (r,r) + λ²(Ap,Ap)`, with the sign of the first term lost to
+//! OCR. The tests in this module demonstrate numerically that the corrected
+//! sign is the right one (and that the printed form is not an identity).
+
+/// General residual-norm recurrence: `(r,r) − 2λ(r,w) + λ²(w,w)`.
+#[must_use]
+pub fn rr_general(rr: f64, rw: f64, ww: f64, lambda: f64) -> f64 {
+    rr - 2.0 * lambda * rw + lambda * lambda * ww
+}
+
+/// CG-collapsed residual-norm recurrence: `λ²(w,w) − (r,r)`.
+///
+/// Valid only when `λ` is the exact CG step and `(r,Ap) = (p,Ap)` holds
+/// (i.e. within an exact CG iteration).
+#[must_use]
+pub fn rr_cg_form(rr: f64, ww: f64, lambda: f64) -> f64 {
+    lambda * lambda * ww - rr
+}
+
+/// The formula as printed in the OCR'd scan: `(r,r) + λ²(Ap,Ap)`.
+/// Kept only so the tests can demonstrate it is NOT an identity.
+#[must_use]
+pub fn rr_ocr_printed(rr: f64, ww: f64, lambda: f64) -> f64 {
+    rr + lambda * lambda * ww
+}
+
+/// Direction-norm recurrence: with `p⁺ = r⁺ + α·p`,
+/// `(p⁺,Ap⁺) = (r⁺,Ar⁺) + 2α·(r⁺,Ap) + α²·(p,Ap)` where
+/// `(r⁺,Ap) = (r,Ap) − λ(Ap,Ap)`.
+#[must_use]
+pub fn pap_general(rar_next: f64, rw: f64, ww: f64, pap: f64, lambda: f64, alpha: f64) -> f64 {
+    let rnext_w = rw - lambda * ww;
+    rar_next + 2.0 * alpha * rnext_w + alpha * alpha * pap
+}
+
+/// `(r⁺, A·r⁺)` recurrence: `(r,Ar) − 2λ(r,A²p) + λ²(Ap,A²p)`.
+#[must_use]
+pub fn rar_general(rar: f64, rv: f64, wv: f64, lambda: f64) -> f64 {
+    rar - 2.0 * lambda * rv + lambda * lambda * wv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_linalg::gen;
+    use vr_linalg::kernels::{axpy, dot_serial, xpay};
+
+    /// Drive real CG steps and check every identity at every iteration.
+    #[test]
+    fn k1_residual_norm_identity() {
+        let a = gen::poisson2d(8);
+        let n = a.nrows();
+        let b = gen::rand_vector(n, 13);
+        let mut r = b.clone();
+        let mut p = r.clone();
+        for it in 0..15 {
+            let w = a.spmv(&p);
+            let v = a.spmv(&w);
+            let rr = dot_serial(&r, &r);
+            let rw = dot_serial(&r, &w);
+            let ww = dot_serial(&w, &w);
+            let rv = dot_serial(&r, &v);
+            let wv = dot_serial(&w, &v);
+            let rar = dot_serial(&r, &a.spmv(&r));
+            let pap = dot_serial(&p, &w);
+            let lambda = rr / pap;
+
+            // take the step
+            axpy(-lambda, &w, &mut r);
+            let rr_direct = dot_serial(&r, &r);
+
+            // general identity: exact to round-off, no CG assumptions
+            let rr_rec = rr_general(rr, rw, ww, lambda);
+            assert!(
+                (rr_rec - rr_direct).abs() <= 1e-10 * (1.0 + rr_direct),
+                "iter {it}: general {rr_rec} vs direct {rr_direct}"
+            );
+
+            // CG-collapsed form: also an identity along the CG trajectory
+            let rr_cg = rr_cg_form(rr, ww, lambda);
+            assert!(
+                (rr_cg - rr_direct).abs() <= 1e-8 * (1.0 + rr_direct),
+                "iter {it}: cg-form {rr_cg} vs direct {rr_direct}"
+            );
+
+            // the OCR-printed form is NOT an identity (always too large by
+            // 2·(r,r))
+            let rr_bad = rr_ocr_printed(rr, ww, lambda);
+            assert!(
+                (rr_bad - rr_direct).abs() > 0.5 * rr,
+                "iter {it}: OCR form unexpectedly matched"
+            );
+
+            // rar + pap identities
+            let rar_rec = rar_general(rar, rv, wv, lambda);
+            let rar_direct = dot_serial(&r, &a.spmv(&r));
+            assert!(
+                (rar_rec - rar_direct).abs() <= 1e-9 * (1.0 + rar_direct.abs()),
+                "iter {it}: rar {rar_rec} vs {rar_direct}"
+            );
+
+            let alpha = rr_direct / rr;
+            let pap_rec = pap_general(rar_rec, rw, ww, pap, lambda, alpha);
+            xpay(&r, alpha, &mut p);
+            let pap_direct = dot_serial(&p, &a.spmv(&p));
+            assert!(
+                (pap_rec - pap_direct).abs() <= 1e-9 * (1.0 + pap_direct.abs()),
+                "iter {it}: pap {pap_rec} vs {pap_direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn general_identity_holds_off_trajectory() {
+        // rr_general is pure algebra: it must hold for ARBITRARY lambda,
+        // not just the CG step (unlike the collapsed form).
+        let a = gen::rand_spd(20, 3, 1.5, 3);
+        let r = gen::rand_vector(20, 4);
+        let p = gen::rand_vector(20, 5);
+        let w = a.spmv(&p);
+        for &lambda in &[0.1, -0.7, 2.5] {
+            let mut r2 = r.clone();
+            axpy(-lambda, &w, &mut r2);
+            let direct = dot_serial(&r2, &r2);
+            let rec = rr_general(
+                dot_serial(&r, &r),
+                dot_serial(&r, &w),
+                dot_serial(&w, &w),
+                lambda,
+            );
+            assert!((rec - direct).abs() <= 1e-10 * (1.0 + direct));
+            // collapsed form does NOT hold off-trajectory
+            let collapsed = rr_cg_form(dot_serial(&r, &r), dot_serial(&w, &w), lambda);
+            assert!((collapsed - direct).abs() > 1e-6);
+        }
+    }
+}

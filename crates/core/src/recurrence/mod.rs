@@ -1,0 +1,12 @@
+//! The scalar recurrence machinery of the look-ahead algorithm.
+//!
+//! * [`identities`] — the §3 closed-form identities (including the
+//!   correction of the OCR-damaged formula in the source scan).
+//! * [`moments`] — the moment window `(μ, ν, σ)` and its exact one-step
+//!   update rules, shared by [`crate::lookahead`].
+//! * [`symbolic`] — machine derivation of the (*) relation's coefficient
+//!   polynomials for arbitrary k, with the degree audit for claim C3.
+
+pub mod identities;
+pub mod moments;
+pub mod symbolic;

@@ -1,0 +1,344 @@
+//! Machine derivation of the (*) relation's coefficient polynomials.
+//!
+//! §4 of the paper asserts, without derivation ("will be given in detail in
+//! a future paper" — which never appeared), that for any `k > 0`
+//!
+//! ```text
+//! (r⁽ⁿ⁾,r⁽ⁿ⁾) = Σᵢ₌₀²ᵏ aᵢ·(r⁽ⁿ⁻ᵏ⁾,Aⁱr⁽ⁿ⁻ᵏ⁾)
+//!            + Σᵢ₌₀²ᵏ bᵢ·(r⁽ⁿ⁻ᵏ⁾,Aⁱp⁽ⁿ⁻ᵏ⁾)          (*)
+//!            + Σᵢ₌₀²ᵏ cᵢ·(p⁽ⁿ⁻ᵏ⁾,Aⁱp⁽ⁿ⁻ᵏ⁾)
+//! ```
+//!
+//! with `aᵢ, bᵢ, cᵢ` polynomials in `{α, λ}` of the k intervening steps,
+//! *at most quadratic in each parameter separately* (claim C3). This module
+//! reconstructs them: it pushes `r` and `p` through k symbolic CG steps as
+//! elements of `(ℤ[α,λ])[A]` acting on the base vectors, then reads the
+//! bilinear forms off the products.
+//!
+//! Parameter naming: step `s ∈ 1..=k` applies
+//! `r ← r − λₛ·A·p` then `p ← r + αₛ·p`; variable indices are
+//! `λₛ ↦ s−1` and `αₛ ↦ k+s−1` (see [`Derivation::param_point`]).
+
+use vr_poly::{MultiPoly, OpPoly};
+
+/// The symbolic state after k CG steps from a base iteration:
+/// `r = r_r(A)·r₀ + r_p(A)·p₀`, `p = p_r(A)·r₀ + p_p(A)·p₀`.
+#[derive(Debug, Clone)]
+pub struct Derivation {
+    /// Look-ahead depth.
+    pub k: usize,
+    /// Coefficient of `r₀` in `r⁽ⁿ⁾`.
+    pub r_r: OpPoly,
+    /// Coefficient of `p₀` in `r⁽ⁿ⁾`.
+    pub r_p: OpPoly,
+    /// Coefficient of `r₀` in `p⁽ⁿ⁾`.
+    pub p_r: OpPoly,
+    /// Coefficient of `p₀` in `p⁽ⁿ⁾`.
+    pub p_p: OpPoly,
+}
+
+/// The (*) coefficients for `(r⁽ⁿ⁾,r⁽ⁿ⁾)` and `(p⁽ⁿ⁾,Ap⁽ⁿ⁾)`.
+///
+/// Index `i` multiplies the order-`i` moment of the respective family:
+/// `a[i]·μᵢ + b[i]·νᵢ + c[i]·σᵢ`.
+#[derive(Debug, Clone)]
+pub struct StarCoefficients {
+    /// Look-ahead depth.
+    pub k: usize,
+    /// μ-family coefficients (`(r₀,Aⁱr₀)`), length `2k+1`.
+    pub a: Vec<MultiPoly>,
+    /// ν-family coefficients (`(r₀,Aⁱp₀)`), length `2k+1`.
+    pub b: Vec<MultiPoly>,
+    /// σ-family coefficients (`(p₀,Aⁱp₀)`), length `2k+1`.
+    pub c: Vec<MultiPoly>,
+}
+
+impl Derivation {
+    /// Run `k ≥ 1` symbolic CG steps.
+    #[must_use]
+    pub fn run(k: usize) -> Derivation {
+        assert!(k >= 1, "look-ahead must be at least 1");
+        let nv = 2 * k;
+        let mut r_r = OpPoly::one(nv);
+        let mut r_p = OpPoly::zero(nv);
+        let mut p_r = OpPoly::zero(nv);
+        let mut p_p = OpPoly::one(nv);
+        for s in 1..=k {
+            let lam = MultiPoly::var(nv, s - 1);
+            let alf = MultiPoly::var(nv, k + s - 1);
+            // r ← r − λₛ·A·p
+            let new_r_r = r_r.sub(&p_r.mul_a().scale(&lam));
+            let new_r_p = r_p.sub(&p_p.mul_a().scale(&lam));
+            // p ← r + αₛ·p
+            let new_p_r = new_r_r.add(&p_r.scale(&alf));
+            let new_p_p = new_r_p.add(&p_p.scale(&alf));
+            r_r = new_r_r;
+            r_p = new_r_p;
+            p_r = new_p_r;
+            p_p = new_p_p;
+        }
+        Derivation {
+            k,
+            r_r,
+            r_p,
+            p_r,
+            p_p,
+        }
+    }
+
+    /// Coefficients of the (*) relation for `(r⁽ⁿ⁾,r⁽ⁿ⁾)`.
+    ///
+    /// `(X·r + Y·p, X·r + Y·p) = Σ (X·X)ᵢ μᵢ + 2Σ (X·Y)ᵢ νᵢ + Σ (Y·Y)ᵢ σᵢ`
+    /// (using symmetry of `A`).
+    #[must_use]
+    pub fn star_rr(&self) -> StarCoefficients {
+        self.bilinear(&self.r_r, &self.r_p, &self.r_r, &self.r_p, 0)
+    }
+
+    /// Coefficients of the analogous relation for `(p⁽ⁿ⁾,Ap⁽ⁿ⁾)`.
+    ///
+    /// Moment indices are shifted by the extra factor of `A`, so the top
+    /// moment order is `2k+1` — the returned vectors have length `2k+2`.
+    #[must_use]
+    pub fn star_pap(&self) -> StarCoefficients {
+        self.bilinear(&self.p_r, &self.p_p, &self.p_r, &self.p_p, 1)
+    }
+
+    fn bilinear(
+        &self,
+        xr: &OpPoly,
+        xp: &OpPoly,
+        yr: &OpPoly,
+        yp: &OpPoly,
+        shift: usize,
+    ) -> StarCoefficients {
+        let nv = 2 * self.k;
+        let len = 2 * self.k + 1 + shift;
+        let pad = |mut v: Vec<MultiPoly>| {
+            // prepend `shift` zeros (the extra A factor raises each moment
+            // order), then pad to the uniform length
+            for _ in 0..shift {
+                v.insert(0, MultiPoly::zero(nv));
+            }
+            while v.len() < len {
+                v.push(MultiPoly::zero(nv));
+            }
+            v
+        };
+        let a = pad(xr.bilinear_moments(yr));
+        let b = pad(xr.bilinear_moments(yp).iter().map(|q| q.scale(2)).collect());
+        let c = pad(xp.bilinear_moments(yp));
+        StarCoefficients { k: self.k, a, b, c }
+    }
+
+    /// Build the parameter evaluation point from numeric per-step values:
+    /// `lambdas[s]` and `alphas[s]` for steps `s = 0..k` (step s uses
+    /// `λ_{base+s}` and `α_{base+s+1}` in the paper's global numbering).
+    #[must_use]
+    pub fn param_point(&self, lambdas: &[f64], alphas: &[f64]) -> Vec<f64> {
+        assert_eq!(lambdas.len(), self.k, "need k lambdas");
+        assert_eq!(alphas.len(), self.k, "need k alphas");
+        let mut point = Vec::with_capacity(2 * self.k);
+        point.extend_from_slice(lambdas);
+        point.extend_from_slice(alphas);
+        point
+    }
+}
+
+impl StarCoefficients {
+    /// Evaluate the relation numerically:
+    /// `Σ aᵢ(θ)·μᵢ + Σ bᵢ(θ)·νᵢ + Σ cᵢ(θ)·σᵢ`.
+    ///
+    /// # Panics
+    /// Panics if the moment slices are shorter than the coefficient lists.
+    #[must_use]
+    pub fn eval(&self, point: &[f64], mu: &[f64], nu: &[f64], sigma: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (i, ai) in self.a.iter().enumerate() {
+            acc += ai.eval(point) * mu[i];
+        }
+        for (i, bi) in self.b.iter().enumerate() {
+            acc += bi.eval(point) * nu[i];
+        }
+        for (i, ci) in self.c.iter().enumerate() {
+            acc += ci.eval(point) * sigma[i];
+        }
+        acc
+    }
+
+    /// Maximum degree of any coefficient in any single parameter — the
+    /// quantity claim C3 bounds by 2.
+    #[must_use]
+    pub fn max_degree_per_parameter(&self) -> u32 {
+        let nv = 2 * self.k;
+        let mut worst = 0;
+        for poly in self.a.iter().chain(&self.b).chain(&self.c) {
+            for v in 0..nv {
+                worst = worst.max(poly.degree_in(v));
+            }
+        }
+        worst
+    }
+
+    /// Total number of nonzero coefficient polynomials (reported by E3).
+    #[must_use]
+    pub fn nonzero_terms(&self) -> usize {
+        self.a
+            .iter()
+            .chain(&self.b)
+            .chain(&self.c)
+            .filter(|p| !p.is_zero())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_linalg::gen;
+    use vr_linalg::kernels::{axpy, dot_serial, xpay};
+
+    #[test]
+    fn k1_matches_hand_algebra() {
+        // k=1: r' = r − λ₁Ap. (r',r') = μ₀ − 2λ₁ν₁ + λ₁²σ₂.
+        let d = Derivation::run(1);
+        let star = d.star_rr();
+        assert_eq!(star.a.len(), 3);
+        let nv = 2;
+        assert_eq!(star.a[0], MultiPoly::one(nv));
+        assert!(star.a[1].is_zero());
+        assert!(star.a[2].is_zero());
+        assert!(star.b[0].is_zero());
+        assert_eq!(star.b[1], MultiPoly::var(nv, 0).scale(-2)); // −2λ₁
+        assert!(star.b[2].is_zero());
+        assert!(star.c[0].is_zero());
+        assert!(star.c[1].is_zero());
+        let lam = MultiPoly::var(nv, 0);
+        assert_eq!(star.c[2], &lam * &lam); // λ₁²
+    }
+
+    #[test]
+    fn degree_claim_c3_holds_for_k_up_to_5() {
+        for k in 1..=5 {
+            let d = Derivation::run(k);
+            let rr = d.star_rr();
+            let pap = d.star_pap();
+            assert!(
+                rr.max_degree_per_parameter() <= 2,
+                "k={k}: rr degree {}",
+                rr.max_degree_per_parameter()
+            );
+            assert!(
+                pap.max_degree_per_parameter() <= 2,
+                "k={k}: pap degree {}",
+                pap.max_degree_per_parameter()
+            );
+            // and the bound is TIGHT (quadratic terms do appear)
+            assert_eq!(rr.max_degree_per_parameter(), 2, "k={k}");
+        }
+    }
+
+    #[test]
+    fn coefficient_vector_lengths_match_star_relation() {
+        for k in 1..=4 {
+            let d = Derivation::run(k);
+            let rr = d.star_rr();
+            assert_eq!(rr.a.len(), 2 * k + 1, "k={k}: paper's i = 0..2k");
+            assert_eq!(rr.b.len(), 2 * k + 1);
+            assert_eq!(rr.c.len(), 2 * k + 1);
+            let pap = d.star_pap();
+            assert_eq!(pap.a.len(), 2 * k + 2, "pap reaches order 2k+1");
+        }
+    }
+
+    /// The centerpiece: run REAL CG for k steps, then check that the
+    /// symbolically derived (*) relation reproduces the directly computed
+    /// inner products from base-iteration moments.
+    #[test]
+    fn star_relation_validates_against_real_cg() {
+        let a = gen::rand_spd(24, 3, 2.0, 17);
+        let n = 24;
+        let b = gen::rand_vector(n, 18);
+
+        for k in 1..=4 {
+            // run a few CG steps first so the base is a generic iterate
+            let mut r = b.clone();
+            let mut p = r.clone();
+            let mut rr = dot_serial(&r, &r);
+            let step = |r: &mut Vec<f64>, p: &mut Vec<f64>, rr: &mut f64| -> (f64, f64) {
+                let w = a.spmv(p);
+                let pap = dot_serial(p, &w);
+                let lambda = *rr / pap;
+                axpy(-lambda, &w, r);
+                let rr_new = dot_serial(r, r);
+                let alpha = rr_new / *rr;
+                xpay(r, alpha, p);
+                *rr = rr_new;
+                (lambda, alpha)
+            };
+            for _ in 0..2 {
+                step(&mut r, &mut p, &mut rr);
+            }
+
+            // base moments: μ,ν,σ up to order 2k+1
+            let m = 2 * k + 1;
+            let moments = |x: &Vec<f64>, y: &Vec<f64>| {
+                let mut out = Vec::with_capacity(m + 1);
+                let mut aiy = y.clone();
+                for _ in 0..=m {
+                    out.push(dot_serial(x, &aiy));
+                    aiy = a.spmv(&aiy);
+                }
+                out
+            };
+            let mu = moments(&r, &r);
+            let nu = moments(&r, &p);
+            let sigma = moments(&p, &p);
+
+            // advance k real steps, recording parameters
+            let (mut lams, mut alfs) = (Vec::new(), Vec::new());
+            for _ in 0..k {
+                let (l, al) = step(&mut r, &mut p, &mut rr);
+                lams.push(l);
+                alfs.push(al);
+            }
+            let rr_direct = dot_serial(&r, &r);
+            let w = a.spmv(&p);
+            let pap_direct = dot_serial(&p, &w);
+
+            let d = Derivation::run(k);
+            let point = d.param_point(&lams, &alfs);
+            let rr_star = d.star_rr().eval(&point, &mu, &nu, &sigma);
+            let pap_star = d.star_pap().eval(&point, &mu, &nu, &sigma);
+
+            assert!(
+                (rr_star - rr_direct).abs() <= 1e-8 * (1.0 + rr_direct.abs()),
+                "k={k}: (r,r) star {rr_star} vs direct {rr_direct}"
+            );
+            assert!(
+                (pap_star - pap_direct).abs() <= 1e-8 * (1.0 + pap_direct.abs()),
+                "k={k}: (p,Ap) star {pap_star} vs direct {pap_direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn param_point_layout() {
+        let d = Derivation::run(2);
+        let pt = d.param_point(&[0.5, 0.25], &[0.1, 0.2]);
+        assert_eq!(pt, vec![0.5, 0.25, 0.1, 0.2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn k_zero_rejected() {
+        let _ = Derivation::run(0);
+    }
+
+    #[test]
+    fn nonzero_terms_grow_with_k() {
+        let n1 = Derivation::run(1).star_rr().nonzero_terms();
+        let n3 = Derivation::run(3).star_rr().nonzero_terms();
+        assert!(n3 > n1, "{n3} !> {n1}");
+    }
+}

@@ -1,0 +1,235 @@
+//! Common solver API shared by all CG variants.
+
+use crate::instrument::OpCounts;
+use vr_linalg::kernels::DotMode;
+use vr_linalg::LinearOperator;
+
+/// Options controlling a solve.
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Relative residual tolerance: converge when
+    /// `‖r‖₂ ≤ tol · ‖b‖₂`.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Summation order for inner products.
+    pub dot_mode: DotMode,
+    /// Record the (recursive) residual norm at every iteration.
+    pub record_residuals: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            tol: 1e-10,
+            max_iters: 10_000,
+            dot_mode: DotMode::Serial,
+            record_residuals: true,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Set the tolerance.
+    #[must_use]
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Set the iteration cap.
+    #[must_use]
+    pub fn with_max_iters(mut self, it: usize) -> Self {
+        self.max_iters = it;
+        self
+    }
+
+    /// Set the summation order.
+    #[must_use]
+    pub fn with_dot_mode(mut self, mode: DotMode) -> Self {
+        self.dot_mode = mode;
+        self
+    }
+}
+
+/// Why a solve stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// The residual tolerance was met.
+    Converged,
+    /// `max_iters` was exhausted.
+    MaxIterations,
+    /// A scalar recurrence produced a non-finite or non-positive quantity
+    /// that must be positive for an SPD system (breakdown).
+    Breakdown,
+}
+
+/// Outcome of a solve.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// The computed solution.
+    pub x: Vec<f64>,
+    /// Why the iteration stopped.
+    pub termination: Termination,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Recursive residual norm per iteration (index 0 = initial), if
+    /// recording was enabled; always contains at least the final value.
+    pub residual_norms: Vec<f64>,
+    /// Final *recursive* residual norm (as tracked by the algorithm).
+    pub final_residual: f64,
+    /// Operation counts.
+    pub counts: OpCounts,
+    /// Whether [`Termination::Converged`].
+    pub converged: bool,
+}
+
+impl SolveResult {
+    /// Construct from parts, deriving `converged`.
+    #[must_use]
+    pub fn new(
+        x: Vec<f64>,
+        termination: Termination,
+        iterations: usize,
+        residual_norms: Vec<f64>,
+        counts: OpCounts,
+    ) -> Self {
+        let final_residual = residual_norms.last().copied().unwrap_or(f64::NAN);
+        SolveResult {
+            x,
+            converged: termination == Termination::Converged,
+            termination,
+            iterations,
+            residual_norms,
+            final_residual,
+            counts,
+        }
+    }
+
+    /// True residual norm `‖b − A·x‖₂`, recomputed from scratch.
+    #[must_use]
+    pub fn true_residual(&self, a: &dyn LinearOperator, b: &[f64]) -> f64 {
+        let ax = a.apply_alloc(&self.x);
+        let mut r = vec![0.0; b.len()];
+        vr_linalg::kernels::sub(b, &ax, &mut r);
+        vr_linalg::kernels::norm2(&r)
+    }
+}
+
+/// A conjugate-gradient variant: anything that can solve `A·u = b` for SPD
+/// `A`. Object safe so that experiment harnesses can sweep over
+/// `Vec<Box<dyn CgVariant>>`.
+pub trait CgVariant {
+    /// Short name for reports ("standard-cg", "lookahead-cg(k=4)", ...).
+    fn name(&self) -> String;
+
+    /// Solve `A·u = b` starting from `x0` (zero if `None`).
+    fn solve(
+        &self,
+        a: &dyn LinearOperator,
+        b: &[f64],
+        x0: Option<&[f64]>,
+        opts: &SolveOptions,
+    ) -> SolveResult;
+}
+
+/// Shared solver-loop helpers.
+pub(crate) mod util {
+    use super::SolveOptions;
+    use vr_linalg::kernels;
+    use vr_linalg::LinearOperator;
+
+    /// Initial residual `r = b − A·x0` and starting point. Returns
+    /// `(x, r, ‖b‖)`.
+    pub fn init_residual(
+        a: &dyn LinearOperator,
+        b: &[f64],
+        x0: Option<&[f64]>,
+    ) -> (Vec<f64>, Vec<f64>, f64) {
+        let n = a.dim();
+        assert_eq!(b.len(), n, "rhs length != operator dim");
+        let bnorm = kernels::norm2(b);
+        match x0 {
+            None => (vec![0.0; n], b.to_vec(), bnorm),
+            Some(x0) => {
+                assert_eq!(x0.len(), n, "x0 length != operator dim");
+                let ax = a.apply_alloc(x0);
+                let mut r = vec![0.0; n];
+                kernels::sub(b, &ax, &mut r);
+                (x0.to_vec(), r, bnorm)
+            }
+        }
+    }
+
+    /// Convergence threshold on the *squared* residual norm. Floored at
+    /// the smallest positive normal so a zero rhs still terminates.
+    pub fn threshold_sq(opts: &SolveOptions, bnorm: f64) -> f64 {
+        let t = opts.tol * bnorm;
+        (t * t).max(f64::MIN_POSITIVE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_builders() {
+        let o = SolveOptions::default()
+            .with_tol(1e-6)
+            .with_max_iters(42)
+            .with_dot_mode(DotMode::Tree);
+        assert_eq!(o.tol, 1e-6);
+        assert_eq!(o.max_iters, 42);
+        assert_eq!(o.dot_mode, DotMode::Tree);
+    }
+
+    #[test]
+    fn result_derives_converged_and_final() {
+        let r = SolveResult::new(
+            vec![0.0],
+            Termination::Converged,
+            3,
+            vec![1.0, 0.1, 0.01],
+            OpCounts::default(),
+        );
+        assert!(r.converged);
+        assert_eq!(r.final_residual, 0.01);
+        let r = SolveResult::new(
+            vec![0.0],
+            Termination::MaxIterations,
+            3,
+            vec![],
+            OpCounts::default(),
+        );
+        assert!(!r.converged);
+        assert!(r.final_residual.is_nan());
+    }
+
+    #[test]
+    fn init_residual_zero_start_copies_b() {
+        let a = vr_linalg::gen::poisson1d(4);
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        let (x, r, bn) = util::init_residual(&a, &b, None);
+        assert_eq!(x, vec![0.0; 4]);
+        assert_eq!(r, b);
+        assert!((bn - (30.0_f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn init_residual_nonzero_start() {
+        let a = vr_linalg::gen::poisson1d(3);
+        let x0 = vec![1.0, 1.0, 1.0];
+        let b = vec![1.0, 0.0, 1.0];
+        // A*x0 = [1, 0, 1] → r = 0
+        let (_, r, _) = util::init_residual(&a, &b, Some(&x0));
+        assert_eq!(r, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn threshold_handles_zero_rhs() {
+        let o = SolveOptions::default();
+        let t = util::threshold_sq(&o, 0.0);
+        assert!(t > 0.0); // no divide-by-zero convergence trap
+    }
+}

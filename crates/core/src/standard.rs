@@ -1,0 +1,224 @@
+//! Standard Hestenes-Stiefel conjugate gradient iteration (paper §2).
+//!
+//! This is the baseline the paper restructures. Per iteration: one SpMV,
+//! two inner products **in serial dependency** (`(r,r)` gates `α` gates `p`
+//! gates `Ap` gates `(p,Ap)` gates `λ`), three vector updates.
+
+use crate::instrument::OpCounts;
+use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
+use vr_linalg::kernels::{self, dot};
+use vr_linalg::LinearOperator;
+
+/// Standard CG solver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardCg;
+
+impl StandardCg {
+    /// Construct.
+    #[must_use]
+    pub fn new() -> Self {
+        StandardCg
+    }
+}
+
+impl CgVariant for StandardCg {
+    fn name(&self) -> String {
+        "standard-cg".into()
+    }
+
+    fn solve(
+        &self,
+        a: &dyn LinearOperator,
+        b: &[f64],
+        x0: Option<&[f64]>,
+        opts: &SolveOptions,
+    ) -> SolveResult {
+        let n = a.dim();
+        let mut counts = OpCounts::default();
+        let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
+        if x0.is_some() {
+            counts.matvecs += 1;
+            counts.vector_ops += 1;
+        }
+        let thresh_sq = util::threshold_sq(opts, bnorm);
+
+        let mut p = r.clone();
+        counts.vector_ops += 1;
+        let mut w = vec![0.0; n];
+
+        let mut rr = dot(opts.dot_mode, &r, &r);
+        counts.dots += 1;
+        let mut norms = Vec::new();
+        if opts.record_residuals {
+            norms.push(rr.max(0.0).sqrt());
+        }
+
+        let mut termination = Termination::MaxIterations;
+        let mut iterations = 0;
+        if rr <= thresh_sq {
+            termination = Termination::Converged;
+        } else {
+            for it in 0..opts.max_iters {
+                a.apply(&p, &mut w);
+                counts.matvecs += 1;
+                let pap = dot(opts.dot_mode, &p, &w);
+                counts.dots += 1;
+                if !(pap.is_finite() && pap > 0.0) {
+                    termination = Termination::Breakdown;
+                    iterations = it;
+                    break;
+                }
+                let lambda = rr / pap;
+                counts.scalar_ops += 1;
+                kernels::axpy(lambda, &p, &mut x);
+                kernels::axpy(-lambda, &w, &mut r);
+                counts.vector_ops += 2;
+
+                let rr_next = dot(opts.dot_mode, &r, &r);
+                counts.dots += 1;
+                if opts.record_residuals {
+                    norms.push(rr_next.max(0.0).sqrt());
+                }
+                iterations = it + 1;
+                if rr_next <= thresh_sq {
+                    termination = Termination::Converged;
+                    break;
+                }
+                if !rr_next.is_finite() {
+                    termination = Termination::Breakdown;
+                    break;
+                }
+                let alpha = rr_next / rr;
+                counts.scalar_ops += 1;
+                kernels::xpay(&r, alpha, &mut p);
+                counts.vector_ops += 1;
+                rr = rr_next;
+            }
+        }
+
+        if !opts.record_residuals {
+            norms.push(rr.max(0.0).sqrt());
+        }
+        SolveResult::new(x, termination, iterations, norms, counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_linalg::gen;
+    use vr_linalg::DenseMatrix;
+
+    fn solve_default(a: &vr_linalg::CsrMatrix, b: &[f64]) -> SolveResult {
+        StandardCg::new().solve(a, b, None, &SolveOptions::default())
+    }
+
+    #[test]
+    fn solves_poisson1d_exactly_in_n_iterations() {
+        // CG converges in ≤ n iterations in exact arithmetic; for the 1-D
+        // Laplacian with n distinct eigenvalues it takes exactly n (modulo
+        // the rhs spectrum).
+        let n = 20;
+        let a = gen::poisson1d(n);
+        let b = gen::rand_vector(n, 1);
+        let res = solve_default(&a, &b);
+        assert!(res.converged);
+        assert!(res.iterations <= n + 1);
+        assert!(res.true_residual(&a, &b) < 1e-8);
+    }
+
+    #[test]
+    fn matches_cholesky_on_small_spd() {
+        let a = gen::rand_spd(25, 4, 2.0, 7);
+        let b = gen::rand_vector(25, 8);
+        let res = solve_default(&a, &b);
+        assert!(res.converged);
+        let dense = DenseMatrix::from_rows(&a.to_dense()).unwrap();
+        let exact = dense.solve_spd(&b).unwrap();
+        for (xi, ei) in res.x.iter().zip(&exact) {
+            assert!((xi - ei).abs() < 1e-7, "{xi} vs {ei}");
+        }
+    }
+
+    #[test]
+    fn residuals_monotone_overall_on_poisson2d() {
+        let a = gen::poisson2d(12);
+        let b = gen::poisson2d_rhs(12);
+        let res = solve_default(&a, &b);
+        assert!(res.converged);
+        // ‖r‖ in CG is not strictly monotone, but must shrink overall.
+        let first = res.residual_norms[0];
+        let last = *res.residual_norms.last().unwrap();
+        assert!(last < 1e-9 * first.max(1.0));
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately() {
+        let a = gen::poisson1d(8);
+        let b = vec![0.0; 8];
+        let res = solve_default(&a, &b);
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+        assert_eq!(res.x, vec![0.0; 8]);
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations() {
+        let a = gen::poisson2d(10);
+        let b = gen::poisson2d_rhs(10);
+        let cold = solve_default(&a, &b);
+        // warm start from the cold solution: should converge instantly
+        let warm = StandardCg::new().solve(&a, &b, Some(&cold.x), &SolveOptions::default());
+        assert!(warm.converged);
+        assert!(warm.iterations <= 2, "warm iterations {}", warm.iterations);
+    }
+
+    #[test]
+    fn op_counts_per_iteration_match_classic_cg() {
+        let a = gen::poisson2d(10);
+        let b = gen::poisson2d_rhs(10);
+        let res = solve_default(&a, &b);
+        let per = res.counts.per_iteration(res.iterations);
+        assert!((per.matvecs - 1.0).abs() < 0.1, "matvecs {}", per.matvecs);
+        assert!((per.dots - 2.0).abs() < 0.2, "dots {}", per.dots);
+        assert!(per.vector_ops <= 3.5, "vector ops {}", per.vector_ops);
+    }
+
+    #[test]
+    fn indefinite_matrix_breaks_down() {
+        let a = gen::tridiag_toeplitz(10, 0.5, -1.0); // indefinite
+        let b = gen::rand_vector(10, 3);
+        let res = solve_default(&a, &b);
+        assert_eq!(res.termination, Termination::Breakdown);
+    }
+
+    #[test]
+    fn max_iters_respected() {
+        let a = gen::poisson2d(16);
+        let b = gen::poisson2d_rhs(16);
+        let res = StandardCg::new().solve(
+            &a,
+            &b,
+            None,
+            &SolveOptions::default().with_max_iters(3),
+        );
+        assert_eq!(res.termination, Termination::MaxIterations);
+        assert_eq!(res.iterations, 3);
+    }
+
+    #[test]
+    fn tree_dot_mode_converges_identically_shaped() {
+        let a = gen::poisson2d(8);
+        let b = gen::poisson2d_rhs(8);
+        let serial = solve_default(&a, &b);
+        let tree = StandardCg::new().solve(
+            &a,
+            &b,
+            None,
+            &SolveOptions::default().with_dot_mode(vr_linalg::kernels::DotMode::Tree),
+        );
+        assert!(tree.converged);
+        // same iteration count up to ±2 (round-off differences only)
+        assert!((tree.iterations as i64 - serial.iterations as i64).abs() <= 2);
+    }
+}

@@ -1,0 +1,328 @@
+//! Row-major dense matrices with Cholesky factorization.
+//!
+//! Dense matrices serve as ground truth in tests: small SPD systems are
+//! solved directly by Cholesky and compared against the iterative solvers.
+
+use crate::error::{Error, Result};
+use crate::LinearOperator;
+
+/// A dense row-major `nrows × ncols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Zero matrix.
+    #[must_use]
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        DenseMatrix {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// Identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from nested rows.
+    ///
+    /// # Errors
+    /// [`Error::InvalidStructure`] if rows are ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != ncols {
+                return Err(Error::InvalidStructure(format!(
+                    "ragged rows: row {i} has {} entries, expected {ncols}",
+                    row.len()
+                )));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(DenseMatrix {
+            nrows,
+            ncols,
+            data,
+        })
+    }
+
+    /// Build from a function of `(row, col)`.
+    #[must_use]
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(nrows, ncols);
+        for i in 0..nrows {
+            for j in 0..ncols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Borrow a row as a slice.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.ncols..(r + 1) * self.ncols]
+    }
+
+    /// Matrix-vector product into a new vector.
+    #[must_use]
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.nrows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix-vector product `y ← A·x`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    #[allow(clippy::needless_range_loop)] // indexed over row blocks
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "matvec: x length != ncols");
+        assert_eq!(y.len(), self.nrows, "matvec: y length != nrows");
+        for r in 0..self.nrows {
+            y[r] = crate::kernels::dot_serial(self.row(r), x);
+        }
+    }
+
+    /// Matrix-matrix product.
+    ///
+    /// # Panics
+    /// Panics if inner dimensions disagree.
+    #[must_use]
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.ncols, other.nrows, "matmul: inner dims");
+        let mut out = DenseMatrix::zeros(self.nrows, other.ncols);
+        for i in 0..self.nrows {
+            for k in 0..self.ncols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.ncols {
+                    out[(i, j)] += aik * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    #[must_use]
+    pub fn transpose(&self) -> DenseMatrix {
+        DenseMatrix::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)])
+    }
+
+    /// Cholesky factorization `A = L·Lᵀ` (lower triangular `L`).
+    ///
+    /// # Errors
+    /// [`Error::FactorizationBreakdown`] if a pivot is non-positive (matrix
+    /// is not SPD to working precision).
+    pub fn cholesky(&self) -> Result<Cholesky> {
+        assert_eq!(self.nrows, self.ncols, "cholesky: square required");
+        let n = self.nrows;
+        let mut l = DenseMatrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = self[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 0.0 {
+                return Err(Error::FactorizationBreakdown { row: j, pivot: d });
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            for i in (j + 1)..n {
+                let mut s = self[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Solve `A·x = b` via Cholesky (convenience for tests).
+    ///
+    /// # Errors
+    /// Propagates factorization breakdown.
+    pub fn solve_spd(&self, b: &[f64]) -> Result<Vec<f64>> {
+        Ok(self.cholesky()?.solve(b))
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.ncols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.ncols + c]
+    }
+}
+
+impl LinearOperator for DenseMatrix {
+    fn dim(&self) -> usize {
+        debug_assert_eq!(self.nrows, self.ncols);
+        self.nrows
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.matvec_into(x, y);
+    }
+    fn max_row_nnz(&self) -> usize {
+        self.ncols
+    }
+}
+
+/// A Cholesky factorization `A = L·Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: DenseMatrix,
+}
+
+impl Cholesky {
+    /// The lower-triangular factor.
+    #[must_use]
+    pub fn l(&self) -> &DenseMatrix {
+        &self.l
+    }
+
+    /// Solve `A·x = b` by forward + backward substitution.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` disagrees with the factor dimension.
+    #[must_use]
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.nrows();
+        assert_eq!(b.len(), n, "cholesky solve: rhs length");
+        // forward: L·y = b
+        let mut y = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.l[(i, k)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        // backward: Lᵀ·x = y
+        let mut x = y;
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                x[i] -= self.l[(k, i)] * x[k];
+            }
+            x[i] /= self.l[(i, i)];
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> DenseMatrix {
+        DenseMatrix::from_rows(&[
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(DenseMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn identity_matvec() {
+        let i = DenseMatrix::identity(3);
+        assert_eq!(i.matvec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+        assert_eq!(LinearOperator::dim(&i), 3);
+        assert_eq!(LinearOperator::max_row_nnz(&i), 3);
+    }
+
+    #[test]
+    fn matmul_and_transpose() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let ab = a.matmul(&b);
+        assert_eq!(ab, DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]).unwrap());
+        let at = a.transpose();
+        assert_eq!(at[(0, 1)], 3.0);
+        assert_eq!(at.transpose(), a);
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd3();
+        let ch = a.cholesky().unwrap();
+        let l = ch.l();
+        let llt = l.matmul(&l.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((llt[(i, j)] - a[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_is_exact_on_small_system() {
+        let a = spd3();
+        let x_true = vec![1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true);
+        let x = a.solve_spd(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let m = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        assert!(matches!(
+            m.cholesky(),
+            Err(Error::FactorizationBreakdown { row: 0, .. })
+        ));
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            m.cholesky(),
+            Err(Error::FactorizationBreakdown { row: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn from_fn_indexing() {
+        let m = DenseMatrix::from_fn(2, 3, |i, j| (i * 3 + j) as f64);
+        assert_eq!(m.row(1), &[3.0, 4.0, 5.0]);
+        assert_eq!(m[(0, 2)], 2.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Spectral estimation: power iteration and Lanczos.
+//!
+//! Two consumers inside this repository:
+//!
+//! 1. **Convergence prediction** — CG's iteration count scales with
+//!    `√κ(A)`; the experiments annotate problems with estimated condition
+//!    numbers.
+//! 2. **Stable s-step bases** — the Newton/Chebyshev bases of
+//!    `vr_cg::sstep` need estimates of the spectral interval
+//!    `[λ_min, λ_max]` to place shifts; Lanczos supplies them cheaply.
+
+use crate::kernels;
+use crate::LinearOperator;
+
+/// Result of a spectral estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralBounds {
+    /// Estimated smallest eigenvalue.
+    pub lambda_min: f64,
+    /// Estimated largest eigenvalue.
+    pub lambda_max: f64,
+}
+
+impl SpectralBounds {
+    /// Estimated condition number `λ_max / λ_min`.
+    #[must_use]
+    pub fn condition(&self) -> f64 {
+        self.lambda_max / self.lambda_min
+    }
+}
+
+/// Power iteration for the dominant eigenvalue of an SPD operator.
+///
+/// Returns the Rayleigh-quotient estimate after `iters` iterations from a
+/// deterministic pseudo-random start.
+#[must_use]
+pub fn power_method(a: &dyn LinearOperator, iters: usize, seed: u64) -> f64 {
+    let n = a.dim();
+    let mut v = crate::gen::rand_vector(n, seed);
+    let nv = kernels::norm2(&v);
+    kernels::scal(1.0 / nv, &mut v);
+    let mut w = vec![0.0; n];
+    let mut theta = 0.0;
+    for _ in 0..iters {
+        a.apply(&v, &mut w);
+        theta = kernels::dot_serial(&v, &w);
+        let nw = kernels::norm2(&w);
+        if nw == 0.0 {
+            return 0.0;
+        }
+        for (vi, wi) in v.iter_mut().zip(&w) {
+            *vi = wi / nw;
+        }
+    }
+    theta
+}
+
+/// The Lanczos tridiagonalization of an SPD operator: after `m` steps,
+/// `T = tridiag(beta, alpha, beta)` whose eigenvalues (Ritz values)
+/// approximate extreme eigenvalues of `A` from inside.
+#[derive(Debug, Clone)]
+pub struct LanczosTridiagonal {
+    /// Diagonal entries `α_1..α_m`.
+    pub alpha: Vec<f64>,
+    /// Off-diagonal entries `β_1..β_{m−1}`.
+    pub beta: Vec<f64>,
+}
+
+impl LanczosTridiagonal {
+    /// Run `m` Lanczos steps (with full orthogonalization against the two
+    /// previous vectors only — the classical three-term process).
+    ///
+    /// Stops early on invariant-subspace detection (`β ≈ 0`).
+    #[must_use]
+    pub fn run(a: &dyn LinearOperator, m: usize, seed: u64) -> LanczosTridiagonal {
+        let n = a.dim();
+        let m = m.min(n);
+        let mut q_prev = vec![0.0; n];
+        let mut q = crate::gen::rand_vector(n, seed);
+        let nq = kernels::norm2(&q);
+        kernels::scal(1.0 / nq, &mut q);
+
+        let mut alpha = Vec::with_capacity(m);
+        let mut beta = Vec::with_capacity(m.saturating_sub(1));
+        let mut w = vec![0.0; n];
+        let mut beta_prev = 0.0;
+
+        for j in 0..m {
+            a.apply(&q, &mut w);
+            // w ← w − β_{j−1}·q_{j−1}
+            kernels::axpy(-beta_prev, &q_prev, &mut w);
+            let aj = kernels::dot_serial(&q, &w);
+            alpha.push(aj);
+            // w ← w − α_j·q_j
+            kernels::axpy(-aj, &q, &mut w);
+            let bj = kernels::norm2(&w);
+            if j + 1 < m {
+                if bj <= 1e-14 * aj.abs().max(1.0) {
+                    break; // invariant subspace found
+                }
+                beta.push(bj);
+                // shift: q_prev ← q, q ← w/β_j
+                std::mem::swap(&mut q_prev, &mut q);
+                for (qi, wi) in q.iter_mut().zip(&w) {
+                    *qi = wi / bj;
+                }
+                beta_prev = bj;
+            }
+        }
+        LanczosTridiagonal { alpha, beta }
+    }
+
+    /// Number of completed steps.
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.alpha.len()
+    }
+
+    /// All eigenvalues of the tridiagonal matrix, by bisection with Sturm
+    /// sequences (robust, no external dependency), sorted ascending.
+    #[must_use]
+    pub fn eigenvalues(&self) -> Vec<f64> {
+        let m = self.alpha.len();
+        if m == 0 {
+            return Vec::new();
+        }
+        if m == 1 {
+            return vec![self.alpha[0]];
+        }
+        // Gershgorin interval
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..m {
+            let bl = if i > 0 { self.beta[i - 1].abs() } else { 0.0 };
+            let br = if i < m - 1 { self.beta[i].abs() } else { 0.0 };
+            lo = lo.min(self.alpha[i] - bl - br);
+            hi = hi.max(self.alpha[i] + bl + br);
+        }
+        let span = (hi - lo).max(1e-300);
+        let tol = 1e-13 * span.max(1.0);
+        (0..m).map(|k| self.bisect_kth(k, lo, hi, tol)).collect()
+    }
+
+    /// Count of eigenvalues strictly less than `x` (Sturm sequence).
+    fn count_below(&self, x: f64) -> usize {
+        let m = self.alpha.len();
+        let mut count = 0;
+        let mut d = self.alpha[0] - x;
+        if d < 0.0 {
+            count += 1;
+        }
+        for i in 1..m {
+            let b2 = self.beta[i - 1] * self.beta[i - 1];
+            // avoid division blow-up at exact zero pivots
+            let dd = if d.abs() < 1e-300 { 1e-300_f64.copysign(d + 1e-300) } else { d };
+            d = self.alpha[i] - x - b2 / dd;
+            if d < 0.0 {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    fn bisect_kth(&self, k: usize, mut lo: f64, mut hi: f64, tol: f64) -> f64 {
+        // invariant: count_below(lo) ≤ k < count_below(hi)
+        while hi - lo > tol {
+            let mid = 0.5 * (lo + hi);
+            if self.count_below(mid) > k {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Extreme Ritz values as spectral bounds for `A`.
+    #[must_use]
+    pub fn spectral_bounds(&self) -> SpectralBounds {
+        let ev = self.eigenvalues();
+        SpectralBounds {
+            lambda_min: ev.first().copied().unwrap_or(f64::NAN),
+            lambda_max: ev.last().copied().unwrap_or(f64::NAN),
+        }
+    }
+}
+
+/// One-call spectral estimate: `m` Lanczos steps, Ritz extremes, with the
+/// max additionally safeguarded by the Gershgorin bound when the operator
+/// provides one (Ritz values approach extremes from inside).
+#[must_use]
+pub fn estimate_spectrum(a: &dyn LinearOperator, m: usize, seed: u64) -> SpectralBounds {
+    LanczosTridiagonal::run(a, m, seed).spectral_bounds()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    /// Exact eigenvalues of poisson1d(n): 2 − 2cos(kπ/(n+1)).
+    fn poisson1d_eigs(n: usize) -> Vec<f64> {
+        (1..=n)
+            .map(|k| 2.0 - 2.0 * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos())
+            .collect()
+    }
+
+    #[test]
+    fn power_method_finds_dominant_eigenvalue() {
+        let n = 40;
+        let a = gen::poisson1d(n);
+        let exact = poisson1d_eigs(n);
+        let max = exact.last().copied().unwrap();
+        let est = power_method(&a, 600, 3);
+        assert!(
+            (est - max).abs() < 1e-3 * max,
+            "power estimate {est} vs exact {max}"
+        );
+    }
+
+    #[test]
+    fn lanczos_full_run_recovers_all_eigenvalues() {
+        // with m = n and exact arithmetic the Ritz values ARE the spectrum
+        let n = 12;
+        let a = gen::poisson1d(n);
+        let tri = LanczosTridiagonal::run(&a, n, 5);
+        let ritz = tri.eigenvalues();
+        let exact = poisson1d_eigs(n);
+        assert_eq!(ritz.len(), exact.len());
+        for (r, e) in ritz.iter().zip(&exact) {
+            assert!((r - e).abs() < 1e-6, "{r} vs {e}");
+        }
+    }
+
+    #[test]
+    fn lanczos_partial_run_brackets_extremes() {
+        let n = 100;
+        let a = gen::poisson2d(10);
+        let exact_max_bound = a.gershgorin_bound();
+        let tri = LanczosTridiagonal::run(&a, 30, 7);
+        let b = tri.spectral_bounds();
+        assert!(b.lambda_min > 0.0, "SPD ⇒ positive spectrum: {}", b.lambda_min);
+        assert!(b.lambda_max <= exact_max_bound + 1e-9);
+        // Ritz extremes converge fast: within a few percent by 30 steps
+        let est2 = estimate_spectrum(&a, 30, 7);
+        assert_eq!(b, est2);
+        assert!(b.condition() > 1.0);
+        let _ = n;
+    }
+
+    #[test]
+    fn lanczos_condition_estimate_tracks_grid_refinement() {
+        // κ(poisson2d(n)) grows like n²: the estimate must increase
+        let k8 = estimate_spectrum(&gen::poisson2d(8), 40, 11).condition();
+        let k20 = estimate_spectrum(&gen::poisson2d(20), 80, 11).condition();
+        assert!(k20 > 2.0 * k8, "κ(20) = {k20} !≫ κ(8) = {k8}");
+    }
+
+    #[test]
+    fn sturm_count_is_monotone() {
+        let tri = LanczosTridiagonal {
+            alpha: vec![2.0, 2.0, 2.0],
+            beta: vec![-1.0, -1.0],
+        };
+        // eigenvalues: 2−√2, 2, 2+√2
+        assert_eq!(tri.count_below(0.0), 0);
+        assert_eq!(tri.count_below(1.0), 1);
+        assert_eq!(tri.count_below(2.5), 2);
+        assert_eq!(tri.count_below(4.0), 3);
+        let ev = tri.eigenvalues();
+        assert!((ev[0] - (2.0 - 2.0_f64.sqrt())).abs() < 1e-9);
+        assert!((ev[1] - 2.0).abs() < 1e-9);
+        assert!((ev[2] - (2.0 + 2.0_f64.sqrt())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let tri = LanczosTridiagonal {
+            alpha: vec![],
+            beta: vec![],
+        };
+        assert!(tri.eigenvalues().is_empty());
+        let tri = LanczosTridiagonal {
+            alpha: vec![5.0],
+            beta: vec![],
+        };
+        assert_eq!(tri.eigenvalues(), vec![5.0]);
+        assert_eq!(tri.steps(), 1);
+    }
+
+    #[test]
+    fn early_termination_on_invariant_subspace() {
+        // identity matrix: Lanczos terminates after 1 step (β = 0)
+        let a = crate::CsrMatrix::identity(16);
+        let tri = LanczosTridiagonal::run(&a, 10, 1);
+        assert_eq!(tri.steps(), 1);
+        assert!((tri.alpha[0] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type shared across the linear-algebra substrate.
+
+use std::fmt;
+
+/// Result alias using [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while constructing or operating on matrices and vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Two objects that must agree in dimension do not.
+    DimensionMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was found.
+        found: usize,
+        /// Human-readable context ("spmv input", "rhs", ...).
+        context: &'static str,
+    },
+    /// A sparse-matrix structural invariant is violated.
+    InvalidStructure(String),
+    /// An index is out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound.
+        bound: usize,
+    },
+    /// A factorization broke down (e.g. non-SPD matrix in Cholesky/IC(0)).
+    FactorizationBreakdown {
+        /// Pivot row where breakdown was detected.
+        row: usize,
+        /// Value of the offending pivot.
+        pivot: f64,
+    },
+    /// Matrix Market / vector file parse failure.
+    Parse(String),
+    /// Underlying I/O failure (stringified to keep the error `Clone + Eq`).
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch {
+                expected,
+                found,
+                context,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, found {found}"
+            ),
+            Error::InvalidStructure(msg) => write!(f, "invalid sparse structure: {msg}"),
+            Error::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (< {bound} required)")
+            }
+            Error::FactorizationBreakdown { row, pivot } => {
+                write!(f, "factorization breakdown at row {row}: pivot {pivot}")
+            }
+            Error::Parse(msg) => write!(f, "parse error: {msg}"),
+            Error::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = Error::DimensionMismatch {
+            expected: 4,
+            found: 3,
+            context: "spmv input",
+        };
+        assert_eq!(
+            e.to_string(),
+            "dimension mismatch in spmv input: expected 4, found 3"
+        );
+        let e = Error::IndexOutOfBounds { index: 9, bound: 9 };
+        assert!(e.to_string().contains("out of bounds"));
+        let e = Error::FactorizationBreakdown { row: 2, pivot: -1.0 };
+        assert!(e.to_string().contains("row 2"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let ioe = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = ioe.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,294 @@
+//! Matrix Market coordinate I/O and simple vector files.
+//!
+//! Supports the `%%MatrixMarket matrix coordinate real {general|symmetric}`
+//! header family, which covers the SPD matrices the experiments use. Writers
+//! always emit `general` with all entries so round-trips are exact.
+
+use crate::error::{Error, Result};
+use crate::sparse::{CooMatrix, CsrMatrix};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Symmetry declared by a Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MmSymmetry {
+    General,
+    Symmetric,
+}
+
+/// Parse a Matrix Market coordinate file from a reader.
+///
+/// # Errors
+/// [`Error::Parse`] on malformed content; [`Error::Io`] on read failure.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix> {
+    let mut lines = BufReader::new(reader).lines();
+
+    let header = lines
+        .next()
+        .ok_or_else(|| Error::Parse("empty file".into()))?
+        .map_err(Error::from)?;
+    let mut fields = header.split_whitespace();
+    if fields.next() != Some("%%MatrixMarket") {
+        return Err(Error::Parse("missing %%MatrixMarket banner".into()));
+    }
+    if fields.next() != Some("matrix") || fields.next() != Some("coordinate") {
+        return Err(Error::Parse(
+            "only `matrix coordinate` files are supported".into(),
+        ));
+    }
+    match fields.next() {
+        Some("real") | Some("integer") => {}
+        other => {
+            return Err(Error::Parse(format!(
+                "unsupported field type {other:?} (real/integer only)"
+            )))
+        }
+    }
+    let sym = match fields.next() {
+        Some("general") => MmSymmetry::General,
+        Some("symmetric") => MmSymmetry::Symmetric,
+        other => {
+            return Err(Error::Parse(format!(
+                "unsupported symmetry {other:?} (general/symmetric only)"
+            )))
+        }
+    };
+
+    // Skip comments, find the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line.map_err(Error::from)?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(line);
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| Error::Parse("missing size line".into()))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>().map_err(|e| Error::Parse(e.to_string())))
+        .collect::<Result<_>>()?;
+    if dims.len() != 3 {
+        return Err(Error::Parse(format!(
+            "size line must have 3 fields, got {}",
+            dims.len()
+        )));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line.map_err(Error::from)?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let r: usize = it
+            .next()
+            .ok_or_else(|| Error::Parse("entry missing row".into()))?
+            .parse()
+            .map_err(|e: std::num::ParseIntError| Error::Parse(e.to_string()))?;
+        let c: usize = it
+            .next()
+            .ok_or_else(|| Error::Parse("entry missing col".into()))?
+            .parse()
+            .map_err(|e: std::num::ParseIntError| Error::Parse(e.to_string()))?;
+        let v: f64 = it
+            .next()
+            .ok_or_else(|| Error::Parse("entry missing value".into()))?
+            .parse()
+            .map_err(|e: std::num::ParseFloatError| Error::Parse(e.to_string()))?;
+        if r == 0 || c == 0 {
+            return Err(Error::Parse("matrix market indices are 1-based".into()));
+        }
+        match sym {
+            MmSymmetry::General => coo.push(r - 1, c - 1, v)?,
+            MmSymmetry::Symmetric => coo.push_sym(r - 1, c - 1, v)?,
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(Error::Parse(format!(
+            "declared {nnz} entries but found {seen}"
+        )));
+    }
+    Ok(coo.to_csr())
+}
+
+/// Read a Matrix Market file from disk.
+///
+/// # Errors
+/// See [`read_matrix_market`].
+pub fn read_matrix_market_file<P: AsRef<Path>>(path: P) -> Result<CsrMatrix> {
+    let f = std::fs::File::open(path)?;
+    read_matrix_market(f)
+}
+
+/// Write a matrix in Matrix Market `coordinate real general` format.
+///
+/// # Errors
+/// [`Error::Io`] on write failure.
+pub fn write_matrix_market<W: Write>(a: &CsrMatrix, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by vr-linalg")?;
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), a.nnz())?;
+    for r in 0..a.nrows() {
+        for (c, v) in a.row(r) {
+            writeln!(w, "{} {} {:.17e}", r + 1, c + 1, v)?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Write a matrix to a Matrix Market file on disk.
+///
+/// # Errors
+/// See [`write_matrix_market`].
+pub fn write_matrix_market_file<P: AsRef<Path>>(a: &CsrMatrix, path: P) -> Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_matrix_market(a, f)
+}
+
+/// Write a vector as one number per line.
+///
+/// # Errors
+/// [`Error::Io`] on write failure.
+pub fn write_vector<W: Write>(x: &[f64], writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "{}", x.len())?;
+    for v in x {
+        writeln!(w, "{v:.17e}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a vector written by [`write_vector`].
+///
+/// # Errors
+/// [`Error::Parse`] on malformed content.
+pub fn read_vector<R: Read>(reader: R) -> Result<Vec<f64>> {
+    let mut lines = BufReader::new(reader).lines();
+    let n: usize = lines
+        .next()
+        .ok_or_else(|| Error::Parse("empty vector file".into()))?
+        .map_err(Error::from)?
+        .trim()
+        .parse()
+        .map_err(|e: std::num::ParseIntError| Error::Parse(e.to_string()))?;
+    let mut out = Vec::with_capacity(n);
+    for line in lines {
+        let line = line.map_err(Error::from)?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        out.push(
+            t.parse::<f64>()
+                .map_err(|e| Error::Parse(e.to_string()))?,
+        );
+    }
+    if out.len() != n {
+        return Err(Error::Parse(format!(
+            "declared {n} entries but found {}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn roundtrip_general() {
+        let a = gen::poisson2d(5);
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        let b = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn symmetric_header_mirrors_entries() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    % comment\n\
+                    2 2 2\n\
+                    1 1 2.0\n\
+                    2 1 -1.0\n";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert_eq!(a.nnz(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_headers() {
+        assert!(read_matrix_market("".as_bytes()).is_err());
+        assert!(read_matrix_market("%%Nope\n".as_bytes()).is_err());
+        assert!(
+            read_matrix_market("%%MatrixMarket matrix array real general\n".as_bytes()).is_err()
+        );
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n".as_bytes()
+        )
+        .is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n1 1 0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_bad_entries() {
+        // zero-based index
+        let t = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market(t.as_bytes()).is_err());
+        // count mismatch
+        let t = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market(t.as_bytes()).is_err());
+        // out-of-bounds index
+        let t = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(t.as_bytes()).is_err());
+        // bad size line
+        let t = "%%MatrixMarket matrix coordinate real general\n2 2\n";
+        assert!(read_matrix_market(t.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn vector_roundtrip() {
+        let x = gen::rand_vector(17, 9);
+        let mut buf = Vec::new();
+        write_vector(&x, &mut buf).unwrap();
+        let y = read_vector(&buf[..]).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn vector_rejects_count_mismatch() {
+        assert!(read_vector("3\n1.0\n2.0\n".as_bytes()).is_err());
+        assert!(read_vector("".as_bytes()).is_err());
+        assert!(read_vector("x\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("vr_linalg_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("a.mtx");
+        let a = gen::poisson1d(7);
+        write_matrix_market_file(&a, &p).unwrap();
+        let b = read_matrix_market_file(&p).unwrap();
+        assert_eq!(a, b);
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,118 @@
+//! # vr-linalg
+//!
+//! Dense and sparse linear-algebra substrate for the Van Rosendale (1983)
+//! look-ahead conjugate-gradient reproduction.
+//!
+//! The 1983 paper assumes a symmetric positive-definite operator `A` with at
+//! most `d` nonzeros per row (elliptic PDE discretizations were the target
+//! workload of the era). This crate provides everything the solvers in
+//! `vr-cg` need:
+//!
+//! * [`kernels`] — level-1 BLAS-style kernels on `&[f64]` slices, including a
+//!   **deterministic binary fan-in dot product** ([`kernels::dot_tree`]) that
+//!   mirrors the `log₂ N`-depth summation trees the paper reasons about.
+//! * [`Vector`] — a thin owned wrapper with ergonomic methods.
+//! * [`sparse`] — COO and CSR matrices with validated invariants and SpMV.
+//! * [`DenseMatrix`] — row-major dense matrices with Cholesky, used for
+//!   reference solves in tests and small experiments.
+//! * [`gen`] — workload generators (1D/2D/3D Poisson stencils, anisotropic
+//!   diffusion, diagonally dominant random SPD, tridiagonal Toeplitz).
+//! * [`precond`] — Jacobi, SSOR and IC(0) preconditioners.
+//! * [`io`] — Matrix Market coordinate I/O.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use vr_linalg::{gen, kernels, LinearOperator};
+//!
+//! let a = gen::poisson2d(16);              // 256×256 five-point Laplacian
+//! assert_eq!(a.nrows(), 256);
+//! assert!(a.is_symmetric(0.0));
+//! assert_eq!(a.max_row_nnz(), 5);          // the paper's `d`
+//!
+//! let x = vec![1.0; 256];
+//! let mut y = vec![0.0; 256];
+//! a.spmv_into(&x, &mut y);
+//! // Interior rows of the Laplacian annihilate the constant vector:
+//! // 4·1 − 1 − 1 − 1 − 1 = 0.
+//! let interior = 16 * 7 + 7;               // row (7,7)
+//! assert_eq!(y[interior], 0.0);
+//! assert!(kernels::dot_serial(&x, &y) > 0.0); // boundary rows contribute
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod banded;
+pub mod dense;
+pub mod eig;
+pub mod error;
+pub mod gen;
+pub mod io;
+pub mod kernels;
+pub mod precond;
+pub mod reorder;
+pub mod sparse;
+pub mod stencil;
+pub mod vector;
+
+pub use dense::DenseMatrix;
+pub use error::{Error, Result};
+pub use sparse::{CooMatrix, CsrMatrix};
+pub use vector::Vector;
+
+/// Trait for anything that behaves as a linear operator `y = A·x` on ℝⁿ.
+///
+/// All CG variants in `vr-cg` are generic over this trait, so they run
+/// unchanged on CSR matrices, dense matrices, or matrix-free stencils.
+pub trait LinearOperator {
+    /// Dimension of the (square) operator.
+    fn dim(&self) -> usize;
+
+    /// Compute `y ← A·x`. Both slices must have length [`LinearOperator::dim`].
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+
+    /// Maximum number of nonzeros in any row — the paper's `d`.
+    ///
+    /// Used by the cost-model simulator to size SpMV reduction depth.
+    /// Defaults to `dim()` (dense worst case).
+    fn max_row_nnz(&self) -> usize {
+        self.dim()
+    }
+
+    /// Apply into a freshly allocated vector.
+    fn apply_alloc(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.dim()];
+        self.apply(x, &mut y);
+        y
+    }
+}
+
+impl<T: LinearOperator + ?Sized> LinearOperator for &T {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        (**self).apply(x, y)
+    }
+    fn max_row_nnz(&self) -> usize {
+        (**self).max_row_nnz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_operator_by_ref_delegates() {
+        let a = gen::poisson1d(8);
+        let r: &CsrMatrix = &a;
+        assert_eq!(LinearOperator::dim(&r), 8);
+        assert_eq!(LinearOperator::max_row_nnz(&r), 3);
+        let x = vec![1.0; 8];
+        let y1 = a.apply_alloc(&x);
+        let y2 = r.apply_alloc(&x);
+        assert_eq!(y1, y2);
+    }
+}

@@ -1,0 +1,239 @@
+//! Coordinate-format sparse matrix (assembly format).
+
+use crate::error::{Error, Result};
+use crate::sparse::CsrMatrix;
+
+/// A sparse matrix stored as `(row, col, value)` triplets.
+///
+/// `CooMatrix` is the mutable assembly format: push entries in any order
+/// (duplicates allowed — they are summed during [`CooMatrix::to_csr`]), then
+/// convert to [`CsrMatrix`] for computation.
+///
+/// ```
+/// use vr_linalg::CooMatrix;
+/// let mut a = CooMatrix::new(2, 2);
+/// a.push(0, 0, 2.0).unwrap();
+/// a.push(1, 1, 3.0).unwrap();
+/// a.push(0, 0, 1.0).unwrap();          // duplicate, summed to 3.0
+/// let csr = a.to_csr();
+/// assert_eq!(csr.get(0, 0), 3.0);
+/// assert_eq!(csr.nnz(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Empty `nrows × ncols` matrix.
+    #[must_use]
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Empty matrix with triplet capacity reserved.
+    #[must_use]
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (duplicates counted separately).
+    #[must_use]
+    pub fn triplet_count(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Add a triplet. Zero values are stored (they vanish in `to_csr` only if
+    /// duplicates cancel is not attempted — explicit zeros are kept so that
+    /// structural patterns can be preserved).
+    ///
+    /// # Errors
+    /// [`Error::IndexOutOfBounds`] if `row`/`col` exceed the dimensions.
+    pub fn push(&mut self, row: usize, col: usize, val: f64) -> Result<()> {
+        if row >= self.nrows {
+            return Err(Error::IndexOutOfBounds {
+                index: row,
+                bound: self.nrows,
+            });
+        }
+        if col >= self.ncols {
+            return Err(Error::IndexOutOfBounds {
+                index: col,
+                bound: self.ncols,
+            });
+        }
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+        Ok(())
+    }
+
+    /// Add a symmetric pair: `(r,c,v)` and, when `r != c`, `(c,r,v)`.
+    ///
+    /// # Errors
+    /// Propagates [`CooMatrix::push`] errors.
+    pub fn push_sym(&mut self, row: usize, col: usize, val: f64) -> Result<()> {
+        self.push(row, col, val)?;
+        if row != col {
+            self.push(col, row, val)?;
+        }
+        Ok(())
+    }
+
+    /// Iterate over stored triplets.
+    pub fn triplets(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Convert to CSR, summing duplicates. Sorting is by (row, col).
+    #[must_use]
+    pub fn to_csr(&self) -> CsrMatrix {
+        // Counting sort by row, then sort each row's slice by column and
+        // merge duplicates. O(nnz + nrows + Σ rowlen·log rowlen).
+        let nnz = self.vals.len();
+        let mut row_counts = vec![0usize; self.nrows + 1];
+        for &r in &self.rows {
+            row_counts[r + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            row_counts[i + 1] += row_counts[i];
+        }
+        let mut order: Vec<usize> = vec![0; nnz];
+        {
+            let mut next = row_counts.clone();
+            for (t, &r) in self.rows.iter().enumerate() {
+                order[next[r]] = t;
+                next[r] += 1;
+            }
+        }
+
+        let mut indptr = Vec::with_capacity(self.nrows + 1);
+        let mut indices: Vec<usize> = Vec::with_capacity(nnz);
+        let mut data: Vec<f64> = Vec::with_capacity(nnz);
+        indptr.push(0);
+
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for r in 0..self.nrows {
+            scratch.clear();
+            for &t in &order[row_counts[r]..row_counts[r + 1]] {
+                scratch.push((self.cols[t], self.vals[t]));
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                let mut v = scratch[i].1;
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == c {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                indices.push(c);
+                data.push(v);
+                i = j;
+            }
+            indptr.push(indices.len());
+        }
+
+        CsrMatrix::new_unchecked(self.nrows, self.ncols, indptr, indices, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_bounds() {
+        let mut a = CooMatrix::new(2, 3);
+        assert!(a.push(1, 2, 1.0).is_ok());
+        assert_eq!(
+            a.push(2, 0, 1.0),
+            Err(Error::IndexOutOfBounds { index: 2, bound: 2 })
+        );
+        assert_eq!(
+            a.push(0, 3, 1.0),
+            Err(Error::IndexOutOfBounds { index: 3, bound: 3 })
+        );
+        assert_eq!(a.triplet_count(), 1);
+        assert_eq!(a.nrows(), 2);
+        assert_eq!(a.ncols(), 3);
+    }
+
+    #[test]
+    fn push_sym_mirrors_offdiagonal_only() {
+        let mut a = CooMatrix::new(3, 3);
+        a.push_sym(0, 1, 5.0).unwrap();
+        a.push_sym(2, 2, 7.0).unwrap();
+        assert_eq!(a.triplet_count(), 3);
+        let csr = a.to_csr();
+        assert_eq!(csr.get(0, 1), 5.0);
+        assert_eq!(csr.get(1, 0), 5.0);
+        assert_eq!(csr.get(2, 2), 7.0);
+    }
+
+    #[test]
+    fn to_csr_sums_duplicates_and_sorts_columns() {
+        let mut a = CooMatrix::with_capacity(2, 4, 6);
+        a.push(1, 3, 1.0).unwrap();
+        a.push(1, 0, 2.0).unwrap();
+        a.push(0, 2, 3.0).unwrap();
+        a.push(1, 3, 4.0).unwrap();
+        a.push(0, 2, -3.0).unwrap(); // cancels to explicit 0.0 entry
+        let csr = a.to_csr();
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.get(0, 2), 0.0); // explicit zero kept
+        assert_eq!(csr.row(1).collect::<Vec<_>>(), vec![(0, 2.0), (3, 5.0)]);
+    }
+
+    #[test]
+    fn empty_matrix_converts() {
+        let a = CooMatrix::new(3, 3);
+        let csr = a.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.nrows(), 3);
+        let y = csr.spmv(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn triplets_iterator_roundtrip() {
+        let mut a = CooMatrix::new(2, 2);
+        a.push(0, 1, 1.5).unwrap();
+        a.push(1, 0, -2.5).unwrap();
+        let t: Vec<_> = a.triplets().collect();
+        assert_eq!(t, vec![(0, 1, 1.5), (1, 0, -2.5)]);
+    }
+}

@@ -1,0 +1,630 @@
+//! Compressed sparse row matrix — the compute format.
+
+use crate::error::{Error, Result};
+use crate::sparse::CooMatrix;
+use crate::LinearOperator;
+
+/// A sparse matrix in compressed sparse row (CSR) format.
+///
+/// Invariants (validated by [`CsrMatrix::new`], assumed by `new_unchecked`):
+///
+/// 1. `indptr.len() == nrows + 1`, `indptr[0] == 0`,
+///    `indptr[nrows] == indices.len() == data.len()`;
+/// 2. `indptr` is non-decreasing;
+/// 3. within each row, column indices are strictly increasing and `< ncols`.
+///
+/// ```
+/// use vr_linalg::{CsrMatrix, LinearOperator};
+/// // [2 1]
+/// // [1 2]
+/// let a = CsrMatrix::new(2, 2, vec![0, 2, 4], vec![0, 1, 0, 1],
+///                        vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+/// assert_eq!(a.apply_alloc(&[1.0, 1.0]), vec![3.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Construct with full invariant validation.
+    ///
+    /// # Errors
+    /// [`Error::InvalidStructure`] describing the first violated invariant.
+    pub fn new(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        data: Vec<f64>,
+    ) -> Result<Self> {
+        if indptr.len() != nrows + 1 {
+            return Err(Error::InvalidStructure(format!(
+                "indptr length {} != nrows+1 = {}",
+                indptr.len(),
+                nrows + 1
+            )));
+        }
+        if indptr[0] != 0 {
+            return Err(Error::InvalidStructure(format!(
+                "indptr[0] = {} (must be 0)",
+                indptr[0]
+            )));
+        }
+        if *indptr.last().unwrap() != indices.len() {
+            return Err(Error::InvalidStructure(format!(
+                "indptr[last] = {} != indices.len() = {}",
+                indptr.last().unwrap(),
+                indices.len()
+            )));
+        }
+        if indices.len() != data.len() {
+            return Err(Error::InvalidStructure(format!(
+                "indices.len() = {} != data.len() = {}",
+                indices.len(),
+                data.len()
+            )));
+        }
+        for r in 0..nrows {
+            if indptr[r] > indptr[r + 1] {
+                return Err(Error::InvalidStructure(format!(
+                    "indptr decreases at row {r}: {} > {}",
+                    indptr[r],
+                    indptr[r + 1]
+                )));
+            }
+            let row = &indices[indptr[r]..indptr[r + 1]];
+            for (k, &c) in row.iter().enumerate() {
+                if c >= ncols {
+                    return Err(Error::InvalidStructure(format!(
+                        "row {r}: column index {c} >= ncols {ncols}"
+                    )));
+                }
+                if k > 0 && row[k - 1] >= c {
+                    return Err(Error::InvalidStructure(format!(
+                        "row {r}: column indices not strictly increasing ({} then {c})",
+                        row[k - 1]
+                    )));
+                }
+            }
+        }
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            data,
+        })
+    }
+
+    /// Construct without validation. Intended for internal converters that
+    /// produce valid structure by construction ([`CooMatrix::to_csr`]).
+    #[must_use]
+    pub fn new_unchecked(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        data: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(indptr.len(), nrows + 1);
+        debug_assert_eq!(indices.len(), data.len());
+        CsrMatrix {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            data: vec![1.0; n],
+        }
+    }
+
+    /// Build from a dense row-major matrix, dropping entries with
+    /// `|a_ij| <= drop_tol`.
+    #[must_use]
+    pub fn from_dense(rows: &[Vec<f64>], drop_tol: f64) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        let mut coo = CooMatrix::new(nrows, ncols);
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v.abs() > drop_tol {
+                    coo.push(i, j, v).expect("in-bounds by construction");
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Row-pointer array.
+    #[must_use]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Column-index array.
+    #[must_use]
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Value array.
+    #[must_use]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable value array (structure is immutable; values may be edited).
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Iterate `(col, value)` over row `r`.
+    ///
+    /// # Panics
+    /// Panics if `r >= nrows`.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        self.indices[lo..hi]
+            .iter()
+            .zip(&self.data[lo..hi])
+            .map(|(&c, &v)| (c, v))
+    }
+
+    /// Entry lookup (binary search within the row); absent entries are 0.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        match self.indices[lo..hi].binary_search(&c) {
+            Ok(k) => self.data[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Maximum number of stored entries in any row — the paper's `d`.
+    #[must_use]
+    pub fn max_row_nnz(&self) -> usize {
+        (0..self.nrows)
+            .map(|r| self.indptr[r + 1] - self.indptr[r])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sparse matrix-vector product `y = A·x` into a new vector.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != ncols`.
+    #[must_use]
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.nrows];
+        self.spmv_into(x, &mut y);
+        y
+    }
+
+    /// Sparse matrix-vector product `y ← A·x`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    #[allow(clippy::needless_range_loop)] // CSR row loop indexes indptr
+    pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "spmv: x length != ncols");
+        assert_eq!(y.len(), self.nrows, "spmv: y length != nrows");
+        for r in 0..self.nrows {
+            let lo = self.indptr[r];
+            let hi = self.indptr[r + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.data[k] * x[self.indices[k]];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// `y ← A·x + beta·y` (fused SpMV update).
+    #[allow(clippy::needless_range_loop)] // CSR row loop indexes indptr
+    pub fn spmv_acc(&self, x: &[f64], beta: f64, y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "spmv_acc: x length != ncols");
+        assert_eq!(y.len(), self.nrows, "spmv_acc: y length != nrows");
+        for r in 0..self.nrows {
+            let lo = self.indptr[r];
+            let hi = self.indptr[r + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.data[k] * x[self.indices[k]];
+            }
+            y[r] = acc + beta * y[r];
+        }
+    }
+
+    /// Transpose (produces sorted CSR).
+    #[must_use]
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut indptr = vec![0usize; self.ncols + 1];
+        for &c in &self.indices {
+            indptr[c + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            indptr[i + 1] += indptr[i];
+        }
+        let mut indices = vec![0usize; self.nnz()];
+        let mut data = vec![0.0; self.nnz()];
+        let mut next = indptr.clone();
+        for r in 0..self.nrows {
+            for k in self.indptr[r]..self.indptr[r + 1] {
+                let c = self.indices[k];
+                indices[next[c]] = r;
+                data[next[c]] = self.data[k];
+                next[c] += 1;
+            }
+        }
+        CsrMatrix::new_unchecked(self.ncols, self.nrows, indptr, indices, data)
+    }
+
+    /// Extract the diagonal (length `min(nrows, ncols)`).
+    #[must_use]
+    pub fn diagonal(&self) -> Vec<f64> {
+        let n = self.nrows.min(self.ncols);
+        (0..n).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Symmetry check: `|a_ij − a_ji| <= tol` for every stored entry (and
+    /// absent transposed entries count as 0).
+    #[must_use]
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        for r in 0..self.nrows {
+            for (c, v) in self.row(r) {
+                if (v - self.get(c, r)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Frobenius norm.
+    #[must_use]
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Scale all values in place.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Convert to dense row-major (for tests on small systems).
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // CSR row loop indexes indptr
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut out = vec![vec![0.0; self.ncols]; self.nrows];
+        for r in 0..self.nrows {
+            for (c, v) in self.row(r) {
+                out[r][c] = v;
+            }
+        }
+        out
+    }
+
+    /// Gershgorin-disc upper bound on the spectral radius / largest
+    /// eigenvalue: `max_i Σ_j |a_ij|`. Useful for scaling experiments.
+    #[must_use]
+    pub fn gershgorin_bound(&self) -> f64 {
+        (0..self.nrows)
+            .map(|r| self.row(r).map(|(_, v)| v.abs()).sum::<f64>())
+            .fold(0.0_f64, f64::max)
+    }
+}
+
+impl LinearOperator for CsrMatrix {
+    fn dim(&self) -> usize {
+        debug_assert_eq!(self.nrows, self.ncols, "operator must be square");
+        self.nrows
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv_into(x, y);
+    }
+
+    fn max_row_nnz(&self) -> usize {
+        CsrMatrix::max_row_nnz(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        // [2 1 0]
+        // [1 2 1]
+        // [0 1 2]
+        CsrMatrix::new(
+            3,
+            3,
+            vec![0, 2, 5, 7],
+            vec![0, 1, 0, 1, 2, 1, 2],
+            vec![2.0, 1.0, 1.0, 2.0, 1.0, 1.0, 2.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_catches_each_invariant() {
+        // wrong indptr length
+        assert!(matches!(
+            CsrMatrix::new(2, 2, vec![0, 1], vec![0], vec![1.0]),
+            Err(Error::InvalidStructure(_))
+        ));
+        // indptr[0] != 0
+        assert!(CsrMatrix::new(1, 2, vec![1, 1], vec![], vec![]).is_err());
+        // last != nnz
+        assert!(CsrMatrix::new(1, 2, vec![0, 2], vec![0], vec![1.0]).is_err());
+        // indices/data length mismatch
+        assert!(CsrMatrix::new(1, 2, vec![0, 1], vec![0], vec![1.0, 2.0]).is_err());
+        // decreasing indptr
+        assert!(CsrMatrix::new(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).is_err());
+        // column out of bounds
+        assert!(CsrMatrix::new(1, 2, vec![0, 1], vec![2], vec![1.0]).is_err());
+        // unsorted columns
+        assert!(
+            CsrMatrix::new(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err()
+        );
+        // duplicate columns
+        assert!(
+            CsrMatrix::new(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err()
+        );
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = small();
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(a.spmv(&x), vec![4.0, 8.0, 8.0]);
+    }
+
+    #[test]
+    fn spmv_acc_fuses_beta() {
+        let a = small();
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![1.0, 1.0, 1.0];
+        a.spmv_acc(&x, -1.0, &mut y);
+        assert_eq!(y, vec![3.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn identity_and_get() {
+        let i = CsrMatrix::identity(4);
+        assert_eq!(i.nnz(), 4);
+        assert_eq!(i.get(2, 2), 1.0);
+        assert_eq!(i.get(2, 3), 0.0);
+        let x = vec![5.0, 6.0, 7.0, 8.0];
+        assert_eq!(i.spmv(&x), x);
+    }
+
+    #[test]
+    fn transpose_involution_and_symmetry() {
+        let a = small();
+        assert!(a.is_symmetric(0.0));
+        let at = a.transpose();
+        assert_eq!(at, a); // symmetric
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(0, 2, 5.0).unwrap();
+        coo.push(1, 0, -1.0).unwrap();
+        let b = coo.to_csr();
+        assert!(!b.is_symmetric(0.0));
+        let bt = b.transpose();
+        assert_eq!(bt.nrows(), 3);
+        assert_eq!(bt.get(2, 0), 5.0);
+        assert_eq!(bt.get(0, 1), -1.0);
+        assert_eq!(bt.transpose(), b);
+    }
+
+    #[test]
+    fn diagonal_and_max_row_nnz() {
+        let a = small();
+        assert_eq!(a.diagonal(), vec![2.0, 2.0, 2.0]);
+        assert_eq!(a.max_row_nnz(), 3);
+        assert_eq!(CsrMatrix::identity(0).max_row_nnz(), 0);
+    }
+
+    #[test]
+    fn from_dense_and_to_dense_roundtrip() {
+        let rows = vec![
+            vec![1.0, 0.0, 2.0],
+            vec![0.0, 0.0, 0.0],
+            vec![3.0, 4.0, 0.0],
+        ];
+        let a = CsrMatrix::from_dense(&rows, 0.0);
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.to_dense(), rows);
+        // drop tolerance removes small entries
+        let b = CsrMatrix::from_dense(&rows, 2.5);
+        assert_eq!(b.nnz(), 2);
+    }
+
+    #[test]
+    fn frobenius_scale_gershgorin() {
+        let mut a = small();
+        let f = a.frobenius_norm();
+        // values: three 2's and four 1's → sqrt(3·4 + 4·1) = 4
+        assert!((f - 4.0).abs() < 1e-12);
+        a.scale(2.0);
+        assert!((a.frobenius_norm() - 2.0 * f).abs() < 1e-12);
+        assert_eq!(a.gershgorin_bound(), 8.0); // middle row 2+4+2
+    }
+
+    #[test]
+    fn linear_operator_impl() {
+        let a = small();
+        assert_eq!(LinearOperator::dim(&a), 3);
+        assert_eq!(LinearOperator::max_row_nnz(&a), 3);
+        let y = a.apply_alloc(&[1.0, 0.0, 0.0]);
+        assert_eq!(y, vec![2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn data_mut_edits_values_not_structure() {
+        let mut a = small();
+        a.data_mut()[0] = 10.0;
+        assert_eq!(a.get(0, 0), 10.0);
+        assert_eq!(a.indptr().len(), 4);
+        assert_eq!(a.indices().len(), 7);
+        assert_eq!(a.data().len(), 7);
+    }
+}
+
+/// Parallel SpMV support (row-block decomposition over `vr-par`).
+impl CsrMatrix {
+    /// Parallel sparse matrix-vector product `y ← A·x` over `threads`
+    /// row blocks. Exact — row sums are computed in the same order as the
+    /// serial [`CsrMatrix::spmv_into`], so results are bit-identical for
+    /// any thread count.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn par_spmv_into(&self, x: &[f64], y: &mut [f64], threads: usize) {
+        assert_eq!(x.len(), self.ncols, "par_spmv: x length != ncols");
+        assert_eq!(y.len(), self.nrows, "par_spmv: y length != nrows");
+        let n = self.nrows;
+        if n == 0 {
+            return;
+        }
+        let chunk = n.div_ceil(vr_par::par::effective_threads(n, threads).max(1));
+        vr_par::par::par_for_mut(y, threads, |ci, yblock| {
+            let base = ci * chunk.max(1);
+            for (off, yi) in yblock.iter_mut().enumerate() {
+                let r = base + off;
+                let lo = self.indptr[r];
+                let hi = self.indptr[r + 1];
+                let mut acc = 0.0;
+                for k in lo..hi {
+                    acc += self.data[k] * x[self.indices[k]];
+                }
+                *yi = acc;
+            }
+        });
+    }
+
+    /// Wrap this matrix as a [`LinearOperator`] whose `apply` uses
+    /// [`CsrMatrix::par_spmv_into`] with a fixed thread count.
+    #[must_use]
+    pub fn parallel(self, threads: usize) -> ParallelCsr {
+        ParallelCsr {
+            inner: self,
+            threads: threads.max(1),
+        }
+    }
+}
+
+/// A CSR matrix applied with multithreaded SpMV.
+#[derive(Debug, Clone)]
+pub struct ParallelCsr {
+    inner: CsrMatrix,
+    threads: usize,
+}
+
+impl ParallelCsr {
+    /// Borrow the underlying matrix.
+    #[must_use]
+    pub fn matrix(&self) -> &CsrMatrix {
+        &self.inner
+    }
+
+    /// Configured thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl LinearOperator for ParallelCsr {
+    fn dim(&self) -> usize {
+        self.inner.nrows()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.inner.par_spmv_into(x, y, self.threads);
+    }
+    fn max_row_nnz(&self) -> usize {
+        self.inner.max_row_nnz()
+    }
+}
+
+#[cfg(test)]
+mod par_tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn par_spmv_bit_identical_to_serial() {
+        let a = gen::poisson2d(40); // 1600 rows: parallel path engages
+        let x = gen::rand_vector(1600, 5);
+        let serial = a.spmv(&x);
+        for t in [1usize, 2, 3, 8] {
+            let mut y = vec![0.0; 1600];
+            a.par_spmv_into(&x, &mut y, t);
+            assert_eq!(y, serial, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn par_spmv_small_input_serial_path() {
+        let a = gen::poisson1d(10);
+        let x = gen::rand_vector(10, 6);
+        let mut y = vec![0.0; 10];
+        a.par_spmv_into(&x, &mut y, 8);
+        assert_eq!(y, a.spmv(&x));
+    }
+
+    #[test]
+    fn parallel_operator_wrapper() {
+        let a = gen::poisson2d(36);
+        let x = gen::rand_vector(a.nrows(), 7);
+        let expect = a.spmv(&x);
+        let op = a.clone().parallel(4);
+        assert_eq!(op.threads(), 4);
+        assert_eq!(op.matrix().nnz(), a.nnz());
+        assert_eq!(LinearOperator::dim(&op), a.nrows());
+        assert_eq!(LinearOperator::max_row_nnz(&op), 5);
+        assert_eq!(op.apply_alloc(&x), expect);
+    }
+}

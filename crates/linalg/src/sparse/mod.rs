@@ -1,0 +1,12 @@
+//! Sparse matrix formats.
+//!
+//! * [`CooMatrix`] — coordinate triplets; the assembly format. Duplicate
+//!   entries are summed on conversion.
+//! * [`CsrMatrix`] — compressed sparse row; the compute format used by all
+//!   solvers. Structural invariants are validated on construction.
+
+pub mod coo;
+pub mod csr;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;

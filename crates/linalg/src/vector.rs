@@ -1,0 +1,248 @@
+//! Owned vector type with ergonomic methods over the [`crate::kernels`].
+
+use crate::kernels::{self, DotMode};
+use std::ops::{Deref, DerefMut, Index, IndexMut};
+
+/// An owned dense vector of `f64`.
+///
+/// `Vector` is a thin newtype over `Vec<f64>` that carries the kernel
+/// operations as methods. It dereferences to `[f64]`, so any API taking
+/// slices accepts it directly.
+///
+/// ```
+/// use vr_linalg::Vector;
+/// let x = Vector::from(vec![3.0, 4.0]);
+/// assert_eq!(x.norm2(), 5.0);
+/// let mut y = Vector::zeros(2);
+/// y.axpy(1.0, &x);
+/// assert_eq!(y.as_slice(), &[3.0, 4.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Vector(Vec<f64>);
+
+impl Vector {
+    /// Zero vector of length `n`.
+    #[must_use]
+    pub fn zeros(n: usize) -> Self {
+        Vector(vec![0.0; n])
+    }
+
+    /// Vector of length `n` filled with `v`.
+    #[must_use]
+    pub fn constant(n: usize, v: f64) -> Self {
+        Vector(vec![v; n])
+    }
+
+    /// Vector of ones.
+    #[must_use]
+    pub fn ones(n: usize) -> Self {
+        Self::constant(n, 1.0)
+    }
+
+    /// Unit basis vector `e_i` of length `n`.
+    ///
+    /// # Panics
+    /// Panics if `i >= n`.
+    #[must_use]
+    pub fn basis(n: usize, i: usize) -> Self {
+        assert!(i < n, "basis index {i} out of bounds for length {n}");
+        let mut v = Self::zeros(n);
+        v[i] = 1.0;
+        v
+    }
+
+    /// Build from a function of the index.
+    #[must_use]
+    pub fn from_fn(n: usize, f: impl FnMut(usize) -> f64) -> Self {
+        Vector((0..n).map(f).collect())
+    }
+
+    /// Length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Borrow as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Borrow as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.0
+    }
+
+    /// Consume into the underlying `Vec`.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.0
+    }
+
+    /// Inner product with serial summation.
+    #[must_use]
+    pub fn dot(&self, other: &[f64]) -> f64 {
+        kernels::dot_serial(&self.0, other)
+    }
+
+    /// Inner product with an explicit summation mode.
+    #[must_use]
+    pub fn dot_mode(&self, mode: DotMode, other: &[f64]) -> f64 {
+        kernels::dot(mode, &self.0, other)
+    }
+
+    /// Euclidean norm.
+    #[must_use]
+    pub fn norm2(&self) -> f64 {
+        kernels::norm2(&self.0)
+    }
+
+    /// Max norm.
+    #[must_use]
+    pub fn norm_inf(&self) -> f64 {
+        kernels::norm_inf(&self.0)
+    }
+
+    /// `self ← a·x + self`.
+    pub fn axpy(&mut self, a: f64, x: &[f64]) {
+        kernels::axpy(a, x, &mut self.0);
+    }
+
+    /// `self ← x + a·self`.
+    pub fn xpay(&mut self, x: &[f64], a: f64) {
+        kernels::xpay(x, a, &mut self.0);
+    }
+
+    /// `self ← a·self`.
+    pub fn scale(&mut self, a: f64) {
+        kernels::scal(a, &mut self.0);
+    }
+
+    /// Fill with a constant.
+    pub fn fill_with(&mut self, v: f64) {
+        kernels::fill(&mut self.0, v);
+    }
+
+    /// Euclidean distance to another vector.
+    #[must_use]
+    pub fn dist2(&self, other: &[f64]) -> f64 {
+        kernels::dist2(&self.0, other)
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(v: Vec<f64>) -> Self {
+        Vector(v)
+    }
+}
+
+impl From<Vector> for Vec<f64> {
+    fn from(v: Vector) -> Self {
+        v.0
+    }
+}
+
+impl From<&[f64]> for Vector {
+    fn from(v: &[f64]) -> Self {
+        Vector(v.to_vec())
+    }
+}
+
+impl Deref for Vector {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        &self.0
+    }
+}
+
+impl DerefMut for Vector {
+    fn deref_mut(&mut self) -> &mut [f64] {
+        &mut self.0
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.0[i]
+    }
+}
+
+impl FromIterator<f64> for Vector {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Vector(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Vector::zeros(3).as_slice(), &[0.0, 0.0, 0.0]);
+        assert_eq!(Vector::ones(2).as_slice(), &[1.0, 1.0]);
+        assert_eq!(Vector::constant(2, 5.0).as_slice(), &[5.0, 5.0]);
+        assert_eq!(Vector::basis(3, 1).as_slice(), &[0.0, 1.0, 0.0]);
+        assert_eq!(
+            Vector::from_fn(4, |i| i as f64 * 2.0).as_slice(),
+            &[0.0, 2.0, 4.0, 6.0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn basis_bounds() {
+        let _ = Vector::basis(3, 3);
+    }
+
+    #[test]
+    fn ops() {
+        let mut v = Vector::from(vec![1.0, 2.0]);
+        v.axpy(2.0, &[1.0, 1.0]);
+        assert_eq!(v.as_slice(), &[3.0, 4.0]);
+        assert_eq!(v.norm2(), 5.0);
+        assert_eq!(v.norm_inf(), 4.0);
+        v.xpay(&[1.0, 1.0], 0.0);
+        assert_eq!(v.as_slice(), &[1.0, 1.0]);
+        v.scale(3.0);
+        assert_eq!(v.as_slice(), &[3.0, 3.0]);
+        v.fill_with(0.0);
+        assert!(!v.is_empty() && v.len() == 2);
+        assert_eq!(v.dist2(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn dot_modes_and_conversions() {
+        let x = Vector::from(&[1.0, 2.0, 3.0][..]);
+        assert_eq!(x.dot(&[1.0, 1.0, 1.0]), 6.0);
+        assert_eq!(x.dot_mode(DotMode::Tree, &[1.0, 1.0, 1.0]), 6.0);
+        let v: Vec<f64> = x.clone().into();
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+        assert_eq!(x.clone().into_vec(), v);
+        let y: Vector = v.iter().copied().collect();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn deref_and_index() {
+        let mut x = Vector::from(vec![1.0, 2.0]);
+        x[0] = 9.0;
+        assert_eq!(x[0], 9.0);
+        let s: &[f64] = &x;
+        assert_eq!(s.len(), 2);
+    }
+}

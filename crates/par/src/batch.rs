@@ -1,0 +1,169 @@
+//! Batched (fused) reductions: many inner products in one data pass.
+//!
+//! The look-ahead and s-step algorithms don't compute one dot at a time —
+//! each iteration launches a *family* of inner products over the same
+//! vectors (the paper's `3(2k+1)` moments; the s-step Gram matrix). Fusing
+//! them shares the memory traffic and, on the paper's machine, the fan-in
+//! network: one batched reduction costs one `log N` latency, not `m` of
+//! them.
+//!
+//! Determinism matches [`crate::reduce`]: fixed chunk tree, any thread
+//! count.
+
+use crate::reduce::{tree_combine, CHUNKS};
+
+/// A batch of dot products sharing the pass: `out[q] = Σᵢ xq[i]·yq[i]`.
+///
+/// All vectors must have equal length.
+///
+/// # Panics
+/// Panics on length mismatches.
+#[must_use]
+pub fn multi_dot(pairs: &[(&[f64], &[f64])], threads: usize) -> Vec<f64> {
+    let q = pairs.len();
+    if q == 0 {
+        return Vec::new();
+    }
+    let n = pairs[0].0.len();
+    for (x, y) in pairs {
+        assert_eq!(x.len(), n, "multi_dot: ragged batch");
+        assert_eq!(y.len(), n, "multi_dot: x/y mismatch");
+    }
+    if n == 0 {
+        return vec![0.0; q];
+    }
+
+    let chunk = n.div_ceil(CHUNKS);
+    let nchunks = n.div_ceil(chunk);
+    // partials[c * q + k] = partial sum of pair k over chunk c
+    let mut partials = vec![0.0; nchunks * q];
+    let threads = crate::par::effective_threads(n, threads);
+
+    let fill = |cslice: &mut [f64], c0: usize| {
+        for (off, row) in cslice.chunks_mut(q).enumerate() {
+            let c = c0 + off;
+            let lo = c * chunk;
+            let hi = ((c + 1) * chunk).min(n);
+            for (k, (x, y)) in pairs.iter().enumerate() {
+                let mut acc = 0.0;
+                for i in lo..hi {
+                    acc += x[i] * y[i];
+                }
+                row[k] = acc;
+            }
+        }
+    };
+
+    if threads <= 1 {
+        fill(&mut partials, 0);
+    } else {
+        let rows_per = nchunks.div_ceil(threads);
+        crossbeam::thread::scope(|s| {
+            for (t, pslice) in partials.chunks_mut(rows_per * q).enumerate() {
+                s.spawn(move |_| fill(pslice, t * rows_per));
+            }
+        })
+        .expect("worker thread panicked");
+    }
+
+    // combine per-pair partials with the deterministic tree
+    (0..q)
+        .map(|k| {
+            let col: Vec<f64> = (0..nchunks).map(|c| partials[c * q + k]).collect();
+            tree_combine(&col)
+        })
+        .collect()
+}
+
+/// Batched Gram matrix `G[i][j] = (u[i], v[j])` in one pass per row block.
+///
+/// # Panics
+/// Panics on ragged inputs.
+#[must_use]
+pub fn gram(u: &[Vec<f64>], v: &[Vec<f64>], threads: usize) -> Vec<Vec<f64>> {
+    let pairs: Vec<(&[f64], &[f64])> = u
+        .iter()
+        .flat_map(|ui| v.iter().map(move |vj| (ui.as_slice(), vj.as_slice())))
+        .collect();
+    let flat = multi_dot(&pairs, threads);
+    flat.chunks(v.len().max(1)).map(<[f64]>::to_vec).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce;
+
+    #[test]
+    fn multi_dot_matches_individual_dots() {
+        let n = 10_000;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let z: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let batch = multi_dot(&[(&x, &y), (&x, &z), (&y, &y)], 4);
+        let singles = [
+            reduce::par_dot(&x, &y, 1),
+            reduce::par_dot(&x, &z, 1),
+            reduce::par_dot(&y, &y, 1),
+        ];
+        for (b, s) in batch.iter().zip(&singles) {
+            assert_eq!(b.to_bits(), s.to_bits(), "batched must equal single-dot tree");
+        }
+    }
+
+    #[test]
+    fn multi_dot_deterministic_across_threads() {
+        let n = 50_000;
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i * 5) % 11) as f64 - 5.0).collect();
+        let b1 = multi_dot(&[(&x, &y), (&y, &y)], 1);
+        let b4 = multi_dot(&[(&x, &y), (&y, &y)], 4);
+        let b7 = multi_dot(&[(&x, &y), (&y, &y)], 7);
+        assert_eq!(b1[0].to_bits(), b4[0].to_bits());
+        assert_eq!(b1[1].to_bits(), b7[1].to_bits());
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert!(multi_dot(&[], 4).is_empty());
+        let e: Vec<f64> = Vec::new();
+        assert_eq!(multi_dot(&[(&e, &e)], 4), vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_batch_panics() {
+        let x = vec![1.0; 4];
+        let y = vec![1.0; 5];
+        let _ = multi_dot(&[(&x, &x), (&y, &y)], 1);
+    }
+
+    #[test]
+    fn gram_matrix_structure() {
+        let u: Vec<Vec<f64>> = vec![vec![1.0, 0.0, 2.0], vec![0.0, 3.0, 0.0]];
+        let v: Vec<Vec<f64>> = vec![
+            vec![1.0, 1.0, 1.0],
+            vec![2.0, 0.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ];
+        let g = gram(&u, &v, 2);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[0], vec![3.0, 2.0, 2.0]);
+        assert_eq!(g[1], vec![3.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gram_symmetric_when_u_equals_v() {
+        let n = 2000;
+        let u: Vec<Vec<f64>> = (0..4)
+            .map(|k| (0..n).map(|i| ((i + k) as f64).sin()).collect())
+            .collect();
+        let g = gram(&u, &u, 4);
+        #[allow(clippy::needless_range_loop)] // symmetric index pair
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(g[i][j].to_bits(), g[j][i].to_bits());
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! # vr-par
+//!
+//! A small, deterministic fork-join runtime built on crossbeam scoped
+//! threads, standing in for the paper's idealized N-processor machine.
+//!
+//! The 1983 paper reasons about summation *fan-in trees*: an inner product
+//! over N elements takes `⌈log₂ N⌉` addition steps when N processors
+//! cooperate. This crate makes that tree an explicit, inspectable object:
+//!
+//! * [`par`] — `par_for` / `par_map` data-parallel helpers (crossbeam scoped
+//!   threads, static chunking).
+//! * [`reduce`] — **deterministic** parallel reductions: the data is split
+//!   into a fixed number of chunks independent of thread count, each chunk
+//!   is reduced serially, and chunk results are combined by the same binary
+//!   fan-in tree as `vr_linalg::kernels::tree_sum`. Results are
+//!   bit-for-bit reproducible across thread counts.
+//! * [`pool`] — a persistent worker pool for `'static` jobs.
+//! * [`batch`] — fused multi-dot / Gram-matrix reductions (one data pass,
+//!   one fan-in latency for a whole moment family).
+//! * [`pipeline`] — [`pipeline::PendingScalar`]: a handle to a reduction
+//!   that has been *launched* but not yet *consumed*. This is the runtime
+//!   realization of the paper's central move — start the inner products of
+//!   iteration `n` at iteration `n−k`, collect them k iterations later.
+//!
+//! ```
+//! use vr_par::reduce;
+//! let x: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+//! let s2 = reduce::par_dot(&x, &x, 2);
+//! let s8 = reduce::par_dot(&x, &x, 8);
+//! assert_eq!(s2.to_bits(), s8.to_bits()); // deterministic across widths
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod batch;
+pub mod par;
+pub mod pipeline;
+pub mod pool;
+pub mod reduce;
+
+pub use pipeline::PendingScalar;
+pub use pool::ThreadPool;
+
+/// Number of worker threads to use by default: the available parallelism,
+/// capped at 8 (the experiments are about *structure*, not peak FLOPs).
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn default_threads_is_positive() {
+        let t = super::default_threads();
+        assert!((1..=8).contains(&t));
+    }
+}

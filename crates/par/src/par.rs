@@ -1,0 +1,176 @@
+//! Data-parallel helpers on crossbeam scoped threads.
+//!
+//! Work is split into `threads` contiguous chunks (static scheduling — the
+//! regular vector kernels of CG have uniform cost, so dynamic stealing would
+//! only add nondeterminism).
+
+/// Run `f(chunk_index, chunk)` over `threads` contiguous chunks of `data`,
+/// in parallel, mutably.
+///
+/// With `threads <= 1` or tiny inputs the call degrades to a serial loop.
+pub fn par_for_mut<T: Send>(
+    data: &mut [T],
+    threads: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    let n = data.len();
+    let threads = effective_threads(n, threads);
+    if threads <= 1 {
+        f(0, data);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (i, piece) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move |_| f(i, piece));
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Run `f(chunk_index, chunk)` over `threads` contiguous chunks, read-only.
+pub fn par_for<T: Sync>(data: &[T], threads: usize, f: impl Fn(usize, &[T]) + Sync) {
+    let n = data.len();
+    let threads = effective_threads(n, threads);
+    if threads <= 1 {
+        f(0, data);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (i, piece) in data.chunks(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move |_| f(i, piece));
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Parallel elementwise map into a new vector: `out[i] = f(i, x[i])`.
+#[must_use]
+pub fn par_map<T: Sync, U: Send + Default + Clone>(
+    x: &[T],
+    threads: usize,
+    f: impl Fn(usize, &T) -> U + Sync,
+) -> Vec<U> {
+    let n = x.len();
+    let mut out = vec![U::default(); n];
+    let threads = effective_threads(n, threads);
+    if threads <= 1 {
+        for (i, (o, v)) in out.iter_mut().zip(x).enumerate() {
+            *o = f(i, v);
+        }
+        return out;
+    }
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (ci, (opiece, xpiece)) in out.chunks_mut(chunk).zip(x.chunks(chunk)).enumerate() {
+            let f = &f;
+            s.spawn(move |_| {
+                let base = ci * chunk;
+                for (i, (o, v)) in opiece.iter_mut().zip(xpiece).enumerate() {
+                    *o = f(base + i, v);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out
+}
+
+/// Parallel `y ← a·x + y` over `threads` chunks.
+pub fn par_axpy(a: f64, x: &[f64], y: &mut [f64], threads: usize) {
+    assert_eq!(x.len(), y.len(), "par_axpy: length mismatch");
+    let n = y.len();
+    let threads = effective_threads(n, threads);
+    if threads <= 1 {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += a * xi;
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (ypiece, xpiece) in y.chunks_mut(chunk).zip(x.chunks(chunk)) {
+            s.spawn(move |_| {
+                for (yi, xi) in ypiece.iter_mut().zip(xpiece) {
+                    *yi += a * xi;
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Clamp the requested thread count to something sensible for `n` items:
+/// at least 1, at most `n`, and no parallelism below 1024 items (thread
+/// spawn cost dominates there).
+#[must_use]
+pub fn effective_threads(n: usize, requested: usize) -> usize {
+    if n < 1024 {
+        1
+    } else {
+        requested.clamp(1, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_for_mut_touches_every_element() {
+        let mut v = vec![0.0_f64; 5000];
+        par_for_mut(&mut v, 4, |ci, chunk| {
+            for x in chunk.iter_mut() {
+                *x = ci as f64 + 1.0;
+            }
+        });
+        assert!(v.iter().all(|&x| x >= 1.0));
+    }
+
+    #[test]
+    fn par_for_visits_all_chunks() {
+        let v = vec![1u8; 4096];
+        let count = AtomicUsize::new(0);
+        par_for(&v, 4, |_, chunk| {
+            count.fetch_add(chunk.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4096);
+    }
+
+    #[test]
+    fn small_inputs_run_serial() {
+        assert_eq!(effective_threads(10, 8), 1);
+        assert_eq!(effective_threads(2048, 8), 8);
+        assert_eq!(effective_threads(2048, 0), 1);
+        let mut v = vec![0.0; 8];
+        par_for_mut(&mut v, 8, |ci, chunk| {
+            assert_eq!(ci, 0);
+            assert_eq!(chunk.len(), 8);
+        });
+    }
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let x: Vec<f64> = (0..3000).map(|i| i as f64).collect();
+        let y = par_map(&x, 4, |i, v| v * 2.0 + i as f64);
+        for (i, yi) in y.iter().enumerate() {
+            assert_eq!(*yi, x[i] * 2.0 + i as f64);
+        }
+    }
+
+    #[test]
+    fn par_axpy_matches_serial() {
+        let x: Vec<f64> = (0..5000).map(|i| (i as f64).sin()).collect();
+        let mut y1: Vec<f64> = (0..5000).map(|i| (i as f64).cos()).collect();
+        let mut y2 = y1.clone();
+        par_axpy(2.5, &x, &mut y1, 4);
+        for (yi, xi) in y2.iter_mut().zip(&x) {
+            *yi += 2.5 * xi;
+        }
+        assert_eq!(y1, y2); // elementwise ops are exact regardless of threads
+    }
+}

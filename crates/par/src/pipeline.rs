@@ -1,0 +1,168 @@
+//! Pipelined (launch-now, consume-later) scalar reductions.
+//!
+//! The paper's central restructuring replaces "compute `(r⁽ⁿ⁾, r⁽ⁿ⁾)` at
+//! iteration n" with "launch inner products of *iteration n−k* vectors as
+//! soon as those vectors exist, and consume the finished sums k iterations
+//! later". [`PendingScalar`] is the handle to such an in-flight reduction:
+//!
+//! ```
+//! use vr_par::{ThreadPool, PendingScalar};
+//! use std::sync::Arc;
+//!
+//! let pool = ThreadPool::new(2);
+//! let x: Arc<Vec<f64>> = Arc::new((0..4096).map(|i| i as f64).collect());
+//!
+//! // iteration n−k: launch
+//! let pending = PendingScalar::spawn_dot(&pool, Arc::clone(&x), Arc::clone(&x));
+//! // ... k iterations of other work overlap with the fan-in ...
+//! // iteration n: consume
+//! let dot = pending.wait();
+//! assert!(dot > 0.0);
+//! ```
+
+use crate::pool::ThreadPool;
+use crate::reduce;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+struct Cell {
+    value: Mutex<Option<f64>>,
+    ready: Condvar,
+}
+
+/// Handle to a scalar reduction executing asynchronously on a [`ThreadPool`].
+pub struct PendingScalar {
+    cell: Arc<Cell>,
+}
+
+impl PendingScalar {
+    /// Launch an arbitrary scalar computation on the pool.
+    pub fn spawn(pool: &ThreadPool, f: impl FnOnce() -> f64 + Send + 'static) -> Self {
+        let cell = Arc::new(Cell {
+            value: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        let cell2 = Arc::clone(&cell);
+        pool.execute(move || {
+            let v = f();
+            let mut slot = cell2.value.lock();
+            *slot = Some(v);
+            cell2.ready.notify_all();
+        });
+        PendingScalar { cell }
+    }
+
+    /// Launch a deterministic dot product `Σ xᵢ·yᵢ` (single-threaded within
+    /// the job; overlap comes from running *concurrently with the caller*,
+    /// which is exactly the paper's overlap of summation with iteration
+    /// work).
+    ///
+    /// # Panics
+    /// The job panics (and [`PendingScalar::wait`] with it) on length
+    /// mismatch.
+    pub fn spawn_dot(pool: &ThreadPool, x: Arc<Vec<f64>>, y: Arc<Vec<f64>>) -> Self {
+        Self::spawn(pool, move || reduce::par_dot(&x, &y, 1))
+    }
+
+    /// An already-resolved scalar (useful at pipeline start-up, where the
+    /// first k iterations fall back to directly computed values).
+    #[must_use]
+    pub fn ready(v: f64) -> Self {
+        PendingScalar {
+            cell: Arc::new(Cell {
+                value: Mutex::new(Some(v)),
+                ready: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Non-blocking probe.
+    #[must_use]
+    pub fn poll(&self) -> Option<f64> {
+        *self.cell.value.lock()
+    }
+
+    /// Block until the reduction completes and return the value.
+    ///
+    /// # Panics
+    /// Panics if the producing job panicked (the value never arrives within
+    /// the 60 s watchdog).
+    #[must_use]
+    pub fn wait(&self) -> f64 {
+        let mut slot = self.cell.value.lock();
+        while slot.is_none() {
+            let timed_out = self
+                .cell
+                .ready
+                .wait_for(&mut slot, std::time::Duration::from_secs(60))
+                .timed_out();
+            assert!(
+                !(timed_out && slot.is_none()),
+                "PendingScalar: producer never delivered (job panicked?)"
+            );
+        }
+        slot.expect("checked above")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_and_wait() {
+        let pool = ThreadPool::new(2);
+        let p = PendingScalar::spawn(&pool, || 6.0 * 7.0);
+        assert_eq!(p.wait(), 42.0);
+        // waiting twice is fine
+        assert_eq!(p.wait(), 42.0);
+    }
+
+    #[test]
+    fn spawn_dot_matches_direct() {
+        let pool = ThreadPool::new(2);
+        let x: Arc<Vec<f64>> = Arc::new((0..2000).map(|i| i as f64 * 0.5).collect());
+        let y: Arc<Vec<f64>> = Arc::new((0..2000).map(|i| (i % 7) as f64).collect());
+        let direct = reduce::par_dot(&x, &y, 1);
+        let p = PendingScalar::spawn_dot(&pool, Arc::clone(&x), Arc::clone(&y));
+        assert_eq!(p.wait().to_bits(), direct.to_bits());
+    }
+
+    #[test]
+    fn ready_resolves_immediately() {
+        let p = PendingScalar::ready(3.5);
+        assert_eq!(p.poll(), Some(3.5));
+        assert_eq!(p.wait(), 3.5);
+    }
+
+    #[test]
+    fn poll_eventually_some() {
+        let pool = ThreadPool::new(1);
+        let p = PendingScalar::spawn(&pool, || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            1.0
+        });
+        // may be None right away, must be Some after wait
+        let _ = p.poll();
+        assert_eq!(p.wait(), 1.0);
+        assert_eq!(p.poll(), Some(1.0));
+    }
+
+    #[test]
+    fn many_inflight_reductions_overlap() {
+        // The look-ahead solver keeps O(k) reductions in flight; make sure
+        // ordering and delivery hold for a batch.
+        let pool = ThreadPool::new(4);
+        let xs: Vec<Arc<Vec<f64>>> = (0..16)
+            .map(|s| Arc::new((0..1500).map(|i| ((i + s) % 11) as f64).collect()))
+            .collect();
+        let pending: Vec<PendingScalar> = xs
+            .iter()
+            .map(|x| PendingScalar::spawn_dot(&pool, Arc::clone(x), Arc::clone(x)))
+            .collect();
+        for (p, x) in pending.iter().zip(&xs) {
+            let expect = reduce::par_dot(x, x, 1);
+            assert_eq!(p.wait().to_bits(), expect.to_bits());
+        }
+    }
+}

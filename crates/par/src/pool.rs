@@ -1,0 +1,191 @@
+//! A persistent worker pool for `'static` jobs.
+//!
+//! The scoped helpers in [`crate::par`] spawn threads per call, which is fine
+//! for bulk kernels but too heavy for the *pipelined* scalar reductions of
+//! the look-ahead algorithm, where small jobs are launched every iteration.
+//! `ThreadPool` keeps workers alive for the whole solve.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queue: Mutex<PoolState>,
+    available: Condvar,
+}
+
+struct PoolState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// A fixed-size pool of worker threads executing FIFO jobs.
+///
+/// ```
+/// use vr_par::ThreadPool;
+/// use std::sync::mpsc;
+///
+/// let pool = ThreadPool::new(2);
+/// let (tx, rx) = mpsc::channel();
+/// for i in 0..4 {
+///     let tx = tx.clone();
+///     pool.execute(move || tx.send(i * i).unwrap());
+/// }
+/// let mut got: Vec<i32> = rx.iter().take(4).collect();
+/// got.sort();
+/// assert_eq!(got, vec![0, 1, 4, 9]);
+/// ```
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `workers` threads (at least 1).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(PoolState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("vr-par-worker-{w}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn pool worker"),
+            );
+        }
+        ThreadPool { shared, handles }
+    }
+
+    /// Pool with [`crate::default_threads`] workers.
+    #[must_use]
+    pub fn with_default_threads() -> Self {
+        Self::new(crate::default_threads())
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Enqueue a job. Panics in jobs abort that worker's current job but the
+    /// pool itself keeps running.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        let mut state = self.shared.queue.lock();
+        assert!(!state.shutdown, "execute on a shut-down pool");
+        state.jobs.push_back(Box::new(job));
+        drop(state);
+        self.shared.available.notify_one();
+    }
+
+    /// Number of jobs waiting in the queue (not including running jobs).
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.shared.queue.lock().jobs.len()
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.queue.lock();
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                shared.available.wait(&mut state);
+            }
+        };
+        // A panicking job must not kill the worker: catch and continue.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.queue.lock();
+            state.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.workers(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..100 {
+            rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn drains_queue_on_drop() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..50 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Dropping the pool waits for workers, which drain the queue
+            // before observing shutdown with an empty queue.
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn survives_panicking_job() {
+        let pool = ThreadPool::new(1);
+        let (tx, rx) = mpsc::channel();
+        pool.execute(|| panic!("boom"));
+        pool.execute(move || tx.send(42).unwrap());
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap(),
+            42
+        );
+    }
+
+    #[test]
+    fn zero_workers_clamped_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.workers(), 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Deterministic parallel reductions with explicit binary fan-in.
+//!
+//! The summation order is fixed by a *chunk tree*, not by thread timing:
+//! the input is split into `CHUNKS` equal pieces (a constant, independent of
+//! how many threads execute), each piece is reduced serially, and the piece
+//! results are combined by a binary fan-in tree. Consequences:
+//!
+//! 1. results are bit-for-bit identical for any thread count, and
+//! 2. the combine stage is literally the `⌈log₂ CHUNKS⌉`-deep tree the
+//!    paper's complexity argument counts.
+
+/// Number of leaf chunks in the deterministic reduction tree.
+///
+/// 256 leaves ≈ the partial sums a 256-processor machine would fan in;
+/// `⌈log₂ 256⌉ = 8` combine levels.
+pub const CHUNKS: usize = 256;
+
+/// Deterministic parallel dot product.
+///
+/// `threads` only controls execution width; the value is identical for any
+/// `threads >= 1` because the summation tree is fixed.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+#[must_use]
+pub fn par_dot(x: &[f64], y: &[f64], threads: usize) -> f64 {
+    assert_eq!(x.len(), y.len(), "par_dot: length mismatch");
+    let n = x.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let partials = chunk_partials(x, y, threads);
+    tree_combine(&partials)
+}
+
+/// Deterministic parallel sum.
+#[must_use]
+pub fn par_sum(x: &[f64], threads: usize) -> f64 {
+    let n = x.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let chunk = n.div_ceil(CHUNKS);
+    let pieces: Vec<&[f64]> = x.chunks(chunk).collect();
+    let mut partials = vec![0.0; pieces.len()];
+    let threads = crate::par::effective_threads(n, threads);
+    if threads <= 1 {
+        for (p, piece) in partials.iter_mut().zip(&pieces) {
+            *p = serial_sum(piece);
+        }
+    } else {
+        let per = pieces.len().div_ceil(threads);
+        crossbeam::thread::scope(|s| {
+            for (t, pslice) in partials.chunks_mut(per).enumerate() {
+                let base = t * per;
+                let pieces = &pieces;
+                s.spawn(move |_| {
+                    for (off, p) in pslice.iter_mut().enumerate() {
+                        *p = serial_sum(pieces[base + off]);
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+    }
+    tree_combine(&partials)
+}
+
+/// Deterministic parallel squared norm.
+#[must_use]
+pub fn par_norm2_sq(x: &[f64], threads: usize) -> f64 {
+    par_dot(x, x, threads)
+}
+
+fn chunk_partials(x: &[f64], y: &[f64], threads: usize) -> Vec<f64> {
+    let n = x.len();
+    let chunk = n.div_ceil(CHUNKS);
+    let pieces_x: Vec<&[f64]> = x.chunks(chunk).collect();
+    let pieces_y: Vec<&[f64]> = y.chunks(chunk).collect();
+    let m = pieces_x.len();
+    let mut partials = vec![0.0; m];
+    let threads = crate::par::effective_threads(n, threads);
+    if threads <= 1 {
+        for i in 0..m {
+            partials[i] = serial_dot(pieces_x[i], pieces_y[i]);
+        }
+    } else {
+        let per = m.div_ceil(threads);
+        crossbeam::thread::scope(|s| {
+            for (t, pslice) in partials.chunks_mut(per).enumerate() {
+                let base = t * per;
+                let (px, py) = (&pieces_x, &pieces_y);
+                s.spawn(move |_| {
+                    for (off, p) in pslice.iter_mut().enumerate() {
+                        *p = serial_dot(px[base + off], py[base + off]);
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+    }
+    partials
+}
+
+fn serial_dot(x: &[f64], y: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        acc += a * b;
+    }
+    acc
+}
+
+fn serial_sum(x: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for a in x {
+        acc += a;
+    }
+    acc
+}
+
+/// Combine partial results by a binary fan-in tree (same shape as
+/// `vr_linalg::kernels::tree_sum`).
+#[must_use]
+pub fn tree_combine(partials: &[f64]) -> f64 {
+    match partials.len() {
+        0 => 0.0,
+        1 => partials[0],
+        2 => partials[0] + partials[1],
+        n => {
+            let half = n.next_power_of_two() / 2;
+            let half = if half == n { n / 2 } else { half };
+            tree_combine(&partials[..half]) + tree_combine(&partials[half..])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_dot_deterministic_across_thread_counts() {
+        let x: Vec<f64> = (0..100_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let y: Vec<f64> = (0..100_000).map(|i| ((i % 17) as f64) - 8.0).collect();
+        let d1 = par_dot(&x, &y, 1);
+        let d2 = par_dot(&x, &y, 2);
+        let d3 = par_dot(&x, &y, 3);
+        let d8 = par_dot(&x, &y, 8);
+        assert_eq!(d1.to_bits(), d2.to_bits());
+        assert_eq!(d1.to_bits(), d3.to_bits());
+        assert_eq!(d1.to_bits(), d8.to_bits());
+    }
+
+    #[test]
+    fn par_dot_close_to_serial() {
+        let x: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+        let serial: f64 = x.iter().map(|v| v * v).sum();
+        let par = par_dot(&x, &x, 4);
+        assert!((serial - par).abs() < 1e-9 * (1.0 + serial.abs()));
+    }
+
+    #[test]
+    fn par_sum_deterministic_and_correct() {
+        let x: Vec<f64> = (0..50_000).map(|i| (i as f64) * 1e-5).collect();
+        let s1 = par_sum(&x, 1);
+        let s4 = par_sum(&x, 4);
+        assert_eq!(s1.to_bits(), s4.to_bits());
+        let exact = (49_999.0 * 50_000.0 / 2.0) * 1e-5;
+        assert!((s1 - exact).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(par_dot(&[], &[], 4), 0.0);
+        assert_eq!(par_sum(&[], 4), 0.0);
+        assert_eq!(par_dot(&[2.0], &[3.0], 4), 6.0);
+        assert_eq!(par_sum(&[5.0], 4), 5.0);
+        assert_eq!(par_norm2_sq(&[3.0, 4.0], 4), 25.0);
+    }
+
+    #[test]
+    fn tree_combine_shapes() {
+        assert_eq!(tree_combine(&[]), 0.0);
+        assert_eq!(tree_combine(&[1.0]), 1.0);
+        assert_eq!(tree_combine(&[1.0, 2.0]), 3.0);
+        assert_eq!(tree_combine(&[1.0, 2.0, 3.0]), 6.0);
+        let v: Vec<f64> = (1..=256).map(|i| i as f64).collect();
+        assert_eq!(tree_combine(&v), 256.0 * 257.0 / 2.0);
+    }
+
+    #[test]
+    fn matches_vr_linalg_tree_order_on_chunk_boundary_sizes() {
+        // Exactly CHUNKS chunks of length 1: par tree == plain fan-in tree.
+        let x: Vec<f64> = (0..CHUNKS).map(|i| (i as f64).exp2().recip()).collect();
+        let ones = vec![1.0; CHUNKS];
+        let a = par_dot(&x, &ones, 1);
+        let b = tree_combine(&x);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

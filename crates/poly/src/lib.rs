@@ -1,0 +1,49 @@
+//! # vr-poly
+//!
+//! Exact polynomial algebra used to *derive*, rather than hand-copy, the
+//! recurrence coefficients of Van Rosendale's look-ahead CG.
+//!
+//! The paper states (§4) that `(r⁽ⁿ⁾, r⁽ⁿ⁾)` can be written as
+//!
+//! ```text
+//! (r⁽ⁿ⁾,r⁽ⁿ⁾) = Σᵢ aᵢ (r⁽ⁿ⁻ᵏ⁾, Aⁱ r⁽ⁿ⁻ᵏ⁾)
+//!             + Σᵢ bᵢ (r⁽ⁿ⁻ᵏ⁾, Aⁱ p⁽ⁿ⁻ᵏ⁾)
+//!             + Σᵢ cᵢ (p⁽ⁿ⁻ᵏ⁾, Aⁱ p⁽ⁿ⁻ᵏ⁾)      (i = 0..2k)
+//! ```
+//!
+//! where the `aᵢ, bᵢ, cᵢ` are polynomials in the 2k parameters
+//! `{α_{n−1}..α_{n−k}, λ_{n−1}..λ_{n−k}}`, **at most quadratic in each
+//! parameter separately** — and promises the details for "a future paper"
+//! that never appeared. This crate provides the machinery to reconstruct
+//! those polynomials exactly:
+//!
+//! * [`MultiPoly`] — sparse multivariate polynomials with exact `i64`
+//!   coefficients over indexed variables.
+//! * [`OpPoly`] — polynomials in the operator `A` whose coefficients are
+//!   `MultiPoly` (i.e. elements of `(ℤ[α,λ])[A]`), used to push `r` and `p`
+//!   symbolically through k CG steps.
+//! * [`UniPoly`] — dense univariate `f64` polynomials (Horner evaluation,
+//!   arithmetic), used by the numeric side and the cost models.
+//!
+//! ```
+//! use vr_poly::MultiPoly;
+//! let x = MultiPoly::var(2, 0);         // 2 variables, this is x₀
+//! let y = MultiPoly::var(2, 1);
+//! let p = (&x + &y) * (&x - &y);        // x² − y²
+//! assert_eq!(p.eval(&[3.0, 2.0]), 5.0);
+//! assert_eq!(p.degree_in(0), 2);
+//! assert_eq!(p.degree_in(1), 2);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod monomial;
+pub mod mpoly;
+pub mod oppoly;
+pub mod unipoly;
+
+pub use monomial::Monomial;
+pub use mpoly::MultiPoly;
+pub use oppoly::OpPoly;
+pub use unipoly::UniPoly;

@@ -1,0 +1,186 @@
+//! Monomials: exponent vectors over a fixed set of indexed variables.
+
+use std::fmt;
+
+/// A monomial `x₀^e₀ · x₁^e₁ · …` over `nvars` variables.
+///
+/// Stored as a dense exponent vector; the recurrence derivations use at most
+/// a few dozen variables, so density costs nothing and keeps ordering and
+/// hashing trivial.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Monomial {
+    exps: Vec<u32>,
+}
+
+impl Monomial {
+    /// The constant monomial (all exponents zero).
+    #[must_use]
+    pub fn one(nvars: usize) -> Self {
+        Monomial {
+            exps: vec![0; nvars],
+        }
+    }
+
+    /// The single variable `x_i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= nvars`.
+    #[must_use]
+    pub fn var(nvars: usize, i: usize) -> Self {
+        assert!(i < nvars, "variable {i} out of range (nvars = {nvars})");
+        let mut m = Self::one(nvars);
+        m.exps[i] = 1;
+        m
+    }
+
+    /// Build directly from exponents.
+    #[must_use]
+    pub fn from_exps(exps: Vec<u32>) -> Self {
+        Monomial { exps }
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn nvars(&self) -> usize {
+        self.exps.len()
+    }
+
+    /// Exponent of variable `i`.
+    #[must_use]
+    pub fn exp(&self, i: usize) -> u32 {
+        self.exps[i]
+    }
+
+    /// The exponent vector.
+    #[must_use]
+    pub fn exps(&self) -> &[u32] {
+        &self.exps
+    }
+
+    /// Total degree `Σ eᵢ`.
+    #[must_use]
+    pub fn total_degree(&self) -> u32 {
+        self.exps.iter().sum()
+    }
+
+    /// True if this is the constant monomial.
+    #[must_use]
+    pub fn is_one(&self) -> bool {
+        self.exps.iter().all(|&e| e == 0)
+    }
+
+    /// Product of two monomials (exponents add).
+    ///
+    /// # Panics
+    /// Panics if the variable counts differ.
+    #[must_use]
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        assert_eq!(self.nvars(), other.nvars(), "monomial nvars mismatch");
+        Monomial {
+            exps: self
+                .exps
+                .iter()
+                .zip(&other.exps)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Evaluate at a point.
+    ///
+    /// # Panics
+    /// Panics if `point.len() != nvars`.
+    #[must_use]
+    pub fn eval(&self, point: &[f64]) -> f64 {
+        assert_eq!(point.len(), self.nvars(), "monomial eval arity");
+        self.exps
+            .iter()
+            .zip(point)
+            .map(|(&e, &x)| x.powi(e as i32))
+            .product()
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_one() {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for (i, &e) in self.exps.iter().enumerate() {
+            if e == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, "·")?;
+            }
+            first = false;
+            if e == 1 {
+                write!(f, "x{i}")?;
+            } else {
+                write!(f, "x{i}^{e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_and_var() {
+        let one = Monomial::one(3);
+        assert!(one.is_one());
+        assert_eq!(one.total_degree(), 0);
+        assert_eq!(one.eval(&[2.0, 3.0, 4.0]), 1.0);
+
+        let x1 = Monomial::var(3, 1);
+        assert!(!x1.is_one());
+        assert_eq!(x1.exp(1), 1);
+        assert_eq!(x1.exp(0), 0);
+        assert_eq!(x1.eval(&[2.0, 3.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn var_out_of_range() {
+        let _ = Monomial::var(2, 2);
+    }
+
+    #[test]
+    fn mul_adds_exponents() {
+        let a = Monomial::from_exps(vec![1, 2, 0]);
+        let b = Monomial::from_exps(vec![0, 1, 3]);
+        let c = a.mul(&b);
+        assert_eq!(c.exps(), &[1, 3, 3]);
+        assert_eq!(c.total_degree(), 7);
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut ms = [
+            Monomial::from_exps(vec![0, 2]),
+            Monomial::from_exps(vec![1, 0]),
+            Monomial::from_exps(vec![0, 0]),
+        ];
+        ms.sort();
+        assert_eq!(ms[0].exps(), &[0, 0]);
+        assert_eq!(ms[1].exps(), &[0, 2]);
+        assert_eq!(ms[2].exps(), &[1, 0]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Monomial::one(2).to_string(), "1");
+        assert_eq!(Monomial::var(2, 0).to_string(), "x0");
+        assert_eq!(Monomial::from_exps(vec![2, 1]).to_string(), "x0^2·x1");
+    }
+
+    #[test]
+    fn eval_with_powers() {
+        let m = Monomial::from_exps(vec![2, 3]);
+        assert_eq!(m.eval(&[2.0, 2.0]), 32.0);
+    }
+}

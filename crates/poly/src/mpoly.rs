@@ -1,0 +1,349 @@
+//! Sparse multivariate polynomials with exact integer coefficients.
+
+use crate::monomial::Monomial;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A sparse multivariate polynomial `Σ c_m · m` with `i64` coefficients.
+///
+/// The recurrence-coefficient polynomials of the look-ahead CG derivation
+/// have integer coefficients (they arise from repeated `r ← r − λ·A·p`,
+/// `p ← r + α·p` substitutions), so exact integer arithmetic suffices and
+/// makes degree audits rigorous. Zero coefficients are never stored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiPoly {
+    nvars: usize,
+    terms: BTreeMap<Monomial, i64>,
+}
+
+impl MultiPoly {
+    /// The zero polynomial over `nvars` variables.
+    #[must_use]
+    pub fn zero(nvars: usize) -> Self {
+        MultiPoly {
+            nvars,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// The constant polynomial `c`.
+    #[must_use]
+    pub fn constant(nvars: usize, c: i64) -> Self {
+        let mut p = Self::zero(nvars);
+        if c != 0 {
+            p.terms.insert(Monomial::one(nvars), c);
+        }
+        p
+    }
+
+    /// The constant `1`.
+    #[must_use]
+    pub fn one(nvars: usize) -> Self {
+        Self::constant(nvars, 1)
+    }
+
+    /// The single variable `x_i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= nvars`.
+    #[must_use]
+    pub fn var(nvars: usize, i: usize) -> Self {
+        let mut p = Self::zero(nvars);
+        p.terms.insert(Monomial::var(nvars, i), 1);
+        p
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Number of stored (nonzero) terms.
+    #[must_use]
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if identically zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterate `(monomial, coefficient)` in canonical order.
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, i64)> {
+        self.terms.iter().map(|(m, &c)| (m, c))
+    }
+
+    /// Coefficient of a monomial (0 if absent).
+    #[must_use]
+    pub fn coeff(&self, m: &Monomial) -> i64 {
+        self.terms.get(m).copied().unwrap_or(0)
+    }
+
+    /// Add a term in place, removing the monomial if it cancels.
+    pub fn add_term(&mut self, m: Monomial, c: i64) {
+        assert_eq!(m.nvars(), self.nvars, "monomial arity mismatch");
+        if c == 0 {
+            return;
+        }
+        match self.terms.entry(m) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                *e.get_mut() += c;
+                if *e.get() == 0 {
+                    e.remove();
+                }
+            }
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(c);
+            }
+        }
+    }
+
+    /// Maximum exponent of variable `i` over all terms (0 for absent vars).
+    ///
+    /// This is the quantity the paper bounds by 2 ("at most quadratic in
+    /// each parameter separately").
+    #[must_use]
+    pub fn degree_in(&self, i: usize) -> u32 {
+        self.terms.keys().map(|m| m.exp(i)).max().unwrap_or(0)
+    }
+
+    /// Maximum total degree over all terms.
+    #[must_use]
+    pub fn total_degree(&self) -> u32 {
+        self.terms
+            .keys()
+            .map(Monomial::total_degree)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Evaluate at a point (`point.len() == nvars`).
+    #[must_use]
+    pub fn eval(&self, point: &[f64]) -> f64 {
+        self.terms
+            .iter()
+            .map(|(m, &c)| c as f64 * m.eval(point))
+            .sum()
+    }
+
+    /// Multiply by an integer scalar.
+    #[must_use]
+    pub fn scale(&self, s: i64) -> MultiPoly {
+        if s == 0 {
+            return Self::zero(self.nvars);
+        }
+        MultiPoly {
+            nvars: self.nvars,
+            terms: self.terms.iter().map(|(m, &c)| (m.clone(), c * s)).collect(),
+        }
+    }
+}
+
+impl Add for &MultiPoly {
+    type Output = MultiPoly;
+    fn add(self, rhs: &MultiPoly) -> MultiPoly {
+        assert_eq!(self.nvars, rhs.nvars, "polynomial arity mismatch");
+        let mut out = self.clone();
+        for (m, &c) in &rhs.terms {
+            let entry = out.terms.entry(m.clone()).or_insert(0);
+            *entry += c;
+            if *entry == 0 {
+                out.terms.remove(m);
+            }
+        }
+        out
+    }
+}
+
+impl Sub for &MultiPoly {
+    type Output = MultiPoly;
+    #[allow(clippy::suspicious_arithmetic_impl)] // a − b == a + (−b) by design
+    fn sub(self, rhs: &MultiPoly) -> MultiPoly {
+        self + &rhs.neg()
+    }
+}
+
+impl Neg for &MultiPoly {
+    type Output = MultiPoly;
+    fn neg(self) -> MultiPoly {
+        self.scale(-1)
+    }
+}
+
+impl Mul for &MultiPoly {
+    type Output = MultiPoly;
+    fn mul(self, rhs: &MultiPoly) -> MultiPoly {
+        assert_eq!(self.nvars, rhs.nvars, "polynomial arity mismatch");
+        let mut out = MultiPoly::zero(self.nvars);
+        for (ma, &ca) in &self.terms {
+            for (mb, &cb) in &rhs.terms {
+                let m = ma.mul(mb);
+                let entry = out.terms.entry(m.clone()).or_insert(0);
+                *entry += ca * cb;
+                if *entry == 0 {
+                    out.terms.remove(&m);
+                }
+            }
+        }
+        out
+    }
+}
+
+// Owned-operand conveniences so that expression code reads naturally.
+impl Add for MultiPoly {
+    type Output = MultiPoly;
+    fn add(self, rhs: MultiPoly) -> MultiPoly {
+        &self + &rhs
+    }
+}
+impl Sub for MultiPoly {
+    type Output = MultiPoly;
+    fn sub(self, rhs: MultiPoly) -> MultiPoly {
+        &self - &rhs
+    }
+}
+impl Mul for MultiPoly {
+    type Output = MultiPoly;
+    fn mul(self, rhs: MultiPoly) -> MultiPoly {
+        &self * &rhs
+    }
+}
+impl Neg for MultiPoly {
+    type Output = MultiPoly;
+    fn neg(self) -> MultiPoly {
+        (&self).neg()
+    }
+}
+
+impl fmt::Display for MultiPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (m, c) in self.terms.iter().rev() {
+            let sign = if *c < 0 {
+                "- "
+            } else if first {
+                ""
+            } else {
+                "+ "
+            };
+            let mag = c.abs();
+            if !first {
+                write!(f, " ")?;
+            }
+            first = false;
+            if m.is_one() {
+                write!(f, "{sign}{mag}")?;
+            } else if mag == 1 {
+                write!(f, "{sign}{m}")?;
+            } else {
+                write!(f, "{sign}{mag}·{m}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xy() -> (MultiPoly, MultiPoly) {
+        (MultiPoly::var(2, 0), MultiPoly::var(2, 1))
+    }
+
+    #[test]
+    fn constants_and_zero() {
+        let z = MultiPoly::zero(2);
+        assert!(z.is_zero());
+        assert_eq!(z.eval(&[1.0, 2.0]), 0.0);
+        assert_eq!(MultiPoly::constant(2, 0), z);
+        let c = MultiPoly::constant(2, 5);
+        assert_eq!(c.eval(&[9.0, 9.0]), 5.0);
+        assert_eq!(c.term_count(), 1);
+        assert_eq!(MultiPoly::one(2).eval(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn ring_identities() {
+        let (x, y) = xy();
+        // (x+y)(x−y) = x² − y²
+        let lhs = (&x + &y) * (&x - &y);
+        let x2 = &x * &x;
+        let y2 = &y * &y;
+        assert_eq!(lhs, &x2 - &y2);
+        // additive inverse
+        assert!((&x - &x).is_zero());
+        // distributivity
+        let a = &x * &(&y + &MultiPoly::one(2));
+        let b = &(&x * &y) + &x;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cancellation_removes_terms() {
+        let (x, _) = xy();
+        let p = &x + &x.scale(-1);
+        assert!(p.is_zero());
+        assert_eq!(p.term_count(), 0);
+        let mut q = MultiPoly::zero(2);
+        q.add_term(Monomial::var(2, 0), 3);
+        q.add_term(Monomial::var(2, 0), -3);
+        assert!(q.is_zero());
+        q.add_term(Monomial::var(2, 1), 0); // no-op
+        assert!(q.is_zero());
+    }
+
+    #[test]
+    fn degrees() {
+        let (x, y) = xy();
+        let p = &(&x * &x) * &y; // x²y
+        assert_eq!(p.degree_in(0), 2);
+        assert_eq!(p.degree_in(1), 1);
+        assert_eq!(p.total_degree(), 3);
+        assert_eq!(MultiPoly::zero(2).total_degree(), 0);
+        assert_eq!(MultiPoly::constant(2, 7).total_degree(), 0);
+    }
+
+    #[test]
+    fn eval_matches_hand_computation() {
+        let (x, y) = xy();
+        // p = 2x²y − 3y + 1
+        let p = &(&(&x * &x) * &y).scale(2) + &(&y.scale(-3) + &MultiPoly::one(2));
+        let v = p.eval(&[2.0, 5.0]);
+        assert_eq!(v, 2.0 * 4.0 * 5.0 - 15.0 + 1.0);
+    }
+
+    #[test]
+    fn coeff_lookup() {
+        let (x, y) = xy();
+        let p = &(&x * &y).scale(4) + &MultiPoly::constant(2, -2);
+        assert_eq!(p.coeff(&Monomial::from_exps(vec![1, 1])), 4);
+        assert_eq!(p.coeff(&Monomial::one(2)), -2);
+        assert_eq!(p.coeff(&Monomial::var(2, 0)), 0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let (x, y) = xy();
+        let p = &(&x * &x).scale(2) - &y;
+        let s = p.to_string();
+        assert!(s.contains("2·x0^2"), "{s}");
+        assert!(s.contains("- x1"), "{s}");
+        assert_eq!(MultiPoly::zero(1).to_string(), "0");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let a = MultiPoly::var(2, 0);
+        let b = MultiPoly::var(3, 0);
+        let _ = &a + &b;
+    }
+}

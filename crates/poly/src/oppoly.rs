@@ -1,0 +1,296 @@
+//! Polynomials in the operator `A` with [`MultiPoly`] coefficients.
+//!
+//! The symbolic derivation of the look-ahead recurrences represents the CG
+//! vectors at iteration `n` in the Krylov basis of iteration `n−k`:
+//!
+//! ```text
+//! r⁽ⁿ⁾ = R(A)·r⁽ⁿ⁻ᵏ⁾ + S(A)·p⁽ⁿ⁻ᵏ⁾
+//! p⁽ⁿ⁾ = U(A)·r⁽ⁿ⁻ᵏ⁾ + V(A)·p⁽ⁿ⁻ᵏ⁾
+//! ```
+//!
+//! where `R, S, U, V` are [`OpPoly`]s — polynomials in `A` whose scalar
+//! coefficients are themselves polynomials in the CG parameters `{αⱼ, λⱼ}`.
+//! Running the CG updates symbolically is then just `OpPoly` arithmetic.
+
+use crate::mpoly::MultiPoly;
+use std::fmt;
+
+/// A polynomial `Σᵢ cᵢ(params)·Aⁱ` in an abstract operator `A`, with
+/// multivariate-polynomial coefficients `cᵢ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpPoly {
+    nvars: usize,
+    /// Coefficient of `Aⁱ` at index `i`. Trailing zero coefficients are
+    /// trimmed, so `coeffs.len() == degree + 1` (or 0 for the zero poly).
+    coeffs: Vec<MultiPoly>,
+}
+
+impl OpPoly {
+    /// The zero polynomial.
+    #[must_use]
+    pub fn zero(nvars: usize) -> Self {
+        OpPoly {
+            nvars,
+            coeffs: Vec::new(),
+        }
+    }
+
+    /// The constant polynomial `1` (i.e. the identity operator).
+    #[must_use]
+    pub fn one(nvars: usize) -> Self {
+        OpPoly {
+            nvars,
+            coeffs: vec![MultiPoly::one(nvars)],
+        }
+    }
+
+    /// Build from coefficients (index `i` multiplies `Aⁱ`).
+    #[must_use]
+    pub fn from_coeffs(nvars: usize, coeffs: Vec<MultiPoly>) -> Self {
+        for c in &coeffs {
+            assert_eq!(c.nvars(), nvars, "coefficient arity mismatch");
+        }
+        let mut p = OpPoly { nvars, coeffs };
+        p.trim();
+        p
+    }
+
+    fn trim(&mut self) {
+        while self.coeffs.last().is_some_and(MultiPoly::is_zero) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// Number of parameter variables.
+    #[must_use]
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Degree in `A` (`None` for the zero polynomial).
+    #[must_use]
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// True if identically zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Coefficient of `Aⁱ` (zero polynomial if beyond the degree).
+    #[must_use]
+    pub fn coeff(&self, i: usize) -> MultiPoly {
+        self.coeffs
+            .get(i)
+            .cloned()
+            .unwrap_or_else(|| MultiPoly::zero(self.nvars))
+    }
+
+    /// Borrow all coefficients (trailing zeros trimmed).
+    #[must_use]
+    pub fn coeffs(&self) -> &[MultiPoly] {
+        &self.coeffs
+    }
+
+    /// Sum of two operator polynomials.
+    #[must_use]
+    pub fn add(&self, other: &OpPoly) -> OpPoly {
+        assert_eq!(self.nvars, other.nvars, "oppoly arity mismatch");
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let coeffs = (0..n).map(|i| &self.coeff(i) + &other.coeff(i)).collect();
+        OpPoly::from_coeffs(self.nvars, coeffs)
+    }
+
+    /// Difference.
+    #[must_use]
+    pub fn sub(&self, other: &OpPoly) -> OpPoly {
+        self.add(&other.scale(&MultiPoly::constant(self.nvars, -1)))
+    }
+
+    /// Multiply every coefficient by a scalar polynomial `s(params)`.
+    #[must_use]
+    pub fn scale(&self, s: &MultiPoly) -> OpPoly {
+        let coeffs = self.coeffs.iter().map(|c| c * s).collect();
+        OpPoly::from_coeffs(self.nvars, coeffs)
+    }
+
+    /// Multiply by `A` (shift coefficients up one power).
+    #[must_use]
+    pub fn mul_a(&self) -> OpPoly {
+        if self.is_zero() {
+            return self.clone();
+        }
+        let mut coeffs = Vec::with_capacity(self.coeffs.len() + 1);
+        coeffs.push(MultiPoly::zero(self.nvars));
+        coeffs.extend(self.coeffs.iter().cloned());
+        OpPoly::from_coeffs(self.nvars, coeffs)
+    }
+
+    /// Full product of two operator polynomials.
+    #[must_use]
+    pub fn mul(&self, other: &OpPoly) -> OpPoly {
+        assert_eq!(self.nvars, other.nvars, "oppoly arity mismatch");
+        if self.is_zero() || other.is_zero() {
+            return OpPoly::zero(self.nvars);
+        }
+        let mut coeffs =
+            vec![MultiPoly::zero(self.nvars); self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, a) in self.coeffs.iter().enumerate() {
+            for (j, b) in other.coeffs.iter().enumerate() {
+                coeffs[i + j] = &coeffs[i + j] + &(a * b);
+            }
+        }
+        OpPoly::from_coeffs(self.nvars, coeffs)
+    }
+
+    /// The "symmetric bilinear collapse" used by the inner-product
+    /// recurrences: given `x = X(A)·u + …` and `y = Y(A)·v + …` with `A`
+    /// symmetric, the contribution of the `(u, v)` moment family to `(x, y)`
+    /// is `Σ_m [Σ_{i+j=m} Xᵢ·Yⱼ] · (u, Aᵐ v)`.
+    ///
+    /// Returns the coefficient list indexed by the moment order `m`.
+    #[must_use]
+    pub fn bilinear_moments(&self, other: &OpPoly) -> Vec<MultiPoly> {
+        self.mul(other).coeffs.to_vec()
+    }
+
+    /// Evaluate the coefficients at a parameter point, producing plain `f64`
+    /// coefficients of `Aⁱ`.
+    #[must_use]
+    pub fn eval_params(&self, point: &[f64]) -> Vec<f64> {
+        self.coeffs.iter().map(|c| c.eval(point)).collect()
+    }
+}
+
+impl fmt::Display for OpPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (i, c) in self.coeffs.iter().enumerate() {
+            if c.is_zero() {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            match i {
+                0 => write!(f, "({c})")?,
+                1 => write!(f, "({c})·A")?,
+                _ => write!(f, "({c})·A^{i}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lam() -> MultiPoly {
+        MultiPoly::var(2, 0)
+    }
+    fn alf() -> MultiPoly {
+        MultiPoly::var(2, 1)
+    }
+
+    #[test]
+    fn zero_one_degree() {
+        let z = OpPoly::zero(2);
+        assert!(z.is_zero());
+        assert_eq!(z.degree(), None);
+        let one = OpPoly::one(2);
+        assert_eq!(one.degree(), Some(0));
+        assert_eq!(one.coeff(0), MultiPoly::one(2));
+        assert!(one.coeff(5).is_zero());
+    }
+
+    #[test]
+    fn trim_removes_trailing_zeros() {
+        let p = OpPoly::from_coeffs(
+            2,
+            vec![MultiPoly::one(2), MultiPoly::zero(2), MultiPoly::zero(2)],
+        );
+        assert_eq!(p.degree(), Some(0));
+        assert_eq!(p.coeffs().len(), 1);
+    }
+
+    #[test]
+    fn cg_one_step_symbolically() {
+        // One CG step from base (r, p): r' = r − λ·A·p. Represent
+        // r = 1·r_base (R = 1, S = 0), p = 1·p_base (U = 0, V = 1).
+        let r_r = OpPoly::one(2); // R(A) multiplying r_base
+        let r_p = OpPoly::zero(2); // S(A) multiplying p_base
+        let p_r = OpPoly::zero(2);
+        let p_p = OpPoly::one(2);
+
+        // r' = r − λ A p  →  R' = R − λ·A·U, S' = S − λ·A·V
+        let lam_p = lam();
+        let r_r2 = r_r.sub(&p_r.mul_a().scale(&lam_p));
+        let r_p2 = r_p.sub(&p_p.mul_a().scale(&lam_p));
+        assert_eq!(r_r2, OpPoly::one(2)); // unchanged
+        assert_eq!(r_p2.degree(), Some(1));
+        assert_eq!(r_p2.coeff(1), lam().scale(-1)); // coefficient −λ on A¹
+
+        // p' = r' + α p  →  U' = R' + α·U, V' = S' + α·V
+        let p_r2 = r_r2.add(&p_r.scale(&alf()));
+        let p_p2 = r_p2.add(&p_p.scale(&alf()));
+        assert_eq!(p_r2, OpPoly::one(2));
+        assert_eq!(p_p2.coeff(0), alf());
+        assert_eq!(p_p2.coeff(1), lam().scale(-1));
+    }
+
+    #[test]
+    fn mul_matches_manual_convolution() {
+        // (1 + A)·(1 − A) = 1 − A²
+        let one = OpPoly::one(1);
+        let a = OpPoly::from_coeffs(1, vec![MultiPoly::zero(1), MultiPoly::one(1)]);
+        let p = one.add(&a);
+        let q = one.sub(&a);
+        let prod = p.mul(&q);
+        assert_eq!(prod.degree(), Some(2));
+        assert_eq!(prod.coeff(0), MultiPoly::one(1));
+        assert!(prod.coeff(1).is_zero());
+        assert_eq!(prod.coeff(2), MultiPoly::constant(1, -1));
+    }
+
+    #[test]
+    fn bilinear_moments_is_product_coefficients() {
+        let a = OpPoly::from_coeffs(1, vec![MultiPoly::one(1), MultiPoly::one(1)]); // 1 + A
+        let m = a.bilinear_moments(&a); // (1+A)² → moments [1, 2, 1]
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0], MultiPoly::one(1));
+        assert_eq!(m[1], MultiPoly::constant(1, 2));
+        assert_eq!(m[2], MultiPoly::one(1));
+    }
+
+    #[test]
+    fn eval_params_numeric() {
+        // p = λ + α·A at (λ=2, α=3) → [2, 3]
+        let p = OpPoly::from_coeffs(2, vec![lam(), alf()]);
+        assert_eq!(p.eval_params(&[2.0, 3.0]), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn mul_by_zero_is_zero() {
+        let a = OpPoly::one(1).mul_a();
+        assert!(a.mul(&OpPoly::zero(1)).is_zero());
+        assert!(OpPoly::zero(1).mul_a().is_zero());
+    }
+
+    #[test]
+    fn display_includes_powers() {
+        let p = OpPoly::from_coeffs(
+            2,
+            vec![MultiPoly::one(2), lam().scale(-1), alf()],
+        );
+        let s = p.to_string();
+        assert!(s.contains("A^2"), "{s}");
+        assert_eq!(OpPoly::zero(1).to_string(), "0");
+    }
+}

@@ -1,0 +1,269 @@
+//! Dense univariate polynomials over `f64`.
+//!
+//! The numeric side of the solver uses these for evaluated recurrence
+//! coefficients and for the Chebyshev-basis extension (E9 mitigation study).
+
+use std::fmt;
+
+/// A dense univariate polynomial `Σᵢ cᵢ·xⁱ`, trailing zeros trimmed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniPoly {
+    coeffs: Vec<f64>,
+}
+
+impl UniPoly {
+    /// The zero polynomial.
+    #[must_use]
+    pub fn zero() -> Self {
+        UniPoly { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial.
+    #[must_use]
+    pub fn constant(c: f64) -> Self {
+        UniPoly::from_coeffs(vec![c])
+    }
+
+    /// `x` itself.
+    #[must_use]
+    pub fn x() -> Self {
+        UniPoly::from_coeffs(vec![0.0, 1.0])
+    }
+
+    /// Build from coefficients (index `i` multiplies `xⁱ`); trailing zeros
+    /// are trimmed.
+    #[must_use]
+    pub fn from_coeffs(coeffs: Vec<f64>) -> Self {
+        let mut p = UniPoly { coeffs };
+        p.trim();
+        p
+    }
+
+    /// Monic polynomial with the given roots: `Π (x − rᵢ)`.
+    #[must_use]
+    pub fn from_roots(roots: &[f64]) -> Self {
+        let mut p = UniPoly::constant(1.0);
+        for &r in roots {
+            p = p.mul(&UniPoly::from_coeffs(vec![-r, 1.0]));
+        }
+        p
+    }
+
+    fn trim(&mut self) {
+        while self.coeffs.last() == Some(&0.0) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// Degree (`None` for the zero polynomial).
+    #[must_use]
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Coefficients (trailing zeros trimmed).
+    #[must_use]
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Coefficient of `xⁱ` (0 beyond the degree).
+    #[must_use]
+    pub fn coeff(&self, i: usize) -> f64 {
+        self.coeffs.get(i).copied().unwrap_or(0.0)
+    }
+
+    /// Horner evaluation.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        let mut acc = 0.0;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Sum.
+    #[must_use]
+    pub fn add(&self, other: &UniPoly) -> UniPoly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        UniPoly::from_coeffs((0..n).map(|i| self.coeff(i) + other.coeff(i)).collect())
+    }
+
+    /// Difference.
+    #[must_use]
+    pub fn sub(&self, other: &UniPoly) -> UniPoly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        UniPoly::from_coeffs((0..n).map(|i| self.coeff(i) - other.coeff(i)).collect())
+    }
+
+    /// Product.
+    #[must_use]
+    pub fn mul(&self, other: &UniPoly) -> UniPoly {
+        if self.coeffs.is_empty() || other.coeffs.is_empty() {
+            return UniPoly::zero();
+        }
+        let mut out = vec![0.0; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, a) in self.coeffs.iter().enumerate() {
+            for (j, b) in other.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        UniPoly::from_coeffs(out)
+    }
+
+    /// Scalar multiple.
+    #[must_use]
+    pub fn scale(&self, s: f64) -> UniPoly {
+        UniPoly::from_coeffs(self.coeffs.iter().map(|c| c * s).collect())
+    }
+
+    /// Derivative.
+    #[must_use]
+    pub fn derivative(&self) -> UniPoly {
+        if self.coeffs.len() <= 1 {
+            return UniPoly::zero();
+        }
+        UniPoly::from_coeffs(
+            self.coeffs
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(i, c)| i as f64 * c)
+                .collect(),
+        )
+    }
+
+    /// The degree-`n` Chebyshev polynomial of the first kind on `[-1, 1]`.
+    ///
+    /// Used by the stable-basis extension of the look-ahead solver: power
+    /// bases `{Aⁱ v}` become numerically dependent for large `i`; Chebyshev
+    /// bases do not.
+    #[must_use]
+    pub fn chebyshev(n: usize) -> UniPoly {
+        match n {
+            0 => UniPoly::constant(1.0),
+            1 => UniPoly::x(),
+            _ => {
+                let mut t0 = UniPoly::constant(1.0);
+                let mut t1 = UniPoly::x();
+                for _ in 2..=n {
+                    // T_{m+1} = 2x·T_m − T_{m−1}
+                    let t2 = UniPoly::x().mul(&t1).scale(2.0).sub(&t0);
+                    t0 = t1;
+                    t1 = t2;
+                }
+                t1
+            }
+        }
+    }
+}
+
+impl fmt::Display for UniPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.coeffs.is_empty() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            if c == 0.0 {
+                continue;
+            }
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            match i {
+                0 => write!(f, "{c}")?,
+                1 => write!(f, "{c}·x")?,
+                _ => write!(f, "{c}·x^{i}")?,
+            }
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let z = UniPoly::zero();
+        assert_eq!(z.degree(), None);
+        assert_eq!(z.eval(3.0), 0.0);
+        let c = UniPoly::constant(4.0);
+        assert_eq!(c.degree(), Some(0));
+        assert_eq!(c.eval(100.0), 4.0);
+        assert_eq!(UniPoly::x().eval(7.0), 7.0);
+        assert_eq!(UniPoly::constant(0.0), z);
+    }
+
+    #[test]
+    fn horner_matches_naive() {
+        let p = UniPoly::from_coeffs(vec![1.0, -2.0, 0.0, 3.0]); // 1 − 2x + 3x³
+        for x in [-2.0, -0.5, 0.0, 1.0, 2.5] {
+            let naive = 1.0 - 2.0 * x + 3.0 * x * x * x;
+            assert!((p.eval(x) - naive).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let p = UniPoly::from_coeffs(vec![1.0, 2.0]);
+        let q = UniPoly::from_coeffs(vec![-1.0, 0.0, 4.0]);
+        let s = p.add(&q);
+        assert_eq!(s.coeffs(), &[0.0, 2.0, 4.0]);
+        assert_eq!(p.sub(&p), UniPoly::zero());
+        let prod = p.mul(&q);
+        // (1+2x)(−1+4x²) = −1 −2x +4x² +8x³
+        assert_eq!(prod.coeffs(), &[-1.0, -2.0, 4.0, 8.0]);
+        assert!(p.mul(&UniPoly::zero()).coeffs().is_empty());
+        assert_eq!(p.scale(3.0).coeffs(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn from_roots_vanishes_at_roots() {
+        let p = UniPoly::from_roots(&[1.0, -2.0, 0.5]);
+        assert_eq!(p.degree(), Some(3));
+        for r in [1.0, -2.0, 0.5] {
+            assert!(p.eval(r).abs() < 1e-12);
+        }
+        assert!(p.eval(3.0).abs() > 0.1);
+    }
+
+    #[test]
+    fn derivative_rules() {
+        let p = UniPoly::from_coeffs(vec![5.0, 3.0, 2.0]); // 5 + 3x + 2x²
+        assert_eq!(p.derivative().coeffs(), &[3.0, 4.0]);
+        assert_eq!(UniPoly::constant(9.0).derivative(), UniPoly::zero());
+        assert_eq!(UniPoly::zero().derivative(), UniPoly::zero());
+    }
+
+    #[test]
+    fn chebyshev_recurrence_and_bound() {
+        // T₀..T₅ sanity: |T_n(x)| ≤ 1 on [−1,1]; T_n(1) = 1.
+        for n in 0..=5 {
+            let t = UniPoly::chebyshev(n);
+            assert_eq!(t.degree(), Some(n));
+            assert!((t.eval(1.0) - 1.0).abs() < 1e-12, "T_{n}(1)");
+            for i in 0..=20 {
+                let x = -1.0 + 2.0 * i as f64 / 20.0;
+                assert!(t.eval(x).abs() <= 1.0 + 1e-10, "T_{n}({x})");
+            }
+        }
+        // closed form: T₃ = 4x³ − 3x
+        assert_eq!(UniPoly::chebyshev(3).coeffs(), &[0.0, -3.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn display() {
+        let p = UniPoly::from_coeffs(vec![1.0, 0.0, -2.0]);
+        let s = p.to_string();
+        assert!(s.contains("x^2"), "{s}");
+        assert_eq!(UniPoly::zero().to_string(), "0");
+    }
+}

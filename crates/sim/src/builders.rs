@@ -1,0 +1,1128 @@
+//! Task-graph builders for every CG variant studied.
+//!
+//! Each builder unrolls `iters` iterations of an algorithm into a
+//! [`TaskGraph`] whose dependency structure matches the algorithm's true
+//! dataflow. The graphs are *structural*: vector contents are not computed,
+//! only the shape of the computation, which is what the paper's complexity
+//! claims are about.
+//!
+//! Per-iteration steady-state critical paths under [`MachineModel::pram`]
+//! (`c` = one flop, `N` = vector length, `d` = nonzeros/row, `k` =
+//! look-ahead):
+//!
+//! | builder | steady cycle | serialized reductions |
+//! |---|---|---|
+//! | [`standard_cg`] | `2·log N + log d + O(1)` | 2 |
+//! | [`overlap_k1`] (§3) | `log N + 2·log d + O(1)` | 1 |
+//! | [`chronopoulos_gear`] | `log N + log d + O(1)` | 1 |
+//! | [`pipelined_cg`] | `max(log N, log d) + O(1)` | 1, hidden behind SpMV |
+//! | [`lookahead_cg`] (§4-5) | `max(log d, log k) + (log N)/k + O(1)` | amortized over k iterations |
+//!
+//! With `k = log₂ N` the look-ahead cycle is `max(log d, log log N) + O(1)`
+//! — the paper's headline claim (§6).
+//!
+//! [`MachineModel::pram`]: crate::model::MachineModel::pram
+
+use crate::graph::{AlgoDag, NodeId, OpKind, TaskGraph};
+
+/// Standard Hestenes-Stiefel CG (paper §2).
+///
+/// Two inner products serialize per iteration:
+/// `r → (r,r) → α → p → Ap → (p,Ap) → λ → r'`.
+#[must_use]
+pub fn standard_cg(n: usize, d: usize, iters: usize) -> AlgoDag {
+    assert!(iters >= 4, "need ≥ 4 iterations");
+    let mut g = TaskGraph::new();
+    let src = g.add(OpKind::Source, "init", None, &[]);
+
+    // iteration-carried state nodes
+    let mut u = src;
+    let mut r = g.add(OpKind::Elementwise { n }, "r0 = b - A*u0", Some(0), &[src]);
+    let mut p = g.add(OpKind::Elementwise { n }, "p0 = r0", Some(0), &[r]);
+    let mut dot_rr = g.add(OpKind::Dot { n }, "(r0,r0)", Some(0), &[r]);
+
+    let mut milestones = Vec::with_capacity(iters);
+    for it in 0..iters {
+        let ap = g.add(OpKind::SpMv { n, d }, format!("A*p[{it}]"), Some(it), &[p]);
+        let dot_pap = g.add(OpKind::Dot { n }, format!("(p,Ap)[{it}]"), Some(it), &[p, ap]);
+        let lambda = g.add(
+            OpKind::Scalar,
+            format!("lambda[{it}]"),
+            Some(it),
+            &[dot_rr, dot_pap],
+        );
+        let u_next = g.add(
+            OpKind::Elementwise { n },
+            format!("u[{}]", it + 1),
+            Some(it),
+            &[u, lambda, p],
+        );
+        let r_next = g.add(
+            OpKind::Elementwise { n },
+            format!("r[{}]", it + 1),
+            Some(it),
+            &[r, lambda, ap],
+        );
+        let dot_rr_next = g.add(
+            OpKind::Dot { n },
+            format!("(r,r)[{}]", it + 1),
+            Some(it),
+            &[r_next],
+        );
+        let alpha = g.add(
+            OpKind::Scalar,
+            format!("alpha[{}]", it + 1),
+            Some(it),
+            &[dot_rr_next, dot_rr],
+        );
+        let p_next = g.add(
+            OpKind::Elementwise { n },
+            format!("p[{}]", it + 1),
+            Some(it),
+            &[r_next, alpha, p],
+        );
+        milestones.push(u_next);
+        u = u_next;
+        r = r_next;
+        p = p_next;
+        dot_rr = dot_rr_next;
+    }
+
+    AlgoDag {
+        graph: g,
+        milestones,
+        name: "standard-cg",
+    }
+}
+
+/// The paper's §3 one-step overlap: the inner products needed at iteration
+/// `n` are launched on iteration-`n−1` vectors, so their `log N` fan-ins
+/// overlap one iteration of vector work. Approximately doubles parallel
+/// speed when `log N ≫ log d` (claim C2).
+///
+/// Inner products launched each iteration (on that iteration's vectors):
+/// `(r,r), (r,w), (w,w), (p,w), (r,Aw), (p,Aw)` with `w = A·p` — enough to
+/// reconstruct `(r⁺,r⁺)` and `(p⁺,Ap⁺)` by scalar recurrences.
+#[must_use]
+pub fn overlap_k1(n: usize, d: usize, iters: usize) -> AlgoDag {
+    assert!(iters >= 4, "need ≥ 4 iterations");
+    let mut g = TaskGraph::new();
+    let src = g.add(OpKind::Source, "init", None, &[]);
+
+    let mut u = src;
+    let mut r = g.add(OpKind::Elementwise { n }, "r0", Some(0), &[src]);
+    let mut p = g.add(OpKind::Elementwise { n }, "p0", Some(0), &[r]);
+    let mut w = g.add(OpKind::SpMv { n, d }, "w0 = A*p0", Some(0), &[p]);
+    let mut w2 = g.add(OpKind::SpMv { n, d }, "w2_0 = A*w0", Some(0), &[w]);
+
+    // Launch the six dots of iteration 0 directly (start-up).
+    let mut dots = launch_overlap_dots(&mut g, 0, n, r, p, w, w2);
+    // Start-up scalars: direct lambda/alpha from the dots.
+    let mut lambda = g.add(OpKind::Scalar, "lambda[0]", Some(0), &[dots[0], dots[3]]);
+    let mut rr_scalar = dots[0];
+
+    let mut milestones = Vec::with_capacity(iters);
+    for it in 1..=iters {
+        // Scalar recurrences of iteration `it` consume dots launched at
+        // `it−1` (already complete or completing — that is the overlap).
+        let rr = g.add(
+            OpKind::Scalar,
+            format!("(r,r)[{it}] via recurrence"),
+            Some(it),
+            &[dots[0], dots[1], dots[2], lambda],
+        );
+        let alpha = g.add(
+            OpKind::Scalar,
+            format!("alpha[{it}]"),
+            Some(it),
+            &[rr, rr_scalar],
+        );
+        let pap = g.add(
+            OpKind::Scalar,
+            format!("(p,Ap)[{it}] via recurrence"),
+            Some(it),
+            &[dots[1], dots[3], dots[4], dots[5], lambda, alpha],
+        );
+        let lambda_next = g.add(OpKind::Scalar, format!("lambda[{it}]"), Some(it), &[rr, pap]);
+
+        // Vector updates use the *previous* lambda (already available).
+        let u_next = g.add(
+            OpKind::Elementwise { n },
+            format!("u[{it}]"),
+            Some(it),
+            &[u, lambda, p],
+        );
+        let r_next = g.add(
+            OpKind::Elementwise { n },
+            format!("r[{it}]"),
+            Some(it),
+            &[r, lambda, w],
+        );
+        let p_next = g.add(
+            OpKind::Elementwise { n },
+            format!("p[{it}]"),
+            Some(it),
+            &[r_next, alpha, p],
+        );
+        let w_next = g.add(
+            OpKind::SpMv { n, d },
+            format!("w[{it}] = A*p[{it}]"),
+            Some(it),
+            &[p_next],
+        );
+        let w2_next = g.add(
+            OpKind::SpMv { n, d },
+            format!("w2[{it}] = A*w[{it}]"),
+            Some(it),
+            &[w_next],
+        );
+        let dots_next = launch_overlap_dots(&mut g, it, n, r_next, p_next, w_next, w2_next);
+
+        milestones.push(u_next);
+        u = u_next;
+        r = r_next;
+        p = p_next;
+        w = w_next;
+        w2 = w2_next;
+        let _ = w2;
+        dots = dots_next;
+        lambda = lambda_next;
+        rr_scalar = rr;
+    }
+
+    AlgoDag {
+        graph: g,
+        milestones,
+        name: "overlap-k1",
+    }
+}
+
+fn launch_overlap_dots(
+    g: &mut TaskGraph,
+    it: usize,
+    n: usize,
+    r: NodeId,
+    p: NodeId,
+    w: NodeId,
+    w2: NodeId,
+) -> [NodeId; 6] {
+    [
+        g.add(OpKind::Dot { n }, format!("(r,r)[{it}]"), Some(it), &[r]),
+        g.add(OpKind::Dot { n }, format!("(r,w)[{it}]"), Some(it), &[r, w]),
+        g.add(OpKind::Dot { n }, format!("(w,w)[{it}]"), Some(it), &[w]),
+        g.add(OpKind::Dot { n }, format!("(p,w)[{it}]"), Some(it), &[p, w]),
+        g.add(OpKind::Dot { n }, format!("(r,Aw)[{it}]"), Some(it), &[r, w2]),
+        g.add(OpKind::Dot { n }, format!("(p,Aw)[{it}]"), Some(it), &[p, w2]),
+    ]
+}
+
+/// General look-ahead CG (paper §4-5) with look-ahead `k`.
+///
+/// Maintains the vector families `zᵢ = Aⁱ·r` (i ≤ k) and `wᵢ = Aⁱ·p`
+/// (i ≤ k+1) by recurrences costing **one SpMV per iteration** (claim C4);
+/// launches the `3(2k+1)` moment inner products on iteration-`n` vectors;
+/// consumes them `k` iterations later through a `log(3(2k+1))`-deep scalar
+/// summation (the paper's relation (*)), with coefficient evaluation
+/// pipelined one parameter per iteration.
+#[must_use]
+pub fn lookahead_cg(n: usize, d: usize, iters: usize, k: usize) -> AlgoDag {
+    assert!(iters >= 4, "need ≥ 4 iterations");
+    let k = k.max(1);
+    let ndots = 3 * (2 * k + 1);
+    let mut g = TaskGraph::new();
+    let src = g.add(OpKind::Source, "init", None, &[]);
+
+    let mut u = src;
+    // z[i] = A^i r, i = 0..=k ; w[i] = A^i p, i = 0..=k+1.
+    // Start-up: build the families by repeated SpMV (the paper's
+    // "initial start up").
+    let r0 = g.add(OpKind::Elementwise { n }, "r0", Some(0), &[src]);
+    let mut z: Vec<NodeId> = vec![r0];
+    for i in 1..=k {
+        let prev = z[i - 1];
+        z.push(g.add(OpKind::SpMv { n, d }, format!("z{i}[0]"), Some(0), &[prev]));
+    }
+    let p0 = g.add(OpKind::Elementwise { n }, "p0", Some(0), &[r0]);
+    let mut w: Vec<NodeId> = vec![p0];
+    for i in 1..=k + 1 {
+        let prev = w[i - 1];
+        w.push(g.add(OpKind::SpMv { n, d }, format!("w{i}[0]"), Some(0), &[prev]));
+    }
+
+    // Dot batches per iteration (launched on that iteration's families).
+    let mut dot_batches: Vec<Vec<NodeId>> = Vec::with_capacity(iters + 1);
+    dot_batches.push(launch_moment_dots(&mut g, 0, n, k, &z, &w));
+
+    // Scalar pipeline state.
+    let mut coef = g.add(OpKind::Scalar, "coef[0]", Some(0), &[src]);
+    let mut lambda = g.add(
+        OpKind::Scalar,
+        "lambda[0]",
+        Some(0),
+        &[dot_batches[0][0], dot_batches[0][1]],
+    );
+    let mut alpha = g.add(OpKind::Scalar, "alpha[0]", Some(0), &[dot_batches[0][0]]);
+    let mut sum_rr_prev = dot_batches[0][0];
+
+    let mut milestones = Vec::with_capacity(iters);
+    for it in 1..=iters {
+        // -------- scalar side --------
+        // Coefficient pipeline: one new (alpha, lambda) pair folded in per
+        // iteration, O(1) depth (paper: "in a pipelined fashion").
+        coef = g.add(
+            OpKind::Scalar,
+            format!("coef[{it}]"),
+            Some(it),
+            &[coef, lambda, alpha],
+        );
+        // The recurrence-relation summations consume the dot batch from
+        // iteration max(it − k, 0) — start-up iterations fall back to the
+        // freshest available batch (direct mode).
+        let src_batch = it.saturating_sub(k).min(dot_batches.len() - 1);
+        let mut deps: Vec<NodeId> = dot_batches[src_batch].clone();
+        deps.push(coef);
+        let sum_rr = g.add(
+            OpKind::ScalarSum { m: ndots },
+            format!("(r,r)[{it}] summation"),
+            Some(it),
+            &deps,
+        );
+        let sum_pap = g.add(
+            OpKind::ScalarSum { m: ndots },
+            format!("(p,Ap)[{it}] summation"),
+            Some(it),
+            &deps,
+        );
+        let lambda_next = g.add(
+            OpKind::Scalar,
+            format!("lambda[{it}]"),
+            Some(it),
+            &[sum_rr, sum_pap],
+        );
+        let alpha_next = g.add(
+            OpKind::Scalar,
+            format!("alpha[{it}]"),
+            Some(it),
+            &[sum_rr, sum_rr_prev],
+        );
+
+        // -------- vector side --------
+        // z_i ← z_i − λ·w_{i+1}  (i = 0..=k−1 need w_1..=w_k; z_k uses w_{k+1})
+        let mut z_next = Vec::with_capacity(k + 1);
+        for i in 0..=k {
+            z_next.push(g.add(
+                OpKind::Elementwise { n },
+                format!("z{i}[{it}]"),
+                Some(it),
+                &[z[i], w[i + 1], lambda],
+            ));
+        }
+        // w_i ← z_i + α·w_i (i = 0..=k), then w_{k+1} = A·w_k: ONE SpMV.
+        let mut w_next = Vec::with_capacity(k + 2);
+        for i in 0..=k {
+            w_next.push(g.add(
+                OpKind::Elementwise { n },
+                format!("w{i}[{it}]"),
+                Some(it),
+                &[z_next[i], w[i], alpha_next],
+            ));
+        }
+        let top = w_next[k];
+        w_next.push(g.add(
+            OpKind::SpMv { n, d },
+            format!("w{}[{it}] = A*w{k}[{it}]", k + 1),
+            Some(it),
+            &[top],
+        ));
+
+        let u_next = g.add(
+            OpKind::Elementwise { n },
+            format!("u[{it}]"),
+            Some(it),
+            &[u, lambda, w[0]],
+        );
+
+        dot_batches.push(launch_moment_dots(&mut g, it, n, k, &z_next, &w_next));
+
+        milestones.push(u_next);
+        u = u_next;
+        z = z_next;
+        w = w_next;
+        lambda = lambda_next;
+        alpha = alpha_next;
+        sum_rr_prev = sum_rr;
+    }
+
+    AlgoDag {
+        graph: g,
+        milestones,
+        name: "lookahead-cg",
+    }
+}
+
+/// Launch the `3(2k+1)` moment inner products
+/// `(r,Aⁱr), (r,Aⁱp), (p,Aⁱp)` for `i = 0..=2k`, each realized as a dot of
+/// two available family vectors via symmetry `(Aᵃx, Aᵇy) = (x, Aᵃ⁺ᵇy)`.
+fn launch_moment_dots(
+    g: &mut TaskGraph,
+    it: usize,
+    n: usize,
+    k: usize,
+    z: &[NodeId],
+    w: &[NodeId],
+) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(3 * (2 * k + 1));
+    for i in 0..=2 * k {
+        let (a, b) = (i / 2, i - i / 2); // a + b = i, both ≤ k
+        out.push(g.add(
+            OpKind::Dot { n },
+            format!("(r,A^{i}r)[{it}]"),
+            Some(it),
+            &[z[a], z[b]],
+        ));
+    }
+    for i in 0..=2 * k {
+        let (a, b) = (i / 2, i - i / 2);
+        out.push(g.add(
+            OpKind::Dot { n },
+            format!("(r,A^{i}p)[{it}]"),
+            Some(it),
+            &[z[a], w[b]],
+        ));
+    }
+    for i in 0..=2 * k {
+        let (a, b) = (i / 2, i - i / 2);
+        out.push(g.add(
+            OpKind::Dot { n },
+            format!("(p,A^{i}p)[{it}]"),
+            Some(it),
+            &[w[a], w[b]],
+        ));
+    }
+    out
+}
+
+/// Chronopoulos-Gear CG: one SpMV (`w = A·r`), two inner products launched
+/// together right after `r`, scalars by recurrence. One serialized
+/// reduction per iteration (not hidden).
+#[must_use]
+pub fn chronopoulos_gear(n: usize, d: usize, iters: usize) -> AlgoDag {
+    assert!(iters >= 4, "need ≥ 4 iterations");
+    let mut g = TaskGraph::new();
+    let src = g.add(OpKind::Source, "init", None, &[]);
+
+    let mut u = src;
+    let mut r = g.add(OpKind::Elementwise { n }, "r0", Some(0), &[src]);
+    let mut p = g.add(OpKind::Elementwise { n }, "p0", Some(0), &[r]);
+    let mut ap = g.add(OpKind::SpMv { n, d }, "Ap0", Some(0), &[p]);
+
+    let mut milestones = Vec::with_capacity(iters);
+    let mut rr_prev: Option<NodeId> = None;
+    for it in 0..iters {
+        let w = g.add(OpKind::SpMv { n, d }, format!("w[{it}]=A*r"), Some(it), &[r]);
+        let dot_rr = g.add(OpKind::Dot { n }, format!("(r,r)[{it}]"), Some(it), &[r]);
+        let dot_rw = g.add(OpKind::Dot { n }, format!("(r,w)[{it}]"), Some(it), &[r, w]);
+        let mut lam_deps = vec![dot_rr, dot_rw];
+        if let Some(prev) = rr_prev {
+            lam_deps.push(prev);
+        }
+        let beta = g.add(OpKind::Scalar, format!("beta[{it}]"), Some(it), &lam_deps);
+        let lambda = g.add(
+            OpKind::Scalar,
+            format!("lambda[{it}]"),
+            Some(it),
+            &[dot_rr, dot_rw, beta],
+        );
+        let p_next = g.add(
+            OpKind::Elementwise { n },
+            format!("p[{}]", it + 1),
+            Some(it),
+            &[r, beta, p],
+        );
+        let ap_next = g.add(
+            OpKind::Elementwise { n },
+            format!("Ap[{}] = w + beta*Ap", it + 1),
+            Some(it),
+            &[w, beta, ap],
+        );
+        let u_next = g.add(
+            OpKind::Elementwise { n },
+            format!("u[{}]", it + 1),
+            Some(it),
+            &[u, lambda, p_next],
+        );
+        let r_next = g.add(
+            OpKind::Elementwise { n },
+            format!("r[{}]", it + 1),
+            Some(it),
+            &[r, lambda, ap_next],
+        );
+        milestones.push(u_next);
+        u = u_next;
+        r = r_next;
+        p = p_next;
+        ap = ap_next;
+        rr_prev = Some(dot_rr);
+    }
+
+    AlgoDag {
+        graph: g,
+        milestones,
+        name: "chronopoulos-gear",
+    }
+}
+
+/// Ghysels-Vanroose pipelined CG: the single reduction of each iteration is
+/// overlapped with the SpMV `q = A·w`, so the steady cycle is
+/// `max(log N, log d) + O(1)`.
+#[must_use]
+pub fn pipelined_cg(n: usize, d: usize, iters: usize) -> AlgoDag {
+    assert!(iters >= 4, "need ≥ 4 iterations");
+    let mut g = TaskGraph::new();
+    let src = g.add(OpKind::Source, "init", None, &[]);
+
+    let mut u = src;
+    let mut r = g.add(OpKind::Elementwise { n }, "r0", Some(0), &[src]);
+    let mut w = g.add(OpKind::SpMv { n, d }, "w0 = A*r0", Some(0), &[r]);
+    // auxiliary recurrence vectors of pipelined CG
+    let mut z = g.add(OpKind::SpMv { n, d }, "z0 = A*w0", Some(0), &[w]);
+    let mut p = g.add(OpKind::Elementwise { n }, "p0", Some(0), &[r]);
+    let mut q = g.add(OpKind::Elementwise { n }, "q0", Some(0), &[w]);
+    let mut s = g.add(OpKind::Elementwise { n }, "s0", Some(0), &[z]);
+
+    let mut milestones = Vec::with_capacity(iters);
+    let mut prev_scal: Option<NodeId> = None;
+    for it in 0..iters {
+        // dots launched on current r, w
+        let dot_rr = g.add(OpKind::Dot { n }, format!("(r,r)[{it}]"), Some(it), &[r]);
+        let dot_wr = g.add(OpKind::Dot { n }, format!("(w,r)[{it}]"), Some(it), &[w, r]);
+        // SpMV overlapping the reductions (depends only on w)
+        let zq = g.add(OpKind::SpMv { n, d }, format!("A*w[{it}]"), Some(it), &[w]);
+        // scalars need the dots (and previous scalars for the recurrences)
+        let mut sc_deps = vec![dot_rr, dot_wr];
+        if let Some(psc) = prev_scal {
+            sc_deps.push(psc);
+        }
+        let scal = g.add(OpKind::Scalar, format!("beta,lambda[{it}]"), Some(it), &sc_deps);
+        // vector recurrences: p,q,s,u,r,w all elementwise, after scalars
+        let p_next = g.add(
+            OpKind::Elementwise { n },
+            format!("p[{}]", it + 1),
+            Some(it),
+            &[r, scal, p],
+        );
+        let q_next = g.add(
+            OpKind::Elementwise { n },
+            format!("q[{}]", it + 1),
+            Some(it),
+            &[w, scal, q],
+        );
+        let s_next = g.add(
+            OpKind::Elementwise { n },
+            format!("s[{}]", it + 1),
+            Some(it),
+            &[zq, scal, s],
+        );
+        let u_next = g.add(
+            OpKind::Elementwise { n },
+            format!("u[{}]", it + 1),
+            Some(it),
+            &[u, scal, p_next],
+        );
+        let r_next = g.add(
+            OpKind::Elementwise { n },
+            format!("r[{}]", it + 1),
+            Some(it),
+            &[r, scal, q_next],
+        );
+        let w_next = g.add(
+            OpKind::Elementwise { n },
+            format!("w[{}]", it + 1),
+            Some(it),
+            &[w, scal, s_next],
+        );
+        milestones.push(u_next);
+        u = u_next;
+        r = r_next;
+        w = w_next;
+        p = p_next;
+        q = q_next;
+        s = s_next;
+        z = zq;
+        let _ = z;
+        prev_scal = Some(scal);
+    }
+
+    AlgoDag {
+        graph: g,
+        milestones,
+        name: "pipelined-cg",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MachineModel;
+
+    const N: usize = 1 << 20;
+    const D: usize = 5;
+    const ITERS: usize = 40;
+
+    #[test]
+    fn standard_cycle_is_two_reductions() {
+        let m = MachineModel::pram();
+        let t = standard_cg(N, D, ITERS).steady_cycle_time(&m);
+        let logn = 20.0;
+        let logd = 3.0;
+        // 2 dots + spmv + scalars/elementwise constants
+        assert!(t >= 2.0 * logn, "cycle {t} < 2 log N");
+        assert!(t <= 2.0 * logn + logd + 15.0, "cycle {t} too large");
+    }
+
+    #[test]
+    fn overlap_k1_roughly_halves_standard() {
+        let m = MachineModel::pram();
+        let t_std = standard_cg(N, D, ITERS).steady_cycle_time(&m);
+        let t_k1 = overlap_k1(N, D, ITERS).steady_cycle_time(&m);
+        let ratio = t_std / t_k1;
+        assert!(
+            (1.5..=2.3).contains(&ratio),
+            "speedup {ratio} (std {t_std}, k1 {t_k1})"
+        );
+    }
+
+    #[test]
+    fn lookahead_reaches_loglog_regime() {
+        let m = MachineModel::pram();
+        let k = 20; // = log2 N
+        let t = lookahead_cg(N, D, ITERS, k).steady_cycle_time(&m);
+        // max(log d, log k) + O(1): log2(3·41) ≈ 7, log d = 3
+        // plus log N / k = 1 amortized. Must be ≪ log N = 20.
+        assert!(t < 20.0, "look-ahead cycle {t} not sub-logN");
+        assert!(t >= 3.0, "cycle {t} suspiciously small");
+    }
+
+    #[test]
+    fn lookahead_k1_close_to_overlap_k1() {
+        let m = MachineModel::pram();
+        let a = lookahead_cg(N, D, ITERS, 1).steady_cycle_time(&m);
+        let b = overlap_k1(N, D, ITERS).steady_cycle_time(&m);
+        // same asymptotics (≈ log N per iteration), within 2x constants
+        assert!(a / b < 2.0 && b / a < 2.0, "k=1 lookahead {a} vs overlap {b}");
+    }
+
+    #[test]
+    fn ordering_of_variants_matches_theory() {
+        let m = MachineModel::pram();
+        let t_std = standard_cg(N, D, ITERS).steady_cycle_time(&m);
+        let t_cg2 = chronopoulos_gear(N, D, ITERS).steady_cycle_time(&m);
+        let t_pipe = pipelined_cg(N, D, ITERS).steady_cycle_time(&m);
+        let t_la = lookahead_cg(N, D, ITERS, 20).steady_cycle_time(&m);
+        assert!(t_cg2 < t_std, "C-G {t_cg2} !< std {t_std}");
+        assert!(t_pipe < t_cg2, "pipelined {t_pipe} !< C-G {t_cg2}");
+        assert!(t_la < t_pipe, "look-ahead {t_la} !< pipelined {t_pipe}");
+    }
+
+    #[test]
+    fn lookahead_one_spmv_per_iteration_in_steady_state() {
+        let dag = lookahead_cg(1 << 10, 5, 12, 3);
+        // count SpMV nodes for a steady-state iteration (say iter 8)
+        let spmvs = dag
+            .graph
+            .nodes()
+            .filter(|(_, n)| n.iter == Some(8) && matches!(n.kind, OpKind::SpMv { .. }))
+            .count();
+        assert_eq!(spmvs, 1, "claim C4: one matvec per iteration");
+    }
+
+    #[test]
+    fn lookahead_dot_count_matches_star_relation() {
+        let k = 3;
+        let dag = lookahead_cg(1 << 10, 5, 12, k);
+        let dots = dag
+            .graph
+            .nodes()
+            .filter(|(_, n)| n.iter == Some(8) && matches!(n.kind, OpKind::Dot { .. }))
+            .count();
+        assert_eq!(dots, 3 * (2 * k + 1), "3(2k+1) moment inner products");
+    }
+
+    #[test]
+    fn standard_scales_logarithmically_in_n() {
+        let m = MachineModel::pram();
+        let t10 = standard_cg(1 << 10, D, ITERS).steady_cycle_time(&m);
+        let t20 = standard_cg(1 << 20, D, ITERS).steady_cycle_time(&m);
+        let slope = (t20 - t10) / 10.0; // per doubling of log N
+        assert!(
+            (1.5..=2.5).contains(&slope),
+            "d(cycle)/d(log2 N) = {slope}, expected ≈ 2"
+        );
+    }
+
+    #[test]
+    fn lookahead_scales_sub_logarithmically_with_k_eq_logn() {
+        let m = MachineModel::pram();
+        let t = |log_n: usize| {
+            lookahead_cg(1 << log_n, D, ITERS, log_n).steady_cycle_time(&m)
+        };
+        let t10 = t(10);
+        let t20 = t(20);
+        // growth from N=2^10 to N=2^20 must be ≪ the standard's 20 units
+        assert!(t20 - t10 < 4.0, "growth {} too fast", t20 - t10);
+    }
+
+    #[test]
+    fn startup_grows_with_k() {
+        let m = MachineModel::pram();
+        let s1 = lookahead_cg(1 << 16, D, 20, 1).startup_time(&m);
+        let s8 = lookahead_cg(1 << 16, D, 20, 8).startup_time(&m);
+        assert!(s8 > s1, "startup k=8 {s8} !> k=1 {s1}");
+    }
+
+    #[test]
+    fn milestone_counts() {
+        assert_eq!(standard_cg(64, 3, 5).milestones.len(), 5);
+        assert_eq!(overlap_k1(64, 3, 5).milestones.len(), 5);
+        assert_eq!(lookahead_cg(64, 3, 5, 2).milestones.len(), 5);
+        assert_eq!(chronopoulos_gear(64, 3, 5).milestones.len(), 5);
+        assert_eq!(pipelined_cg(64, 3, 5).milestones.len(), 5);
+    }
+}
+
+/// s-step (communication-avoiding) CG: each outer block performs `s` CG
+/// iterations with one chain of `s` SpMVs, ONE batched Gram reduction, and
+/// an `s × s` dense solve. Per CG-equivalent iteration the reduction
+/// latency is amortized: `(log N)/s`.
+///
+/// Milestones are emitted per *block* but the cycle time is normalized per
+/// CG-equivalent iteration via [`AlgoDag::steady_cycle_time`] on a graph
+/// that records one milestone per inner iteration (the block update node is
+/// shared by its `s` milestones).
+#[must_use]
+pub fn sstep_cg(n: usize, d: usize, blocks: usize, s: usize) -> AlgoDag {
+    assert!(blocks * s >= 4, "need ≥ 4 total iterations");
+    let s = s.max(1);
+    let mut g = TaskGraph::new();
+    let src = g.add(OpKind::Source, "init", None, &[]);
+
+    let mut r = g.add(OpKind::Elementwise { n }, "r0", Some(0), &[src]);
+    let mut x = src;
+    let mut prev_block: Option<NodeId> = None; // previous AP block handle
+
+    let mut milestones = Vec::with_capacity(blocks * s);
+    for blk in 0..blocks {
+        let it0 = blk * s;
+        // basis chain: s serialized SpMVs from the current residual
+        let mut basis = Vec::with_capacity(s);
+        let mut cur = r;
+        for i in 0..s {
+            cur = g.add(
+                OpKind::SpMv { n, d },
+                format!("basis{i}[{blk}]"),
+                Some(it0),
+                &[cur],
+            );
+            basis.push(cur);
+        }
+        // block conjugation against the previous block (elementwise, after
+        // the Gram solve of the previous block — modeled by depending on
+        // prev_block)
+        let mut conj_deps: Vec<NodeId> = basis.clone();
+        if let Some(pb) = prev_block {
+            conj_deps.push(pb);
+        }
+        let conj = g.add(
+            OpKind::Elementwise { n },
+            format!("conjugate[{blk}]"),
+            Some(it0),
+            &conj_deps,
+        );
+        // ONE batched Gram reduction (s² + s dots fused: same fan-in depth
+        // as a single dot on the paper's machine)
+        let gram = g.add(
+            OpKind::Dot { n },
+            format!("gram[{blk}]"),
+            Some(it0),
+            &[conj, r],
+        );
+        // s×s dense solve (depth Θ(s))
+        let solve = g.add(
+            OpKind::SmallSolve { s },
+            format!("solve[{blk}]"),
+            Some(it0),
+            &[gram],
+        );
+        // block update of x and r
+        let x_next = g.add(
+            OpKind::Elementwise { n },
+            format!("x[{}]", it0 + s),
+            Some(it0),
+            &[x, solve, conj],
+        );
+        let r_next = g.add(
+            OpKind::Elementwise { n },
+            format!("r[{}]", it0 + s),
+            Some(it0),
+            &[r, solve, conj],
+        );
+        // every inner iteration of the block completes at the block update
+        for _ in 0..s {
+            milestones.push(x_next);
+        }
+        x = x_next;
+        r = r_next;
+        prev_block = Some(solve);
+    }
+
+    AlgoDag {
+        graph: g,
+        milestones,
+        name: "sstep-cg",
+    }
+}
+
+/// Preconditioned standard CG with an explicit preconditioner depth:
+/// `precond_depth = 1` models Jacobi (elementwise scaling); a depth of
+/// `O(√N)` models wavefront-scheduled SSOR/IC(0) triangular sweeps on a
+/// 2-D grid. Shows how a serial preconditioner erases the parallel gains
+/// the paper's restructuring buys.
+#[must_use]
+pub fn preconditioned_cg(n: usize, d: usize, iters: usize, precond_depth: u32) -> AlgoDag {
+    assert!(iters >= 4, "need ≥ 4 iterations");
+    let mut g = TaskGraph::new();
+    let src = g.add(OpKind::Source, "init", None, &[]);
+
+    let mut u = src;
+    let mut r = g.add(OpKind::Elementwise { n }, "r0", Some(0), &[src]);
+    let mut z = g.add(
+        OpKind::Precond { n, depth: precond_depth },
+        "z0 = M^-1 r0",
+        Some(0),
+        &[r],
+    );
+    let mut p = g.add(OpKind::Elementwise { n }, "p0 = z0", Some(0), &[z]);
+    let mut dot_rz = g.add(OpKind::Dot { n }, "(r0,z0)", Some(0), &[r, z]);
+
+    let mut milestones = Vec::with_capacity(iters);
+    for it in 0..iters {
+        let ap = g.add(OpKind::SpMv { n, d }, format!("A*p[{it}]"), Some(it), &[p]);
+        let dot_pap = g.add(OpKind::Dot { n }, format!("(p,Ap)[{it}]"), Some(it), &[p, ap]);
+        let lambda = g.add(
+            OpKind::Scalar,
+            format!("lambda[{it}]"),
+            Some(it),
+            &[dot_rz, dot_pap],
+        );
+        let u_next = g.add(
+            OpKind::Elementwise { n },
+            format!("u[{}]", it + 1),
+            Some(it),
+            &[u, lambda, p],
+        );
+        let r_next = g.add(
+            OpKind::Elementwise { n },
+            format!("r[{}]", it + 1),
+            Some(it),
+            &[r, lambda, ap],
+        );
+        let z_next = g.add(
+            OpKind::Precond { n, depth: precond_depth },
+            format!("z[{}]", it + 1),
+            Some(it),
+            &[r_next],
+        );
+        let dot_rz_next = g.add(
+            OpKind::Dot { n },
+            format!("(r,z)[{}]", it + 1),
+            Some(it),
+            &[r_next, z_next],
+        );
+        let beta = g.add(
+            OpKind::Scalar,
+            format!("beta[{}]", it + 1),
+            Some(it),
+            &[dot_rz_next, dot_rz],
+        );
+        let p_next = g.add(
+            OpKind::Elementwise { n },
+            format!("p[{}]", it + 1),
+            Some(it),
+            &[z_next, beta, p],
+        );
+        milestones.push(u_next);
+        u = u_next;
+        r = r_next;
+        z = z_next;
+        p = p_next;
+        dot_rz = dot_rz_next;
+    }
+    let _ = z;
+
+    AlgoDag {
+        graph: g,
+        milestones,
+        name: "preconditioned-cg",
+    }
+}
+
+#[cfg(test)]
+mod ext_tests {
+    use super::*;
+    use crate::model::MachineModel;
+
+    #[test]
+    fn sstep_amortizes_the_reduction() {
+        let m = MachineModel::pram();
+        let n = 1 << 20;
+        let std_cycle = standard_cg(n, 5, 40).steady_cycle_time(&m);
+        let s4 = sstep_cg(n, 5, 12, 4).steady_cycle_time(&m);
+        let s16 = sstep_cg(n, 5, 4, 16).steady_cycle_time(&m);
+        assert!(s4 < std_cycle, "s=4 {s4} !< standard {std_cycle}");
+        assert!(s16 < s4, "s=16 {s16} !< s=4 {s4}");
+        // shape: cycle ≈ (logN + s·(logd+1) + s)/s → for s=16: ~6
+        assert!(s16 < 10.0, "s=16 cycle {s16}");
+    }
+
+    #[test]
+    fn jacobi_pcg_costs_like_standard_cg() {
+        let m = MachineModel::pram();
+        let n = 1 << 20;
+        let std_cycle = standard_cg(n, 5, 40).steady_cycle_time(&m);
+        let jacobi = preconditioned_cg(n, 5, 40, 1).steady_cycle_time(&m);
+        assert!(
+            (jacobi - std_cycle).abs() <= 4.0,
+            "jacobi {jacobi} vs standard {std_cycle}"
+        );
+    }
+
+    #[test]
+    fn serial_sweep_preconditioner_dominates_at_scale() {
+        let m = MachineModel::pram();
+        let n = 1 << 20;
+        // SSOR on a 2-D grid: wavefront depth ≈ 2·√N
+        let sweep_depth = 2 * (1u32 << 10);
+        let ssor = preconditioned_cg(n, 5, 40, sweep_depth).steady_cycle_time(&m);
+        let std_cycle = standard_cg(n, 5, 40).steady_cycle_time(&m);
+        assert!(
+            ssor > 10.0 * std_cycle,
+            "serialized sweeps should dominate: {ssor} vs {std_cycle}"
+        );
+    }
+
+    #[test]
+    fn sstep_milestone_count_matches_inner_iterations() {
+        let dag = sstep_cg(1 << 10, 5, 6, 4);
+        assert_eq!(dag.milestones.len(), 24);
+    }
+}
+
+/// Chebyshev iteration: NO inner products — the zero-reduction floor that
+/// the look-ahead algorithm approaches. Per iteration: one SpMV and two
+/// elementwise updates gated only by precomputed scalars; a residual-norm
+/// reduction is paid only every `check_every` iterations and is OFF the
+/// update critical path (it only gates termination).
+#[must_use]
+pub fn chebyshev_iteration(n: usize, d: usize, iters: usize, check_every: usize) -> AlgoDag {
+    assert!(iters >= 4, "need ≥ 4 iterations");
+    let check_every = check_every.max(1);
+    let mut g = TaskGraph::new();
+    let src = g.add(OpKind::Source, "init", None, &[]);
+
+    let mut x = src;
+    let mut r = g.add(OpKind::Elementwise { n }, "r0", Some(0), &[src]);
+    let mut dvec = g.add(OpKind::Elementwise { n }, "d0 = r0/theta", Some(0), &[r]);
+    let mut rho = g.add(OpKind::Scalar, "rho0", Some(0), &[src]);
+
+    let mut milestones = Vec::with_capacity(iters);
+    for it in 0..iters {
+        let x_next = g.add(
+            OpKind::Elementwise { n },
+            format!("x[{}]", it + 1),
+            Some(it),
+            &[x, dvec],
+        );
+        let ad = g.add(OpKind::SpMv { n, d }, format!("A*d[{it}]"), Some(it), &[dvec]);
+        let r_next = g.add(
+            OpKind::Elementwise { n },
+            format!("r[{}]", it + 1),
+            Some(it),
+            &[r, ad],
+        );
+        // scalar recursion: no reductions involved
+        let rho_next = g.add(OpKind::Scalar, format!("rho[{}]", it + 1), Some(it), &[rho]);
+        let d_next = g.add(
+            OpKind::Elementwise { n },
+            format!("d[{}]", it + 1),
+            Some(it),
+            &[r_next, rho_next, dvec],
+        );
+        // off-critical-path residual check
+        if (it + 1) % check_every == 0 {
+            let _check = g.add(
+                OpKind::Dot { n },
+                format!("(r,r) check[{}]", it + 1),
+                Some(it),
+                &[r_next],
+            );
+        }
+        milestones.push(x_next);
+        x = x_next;
+        r = r_next;
+        dvec = d_next;
+        rho = rho_next;
+    }
+
+    AlgoDag {
+        graph: g,
+        milestones,
+        name: "chebyshev-iteration",
+    }
+}
+
+#[cfg(test)]
+mod chebyshev_builder_tests {
+    use super::*;
+    use crate::model::MachineModel;
+    use crate::topology::Topology;
+
+    #[test]
+    fn chebyshev_cycle_is_the_reduction_free_floor() {
+        let m = MachineModel::pram();
+        let n = 1 << 20;
+        let cheb = chebyshev_iteration(n, 5, 40, 10).steady_cycle_time(&m);
+        let la = lookahead_cg(n, 5, 40, 20).steady_cycle_time(&m);
+        let std_c = standard_cg(n, 5, 40).steady_cycle_time(&m);
+        // per iteration: spmv (1+3) + elementwise (2+2) + scalar ≈ 9
+        assert!(cheb <= 10.0, "chebyshev cycle {cheb}");
+        assert!(cheb < std_c / 4.0);
+        // the look-ahead approaches but cannot beat the zero-reduction floor
+        assert!(la + 3.0 >= cheb, "la {la} vs chebyshev {cheb}");
+    }
+
+    #[test]
+    fn chebyshev_is_latency_immune() {
+        let n = 1 << 16;
+        let ideal = chebyshev_iteration(n, 5, 30, 10)
+            .steady_cycle_time(&Topology::Ideal.machine());
+        let mesh = chebyshev_iteration(n, 5, 30, 10)
+            .steady_cycle_time(&Topology::Mesh2d { hop: 4.0 }.machine());
+        // the residual checks are off the update path; the only network
+        // cost left is the SpMV's single-hop halo exchange
+        assert!(
+            mesh - ideal <= 4.0 + 1e-9,
+            "chebyshev should only pay the halo exchange: {ideal} vs {mesh}"
+        );
+    }
+}
+
+/// Block CG over `s` right-hand sides: per block iteration, `s` SpMVs run
+/// concurrently, the `O(s²)` Gram inner products fuse into ONE batched
+/// reduction, and an `s × s` solve gates the block update — reduction
+/// latency amortized across space (right-hand sides) rather than the
+/// look-ahead's time (iterations).
+#[must_use]
+pub fn block_cg(n: usize, d: usize, iters: usize, s: usize) -> AlgoDag {
+    assert!(iters >= 4, "need ≥ 4 iterations");
+    let s = s.max(1);
+    let mut g = TaskGraph::new();
+    let src = g.add(OpKind::Source, "init", None, &[]);
+
+    let mut x = src;
+    let mut r = g.add(OpKind::Elementwise { n }, "R0", Some(0), &[src]);
+    let mut p = g.add(OpKind::Elementwise { n }, "P0", Some(0), &[r]);
+
+    let mut milestones = Vec::with_capacity(iters);
+    for it in 0..iters {
+        // s concurrent SpMVs (distinct columns — independent nodes)
+        let w: Vec<NodeId> = (0..s)
+            .map(|c| {
+                g.add(
+                    OpKind::SpMv { n, d },
+                    format!("A*P[{it}].col{c}"),
+                    Some(it),
+                    &[p],
+                )
+            })
+            .collect();
+        // ONE batched Gram reduction (2s² dots fused share the fan-in)
+        let mut gram_deps = w.clone();
+        gram_deps.push(p);
+        gram_deps.push(r);
+        let gram = g.add(
+            OpKind::Dot { n },
+            format!("gram[{it}]"),
+            Some(it),
+            &gram_deps,
+        );
+        let solve = g.add(
+            OpKind::SmallSolve { s },
+            format!("solve[{it}]"),
+            Some(it),
+            &[gram],
+        );
+        let x_next = g.add(
+            OpKind::Elementwise { n },
+            format!("X[{}]", it + 1),
+            Some(it),
+            &[x, solve, p],
+        );
+        let mut r_deps = vec![r, solve];
+        r_deps.extend_from_slice(&w);
+        let r_next = g.add(
+            OpKind::Elementwise { n },
+            format!("R[{}]", it + 1),
+            Some(it),
+            &r_deps,
+        );
+        let p_next = g.add(
+            OpKind::Elementwise { n },
+            format!("P[{}]", it + 1),
+            Some(it),
+            &[r_next, solve, p],
+        );
+        milestones.push(x_next);
+        x = x_next;
+        r = r_next;
+        p = p_next;
+    }
+
+    AlgoDag {
+        graph: g,
+        milestones,
+        name: "block-cg",
+    }
+}
+
+#[cfg(test)]
+mod block_builder_tests {
+    use super::*;
+    use crate::model::MachineModel;
+
+    #[test]
+    fn block_cg_pays_one_reduction_per_block_iteration() {
+        let m = MachineModel::pram();
+        let n = 1 << 20;
+        let std_c = standard_cg(n, 5, 24).steady_cycle_time(&m);
+        let blk = block_cg(n, 5, 24, 8).steady_cycle_time(&m);
+        // one reduction + spmv + solve(8) per block step vs standard's two
+        // serialized reductions
+        assert!(blk < std_c, "block {blk} !< standard {std_c}");
+        // and per solved system (block advances 8 systems at once) it is
+        // far below
+        assert!(blk / 8.0 < std_c / 3.0);
+    }
+
+    #[test]
+    fn block_amortizes_latency_like_the_lookahead_amortizes_time() {
+        use crate::topology::Topology;
+        let m = Topology::Hypercube { hop: 4.0 }.machine();
+        let n = 1 << 16;
+        let std_c = standard_cg(n, 5, 24).steady_cycle_time(&m);
+        let blk8 = block_cg(n, 5, 24, 8).steady_cycle_time(&m) / 8.0;
+        assert!(
+            blk8 < std_c / 4.0,
+            "per-system block cycle {blk8} vs standard {std_c}"
+        );
+    }
+}

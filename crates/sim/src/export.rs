@@ -1,0 +1,192 @@
+//! Graphviz (DOT) export of task graphs.
+//!
+//! `dot -Tsvg` on the output reproduces the paper's Figure 1 as a proper
+//! dataflow diagram; iteration clusters mirror the figure's columns.
+
+use crate::graph::{OpKind, TaskGraph};
+use std::fmt::Write as _;
+
+/// Options for [`to_dot`].
+#[derive(Debug, Clone, Default)]
+pub struct DotOptions {
+    /// Only include nodes whose iteration lies in this inclusive range.
+    pub iter_range: Option<(usize, usize)>,
+    /// Group nodes of the same iteration into subgraph clusters.
+    pub cluster_by_iteration: bool,
+}
+
+fn shape(kind: &OpKind) -> &'static str {
+    match kind {
+        OpKind::Source => "point",
+        OpKind::Scalar => "circle",
+        OpKind::Elementwise { .. } => "box",
+        OpKind::Dot { .. } => "invtriangle",
+        OpKind::SpMv { .. } => "diamond",
+        OpKind::ScalarSum { .. } => "invtrapezium",
+        OpKind::SmallSolve { .. } => "octagon",
+        OpKind::Precond { .. } => "house",
+    }
+}
+
+fn color(kind: &OpKind) -> &'static str {
+    match kind {
+        OpKind::Source => "gray",
+        OpKind::Scalar => "khaki",
+        OpKind::Elementwise { .. } => "lightblue",
+        OpKind::Dot { .. } => "salmon",
+        OpKind::SpMv { .. } => "palegreen",
+        OpKind::ScalarSum { .. } => "orange",
+        OpKind::SmallSolve { .. } => "plum",
+        OpKind::Precond { .. } => "lightcyan",
+    }
+}
+
+/// Render the graph in Graphviz DOT format.
+#[must_use]
+pub fn to_dot(g: &TaskGraph, opts: &DotOptions) -> String {
+    let keep = |iter: Option<usize>| match (opts.iter_range, iter) {
+        (None, _) => true,
+        (Some((lo, hi)), Some(it)) => lo <= it && it <= hi,
+        (Some(_), None) => false,
+    };
+
+    let mut out = String::from("digraph cg {\n  rankdir=LR;\n  node [style=filled];\n");
+
+    if opts.cluster_by_iteration {
+        // group node declarations per iteration
+        let mut iters: Vec<usize> = g
+            .nodes()
+            .filter_map(|(_, n)| n.iter)
+            .filter(|&it| keep(Some(it)))
+            .collect();
+        iters.sort_unstable();
+        iters.dedup();
+        for it in iters {
+            let _ = writeln!(out, "  subgraph cluster_{it} {{");
+            let _ = writeln!(out, "    label=\"iteration {it}\";");
+            for (id, n) in g.nodes() {
+                if n.iter == Some(it) {
+                    let _ = writeln!(
+                        out,
+                        "    n{} [label=\"{}\", shape={}, fillcolor={}];",
+                        id.0,
+                        n.label.replace('"', "'"),
+                        shape(&n.kind),
+                        color(&n.kind)
+                    );
+                }
+            }
+            out.push_str("  }\n");
+        }
+        // nodes without an iteration
+        for (id, n) in g.nodes() {
+            if n.iter.is_none() && keep(None) {
+                let _ = writeln!(
+                    out,
+                    "  n{} [label=\"{}\", shape={}, fillcolor={}];",
+                    id.0,
+                    n.label.replace('"', "'"),
+                    shape(&n.kind),
+                    color(&n.kind)
+                );
+            }
+        }
+    } else {
+        for (id, n) in g.nodes() {
+            if keep(n.iter) {
+                let _ = writeln!(
+                    out,
+                    "  n{} [label=\"{}\", shape={}, fillcolor={}];",
+                    id.0,
+                    n.label.replace('"', "'"),
+                    shape(&n.kind),
+                    color(&n.kind)
+                );
+            }
+        }
+    }
+
+    for (id, n) in g.nodes() {
+        if !keep(n.iter) {
+            continue;
+        }
+        for d in &n.deps {
+            if keep(g.node(*d).iter) {
+                let _ = writeln!(out, "  n{} -> n{};", d.0, id.0);
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut g = TaskGraph::new();
+        let a = g.add(OpKind::Source, "start", None, &[]);
+        let b = g.add(OpKind::Dot { n: 64 }, "(r,r)", Some(0), &[a]);
+        let _c = g.add(OpKind::Scalar, "lambda", Some(0), &[b]);
+        let s = to_dot(&g, &DotOptions::default());
+        assert!(s.starts_with("digraph"), "{s}");
+        assert!(s.contains("n0 ["), "{s}");
+        assert!(s.contains("(r,r)"), "{s}");
+        assert!(s.contains("n0 -> n1;"), "{s}");
+        assert!(s.contains("n1 -> n2;"), "{s}");
+        assert!(s.contains("invtriangle"), "dot shape missing: {s}");
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn iter_range_filters_nodes_and_dangling_edges() {
+        let dag = builders::standard_cg(256, 5, 6);
+        let opts = DotOptions {
+            iter_range: Some((2, 3)),
+            cluster_by_iteration: false,
+        };
+        let s = to_dot(&dag.graph, &opts);
+        assert!(s.contains("[2]"), "{s}");
+        assert!(!s.contains("[5]"), "{s}");
+        // every edge endpoint must be declared: count "-> nX" targets exist
+        for line in s.lines().filter(|l| l.contains("->")) {
+            let ids: Vec<&str> = line
+                .trim()
+                .trim_end_matches(';')
+                .split(" -> ")
+                .collect();
+            for id in ids {
+                assert!(
+                    s.contains(&format!("  {id} [")) || s.contains(&format!("    {id} [")),
+                    "undeclared endpoint {id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clustering_emits_subgraphs() {
+        let dag = builders::standard_cg(256, 5, 5);
+        let s = to_dot(
+            &dag.graph,
+            &DotOptions {
+                iter_range: Some((1, 2)),
+                cluster_by_iteration: true,
+            },
+        );
+        assert!(s.contains("subgraph cluster_1"), "{s}");
+        assert!(s.contains("subgraph cluster_2"), "{s}");
+        assert!(s.contains("label=\"iteration 1\""), "{s}");
+    }
+
+    #[test]
+    fn quotes_escaped() {
+        let mut g = TaskGraph::new();
+        let _ = g.add(OpKind::Scalar, "say \"hi\"", None, &[]);
+        let s = to_dot(&g, &DotOptions::default());
+        assert!(s.contains("say 'hi'"), "{s}");
+    }
+}

@@ -1,0 +1,382 @@
+//! Task graphs: typed dataflow DAGs of algorithm iterations.
+
+use crate::model::{MachineModel, Procs};
+
+/// Identifier of a node within a [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// The operation a node performs — the unit the machine model prices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A zero-cost source (initial data).
+    Source,
+    /// One scalar floating-point operation (recurrence updates, divisions).
+    Scalar,
+    /// An elementwise vector operation over `n` elements (axpy, xpay, copy).
+    Elementwise {
+        /// Vector length.
+        n: usize,
+    },
+    /// An inner product of length-`n` vectors (leaf products + fan-in tree).
+    Dot {
+        /// Vector length.
+        n: usize,
+    },
+    /// A sparse matrix-vector product, `n` rows with ≤ `d` nonzeros each.
+    SpMv {
+        /// Number of rows.
+        n: usize,
+        /// Max nonzeros per row (the paper's `d`).
+        d: usize,
+    },
+    /// Summation of `m` already-computed scalars (the recurrence-relation
+    /// combine step; `m = 3(2k+1)` in the paper's (*) relation).
+    ScalarSum {
+        /// Number of scalars summed.
+        m: usize,
+    },
+    /// Dense solve of an `s × s` SPD system (the s-step block step).
+    /// Sequentially dependent pivots give depth Θ(s).
+    SmallSolve {
+        /// Block dimension.
+        s: usize,
+    },
+    /// A preconditioner application `z = M⁻¹·r` with an explicit dependency
+    /// depth (1 for Jacobi; the wavefront count for triangular sweeps).
+    Precond {
+        /// Vector length.
+        n: usize,
+        /// Critical-path depth in flop-times (wavefront count).
+        depth: u32,
+    },
+}
+
+/// One node of a task graph.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Operation type.
+    pub kind: OpKind,
+    /// Human-readable label (shows up in Gantt renderings).
+    pub label: String,
+    /// Which algorithm iteration this node belongs to, if any.
+    pub iter: Option<usize>,
+    /// Direct predecessors.
+    pub deps: Vec<NodeId>,
+}
+
+/// A dataflow DAG. Nodes must be added after their dependencies, which
+/// guarantees acyclicity and makes node order a topological order.
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    nodes: Vec<Node>,
+}
+
+impl TaskGraph {
+    /// Empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        TaskGraph { nodes: Vec::new() }
+    }
+
+    /// Add a node; all dependencies must already exist.
+    ///
+    /// # Panics
+    /// Panics if a dependency id is not smaller than the new node's id
+    /// (which would break the topological-order invariant).
+    pub fn add(
+        &mut self,
+        kind: OpKind,
+        label: impl Into<String>,
+        iter: Option<usize>,
+        deps: &[NodeId],
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        for d in deps {
+            assert!(
+                d.0 < id.0,
+                "dependency {:?} does not precede node {:?}",
+                d,
+                id
+            );
+        }
+        self.nodes.push(Node {
+            kind,
+            label: label.into(),
+            iter,
+            deps: deps.to_vec(),
+        });
+        id
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Borrow a node.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Iterate all nodes in topological order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// Earliest-start schedule under a machine model: for each node, the
+    /// `(start, finish)` times of greedy dataflow execution (a node fires as
+    /// soon as all predecessors finish; concurrency is unlimited — with
+    /// bounded processors the *durations* already charge for the budget via
+    /// Brent's bound).
+    #[must_use]
+    pub fn schedule(&self, m: &MachineModel) -> Vec<(f64, f64)> {
+        let mut times: Vec<(f64, f64)> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let start = node
+                .deps
+                .iter()
+                .map(|d: &NodeId| times[d.0].1)
+                .fold(0.0_f64, f64::max);
+            let finish = start + m.duration(&node.kind);
+            times.push((start, finish));
+        }
+        times
+    }
+
+    /// Makespan: finish time of the last node in the earliest-start
+    /// schedule (the DAG's critical-path length under the model).
+    #[must_use]
+    pub fn makespan(&self, m: &MachineModel) -> f64 {
+        self.schedule(m)
+            .iter()
+            .map(|&(_, f)| f)
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Total work (sequential time) under the model.
+    #[must_use]
+    pub fn total_work(&self, m: &MachineModel) -> f64 {
+        self.nodes.iter().map(|n| m.work(&n.kind)).sum()
+    }
+
+    /// Lower-bound-aware runtime estimate: `max(makespan, work/P)` for
+    /// bounded machines, plain makespan for unbounded ones.
+    #[must_use]
+    pub fn estimate_time(&self, m: &MachineModel) -> f64 {
+        match m.procs {
+            Procs::Unbounded => self.makespan(m),
+            Procs::Bounded(p) => self.makespan(m).max(self.total_work(m) / p as f64),
+        }
+    }
+
+    /// Extract the critical path: node ids of one longest chain, ending at
+    /// the latest-finishing node.
+    #[must_use]
+    pub fn critical_path(&self, m: &MachineModel) -> Vec<NodeId> {
+        if self.nodes.is_empty() {
+            return Vec::new();
+        }
+        let times = self.schedule(m);
+        let mut cur = NodeId(
+            times
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+                .map(|(i, _)| i)
+                .expect("non-empty"),
+        );
+        let mut path = vec![cur];
+        loop {
+            let node = &self.nodes[cur.0];
+            // predecessor whose finish equals our start
+            let start = times[cur.0].0;
+            let Some(&prev) = node
+                .deps
+                .iter()
+                .find(|d| (times[d.0].1 - start).abs() < 1e-9)
+            else {
+                break;
+            };
+            path.push(prev);
+            cur = prev;
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// A task graph for `iters` iterations of an algorithm, with per-iteration
+/// milestone nodes so that steady-state cycle time can be measured.
+#[derive(Debug, Clone)]
+pub struct AlgoDag {
+    /// The underlying graph.
+    pub graph: TaskGraph,
+    /// For each iteration, the node completing that iteration (typically the
+    /// solution-update or direction-update node).
+    pub milestones: Vec<NodeId>,
+    /// Short algorithm name for reports.
+    pub name: &'static str,
+}
+
+impl AlgoDag {
+    /// Steady-state time per iteration: the average milestone-to-milestone
+    /// gap over the second half of the run (skipping the start-up
+    /// transient, which the paper also excludes — "after an initial start
+    /// up").
+    ///
+    /// # Panics
+    /// Panics if fewer than 4 milestones exist.
+    #[must_use]
+    pub fn steady_cycle_time(&self, m: &MachineModel) -> f64 {
+        assert!(
+            self.milestones.len() >= 4,
+            "need ≥ 4 iterations to measure steady state"
+        );
+        let times = self.graph.schedule(m);
+        let finish = |i: usize| times[self.milestones[i].0].1;
+        let lo = self.milestones.len() / 2;
+        let hi = self.milestones.len() - 1;
+        (finish(hi) - finish(lo)) / (hi - lo) as f64
+    }
+
+    /// Finish time of the last milestone.
+    #[must_use]
+    pub fn total_time(&self, m: &MachineModel) -> f64 {
+        let times = self.graph.schedule(m);
+        times[self.milestones.last().expect("≥1 milestone").0].1
+    }
+
+    /// Start-up cost: time until the first milestone minus one steady cycle.
+    #[must_use]
+    pub fn startup_time(&self, m: &MachineModel) -> f64 {
+        let times = self.graph.schedule(m);
+        (times[self.milestones[0].0].1 - self.steady_cycle_time(m)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_graph() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let a = g.add(OpKind::Source, "a", None, &[]);
+        let b = g.add(OpKind::Dot { n: 1024 }, "b", Some(0), &[a]);
+        let c = g.add(OpKind::Scalar, "c", Some(0), &[b]);
+        let _d = g.add(OpKind::Elementwise { n: 1024 }, "d", Some(0), &[c]);
+        g
+    }
+
+    #[test]
+    fn schedule_accumulates_chain() {
+        let g = chain_graph();
+        let m = MachineModel::pram();
+        let s = g.schedule(&m);
+        assert_eq!(s[0], (0.0, 0.0));
+        assert_eq!(s[1], (0.0, 11.0)); // dot over 1024: 1 + 10
+        assert_eq!(s[2], (11.0, 12.0));
+        assert_eq!(s[3], (12.0, 14.0));
+        assert_eq!(g.makespan(&m), 14.0);
+    }
+
+    #[test]
+    fn parallel_branches_overlap() {
+        let mut g = TaskGraph::new();
+        let a = g.add(OpKind::Source, "a", None, &[]);
+        let b = g.add(OpKind::Dot { n: 1 << 20 }, "dot1", None, &[a]);
+        let c = g.add(OpKind::Dot { n: 1 << 20 }, "dot2", None, &[a]);
+        let _j = g.add(OpKind::Scalar, "join", None, &[b, c]);
+        let m = MachineModel::pram();
+        // both dots run concurrently: makespan = 21 + 1
+        assert_eq!(g.makespan(&m), 22.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not precede")]
+    fn forward_dependency_panics() {
+        let mut g = TaskGraph::new();
+        let a = g.add(OpKind::Source, "a", None, &[]);
+        let _ = g.add(OpKind::Scalar, "bad", None, &[NodeId(a.0 + 5)]);
+    }
+
+    #[test]
+    fn critical_path_follows_longest_chain() {
+        let g = chain_graph();
+        let m = MachineModel::pram();
+        let cp = g.critical_path(&m);
+        assert_eq!(cp.len(), 4);
+        assert_eq!(cp[0], NodeId(0));
+        assert_eq!(cp[3], NodeId(3));
+        assert!(g.critical_path(&m).len() <= g.len());
+        assert!(TaskGraph::new().critical_path(&m).is_empty());
+    }
+
+    #[test]
+    fn estimate_time_bounded_takes_work_into_account() {
+        let mut g = TaskGraph::new();
+        let a = g.add(OpKind::Source, "a", None, &[]);
+        // 8 independent elementwise ops of work 2*1000 each
+        for i in 0..8 {
+            g.add(OpKind::Elementwise { n: 1000 }, format!("e{i}"), None, &[a]);
+        }
+        let m1 = MachineModel::bounded(1);
+        // makespan per node: 2000/1 + 2; all “parallel” ⇒ makespan 2002,
+        // but total work 16000 on one proc dominates.
+        assert_eq!(g.estimate_time(&m1), 16_000.0);
+        let mu = MachineModel::pram();
+        assert_eq!(g.estimate_time(&mu), 2.0);
+    }
+
+    #[test]
+    fn total_work_sums_nodes() {
+        let g = chain_graph();
+        let m = MachineModel::pram();
+        assert_eq!(g.total_work(&m), 0.0 + 2047.0 + 1.0 + 2048.0);
+    }
+
+    #[test]
+    fn algo_dag_steady_cycle_of_uniform_chain() {
+        // milestone every Dot: cycle time must equal the dot duration + scalar
+        let mut g = TaskGraph::new();
+        let mut prev = g.add(OpKind::Source, "src", None, &[]);
+        let mut milestones = Vec::new();
+        for it in 0..10 {
+            let d = g.add(OpKind::Dot { n: 256 }, format!("dot{it}"), Some(it), &[prev]);
+            let s = g.add(OpKind::Scalar, format!("s{it}"), Some(it), &[d]);
+            milestones.push(s);
+            prev = s;
+        }
+        let dag = AlgoDag {
+            graph: g,
+            milestones,
+            name: "chain",
+        };
+        let m = MachineModel::pram();
+        // dot(256) = 1+8 = 9, scalar = 1 ⇒ cycle = 10
+        assert!((dag.steady_cycle_time(&m) - 10.0).abs() < 1e-9);
+        assert!((dag.total_time(&m) - 100.0).abs() < 1e-9);
+        assert!(dag.startup_time(&m) >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 4 iterations")]
+    fn steady_cycle_needs_enough_milestones() {
+        let mut g = TaskGraph::new();
+        let a = g.add(OpKind::Source, "a", None, &[]);
+        let dag = AlgoDag {
+            graph: g.clone(),
+            milestones: vec![a],
+            name: "short",
+        };
+        let _ = dag.steady_cycle_time(&MachineModel::pram());
+    }
+}

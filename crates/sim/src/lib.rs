@@ -1,0 +1,52 @@
+//! # vr-sim
+//!
+//! A dataflow cost-model simulator standing in for the idealized parallel
+//! machine of Van Rosendale (1983).
+//!
+//! ## Why a simulator
+//!
+//! The paper's results are *complexity claims about the per-iteration
+//! critical path of CG's data-dependency graph* under a machine with ≥ N
+//! processors where an inner product costs `c·log N` (summation fan-in) —
+//! no physical machine was run in 1983 and none is needed now: the claimed
+//! quantity is a property of the DAG. This crate:
+//!
+//! 1. represents algorithms as **task graphs** ([`TaskGraph`]) over typed
+//!    operations ([`OpKind`]: elementwise vector ops, `log N`-deep
+//!    reductions, `log d`-deep sparse matvecs, scalar ops, `log k`-deep
+//!    scalar summations);
+//! 2. prices each operation under a configurable [`MachineModel`]
+//!    (unbounded PRAM-style processors, or `P` processors via Brent's
+//!    bound, with an optional α-style per-level network latency);
+//! 3. computes earliest-start **schedules**, critical paths, steady-state
+//!    per-iteration cycle times, and renders the Figure-1 pipeline as an
+//!    ASCII Gantt chart ([`render`]);
+//! 4. ships **builders** ([`builders`]) for every CG variant studied:
+//!    standard CG, the §3 one-step overlap, the general look-ahead
+//!    algorithm, Ghysels-Vanroose pipelined CG, and Chronopoulos-Gear CG.
+//!
+//! ```
+//! use vr_sim::{builders, MachineModel};
+//!
+//! let m = MachineModel::pram();
+//! let n = 1 << 20; // vector length
+//! let std_t = builders::standard_cg(n, 5, 30).steady_cycle_time(&m);
+//! let la_t = builders::lookahead_cg(n, 5, 30, 20).steady_cycle_time(&m);
+//! assert!(la_t < std_t / 3.0, "look-ahead {la_t} vs standard {std_t}");
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod builders;
+pub mod export;
+pub mod graph;
+pub mod model;
+pub mod render;
+pub mod scheduler;
+pub mod topology;
+
+pub use graph::{AlgoDag, NodeId, OpKind, TaskGraph};
+pub use model::{MachineModel, Procs};
+pub use scheduler::ListScheduler;
+pub use topology::Topology;

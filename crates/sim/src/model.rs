@@ -1,0 +1,235 @@
+//! Machine cost model.
+
+use crate::graph::OpKind;
+use crate::topology::Topology;
+
+/// Processor budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Procs {
+    /// Unlimited processors — the paper's "N or more processors" regime.
+    Unbounded,
+    /// Exactly `P` processors; operations are priced by Brent's bound
+    /// `work/P + depth`.
+    Bounded(usize),
+}
+
+/// Cost parameters of the simulated machine.
+///
+/// All times are in units of one floating-point operation (the paper's
+/// constant `c` is normalized to 1). Each reduction over `n` values costs
+/// its `⌈log₂n⌉` adds plus the network latency of the configured
+/// [`Topology`] for a reduction of that span — an ideal fan-in adds
+/// nothing, a tree/hypercube adds `hop·log₂n`, a 2-D mesh adds `2·hop·√n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineModel {
+    /// Cost of one scalar floating-point operation.
+    pub flop: f64,
+    /// Interconnect used by reductions.
+    pub net: Topology,
+    /// Fan-in arity of reduction trees (2 = binary, the paper's model).
+    pub reduce_arity: usize,
+    /// Processor budget.
+    pub procs: Procs,
+}
+
+impl MachineModel {
+    /// The paper's machine: unbounded processors, binary fan-in, free
+    /// communication.
+    #[must_use]
+    pub fn pram() -> Self {
+        MachineModel {
+            flop: 1.0,
+            net: Topology::Ideal,
+            reduce_arity: 2,
+            procs: Procs::Unbounded,
+        }
+    }
+
+    /// A `P`-processor machine with free communication.
+    #[must_use]
+    pub fn bounded(p: usize) -> Self {
+        MachineModel {
+            procs: Procs::Bounded(p.max(1)),
+            ..Self::pram()
+        }
+    }
+
+    /// Add per-level reduction latency (α-model tree network).
+    #[must_use]
+    pub fn with_latency(mut self, alpha: f64) -> Self {
+        self.net = Topology::Tree { hop: alpha };
+        self
+    }
+
+    /// Use an explicit interconnect topology for reductions.
+    #[must_use]
+    pub fn with_topology(mut self, net: Topology) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Number of fan-in levels to reduce `n` values: `⌈log_arity n⌉`.
+    #[must_use]
+    pub fn levels(&self, n: usize) -> u32 {
+        if n <= 1 {
+            return 0;
+        }
+        let a = self.reduce_arity.max(2) as u64;
+        let mut lv = 0u32;
+        let mut cap = 1u64;
+        while cap < n as u64 {
+            cap = cap.saturating_mul(a);
+            lv += 1;
+        }
+        lv
+    }
+
+    /// Network latency charged to one reduction spanning `n` values.
+    #[must_use]
+    pub fn net_latency(&self, n: usize) -> f64 {
+        self.net.reduction_latency(n)
+    }
+
+    /// Depth of an operation with unlimited processors (the intrinsic
+    /// dependency depth).
+    #[must_use]
+    pub fn depth(&self, kind: &OpKind) -> f64 {
+        match *kind {
+            OpKind::Source => 0.0,
+            OpKind::Scalar => self.flop,
+            // multiply + add per element, all elements in parallel
+            OpKind::Elementwise { .. } => 2.0 * self.flop,
+            // leaf products (1 flop) + log n add levels + network latency
+            OpKind::Dot { n } => {
+                self.flop + f64::from(self.levels(n)) * self.flop + self.net_latency(n)
+            }
+            // per-row: products in parallel (1 flop) + log d fan-in; the
+            // row fan-in gathers from adjacent neighbours — one hop of
+            // communication, not a global reduction
+            OpKind::SpMv { d, .. } => {
+                self.flop + f64::from(self.levels(d)) * self.flop + self.net.neighbor_latency()
+            }
+            // summation of m scalars (a reduction spanning m participants)
+            OpKind::ScalarSum { m } => {
+                f64::from(self.levels(m)) * self.flop + self.net_latency(m)
+            }
+            // s sequentially dependent pivot steps
+            OpKind::SmallSolve { s } => s as f64 * self.flop,
+            // wavefront-scheduled sweep: depth = number of wavefronts
+            OpKind::Precond { depth, .. } => f64::from(depth) * self.flop,
+        }
+    }
+
+    /// Total work (sequential flop count) of an operation.
+    #[must_use]
+    pub fn work(&self, kind: &OpKind) -> f64 {
+        match *kind {
+            OpKind::Source => 0.0,
+            OpKind::Scalar => self.flop,
+            OpKind::Elementwise { n } => 2.0 * n as f64 * self.flop,
+            OpKind::Dot { n } => (2.0 * n as f64 - 1.0).max(1.0) * self.flop,
+            OpKind::SpMv { n, d } => 2.0 * n as f64 * d as f64 * self.flop,
+            OpKind::ScalarSum { m } => (m as f64 - 1.0).max(0.0) * self.flop,
+            OpKind::SmallSolve { s } => (s as f64).powi(3) / 3.0 * self.flop,
+            OpKind::Precond { n, .. } => 2.0 * n as f64 * self.flop,
+        }
+    }
+
+    /// Duration of a node under this machine: intrinsic depth with
+    /// unbounded processors; Brent's bound `work/P + depth` with `P`.
+    #[must_use]
+    pub fn duration(&self, kind: &OpKind) -> f64 {
+        match self.procs {
+            Procs::Unbounded => self.depth(kind),
+            Procs::Bounded(p) => self.work(kind) / p as f64 + self.depth(kind),
+        }
+    }
+}
+
+impl Default for MachineModel {
+    fn default() -> Self {
+        Self::pram()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_binary() {
+        let m = MachineModel::pram();
+        assert_eq!(m.levels(0), 0);
+        assert_eq!(m.levels(1), 0);
+        assert_eq!(m.levels(2), 1);
+        assert_eq!(m.levels(3), 2);
+        assert_eq!(m.levels(1024), 10);
+        assert_eq!(m.levels(1025), 11);
+    }
+
+    #[test]
+    fn levels_quaternary() {
+        let m = MachineModel {
+            reduce_arity: 4,
+            ..MachineModel::pram()
+        };
+        assert_eq!(m.levels(4), 1);
+        assert_eq!(m.levels(5), 2);
+        assert_eq!(m.levels(16), 2);
+        assert_eq!(m.levels(64), 3);
+    }
+
+    #[test]
+    fn pram_depths_match_paper_formulas() {
+        let m = MachineModel::pram();
+        // dot over N: 1 + log2(N)
+        assert_eq!(m.depth(&OpKind::Dot { n: 1 << 20 }), 1.0 + 20.0);
+        // spmv with d nonzeros/row: 1 + ceil(log2 d)
+        assert_eq!(m.depth(&OpKind::SpMv { n: 100, d: 5 }), 1.0 + 3.0);
+        // elementwise: constant
+        assert_eq!(m.depth(&OpKind::Elementwise { n: 1 << 20 }), 2.0);
+        // scalar summation over m=2k+1 values: log m
+        assert_eq!(m.depth(&OpKind::ScalarSum { m: 8 }), 3.0);
+        assert_eq!(m.depth(&OpKind::Source), 0.0);
+        assert_eq!(m.depth(&OpKind::Scalar), 1.0);
+    }
+
+    #[test]
+    fn latency_scales_reduction_only() {
+        let m0 = MachineModel::pram();
+        let m5 = MachineModel::pram().with_latency(5.0);
+        let dot = OpKind::Dot { n: 1024 };
+        assert_eq!(m0.depth(&dot), 11.0);
+        // tree latency: 10 levels × (1 add) + 10 hops × 5
+        assert_eq!(m5.depth(&dot), 1.0 + 10.0 + 50.0);
+        // elementwise unaffected
+        assert_eq!(
+            m0.depth(&OpKind::Elementwise { n: 1024 }),
+            m5.depth(&OpKind::Elementwise { n: 1024 })
+        );
+        // mesh latency: 2·√1024 = 64 links
+        let mesh = MachineModel::pram().with_topology(Topology::Mesh2d { hop: 1.0 });
+        assert_eq!(mesh.depth(&dot), 1.0 + 10.0 + 64.0);
+    }
+
+    #[test]
+    fn bounded_uses_brent() {
+        let m = MachineModel::bounded(4);
+        let dot = OpKind::Dot { n: 1024 };
+        let expect = (2.0 * 1024.0 - 1.0) / 4.0 + 11.0;
+        assert!((m.duration(&dot) - expect).abs() < 1e-12);
+        // p=0 clamps to 1
+        let m1 = MachineModel::bounded(0);
+        assert!(matches!(m1.procs, Procs::Bounded(1)));
+    }
+
+    #[test]
+    fn work_accounting() {
+        let m = MachineModel::pram();
+        assert_eq!(m.work(&OpKind::SpMv { n: 10, d: 3 }), 60.0);
+        assert_eq!(m.work(&OpKind::Elementwise { n: 10 }), 20.0);
+        assert_eq!(m.work(&OpKind::Dot { n: 10 }), 19.0);
+        assert_eq!(m.work(&OpKind::ScalarSum { m: 1 }), 0.0);
+        assert_eq!(m.work(&OpKind::Source), 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! ASCII rendering of schedules — the Figure-1 reproduction.
+//!
+//! The paper's Figure 1 sketches the principal data movement of the new
+//! algorithm: vector iterates flowing left-to-right across iterations
+//! `n−k .. n`, with the inner-product calculations stretched underneath,
+//! consuming vectors early and delivering scalars late. [`gantt`] renders
+//! the same picture from an *actual computed schedule*: one row per task
+//! group, time on the horizontal axis.
+
+use crate::graph::TaskGraph;
+use crate::model::MachineModel;
+
+/// Options for [`gantt`].
+#[derive(Debug, Clone)]
+pub struct GanttOptions {
+    /// Total character width of the time axis.
+    pub width: usize,
+    /// Only render nodes whose iteration lies in this inclusive range
+    /// (`None` = all).
+    pub iter_range: Option<(usize, usize)>,
+    /// Skip zero-duration nodes (sources).
+    pub skip_instant: bool,
+}
+
+impl Default for GanttOptions {
+    fn default() -> Self {
+        GanttOptions {
+            width: 72,
+            iter_range: None,
+            skip_instant: true,
+        }
+    }
+}
+
+/// Render an earliest-start schedule as an ASCII Gantt chart.
+///
+/// One line per node: `label |  ███  |` where the bar spans start..finish
+/// scaled into `opts.width` columns. Rows are ordered by start time.
+#[must_use]
+pub fn gantt(g: &TaskGraph, m: &MachineModel, opts: &GanttOptions) -> String {
+    let times = g.schedule(m);
+    let mut rows: Vec<(usize, f64, f64)> = g
+        .nodes()
+        .filter(|(id, n)| {
+            if opts.skip_instant && times[id.0].1 <= times[id.0].0 {
+                return false;
+            }
+            match (opts.iter_range, n.iter) {
+                (Some((lo, hi)), Some(it)) => lo <= it && it <= hi,
+                (Some(_), None) => false,
+                (None, _) => true,
+            }
+        })
+        .map(|(id, _)| (id.0, times[id.0].0, times[id.0].1))
+        .collect();
+    rows.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+
+    if rows.is_empty() {
+        return String::from("(empty schedule)\n");
+    }
+    let t0 = rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
+    let t1 = rows.iter().map(|r| r.2).fold(0.0_f64, f64::max);
+    let span = (t1 - t0).max(1e-9);
+    let label_w = rows
+        .iter()
+        .map(|&(id, _, _)| g.node(crate::graph::NodeId(id)).label.len())
+        .max()
+        .unwrap_or(8)
+        .min(28);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "time units {t0:.1} .. {t1:.1} ({} tasks)\n",
+        rows.len()
+    ));
+    for (id, s, f) in rows {
+        let node = g.node(crate::graph::NodeId(id));
+        let mut label = node.label.clone();
+        if label.len() > label_w {
+            label.truncate(label_w);
+        }
+        let c0 = (((s - t0) / span) * opts.width as f64).floor() as usize;
+        let c1 = ((((f - t0) / span) * opts.width as f64).ceil() as usize).max(c0 + 1);
+        let mut bar = String::with_capacity(opts.width + 2);
+        for c in 0..opts.width {
+            bar.push(if c >= c0 && c < c1 { '#' } else { '.' });
+        }
+        out.push_str(&format!("{label:<label_w$} |{bar}|\n"));
+    }
+    out
+}
+
+/// One-line-per-iteration summary: start and finish of each iteration's
+/// nodes plus the dominant (longest) node. Compact companion to [`gantt`].
+#[must_use]
+pub fn iteration_summary(g: &TaskGraph, m: &MachineModel) -> String {
+    let times = g.schedule(m);
+    let mut by_iter: std::collections::BTreeMap<usize, (f64, f64, usize, f64)> =
+        std::collections::BTreeMap::new();
+    for (id, n) in g.nodes() {
+        let Some(it) = n.iter else { continue };
+        let (s, f) = times[id.0];
+        let dur = f - s;
+        let e = by_iter.entry(it).or_insert((f64::INFINITY, 0.0, id.0, 0.0));
+        e.0 = e.0.min(s);
+        e.1 = e.1.max(f);
+        if dur > e.3 {
+            e.2 = id.0;
+            e.3 = dur;
+        }
+    }
+    let mut out = String::from("iter |    start |   finish | dominant task\n");
+    for (it, (s, f, id, dur)) in by_iter {
+        out.push_str(&format!(
+            "{it:>4} | {s:>8.1} | {f:>8.1} | {} ({dur:.1})\n",
+            g.node(crate::graph::NodeId(id)).label
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use crate::graph::{OpKind, TaskGraph};
+
+    #[test]
+    fn gantt_renders_bars_in_time_order() {
+        let mut g = TaskGraph::new();
+        let a = g.add(OpKind::Source, "src", None, &[]);
+        let b = g.add(OpKind::Dot { n: 1024 }, "dot", Some(0), &[a]);
+        let _c = g.add(OpKind::Scalar, "scal", Some(0), &[b]);
+        let m = MachineModel::pram();
+        let s = gantt(&g, &m, &GanttOptions::default());
+        assert!(s.contains("dot"), "{s}");
+        assert!(s.contains("scal"), "{s}");
+        assert!(s.contains('#'), "{s}");
+        // dot row appears before scal row (earlier start)
+        let dot_pos = s.find("dot").unwrap();
+        let scal_pos = s.find("scal").unwrap();
+        assert!(dot_pos < scal_pos);
+    }
+
+    #[test]
+    fn gantt_iter_range_filters() {
+        let dag = builders::standard_cg(1 << 12, 5, 8);
+        let m = MachineModel::pram();
+        let all = gantt(&dag.graph, &m, &GanttOptions::default());
+        let some = gantt(
+            &dag.graph,
+            &m,
+            &GanttOptions {
+                iter_range: Some((3, 4)),
+                ..GanttOptions::default()
+            },
+        );
+        assert!(some.len() < all.len());
+        assert!(some.contains("[3]") || some.contains("[4]"), "{some}");
+        assert!(!some.contains("[7]"), "{some}");
+    }
+
+    #[test]
+    fn empty_schedule_handled() {
+        let g = TaskGraph::new();
+        let m = MachineModel::pram();
+        assert_eq!(gantt(&g, &m, &GanttOptions::default()), "(empty schedule)\n");
+    }
+
+    #[test]
+    fn iteration_summary_lists_all_iterations() {
+        let dag = builders::standard_cg(1 << 12, 5, 6);
+        let m = MachineModel::pram();
+        let s = iteration_summary(&dag.graph, &m);
+        for it in 0..6 {
+            assert!(s.contains(&format!("\n{it:>4} |")), "missing iter {it}: {s}");
+        }
+    }
+
+    #[test]
+    fn lookahead_gantt_shows_pipeline_overlap() {
+        // In the look-ahead schedule, dots of iteration i overlap vector
+        // work of iterations i+1..i+k — verify numerically: the dot batch
+        // of iteration 6 finishes after iteration 7's first vector op
+        // starts.
+        let dag = builders::lookahead_cg(1 << 20, 5, 16, 6);
+        let m = MachineModel::pram();
+        let times = dag.graph.schedule(&m);
+        let dot6_finish = dag
+            .graph
+            .nodes()
+            .filter(|(_, n)| n.iter == Some(6) && matches!(n.kind, OpKind::Dot { .. }))
+            .map(|(id, _)| times[id.0].1)
+            .fold(0.0_f64, f64::max);
+        let vec7_start = dag
+            .graph
+            .nodes()
+            .filter(|(_, n)| n.iter == Some(7) && matches!(n.kind, OpKind::Elementwise { .. }))
+            .map(|(id, _)| times[id.0].0)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            dot6_finish > vec7_start,
+            "no overlap: dots6 end {dot6_finish}, vecs7 start {vec7_start}"
+        );
+    }
+}

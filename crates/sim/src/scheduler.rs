@@ -1,0 +1,337 @@
+//! Event-driven list scheduling on a P-processor machine.
+//!
+//! The Brent-style pricing in [`crate::model`] charges each node
+//! `work/P + depth` as if it had the whole machine to itself — adequate for
+//! asymptotics, generous when many nodes compete. This module schedules
+//! the same task graphs **against an explicit processor budget**: tasks
+//! request a width, run when enough processors are free, and are picked by
+//! critical-path priority (classic HEFT-style list scheduling). It gives
+//! the honest bounded-machine numbers for E10, with utilization and
+//! waiting statistics the closed-form model cannot provide.
+
+use crate::graph::{NodeId, OpKind, TaskGraph};
+use crate::model::MachineModel;
+
+/// Outcome of a bounded-processor scheduling run.
+#[derive(Debug, Clone)]
+pub struct ScheduleResult {
+    /// Per-node `(start, finish)` times.
+    pub times: Vec<(f64, f64)>,
+    /// Total completion time.
+    pub makespan: f64,
+    /// Average fraction of the machine busy over the makespan.
+    pub utilization: f64,
+    /// Total node-time spent ready-but-waiting for processors.
+    pub total_wait: f64,
+}
+
+/// Greedy list scheduler with critical-path priorities.
+#[derive(Debug, Clone, Copy)]
+pub struct ListScheduler {
+    /// Processor budget `P ≥ 1`.
+    pub procs: usize,
+}
+
+impl ListScheduler {
+    /// Scheduler over `P` processors (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(procs: usize) -> Self {
+        ListScheduler {
+            procs: procs.max(1),
+        }
+    }
+
+    /// Natural parallel width of an operation: how many processors it can
+    /// productively use.
+    #[must_use]
+    pub fn width(kind: &OpKind) -> usize {
+        match *kind {
+            OpKind::Source | OpKind::Scalar => 1,
+            OpKind::Elementwise { n } | OpKind::Dot { n } => n.max(1),
+            OpKind::SpMv { n, d } => (n * d).max(1),
+            OpKind::ScalarSum { m } => m.div_ceil(2).max(1),
+            OpKind::SmallSolve { s } => s.max(1),
+            OpKind::Precond { n, .. } => n.max(1),
+        }
+    }
+
+    /// Duration of a node when granted `w` processors:
+    /// `work/w + depth` (Brent's bound on the actual allocation).
+    fn duration(m: &MachineModel, kind: &OpKind, w: usize) -> f64 {
+        m.work(kind) / w as f64 + m.depth(kind)
+    }
+
+    /// Schedule the graph; returns per-node times and machine statistics.
+    #[must_use]
+    pub fn run(&self, g: &TaskGraph, m: &MachineModel) -> ScheduleResult {
+        let n = g.len();
+        if n == 0 {
+            return ScheduleResult {
+                times: Vec::new(),
+                makespan: 0.0,
+                utilization: 0.0,
+                total_wait: 0.0,
+            };
+        }
+
+        // upward rank (critical-path-to-sink length under PRAM durations)
+        // computed in reverse topological order
+        let mut rank = vec![0.0_f64; n];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (id, node) in g.nodes() {
+            for d in &node.deps {
+                succs[d.0].push(id.0);
+            }
+        }
+        for i in (0..n).rev() {
+            let own = m.depth(&g.node(NodeId(i)).kind);
+            let down = succs[i].iter().map(|&s| rank[s]).fold(0.0_f64, f64::max);
+            rank[i] = own + down;
+        }
+
+        // dependency counters
+        let mut pending: Vec<usize> = (0..n).map(|i| g.node(NodeId(i)).deps.len()).collect();
+        let mut ready: Vec<usize> = (0..n).filter(|&i| pending[i] == 0).collect();
+        // earliest time each node became ready
+        let mut ready_at = vec![0.0_f64; n];
+
+        let mut times = vec![(0.0_f64, 0.0_f64); n];
+        let mut running: Vec<(f64, usize, usize)> = Vec::new(); // (finish, node, procs)
+        let mut free = self.procs;
+        let mut now = 0.0_f64;
+        let mut scheduled = 0usize;
+        let mut busy_area = 0.0_f64;
+        let mut total_wait = 0.0_f64;
+
+        while scheduled < n || !running.is_empty() {
+            // start as many ready tasks as fit, highest rank first
+            ready.sort_by(|&a, &b| rank[b].total_cmp(&rank[a]).then(a.cmp(&b)));
+            let mut started_any = true;
+            while started_any {
+                started_any = false;
+                let mut idx = 0;
+                while idx < ready.len() {
+                    if free == 0 {
+                        break;
+                    }
+                    let node_i = ready[idx];
+                    let kind = &g.node(NodeId(node_i)).kind;
+                    // rigid allocation: a task waits until its (capped)
+                    // width is fully available — granting a huge reduction
+                    // one processor would serialize it catastrophically
+                    let grant = Self::width(kind).min(self.procs);
+                    if grant > free {
+                        idx += 1;
+                        continue;
+                    }
+                    let dur = Self::duration(m, kind, grant);
+                    times[node_i] = (now, now + dur);
+                    total_wait += now - ready_at[node_i];
+                    busy_area += dur * grant as f64;
+                    running.push((now + dur, node_i, grant));
+                    free -= grant;
+                    ready.remove(idx);
+                    scheduled += 1;
+                    started_any = true;
+                }
+            }
+
+            // advance to the next completion
+            if running.is_empty() {
+                debug_assert_eq!(scheduled, n, "deadlock: nothing running, work left");
+                break;
+            }
+            let (next_t, _, _) = running
+                .iter()
+                .copied()
+                .min_by(|a, b| a.0.total_cmp(&b.0))
+                .expect("non-empty");
+            now = next_t;
+            let mut i = 0;
+            while i < running.len() {
+                if running[i].0 <= now + 1e-12 {
+                    let (_, node_i, procs) = running.swap_remove(i);
+                    free += procs;
+                    for &s in &succs[node_i] {
+                        pending[s] -= 1;
+                        if pending[s] == 0 {
+                            ready.push(s);
+                            ready_at[s] = now;
+                        }
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        let makespan = times.iter().map(|&(_, f)| f).fold(0.0_f64, f64::max);
+        let utilization = if makespan > 0.0 {
+            busy_area / (makespan * self.procs as f64)
+        } else {
+            0.0
+        };
+        ScheduleResult {
+            times,
+            makespan,
+            utilization,
+            total_wait,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use crate::model::MachineModel;
+
+    fn diamond() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let a = g.add(OpKind::Source, "a", None, &[]);
+        let b = g.add(OpKind::Elementwise { n: 100 }, "b", None, &[a]);
+        let c = g.add(OpKind::Elementwise { n: 100 }, "c", None, &[a]);
+        let _d = g.add(OpKind::Scalar, "d", None, &[b, c]);
+        g
+    }
+
+    #[test]
+    fn empty_graph() {
+        let r = ListScheduler::new(4).run(&TaskGraph::new(), &MachineModel::pram());
+        assert_eq!(r.makespan, 0.0);
+        assert!(r.times.is_empty());
+    }
+
+    #[test]
+    fn respects_dependencies() {
+        let g = diamond();
+        let m = MachineModel::pram();
+        let r = ListScheduler::new(1000).run(&g, &m);
+        // d starts only after both b and c finish
+        assert!(r.times[3].0 >= r.times[1].1 - 1e-9);
+        assert!(r.times[3].0 >= r.times[2].1 - 1e-9);
+    }
+
+    #[test]
+    fn single_processor_serializes_everything() {
+        let g = diamond();
+        let m = MachineModel::pram();
+        let r = ListScheduler::new(1).run(&g, &m);
+        // durations at width 1 are work + depth (Brent upper bound):
+        // b, c: 200 + 2 each; d: 1 + 1
+        let expect = (200.0 + 2.0) + (200.0 + 2.0) + 2.0;
+        assert!(
+            (r.makespan - expect).abs() < 1e-9,
+            "makespan {} vs {expect}",
+            r.makespan
+        );
+        assert!(r.utilization > 0.99, "P=1 must be fully busy: {}", r.utilization);
+    }
+
+    #[test]
+    fn huge_machine_matches_earliest_start_schedule() {
+        let dag = builders::standard_cg(1 << 10, 5, 8);
+        let m = MachineModel::pram();
+        let span = dag.graph.makespan(&m);
+        let r = ListScheduler::new(usize::MAX / 4).run(&dag.graph, &m);
+        // with unlimited processors every node gets its full width, so each
+        // duration is depth + O(1) (the work/width term ≈ 1-2 flops) —
+        // within a factor 1.5 of the pure earliest-start schedule
+        assert!(
+            r.makespan <= span * 1.5,
+            "bounded {} vs PRAM span {span}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn makespan_respects_lower_bounds() {
+        let dag = builders::standard_cg(1 << 12, 5, 8);
+        let m = MachineModel::pram();
+        for p in [4usize, 64, 1024] {
+            let r = ListScheduler::new(p).run(&dag.graph, &m);
+            let work = dag.graph.total_work(&m);
+            assert!(
+                r.makespan + 1e-6 >= work / p as f64,
+                "P={p}: {} < work/P = {}",
+                r.makespan,
+                work / p as f64
+            );
+            let span = dag.graph.makespan(&m);
+            assert!(r.makespan + 1e-6 >= span, "P={p}: below critical path");
+            assert!(r.utilization <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn more_processors_never_hurt_much() {
+        // greedy list scheduling can have anomalies, but on these regular
+        // graphs doubling P must not slow things down more than 5%
+        let dag = builders::lookahead_cg(1 << 12, 5, 12, 4);
+        let m = MachineModel::pram();
+        let mut prev = f64::INFINITY;
+        for p in [64usize, 256, 1024, 4096] {
+            let r = ListScheduler::new(p).run(&dag.graph, &m);
+            assert!(
+                r.makespan <= prev * 1.05,
+                "P={p}: {} vs previous {prev}",
+                r.makespan
+            );
+            prev = r.makespan;
+        }
+    }
+
+    #[test]
+    fn lookahead_still_beats_standard_under_real_scheduling() {
+        // the E10 conclusion must survive the honest scheduler: at high P
+        // the look-ahead wins, at low P they tie (work-bound)
+        let n = 1 << 12;
+        let m = MachineModel::pram();
+        let std_dag = builders::standard_cg(n, 5, 16);
+        let la_dag = builders::lookahead_cg(n, 5, 16, 8);
+        // the (*) dataflow launches 3(2k+1) = 51 width-n dots per
+        // iteration; the machine needs P ≈ 51·n before they all run
+        // concurrently — the honest processor requirement behind the
+        // paper's "N or more processors"
+        let big = 1 << 19;
+        let std_big = ListScheduler::new(big).run(&std_dag.graph, &m).makespan;
+        let la_big = ListScheduler::new(big).run(&la_dag.graph, &m).makespan;
+        assert!(
+            la_big < std_big,
+            "high-P: lookahead {la_big} !< standard {std_big}"
+        );
+        let small = 8;
+        let std_small = ListScheduler::new(small).run(&std_dag.graph, &m).makespan;
+        let la_small = ListScheduler::new(small).run(&la_dag.graph, &m).makespan;
+        // low-P regime is work-bound: the lookahead's (*) dataflow does
+        // more work, so it must NOT win here
+        assert!(
+            la_small >= std_small * 0.9,
+            "low-P: lookahead {la_small} unexpectedly beats standard {std_small}"
+        );
+    }
+
+    #[test]
+    fn waiting_grows_as_processors_shrink() {
+        let dag = builders::standard_cg(1 << 12, 5, 8);
+        let m = MachineModel::pram();
+        let w_small = ListScheduler::new(2).run(&dag.graph, &m).total_wait;
+        let w_big = ListScheduler::new(1 << 14).run(&dag.graph, &m).total_wait;
+        assert!(w_small > w_big, "wait {w_small} !> {w_big}");
+    }
+
+    #[test]
+    fn width_accounting() {
+        assert_eq!(ListScheduler::width(&OpKind::Source), 1);
+        assert_eq!(ListScheduler::width(&OpKind::Scalar), 1);
+        assert_eq!(ListScheduler::width(&OpKind::Elementwise { n: 7 }), 7);
+        assert_eq!(ListScheduler::width(&OpKind::Dot { n: 9 }), 9);
+        assert_eq!(ListScheduler::width(&OpKind::SpMv { n: 4, d: 3 }), 12);
+        assert_eq!(ListScheduler::width(&OpKind::ScalarSum { m: 9 }), 5);
+        assert_eq!(ListScheduler::width(&OpKind::SmallSolve { s: 4 }), 4);
+        assert_eq!(
+            ListScheduler::width(&OpKind::Precond { n: 10, depth: 3 }),
+            10
+        );
+    }
+}

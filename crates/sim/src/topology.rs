@@ -1,0 +1,151 @@
+//! Network topologies for the reduction fan-ins.
+//!
+//! The paper's machine performs summations on an idealized fan-in network
+//! (per-level cost = one add). Real 1983-era machines had structure: the
+//! hypercubes then being built reduce in `log₂P` hops; a 2-D mesh needs
+//! `Θ(√P)` hops regardless of the summation tree's logical depth. The
+//! central promise of the look-ahead restructuring is **latency
+//! tolerance**: a reduction's latency is harmless as long as it is below
+//! `k` iterations of other work — whatever the topology. [`Topology`]
+//! models the network; E13 measures the tolerance threshold.
+
+use crate::model::MachineModel;
+
+/// Interconnect models for global reductions over `p` participants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Topology {
+    /// Ideal fan-in hardware: zero communication cost beyond the adds.
+    Ideal,
+    /// A dedicated reduction tree with a fixed cost per level
+    /// (the α of the α-β model).
+    Tree {
+        /// Per-level hop latency in flop-times.
+        hop: f64,
+    },
+    /// A binary hypercube: `log₂p` hops per reduction, each costing `hop`.
+    /// (Same asymptotics as `Tree`, listed separately because the constant
+    /// matters in the experiments and the 1983 context.)
+    Hypercube {
+        /// Per-hop latency in flop-times.
+        hop: f64,
+    },
+    /// A 2-D mesh/torus: a reduction crosses `2·√p` links no matter how the
+    /// logical tree is laid out.
+    Mesh2d {
+        /// Per-link latency in flop-times.
+        hop: f64,
+    },
+}
+
+impl Topology {
+    /// Total network latency added to one reduction over `p` participants
+    /// (on top of the `⌈log₂p⌉` adds themselves).
+    #[must_use]
+    pub fn reduction_latency(&self, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let logp = f64::from(usize::BITS - (p - 1).leading_zeros());
+        match *self {
+            Topology::Ideal => 0.0,
+            Topology::Tree { hop } | Topology::Hypercube { hop } => hop * logp,
+            Topology::Mesh2d { hop } => hop * 2.0 * (p as f64).sqrt(),
+        }
+    }
+
+    /// Latency of a nearest-neighbour exchange (what an SpMV's row fan-in
+    /// costs): stencil neighbours are adjacent on every real topology, so
+    /// this is a single hop, not a global reduction.
+    #[must_use]
+    pub fn neighbor_latency(&self) -> f64 {
+        match *self {
+            Topology::Ideal => 0.0,
+            Topology::Tree { hop } | Topology::Hypercube { hop } | Topology::Mesh2d { hop } => hop,
+        }
+    }
+
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Topology::Ideal => "ideal",
+            Topology::Tree { .. } => "tree",
+            Topology::Hypercube { .. } => "hypercube",
+            Topology::Mesh2d { .. } => "mesh2d",
+        }
+    }
+
+    /// Build a [`MachineModel`] whose reductions pay this topology's
+    /// latency, each reduction charged by its own span.
+    #[must_use]
+    pub fn machine(&self) -> MachineModel {
+        MachineModel::pram().with_topology(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn latency_formulas() {
+        assert_eq!(Topology::Ideal.reduction_latency(1 << 20), 0.0);
+        assert_eq!(Topology::Tree { hop: 2.0 }.reduction_latency(1 << 10), 20.0);
+        assert_eq!(
+            Topology::Hypercube { hop: 3.0 }.reduction_latency(1 << 10),
+            30.0
+        );
+        let mesh = Topology::Mesh2d { hop: 1.0 }.reduction_latency(1 << 10);
+        assert!((mesh - 64.0).abs() < 1e-9, "2·√1024 = 64, got {mesh}");
+        // trivial sizes
+        for t in [
+            Topology::Ideal,
+            Topology::Tree { hop: 1.0 },
+            Topology::Mesh2d { hop: 1.0 },
+        ] {
+            assert_eq!(t.reduction_latency(1), 0.0);
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Topology::Ideal.label(), "ideal");
+        assert_eq!(Topology::Tree { hop: 1.0 }.label(), "tree");
+        assert_eq!(Topology::Hypercube { hop: 1.0 }.label(), "hypercube");
+        assert_eq!(Topology::Mesh2d { hop: 1.0 }.label(), "mesh2d");
+    }
+
+    #[test]
+    fn machine_charges_each_reduction_by_its_span() {
+        let topo = Topology::Mesh2d { hop: 0.5 };
+        let m = topo.machine();
+        for n in [16usize, 1 << 10, 1 << 16] {
+            let dot_depth = m.depth(&crate::OpKind::Dot { n });
+            let base = MachineModel::pram().depth(&crate::OpKind::Dot { n });
+            let extra = dot_depth - base;
+            assert!(
+                (extra - topo.reduction_latency(n)).abs() < 1e-9,
+                "n={n}: extra {extra} vs {}",
+                topo.reduction_latency(n)
+            );
+        }
+        // a small scalar summation is a LOCAL reduction: cheap even on the
+        // mesh — this is what a naive per-level α model gets wrong
+        let small = m.depth(&crate::OpKind::ScalarSum { m: 147 });
+        assert!(small < 25.0, "scalar sum on mesh {small}");
+    }
+
+    #[test]
+    fn mesh_hurts_standard_cg_more_than_lookahead() {
+        let n = 1 << 16;
+        let topo = Topology::Mesh2d { hop: 1.0 };
+        let m = topo.machine();
+        let std_c = builders::standard_cg(n, 5, 24).steady_cycle_time(&m);
+        let la = builders::lookahead_cg(n, 5, 24, 16).steady_cycle_time(&m);
+        // mesh reduction latency = 2·√65536 = 512 per reduction; standard
+        // pays it twice per iteration, the look-ahead amortizes it over k
+        assert!(std_c > 1000.0, "standard on mesh {std_c}");
+        assert!(la < std_c / 4.0, "lookahead {la} vs standard {std_c}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Block CG: many right-hand sides at once — the spatial dual of the
+//! paper's temporal look-ahead.
+//!
+//! ```text
+//! cargo run --release --example block_rhs [grid] [nrhs]
+//! ```
+
+use cg_lookahead::cg::block::BlockCg;
+use cg_lookahead::cg::standard::StandardCg;
+use cg_lookahead::cg::{CgVariant, SolveOptions};
+use cg_lookahead::linalg::gen;
+use cg_lookahead::linalg::kernels::norm2;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let grid: usize = args.first().map_or(24, |s| s.parse().expect("grid"));
+    let nrhs: usize = args.get(1).map_or(6, |s| s.parse().expect("nrhs"));
+
+    let a = gen::poisson2d(grid);
+    let n = a.nrows();
+    let bs: Vec<Vec<f64>> = (0..nrhs)
+        .map(|k| gen::rand_vector(n, 1000 + k as u64))
+        .collect();
+    let opts = SolveOptions::default().with_tol(1e-9).with_max_iters(4000);
+
+    println!(
+        "poisson2d {grid}×{grid} (N = {n}), {nrhs} right-hand sides, tol 1e-9\n"
+    );
+
+    // one-at-a-time standard CG
+    let t0 = std::time::Instant::now();
+    let mut total_single_iters = 0;
+    for b in &bs {
+        let res = StandardCg::new().solve(&a, b, None, &opts);
+        assert!(res.converged);
+        total_single_iters += res.iterations;
+    }
+    let t_single = t0.elapsed();
+
+    // block CG
+    let t0 = std::time::Instant::now();
+    let block = BlockCg::new().solve(&a, &bs, &opts);
+    let t_block = t0.elapsed();
+    assert!(block.converged, "{:?}", block.termination);
+
+    for (j, b) in bs.iter().enumerate() {
+        let ax = a.spmv(&block.x[j]);
+        let mut r = vec![0.0; n];
+        cg_lookahead::linalg::kernels::sub(b, &ax, &mut r);
+        assert!(norm2(&r) < 1e-6 * norm2(b), "column {j}");
+    }
+
+    println!(
+        "{:<22} {:>10} {:>14} {:>12}",
+        "method", "iterations", "reductions", "wall time"
+    );
+    println!(
+        "{:<22} {:>10} {:>14} {:>9.1} ms",
+        format!("standard CG ×{nrhs}"),
+        total_single_iters,
+        total_single_iters * 2,
+        t_single.as_secs_f64() * 1e3
+    );
+    // block: ~3 batched reductions per block iteration, independent of s
+    println!(
+        "{:<22} {:>10} {:>14} {:>9.1} ms",
+        "block CG",
+        block.iterations,
+        block.iterations * 3,
+        t_block.as_secs_f64() * 1e3
+    );
+    println!(
+        "\nblock Krylov: {} block iterations replace {} single iterations;\n\
+         every block iteration pays for its {}²-dot Gram work with ONE\n\
+         reduction latency — amortization across space instead of the\n\
+         paper's amortization across time.",
+        block.iterations, total_single_iters, nrhs
+    );
+}

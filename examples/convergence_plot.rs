@@ -1,0 +1,80 @@
+//! Convergence curves for every solver on one problem, as an ASCII
+//! semilog plot plus a Graphviz export of the look-ahead dataflow.
+//!
+//! ```text
+//! cargo run --release --example convergence_plot [grid]
+//! ```
+//!
+//! Writes `target/lookahead.dot` — render with
+//! `dot -Tsvg target/lookahead.dot -o lookahead.svg` for the Figure-1
+//! dataflow diagram.
+
+use cg_lookahead::cg::baselines::{ChronopoulosGearCg, PipelinedCg};
+use cg_lookahead::cg::lookahead::LookaheadCg;
+use cg_lookahead::cg::sstep::SStepCg;
+use cg_lookahead::cg::standard::StandardCg;
+use cg_lookahead::cg::{CgVariant, SolveOptions};
+use cg_lookahead::linalg::gen;
+use cg_lookahead::sim::export::{to_dot, DotOptions};
+use cg_lookahead::sim::builders;
+use vr_bench::ascii_semilog;
+
+fn main() {
+    let grid: usize = std::env::args()
+        .nth(1)
+        .map_or(20, |s| s.parse().expect("grid"));
+    let a = gen::poisson2d(grid);
+    let b = gen::poisson2d_rhs(grid);
+    let opts = SolveOptions::default().with_tol(1e-10).with_max_iters(3000);
+
+    let solvers: Vec<Box<dyn CgVariant>> = vec![
+        Box::new(StandardCg::new()),
+        Box::new(ChronopoulosGearCg::new()),
+        Box::new(PipelinedCg::new()),
+        Box::new(LookaheadCg::new(2).with_resync(12)),
+        Box::new(SStepCg::chebyshev(8)),
+    ];
+
+    println!(
+        "convergence on poisson2d {grid}×{grid} (N = {}), tol 1e-10\n",
+        a.nrows()
+    );
+    let mut histories: Vec<(String, Vec<f64>)> = Vec::new();
+    for s in &solvers {
+        let res = s.solve(&a, &b, None, &opts);
+        println!(
+            "{:<28} {:>5} iterations   {:?}",
+            s.name(),
+            res.iterations,
+            res.termination
+        );
+        // subsample long histories so the plot stays terminal-width
+        let stride = (res.residual_norms.len() / 60).max(1);
+        let ys: Vec<f64> = res
+            .residual_norms
+            .iter()
+            .step_by(stride)
+            .copied()
+            .collect();
+        histories.push((s.name(), ys));
+    }
+
+    let series: Vec<(&str, &[f64])> = histories
+        .iter()
+        .map(|(n, ys)| (n.as_str(), ys.as_slice()))
+        .collect();
+    println!("\n{}", ascii_semilog(&series, 16));
+
+    // Graphviz export of the look-ahead dataflow (2 steady iterations)
+    let dag = builders::lookahead_cg(1 << 12, 5, 10, 3);
+    let dot = to_dot(
+        &dag.graph,
+        &DotOptions {
+            iter_range: Some((5, 6)),
+            cluster_by_iteration: true,
+        },
+    );
+    std::fs::create_dir_all("target").expect("mkdir");
+    std::fs::write("target/lookahead.dot", &dot).expect("write dot");
+    println!("wrote target/lookahead.dot ({} bytes) — render with graphviz", dot.len());
+}

@@ -1,0 +1,56 @@
+//! Machine-model playground: per-iteration parallel time of every CG
+//! variant under different machine assumptions.
+//!
+//! Run with:
+//! `cargo run --release --example machine_model -- [log2_N] [d] [alpha]`
+//! (defaults: 20, 5, 0).
+
+use cg_lookahead::sim::{builders, MachineModel, Procs};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let log_n: u32 = args.first().map_or(20, |s| s.parse().expect("log2_N"));
+    let d: usize = args.get(1).map_or(5, |s| s.parse().expect("d"));
+    let alpha: f64 = args.get(2).map_or(0.0, |s| s.parse().expect("alpha"));
+
+    let n = 1usize << log_n;
+    let iters = 40;
+    let k = log_n as usize;
+
+    let dags = [
+        builders::standard_cg(n, d, iters),
+        builders::chronopoulos_gear(n, d, iters),
+        builders::pipelined_cg(n, d, iters),
+        builders::overlap_k1(n, d, iters),
+        builders::lookahead_cg(n, d, iters, k),
+    ];
+
+    println!("N = 2^{log_n}, d = {d}, α = {alpha} — per-iteration parallel time\n");
+    println!(
+        "{:<20} {:>12} {:>14} {:>14} {:>10}",
+        "algorithm", "PRAM", "P = 2^16", "P = 2^10", "startup"
+    );
+    let pram = MachineModel::pram().with_latency(alpha);
+    let p16 = MachineModel {
+        procs: Procs::Bounded(1 << 16),
+        ..pram.clone()
+    };
+    let p10 = MachineModel {
+        procs: Procs::Bounded(1 << 10),
+        ..pram.clone()
+    };
+    for dag in &dags {
+        println!(
+            "{:<20} {:>12.1} {:>14.1} {:>14.1} {:>10.1}",
+            dag.name,
+            dag.steady_cycle_time(&pram),
+            dag.steady_cycle_time(&p16),
+            dag.steady_cycle_time(&p10),
+            dag.startup_time(&pram),
+        );
+    }
+    println!(
+        "\n(k = {k} for the look-ahead builder; 'startup' is the paper's\n\
+         \"initial start up\" before the pipeline fills, in the PRAM model)"
+    );
+}

@@ -1,0 +1,117 @@
+//! A small PDE-solver application exercising the full public API:
+//! problem selection, solver selection, preconditioning, and convergence
+//! reporting.
+//!
+//! ```text
+//! cargo run --release --example poisson_solver -- [problem] [solver] [tol]
+//!   problem: poisson2d | poisson3d | aniso | random      (default poisson2d)
+//!   solver : standard | three-term | chrono | pipelined |
+//!            overlap | lookahead:<k> | pcg:<jacobi|ssor|ic0>  (default all)
+//!   tol    : relative residual tolerance                  (default 1e-8)
+//! ```
+
+use cg_lookahead::cg::baselines::{ChronopoulosGearCg, PipelinedCg, PrecondCg, ThreeTermCg};
+use cg_lookahead::cg::lookahead::LookaheadCg;
+use cg_lookahead::cg::overlap_k1::OverlapK1Cg;
+use cg_lookahead::cg::standard::StandardCg;
+use cg_lookahead::cg::{CgVariant, SolveOptions};
+use cg_lookahead::linalg::precond::{Ic0, Jacobi, Ssor};
+use cg_lookahead::linalg::{gen, CsrMatrix};
+
+fn build_problem(name: &str) -> (CsrMatrix, Vec<f64>) {
+    match name {
+        "poisson2d" => (gen::poisson2d(48), gen::poisson2d_rhs(48)),
+        "poisson3d" => (gen::poisson3d(14), gen::rand_vector(14 * 14 * 14, 1)),
+        "aniso" => (gen::anisotropic2d(48, 0.02), gen::rand_vector(48 * 48, 2)),
+        "random" => (gen::rand_spd(4000, 6, 1.0, 42), gen::rand_vector(4000, 3)),
+        other => {
+            eprintln!("unknown problem '{other}' (poisson2d|poisson3d|aniso|random)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn build_solvers(name: &str, a: &CsrMatrix) -> Vec<Box<dyn CgVariant>> {
+    let mk_pcg = |kind: &str| -> Box<dyn CgVariant> {
+        match kind {
+            "jacobi" => Box::new(PrecondCg::new(
+                Jacobi::new(a).expect("jacobi"),
+                "pcg-jacobi",
+            )),
+            "ssor" => Box::new(PrecondCg::new(
+                Ssor::new(a, 1.2).expect("ssor"),
+                "pcg-ssor",
+            )),
+            "ic0" => Box::new(PrecondCg::new(Ic0::new(a).expect("ic0"), "pcg-ic0")),
+            other => {
+                eprintln!("unknown preconditioner '{other}'");
+                std::process::exit(2);
+            }
+        }
+    };
+    match name {
+        "all" => vec![
+            Box::new(StandardCg::new()),
+            Box::new(ThreeTermCg::new()),
+            Box::new(ChronopoulosGearCg::new()),
+            Box::new(PipelinedCg::new()),
+            Box::new(OverlapK1Cg::new().with_resync(25)),
+            Box::new(LookaheadCg::new(2).with_resync(12)),
+            Box::new(LookaheadCg::new(4).with_resync(12)),
+            mk_pcg("jacobi"),
+            mk_pcg("ic0"),
+        ],
+        "standard" => vec![Box::new(StandardCg::new())],
+        "three-term" => vec![Box::new(ThreeTermCg::new())],
+        "chrono" => vec![Box::new(ChronopoulosGearCg::new())],
+        "pipelined" => vec![Box::new(PipelinedCg::new())],
+        "overlap" => vec![Box::new(OverlapK1Cg::new().with_resync(25))],
+        other => {
+            if let Some(k) = other.strip_prefix("lookahead:") {
+                let k: usize = k.parse().expect("lookahead:<k>");
+                vec![Box::new(LookaheadCg::new(k).with_resync(12))]
+            } else if let Some(p) = other.strip_prefix("pcg:") {
+                vec![mk_pcg(p)]
+            } else {
+                eprintln!("unknown solver '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let problem = args.first().map_or("poisson2d", String::as_str);
+    let solver = args.get(1).map_or("all", String::as_str);
+    let tol: f64 = args.get(2).map_or(1e-8, |t| t.parse().expect("tol"));
+
+    let (a, b) = build_problem(problem);
+    println!(
+        "{problem}: N = {}, nnz = {}, d = {}, tol = {tol:.0e}\n",
+        a.nrows(),
+        a.nnz(),
+        a.max_row_nnz()
+    );
+    println!(
+        "{:<28} {:>7} {:>12} {:>10} {:>9} {:>9}",
+        "solver", "iters", "true resid", "matvecs", "dots", "status"
+    );
+
+    let opts = SolveOptions::default().with_tol(tol).with_max_iters(20_000);
+    for s in build_solvers(solver, &a) {
+        let t0 = std::time::Instant::now();
+        let res = s.solve(&a, &b, None, &opts);
+        let dt = t0.elapsed();
+        println!(
+            "{:<28} {:>7} {:>12.2e} {:>10} {:>9} {:>9} ({:.1} ms)",
+            s.name(),
+            res.iterations,
+            res.true_residual(&a, &b),
+            res.counts.matvecs,
+            res.counts.dots,
+            format!("{:?}", res.termination),
+            dt.as_secs_f64() * 1e3,
+        );
+    }
+}

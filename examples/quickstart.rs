@@ -1,0 +1,53 @@
+//! Quickstart: solve a 2-D Poisson problem with standard CG and the
+//! Van Rosendale look-ahead CG, and show the simulator's parallel-time
+//! verdict for both.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cg_lookahead::cg::lookahead::LookaheadCg;
+use cg_lookahead::cg::standard::StandardCg;
+use cg_lookahead::cg::{CgVariant, SolveOptions};
+use cg_lookahead::linalg::gen;
+use cg_lookahead::sim::{builders, MachineModel};
+
+fn main() {
+    // -- the numeric side: both algorithms produce the same solution --
+    let n = 64; // 64×64 grid → 4096 unknowns
+    let a = gen::poisson2d(n);
+    let b = gen::poisson2d_rhs(n);
+    println!(
+        "problem: poisson2d {n}×{n} (N = {}, d = {})",
+        a.nrows(),
+        a.max_row_nnz()
+    );
+
+    let opts = SolveOptions::default().with_tol(1e-8);
+    let std_res = StandardCg::new().solve(&a, &b, None, &opts);
+    println!(
+        "standard CG      : {:>4} iterations, true residual {:.2e}",
+        std_res.iterations,
+        std_res.true_residual(&a, &b)
+    );
+
+    let la = LookaheadCg::new(3).with_resync(10);
+    let la_res = la.solve(&a, &b, None, &opts);
+    println!(
+        "look-ahead (k=3) : {:>4} iterations, true residual {:.2e}",
+        la_res.iterations,
+        la_res.true_residual(&a, &b)
+    );
+
+    let dist = cg_lookahead::linalg::kernels::dist2(&std_res.x, &la_res.x);
+    println!("‖x_std − x_la‖   : {dist:.2e}  (same iteration, restructured)");
+
+    // -- the parallel side: what the restructuring buys on the paper's
+    //    machine (≥ N processors, log-depth summations) --
+    let machine = MachineModel::pram();
+    let big_n = 1 << 20;
+    let std_cycle = builders::standard_cg(big_n, 5, 30).steady_cycle_time(&machine);
+    let la_cycle = builders::lookahead_cg(big_n, 5, 30, 20).steady_cycle_time(&machine);
+    println!("\non an idealized machine with ≥ N = 2^20 processors:");
+    println!("standard CG      : {std_cycle:.1} time units per iteration  (≈ 2·log N)");
+    println!("look-ahead k=20  : {la_cycle:.1} time units per iteration  (≈ max(log d, log log N))");
+    println!("speedup          : {:.1}×", std_cycle / la_cycle);
+}

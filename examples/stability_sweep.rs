@@ -1,0 +1,54 @@
+//! Stability sweep: how deep can the look-ahead go before the power-basis
+//! moment window gives out, and what resync buys (the E9 story, in an
+//! interactive form).
+//!
+//! Run with: `cargo run --release --example stability_sweep [grid] [tol]`
+//! (defaults: grid 24, tol 1e-10).
+
+use cg_lookahead::cg::lookahead::LookaheadCg;
+use cg_lookahead::cg::standard::StandardCg;
+use cg_lookahead::cg::{CgVariant, SolveOptions};
+use cg_lookahead::linalg::gen;
+use cg_lookahead::linalg::kernels::norm2;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let grid: usize = args.first().map_or(24, |s| s.parse().expect("grid"));
+    let tol: f64 = args.get(1).map_or(1e-10, |s| s.parse().expect("tol"));
+
+    let a = gen::poisson2d(grid);
+    let b = gen::poisson2d_rhs(grid);
+    let bn = norm2(&b);
+    let opts = SolveOptions::default().with_tol(tol).with_max_iters(3000);
+
+    println!(
+        "poisson2d {grid}×{grid}, tol {tol:.0e}; Gershgorin bound ‖A‖ ≤ {:.1}\n",
+        a.gershgorin_bound()
+    );
+    println!(
+        "{:<30} {:>6} {:>9} {:>9} {:>14}",
+        "solver", "iters", "restarts", "status", "rel true resid"
+    );
+
+    let report = |s: &dyn CgVariant| {
+        let res = s.solve(&a, &b, None, &opts);
+        println!(
+            "{:<30} {:>6} {:>9} {:>9} {:>14.2e}",
+            s.name(),
+            res.iterations,
+            res.counts.restarts,
+            if res.converged { "ok" } else { "stalled" },
+            res.true_residual(&a, &b) / bn
+        );
+    };
+
+    report(&StandardCg::new());
+    println!("--- no resynchronization (pure recurrences) ---");
+    for k in [1usize, 2, 3, 4, 6, 8, 10] {
+        report(&LookaheadCg::new(k));
+    }
+    println!("--- resync every 10 iterations ---");
+    for k in [2usize, 4, 8, 10] {
+        report(&LookaheadCg::new(k).with_resync(10));
+    }
+}

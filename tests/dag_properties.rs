@@ -1,0 +1,133 @@
+//! Structural properties shared by every algorithm DAG the builders emit.
+
+use cg_lookahead::sim::{builders, AlgoDag, MachineModel, OpKind};
+
+fn all_dags() -> Vec<AlgoDag> {
+    let (n, d, iters) = (1usize << 12, 5usize, 12usize);
+    vec![
+        builders::standard_cg(n, d, iters),
+        builders::overlap_k1(n, d, iters),
+        builders::chronopoulos_gear(n, d, iters),
+        builders::pipelined_cg(n, d, iters),
+        builders::lookahead_cg(n, d, iters, 4),
+        builders::sstep_cg(n, d, iters / 4, 4),
+        builders::preconditioned_cg(n, d, iters, 1),
+        builders::chebyshev_iteration(n, d, iters, 5),
+        builders::block_cg(n, d, iters, 4),
+    ]
+}
+
+#[test]
+fn milestones_are_monotone_in_time() {
+    let m = MachineModel::pram();
+    for dag in all_dags() {
+        let times = dag.graph.schedule(&m);
+        let mut prev = -1.0;
+        for (i, ms) in dag.milestones.iter().enumerate() {
+            let f = times[ms.0].1;
+            assert!(
+                f >= prev,
+                "{}: milestone {i} finishes at {f} before {prev}",
+                dag.name
+            );
+            prev = f;
+        }
+    }
+}
+
+#[test]
+fn every_node_reachable_from_a_source() {
+    // each node's start time is well-defined and ≥ 0; every non-source node
+    // has at least one dependency (no disconnected work floats free)
+    let m = MachineModel::pram();
+    for dag in all_dags() {
+        let times = dag.graph.schedule(&m);
+        for (id, node) in dag.graph.nodes() {
+            assert!(times[id.0].0 >= 0.0);
+            if !matches!(node.kind, OpKind::Source) {
+                assert!(
+                    !node.deps.is_empty(),
+                    "{}: node '{}' has no dependencies",
+                    dag.name,
+                    node.label
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn deps_strictly_precede_in_schedule() {
+    let m = MachineModel::bounded(64);
+    for dag in all_dags() {
+        let times = dag.graph.schedule(&m);
+        for (id, node) in dag.graph.nodes() {
+            for dep in &node.deps {
+                assert!(
+                    times[id.0].0 + 1e-12 >= times[dep.0].1,
+                    "{}: '{}' starts before its dependency finishes",
+                    dag.name,
+                    node.label
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cycle_time_positive_and_total_consistent() {
+    let m = MachineModel::pram();
+    for dag in all_dags() {
+        let cycle = dag.steady_cycle_time(&m);
+        assert!(cycle > 0.0, "{}", dag.name);
+        let total = dag.total_time(&m);
+        // total ≥ (iterations − 1) · steady cycle (startup can only add)
+        let floor = cycle * (dag.milestones.len() as f64 - 1.0) * 0.5;
+        assert!(total > floor, "{}: total {total} vs floor {floor}", dag.name);
+        assert!(dag.startup_time(&m) >= 0.0, "{}", dag.name);
+    }
+}
+
+#[test]
+fn iteration_tags_cover_all_compute_nodes() {
+    for dag in all_dags() {
+        let untagged = dag
+            .graph
+            .nodes()
+            .filter(|(_, n)| n.iter.is_none() && !matches!(n.kind, OpKind::Source))
+            .count();
+        // only the source and at most a couple of init nodes may go untagged
+        assert!(
+            untagged <= 2,
+            "{}: {untagged} untagged compute nodes",
+            dag.name
+        );
+    }
+}
+
+#[test]
+fn graph_sizes_scale_linearly_with_iterations() {
+    let n12 = builders::lookahead_cg(1 << 10, 5, 12, 3).graph.len();
+    let n24 = builders::lookahead_cg(1 << 10, 5, 24, 3).graph.len();
+    let per_iter = (n24 - n12) as f64 / 12.0;
+    // linear growth, no superlinear blowup
+    let n48 = builders::lookahead_cg(1 << 10, 5, 48, 3).graph.len();
+    let per_iter2 = (n48 - n24) as f64 / 24.0;
+    assert!((per_iter - per_iter2).abs() < 1.0, "{per_iter} vs {per_iter2}");
+}
+
+#[test]
+fn bounded_machines_only_slow_things_down() {
+    let m_inf = MachineModel::pram();
+    for dag in all_dags() {
+        let t_inf = dag.graph.makespan(&m_inf);
+        for p in [1usize, 64, 1 << 16] {
+            let m = MachineModel::bounded(p);
+            assert!(
+                dag.graph.makespan(&m) + 1e-9 >= t_inf,
+                "{} on P={p}",
+                dag.name
+            );
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! End-to-end scenario: the full toolchain on one realistic workflow.
+//!
+//! generate → shuffle → RCM reorder → Jacobi-scale → spectral probe →
+//! solve with five methods → validate against banded Cholesky → simulate
+//! the parallel profile → export results. Every public subsystem of the
+//! repository participates.
+
+use cg_lookahead::cg::baselines::{ConjugateResidual, PrecondCg};
+use cg_lookahead::cg::lookahead::LookaheadCg;
+use cg_lookahead::cg::sstep::SStepCg;
+use cg_lookahead::cg::standard::StandardCg;
+use cg_lookahead::cg::{CgVariant, SolveOptions};
+use cg_lookahead::linalg::banded::SymBanded;
+use cg_lookahead::linalg::eig::estimate_spectrum;
+use cg_lookahead::linalg::kernels::{dist2, norm2};
+use cg_lookahead::linalg::precond::{jacobi_scale, scale_rhs, unscale_solution, Ic0};
+use cg_lookahead::linalg::reorder::{bandwidth, reverse_cuthill_mckee, Permutation};
+use cg_lookahead::linalg::{gen, io};
+use cg_lookahead::sim::export::{to_dot, DotOptions};
+use cg_lookahead::sim::render::{gantt, GanttOptions};
+use cg_lookahead::sim::{builders, MachineModel, Topology};
+
+#[test]
+fn full_pipeline() {
+    // --- 1. workload: anisotropic diffusion, shuffled ordering ---
+    let grid = 20;
+    let a0 = gen::anisotropic2d(grid, 0.1);
+    let n = a0.nrows();
+    let mut rng = gen::XorShift64::new(7);
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.below(i + 1);
+        idx.swap(i, j);
+    }
+    let shuffle = Permutation::from_vec(idx);
+    let a_shuffled = shuffle.apply_matrix(&a0);
+
+    // --- 2. I/O roundtrip (the "load from disk" path) ---
+    let mut buf = Vec::new();
+    io::write_matrix_market(&a_shuffled, &mut buf).expect("write");
+    let a_loaded = io::read_matrix_market(&buf[..]).expect("read");
+    assert_eq!(a_loaded, a_shuffled);
+
+    // --- 3. RCM reordering restores a narrow band ---
+    let rcm = reverse_cuthill_mckee(&a_loaded);
+    let a_rcm = rcm.apply_matrix(&a_loaded);
+    assert!(
+        bandwidth(&a_rcm) * 4 < bandwidth(&a_loaded),
+        "RCM failed: {} vs {}",
+        bandwidth(&a_rcm),
+        bandwidth(&a_loaded)
+    );
+
+    // --- 4. Jacobi scaling (plain-system preconditioning) ---
+    let (a_hat, s) = jacobi_scale(&a_rcm).expect("SPD diag");
+    let b_orig = gen::rand_vector(n, 99);
+    // rhs must follow the same transformations as the matrix
+    let b_shuffled = shuffle.apply_vec(&b_orig);
+    let b_rcm = rcm.apply_vec(&b_shuffled);
+    let b_hat = scale_rhs(&b_rcm, &s);
+
+    // --- 5. spectral probe predicts the easier system ---
+    let k_raw = estimate_spectrum(&a_rcm, 30, 3).condition();
+    let k_hat = estimate_spectrum(&a_hat, 30, 3).condition();
+    assert!(k_hat <= k_raw * 1.1, "scaling should not hurt: {k_hat} vs {k_raw}");
+
+    // --- 6. ground truth via banded Cholesky on the RCM system ---
+    let band = SymBanded::from_csr(&a_rcm).expect("symmetric");
+    let x_direct = band.solve(&b_rcm).expect("SPD");
+
+    // --- 7. iterative solvers on the scaled system ---
+    let opts = SolveOptions::default().with_tol(1e-10).with_max_iters(4000);
+    let solvers: Vec<Box<dyn CgVariant>> = vec![
+        Box::new(StandardCg::new()),
+        Box::new(ConjugateResidual::new()),
+        Box::new(LookaheadCg::new(2).with_resync(12)),
+        Box::new(SStepCg::chebyshev(6)),
+        Box::new(PrecondCg::new(Ic0::new(&a_hat).expect("ic0"), "pcg-ic0")),
+    ];
+    for solver in solvers {
+        let res = solver.solve(&a_hat, &b_hat, None, &opts);
+        assert!(res.converged, "{}: {:?}", solver.name(), res.termination);
+        let x = unscale_solution(&res.x, &s);
+        let err = dist2(&x, &x_direct) / (1.0 + norm2(&x_direct));
+        assert!(err < 1e-6, "{}: ‖x − x_direct‖ rel {err:.2e}", solver.name());
+        // and map all the way back to the original ordering
+        let x_orig = shuffle.unapply_vec(&rcm.unapply_vec(&x));
+        let ax = a0.spmv(&x_orig);
+        let mut r = vec![0.0; n];
+        cg_lookahead::linalg::kernels::sub(&b_orig, &ax, &mut r);
+        assert!(
+            norm2(&r) < 1e-7 * norm2(&b_orig),
+            "{}: residual in original ordering {}",
+            solver.name(),
+            norm2(&r)
+        );
+    }
+
+    // --- 8. parallel profile of the winning strategy ---
+    let m_ideal = MachineModel::pram();
+    let m_mesh = Topology::Mesh2d { hop: 1.0 }.machine();
+    let std_dag = builders::standard_cg(1 << 16, 5, 16);
+    let la_dag = builders::lookahead_cg(1 << 16, 5, 16, 16);
+    assert!(la_dag.steady_cycle_time(&m_ideal) < std_dag.steady_cycle_time(&m_ideal));
+    assert!(la_dag.steady_cycle_time(&m_mesh) < std_dag.steady_cycle_time(&m_mesh));
+
+    // --- 9. exports render without panicking and contain content ---
+    let gantt_out = gantt(
+        &la_dag.graph,
+        &m_ideal,
+        &GanttOptions {
+            width: 40,
+            iter_range: Some((8, 9)),
+            skip_instant: true,
+        },
+    );
+    assert!(gantt_out.contains('#'));
+    let dot_out = to_dot(
+        &la_dag.graph,
+        &DotOptions {
+            iter_range: Some((8, 8)),
+            cluster_by_iteration: true,
+        },
+    );
+    assert!(dot_out.starts_with("digraph"));
+    assert!(dot_out.contains("cluster_8"));
+}

@@ -1,0 +1,118 @@
+//! Integration: the deterministic parallel runtime in concert with the
+//! solvers — the "real machine" half of the reproduction.
+
+use cg_lookahead::cg::standard::StandardCg;
+use cg_lookahead::cg::{CgVariant, SolveOptions};
+use cg_lookahead::linalg::{gen, kernels, LinearOperator};
+use cg_lookahead::par::{par, reduce, PendingScalar, ThreadPool};
+use std::sync::Arc;
+
+#[test]
+fn parallel_spmv_matches_serial() {
+    // build a parallel matrix-free operator on top of the CSR matrix using
+    // par_for_mut over row blocks
+    struct ParOp {
+        a: cg_lookahead::linalg::CsrMatrix,
+        threads: usize,
+    }
+    impl LinearOperator for ParOp {
+        fn dim(&self) -> usize {
+            self.a.nrows()
+        }
+        fn apply(&self, x: &[f64], y: &mut [f64]) {
+            let n = self.a.nrows();
+            let chunk = n.div_ceil(self.threads.max(1));
+            par::par_for_mut(y, self.threads, |ci, yblock| {
+                let base = ci * chunk;
+                for (off, yi) in yblock.iter_mut().enumerate() {
+                    let row = base + off;
+                    let mut acc = 0.0;
+                    for (c, v) in self.a.row(row) {
+                        acc += v * x[c];
+                    }
+                    *yi = acc;
+                }
+            });
+        }
+        fn max_row_nnz(&self) -> usize {
+            self.a.max_row_nnz()
+        }
+    }
+
+    let a = gen::poisson2d(40); // 1600 unknowns → parallel path engages
+    let x = gen::rand_vector(1600, 3);
+    let serial = a.spmv(&x);
+    let op = ParOp {
+        a: a.clone(),
+        threads: 4,
+    };
+    let par_y = op.apply_alloc(&x);
+    assert_eq!(serial, par_y, "chunked parallel SpMV must be exact");
+
+    // and CG runs unchanged on the parallel operator
+    let b = gen::poisson2d_rhs(40);
+    let res = StandardCg::new().solve(&op, &b, None, &SolveOptions::default().with_tol(1e-8));
+    assert!(res.converged);
+    assert!(res.true_residual(&a, &b) < 1e-5);
+}
+
+#[test]
+fn deterministic_reduction_equals_across_widths_on_cg_data() {
+    // the vectors CG actually produces (smooth, decaying) must reduce
+    // identically at any thread count
+    let a = gen::poisson2d(32);
+    let b = gen::poisson2d_rhs(32);
+    let res = StandardCg::new().solve(&a, &b, None, &SolveOptions::default());
+    let x = &res.x;
+    let d1 = reduce::par_dot(x, x, 1);
+    for t in [2usize, 4, 8] {
+        assert_eq!(d1.to_bits(), reduce::par_dot(x, x, t).to_bits(), "t={t}");
+    }
+    // and matches the serial kernel to high accuracy
+    let serial = kernels::dot_serial(x, x);
+    assert!((d1 - serial).abs() <= 1e-10 * (1.0 + serial));
+}
+
+#[test]
+fn pipelined_scalars_deliver_out_of_order_launches() {
+    let pool = ThreadPool::new(4);
+    let xs: Vec<Arc<Vec<f64>>> = (0..8)
+        .map(|i| Arc::new(vec![i as f64 + 1.0; 4096]))
+        .collect();
+    // launch all, consume in reverse order — values must still be right
+    let pending: Vec<PendingScalar> = xs
+        .iter()
+        .map(|x| PendingScalar::spawn_dot(&pool, Arc::clone(x), Arc::clone(x)))
+        .collect();
+    for (i, p) in pending.iter().enumerate().rev() {
+        let v = (i as f64 + 1.0) * (i as f64 + 1.0) * 4096.0;
+        assert!((p.wait() - v).abs() < 1e-6 * v);
+    }
+}
+
+#[test]
+fn overlapped_dot_during_spmv_equals_sequential() {
+    // the §3 discipline on real threads: launch (r,r) while computing A·p
+    let a = gen::poisson2d(48);
+    let r = Arc::new(gen::rand_vector(a.nrows(), 77));
+    let p = gen::rand_vector(a.nrows(), 78);
+
+    let pool = ThreadPool::new(2);
+    let pending_rr = PendingScalar::spawn_dot(&pool, Arc::clone(&r), Arc::clone(&r));
+    let w = a.spmv(&p); // overlaps with the reduction
+    let rr = pending_rr.wait();
+
+    let rr_seq = kernels::dot_serial(&r, &r);
+    assert_eq!(rr.to_bits(), reduce::par_dot(&r, &r, 1).to_bits());
+    assert!((rr - rr_seq).abs() <= 1e-10 * (1.0 + rr_seq));
+    assert_eq!(w.len(), a.nrows());
+}
+
+#[test]
+fn par_map_and_axpy_compose() {
+    let x: Vec<f64> = (0..5000).map(|i| i as f64).collect();
+    let doubled = par::par_map(&x, 4, |_, v| v * 2.0);
+    let mut y = doubled.clone();
+    par::par_axpy(-2.0, &x, &mut y, 4);
+    assert!(y.iter().all(|&v| v == 0.0));
+}

@@ -1,0 +1,371 @@
+//! Property-based tests over the core data structures and invariants.
+
+use cg_lookahead::cg::recurrence::identities;
+use cg_lookahead::cg::standard::StandardCg;
+use cg_lookahead::cg::{CgVariant, SolveOptions};
+use cg_lookahead::linalg::kernels;
+use cg_lookahead::linalg::{gen, CooMatrix, DenseMatrix};
+use cg_lookahead::par::reduce;
+use cg_lookahead::poly::{Monomial, MultiPoly};
+use proptest::prelude::*;
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0..100.0f64, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------- kernels ----------
+
+    #[test]
+    fn tree_dot_close_to_serial(x in small_vec(257), y in small_vec(257)) {
+        let s = kernels::dot_serial(&x, &y);
+        let t = kernels::dot_tree(&x, &y);
+        let scale = x.iter().zip(&y).map(|(a, b)| (a * b).abs()).sum::<f64>();
+        prop_assert!((s - t).abs() <= 1e-10 * (1.0 + scale));
+    }
+
+    #[test]
+    fn par_dot_is_thread_invariant(x in small_vec(2048)) {
+        let d1 = reduce::par_dot(&x, &x, 1);
+        let d3 = reduce::par_dot(&x, &x, 3);
+        let d7 = reduce::par_dot(&x, &x, 7);
+        prop_assert_eq!(d1.to_bits(), d3.to_bits());
+        prop_assert_eq!(d1.to_bits(), d7.to_bits());
+    }
+
+    #[test]
+    fn axpy_then_inverse_restores(a in -10.0..10.0f64, x in small_vec(64)) {
+        let mut y = vec![1.0; 64];
+        let y0 = y.clone();
+        kernels::axpy(a, &x, &mut y);
+        kernels::axpy(-a, &x, &mut y);
+        for (yi, y0i) in y.iter().zip(&y0) {
+            prop_assert!((yi - y0i).abs() <= 1e-9 * (1.0 + a.abs() * 100.0));
+        }
+    }
+
+    #[test]
+    fn norm_triangle_inequality(x in small_vec(50), y in small_vec(50)) {
+        let mut s = vec![0.0; 50];
+        kernels::add(&x, &y, &mut s);
+        prop_assert!(kernels::norm2(&s) <= kernels::norm2(&x) + kernels::norm2(&y) + 1e-9);
+    }
+
+    #[test]
+    fn cauchy_schwarz(x in small_vec(40), y in small_vec(40)) {
+        let d = kernels::dot_serial(&x, &y).abs();
+        prop_assert!(d <= kernels::norm2(&x) * kernels::norm2(&y) * (1.0 + 1e-12) + 1e-9);
+    }
+
+    // ---------- sparse matrices ----------
+
+    #[test]
+    fn coo_to_csr_preserves_matvec(
+        triplets in prop::collection::vec((0usize..12, 0usize..12, -5.0..5.0f64), 0..60),
+        x in small_vec(12),
+    ) {
+        let mut coo = CooMatrix::new(12, 12);
+        let mut dense = vec![vec![0.0; 12]; 12];
+        for (r, c, v) in &triplets {
+            coo.push(*r, *c, *v).unwrap();
+            dense[*r][*c] += v;
+        }
+        let csr = coo.to_csr();
+        let y_sparse = csr.spmv(&x);
+        let d = DenseMatrix::from_rows(&dense).unwrap();
+        let y_dense = d.matvec(&x);
+        for (a, b) in y_sparse.iter().zip(&y_dense) {
+            prop_assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn transpose_transpose_identity(
+        triplets in prop::collection::vec((0usize..10, 0usize..14, -5.0..5.0f64), 0..50),
+    ) {
+        let mut coo = CooMatrix::new(10, 14);
+        for (r, c, v) in &triplets {
+            coo.push(*r, *c, *v).unwrap();
+        }
+        let a = coo.to_csr();
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn spmv_linearity(seed in 0u64..5000, alpha in -3.0..3.0f64) {
+        let a = gen::rand_spd(20, 3, 1.0, seed);
+        let x = gen::rand_vector(20, seed.wrapping_add(1));
+        let y = gen::rand_vector(20, seed.wrapping_add(2));
+        // A(αx + y) == αAx + Ay
+        let mut xy = vec![0.0; 20];
+        for i in 0..20 { xy[i] = alpha * x[i] + y[i]; }
+        let lhs = a.spmv(&xy);
+        let ax = a.spmv(&x);
+        let ay = a.spmv(&y);
+        for i in 0..20 {
+            let rhs = alpha * ax[i] + ay[i];
+            prop_assert!((lhs[i] - rhs).abs() <= 1e-9 * (1.0 + rhs.abs()));
+        }
+    }
+
+    #[test]
+    fn spd_quadratic_form_positive(seed in 0u64..5000) {
+        let a = gen::rand_spd(25, 4, 1.0, seed);
+        let x = gen::rand_vector(25, seed.wrapping_add(7));
+        if kernels::norm2(&x) > 1e-6 {
+            let ax = a.spmv(&x);
+            prop_assert!(kernels::dot_serial(&x, &ax) > 0.0);
+        }
+    }
+
+    // ---------- polynomials ----------
+
+    #[test]
+    fn mpoly_mul_commutes_and_matches_eval(
+        e1 in prop::collection::vec(0u32..3, 2),
+        e2 in prop::collection::vec(0u32..3, 2),
+        c1 in -5i64..5, c2 in -5i64..5,
+        x in -2.0..2.0f64, y in -2.0..2.0f64,
+    ) {
+        let mut p = MultiPoly::zero(2);
+        p.add_term(Monomial::from_exps(e1), c1);
+        let mut q = MultiPoly::zero(2);
+        q.add_term(Monomial::from_exps(e2), c2);
+        let pq = &p * &q;
+        let qp = &q * &p;
+        prop_assert_eq!(&pq, &qp);
+        let pt = [x, y];
+        prop_assert!((pq.eval(&pt) - p.eval(&pt) * q.eval(&pt)).abs() <= 1e-9 * (1.0 + pq.eval(&pt).abs()));
+    }
+
+    #[test]
+    fn mpoly_distributive(ca in -4i64..4, cb in -4i64..4, cc in -4i64..4) {
+        let x = MultiPoly::var(2, 0);
+        let y = MultiPoly::var(2, 1);
+        let a = x.scale(ca);
+        let b = y.scale(cb);
+        let c = (&x * &y).scale(cc);
+        let lhs = &a * &(&b + &c);
+        let rhs = &(&a * &b) + &(&a * &c);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    // ---------- recurrence identities under arbitrary steps ----------
+
+    #[test]
+    fn rr_general_identity_for_any_lambda(seed in 0u64..3000, lambda in -3.0..3.0f64) {
+        let a = gen::rand_spd(15, 3, 1.0, seed);
+        let r = gen::rand_vector(15, seed.wrapping_add(3));
+        let p = gen::rand_vector(15, seed.wrapping_add(4));
+        let w = a.spmv(&p);
+        let mut r2 = r.clone();
+        kernels::axpy(-lambda, &w, &mut r2);
+        let direct = kernels::dot_serial(&r2, &r2);
+        let rec = identities::rr_general(
+            kernels::dot_serial(&r, &r),
+            kernels::dot_serial(&r, &w),
+            kernels::dot_serial(&w, &w),
+            lambda,
+        );
+        prop_assert!((rec - direct).abs() <= 1e-8 * (1.0 + direct));
+    }
+
+    // ---------- end-to-end on random SPD systems ----------
+
+    #[test]
+    fn standard_cg_solves_random_spd(seed in 0u64..2000) {
+        let n = 24;
+        let a = gen::rand_spd(n, 4, 1.5, seed);
+        let b = gen::rand_vector(n, seed.wrapping_add(9));
+        let res = StandardCg::new().solve(&a, &b, None,
+            &SolveOptions::default().with_tol(1e-9).with_max_iters(10 * n));
+        prop_assert!(res.converged);
+        prop_assert!(res.true_residual(&a, &b) <= 1e-6 * (1.0 + kernels::norm2(&b)));
+    }
+}
+
+// ---------- second wave: I/O, reordering, spectra, scheduling ----------
+
+use cg_lookahead::linalg::eig;
+use cg_lookahead::linalg::io;
+use cg_lookahead::linalg::reorder;
+use cg_lookahead::sim::{ListScheduler, MachineModel, OpKind, TaskGraph};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matrix_market_roundtrip_exact(
+        triplets in prop::collection::vec((0usize..9, 0usize..9, -9.0..9.0f64), 1..40),
+    ) {
+        let mut coo = CooMatrix::new(9, 9);
+        for (r, c, v) in &triplets {
+            coo.push(*r, *c, *v).unwrap();
+        }
+        let a = coo.to_csr();
+        let mut buf = Vec::new();
+        io::write_matrix_market(&a, &mut buf).unwrap();
+        let b = io::read_matrix_market(&buf[..]).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vector_file_roundtrip_exact(x in prop::collection::vec(-1e12..1e12f64, 0..50)) {
+        let mut buf = Vec::new();
+        io::write_vector(&x, &mut buf).unwrap();
+        let y = io::read_vector(&buf[..]).unwrap();
+        prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn rcm_always_yields_valid_permutation(seed in 0u64..5000) {
+        let a = gen::rand_spd(30, 4, 1.0, seed);
+        let p = reorder::reverse_cuthill_mckee(&a);
+        let mut idx = p.new_to_old().to_vec();
+        idx.sort_unstable();
+        prop_assert_eq!(idx, (0..30).collect::<Vec<_>>());
+        // two-sided application preserves symmetry and diagonal multiset
+        let b = p.apply_matrix(&a);
+        prop_assert!(b.is_symmetric(1e-12));
+        let mut da = a.diagonal();
+        let mut db = b.diagonal();
+        da.sort_by(f64::total_cmp);
+        db.sort_by(f64::total_cmp);
+        for (x, y) in da.iter().zip(&db) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn permutation_apply_unapply_inverse(seed in 0u64..5000) {
+        let n = 25;
+        let mut rng = gen::XorShift64::new(seed.max(1));
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.below(i + 1);
+            idx.swap(i, j);
+        }
+        let p = reorder::Permutation::from_vec(idx);
+        let x = gen::rand_vector(n, seed.wrapping_add(1));
+        let y = p.unapply_vec(&p.apply_vec(&x));
+        prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn lanczos_bounds_inside_gershgorin(seed in 0u64..3000, m in 3usize..20) {
+        let a = gen::rand_spd(24, 3, 1.0, seed);
+        let b = eig::estimate_spectrum(&a, m, seed.wrapping_add(5));
+        prop_assert!(b.lambda_min > 0.0, "SPD spectrum positive: {}", b.lambda_min);
+        prop_assert!(b.lambda_max <= a.gershgorin_bound() + 1e-9);
+        prop_assert!(b.lambda_min <= b.lambda_max);
+    }
+
+    /// Random layered DAGs: scheduling invariants hold for any budget.
+    #[test]
+    fn scheduler_invariants_on_random_dags(
+        seed in 0u64..2000,
+        layers in 2usize..6,
+        width in 1usize..5,
+        procs in 1usize..2000,
+    ) {
+        let mut rng = gen::XorShift64::new(seed.max(1));
+        let mut g = TaskGraph::new();
+        let src = g.add(OpKind::Source, "src", None, &[]);
+        let mut prev_layer = vec![src];
+        for l in 0..layers {
+            let mut layer = Vec::new();
+            for w in 0..width {
+                // each node depends on 1-2 nodes of the previous layer
+                let mut deps = vec![prev_layer[rng.below(prev_layer.len())]];
+                if prev_layer.len() > 1 && rng.next_f64() < 0.5 {
+                    deps.push(prev_layer[rng.below(prev_layer.len())]);
+                }
+                let kind = match rng.below(4) {
+                    0 => OpKind::Elementwise { n: 64 + rng.below(512) },
+                    1 => OpKind::Dot { n: 64 + rng.below(512) },
+                    2 => OpKind::Scalar,
+                    _ => OpKind::SpMv { n: 32 + rng.below(128), d: 3 + rng.below(8) },
+                };
+                layer.push(g.add(kind, format!("n{l}-{w}"), Some(l), &deps));
+            }
+            prev_layer = layer;
+        }
+
+        let m = MachineModel::pram();
+        let r = ListScheduler::new(procs).run(&g, &m);
+        // (1) dependencies respected
+        for (id, node) in g.nodes() {
+            for d in &node.deps {
+                prop_assert!(
+                    r.times[id.0].0 + 1e-9 >= r.times[d.0].1,
+                    "node {:?} starts before dep {:?}",
+                    id, d
+                );
+            }
+        }
+        // (2) utilization within [0, 1]
+        prop_assert!(r.utilization >= 0.0 && r.utilization <= 1.0 + 1e-9);
+        // (3) makespan ≥ both lower bounds
+        let work = g.total_work(&m);
+        prop_assert!(r.makespan + 1e-6 >= work / procs as f64);
+        prop_assert!(r.makespan + 1e-6 >= g.makespan(&m));
+        // (4) waiting non-negative
+        prop_assert!(r.total_wait >= -1e-9);
+    }
+
+    #[test]
+    fn moment_window_step_is_exact_algebra(seed in 0u64..2000, lambda in 0.01..2.0f64, alpha in 0.0..2.0f64) {
+        use cg_lookahead::cg::recurrence::moments::MomentWindow;
+        use cg_lookahead::linalg::kernels::DotMode;
+        // arbitrary (non-CG) lambda/alpha: the window update must still
+        // track the actual vector updates, because it is pure algebra
+        let a = gen::rand_spd(16, 3, 1.5, seed);
+        let r = gen::rand_vector(16, seed.wrapping_add(1));
+        let p = gen::rand_vector(16, seed.wrapping_add(2));
+        let k = 1;
+        let fam = |r: &[f64], p: &[f64]| {
+            let mut z = vec![r.to_vec()];
+            z.push(a.spmv(&z[0]));
+            let mut w = vec![p.to_vec()];
+            w.push(a.spmv(&w[0]));
+            let next = a.spmv(&w[1]);
+            w.push(next);
+            (z, w)
+        };
+        let (z, w) = fam(&r, &p);
+        let (mut win, _) = MomentWindow::direct(&z, &w, 2 * k, DotMode::Serial);
+        let mu_new = win.mu_step(lambda);
+        win.finish_step(mu_new, lambda, alpha);
+
+        // actual updates with the same parameters
+        let ap = a.spmv(&p);
+        let mut r2 = r.clone();
+        kernels::axpy(-lambda, &ap, &mut r2);
+        let mut p2 = r2.clone();
+        kernels::axpy(alpha, &p, &mut p2);
+        let (z2, w2) = fam(&r2, &p2);
+        let (win2, _) = MomentWindow::direct(&z2, &w2, 2 * k, DotMode::Serial);
+        for i in 0..=2 * k {
+            prop_assert!(
+                (win.mu[i] - win2.mu[i]).abs() <= 1e-7 * (1.0 + win2.mu[i].abs()),
+                "mu[{}]: {} vs {}", i, win.mu[i], win2.mu[i]
+            );
+        }
+        prop_assert!(
+            (win.sigma[0] - win2.sigma[0]).abs() <= 1e-7 * (1.0 + win2.sigma[0].abs())
+        );
+    }
+
+    #[test]
+    fn batched_dots_equal_tree_dots(seed in 0u64..3000, len in 1usize..3000) {
+        use cg_lookahead::par::{batch, reduce};
+        let x = gen::rand_vector(len, seed.max(1));
+        let y = gen::rand_vector(len, seed.wrapping_add(9).max(1));
+        let b = batch::multi_dot(&[(&x, &y), (&y, &x)], 4);
+        let d = reduce::par_dot(&x, &y, 1);
+        prop_assert_eq!(b[0].to_bits(), d.to_bits());
+        prop_assert_eq!(b[1].to_bits(), d.to_bits()); // commutative products
+    }
+}

@@ -1,0 +1,160 @@
+//! Integration: the simulator reproduces the paper's complexity claims as
+//! *shapes* (who wins, by what factor, where crossovers fall).
+
+use cg_lookahead::sim::{builders, MachineModel, Procs};
+
+const ITERS: usize = 40;
+const D: usize = 5;
+
+#[test]
+fn claim_c1_standard_cg_is_theta_log_n() {
+    let m = MachineModel::pram();
+    let mut prev = 0.0;
+    for log_n in [8u32, 12, 16, 20] {
+        let t = builders::standard_cg(1 << log_n, D, ITERS).steady_cycle_time(&m);
+        if prev > 0.0 {
+            // exactly 2 units per doubling-of-exponent step of 4 ⇒ +8
+            let delta = t - prev;
+            assert!((delta - 8.0).abs() < 1.0, "Δcycle {delta} per 4 log-steps");
+        }
+        prev = t;
+    }
+}
+
+#[test]
+fn claim_c2_overlap_speedup_increases_toward_two() {
+    let m = MachineModel::pram();
+    let speedup = |log_n: u32| {
+        let s = builders::standard_cg(1 << log_n, D, ITERS).steady_cycle_time(&m);
+        let o = builders::overlap_k1(1 << log_n, D, ITERS).steady_cycle_time(&m);
+        s / o
+    };
+    let s12 = speedup(12);
+    let s24 = speedup(24);
+    assert!(s24 > s12, "speedup not increasing: {s12} then {s24}");
+    assert!(s24 > 1.7 && s24 < 2.05, "speedup {s24} off the ≈2 claim");
+}
+
+#[test]
+fn claim_c5_lookahead_is_loglog_plus_logd() {
+    let m = MachineModel::pram();
+    // at fixed d, the cycle with k = log N grows like log k = log log N:
+    // from N=2^8 to N=2^24, log log N grows by 1.58 — cycle growth must be
+    // small compared to the 32-unit growth of standard CG.
+    let t8 = builders::lookahead_cg(1 << 8, D, ITERS, 8).steady_cycle_time(&m);
+    let t24 = builders::lookahead_cg(1 << 24, D, ITERS, 24).steady_cycle_time(&m);
+    assert!(t24 - t8 <= 3.0, "look-ahead growth {} too fast", t24 - t8);
+    let s8 = builders::standard_cg(1 << 8, D, ITERS).steady_cycle_time(&m);
+    let s24 = builders::standard_cg(1 << 24, D, ITERS).steady_cycle_time(&m);
+    assert!(s24 - s8 >= 30.0);
+}
+
+#[test]
+fn lookahead_beats_all_baselines_at_scale() {
+    let m = MachineModel::pram();
+    let n = 1 << 22;
+    let la = builders::lookahead_cg(n, D, ITERS, 22).steady_cycle_time(&m);
+    for (name, t) in [
+        ("standard", builders::standard_cg(n, D, ITERS).steady_cycle_time(&m)),
+        ("chrono", builders::chronopoulos_gear(n, D, ITERS).steady_cycle_time(&m)),
+        ("pipelined", builders::pipelined_cg(n, D, ITERS).steady_cycle_time(&m)),
+        ("overlap", builders::overlap_k1(n, D, ITERS).steady_cycle_time(&m)),
+    ] {
+        assert!(la < t, "lookahead {la} !< {name} {t}");
+    }
+}
+
+#[test]
+fn startup_cost_grows_with_k() {
+    // the paper: "After an initial start up..." — the pipeline-fill cost
+    // grows with k (k extra serialized SpMVs to build the vector families).
+    // Measure the completion time of the FIRST iteration, which contains
+    // the start-up; it must increase from shallow to deep look-ahead.
+    // The solution-update milestones are gated only by λ and p, so the
+    // right startup proxy is the pipeline-fill overhead: how far the
+    // early milestones lag behind a pure steady-state extrapolation.
+    let m = MachineModel::pram();
+    let s = |k: usize| builders::lookahead_cg(1 << 16, D, 24, k).startup_time(&m);
+    let (s2, s16) = (s(2), s(16));
+    assert!(
+        s16 > s2,
+        "pipeline-fill overhead should grow with k: {s2} vs {s16}"
+    );
+    assert!(s2 > 0.0, "startup must be positive even for shallow k");
+}
+
+#[test]
+fn work_accounting_matches_the_star_formulation() {
+    // The DAG builder models the paper's §4-5 formulation (*): ALL
+    // 3(2k+1) moment inner products are launched each iteration, so its
+    // sequential work is Θ(k·n) per iteration. (The §5 moment-window
+    // refinement implemented by the numeric solver brings the direct dots
+    // down to 3/iteration — claim C4 — which E4 measures; the DAG keeps
+    // the published dataflow.) Check the k-scaling is as modeled and
+    // bounded by the dot inventory.
+    let m = MachineModel::bounded(1);
+    let n = 1 << 12;
+    let k = 12;
+    let std_t = builders::standard_cg(n, D, ITERS).graph.total_work(&m);
+    let la_t = builders::lookahead_cg(n, D, ITERS, k).graph.total_work(&m);
+    let factor = la_t / std_t;
+    // per iteration: lookahead ≈ 3(2k+1) dots + 2(k+1) vector updates +
+    // 1 spmv vs standard ≈ 2 dots + 3 updates + 1 spmv
+    let upper = (3 * (2 * k + 1)) as f64;
+    assert!(
+        factor > 2.0 && factor < upper,
+        "sequential factor {factor} outside (2, {upper})"
+    );
+}
+
+#[test]
+fn latency_sensitivity_ordering() {
+    // With large per-hop latency, variants order by reductions on the
+    // critical cycle: standard (2) > chrono/overlap (1) > pipelined
+    // (1, hidden) > lookahead (1/k).
+    let m = MachineModel::pram().with_latency(32.0);
+    let n = 1 << 20;
+    let std_t = builders::standard_cg(n, D, ITERS).steady_cycle_time(&m);
+    let cg2 = builders::chronopoulos_gear(n, D, ITERS).steady_cycle_time(&m);
+    let pipe = builders::pipelined_cg(n, D, ITERS).steady_cycle_time(&m);
+    let la = builders::lookahead_cg(n, D, ITERS, 20).steady_cycle_time(&m);
+    assert!(std_t > cg2, "{std_t} !> {cg2}");
+    assert!(cg2 > pipe, "{cg2} !> {pipe}");
+    assert!(pipe > la, "{pipe} !> {la}");
+    assert!(std_t / la > 4.0, "latency advantage only {}", std_t / la);
+}
+
+#[test]
+fn quaternary_fanin_shrinks_all_cycles() {
+    // sanity of the machine abstraction: 4-ary reduction trees halve the
+    // fan-in depth, which must shorten reduction-bound cycles
+    let bin = MachineModel::pram();
+    let quad = MachineModel {
+        reduce_arity: 4,
+        ..MachineModel::pram()
+    };
+    let n = 1 << 20;
+    let t_bin = builders::standard_cg(n, D, ITERS).steady_cycle_time(&bin);
+    let t_quad = builders::standard_cg(n, D, ITERS).steady_cycle_time(&quad);
+    assert!(t_quad < t_bin, "{t_quad} !< {t_bin}");
+}
+
+#[test]
+fn bounded_machines_respect_brent_bounds() {
+    // estimate_time must sit between work/P and work/P + span for any P
+    let n = 1 << 14;
+    let dag = builders::standard_cg(n, D, 8);
+    let pram = MachineModel::pram();
+    let span = dag.graph.makespan(&pram);
+    for p in [1usize, 16, 1 << 10, 1 << 14] {
+        let m = MachineModel::bounded(p);
+        let work = dag.graph.total_work(&m);
+        let t = dag.graph.estimate_time(&m);
+        assert!(t + 1e-9 >= work / p as f64, "P={p}: {t} < work/P");
+        assert!(
+            t <= work / p as f64 + span * 2.0,
+            "P={p}: {t} above Brent-style bound"
+        );
+    }
+    let _ = Procs::Unbounded; // re-exported type is part of the public API
+}
