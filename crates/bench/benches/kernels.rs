@@ -2,105 +2,89 @@
 //! reductions — the primitives whose latency structure the whole paper is
 //! about.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use vr_bench::timing::Bench;
 use vr_linalg::kernels;
 use vr_par::reduce;
 
-fn bench_dot_orders(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kernels/dot");
+fn bench_dot_orders(b: &mut Bench) {
     for log_n in [12u32, 16, 20] {
         let n = 1usize << log_n;
         let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
         let y: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::new("serial", log_n), &n, |b, _| {
-            b.iter(|| black_box(kernels::dot_serial(&x, &y)))
+        b.run(format!("kernels/dot/serial/{log_n}"), || {
+            black_box(kernels::dot_serial(&x, &y))
         });
-        g.bench_with_input(BenchmarkId::new("tree", log_n), &n, |b, _| {
-            b.iter(|| black_box(kernels::dot_tree(&x, &y)))
+        b.run(format!("kernels/dot/tree/{log_n}"), || {
+            black_box(kernels::dot_tree(&x, &y))
         });
-        g.bench_with_input(BenchmarkId::new("kahan", log_n), &n, |b, _| {
-            b.iter(|| black_box(kernels::dot_kahan(&x, &y)))
+        b.run(format!("kernels/dot/kahan/{log_n}"), || {
+            black_box(kernels::dot_kahan(&x, &y))
         });
     }
-    g.finish();
 }
 
-fn bench_parallel_reduce(c: &mut Criterion) {
-    let mut g = c.benchmark_group("par/dot");
+fn bench_parallel_reduce(b: &mut Bench) {
     let n = 1usize << 22;
     let x: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 1.0)).collect();
-    g.throughput(Throughput::Elements(n as u64));
     for threads in [1usize, 2, 4, 8] {
-        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
-            b.iter(|| black_box(reduce::par_dot(&x, &x, t)))
+        b.run(format!("par/dot/threads/{threads}"), || {
+            black_box(reduce::par_dot(&x, &x, threads))
         });
     }
-    g.finish();
 }
 
-fn bench_axpy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kernels/axpy");
+fn bench_axpy(b: &mut Bench) {
     let n = 1usize << 20;
     let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
     let mut y = vec![0.0; n];
-    g.throughput(Throughput::Elements(n as u64));
-    g.bench_function("axpy-1M", |b| {
-        b.iter(|| kernels::axpy(black_box(1.0000001), &x, &mut y))
+    b.run("kernels/axpy-1M", || {
+        kernels::axpy(black_box(1.0000001), &x, &mut y);
     });
-    g.finish();
 }
 
-fn bench_batched_reductions(c: &mut Criterion) {
+fn bench_batched_reductions(b: &mut Bench) {
     // the fusion the s-step Gram computation relies on: q dots in one pass
     // vs q separate passes
     let n = 1usize << 18;
     let vs: Vec<Vec<f64>> = (0..6)
         .map(|k| (0..n).map(|i| ((i + 31 * k) % 17) as f64 / 17.0).collect())
         .collect();
-    let mut g = c.benchmark_group("par/batch");
-    g.throughput(Throughput::Elements(6 * n as u64));
-    g.bench_function("six-separate-dots", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for v in &vs {
-                acc += vr_par::reduce::par_dot(black_box(v), black_box(&vs[0]), 1);
-            }
-            black_box(acc)
-        })
+    b.run("par/batch/six-separate-dots", || {
+        let mut acc = 0.0;
+        for v in &vs {
+            acc += vr_par::reduce::par_dot(black_box(v), black_box(&vs[0]), 1);
+        }
+        black_box(acc)
     });
-    g.bench_function("six-fused-multi-dot", |b| {
-        let pairs: Vec<(&[f64], &[f64])> =
-            vs.iter().map(|v| (v.as_slice(), vs[0].as_slice())).collect();
-        b.iter(|| black_box(vr_par::batch::multi_dot(black_box(&pairs), 1)))
+    let pairs: Vec<(&[f64], &[f64])> = vs
+        .iter()
+        .map(|v| (v.as_slice(), vs[0].as_slice()))
+        .collect();
+    b.run("par/batch/six-fused-multi-dot", || {
+        black_box(vr_par::batch::multi_dot(black_box(&pairs), 1))
     });
-    g.finish();
 }
 
-fn bench_parallel_spmv(c: &mut Criterion) {
+fn bench_parallel_spmv(b: &mut Bench) {
     let a = vr_linalg::gen::poisson2d(256); // 65536 unknowns
     let x = vr_linalg::gen::rand_vector(a.nrows(), 5);
     let mut y = vec![0.0; a.nrows()];
-    let mut g = c.benchmark_group("linalg/spmv-65k");
-    g.throughput(Throughput::Elements(a.nnz() as u64));
-    g.bench_function("serial", |b| {
-        b.iter(|| a.spmv_into(black_box(&x), black_box(&mut y)))
+    b.run("linalg/spmv-65k/serial", || {
+        a.spmv_into(black_box(&x), black_box(&mut y));
     });
     for t in [2usize, 4, 8] {
-        g.bench_with_input(BenchmarkId::new("par", t), &t, |b, &t| {
-            b.iter(|| a.par_spmv_into(black_box(&x), black_box(&mut y), t))
+        b.run(format!("linalg/spmv-65k/par/{t}"), || {
+            a.par_spmv_into(black_box(&x), black_box(&mut y), t);
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_dot_orders,
-    bench_parallel_reduce,
-    bench_axpy,
-    bench_batched_reductions,
-    bench_parallel_spmv
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new();
+    bench_dot_orders(&mut b);
+    bench_parallel_reduce(&mut b);
+    bench_axpy(&mut b);
+    bench_batched_reductions(&mut b);
+    bench_parallel_spmv(&mut b);
+}

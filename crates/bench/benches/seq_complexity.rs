@@ -6,8 +6,8 @@
 //! the look-ahead solver should cost a small constant factor over standard
 //! CG (the extra vector families), not an asymptotic blowup.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use vr_bench::timing::Bench;
 use vr_cg::baselines::{ChronopoulosGearCg, PipelinedCg, ThreeTermCg};
 use vr_cg::lookahead::LookaheadCg;
 use vr_cg::overlap_k1::OverlapK1Cg;
@@ -15,7 +15,7 @@ use vr_cg::standard::StandardCg;
 use vr_cg::{CgVariant, SolveOptions};
 use vr_linalg::gen;
 
-fn bench_solvers(c: &mut Criterion) {
+fn bench_solvers(bench: &mut Bench) {
     let n = 96;
     let a = gen::poisson2d(n); // 9216 unknowns
     let b = gen::poisson2d_rhs(n);
@@ -38,30 +38,29 @@ fn bench_solvers(c: &mut Criterion) {
         Box::new(LookaheadCg::new(8)),
     ];
 
-    let mut g = c.benchmark_group("seq-complexity/poisson2d-96x96-60iters");
-    g.sample_size(20);
     for s in &solvers {
-        g.bench_with_input(BenchmarkId::from_parameter(s.name()), &s, |bch, s| {
-            bch.iter(|| black_box(s.solve(&a, &b, None, &opts)));
-        });
+        bench.run(
+            format!("seq-complexity/poisson2d-96x96-60iters/{}", s.name()),
+            || black_box(s.solve(&a, &b, None, &opts)),
+        );
     }
-    g.finish();
 }
 
-fn bench_spmv_vs_dots(c: &mut Criterion) {
+fn bench_spmv_vs_dots(bench: &mut Bench) {
     // The primitive balance underlying E7: one SpMV ≈ d/1 dot costs.
     let a = gen::poisson2d(128);
     let x = gen::rand_vector(a.nrows(), 3);
     let mut y = vec![0.0; a.nrows()];
-    let mut g = c.benchmark_group("seq-complexity/primitives");
-    g.bench_function("spmv-16k", |b| {
-        b.iter(|| a.spmv_into(black_box(&x), black_box(&mut y)))
+    bench.run("seq-complexity/primitives/spmv-16k", || {
+        a.spmv_into(black_box(&x), black_box(&mut y));
     });
-    g.bench_function("dot-16k", |b| {
-        b.iter(|| black_box(vr_linalg::kernels::dot_serial(&x, &x)))
+    bench.run("seq-complexity/primitives/dot-16k", || {
+        black_box(vr_linalg::kernels::dot_serial(&x, &x))
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_solvers, bench_spmv_vs_dots);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new();
+    bench_solvers(&mut b);
+    bench_spmv_vs_dots(&mut b);
+}

@@ -1,65 +1,67 @@
-//! Criterion bench over the cost-model simulator (E1/E2/E5 companions):
-//! measures the wall-clock cost of *building and evaluating* the task
-//! graphs, and records the simulated steady-state cycle times as custom
-//! measurements in the report output.
+//! Bench over the cost-model simulator (E1/E2/E5 companions): measures the
+//! wall-clock cost of *building and evaluating* the task graphs, and prints
+//! the simulated steady-state cycle times so the bench log alone shows the
+//! reproduction shape.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use vr_bench::timing::Bench;
 use vr_sim::{builders, MachineModel};
 
-fn bench_graph_construction(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator/graph-build");
+fn bench_graph_construction(b: &mut Bench) {
     let m = MachineModel::pram();
     for log_n in [10u32, 16, 20] {
         let n = 1usize << log_n;
-        g.bench_with_input(BenchmarkId::new("standard", log_n), &n, |b, &n| {
-            b.iter(|| {
-                let dag = builders::standard_cg(black_box(n), 5, 24);
-                black_box(dag.steady_cycle_time(&m))
-            });
+        b.run(format!("simulator/graph-build/standard/{log_n}"), || {
+            let dag = builders::standard_cg(black_box(n), 5, 24);
+            black_box(dag.steady_cycle_time(&m))
         });
-        g.bench_with_input(BenchmarkId::new("lookahead-k=logN", log_n), &n, |b, &n| {
-            b.iter(|| {
+        b.run(
+            format!("simulator/graph-build/lookahead-k=logN/{log_n}"),
+            || {
                 let dag = builders::lookahead_cg(black_box(n), 5, 24, log_n as usize);
                 black_box(dag.steady_cycle_time(&m))
-            });
-        });
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_cycle_table(c: &mut Criterion) {
+fn bench_cycle_table(b: &mut Bench) {
     // One fast pseudo-bench that prints the E1/E5 headline numbers into the
-    // bench log, so `cargo bench` output alone shows the reproduction shape.
-    let m = MachineModel::pram();
-    let mut g = c.benchmark_group("simulator/cycle-times");
-    g.sample_size(10);
+    // bench log, so the bench output alone shows the reproduction shape.
     for (name, f) in [
         (
             "standard-2^20",
-            Box::new(|| builders::standard_cg(1 << 20, 5, 24).steady_cycle_time(&MachineModel::pram()))
-                as Box<dyn Fn() -> f64>,
+            Box::new(|| {
+                builders::standard_cg(1 << 20, 5, 24).steady_cycle_time(&MachineModel::pram())
+            }) as Box<dyn Fn() -> f64>,
         ),
         (
             "overlap-k1-2^20",
-            Box::new(|| builders::overlap_k1(1 << 20, 5, 24).steady_cycle_time(&MachineModel::pram())),
+            Box::new(|| {
+                builders::overlap_k1(1 << 20, 5, 24).steady_cycle_time(&MachineModel::pram())
+            }),
         ),
         (
             "pipelined-2^20",
-            Box::new(|| builders::pipelined_cg(1 << 20, 5, 24).steady_cycle_time(&MachineModel::pram())),
+            Box::new(|| {
+                builders::pipelined_cg(1 << 20, 5, 24).steady_cycle_time(&MachineModel::pram())
+            }),
         ),
         (
             "lookahead-k20-2^20",
-            Box::new(|| builders::lookahead_cg(1 << 20, 5, 24, 20).steady_cycle_time(&MachineModel::pram())),
+            Box::new(|| {
+                builders::lookahead_cg(1 << 20, 5, 24, 20).steady_cycle_time(&MachineModel::pram())
+            }),
         ),
     ] {
         let cycle = f();
         println!("[simulated cycle time] {name}: {cycle:.2} flop-times/iter");
-        g.bench_function(name, |b| b.iter(&f));
+        b.run(format!("simulator/cycle-times/{name}"), || black_box(f()));
     }
-    g.finish();
-    let _ = m;
 }
 
-criterion_group!(benches, bench_graph_construction, bench_cycle_table);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new();
+    bench_graph_construction(&mut b);
+    bench_cycle_table(&mut b);
+}

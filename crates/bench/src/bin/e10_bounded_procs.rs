@@ -10,12 +10,11 @@
 //!    CG twice per iteration, the one-reduction variants once, and the
 //!    look-ahead variant ~1/k times.
 
-use serde::Serialize;
 use vr_bench::{write_json, Table};
 use vr_sim::{builders, ListScheduler, MachineModel};
 
-#[derive(Serialize)]
-struct Row {
+vr_bench::jsonable! {
+    struct Row {
     sweep: String,
     value: f64,
     standard: f64,
@@ -23,13 +22,20 @@ struct Row {
     pipelined: f64,
     lookahead: f64,
 }
+}
 
 fn main() {
     let (n, d, iters, k) = (1usize << 20, 5usize, 40usize, 20usize);
     let mut rows = Vec::new();
 
     // --- P sweep ---
-    let mut t1 = Table::new(&["P", "standard", "chrono-gear", "pipelined", "lookahead(k=20)"]);
+    let mut t1 = Table::new(&[
+        "P",
+        "standard",
+        "chrono-gear",
+        "pipelined",
+        "lookahead(k=20)",
+    ]);
     for log_p in [4u32, 8, 12, 16, 20, 24] {
         let p = 1usize << log_p;
         let m = MachineModel::bounded(p);
@@ -57,7 +63,13 @@ fn main() {
     println!("{}", t1.render());
 
     // --- α sweep ---
-    let mut t2 = Table::new(&["alpha", "standard", "chrono-gear", "pipelined", "lookahead(k=20)"]);
+    let mut t2 = Table::new(&[
+        "alpha",
+        "standard",
+        "chrono-gear",
+        "pipelined",
+        "lookahead(k=20)",
+    ]);
     for alpha in [0.0, 1.0, 4.0, 16.0, 64.0] {
         let m = MachineModel::pram().with_latency(alpha);
         let std_c = builders::standard_cg(n, d, iters).steady_cycle_time(&m);
@@ -126,14 +138,20 @@ fn main() {
 
     // Shape checks.
     // (i) with few processors the variants are within 10% of each other
-    let small_p = rows.iter().find(|r| r.sweep == "procs" && r.value == 16.0).unwrap();
+    let small_p = rows
+        .iter()
+        .find(|r| r.sweep == "procs" && r.value == 16.0)
+        .unwrap();
     let ratio = small_p.standard / small_p.lookahead;
     assert!(
         (0.8..=1.4).contains(&ratio),
         "small-P regime should be work-bound (ratio {ratio})"
     );
     // (ii) at high α the look-ahead advantage over standard CG exceeds 5×
-    let big_a = rows.iter().find(|r| r.sweep == "alpha" && r.value == 64.0).unwrap();
+    let big_a = rows
+        .iter()
+        .find(|r| r.sweep == "alpha" && r.value == 64.0)
+        .unwrap();
     let adv = big_a.standard / big_a.lookahead;
     assert!(adv > 5.0, "latency-bound advantage only {adv}");
     // (iii) the look-ahead beats even pipelined CG when latency dominates
@@ -153,5 +171,5 @@ fn main() {
         last.standard
     );
 
-    write_json("e10_bounded_procs", &serde_json::json!({ "rows": rows }));
+    write_json("e10_bounded_procs", &vr_bench::json!({ "rows": rows }));
 }

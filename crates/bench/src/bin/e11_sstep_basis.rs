@@ -9,7 +9,6 @@
 //! restarts, and iteration counts — the crossover where monomial dies and
 //! the stable bases keep going.
 
-use serde::Serialize;
 use vr_bench::{write_json, Table};
 use vr_cg::sstep::SStepCg;
 use vr_cg::standard::StandardCg;
@@ -17,8 +16,8 @@ use vr_cg::{CgVariant, SolveOptions};
 use vr_linalg::gen;
 use vr_linalg::kernels::norm2;
 
-#[derive(Serialize)]
-struct Row {
+vr_bench::jsonable! {
+    struct Row {
     problem: String,
     solver: String,
     s: usize,
@@ -26,6 +25,7 @@ struct Row {
     iterations: usize,
     restarts: usize,
     rel_true_residual: f64,
+}
 }
 
 fn main() {
@@ -111,5 +111,5 @@ fn main() {
         || mono16.restarts > 0
         || mono16.iterations as f64 >= 1.5 * cheb16.iterations as f64;
     assert!(degraded, "monomial s=16 unexpectedly clean");
-    write_json("e11_sstep_basis", &serde_json::json!({ "rows": rows }));
+    write_json("e11_sstep_basis", &vr_bench::json!({ "rows": rows }));
 }

@@ -10,15 +10,15 @@
 //!    iterations amortizes the `log N` latency like look-ahead does, with a
 //!    Θ(s)-deep small solve as the price.
 
-use serde::Serialize;
 use vr_bench::{write_json, Table};
 use vr_sim::{builders, MachineModel};
 
-#[derive(Serialize)]
-struct Row {
+vr_bench::jsonable! {
+    struct Row {
     algo: String,
     log2_n: u32,
     cycle: f64,
+}
 }
 
 fn main() {
@@ -105,5 +105,5 @@ fn main() {
     assert!(s32 < s4, "{s32} !< {s4}");
     assert!(s32 < std_c, "{s32} !< standard {std_c}");
 
-    write_json("e12_precond_sstep", &serde_json::json!({ "rows": rows }));
+    write_json("e12_precond_sstep", &vr_bench::json!({ "rows": rows }));
 }

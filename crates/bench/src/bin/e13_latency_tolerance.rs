@@ -12,17 +12,17 @@
 //!    total reduction latency ≈ k × (vector-work per iteration), the
 //!    paper's slack budget.
 
-use serde::Serialize;
 use vr_bench::{write_json, Table};
 use vr_sim::{builders, Topology};
 
-#[derive(Serialize)]
-struct Row {
+vr_bench::jsonable! {
+    struct Row {
     section: String,
     label: String,
     x: f64,
     standard: f64,
     lookahead: f64,
+}
 }
 
 fn main() {
@@ -31,7 +31,12 @@ fn main() {
     let mut rows = Vec::new();
 
     // --- topology sweep at hop = 1 flop-time ---
-    let mut t1 = Table::new(&["topology", "reduction latency", "standard", "lookahead(k=16)"]);
+    let mut t1 = Table::new(&[
+        "topology",
+        "reduction latency",
+        "standard",
+        "lookahead(k=16)",
+    ]);
     for topo in [
         Topology::Ideal,
         Topology::Hypercube { hop: 1.0 },
@@ -65,8 +70,8 @@ fn main() {
         "lookahead(k=16)",
         "la slowdown vs ideal",
     ]);
-    let ideal = builders::lookahead_cg(n, d, iters, k)
-        .steady_cycle_time(&Topology::Ideal.machine());
+    let ideal =
+        builders::lookahead_cg(n, d, iters, k).steady_cycle_time(&Topology::Ideal.machine());
     for hop in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
         let topo = Topology::Mesh2d { hop };
         let m = topo.machine();
@@ -115,5 +120,5 @@ fn main() {
         "lookahead latency slope {d_la} vs standard {d_std}"
     );
 
-    write_json("e13_latency_tolerance", &serde_json::json!({ "rows": rows }));
+    write_json("e13_latency_tolerance", &vr_bench::json!({ "rows": rows }));
 }

@@ -10,7 +10,6 @@
 //! 2. **numeric**: iterations-to-tolerance and *total simulated time* =
 //!    iterations × cycle — the quantity a practitioner actually minimizes.
 
-use serde::Serialize;
 use vr_bench::{write_json, Table};
 use vr_cg::baselines::ChebyshevIteration;
 use vr_cg::lookahead::LookaheadCg;
@@ -19,20 +18,23 @@ use vr_cg::{CgVariant, SolveOptions};
 use vr_linalg::gen;
 use vr_sim::{builders, Topology};
 
-#[derive(Serialize)]
-struct Row {
+vr_bench::jsonable! {
+    struct Row {
     solver: String,
     machine: String,
     cycle: f64,
     iterations: usize,
     total_time: f64,
 }
+}
 
 fn main() {
     // --- numeric side: iterations to 1e-8 on poisson2d(32) = 1024 dims ---
     let a = gen::poisson2d(32);
     let b = gen::poisson2d_rhs(32);
-    let opts = SolveOptions::default().with_tol(1e-8).with_max_iters(20_000);
+    let opts = SolveOptions::default()
+        .with_tol(1e-8)
+        .with_max_iters(20_000);
     let iters_std = StandardCg::new().solve(&a, &b, None, &opts).iterations;
     let iters_la = LookaheadCg::new(2)
         .with_resync(12)
@@ -99,8 +101,10 @@ fn main() {
     println!("E14 — the zero-reduction floor: Chebyshev vs the CG family");
     println!("{}", table.render());
     println!("reading: Chebyshev owns the per-iteration floor (no reductions) but");
-    println!("pays ~{:.1}× CG's iterations; the look-ahead keeps CG's iteration",
-             iters_cheb as f64 / iters_std as f64);
+    println!(
+        "pays ~{:.1}× CG's iterations; the look-ahead keeps CG's iteration",
+        iters_cheb as f64 / iters_std as f64
+    );
     println!("count while approaching the floor — on latency-heavy machines it");
     println!("wins the product, which is the paper's practical value proposition.");
 
@@ -123,5 +127,5 @@ fn main() {
             < get("standard-cg", "mesh2d(h=1)").total_time
     );
 
-    write_json("e14_chebyshev_floor", &serde_json::json!({ "rows": rows }));
+    write_json("e14_chebyshev_floor", &vr_bench::json!({ "rows": rows }));
 }

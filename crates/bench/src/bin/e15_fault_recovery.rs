@@ -1,0 +1,307 @@
+//! E15 — extension: fault injection and breakdown recovery.
+//!
+//! The 1983 paper trades synchronization for deeper scalar recurrences;
+//! this experiment measures what that costs in *resilience* and what the
+//! recovery subsystem buys back. Three sweeps:
+//!
+//! 1. **Detectable faults** (NaN in the reduction tree): fault rate ×
+//!    variant × recovery policy. Without recovery a corrupted reduction is
+//!    a breakdown; with the default policy (guarded retries + residual
+//!    replacement + k-backoff restart ladder) the solves converge at the
+//!    fault-free accuracy.
+//! 2. **Silent corruption** (relative perturbation of partial sums):
+//!    invisible to finiteness checks — only the periodic true-residual
+//!    comparison catches the drift and replaces the residual.
+//! 3. **Scheduler-level faults** (stragglers/dropped messages in the
+//!    vr-sim machine): the look-ahead's k iterations of slack absorb most
+//!    of each straggling reduction; standard CG pays every one in full.
+//!
+//! Headline (asserted): at a 10⁻³ per-value fault rate, look-ahead CG with
+//! k ≥ 2 under `RecoveryPolicy::default()` reaches within 10× of the
+//! fault-free final relative residual, while the same solves without
+//! recovery fail.
+
+use std::sync::Arc;
+use vr_bench::{write_json, Table};
+use vr_cg::lookahead::LookaheadCg;
+use vr_cg::resilience::{FaultKind, RecoveryPolicy, SeededInjector};
+use vr_cg::standard::StandardCg;
+use vr_cg::{CgVariant, SolveOptions, Termination};
+use vr_linalg::gen;
+use vr_linalg::kernels::norm2;
+
+vr_bench::jsonable! {
+    struct Row {
+    kind: String,
+    variant: String,
+    k: usize,
+    rate: f64,
+    policy: String,
+    converged: bool,
+    termination: String,
+    iterations: usize,
+    faults_injected: u64,
+    faults_detected: u64,
+    replacements: usize,
+    restarts: usize,
+    final_k: usize,
+    rel_true_residual: f64,
+}
+}
+
+vr_bench::jsonable! {
+    struct SimRow {
+    variant: String,
+    straggler_rate: f64,
+    stragglers: usize,
+    dropped: usize,
+    makespan_clean: f64,
+    makespan_faulty: f64,
+    cost_per_straggler: f64,
+}
+}
+
+fn tlabel(t: Termination) -> &'static str {
+    match t {
+        Termination::Converged => "converged",
+        Termination::RecoveredConverged => "recovered",
+        Termination::MaxIterations => "max-iters",
+        Termination::Breakdown => "breakdown",
+        Termination::Stagnated => "stagnated",
+        Termination::Diverged => "diverged",
+    }
+}
+
+struct Cell {
+    variant: &'static str,
+    k: usize,
+    solver: Box<dyn CgVariant>,
+}
+
+fn variants() -> Vec<Cell> {
+    vec![
+        Cell {
+            variant: "standard",
+            k: 0,
+            solver: Box::new(StandardCg::new()),
+        },
+        Cell {
+            variant: "lookahead",
+            k: 2,
+            solver: Box::new(LookaheadCg::new(2)),
+        },
+        Cell {
+            variant: "lookahead",
+            k: 4,
+            solver: Box::new(LookaheadCg::new(4)),
+        },
+        Cell {
+            variant: "lookahead",
+            k: 8,
+            solver: Box::new(LookaheadCg::new(8)),
+        },
+    ]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    kind: FaultKind,
+    cell: &Cell,
+    rate: f64,
+    recover: bool,
+    seed: u64,
+    a: &vr_linalg::CsrMatrix,
+    b: &[f64],
+) -> Row {
+    let mut opts = SolveOptions::default().with_tol(1e-8).with_max_iters(2000);
+    let inj = Arc::new(SeededInjector::new(seed, rate, kind));
+    if rate > 0.0 {
+        opts = opts.with_injector(inj.clone());
+    }
+    let res = if recover {
+        opts = opts.with_recovery(RecoveryPolicy::default());
+        vr_cg::resilience::solve_with_recovery(cell.solver.as_ref(), a, b, None, &opts)
+    } else {
+        cell.solver.solve(a, b, None, &opts)
+    };
+    Row {
+        kind: kind.label().into(),
+        variant: cell.variant.into(),
+        k: cell.k,
+        rate,
+        policy: if recover { "default" } else { "none" }.into(),
+        converged: res.converged,
+        termination: tlabel(res.termination).into(),
+        iterations: res.iterations,
+        faults_injected: vr_cg::resilience::fault::FaultInjector::injected(inj.as_ref()),
+        faults_detected: res.recovery.faults_detected,
+        replacements: res.recovery.replacements,
+        restarts: res.recovery.restarts,
+        final_k: res.recovery.final_k,
+        rel_true_residual: res.true_residual(a, b) / norm2(b),
+    }
+}
+
+fn table_row(t: &mut Table, r: &Row) {
+    t.row(&[
+        format!(
+            "{}{}",
+            r.variant,
+            if r.k > 0 {
+                format!("(k={})", r.k)
+            } else {
+                String::new()
+            }
+        ),
+        format!("{:.0e}", r.rate),
+        r.policy.clone(),
+        r.termination.clone(),
+        r.iterations.to_string(),
+        r.faults_injected.to_string(),
+        r.faults_detected.to_string(),
+        r.replacements.to_string(),
+        r.restarts.to_string(),
+        format!("{:.2e}", r.rel_true_residual),
+    ]);
+}
+
+fn main() {
+    let a = gen::poisson2d(20); // n = 400
+    let b = gen::poisson2d_rhs(20);
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- 1: detectable (NaN) faults, rate × variant × policy ---
+    let cols = [
+        "variant",
+        "rate",
+        "policy",
+        "termination",
+        "iters",
+        "injected",
+        "detected",
+        "replaced",
+        "restarts",
+        "rel true resid",
+    ];
+    let mut t1 = Table::new(&cols);
+    let mut fault_free = std::collections::HashMap::new();
+    for (vi, cell) in variants().iter().enumerate() {
+        let base = run_cell(FaultKind::Nan, cell, 0.0, false, 0xE15, &a, &b);
+        fault_free.insert((cell.variant, cell.k), base.rel_true_residual);
+        table_row(&mut t1, &base);
+        rows.push(base);
+        for (ri, &rate) in [1e-4f64, 1e-3, 1e-2].iter().enumerate() {
+            for recover in [false, true] {
+                let seed = 0xE15 + (vi * 10 + ri) as u64;
+                let r = run_cell(FaultKind::Nan, cell, rate, recover, seed, &a, &b);
+                table_row(&mut t1, &r);
+                rows.push(r);
+            }
+        }
+    }
+    println!("E15a — NaN faults in the reduction tree (Poisson 20×20, tol 1e-8)");
+    println!("{}", t1.render());
+
+    // --- headline check (the acceptance criterion of the subsystem) ---
+    for r in &rows {
+        if r.kind == "nan" && (r.rate - 1e-3).abs() < 1e-12 && r.k >= 2 {
+            let base = fault_free[&("lookahead", r.k)];
+            if r.policy == "default" {
+                assert!(
+                    r.converged && r.rel_true_residual <= 10.0 * base.max(1e-300),
+                    "lookahead k={} with recovery at rate 1e-3: rel {} vs fault-free {base}",
+                    r.k,
+                    r.rel_true_residual
+                );
+            } else {
+                assert!(
+                    !r.converged,
+                    "lookahead k={} without recovery unexpectedly survived rate 1e-3",
+                    r.k
+                );
+            }
+        }
+    }
+    println!("headline: at rate 1e-3 every lookahead k ∈ {{2,4,8}} + default policy");
+    println!("converged within 10× of its fault-free residual; all no-recovery runs failed\n");
+
+    // --- 2: silent corruption (Perturb) — only residual replacement helps ---
+    let mut t2 = Table::new(&cols);
+    for (vi, cell) in variants().iter().enumerate() {
+        for recover in [false, true] {
+            let r = run_cell(
+                FaultKind::Perturb(0.5),
+                cell,
+                1e-3,
+                recover,
+                0x515 + vi as u64,
+                &a,
+                &b,
+            );
+            table_row(&mut t2, &r);
+            rows.push(r);
+        }
+    }
+    println!("E15b — silent corruption: partial sums scaled by 1 ± 0.5 at rate 1e-3");
+    println!("{}", t2.render());
+
+    // --- 3: scheduler-level stragglers (vr-sim machine) ---
+    use vr_sim::{builders, FaultModel, ListScheduler, MachineModel};
+    let m = MachineModel::pram();
+    let (n, d, iters, p) = (1usize << 12, 5usize, 64usize, 1usize << 19);
+    let mut sim_rows = Vec::new();
+    let mut t3 = Table::new(&[
+        "variant",
+        "rate",
+        "stragglers",
+        "dropped",
+        "clean",
+        "faulty",
+        "cost/straggler",
+    ]);
+    for (name, dag) in [
+        ("standard", builders::standard_cg(n, d, iters)),
+        ("lookahead(k=8)", builders::lookahead_cg(n, d, iters, 8)),
+    ] {
+        for rate in [0.02f64, 0.05] {
+            let clean = ListScheduler::new(p).run(&dag.graph, &m).makespan;
+            let fm = FaultModel::new(0xE15)
+                .with_stragglers(rate, 16.0)
+                .with_drops(rate / 4.0);
+            let f = ListScheduler::new(p).with_faults(fm).run(&dag.graph, &m);
+            let hits = f.stragglers + f.dropped;
+            let cost = if hits > 0 {
+                (f.makespan - clean) / hits as f64
+            } else {
+                0.0
+            };
+            t3.row(&[
+                name.into(),
+                format!("{rate}"),
+                f.stragglers.to_string(),
+                f.dropped.to_string(),
+                format!("{clean:.0}"),
+                format!("{:.0}", f.makespan),
+                format!("{cost:.1}"),
+            ]);
+            sim_rows.push(SimRow {
+                variant: name.into(),
+                straggler_rate: rate,
+                stragglers: f.stragglers,
+                dropped: f.dropped,
+                makespan_clean: clean,
+                makespan_faulty: f.makespan,
+                cost_per_straggler: cost,
+            });
+        }
+    }
+    println!("E15c — straggling/dropped reductions on the simulated machine (P = 2^19)");
+    println!("{}", t3.render());
+    println!("standard CG pays each straggling reduction in full on its critical path;");
+    println!("the look-ahead hides most of the delay inside its k iterations of slack");
+
+    write_json(
+        "e15_fault_recovery",
+        &vr_bench::json!({ "solver_rows": rows, "scheduler_rows": sim_rows }),
+    );
+}

@@ -6,15 +6,15 @@
 //! slope against log₂N should be ≈ 2 (two serialized reductions per
 //! iteration); the d-dependence is additive.
 
-use serde::Serialize;
 use vr_bench::{fit_slope, write_json, Table};
 use vr_sim::{builders, MachineModel};
 
-#[derive(Serialize)]
-struct Row {
+vr_bench::jsonable! {
+    struct Row {
     log2_n: u32,
     d: usize,
     cycle: f64,
+}
 }
 
 fn main() {
@@ -56,5 +56,8 @@ fn main() {
         (1.8..=2.2).contains(&slope),
         "slope {slope} outside the claimed Θ(log N) regime"
     );
-    write_json("e1_logn_scaling", &serde_json::json!({ "rows": rows, "slope": slope }));
+    write_json(
+        "e1_logn_scaling",
+        &vr_bench::json!({ "rows": rows, "slope": slope }),
+    );
 }

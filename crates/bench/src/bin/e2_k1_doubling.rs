@@ -6,17 +6,17 @@
 //! should approach 2 from below as log N grows past log d (the overlap can
 //! only hide reduction latency, not SpMV depth).
 
-use serde::Serialize;
 use vr_bench::{write_json, Table};
 use vr_sim::{builders, MachineModel};
 
-#[derive(Serialize)]
-struct Row {
+vr_bench::jsonable! {
+    struct Row {
     log2_n: u32,
     d: usize,
     std_cycle: f64,
     k1_cycle: f64,
     speedup: f64,
+}
 }
 
 fn main() {
@@ -59,5 +59,8 @@ fn main() {
         .fold(0.0_f64, f64::max);
     println!("best speedup at d=3: {best:.3} (paper: \"approximately double\")");
     assert!(best > 1.6, "speedup {best} far from the claimed doubling");
-    write_json("e2_k1_doubling", &serde_json::json!({ "rows": rows, "best_speedup_d3": best }));
+    write_json(
+        "e2_k1_doubling",
+        &vr_bench::json!({ "rows": rows, "best_speedup_d3": best }),
+    );
 }

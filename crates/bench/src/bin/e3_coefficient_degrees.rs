@@ -6,12 +6,11 @@
 //! this binary derives the coefficients symbolically for k = 1..6, audits
 //! the degree claim, and prints k=1 and k=2 in full.
 
-use serde::Serialize;
 use vr_bench::{write_json, Table};
 use vr_cg::recurrence::symbolic::Derivation;
 
-#[derive(Serialize)]
-struct Row {
+vr_bench::jsonable! {
+    struct Row {
     k: usize,
     terms: usize,
     nonzero_rr: usize,
@@ -19,6 +18,7 @@ struct Row {
     max_degree_rr: u32,
     max_degree_pap: u32,
     summation_depth: u32,
+}
 }
 
 fn main() {
@@ -57,8 +57,14 @@ fn main() {
             max_degree_pap: pap.max_degree_per_parameter(),
             summation_depth: depth,
         });
-        assert!(rr.max_degree_per_parameter() <= 2, "claim C3 violated at k={k}");
-        assert!(pap.max_degree_per_parameter() <= 2, "claim C3 violated at k={k}");
+        assert!(
+            rr.max_degree_per_parameter() <= 2,
+            "claim C3 violated at k={k}"
+        );
+        assert!(
+            pap.max_degree_per_parameter() <= 2,
+            "claim C3 violated at k={k}"
+        );
     }
 
     println!("E3 — symbolic audit of the (*) coefficients (claim C3)");
@@ -68,8 +74,11 @@ fn main() {
     for k in [1usize, 2] {
         let d = Derivation::run(k);
         let rr = d.star_rr();
-        println!("\n(r,r) relation for k = {k} (variables: x0..x{} = λ₁..λ_k, x{k}..x{} = α₁..α_k):",
-                 k - 1, 2 * k - 1);
+        println!(
+            "\n(r,r) relation for k = {k} (variables: x0..x{} = λ₁..λ_k, x{k}..x{} = α₁..α_k):",
+            k - 1,
+            2 * k - 1
+        );
         for (i, a) in rr.a.iter().enumerate() {
             if !a.is_zero() {
                 println!("  a[{i}]·(r,A^{i}r)   with a[{i}] = {a}");
@@ -87,5 +96,5 @@ fn main() {
         }
     }
 
-    write_json("e3_coefficient_degrees", &serde_json::json!({ "rows": rows }));
+    write_json("e3_coefficient_degrees", &vr_bench::json!({ "rows": rows }));
 }

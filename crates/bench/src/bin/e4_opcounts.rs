@@ -6,17 +6,18 @@
 //! THREE direct inner products (we do not assume CG orthogonality in the
 //! window recurrences) — an honest reproduction delta reported here.
 
-use serde::Serialize;
 use vr_bench::{write_json, Table};
-use vr_cg::baselines::{ChronopoulosGearCg, ConjugateResidual, OverlapCr, PipelinedCg, ThreeTermCg};
+use vr_cg::baselines::{
+    ChronopoulosGearCg, ConjugateResidual, OverlapCr, PipelinedCg, ThreeTermCg,
+};
 use vr_cg::lookahead::LookaheadCg;
 use vr_cg::overlap_k1::OverlapK1Cg;
 use vr_cg::standard::StandardCg;
 use vr_cg::{CgVariant, SolveOptions};
 use vr_linalg::gen;
 
-#[derive(Serialize)]
-struct Row {
+vr_bench::jsonable! {
+    struct Row {
     solver: String,
     problem: String,
     iterations: usize,
@@ -24,6 +25,7 @@ struct Row {
     dots_per_iter: f64,
     vector_ops_per_iter: f64,
     restarts: usize,
+}
 }
 
 fn main() {
@@ -71,8 +73,9 @@ fn main() {
                 let it = (res.iterations.max(passes) - passes).max(1) as f64;
                 (
                     (res.counts.matvecs.saturating_sub(passes * (k + 2))) as f64 / it,
-                    (res.counts.dots.saturating_sub(passes * (3 * (2 * k + 2) + 1)))
-                        as f64
+                    (res.counts
+                        .dots
+                        .saturating_sub(passes * (3 * (2 * k + 2) + 1))) as f64
                         / it,
                 )
             } else {
@@ -123,5 +126,5 @@ fn main() {
             r.dots_per_iter
         );
     }
-    write_json("e4_opcounts", &serde_json::json!({ "rows": rows }));
+    write_json("e4_opcounts", &vr_bench::json!({ "rows": rows }));
 }

@@ -6,18 +6,18 @@
 //! increase in N must be a few time units (log log N moves from ~2.6 to
 //! ~4.6), while standard CG grows by ~36 units.
 
-use serde::Serialize;
 use vr_bench::{fit_slope, write_json, Table};
 use vr_sim::{builders, MachineModel};
 
-#[derive(Serialize)]
-struct Row {
+vr_bench::jsonable! {
+    struct Row {
     log2_n: u32,
     d: usize,
     k: usize,
     lookahead_cycle: f64,
     standard_cycle: f64,
     predict: f64,
+}
 }
 
 fn main() {
@@ -66,11 +66,15 @@ fn main() {
     // to standard CG widens with N.
     let d5: Vec<&Row> = rows.iter().filter(|r| r.d == 5).collect();
     let xs: Vec<f64> = d5.iter().map(|r| f64::from(r.log2_n)).collect();
-    let la_slope = fit_slope(&xs, &d5.iter().map(|r| r.lookahead_cycle).collect::<Vec<_>>());
-    let std_slope = fit_slope(&xs, &d5.iter().map(|r| r.standard_cycle).collect::<Vec<_>>());
-    println!(
-        "d=5 growth per doubling of N: lookahead {la_slope:.3}, standard {std_slope:.3}"
+    let la_slope = fit_slope(
+        &xs,
+        &d5.iter().map(|r| r.lookahead_cycle).collect::<Vec<_>>(),
     );
+    let std_slope = fit_slope(
+        &xs,
+        &d5.iter().map(|r| r.standard_cycle).collect::<Vec<_>>(),
+    );
+    println!("d=5 growth per doubling of N: lookahead {la_slope:.3}, standard {std_slope:.3}");
     assert!(
         la_slope < 0.35 * std_slope,
         "look-ahead slope {la_slope} not ≪ standard slope {std_slope}"
@@ -94,6 +98,6 @@ fn main() {
     assert!((at(27, 24) - at(3, 24)).abs() < 1e-9);
     write_json(
         "e5_loglogn",
-        &serde_json::json!({ "rows": rows, "la_slope_d5": la_slope, "std_slope_d5": std_slope }),
+        &vr_bench::json!({ "rows": rows, "la_slope_d5": la_slope, "std_slope_d5": std_slope }),
     );
 }

@@ -8,17 +8,17 @@
 //! quantifies the overlap (how long dot fan-ins stay in flight versus the
 //! iteration period).
 
-use serde::Serialize;
 use vr_bench::write_json;
 use vr_sim::render::{gantt, iteration_summary, GanttOptions};
 use vr_sim::{builders, MachineModel, OpKind};
 
-#[derive(Serialize)]
-struct Overlap {
+vr_bench::jsonable! {
+    struct Overlap {
     k: usize,
     iteration_period: f64,
     dot_latency: f64,
     iterations_in_flight: f64,
+}
 }
 
 fn main() {

@@ -6,9 +6,10 @@
 //! (relative deviation from standard CG) and final-solution distance for
 //! every solver on a Poisson-2D problem.
 
-use serde::Serialize;
 use vr_bench::{write_json, Table};
-use vr_cg::baselines::{ChronopoulosGearCg, ConjugateResidual, OverlapCr, PipelinedCg, ThreeTermCg};
+use vr_cg::baselines::{
+    ChronopoulosGearCg, ConjugateResidual, OverlapCr, PipelinedCg, ThreeTermCg,
+};
 use vr_cg::lookahead::LookaheadCg;
 use vr_cg::overlap_k1::OverlapK1Cg;
 use vr_cg::standard::StandardCg;
@@ -16,13 +17,14 @@ use vr_cg::{CgVariant, SolveOptions};
 use vr_linalg::gen;
 use vr_linalg::kernels::dist2;
 
-#[derive(Serialize)]
-struct Row {
+vr_bench::jsonable! {
+    struct Row {
     solver: String,
     iterations: usize,
     max_rel_deviation_first_half: f64,
     solution_distance: f64,
     true_residual: f64,
+}
 }
 
 fn main() {
@@ -108,5 +110,5 @@ fn main() {
 
     println!("E8 — iterate equivalence with standard CG (poisson2d 24², tol 1e-8)");
     println!("{}", table.render());
-    write_json("e8_equivalence", &serde_json::json!({ "rows": rows }));
+    write_json("e8_equivalence", &vr_bench::json!({ "rows": rows }));
 }

@@ -7,7 +7,6 @@
 //! The conditioning of the moment basis grows like κ(A)^(2k+2), so the
 //! attainable accuracy decays geometrically in k.
 
-use serde::Serialize;
 use vr_bench::{write_json, Table};
 use vr_cg::lookahead::LookaheadCg;
 use vr_cg::overlap_k1::OverlapK1Cg;
@@ -16,8 +15,8 @@ use vr_cg::{CgVariant, SolveOptions};
 use vr_linalg::gen;
 use vr_linalg::kernels::norm2;
 
-#[derive(Serialize)]
-struct Row {
+vr_bench::jsonable! {
+    struct Row {
     solver: String,
     k: usize,
     resync: usize,
@@ -25,6 +24,7 @@ struct Row {
     iterations: usize,
     restarts: usize,
     rel_true_residual: f64,
+}
 }
 
 fn run(s: &dyn CgVariant, k: usize, resync: usize, a: &vr_linalg::CsrMatrix, b: &[f64]) -> Row {
@@ -71,12 +71,18 @@ fn main() {
 
     push(run(&StandardCg::new(), 0, 0, &a, &b), &mut table);
     push(run(&OverlapK1Cg::new(), 1, 0, &a, &b), &mut table);
-    push(run(&OverlapK1Cg::new().with_resync(20), 1, 20, &a, &b), &mut table);
+    push(
+        run(&OverlapK1Cg::new().with_resync(20), 1, 20, &a, &b),
+        &mut table,
+    );
     for k in [1usize, 2, 3, 4, 6, 8] {
         push(run(&LookaheadCg::new(k), k, 0, &a, &b), &mut table);
     }
     for k in [2usize, 4, 8] {
-        push(run(&LookaheadCg::new(k).with_resync(10), k, 10, &a, &b), &mut table);
+        push(
+            run(&LookaheadCg::new(k).with_resync(10), k, 10, &a, &b),
+            &mut table,
+        );
     }
 
     println!("E9 — attainable accuracy vs look-ahead depth (poisson2d 24², tol 1e-10)");
@@ -100,5 +106,5 @@ fn main() {
         acc(1),
         acc(8)
     );
-    write_json("e9_stability", &serde_json::json!({ "rows": rows }));
+    write_json("e9_stability", &vr_bench::json!({ "rows": rows }));
 }

@@ -4,8 +4,8 @@
 //!
 //! Each experiment in DESIGN.md's index has a binary in `src/bin/` that
 //! prints a human-readable table AND writes machine-readable JSON under
-//! `target/experiments/`. The criterion benches in `benches/` cover the
-//! wall-clock measurements (E7) and the simulator sweeps.
+//! `target/experiments/`. The benches in `benches/` cover the wall-clock
+//! measurements (E7) and the simulator sweeps.
 //!
 //! | binary | claim | what it prints |
 //! |---|---|---|
@@ -22,11 +22,15 @@
 //! | `e12_precond_sstep` | extension | preconditioner parallel profiles, block amortization |
 //! | `e13_latency_tolerance` | extension | interconnect topologies and the slack knee |
 //! | `e14_chebyshev_floor` | extension | the zero-reduction comparator |
+//! | `e15_fault_recovery` | extension | fault injection × recovery policy sweep |
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
-use serde::Serialize;
+pub mod json;
+pub mod timing;
+
+use json::ToJson;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -110,9 +114,9 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Serialize an experiment result to `target/experiments/<id>.json`.
-pub fn write_json<T: Serialize>(id: &str, value: &T) {
+pub fn write_json<T: ToJson>(id: &str, value: &T) {
     let path = results_dir().join(format!("{id}.json"));
-    let json = serde_json::to_string_pretty(value).expect("serialize result");
+    let json = value.to_json().pretty();
     std::fs::write(&path, json).expect("write result JSON");
     eprintln!("[{id}] wrote {}", path.display());
 }
@@ -171,7 +175,7 @@ mod tests {
     #[test]
     fn write_json_creates_file() {
         std::env::set_var("VR_RESULTS_DIR", std::env::temp_dir().join("vr_bench_test"));
-        write_json("selftest", &serde_json::json!({"ok": true}));
+        write_json("selftest", &crate::json!({"ok": true}));
         let p = results_dir().join("selftest.json");
         assert!(p.exists());
         std::fs::remove_file(p).ok();
@@ -194,7 +198,11 @@ pub fn ascii_semilog(series: &[(&str, &[f64])], height: usize) -> String {
         return String::from("(no positive data)\n");
     }
     let lo = all.iter().cloned().fold(f64::INFINITY, f64::min).log10();
-    let hi = all.iter().cloned().fold(f64::NEG_INFINITY, f64::max).log10();
+    let hi = all
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .log10();
     let span = (hi - lo).max(1e-9);
     let width = series.iter().map(|(_, ys)| ys.len()).max().unwrap_or(0);
 
@@ -234,7 +242,9 @@ mod plot_tests {
     #[test]
     fn plot_renders_marks_and_legend() {
         let a: Vec<f64> = (0..20).map(|i| 10.0_f64.powi(-i)).collect();
-        let b: Vec<f64> = (0..20).map(|i| 5.0 * 10.0_f64.powf(-0.5 * i as f64)).collect();
+        let b: Vec<f64> = (0..20)
+            .map(|i| 5.0 * 10.0_f64.powf(-0.5 * i as f64))
+            .collect();
         let s = ascii_semilog(&[("fast", &a), ("slow", &b)], 12);
         assert!(s.contains('*'), "{s}");
         assert!(s.contains('o'), "{s}");
@@ -259,7 +269,9 @@ mod plot_tests {
         let first_row = s.lines().position(|l| l.as_bytes().get(10) == Some(&b'*'));
         let lines: Vec<&str> = s.lines().collect();
         let last_col = 10 + 29;
-        let last_row = lines.iter().position(|l| l.as_bytes().get(last_col) == Some(&b'*'));
+        let last_row = lines
+            .iter()
+            .position(|l| l.as_bytes().get(last_col) == Some(&b'*'));
         assert!(first_row.unwrap() < last_row.unwrap(), "{s}");
     }
 }

@@ -1,0 +1,111 @@
+//! Minimal wall-clock benchmarking harness (offline stand-in for a full
+//! benchmark framework).
+//!
+//! Each measurement warms up, then runs enough iterations to fill a short
+//! measurement window and reports the median per-iteration time. Used by
+//! the `benches/` targets; they are plain `harness = false` binaries.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark label.
+    pub name: String,
+    /// Median per-iteration wall-clock time.
+    pub median: Duration,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+impl Measurement {
+    /// Nanoseconds per iteration.
+    #[must_use]
+    pub fn nanos(&self) -> f64 {
+        self.median.as_secs_f64() * 1e9
+    }
+}
+
+/// A group of related measurements, printed as an aligned report.
+#[derive(Debug, Default)]
+pub struct Bench {
+    results: Vec<Measurement>,
+    /// Measurement window per benchmark.
+    pub window: Duration,
+}
+
+impl Bench {
+    /// New harness with a default 200 ms measurement window (override with
+    /// the `VR_BENCH_WINDOW_MS` environment variable).
+    #[must_use]
+    pub fn new() -> Self {
+        let ms = std::env::var("VR_BENCH_WINDOW_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(200);
+        Bench {
+            results: Vec::new(),
+            window: Duration::from_millis(ms),
+        }
+    }
+
+    /// Time `f`, recording the median of per-batch means.
+    pub fn run<R>(&mut self, name: impl Into<String>, mut f: impl FnMut() -> R) {
+        let name = name.into();
+        // warm-up: one call, then estimate the batch size
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let per_batch = (self.window.as_nanos() / 10 / once.as_nanos()).clamp(1, 1 << 20) as u64;
+
+        let mut samples = Vec::new();
+        let mut total_iters = 0u64;
+        let deadline = Instant::now() + self.window;
+        while Instant::now() < deadline || samples.len() < 3 {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() / per_batch as f64);
+            total_iters += per_batch;
+            if samples.len() > 10_000 {
+                break;
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = Duration::from_secs_f64(samples[samples.len() / 2]);
+        let m = Measurement {
+            name: name.clone(),
+            median,
+            iters: total_iters,
+        };
+        println!(
+            "{name:<48} {:>12.2} ns/iter  ({} iters)",
+            m.nanos(),
+            m.iters
+        );
+        self.results.push(m);
+    }
+
+    /// All recorded measurements.
+    #[must_use]
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        std::env::set_var("VR_BENCH_WINDOW_MS", "20");
+        let mut b = Bench::new();
+        let x: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        b.run("sum-1k", || x.iter().sum::<f64>());
+        assert_eq!(b.results().len(), 1);
+        assert!(b.results()[0].nanos() > 0.0);
+        std::env::remove_var("VR_BENCH_WINDOW_MS");
+    }
+}

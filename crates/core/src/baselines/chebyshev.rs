@@ -22,6 +22,7 @@
 //! `ρₖ = 1/(2σ − ρₖ₋₁)`, `αₖ = ρₖ·(2/δ)` — see Golub & Van Loan §10.1.5.
 
 use crate::instrument::OpCounts;
+use crate::resilience::guard;
 use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
 use vr_linalg::eig;
 use vr_linalg::kernels::{self, dot};
@@ -150,7 +151,7 @@ impl CgVariant for ChebyshevIteration {
                         termination = Termination::Converged;
                         break;
                     }
-                    if !rr.is_finite() {
+                    if guard::check_finite(rr).is_err() {
                         termination = Termination::Breakdown;
                         break;
                     }
@@ -195,8 +196,7 @@ mod tests {
         let lo = 2.0 - 2.0 * h.cos();
         let hi = 2.0 + 2.0 * ((n as f64) * h).cos().abs();
         let b = gen::rand_vector(n, 5);
-        let res =
-            ChebyshevIteration::with_bounds(lo, hi).solve(&a, &b, None, &opts());
+        let res = ChebyshevIteration::with_bounds(lo, hi).solve(&a, &b, None, &opts());
         assert!(res.converged, "{:?}", res.termination);
         assert!(res.true_residual(&a, &b) < 1e-6);
     }
@@ -215,7 +215,9 @@ mod tests {
         let a = gen::poisson2d(14);
         let b = gen::poisson2d_rhs(14);
         let cg = StandardCg::new().solve(&a, &b, None, &opts());
-        let ch = ChebyshevIteration::auto().check_every(20).solve(&a, &b, None, &opts());
+        let ch = ChebyshevIteration::auto()
+            .check_every(20)
+            .solve(&a, &b, None, &opts());
         assert!(cg.converged && ch.converged);
         // CG is optimal in iterations; Chebyshev trades iterations for
         // reduction-freedom
@@ -226,8 +228,7 @@ mod tests {
             cg.iterations
         );
         let cg_dots_per_iter = cg.counts.dots as f64 / cg.iterations as f64;
-        let ch_dots_per_iter =
-            (ch.counts.dots as f64 - 60.0) / ch.iterations as f64; // minus Lanczos probe
+        let ch_dots_per_iter = (ch.counts.dots as f64 - 60.0) / ch.iterations as f64; // minus Lanczos probe
         assert!(
             ch_dots_per_iter < 0.3 * cg_dots_per_iter,
             "chebyshev dots/iter {ch_dots_per_iter} vs cg {cg_dots_per_iter}"
@@ -257,23 +258,13 @@ mod tests {
     #[should_panic(expected = "positive spectral interval")]
     fn rejects_bad_interval() {
         let a = gen::poisson1d(8);
-        let _ = ChebyshevIteration::with_bounds(2.0, 1.0).solve(
-            &a,
-            &[1.0; 8],
-            None,
-            &opts(),
-        );
+        let _ = ChebyshevIteration::with_bounds(2.0, 1.0).solve(&a, &[1.0; 8], None, &opts());
     }
 
     #[test]
     fn zero_rhs_immediate() {
         let a = gen::poisson1d(5);
-        let res = ChebyshevIteration::with_bounds(0.1, 4.0).solve(
-            &a,
-            &[0.0; 5],
-            None,
-            &opts(),
-        );
+        let res = ChebyshevIteration::with_bounds(0.1, 4.0).solve(&a, &[0.0; 5], None, &opts());
         assert!(res.converged);
         assert_eq!(res.iterations, 0);
     }

@@ -13,6 +13,7 @@
 //! `Ap` is maintained by the recurrence `Ap ← w + β·Ap` — no extra matvec.
 
 use crate::instrument::OpCounts;
+use crate::resilience::guard;
 use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
 use vr_linalg::kernels::{self, dot};
 use vr_linalg::LinearOperator;
@@ -80,7 +81,7 @@ impl CgVariant for ChronopoulosGearCg {
                     (beta, mu - beta * rho / lambda_prev)
                 };
                 counts.scalar_ops += 3;
-                if !(denom.is_finite() && denom > 0.0) {
+                if guard::check_pivot(denom).is_err() {
                     termination = Termination::Breakdown;
                     iterations = it;
                     break;
@@ -110,7 +111,7 @@ impl CgVariant for ChronopoulosGearCg {
                     termination = Termination::Converged;
                     break;
                 }
-                if !rho.is_finite() {
+                if guard::check_finite(rho).is_err() {
                     termination = Termination::Breakdown;
                     break;
                 }

@@ -17,6 +17,7 @@
 //! not CG-specific.
 
 use crate::instrument::OpCounts;
+use crate::resilience::guard;
 use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
 use vr_linalg::kernels::{self, dot};
 use vr_linalg::LinearOperator;
@@ -82,7 +83,7 @@ impl CgVariant for ConjugateResidual {
             for it in 0..opts.max_iters {
                 let apap = dot(md, &ap, &ap);
                 counts.dots += 1;
-                if !(apap.is_finite() && apap > 0.0 && rar > 0.0) {
+                if guard::check_pivot(apap).is_err() || guard::check_pivot(rar).is_err() {
                     termination = Termination::Breakdown;
                     iterations = it;
                     break;
@@ -107,7 +108,7 @@ impl CgVariant for ConjugateResidual {
                     termination = Termination::Converged;
                     break;
                 }
-                if !rr.is_finite() {
+                if guard::check_finite(rr).is_err() {
                     termination = Termination::Breakdown;
                     break;
                 }
@@ -204,7 +205,7 @@ impl CgVariant for OverlapCr {
             termination = Termination::Converged;
         } else {
             for it in 0..opts.max_iters {
-                if !(apap.is_finite() && apap > 0.0 && rar > 0.0) {
+                if guard::check_pivot(apap).is_err() || guard::check_pivot(rar).is_err() {
                     // validate: near convergence the drifted recursive
                     // scalars can cross zero just before the threshold trips
                     let ax = a.apply_alloc(&x);
@@ -256,7 +257,7 @@ impl CgVariant for OverlapCr {
                     termination = Termination::Converged;
                     break;
                 }
-                if !rr_next.is_finite() {
+                if guard::check_finite(rr_next).is_err() {
                     termination = Termination::Breakdown;
                     break;
                 }

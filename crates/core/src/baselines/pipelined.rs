@@ -15,6 +15,7 @@
 //! ```
 
 use crate::instrument::OpCounts;
+use crate::resilience::guard;
 use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
 use vr_linalg::kernels::{self, dot};
 use vr_linalg::LinearOperator;
@@ -91,7 +92,7 @@ impl CgVariant for PipelinedCg {
                     (beta, delta - beta * gamma / lambda_old)
                 };
                 counts.scalar_ops += 3;
-                if !(denom.is_finite() && denom > 0.0) {
+                if guard::check_pivot(denom).is_err() {
                     termination = Termination::Breakdown;
                     iterations = it;
                     break;
@@ -119,7 +120,7 @@ impl CgVariant for PipelinedCg {
                     termination = Termination::Converged;
                     break;
                 }
-                if !gamma.is_finite() {
+                if guard::check_finite(gamma).is_err() {
                     termination = Termination::Breakdown;
                     break;
                 }

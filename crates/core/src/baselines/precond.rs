@@ -7,6 +7,7 @@
 //! which E10 exploits.
 
 use crate::instrument::OpCounts;
+use crate::resilience::guard;
 use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
 use vr_linalg::kernels::{self, dot};
 use vr_linalg::precond::Preconditioner;
@@ -81,7 +82,7 @@ impl<P: Preconditioner> CgVariant for PrecondCg<P> {
             termination = Termination::Converged;
         } else {
             for it in 0..opts.max_iters {
-                if !(rz.is_finite() && rz > 0.0) {
+                if guard::check_pivot(rz).is_err() {
                     termination = Termination::Breakdown;
                     iterations = it;
                     break;
@@ -90,7 +91,7 @@ impl<P: Preconditioner> CgVariant for PrecondCg<P> {
                 counts.matvecs += 1;
                 let pap = dot(md, &p, &w);
                 counts.dots += 1;
-                if !(pap.is_finite() && pap > 0.0) {
+                if guard::check_pivot(pap).is_err() {
                     termination = Termination::Breakdown;
                     iterations = it;
                     break;
@@ -115,7 +116,7 @@ impl<P: Preconditioner> CgVariant for PrecondCg<P> {
                     termination = Termination::Converged;
                     break;
                 }
-                if !rr.is_finite() {
+                if guard::check_finite(rr).is_err() {
                     termination = Termination::Breakdown;
                     break;
                 }
@@ -163,10 +164,9 @@ mod tests {
         let b = gen::rand_vector(256, 3);
         let opts = SolveOptions::default().with_tol(1e-8);
         let plain = StandardCg::new().solve(&a, &b, None, &opts);
-        let jac = PrecondCg::new(Jacobi::new(&a).unwrap(), "pcg-jacobi")
-            .solve(&a, &b, None, &opts);
-        let ssor = PrecondCg::new(Ssor::new(&a, 1.2).unwrap(), "pcg-ssor")
-            .solve(&a, &b, None, &opts);
+        let jac = PrecondCg::new(Jacobi::new(&a).unwrap(), "pcg-jacobi").solve(&a, &b, None, &opts);
+        let ssor =
+            PrecondCg::new(Ssor::new(&a, 1.2).unwrap(), "pcg-ssor").solve(&a, &b, None, &opts);
         let ic = PrecondCg::new(Ic0::new(&a).unwrap(), "pcg-ic0").solve(&a, &b, None, &opts);
         assert!(plain.converged && jac.converged && ssor.converged && ic.converged);
         assert!(
@@ -188,8 +188,12 @@ mod tests {
     fn precond_applies_counted() {
         let a = gen::poisson2d(8);
         let b = gen::poisson2d_rhs(8);
-        let res = PrecondCg::new(Jacobi::new(&a).unwrap(), "pcg-jacobi")
-            .solve(&a, &b, None, &SolveOptions::default());
+        let res = PrecondCg::new(Jacobi::new(&a).unwrap(), "pcg-jacobi").solve(
+            &a,
+            &b,
+            None,
+            &SolveOptions::default(),
+        );
         assert!(res.converged);
         assert_eq!(res.counts.precond_applies, res.iterations + 1);
     }

@@ -16,6 +16,7 @@
 //! standard CG) makes a useful control in the machine-model experiments.
 
 use crate::instrument::OpCounts;
+use crate::resilience::guard;
 use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
 use vr_linalg::kernels::dot;
 use vr_linalg::LinearOperator;
@@ -80,7 +81,7 @@ impl CgVariant for ThreeTermCg {
                 counts.matvecs += 1;
                 let rar = dot(md, &r, &w);
                 counts.dots += 1;
-                if !(rar.is_finite() && rar > 0.0) {
+                if guard::check_pivot(rar).is_err() {
                     termination = Termination::Breakdown;
                     iterations = it;
                     break;
@@ -92,7 +93,7 @@ impl CgVariant for ThreeTermCg {
                     1.0 / (1.0 - (gamma / gamma_prev) * (rr / rr_prev) / rho_prev)
                 };
                 counts.scalar_ops += 4;
-                if !rho.is_finite() {
+                if guard::check_finite(rho).is_err() {
                     termination = Termination::Breakdown;
                     iterations = it;
                     break;
@@ -126,7 +127,7 @@ impl CgVariant for ThreeTermCg {
                     termination = Termination::Converged;
                     break;
                 }
-                if !rr.is_finite() {
+                if guard::check_finite(rr).is_err() {
                     termination = Termination::Breakdown;
                     break;
                 }

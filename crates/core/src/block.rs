@@ -20,6 +20,7 @@
 //! (`vr_par::batch::gram` computes each family in one data pass).
 
 use crate::instrument::OpCounts;
+use crate::resilience::guard;
 use crate::solver::{SolveOptions, Termination};
 use vr_linalg::kernels;
 use vr_linalg::{DenseMatrix, LinearOperator};
@@ -104,9 +105,7 @@ impl BlockCg {
 
         // Deflation: only unconverged columns stay in the direction block.
         // `active[i]` maps block column i to its rhs index.
-        let mut active: Vec<usize> = (0..s)
-            .filter(|&j| rr[j] > thresh_sq[j])
-            .collect();
+        let mut active: Vec<usize> = (0..s).filter(|&j| rr[j] > thresh_sq[j]).collect();
         let mut p: Vec<Vec<f64>> = active.iter().map(|&j| r[j].clone()).collect();
         counts.vector_ops += active.len();
 
@@ -123,8 +122,7 @@ impl BlockCg {
                 counts.matvecs += sa;
 
                 // Gram blocks in two batched reductions
-                let r_active: Vec<Vec<f64>> =
-                    active.iter().map(|&j| r[j].clone()).collect();
+                let r_active: Vec<Vec<f64>> = active.iter().map(|&j| r[j].clone()).collect();
                 let ptw = batch::gram(&p, &w, 1); // PᵀW (sa×sa)
                 let ptr = batch::gram(&p, &r_active, 1); // PᵀR_active
                 counts.dots += 2 * sa * sa;
@@ -167,7 +165,7 @@ impl BlockCg {
                     }
                 }
                 iterations = it + 1;
-                if rr.iter().any(|v| !v.is_finite()) {
+                if !guard::all_finite(rr.iter().copied()) {
                     termination = Termination::Breakdown;
                     break;
                 }
@@ -182,10 +180,7 @@ impl BlockCg {
                 }
 
                 // Β = −(PᵀW)⁻¹(WᵀR_still); P ← R_still + P·Β
-                let r_still: Vec<Vec<f64>> = still
-                    .iter()
-                    .map(|&c| r[active[c]].clone())
-                    .collect();
+                let r_still: Vec<Vec<f64>> = still.iter().map(|&c| r[active[c]].clone()).collect();
                 let wtr = batch::gram(&w, &r_still, 1);
                 counts.dots += sa * still.len();
                 let beta: Vec<Vec<f64>> = (0..still.len())
@@ -297,8 +292,7 @@ mod tests {
         let bs: Vec<Vec<f64>> = (0..s).map(|k| gen::rand_vector(n, 80 + k as u64)).collect();
         let res = BlockCg::new().solve(&a, &bs, &opts());
         assert!(res.converged);
-        let per_iter =
-            (res.counts.dots as f64 - s as f64) / res.iterations as f64;
+        let per_iter = (res.counts.dots as f64 - s as f64) / res.iterations as f64;
         let expect = (3 * s * s + s) as f64;
         assert!(
             (per_iter - expect).abs() <= expect * 0.2,

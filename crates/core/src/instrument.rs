@@ -68,6 +68,37 @@ pub struct PerIteration {
     pub precond_applies: f64,
 }
 
+/// Counters from the resilience machinery, surfaced on every
+/// [`crate::SolveResult`] (all zero when no recovery policy is active).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Detectably corrupted values observed (non-finite reductions or
+    /// recurrence scalars caught by the guard).
+    pub faults_detected: u64,
+    /// Residual replacements: the recursive residual was discarded and
+    /// recomputed as `b − A·x`.
+    pub replacements: usize,
+    /// Warm restarts taken by the recovery ladder.
+    pub restarts: usize,
+    /// Look-ahead depth of the variant that produced the final result
+    /// (0 = standard CG): where on the `k → k/2 → … → standard` ladder
+    /// the solve ended.
+    pub final_k: usize,
+}
+
+impl std::ops::Add for RecoveryStats {
+    type Output = RecoveryStats;
+    fn add(self, o: RecoveryStats) -> RecoveryStats {
+        RecoveryStats {
+            faults_detected: self.faults_detected + o.faults_detected,
+            replacements: self.replacements + o.replacements,
+            restarts: self.restarts + o.restarts,
+            // not additive: keep the later (more backed-off) depth
+            final_k: o.final_k,
+        }
+    }
+}
+
 impl std::ops::Add for OpCounts {
     type Output = OpCounts;
     fn add(self, o: OpCounts) -> OpCounts {
@@ -117,7 +148,10 @@ mod tests {
             restarts: 0,
         };
         // n=100, d=5: 1*1000 + 2*200 + 3*200 + 4 + 1*200
-        assert_eq!(c.sequential_flops(100, 5), 1000.0 + 400.0 + 600.0 + 4.0 + 200.0);
+        assert_eq!(
+            c.sequential_flops(100, 5),
+            1000.0 + 400.0 + 600.0 + 4.0 + 200.0
+        );
     }
 
     #[test]

@@ -55,9 +55,10 @@ pub mod instrument;
 pub mod lookahead;
 pub mod overlap_k1;
 pub mod recurrence;
+pub mod resilience;
 pub mod solver;
 pub mod sstep;
 pub mod standard;
 
-pub use instrument::OpCounts;
-pub use solver::{CgVariant, SolveOptions, SolveResult};
+pub use instrument::{OpCounts, RecoveryStats};
+pub use solver::{CgVariant, SolveOptions, SolveResult, Termination};

@@ -51,9 +51,10 @@
 //! predates). [`LookaheadCg::with_resync`] recomputes the whole window
 //! directly every R iterations as mitigation; E9 maps the drift.
 
-use crate::instrument::OpCounts;
-use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
+use crate::instrument::{OpCounts, RecoveryStats};
 use crate::recurrence::moments::MomentWindow;
+use crate::resilience::guard;
+use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
 use vr_linalg::kernels::{self, dot};
 use vr_linalg::LinearOperator;
 
@@ -115,6 +116,7 @@ impl CgVariant for LookaheadCg {
 
         let mut norms = Vec::new();
         let mut iterations = 0usize;
+        let mut rstats = RecoveryStats::default();
         let mut last_restart_rr = f64::INFINITY;
         #[allow(unused_assignments)]
         let mut final_rr = f64::NAN;
@@ -158,25 +160,25 @@ impl CgVariant for LookaheadCg {
             let mut suspicious = false;
             while iterations < opts.max_iters {
                 let (mu0, sigma1) = (win.mu[0], win.sigma[1]);
-                if !(sigma1.is_finite() && sigma1 > 0.0 && mu0.is_finite() && mu0 > 0.0) {
+                if guard::check_pivot(sigma1).is_err() || guard::check_pivot(mu0).is_err() {
                     suspicious = true;
                     break;
                 }
-                let lambda = mu0 / sigma1;
+                let lambda = opts.scalar(mu0 / sigma1);
                 kernels::axpy(lambda, &w[0], &mut x);
                 counts.vector_ops += 1;
                 counts.scalar_ops += 1;
 
                 // scalar window step
                 let mu_new = win.mu_step(lambda);
-                let alpha = mu_new[0] / mu0;
+                let alpha = opts.scalar(mu_new[0] / mu0);
                 counts.scalar_ops += win.step_scalar_ops() + 1;
 
                 if opts.record_residuals {
                     norms.push(mu_new[0].max(0.0).sqrt());
                 }
                 iterations += 1;
-                if mu_new[0] <= thresh_sq || !mu_new[0].is_finite() {
+                if mu_new[0] <= thresh_sq || guard::check_finite(mu_new[0]).is_err() {
                     suspicious = true;
                     break;
                 }
@@ -202,10 +204,12 @@ impl CgVariant for LookaheadCg {
                     counts.dots += spent;
                     win = fresh;
                 } else {
-                    // three direct top-of-window inner products
-                    win.nu[m + 1] = dot(md, &z[k], &w[k + 1]);
-                    win.sigma[m + 1] = dot(md, &w[k], &w[k + 1]);
-                    win.sigma[m + 2] = dot(md, &w[k + 1], &w[k + 1]);
+                    // three direct top-of-window inner products — these
+                    // are the reductions with k iterations of slack, i.e.
+                    // the fault surface the paper's restructuring creates
+                    win.nu[m + 1] = guard::guarded_dot(opts, &z[k], &w[k + 1], &mut rstats);
+                    win.sigma[m + 1] = guard::guarded_dot(opts, &w[k], &w[k + 1], &mut rstats);
+                    win.sigma[m + 2] = guard::guarded_dot(opts, &w[k + 1], &w[k + 1], &mut rstats);
                     counts.dots += 3;
                 }
             }
@@ -225,8 +229,14 @@ impl CgVariant for LookaheadCg {
             if !suspicious {
                 break 'outer Termination::MaxIterations;
             }
-            // spurious signal: restart if we are still making progress
-            if rr_true >= 0.25 * last_restart_rr || iterations >= opts.max_iters {
+            // spurious signal: restart if we are still making progress.
+            // A non-finite true residual means the iterate itself is
+            // poisoned (e.g. a corrupted λ reached x) — restarting from it
+            // would loop forever, so that is a breakdown too.
+            if guard::check_finite(rr_true).is_err()
+                || rr_true >= 0.25 * last_restart_rr
+                || iterations >= opts.max_iters
+            {
                 break 'outer Termination::Breakdown;
             }
             last_restart_rr = rr_true;
@@ -236,12 +246,31 @@ impl CgVariant for LookaheadCg {
 
         if !opts.record_residuals || norms.is_empty() {
             norms.push(final_rr.max(0.0).sqrt());
-        } else if final_rr.is_finite() {
+        } else if guard::check_finite(final_rr).is_ok() {
             // replace the (possibly drifted) last recursive value with the
             // validated true residual norm
             *norms.last_mut().expect("non-empty") = final_rr.max(0.0).sqrt();
         }
-        SolveResult::new(x, termination, iterations, norms, counts)
+        let mut res = SolveResult::new(x, termination, iterations, norms, counts);
+        rstats.restarts = counts.restarts;
+        rstats.final_k = k;
+        res.recovery = rstats;
+        res
+    }
+
+    fn backoff(&self) -> Option<Box<dyn CgVariant>> {
+        if self.k > 1 {
+            Some(Box::new(LookaheadCg {
+                k: self.k / 2,
+                resync: self.resync,
+            }))
+        } else {
+            Some(Box::new(crate::standard::StandardCg::new()))
+        }
+    }
+
+    fn depth(&self) -> usize {
+        self.k
     }
 }
 
@@ -270,12 +299,7 @@ mod tests {
     fn k1_converges_to_moderate_tolerance_without_resync() {
         let a = gen::poisson2d(12);
         let b = gen::poisson2d_rhs(12);
-        let res = LookaheadCg::new(1).solve(
-            &a,
-            &b,
-            None,
-            &SolveOptions::default().with_tol(1e-6),
-        );
+        let res = LookaheadCg::new(1).solve(&a, &b, None, &SolveOptions::default().with_tol(1e-6));
         assert!(res.converged, "termination {:?}", res.termination);
         assert!(res.true_residual(&a, &b) < 1e-4);
     }
@@ -305,12 +329,7 @@ mod tests {
         let b = gen::poisson2d_rhs(16);
         let k = 3;
         // moderate tolerance so the run finishes in one pass (no restarts)
-        let res = LookaheadCg::new(k).solve(
-            &a,
-            &b,
-            None,
-            &SolveOptions::default().with_tol(1e-6),
-        );
+        let res = LookaheadCg::new(k).solve(&a, &b, None, &SolveOptions::default().with_tol(1e-6));
         assert!(res.converged, "{:?}", res.termination);
         let iters = res.iterations as f64;
         // Each pass (initial + one per restart) costs k+1 startup matvecs,
@@ -338,9 +357,12 @@ mod tests {
         let a = gen::poisson2d(10);
         let b = gen::poisson2d_rhs(10);
         for k in [4usize, 6] {
-            let res = LookaheadCg::new(k)
-                .with_resync(8)
-                .solve(&a, &b, None, &SolveOptions::default().with_tol(1e-7));
+            let res = LookaheadCg::new(k).with_resync(8).solve(
+                &a,
+                &b,
+                None,
+                &SolveOptions::default().with_tol(1e-7),
+            );
             assert!(
                 res.converged,
                 "k={k} with resync should converge: {:?}",
@@ -406,5 +428,28 @@ mod tests {
         for (xi, ei) in res.x.iter().zip(&exact) {
             assert!((xi - ei).abs() < 1e-6, "{xi} vs {ei}");
         }
+    }
+
+    #[test]
+    fn heavy_nan_faults_terminate_instead_of_looping() {
+        // regression: a corrupted λ (ScalarRecurrence fault, fired after
+        // the pivot check) poisons x, making the validation residual NaN.
+        // NaN fails every comparison, so the old no-progress test
+        // `rr_true >= 0.25·last` let the solver warm-restart from a NaN
+        // residual forever. It must break down instead.
+        use crate::resilience::{FaultKind, SeededInjector};
+        use std::sync::Arc;
+        let a = gen::poisson2d(20);
+        let b = gen::poisson2d_rhs(20);
+        let o = SolveOptions::default()
+            .with_tol(1e-8)
+            .with_max_iters(2000)
+            .with_injector(Arc::new(SeededInjector::new(
+                0xE15 + 22,
+                1e-2,
+                FaultKind::Nan,
+            )));
+        let res = LookaheadCg::new(4).solve(&a, &b, None, &o);
+        assert_eq!(res.termination, Termination::Breakdown);
     }
 }

@@ -30,6 +30,7 @@
 //! from the critical cycle; E4/E7 quantify both sides.
 
 use crate::instrument::OpCounts;
+use crate::resilience::guard;
 use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
 use vr_linalg::kernels::{self, dot};
 use vr_linalg::LinearOperator;
@@ -122,7 +123,7 @@ impl CgVariant for OverlapK1Cg {
         } else {
             let mut it = 0;
             while it < opts.max_iters {
-                if !(pap.is_finite() && pap > 0.0 && rr.is_finite() && rr > 0.0) {
+                if guard::check_pivot(pap).is_err() || guard::check_pivot(rr).is_err() {
                     // validate against the true residual
                     let ax = a.apply_alloc(&x);
                     let mut r_true = vec![0.0; n];
@@ -179,8 +180,7 @@ impl CgVariant for OverlapK1Cg {
                 let rar_next = rar - 2.0 * lambda * rv + lambda * lambda * wv;
                 let alpha = rr_next / rr;
                 let rnext_w = rw - lambda * ww;
-                let pap_next =
-                    rar_next + 2.0 * alpha * rnext_w + alpha * alpha * pap;
+                let pap_next = rar_next + 2.0 * alpha * rnext_w + alpha * alpha * pap;
                 counts.scalar_ops += 12;
 
                 if opts.record_residuals {
@@ -191,7 +191,7 @@ impl CgVariant for OverlapK1Cg {
                     termination = Termination::Converged;
                     break;
                 }
-                if !rr_next.is_finite() {
+                if guard::check_finite(rr_next).is_err() {
                     // route through the validation branch at the loop top
                     rr = rr_next;
                     continue;
@@ -227,6 +227,14 @@ impl CgVariant for OverlapK1Cg {
         }
         SolveResult::new(x, termination, iterations, norms, counts)
     }
+
+    fn backoff(&self) -> Option<Box<dyn CgVariant>> {
+        Some(Box::new(crate::standard::StandardCg::new()))
+    }
+
+    fn depth(&self) -> usize {
+        1
+    }
 }
 
 #[cfg(test)]
@@ -250,12 +258,7 @@ mod tests {
     fn converges_to_moderate_tolerance_without_resync() {
         let a = gen::poisson2d(12);
         let b = gen::poisson2d_rhs(12);
-        let res = OverlapK1Cg::new().solve(
-            &a,
-            &b,
-            None,
-            &SolveOptions::default().with_tol(1e-6),
-        );
+        let res = OverlapK1Cg::new().solve(&a, &b, None, &SolveOptions::default().with_tol(1e-6));
         assert!(res.converged, "termination {:?}", res.termination);
         assert!(res.true_residual(&a, &b) < 1e-4);
     }
@@ -270,7 +273,9 @@ mod tests {
         let res = OverlapK1Cg::new().solve(&a, &b, None, &opts);
         assert!(!res.converged, "expected stagnation at tol 1e-12");
         // ... which resync repairs
-        let fixed = OverlapK1Cg::new().with_resync(15).solve(&a, &b, None, &opts);
+        let fixed = OverlapK1Cg::new()
+            .with_resync(15)
+            .solve(&a, &b, None, &opts);
         assert!(fixed.converged, "resync failed: {:?}", fixed.termination);
     }
 

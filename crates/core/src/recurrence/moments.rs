@@ -227,8 +227,7 @@ mod tests {
                     "step {step} nu[{i}]"
                 );
                 assert!(
-                    (win.sigma[i] - win2.sigma[i]).abs()
-                        <= 1e-7 * (1.0 + win2.sigma[i].abs()),
+                    (win.sigma[i] - win2.sigma[i]).abs() <= 1e-7 * (1.0 + win2.sigma[i].abs()),
                     "step {step} sigma[{i}]"
                 );
             }

@@ -1,0 +1,235 @@
+//! Deterministic seeded fault injectors.
+//!
+//! The injector *interface* lives in [`vr_par::fault`] (the bottom of the
+//! workspace dependency graph); the concrete injectors live here because
+//! they are solver-facing policy. All injectors are driven by a SplitMix64
+//! hash of `seed ^ call-counter`, so a given seed reproduces the exact
+//! same fault pattern — the property every experiment and test in this
+//! subsystem leans on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use vr_par::fault::splitmix64;
+pub use vr_par::fault::{FaultInjector, FaultSite, NoFaults};
+
+/// What a fault does to the value flowing through the reduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Replace with NaN (detectable: the classic soft-error checksum case).
+    Nan,
+    /// Replace with +∞ (detectable overflow).
+    Inf,
+    /// Silent data corruption: multiply by `1 + magnitude·u` with
+    /// `u ∈ [−1, 1)` drawn from the fault hash. Not detectable by
+    /// finiteness checks — only residual replacement catches it.
+    Perturb(f64),
+    /// Drop the contribution: the value is replaced by `0.0`, modeling a
+    /// lost partial sum in the fan-in tree.
+    Drop,
+}
+
+impl FaultKind {
+    /// Stable label for reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Nan => "nan",
+            FaultKind::Inf => "inf",
+            FaultKind::Perturb(_) => "perturb",
+            FaultKind::Drop => "drop",
+        }
+    }
+
+    fn apply(&self, value: f64, hash: u64) -> f64 {
+        match *self {
+            FaultKind::Nan => f64::NAN,
+            FaultKind::Inf => f64::INFINITY,
+            FaultKind::Perturb(mag) => {
+                // map hash to u ∈ [−1, 1)
+                let u = (hash >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
+                value * (1.0 + mag * u)
+            }
+            FaultKind::Drop => 0.0,
+        }
+    }
+}
+
+/// Bernoulli fault injector: every value passing a matching site is
+/// corrupted independently with probability `rate`, decided by
+/// `splitmix64(seed ^ call#)`.
+#[derive(Debug)]
+pub struct SeededInjector {
+    seed: u64,
+    rate: f64,
+    kind: FaultKind,
+    /// Restrict injection to this site (None = all sites).
+    only_site: Option<FaultSite>,
+    calls: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl SeededInjector {
+    /// Injector corrupting any site with probability `rate` per value.
+    #[must_use]
+    pub fn new(seed: u64, rate: f64, kind: FaultKind) -> Self {
+        SeededInjector {
+            seed,
+            rate: rate.clamp(0.0, 1.0),
+            kind,
+            only_site: None,
+            calls: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Restrict injection to a single [`FaultSite`].
+    #[must_use]
+    pub fn at_site(mut self, site: FaultSite) -> Self {
+        self.only_site = Some(site);
+        self
+    }
+
+    /// Total values inspected so far.
+    #[must_use]
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+}
+
+impl FaultInjector for SeededInjector {
+    fn corrupt(&self, site: FaultSite, value: f64) -> f64 {
+        let c = self.calls.fetch_add(1, Ordering::Relaxed);
+        if let Some(only) = self.only_site {
+            if only != site {
+                return value;
+            }
+        }
+        let h = splitmix64(self.seed ^ c.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        // top 53 bits → uniform in [0, 1)
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if u < self.rate {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            self.kind.apply(value, splitmix64(h))
+        } else {
+            value
+        }
+    }
+
+    fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+/// Inject exactly one fault, at the `at_call`-th value inspected.
+///
+/// The workhorse for targeted tests: "a single upset strikes reduction
+/// number m — does the solver still converge?"
+#[derive(Debug)]
+pub struct SingleFault {
+    at_call: u64,
+    kind: FaultKind,
+    calls: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl SingleFault {
+    /// Corrupt the `at_call`-th inspected value (0-based) with `kind`.
+    #[must_use]
+    pub fn new(at_call: u64, kind: FaultKind) -> Self {
+        SingleFault {
+            at_call,
+            kind,
+            calls: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+}
+
+impl FaultInjector for SingleFault {
+    fn corrupt(&self, _site: FaultSite, value: f64) -> f64 {
+        let c = self.calls.fetch_add(1, Ordering::Relaxed);
+        if c == self.at_call {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            self.kind.apply(value, splitmix64(c ^ 0xdead_beef))
+        } else {
+            value
+        }
+    }
+
+    fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_zero_never_injects() {
+        let inj = SeededInjector::new(42, 0.0, FaultKind::Nan);
+        for i in 0..10_000 {
+            assert!(inj.corrupt(FaultSite::DotFinal, i as f64).is_finite());
+        }
+        assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn rate_one_always_injects() {
+        let inj = SeededInjector::new(42, 1.0, FaultKind::Nan);
+        for _ in 0..100 {
+            assert!(inj.corrupt(FaultSite::DotPartial, 1.0).is_nan());
+        }
+        assert_eq!(inj.injected(), 100);
+    }
+
+    #[test]
+    fn same_seed_same_fault_pattern() {
+        let run = |seed| {
+            let inj = SeededInjector::new(seed, 0.01, FaultKind::Nan);
+            (0..5000)
+                .map(|i| inj.corrupt(FaultSite::DotPartial, i as f64).is_nan())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn empirical_rate_close_to_nominal() {
+        let inj = SeededInjector::new(3, 0.05, FaultKind::Drop);
+        let n = 100_000;
+        for _ in 0..n {
+            inj.corrupt(FaultSite::DotPartial, 1.0);
+        }
+        let rate = inj.injected() as f64 / n as f64;
+        assert!((rate - 0.05).abs() < 0.01, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn perturb_is_silent_and_bounded() {
+        let inj = SeededInjector::new(11, 1.0, FaultKind::Perturb(0.5));
+        for _ in 0..100 {
+            let v = inj.corrupt(FaultSite::DotFinal, 2.0);
+            assert!(v.is_finite());
+            assert!((v - 2.0).abs() <= 1.0 + 1e-12, "perturbed {v}");
+        }
+    }
+
+    #[test]
+    fn site_filter_respected() {
+        let inj = SeededInjector::new(5, 1.0, FaultKind::Inf).at_site(FaultSite::DotFinal);
+        assert!(inj.corrupt(FaultSite::DotPartial, 1.0).is_finite());
+        assert!(inj.corrupt(FaultSite::DotFinal, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn single_fault_strikes_once() {
+        let inj = SingleFault::new(3, FaultKind::Nan);
+        let hits: Vec<bool> = (0..10)
+            .map(|i| inj.corrupt(FaultSite::ScalarRecurrence, i as f64).is_nan())
+            .collect();
+        assert_eq!(hits.iter().filter(|&&h| h).count(), 1);
+        assert!(hits[3]);
+        assert_eq!(inj.injected(), 1);
+    }
+}

@@ -1,0 +1,277 @@
+//! Breakdown recovery: policy, restart ladder, and the [`Recoverable`]
+//! wrapper.
+//!
+//! The look-ahead restructuring buys parallelism at the price of fragility
+//! (deep moment windows amplify round-off and any injected fault). The
+//! recovery ladder makes that trade safe: when a guarded solve fails, it
+//! warm-restarts from the best iterate so far with the look-ahead depth
+//! **backed off** — `k → k/2 → … → standard CG` — under a bounded retry
+//! budget. Standard CG is the floor of the ladder because it is the
+//! self-correcting member of the family.
+
+use crate::instrument::{OpCounts, RecoveryStats};
+use crate::solver::{CgVariant, SolveOptions, SolveResult, Termination};
+use vr_linalg::kernels;
+use vr_linalg::LinearOperator;
+
+/// Knobs for the recovery machinery. Attach to a solve with
+/// [`SolveOptions::with_recovery`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Recompute the true residual `b − A·x` every this many iterations
+    /// and compare against the recursive one (0 = never). Catches silent
+    /// data corruption the finiteness guards cannot see.
+    pub true_residual_period: usize,
+    /// Relative norm deviation `|‖r_true‖ − ‖r_rec‖| / ‖r_true‖` above
+    /// which the recursive residual is replaced by the true one.
+    pub replacement_threshold: f64,
+    /// Halt with [`Termination::Stagnated`] after this many consecutive
+    /// iterations without 1% progress on the best residual (0 = never).
+    pub stagnation_window: usize,
+    /// Halt with [`Termination::Diverged`] when the residual norm exceeds
+    /// this factor times the initial residual norm.
+    pub divergence_factor: f64,
+    /// Retry budget for the restart ladder.
+    pub max_restarts: usize,
+    /// Back off the look-ahead depth (`k → k/2 → … → standard CG`) on each
+    /// restart; `false` retries the same variant (faults are transient).
+    pub backoff: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            true_residual_period: 25,
+            replacement_threshold: 0.5,
+            stagnation_window: 400,
+            divergence_factor: 1e8,
+            max_restarts: 8,
+            backoff: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Set the periodic true-residual recomputation interval.
+    #[must_use]
+    pub fn with_true_residual_period(mut self, period: usize) -> Self {
+        self.true_residual_period = period;
+        self
+    }
+
+    /// Set the residual-replacement deviation threshold.
+    #[must_use]
+    pub fn with_replacement_threshold(mut self, t: f64) -> Self {
+        self.replacement_threshold = t;
+        self
+    }
+
+    /// Set the stagnation window.
+    #[must_use]
+    pub fn with_stagnation_window(mut self, w: usize) -> Self {
+        self.stagnation_window = w;
+        self
+    }
+
+    /// Set the restart budget.
+    #[must_use]
+    pub fn with_max_restarts(mut self, n: usize) -> Self {
+        self.max_restarts = n;
+        self
+    }
+
+    /// Enable or disable look-ahead-depth backoff.
+    #[must_use]
+    pub fn with_backoff(mut self, on: bool) -> Self {
+        self.backoff = on;
+        self
+    }
+}
+
+/// Solve with the full recovery ladder around `variant`.
+///
+/// Each attempt runs the variant's own guarded solve. On a failed attempt
+/// (breakdown, stagnation, divergence) the ladder warm-restarts from the
+/// best finite iterate seen so far, backing off the look-ahead depth via
+/// [`CgVariant::backoff`] when the policy asks for it, until the retry
+/// budget `policy.max_restarts` is spent or the total iteration budget
+/// `opts.max_iters` runs out. A convergence reached after ≥ 1 restart is
+/// reported as [`Termination::RecoveredConverged`].
+#[must_use]
+pub fn solve_with_recovery(
+    variant: &dyn CgVariant,
+    a: &dyn LinearOperator,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &SolveOptions,
+) -> SolveResult {
+    let policy = opts.recovery.clone().unwrap_or_default();
+    let mut inner_opts = opts.clone();
+    inner_opts.recovery = Some(policy.clone());
+
+    let mut owned: Option<Box<dyn CgVariant>> = None;
+    let mut x_start: Option<Vec<f64>> = x0.map(<[f64]>::to_vec);
+    let mut best_start_rr = f64::INFINITY;
+    let mut total_counts = OpCounts::default();
+    let mut all_norms: Vec<f64> = Vec::new();
+    let mut total_iters = 0usize;
+    let mut stats = RecoveryStats::default();
+    let mut restarts = 0usize;
+
+    loop {
+        let v: &dyn CgVariant = owned.as_deref().unwrap_or(variant);
+        inner_opts.max_iters = opts.max_iters.saturating_sub(total_iters).max(1);
+        let res = v.solve(a, b, x_start.as_deref(), &inner_opts);
+
+        total_iters += res.iterations;
+        total_counts = total_counts + res.counts;
+        stats.faults_detected += res.recovery.faults_detected;
+        stats.replacements += res.recovery.replacements;
+        if all_norms.is_empty() {
+            all_norms.extend_from_slice(&res.residual_norms);
+        } else {
+            // an attempt's first recorded norm is its (warm) initial
+            // residual, already recorded as the previous attempt's final
+            all_norms.extend_from_slice(&res.residual_norms[1.min(res.residual_norms.len())..]);
+        }
+
+        let done =
+            res.converged || restarts >= policy.max_restarts || total_iters >= opts.max_iters;
+        if done {
+            let termination = if res.converged && restarts > 0 {
+                Termination::RecoveredConverged
+            } else {
+                res.termination
+            };
+            stats.restarts = restarts;
+            stats.final_k = v.depth();
+            let mut out =
+                SolveResult::new(res.x, termination, total_iters, all_norms, total_counts);
+            out.recovery = stats;
+            return out;
+        }
+
+        // ----- prepare the next rung of the ladder -----
+        restarts += 1;
+        total_counts.restarts += 1;
+
+        // Warm start from the attempt's iterate if it is finite AND at
+        // least as good (by true residual) as the start it came from —
+        // never let a faulted attempt drag the ladder backwards.
+        if res.x.iter().all(|v| v.is_finite()) {
+            let ax = a.apply_alloc(&res.x);
+            let mut r = vec![0.0; b.len()];
+            kernels::sub(b, &ax, &mut r);
+            total_counts.matvecs += 1;
+            let rr = kernels::dot_serial(&r, &r);
+            if rr.is_finite() && rr < best_start_rr {
+                best_start_rr = rr;
+                x_start = Some(res.x);
+            }
+        }
+
+        if policy.backoff {
+            if let Some(next) = v.backoff() {
+                owned = Some(next);
+            }
+        }
+    }
+}
+
+/// Wrapper turning any variant into its recovered version, so experiment
+/// sweeps can treat "look-ahead k=4 with recovery" as just another
+/// [`CgVariant`].
+#[derive(Debug, Clone)]
+pub struct Recoverable<V> {
+    inner: V,
+}
+
+impl<V: CgVariant> Recoverable<V> {
+    /// Wrap `inner` in the recovery ladder.
+    #[must_use]
+    pub fn new(inner: V) -> Self {
+        Recoverable { inner }
+    }
+}
+
+impl<V: CgVariant> CgVariant for Recoverable<V> {
+    fn name(&self) -> String {
+        format!("recoverable({})", self.inner.name())
+    }
+
+    fn solve(
+        &self,
+        a: &dyn LinearOperator,
+        b: &[f64],
+        x0: Option<&[f64]>,
+        opts: &SolveOptions,
+    ) -> SolveResult {
+        solve_with_recovery(&self.inner, a, b, x0, opts)
+    }
+
+    fn depth(&self) -> usize {
+        self.inner.depth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lookahead::LookaheadCg;
+    use crate::standard::StandardCg;
+    use vr_linalg::gen;
+
+    #[test]
+    fn policy_builders() {
+        let p = RecoveryPolicy::default()
+            .with_true_residual_period(10)
+            .with_replacement_threshold(0.25)
+            .with_stagnation_window(50)
+            .with_max_restarts(3)
+            .with_backoff(false);
+        assert_eq!(p.true_residual_period, 10);
+        assert_eq!(p.replacement_threshold, 0.25);
+        assert_eq!(p.stagnation_window, 50);
+        assert_eq!(p.max_restarts, 3);
+        assert!(!p.backoff);
+    }
+
+    #[test]
+    fn fault_free_recovery_is_transparent() {
+        let a = gen::poisson2d(10);
+        let b = gen::poisson2d_rhs(10);
+        let opts = SolveOptions::default().with_tol(1e-9);
+        let plain = StandardCg::new().solve(&a, &b, None, &opts);
+        let rec = solve_with_recovery(&StandardCg::new(), &a, &b, None, &opts);
+        assert_eq!(rec.termination, Termination::Converged);
+        assert_eq!(rec.recovery.restarts, 0);
+        // residual replacement at the periodic checkpoints must not hurt
+        assert!(rec.iterations <= plain.iterations + 5);
+        assert!(rec.true_residual(&a, &b) < 1e-7);
+    }
+
+    #[test]
+    fn ladder_backs_off_to_standard_on_indefinite() {
+        // an indefinite matrix defeats every rung: the ladder must walk
+        // k=4 → 2 → 1 → standard and stop within budget, never "converge"
+        let a = gen::tridiag_toeplitz(12, 0.5, -1.0);
+        let b = gen::rand_vector(12, 3);
+        let opts =
+            SolveOptions::default().with_recovery(RecoveryPolicy::default().with_max_restarts(4));
+        let res = solve_with_recovery(&LookaheadCg::new(4), &a, &b, None, &opts);
+        assert!(!res.converged);
+        assert_eq!(res.recovery.restarts, 4);
+        assert_eq!(res.recovery.final_k, 0, "ladder must end at standard CG");
+    }
+
+    #[test]
+    fn recoverable_wrapper_names_and_delegates() {
+        let r = Recoverable::new(LookaheadCg::new(2));
+        assert_eq!(r.name(), "recoverable(lookahead-cg(k=2))");
+        assert_eq!(r.depth(), 2);
+        let a = gen::poisson2d(8);
+        let b = gen::poisson2d_rhs(8);
+        let res = r.solve(&a, &b, None, &SolveOptions::default().with_tol(1e-8));
+        assert!(res.converged);
+    }
+}

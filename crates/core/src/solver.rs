@@ -1,8 +1,11 @@
 //! Common solver API shared by all CG variants.
 
-use crate::instrument::OpCounts;
-use vr_linalg::kernels::DotMode;
+use crate::instrument::{OpCounts, RecoveryStats};
+use crate::resilience::recovery::RecoveryPolicy;
+use std::sync::Arc;
+use vr_linalg::kernels::{self, DotMode};
 use vr_linalg::LinearOperator;
+use vr_par::fault::{FaultInjector, FaultSite};
 
 /// Options controlling a solve.
 #[derive(Debug, Clone)]
@@ -16,6 +19,12 @@ pub struct SolveOptions {
     pub dot_mode: DotMode,
     /// Record the (recursive) residual norm at every iteration.
     pub record_residuals: bool,
+    /// Fault injector threaded through the reduction path and scalar
+    /// recurrences (None = fault-free). See [`crate::resilience::fault`].
+    pub injector: Option<Arc<dyn FaultInjector>>,
+    /// Breakdown-recovery policy (None = classic behavior: fail on the
+    /// first suspicious scalar). See [`crate::resilience::recovery`].
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 impl Default for SolveOptions {
@@ -25,6 +34,8 @@ impl Default for SolveOptions {
             max_iters: 10_000,
             dot_mode: DotMode::Serial,
             record_residuals: true,
+            injector: None,
+            recovery: None,
         }
     }
 }
@@ -50,6 +61,43 @@ impl SolveOptions {
         self.dot_mode = mode;
         self
     }
+
+    /// Attach a fault injector to the reduction path.
+    #[must_use]
+    pub fn with_injector(mut self, inj: Arc<dyn FaultInjector>) -> Self {
+        self.injector = Some(inj);
+        self
+    }
+
+    /// Attach a breakdown-recovery policy.
+    #[must_use]
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
+    }
+
+    /// Inner product through this solve's fault path.
+    ///
+    /// Without an injector this is exactly `kernels::dot(self.dot_mode)`;
+    /// with one, the reduction runs through the chunked deterministic tree
+    /// with per-partial and final-value corruption (see
+    /// [`vr_linalg::kernels::dot_with`]).
+    #[must_use]
+    pub fn dot(&self, x: &[f64], y: &[f64]) -> f64 {
+        match &self.injector {
+            None => kernels::dot(self.dot_mode, x, y),
+            Some(inj) => kernels::dot_with(self.dot_mode, x, y, inj.as_ref()),
+        }
+    }
+
+    /// Pass a scalar-recurrence result through this solve's fault path.
+    #[must_use]
+    pub fn scalar(&self, v: f64) -> f64 {
+        match &self.injector {
+            None => v,
+            Some(inj) => inj.corrupt(FaultSite::ScalarRecurrence, v),
+        }
+    }
 }
 
 /// Why a solve stopped.
@@ -57,11 +105,31 @@ impl SolveOptions {
 pub enum Termination {
     /// The residual tolerance was met.
     Converged,
+    /// The residual tolerance was met, but only after ≥ 1 recovery restart
+    /// (see [`crate::resilience::recovery`]). Counts as converged.
+    RecoveredConverged,
     /// `max_iters` was exhausted.
     MaxIterations,
     /// A scalar recurrence produced a non-finite or non-positive quantity
     /// that must be positive for an SPD system (breakdown).
     Breakdown,
+    /// The guard saw no residual progress over the policy's stagnation
+    /// window (recovery-guarded solves only).
+    Stagnated,
+    /// The true residual grew beyond the policy's divergence factor
+    /// (recovery-guarded solves only).
+    Diverged,
+}
+
+impl Termination {
+    /// Whether this termination means the tolerance was met.
+    #[must_use]
+    pub fn is_converged(self) -> bool {
+        matches!(
+            self,
+            Termination::Converged | Termination::RecoveredConverged
+        )
+    }
 }
 
 /// Outcome of a solve.
@@ -77,15 +145,27 @@ pub struct SolveResult {
     /// recording was enabled; always contains at least the final value.
     pub residual_norms: Vec<f64>,
     /// Final *recursive* residual norm (as tracked by the algorithm).
+    ///
+    /// Contract: this is always `residual_norms.last()` — every variant
+    /// records at least one norm, even with residual recording disabled
+    /// and even for the zero-iteration case (where it is the initial
+    /// residual norm). It is NaN only when the recurrence itself produced
+    /// NaN, e.g. under injected faults without recovery.
     pub final_residual: f64,
     /// Operation counts.
     pub counts: OpCounts,
-    /// Whether [`Termination::Converged`].
+    /// Recovery counters (all zero for unguarded solves).
+    pub recovery: RecoveryStats,
+    /// Whether the tolerance was met ([`Termination::is_converged`]).
     pub converged: bool,
 }
 
 impl SolveResult {
-    /// Construct from parts, deriving `converged`.
+    /// Construct from parts, deriving `converged` and `final_residual`.
+    ///
+    /// # Panics
+    /// Panics if `residual_norms` is empty — every variant must record at
+    /// least the final residual norm (see the `final_residual` contract).
     #[must_use]
     pub fn new(
         x: Vec<f64>,
@@ -94,15 +174,18 @@ impl SolveResult {
         residual_norms: Vec<f64>,
         counts: OpCounts,
     ) -> Self {
-        let final_residual = residual_norms.last().copied().unwrap_or(f64::NAN);
+        let final_residual = *residual_norms
+            .last()
+            .expect("SolveResult: every variant must record at least one residual norm");
         SolveResult {
             x,
-            converged: termination == Termination::Converged,
+            converged: termination.is_converged(),
             termination,
             iterations,
             residual_norms,
             final_residual,
             counts,
+            recovery: RecoveryStats::default(),
         }
     }
 
@@ -131,6 +214,21 @@ pub trait CgVariant {
         x0: Option<&[f64]>,
         opts: &SolveOptions,
     ) -> SolveResult;
+
+    /// The next rung of the recovery ladder: a strictly more robust
+    /// configuration of this variant (halved look-ahead depth / block
+    /// size), or standard CG at the bottom. `None` means there is nothing
+    /// more robust to fall back to — the ladder retries this variant
+    /// as-is.
+    fn backoff(&self) -> Option<Box<dyn CgVariant>> {
+        None
+    }
+
+    /// Look-ahead depth / block size for reporting (0 = none; used for
+    /// [`RecoveryStats::final_k`]).
+    fn depth(&self) -> usize {
+        0
+    }
 }
 
 /// Shared solver-loop helpers.
@@ -199,11 +297,57 @@ mod tests {
             vec![0.0],
             Termination::MaxIterations,
             3,
-            vec![],
+            vec![1.0],
             OpCounts::default(),
         );
         assert!(!r.converged);
-        assert!(r.final_residual.is_nan());
+        assert_eq!(r.final_residual, 1.0);
+        // recovered convergence counts as converged
+        let r = SolveResult::new(
+            vec![0.0],
+            Termination::RecoveredConverged,
+            3,
+            vec![1.0, 1e-12],
+            OpCounts::default(),
+        );
+        assert!(r.converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one residual norm")]
+    fn result_rejects_empty_residual_history() {
+        // the silent unwrap_or(NAN) is gone: an empty history is a variant
+        // bug, not a representable result
+        let _ = SolveResult::new(
+            vec![0.0],
+            Termination::MaxIterations,
+            3,
+            vec![],
+            OpCounts::default(),
+        );
+    }
+
+    #[test]
+    fn termination_convergence_classification() {
+        assert!(Termination::Converged.is_converged());
+        assert!(Termination::RecoveredConverged.is_converged());
+        for t in [
+            Termination::MaxIterations,
+            Termination::Breakdown,
+            Termination::Stagnated,
+            Termination::Diverged,
+        ] {
+            assert!(!t.is_converged(), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn options_fault_path_is_identity_without_injector() {
+        let o = SolveOptions::default();
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(o.dot(&x, &x), 14.0);
+        assert_eq!(o.scalar(2.5), 2.5);
+        assert!(o.injector.is_none() && o.recovery.is_none());
     }
 
     #[test]

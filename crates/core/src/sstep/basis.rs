@@ -144,10 +144,7 @@ pub fn leja_order(candidates: &[f64], count: usize) -> Vec<f64> {
             .iter()
             .enumerate()
             .map(|(i, &c)| {
-                let logprod: f64 = chosen
-                    .iter()
-                    .map(|&z| (c - z).abs().max(1e-300).ln())
-                    .sum();
+                let logprod: f64 = chosen.iter().map(|&z| (c - z).abs().max(1e-300).ln()).sum();
                 (i, logprod)
             })
             .max_by(|a, b| a.1.total_cmp(&b.1))
@@ -320,8 +317,8 @@ mod tests {
                 let ni = vr_linalg::kernels::norm2(&basis.v[i]).max(1e-300);
                 for j in 0..s {
                     let nj = vr_linalg::kernels::norm2(&basis.v[j]).max(1e-300);
-                    g[(i, j)] = vr_linalg::kernels::dot_serial(&basis.v[i], &basis.v[j])
-                        / (ni * nj);
+                    g[(i, j)] =
+                        vr_linalg::kernels::dot_serial(&basis.v[i], &basis.v[j]) / (ni * nj);
                 }
             }
             match g.cholesky() {

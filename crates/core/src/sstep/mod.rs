@@ -29,6 +29,7 @@
 pub mod basis;
 
 use crate::instrument::OpCounts;
+use crate::resilience::guard;
 use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
 use basis::{BasisKind, KrylovBasis};
 use vr_linalg::kernels::{self, dot};
@@ -136,8 +137,16 @@ impl CgVariant for SStepCg {
                     Ok(c) => c,
                     Err(_) => {
                         if !validate_or_restart(
-                            a, b, md, thresh_sq, &x, &mut r, &mut rr,
-                            &mut last_restart_rr, &mut counts, &mut termination,
+                            a,
+                            b,
+                            md,
+                            thresh_sq,
+                            &x,
+                            &mut r,
+                            &mut rr,
+                            &mut last_restart_rr,
+                            &mut counts,
+                            &mut termination,
                         ) {
                             break 'outer;
                         }
@@ -148,8 +157,7 @@ impl CgVariant for SStepCg {
                 };
                 for (pc, apc) in p.iter_mut().zip(ap.iter_mut()) {
                     // rhs_i = (p_prev_i, A·v) = (ap_prev_i, v)
-                    let rhs: Vec<f64> =
-                        (0..sp).map(|i| dot(md, &ap_prev[i], &*pc)).collect();
+                    let rhs: Vec<f64> = (0..sp).map(|i| dot(md, &ap_prev[i], &*pc)).collect();
                     counts.dots += sp;
                     let bcoef = chol.solve(&rhs);
                     for (i, &bi) in bcoef.iter().enumerate() {
@@ -175,8 +183,16 @@ impl CgVariant for SStepCg {
                 Ok(c) => c.solve(&rhs),
                 Err(_) => {
                     if !validate_or_restart(
-                        a, b, md, thresh_sq, &x, &mut r, &mut rr,
-                        &mut last_restart_rr, &mut counts, &mut termination,
+                        a,
+                        b,
+                        md,
+                        thresh_sq,
+                        &x,
+                        &mut r,
+                        &mut rr,
+                        &mut last_restart_rr,
+                        &mut counts,
+                        &mut termination,
                     ) {
                         break 'outer;
                     }
@@ -204,10 +220,18 @@ impl CgVariant for SStepCg {
                 termination = Termination::Converged;
                 break;
             }
-            if !rr.is_finite() {
+            if guard::check_finite(rr).is_err() {
                 if !validate_or_restart(
-                    a, b, md, thresh_sq, &x, &mut r, &mut rr,
-                    &mut last_restart_rr, &mut counts, &mut termination,
+                    a,
+                    b,
+                    md,
+                    thresh_sq,
+                    &x,
+                    &mut r,
+                    &mut rr,
+                    &mut last_restart_rr,
+                    &mut counts,
+                    &mut termination,
                 ) {
                     break 'outer;
                 }
@@ -224,6 +248,21 @@ impl CgVariant for SStepCg {
             norms.push(rr.max(0.0).sqrt());
         }
         SolveResult::new(x, termination, iterations, norms, counts)
+    }
+
+    fn backoff(&self) -> Option<Box<dyn CgVariant>> {
+        if self.s > 1 {
+            Some(Box::new(SStepCg {
+                s: self.s / 2,
+                basis: self.basis,
+            }))
+        } else {
+            Some(Box::new(crate::standard::StandardCg::new()))
+        }
+    }
+
+    fn depth(&self) -> usize {
+        self.s
     }
 }
 
@@ -255,7 +294,12 @@ fn validate_or_restart(
         *termination = Termination::Converged;
         return false;
     }
-    if rr_true >= 0.25 * *last_restart_rr {
+    // non-finite true residual: the iterate is poisoned, restarting from
+    // it would loop forever — breakdown (NaN fails every comparison, so
+    // the progress test alone would let it through)
+    if crate::resilience::guard::check_finite(rr_true).is_err()
+        || rr_true >= 0.25 * *last_restart_rr
+    {
         *termination = Termination::Breakdown;
         return false;
     }

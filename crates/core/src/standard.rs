@@ -4,9 +4,10 @@
 //! two inner products **in serial dependency** (`(r,r)` gates `α` gates `p`
 //! gates `Ap` gates `(p,Ap)` gates `λ`), three vector updates.
 
-use crate::instrument::OpCounts;
+use crate::instrument::{OpCounts, RecoveryStats};
+use crate::resilience::guard::{self, GuardSignal, ResidualGuard};
 use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
-use vr_linalg::kernels::{self, dot};
+use vr_linalg::kernels;
 use vr_linalg::LinearOperator;
 
 /// Standard CG solver.
@@ -46,8 +47,13 @@ impl CgVariant for StandardCg {
         counts.vector_ops += 1;
         let mut w = vec![0.0; n];
 
-        let mut rr = dot(opts.dot_mode, &r, &r);
+        let mut rstats = RecoveryStats::default();
+        let mut rr = guard::guarded_dot(opts, &r, &r, &mut rstats);
         counts.dots += 1;
+        let mut rguard: Option<ResidualGuard<'_>> = opts
+            .recovery
+            .as_ref()
+            .map(|policy| ResidualGuard::new(a, b, policy.clone(), rr));
         let mut norms = Vec::new();
         if opts.record_residuals {
             norms.push(rr.max(0.0).sqrt());
@@ -55,51 +61,127 @@ impl CgVariant for StandardCg {
 
         let mut termination = Termination::MaxIterations;
         let mut iterations = 0;
-        if rr <= thresh_sq {
+        let mut start_converged = rr <= thresh_sq;
+        if start_converged {
+            // same spurious-convergence hazard as in the loop below
+            if let Some((r_new, rr_new)) = rguard
+                .as_mut()
+                .and_then(|g| g.confirm_convergence(&x, thresh_sq))
+            {
+                r = r_new;
+                rr = rr_new;
+                p.copy_from_slice(&r);
+                counts.vector_ops += 2;
+                start_converged = false;
+            }
+        }
+        if start_converged {
             termination = Termination::Converged;
         } else {
             for it in 0..opts.max_iters {
                 a.apply(&p, &mut w);
                 counts.matvecs += 1;
-                let pap = dot(opts.dot_mode, &p, &w);
+                let pap = guard::guarded_dot(opts, &p, &w, &mut rstats);
                 counts.dots += 1;
-                if !(pap.is_finite() && pap > 0.0) {
-                    termination = Termination::Breakdown;
+                if let Err(kind) = guard::check_pivot(pap) {
+                    termination = kind.termination();
                     iterations = it;
                     break;
                 }
-                let lambda = rr / pap;
+                let lambda = opts.scalar(rr / pap);
                 counts.scalar_ops += 1;
                 kernels::axpy(lambda, &p, &mut x);
                 kernels::axpy(-lambda, &w, &mut r);
                 counts.vector_ops += 2;
 
-                let rr_next = dot(opts.dot_mode, &r, &r);
+                let mut rr_next = guard::guarded_dot(opts, &r, &r, &mut rstats);
                 counts.dots += 1;
+                iterations = it + 1;
+
+                // recovery hook: periodic true-residual check, residual
+                // replacement, stagnation/divergence detection
+                let mut replaced = false;
+                if let Some(g) = rguard.as_mut() {
+                    match g.inspect(iterations, &x, rr_next) {
+                        GuardSignal::Proceed => {}
+                        GuardSignal::Replace {
+                            r: r_new,
+                            rr: rr_new,
+                        } => {
+                            r = r_new;
+                            rr_next = rr_new;
+                            // direction restart from the replaced residual
+                            p.copy_from_slice(&r);
+                            counts.vector_ops += 2;
+                            replaced = true;
+                        }
+                        GuardSignal::Halt(t) => {
+                            termination = t;
+                            if opts.record_residuals {
+                                norms.push(rr_next.max(0.0).sqrt());
+                            }
+                            rr = rr_next;
+                            break;
+                        }
+                    }
+                }
+
+                if rr_next <= thresh_sq {
+                    // a corrupted reduction can fake convergence (a dropped
+                    // partial shrinks rr): under a recovery policy the
+                    // signal must survive a true-residual check
+                    match rguard
+                        .as_mut()
+                        .and_then(|g| g.confirm_convergence(&x, thresh_sq))
+                    {
+                        None => {
+                            if opts.record_residuals {
+                                norms.push(rr_next.max(0.0).sqrt());
+                            }
+                            termination = Termination::Converged;
+                            rr = rr_next;
+                            break;
+                        }
+                        Some((r_new, rr_new)) => {
+                            r = r_new;
+                            rr_next = rr_new;
+                            p.copy_from_slice(&r);
+                            counts.vector_ops += 2;
+                            replaced = true;
+                        }
+                    }
+                }
                 if opts.record_residuals {
                     norms.push(rr_next.max(0.0).sqrt());
                 }
-                iterations = it + 1;
-                if rr_next <= thresh_sq {
-                    termination = Termination::Converged;
-                    break;
-                }
-                if !rr_next.is_finite() {
+                if guard::check_finite(rr_next).is_err() {
                     termination = Termination::Breakdown;
+                    rr = rr_next;
                     break;
                 }
-                let alpha = rr_next / rr;
-                counts.scalar_ops += 1;
-                kernels::xpay(&r, alpha, &mut p);
-                counts.vector_ops += 1;
+                if !replaced {
+                    let alpha = opts.scalar(rr_next / rr);
+                    counts.scalar_ops += 1;
+                    kernels::xpay(&r, alpha, &mut p);
+                    counts.vector_ops += 1;
+                }
                 rr = rr_next;
             }
         }
 
+        if let Some(g) = rguard {
+            rstats.faults_detected += g.stats.faults_detected;
+            rstats.replacements += g.stats.replacements;
+            counts.matvecs += g.extra_matvecs;
+            counts.dots += g.extra_matvecs;
+            counts.vector_ops += g.extra_matvecs;
+        }
         if !opts.record_residuals {
             norms.push(rr.max(0.0).sqrt());
         }
-        SolveResult::new(x, termination, iterations, norms, counts)
+        let mut res = SolveResult::new(x, termination, iterations, norms, counts);
+        res.recovery = rstats;
+        res
     }
 }
 
@@ -196,14 +278,51 @@ mod tests {
     fn max_iters_respected() {
         let a = gen::poisson2d(16);
         let b = gen::poisson2d_rhs(16);
-        let res = StandardCg::new().solve(
-            &a,
-            &b,
-            None,
-            &SolveOptions::default().with_max_iters(3),
-        );
+        let res = StandardCg::new().solve(&a, &b, None, &SolveOptions::default().with_max_iters(3));
         assert_eq!(res.termination, Termination::MaxIterations);
         assert_eq!(res.iterations, 3);
+    }
+
+    #[test]
+    fn single_injected_fault_recovered_in_loop() {
+        // one NaN strikes a reduction mid-solve; with a recovery policy the
+        // guarded dot retries the reduction and the solve proceeds to the
+        // fault-free answer — no restart ladder needed
+        use crate::resilience::{FaultKind, RecoveryPolicy, SingleFault};
+        use std::sync::Arc;
+        let a = gen::poisson2d(10);
+        let b = gen::poisson2d_rhs(10);
+        let o = SolveOptions::default()
+            .with_tol(1e-9)
+            .with_injector(Arc::new(SingleFault::new(5000, FaultKind::Nan)))
+            .with_recovery(RecoveryPolicy::default());
+        let res = StandardCg::new().solve(&a, &b, None, &o);
+        assert!(res.converged, "termination {:?}", res.termination);
+        assert!(res.recovery.faults_detected >= 1, "{:?}", res.recovery);
+        assert!(res.true_residual(&a, &b) < 1e-7);
+    }
+
+    #[test]
+    fn dropped_reductions_never_fake_convergence() {
+        // a Drop fault shrinks rr toward 0, which *looks* like convergence;
+        // the honesty property: whenever the solver claims convergence, the
+        // true residual really is small — for any fault seed
+        use crate::resilience::{FaultKind, RecoveryPolicy, SeededInjector};
+        use std::sync::Arc;
+        let a = gen::poisson2d(10);
+        let b = gen::poisson2d_rhs(10);
+        let bnorm = vr_linalg::kernels::norm2(&b);
+        for seed in 0..6u64 {
+            let o = SolveOptions::default()
+                .with_tol(1e-8)
+                .with_injector(Arc::new(SeededInjector::new(seed, 0.05, FaultKind::Drop)))
+                .with_recovery(RecoveryPolicy::default());
+            let res = StandardCg::new().solve(&a, &b, None, &o);
+            if res.converged {
+                let rel = res.true_residual(&a, &b) / bnorm;
+                assert!(rel < 1e-6, "seed {seed}: claimed convergence at rel {rel}");
+            }
+        }
     }
 
     #[test]

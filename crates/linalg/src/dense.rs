@@ -52,11 +52,7 @@ impl DenseMatrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(DenseMatrix {
-            nrows,
-            ncols,
-            data,
-        })
+        Ok(DenseMatrix { nrows, ncols, data })
     }
 
     /// Build from a function of `(row, col)`.
@@ -275,7 +271,10 @@ mod tests {
         let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
         let b = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
         let ab = a.matmul(&b);
-        assert_eq!(ab, DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]).unwrap());
+        assert_eq!(
+            ab,
+            DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]).unwrap()
+        );
         let at = a.transpose();
         assert_eq!(at[(0, 1)], 3.0);
         assert_eq!(at.transpose(), a);

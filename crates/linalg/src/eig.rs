@@ -152,7 +152,11 @@ impl LanczosTridiagonal {
         for i in 1..m {
             let b2 = self.beta[i - 1] * self.beta[i - 1];
             // avoid division blow-up at exact zero pivots
-            let dd = if d.abs() < 1e-300 { 1e-300_f64.copysign(d + 1e-300) } else { d };
+            let dd = if d.abs() < 1e-300 {
+                1e-300_f64.copysign(d + 1e-300)
+            } else {
+                d
+            };
             d = self.alpha[i] - x - b2 / dd;
             if d < 0.0 {
                 count += 1;
@@ -239,7 +243,11 @@ mod tests {
         let exact_max_bound = a.gershgorin_bound();
         let tri = LanczosTridiagonal::run(&a, 30, 7);
         let b = tri.spectral_bounds();
-        assert!(b.lambda_min > 0.0, "SPD ⇒ positive spectrum: {}", b.lambda_min);
+        assert!(
+            b.lambda_min > 0.0,
+            "SPD ⇒ positive spectrum: {}",
+            b.lambda_min
+        );
         assert!(b.lambda_max <= exact_max_bound + 1e-9);
         // Ritz extremes converge fast: within a few percent by 30 steps
         let est2 = estimate_spectrum(&a, 30, 7);

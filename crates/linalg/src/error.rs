@@ -88,7 +88,10 @@ mod tests {
         );
         let e = Error::IndexOutOfBounds { index: 9, bound: 9 };
         assert!(e.to_string().contains("out of bounds"));
-        let e = Error::FactorizationBreakdown { row: 2, pivot: -1.0 };
+        let e = Error::FactorizationBreakdown {
+            row: 2,
+            pivot: -1.0,
+        };
         assert!(e.to_string().contains("row 2"));
     }
 

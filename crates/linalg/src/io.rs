@@ -189,10 +189,7 @@ pub fn read_vector<R: Read>(reader: R) -> Result<Vec<f64>> {
         if t.is_empty() {
             continue;
         }
-        out.push(
-            t.parse::<f64>()
-                .map_err(|e| Error::Parse(e.to_string()))?,
-        );
+        out.push(t.parse::<f64>().map_err(|e| Error::Parse(e.to_string()))?);
     }
     if out.len() != n {
         return Err(Error::Parse(format!(

@@ -37,6 +37,24 @@ pub fn dot(mode: DotMode, x: &[f64], y: &[f64]) -> f64 {
     }
 }
 
+/// Inner product through a fault injector.
+///
+/// When simulating reduction faults the summation always follows the
+/// chunked deterministic tree of [`vr_par::reduce`] regardless of `mode`:
+/// the faults being modeled live in the *parallel* reduction (leaf partial
+/// sums and the combined result), so that is the path the corrupted values
+/// must flow through. With [`vr_par::fault::NoFaults`] this is simply a
+/// chunk-tree dot.
+#[must_use]
+pub fn dot_with(
+    _mode: DotMode,
+    x: &[f64],
+    y: &[f64],
+    inj: &dyn vr_par::fault::FaultInjector,
+) -> f64 {
+    vr_par::reduce::par_dot_with(x, y, 1, inj)
+}
+
 /// Serial left-to-right inner product `Σ xᵢ·yᵢ`.
 #[must_use]
 pub fn dot_serial(x: &[f64], y: &[f64]) -> f64 {
@@ -70,8 +88,7 @@ fn tree_sum_products(x: &[f64], y: &[f64]) -> f64 {
         n => {
             let half = n.next_power_of_two() / 2;
             let half = if half == n { n / 2 } else { half };
-            tree_sum_products(&x[..half], &y[..half])
-                + tree_sum_products(&x[half..], &y[half..])
+            tree_sum_products(&x[..half], &y[..half]) + tree_sum_products(&x[half..], &y[half..])
         }
     }
 }

@@ -322,7 +322,10 @@ mod tests {
     fn jacobi_divides_by_diagonal() {
         let a = gen::poisson1d(4); // diag = 2
         let p = Jacobi::new(&a).unwrap();
-        assert_eq!(p.apply_alloc(&[2.0, 4.0, 6.0, 8.0]), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(
+            p.apply_alloc(&[2.0, 4.0, 6.0, 8.0]),
+            vec![1.0, 2.0, 3.0, 4.0]
+        );
     }
 
     #[test]
@@ -496,7 +499,9 @@ mod scale_tests {
         let base = gen::poisson2d(10);
         let n = base.nrows();
         let mut rng = gen::XorShift64::new(9);
-        let d: Vec<f64> = (0..n).map(|_| 10.0_f64.powf(rng.range_f64(-2.0, 2.0))).collect();
+        let d: Vec<f64> = (0..n)
+            .map(|_| 10.0_f64.powf(rng.range_f64(-2.0, 2.0)))
+            .collect();
         let mut coo = crate::CooMatrix::new(n, n);
         for r in 0..n {
             for (c, v) in base.row(r) {

@@ -290,6 +290,10 @@ mod tests {
         let mut check = vec![0.0; n];
         op.apply(&x, &mut check);
         crate::kernels::axpy(-1.0, &b, &mut check);
-        assert!(norm2(&check) < 1e-8, "matrix-free CG residual {}", norm2(&check));
+        assert!(
+            norm2(&check) < 1e-8,
+            "matrix-free CG residual {}",
+            norm2(&check)
+        );
     }
 }

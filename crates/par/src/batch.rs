@@ -58,12 +58,11 @@ pub fn multi_dot(pairs: &[(&[f64], &[f64])], threads: usize) -> Vec<f64> {
         fill(&mut partials, 0);
     } else {
         let rows_per = nchunks.div_ceil(threads);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (t, pslice) in partials.chunks_mut(rows_per * q).enumerate() {
-                s.spawn(move |_| fill(pslice, t * rows_per));
+                s.spawn(move || fill(pslice, t * rows_per));
             }
-        })
-        .expect("worker thread panicked");
+        });
     }
 
     // combine per-pair partials with the deterministic tree
@@ -107,7 +106,11 @@ mod tests {
             reduce::par_dot(&y, &y, 1),
         ];
         for (b, s) in batch.iter().zip(&singles) {
-            assert_eq!(b.to_bits(), s.to_bits(), "batched must equal single-dot tree");
+            assert_eq!(
+                b.to_bits(),
+                s.to_bits(),
+                "batched must equal single-dot tree"
+            );
         }
     }
 

@@ -1,0 +1,118 @@
+//! Fault-injection hooks for the reduction path.
+//!
+//! A parallel reduction is the one place in CG where a single flipped bit
+//! on one processor silently poisons a *global* scalar — exactly the
+//! failure mode resilience work on large machines worries about. This
+//! module defines the injection *interface* at the lowest layer of the
+//! workspace so that both `vr_linalg` kernels and the solver crates can
+//! corrupt values flowing through reductions without depending on the
+//! concrete injector implementations (which live in
+//! `vr_cg::resilience::fault`).
+//!
+//! Determinism contract: injectors must be pure functions of their seed
+//! and an internal call counter. All `corrupt` calls happen on the
+//! *calling* thread in program order (partials are corrupted after the
+//! worker threads join), so a given seed reproduces the exact same fault
+//! pattern regardless of thread count.
+
+use std::fmt;
+
+/// Where in the reduction/recurrence path a value is being corrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// One leaf partial sum of a chunked reduction tree.
+    DotPartial,
+    /// The fully combined result of a reduction.
+    DotFinal,
+    /// A scalar produced by an O(1) recurrence (λ, α, window entries).
+    ScalarRecurrence,
+}
+
+impl FaultSite {
+    /// Stable label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultSite::DotPartial => "dot-partial",
+            FaultSite::DotFinal => "dot-final",
+            FaultSite::ScalarRecurrence => "scalar-recurrence",
+        }
+    }
+}
+
+/// A deterministic fault injector for scalar values on the reduction path.
+///
+/// Implementations decide, per call, whether to pass `value` through
+/// unchanged or return a corrupted version (NaN, ±∞, a relative
+/// perturbation, or a dropped contribution). They must be `Send + Sync`
+/// (solvers may be swept in parallel harnesses) and `Debug` (so
+/// `SolveOptions` stays debuggable with an injector attached).
+pub trait FaultInjector: Send + Sync + fmt::Debug {
+    /// Possibly corrupt one scalar flowing through `site`.
+    fn corrupt(&self, site: FaultSite, value: f64) -> f64;
+
+    /// Number of faults actually injected so far (for reporting).
+    fn injected(&self) -> u64 {
+        0
+    }
+}
+
+/// The identity injector: never corrupts anything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {
+    fn corrupt(&self, _site: FaultSite, value: f64) -> f64 {
+        value
+    }
+}
+
+/// SplitMix64 — the standard 64-bit finalizer used to derive per-call
+/// fault decisions from `seed ^ counter`. Good avalanche, no state.
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_is_identity() {
+        let inj = NoFaults;
+        for v in [0.0, -1.5, f64::INFINITY, f64::NAN] {
+            let out = inj.corrupt(FaultSite::DotFinal, v);
+            assert_eq!(out.to_bits(), v.to_bits());
+        }
+        assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn splitmix_avalanches() {
+        // consecutive inputs must not produce correlated outputs
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert_ne!(a, b);
+        assert!(((a ^ b).count_ones() as i32 - 32).abs() < 28);
+    }
+
+    #[test]
+    fn site_labels_distinct() {
+        let labels = [
+            FaultSite::DotPartial.label(),
+            FaultSite::DotFinal.label(),
+            FaultSite::ScalarRecurrence.label(),
+        ];
+        assert_eq!(
+            labels
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            3
+        );
+    }
+}

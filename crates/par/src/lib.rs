@@ -1,13 +1,13 @@
 //! # vr-par
 //!
-//! A small, deterministic fork-join runtime built on crossbeam scoped
+//! A small, deterministic fork-join runtime built on std scoped
 //! threads, standing in for the paper's idealized N-processor machine.
 //!
 //! The 1983 paper reasons about summation *fan-in trees*: an inner product
 //! over N elements takes `⌈log₂ N⌉` addition steps when N processors
 //! cooperate. This crate makes that tree an explicit, inspectable object:
 //!
-//! * [`par`] — `par_for` / `par_map` data-parallel helpers (crossbeam scoped
+//! * [`par`] — `par_for` / `par_map` data-parallel helpers (std scoped
 //!   threads, static chunking).
 //! * [`reduce`] — **deterministic** parallel reductions: the data is split
 //!   into a fixed number of chunks independent of thread count, each chunk
@@ -34,6 +34,7 @@
 #![warn(clippy::all)]
 
 pub mod batch;
+pub mod fault;
 pub mod par;
 pub mod pipeline;
 pub mod pool;

@@ -1,4 +1,4 @@
-//! Data-parallel helpers on crossbeam scoped threads.
+//! Data-parallel helpers on std scoped threads.
 //!
 //! Work is split into `threads` contiguous chunks (static scheduling — the
 //! regular vector kernels of CG have uniform cost, so dynamic stealing would
@@ -8,11 +8,7 @@
 /// in parallel, mutably.
 ///
 /// With `threads <= 1` or tiny inputs the call degrades to a serial loop.
-pub fn par_for_mut<T: Send>(
-    data: &mut [T],
-    threads: usize,
-    f: impl Fn(usize, &mut [T]) + Sync,
-) {
+pub fn par_for_mut<T: Send>(data: &mut [T], threads: usize, f: impl Fn(usize, &mut [T]) + Sync) {
     let n = data.len();
     let threads = effective_threads(n, threads);
     if threads <= 1 {
@@ -20,13 +16,12 @@ pub fn par_for_mut<T: Send>(
         return;
     }
     let chunk = n.div_ceil(threads);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (i, piece) in data.chunks_mut(chunk).enumerate() {
             let f = &f;
-            s.spawn(move |_| f(i, piece));
+            s.spawn(move || f(i, piece));
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Run `f(chunk_index, chunk)` over `threads` contiguous chunks, read-only.
@@ -38,13 +33,12 @@ pub fn par_for<T: Sync>(data: &[T], threads: usize, f: impl Fn(usize, &[T]) + Sy
         return;
     }
     let chunk = n.div_ceil(threads);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (i, piece) in data.chunks(chunk).enumerate() {
             let f = &f;
-            s.spawn(move |_| f(i, piece));
+            s.spawn(move || f(i, piece));
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Parallel elementwise map into a new vector: `out[i] = f(i, x[i])`.
@@ -64,18 +58,17 @@ pub fn par_map<T: Sync, U: Send + Default + Clone>(
         return out;
     }
     let chunk = n.div_ceil(threads);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (ci, (opiece, xpiece)) in out.chunks_mut(chunk).zip(x.chunks(chunk)).enumerate() {
             let f = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let base = ci * chunk;
                 for (i, (o, v)) in opiece.iter_mut().zip(xpiece).enumerate() {
                     *o = f(base + i, v);
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     out
 }
 
@@ -91,16 +84,15 @@ pub fn par_axpy(a: f64, x: &[f64], y: &mut [f64], threads: usize) {
         return;
     }
     let chunk = n.div_ceil(threads);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (ypiece, xpiece) in y.chunks_mut(chunk).zip(x.chunks(chunk)) {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (yi, xi) in ypiece.iter_mut().zip(xpiece) {
                     *yi += a * xi;
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Clamp the requested thread count to something sensible for `n` items:

@@ -22,8 +22,7 @@
 
 use crate::pool::ThreadPool;
 use crate::reduce;
-use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 struct Cell {
     value: Mutex<Option<f64>>,
@@ -45,7 +44,7 @@ impl PendingScalar {
         let cell2 = Arc::clone(&cell);
         pool.execute(move || {
             let v = f();
-            let mut slot = cell2.value.lock();
+            let mut slot = cell2.value.lock().expect("pending-scalar lock poisoned");
             *slot = Some(v);
             cell2.ready.notify_all();
         });
@@ -79,7 +78,11 @@ impl PendingScalar {
     /// Non-blocking probe.
     #[must_use]
     pub fn poll(&self) -> Option<f64> {
-        *self.cell.value.lock()
+        *self
+            .cell
+            .value
+            .lock()
+            .expect("pending-scalar lock poisoned")
     }
 
     /// Block until the reduction completes and return the value.
@@ -89,15 +92,20 @@ impl PendingScalar {
     /// the 60 s watchdog).
     #[must_use]
     pub fn wait(&self) -> f64 {
-        let mut slot = self.cell.value.lock();
+        let mut slot = self
+            .cell
+            .value
+            .lock()
+            .expect("pending-scalar lock poisoned");
         while slot.is_none() {
-            let timed_out = self
+            let (guard, timeout) = self
                 .cell
                 .ready
-                .wait_for(&mut slot, std::time::Duration::from_secs(60))
-                .timed_out();
+                .wait_timeout(slot, std::time::Duration::from_secs(60))
+                .expect("pending-scalar lock poisoned");
+            slot = guard;
             assert!(
-                !(timed_out && slot.is_none()),
+                !(timeout.timed_out() && slot.is_none()),
                 "PendingScalar: producer never delivered (job panicked?)"
             );
         }

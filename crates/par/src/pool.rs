@@ -5,9 +5,8 @@
 //! the look-ahead algorithm, where small jobs are launched every iteration.
 //! `ThreadPool` keeps workers alive for the whole solve.
 
-use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -82,7 +81,7 @@ impl ThreadPool {
     /// Enqueue a job. Panics in jobs abort that worker's current job but the
     /// pool itself keeps running.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
-        let mut state = self.shared.queue.lock();
+        let mut state = self.shared.queue.lock().expect("pool lock poisoned");
         assert!(!state.shutdown, "execute on a shut-down pool");
         state.jobs.push_back(Box::new(job));
         drop(state);
@@ -92,14 +91,19 @@ impl ThreadPool {
     /// Number of jobs waiting in the queue (not including running jobs).
     #[must_use]
     pub fn queued(&self) -> usize {
-        self.shared.queue.lock().jobs.len()
+        self.shared
+            .queue
+            .lock()
+            .expect("pool lock poisoned")
+            .jobs
+            .len()
     }
 }
 
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut state = shared.queue.lock();
+            let mut state = shared.queue.lock().expect("pool lock poisoned");
             loop {
                 if let Some(job) = state.jobs.pop_front() {
                     break job;
@@ -107,7 +111,7 @@ fn worker_loop(shared: &Shared) {
                 if state.shutdown {
                     return;
                 }
-                shared.available.wait(&mut state);
+                state = shared.available.wait(state).expect("pool lock poisoned");
             }
         };
         // A panicking job must not kill the worker: catch and continue.
@@ -118,7 +122,7 @@ fn worker_loop(shared: &Shared) {
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.queue.lock();
+            let mut state = self.shared.queue.lock().expect("pool lock poisoned");
             state.shutdown = true;
         }
         self.shared.available.notify_all();

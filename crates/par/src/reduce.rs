@@ -9,6 +9,8 @@
 //! 2. the combine stage is literally the `⌈log₂ CHUNKS⌉`-deep tree the
 //!    paper's complexity argument counts.
 
+use crate::fault::{FaultInjector, FaultSite};
+
 /// Number of leaf chunks in the deterministic reduction tree.
 ///
 /// 256 leaves ≈ the partial sums a 256-processor machine would fan in;
@@ -50,18 +52,17 @@ pub fn par_sum(x: &[f64], threads: usize) -> f64 {
         }
     } else {
         let per = pieces.len().div_ceil(threads);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (t, pslice) in partials.chunks_mut(per).enumerate() {
                 let base = t * per;
                 let pieces = &pieces;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for (off, p) in pslice.iter_mut().enumerate() {
                         *p = serial_sum(pieces[base + off]);
                     }
                 });
             }
-        })
-        .expect("worker thread panicked");
+        });
     }
     tree_combine(&partials)
 }
@@ -86,18 +87,17 @@ fn chunk_partials(x: &[f64], y: &[f64], threads: usize) -> Vec<f64> {
         }
     } else {
         let per = m.div_ceil(threads);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (t, pslice) in partials.chunks_mut(per).enumerate() {
                 let base = t * per;
                 let (px, py) = (&pieces_x, &pieces_y);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for (off, p) in pslice.iter_mut().enumerate() {
                         *p = serial_dot(px[base + off], py[base + off]);
                     }
                 });
             }
-        })
-        .expect("worker thread panicked");
+        });
     }
     partials
 }
@@ -118,8 +118,35 @@ fn serial_sum(x: &[f64]) -> f64 {
     acc
 }
 
+/// Deterministic parallel dot product with fault injection on the
+/// reduction tree.
+///
+/// Identical to [`par_dot`] except that every leaf partial passes through
+/// `inj` at [`FaultSite::DotPartial`] and the combined result passes
+/// through [`FaultSite::DotFinal`]. Corruption happens serially on the
+/// calling thread *after* the workers join, so the fault pattern is a
+/// function of the injector state alone — bit-for-bit reproducible for any
+/// thread count, like the fault-free path.
+#[must_use]
+pub fn par_dot_with(x: &[f64], y: &[f64], threads: usize, inj: &dyn FaultInjector) -> f64 {
+    assert_eq!(x.len(), y.len(), "par_dot_with: length mismatch");
+    if x.is_empty() {
+        return inj.corrupt(FaultSite::DotFinal, 0.0);
+    }
+    let mut partials = chunk_partials(x, y, threads);
+    for p in &mut partials {
+        *p = inj.corrupt(FaultSite::DotPartial, *p);
+    }
+    inj.corrupt(FaultSite::DotFinal, tree_combine(&partials))
+}
+
 /// Combine partial results by a binary fan-in tree (same shape as
 /// `vr_linalg::kernels::tree_sum`).
+///
+/// An empty slice is the empty sum and combines to exactly `+0.0` — this
+/// is a contract, not an accident: reduction call sites rely on it when a
+/// chunking produces no pieces (zero-length vectors), and fault-model code
+/// relies on "no partials → additive identity, no fault surface".
 #[must_use]
 pub fn tree_combine(partials: &[f64]) -> f64 {
     match partials.len() {
@@ -186,6 +213,68 @@ mod tests {
         assert_eq!(tree_combine(&[1.0, 2.0, 3.0]), 6.0);
         let v: Vec<f64> = (1..=256).map(|i| i as f64).collect();
         assert_eq!(tree_combine(&v), 256.0 * 257.0 / 2.0);
+    }
+
+    #[test]
+    fn tree_combine_empty_is_positive_zero() {
+        // pinned contract: the empty sum is the additive identity with a
+        // positive sign bit, so `tree_combine(&[]) + x == x` bit-for-bit
+        let z = tree_combine(&[]);
+        assert_eq!(z.to_bits(), 0.0_f64.to_bits());
+        assert_ne!(z.to_bits(), (-0.0_f64).to_bits());
+    }
+
+    #[test]
+    fn summation_order_pinned_against_serial_bounds() {
+        // The tree order is left-half + right-half with the split at the
+        // largest power of two below n. Pin the exact association on a
+        // 6-element input whose serial and tree sums differ in the last
+        // bits, then check the tree result stays within the DotMode::Serial
+        // worst-case error bound n·ε·Σ|xᵢyᵢ| of the serial order.
+        let v = [1.0e16, 1.0, -1.0e16, 3.5, 0.25, -7.125];
+        let expected = ((v[0] + v[1]) + (v[2] + v[3])) + (v[4] + v[5]);
+        assert_eq!(tree_combine(&v).to_bits(), expected.to_bits());
+
+        let x: Vec<f64> = (0..1537).map(|i| ((i * 37) % 101) as f64 - 50.0).collect();
+        let serial: f64 = x.iter().sum();
+        let tree = tree_combine(&x);
+        let abs_sum: f64 = x.iter().map(|v| v.abs()).sum();
+        let bound = x.len() as f64 * f64::EPSILON * abs_sum;
+        assert!(
+            (tree - serial).abs() <= bound,
+            "tree {tree} vs serial {serial}, bound {bound}"
+        );
+    }
+
+    #[test]
+    fn par_dot_with_no_faults_matches_par_dot() {
+        use crate::fault::NoFaults;
+        let x: Vec<f64> = (0..10_000).map(|i| (i as f64).cos()).collect();
+        let a = par_dot(&x, &x, 3);
+        let b = par_dot_with(&x, &x, 3, &NoFaults);
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(par_dot_with(&[], &[], 2, &NoFaults), 0.0);
+    }
+
+    #[test]
+    fn par_dot_with_corrupts_through_the_tree() {
+        // an injector that poisons exactly one partial must make the final
+        // reduction non-finite — the corruption really flows through
+        #[derive(Debug)]
+        struct PoisonFirstPartial(std::sync::atomic::AtomicU64);
+        impl FaultInjector for PoisonFirstPartial {
+            fn corrupt(&self, site: FaultSite, value: f64) -> f64 {
+                use std::sync::atomic::Ordering;
+                if site == FaultSite::DotPartial && self.0.fetch_add(1, Ordering::Relaxed) == 0 {
+                    f64::NAN
+                } else {
+                    value
+                }
+            }
+        }
+        let x = vec![1.0; 4096];
+        let inj = PoisonFirstPartial(std::sync::atomic::AtomicU64::new(0));
+        assert!(par_dot_with(&x, &x, 2, &inj).is_nan());
     }
 
     #[test]

@@ -138,7 +138,11 @@ impl MultiPoly {
         }
         MultiPoly {
             nvars: self.nvars,
-            terms: self.terms.iter().map(|(m, &c)| (m.clone(), c * s)).collect(),
+            terms: self
+                .terms
+                .iter()
+                .map(|(m, &c)| (m.clone(), c * s))
+                .collect(),
         }
     }
 }

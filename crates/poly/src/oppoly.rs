@@ -285,10 +285,7 @@ mod tests {
 
     #[test]
     fn display_includes_powers() {
-        let p = OpPoly::from_coeffs(
-            2,
-            vec![MultiPoly::one(2), lam().scale(-1), alf()],
-        );
+        let p = OpPoly::from_coeffs(2, vec![MultiPoly::one(2), lam().scale(-1), alf()]);
         let s = p.to_string();
         assert!(s.contains("A^2"), "{s}");
         assert_eq!(OpPoly::zero(1).to_string(), "0");

@@ -44,7 +44,12 @@ pub fn standard_cg(n: usize, d: usize, iters: usize) -> AlgoDag {
     let mut milestones = Vec::with_capacity(iters);
     for it in 0..iters {
         let ap = g.add(OpKind::SpMv { n, d }, format!("A*p[{it}]"), Some(it), &[p]);
-        let dot_pap = g.add(OpKind::Dot { n }, format!("(p,Ap)[{it}]"), Some(it), &[p, ap]);
+        let dot_pap = g.add(
+            OpKind::Dot { n },
+            format!("(p,Ap)[{it}]"),
+            Some(it),
+            &[p, ap],
+        );
         let lambda = g.add(
             OpKind::Scalar,
             format!("lambda[{it}]"),
@@ -143,7 +148,12 @@ pub fn overlap_k1(n: usize, d: usize, iters: usize) -> AlgoDag {
             Some(it),
             &[dots[1], dots[3], dots[4], dots[5], lambda, alpha],
         );
-        let lambda_next = g.add(OpKind::Scalar, format!("lambda[{it}]"), Some(it), &[rr, pap]);
+        let lambda_next = g.add(
+            OpKind::Scalar,
+            format!("lambda[{it}]"),
+            Some(it),
+            &[rr, pap],
+        );
 
         // Vector updates use the *previous* lambda (already available).
         let u_next = g.add(
@@ -211,8 +221,18 @@ fn launch_overlap_dots(
         g.add(OpKind::Dot { n }, format!("(r,w)[{it}]"), Some(it), &[r, w]),
         g.add(OpKind::Dot { n }, format!("(w,w)[{it}]"), Some(it), &[w]),
         g.add(OpKind::Dot { n }, format!("(p,w)[{it}]"), Some(it), &[p, w]),
-        g.add(OpKind::Dot { n }, format!("(r,Aw)[{it}]"), Some(it), &[r, w2]),
-        g.add(OpKind::Dot { n }, format!("(p,Aw)[{it}]"), Some(it), &[p, w2]),
+        g.add(
+            OpKind::Dot { n },
+            format!("(r,Aw)[{it}]"),
+            Some(it),
+            &[r, w2],
+        ),
+        g.add(
+            OpKind::Dot { n },
+            format!("(p,Aw)[{it}]"),
+            Some(it),
+            &[p, w2],
+        ),
     ]
 }
 
@@ -419,7 +439,12 @@ pub fn chronopoulos_gear(n: usize, d: usize, iters: usize) -> AlgoDag {
     let mut milestones = Vec::with_capacity(iters);
     let mut rr_prev: Option<NodeId> = None;
     for it in 0..iters {
-        let w = g.add(OpKind::SpMv { n, d }, format!("w[{it}]=A*r"), Some(it), &[r]);
+        let w = g.add(
+            OpKind::SpMv { n, d },
+            format!("w[{it}]=A*r"),
+            Some(it),
+            &[r],
+        );
         let dot_rr = g.add(OpKind::Dot { n }, format!("(r,r)[{it}]"), Some(it), &[r]);
         let dot_rw = g.add(OpKind::Dot { n }, format!("(r,w)[{it}]"), Some(it), &[r, w]);
         let mut lam_deps = vec![dot_rr, dot_rw];
@@ -503,7 +528,12 @@ pub fn pipelined_cg(n: usize, d: usize, iters: usize) -> AlgoDag {
         if let Some(psc) = prev_scal {
             sc_deps.push(psc);
         }
-        let scal = g.add(OpKind::Scalar, format!("beta,lambda[{it}]"), Some(it), &sc_deps);
+        let scal = g.add(
+            OpKind::Scalar,
+            format!("beta,lambda[{it}]"),
+            Some(it),
+            &sc_deps,
+        );
         // vector recurrences: p,q,s,u,r,w all elementwise, after scalars
         let p_next = g.add(
             OpKind::Elementwise { n },
@@ -609,7 +639,10 @@ mod tests {
         let a = lookahead_cg(N, D, ITERS, 1).steady_cycle_time(&m);
         let b = overlap_k1(N, D, ITERS).steady_cycle_time(&m);
         // same asymptotics (≈ log N per iteration), within 2x constants
-        assert!(a / b < 2.0 && b / a < 2.0, "k=1 lookahead {a} vs overlap {b}");
+        assert!(
+            a / b < 2.0 && b / a < 2.0,
+            "k=1 lookahead {a} vs overlap {b}"
+        );
     }
 
     #[test]
@@ -663,9 +696,7 @@ mod tests {
     #[test]
     fn lookahead_scales_sub_logarithmically_with_k_eq_logn() {
         let m = MachineModel::pram();
-        let t = |log_n: usize| {
-            lookahead_cg(1 << log_n, D, ITERS, log_n).steady_cycle_time(&m)
-        };
+        let t = |log_n: usize| lookahead_cg(1 << log_n, D, ITERS, log_n).steady_cycle_time(&m);
         let t10 = t(10);
         let t20 = t(20);
         // growth from N=2^10 to N=2^20 must be ≪ the standard's 20 units
@@ -796,7 +827,10 @@ pub fn preconditioned_cg(n: usize, d: usize, iters: usize, precond_depth: u32) -
     let mut u = src;
     let mut r = g.add(OpKind::Elementwise { n }, "r0", Some(0), &[src]);
     let mut z = g.add(
-        OpKind::Precond { n, depth: precond_depth },
+        OpKind::Precond {
+            n,
+            depth: precond_depth,
+        },
         "z0 = M^-1 r0",
         Some(0),
         &[r],
@@ -807,7 +841,12 @@ pub fn preconditioned_cg(n: usize, d: usize, iters: usize, precond_depth: u32) -
     let mut milestones = Vec::with_capacity(iters);
     for it in 0..iters {
         let ap = g.add(OpKind::SpMv { n, d }, format!("A*p[{it}]"), Some(it), &[p]);
-        let dot_pap = g.add(OpKind::Dot { n }, format!("(p,Ap)[{it}]"), Some(it), &[p, ap]);
+        let dot_pap = g.add(
+            OpKind::Dot { n },
+            format!("(p,Ap)[{it}]"),
+            Some(it),
+            &[p, ap],
+        );
         let lambda = g.add(
             OpKind::Scalar,
             format!("lambda[{it}]"),
@@ -827,7 +866,10 @@ pub fn preconditioned_cg(n: usize, d: usize, iters: usize, precond_depth: u32) -
             &[r, lambda, ap],
         );
         let z_next = g.add(
-            OpKind::Precond { n, depth: precond_depth },
+            OpKind::Precond {
+                n,
+                depth: precond_depth,
+            },
             format!("z[{}]", it + 1),
             Some(it),
             &[r_next],
@@ -942,7 +984,12 @@ pub fn chebyshev_iteration(n: usize, d: usize, iters: usize, check_every: usize)
             Some(it),
             &[x, dvec],
         );
-        let ad = g.add(OpKind::SpMv { n, d }, format!("A*d[{it}]"), Some(it), &[dvec]);
+        let ad = g.add(
+            OpKind::SpMv { n, d },
+            format!("A*d[{it}]"),
+            Some(it),
+            &[dvec],
+        );
         let r_next = g.add(
             OpKind::Elementwise { n },
             format!("r[{}]", it + 1),
@@ -1003,8 +1050,7 @@ mod chebyshev_builder_tests {
     #[test]
     fn chebyshev_is_latency_immune() {
         let n = 1 << 16;
-        let ideal = chebyshev_iteration(n, 5, 30, 10)
-            .steady_cycle_time(&Topology::Ideal.machine());
+        let ideal = chebyshev_iteration(n, 5, 30, 10).steady_cycle_time(&Topology::Ideal.machine());
         let mesh = chebyshev_iteration(n, 5, 30, 10)
             .steady_cycle_time(&Topology::Mesh2d { hop: 4.0 }.machine());
         // the residual checks are off the update path; the only network

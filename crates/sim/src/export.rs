@@ -153,11 +153,7 @@ mod tests {
         assert!(!s.contains("[5]"), "{s}");
         // every edge endpoint must be declared: count "-> nX" targets exist
         for line in s.lines().filter(|l| l.contains("->")) {
-            let ids: Vec<&str> = line
-                .trim()
-                .trim_end_matches(';')
-                .split(" -> ")
-                .collect();
+            let ids: Vec<&str> = line.trim().trim_end_matches(';').split(" -> ").collect();
             for id in ids {
                 assert!(
                     s.contains(&format!("  {id} [")) || s.contains(&format!("    {id} [")),

@@ -1,0 +1,207 @@
+//! Deterministic fault model for the bounded-machine scheduler.
+//!
+//! The paper's latency-tolerance argument assumes reductions complete on
+//! time. Real machines miss that assumption in two characteristic ways:
+//! **stragglers** (one partition of a reduction runs slow — OS jitter,
+//! a busy node, a retransmitted packet) and **dropped messages** (a
+//! partial sum is lost and must be re-sent, so the reduction pays its
+//! latency again). Both hit *reductions* hardest because a fan-in waits
+//! for its slowest participant.
+//!
+//! [`FaultModel`] injects these failures deterministically: each node's
+//! fate is a pure function of `(seed, node id)` via a splitmix64 hash, so
+//! a given seed reproduces the exact same perturbed schedule on every
+//! run — the property E15 needs to compare variants under *identical*
+//! fault sequences. Only reduction-bearing nodes ([`OpKind::Dot`] and
+//! [`OpKind::ScalarSum`]) are eligible; elementwise work has no fan-in
+//! to lose.
+
+use crate::graph::OpKind;
+
+/// SplitMix64 hash — the same finalizer used by the solver-side fault
+/// injectors, duplicated here because `vr-sim` is dependency-free.
+#[must_use]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn unit(h: u64) -> f64 {
+    // 53 high bits → uniform in [0, 1)
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// What the fault model decided for one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeFate {
+    /// Runs at its nominal duration.
+    Clean,
+    /// A straggling participant stretches the node by the model's factor.
+    Straggle,
+    /// A lost partial forces a retry: the node pays its duration twice
+    /// plus one extra network round-trip.
+    Dropped,
+}
+
+/// Deterministic straggler + message-loss model over reduction nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    /// Probability that a reduction straggles.
+    pub straggler_rate: f64,
+    /// Duration multiplier for a straggling reduction (≥ 1).
+    pub straggler_factor: f64,
+    /// Probability that a reduction drops a message and retries.
+    pub drop_rate: f64,
+    /// Seed; the same seed reproduces the same perturbed schedule.
+    pub seed: u64,
+}
+
+impl FaultModel {
+    /// A model with the given seed and no faults; add rates with the
+    /// builder methods.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultModel {
+            straggler_rate: 0.0,
+            straggler_factor: 4.0,
+            drop_rate: 0.0,
+            seed,
+        }
+    }
+
+    /// Set the straggler probability and slowdown factor.
+    #[must_use]
+    pub fn with_stragglers(mut self, rate: f64, factor: f64) -> Self {
+        self.straggler_rate = rate.clamp(0.0, 1.0);
+        self.straggler_factor = factor.max(1.0);
+        self
+    }
+
+    /// Set the message-drop probability.
+    #[must_use]
+    pub fn with_drops(mut self, rate: f64) -> Self {
+        self.drop_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Is this node kind eligible for faults? Only fan-in reductions are:
+    /// they alone wait on remote partial results.
+    #[must_use]
+    pub fn eligible(kind: &OpKind) -> bool {
+        matches!(*kind, OpKind::Dot { .. } | OpKind::ScalarSum { .. })
+    }
+
+    /// Decide a node's fate — a pure function of `(seed, node)`. Drop is
+    /// tested first so overlapping rates favour the harsher outcome.
+    #[must_use]
+    pub fn fate(&self, node: usize, kind: &OpKind) -> NodeFate {
+        if !Self::eligible(kind) {
+            return NodeFate::Clean;
+        }
+        let h = splitmix64(self.seed ^ (node as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let u = unit(h);
+        if u < self.drop_rate {
+            NodeFate::Dropped
+        } else if u < self.drop_rate + self.straggler_rate {
+            NodeFate::Straggle
+        } else {
+            NodeFate::Clean
+        }
+    }
+
+    /// Perturbed duration for a node whose nominal duration is `dur`,
+    /// also reporting the fate so the scheduler can tally it.
+    #[must_use]
+    pub fn perturb(&self, node: usize, kind: &OpKind, dur: f64) -> (f64, NodeFate) {
+        let fate = self.fate(node, kind);
+        let d = match fate {
+            NodeFate::Clean => dur,
+            NodeFate::Straggle => dur * self.straggler_factor,
+            // lost partial: redo the reduction after noticing the loss
+            // (detection modeled as one nominal duration of timeout)
+            NodeFate::Dropped => dur * 2.0,
+        };
+        (d, fate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rates_are_transparent() {
+        let fm = FaultModel::new(42);
+        for i in 0..100 {
+            let (d, fate) = fm.perturb(i, &OpKind::Dot { n: 1 << 10 }, 7.0);
+            assert_eq!(d, 7.0);
+            assert_eq!(fate, NodeFate::Clean);
+        }
+    }
+
+    #[test]
+    fn only_reductions_are_eligible() {
+        let fm = FaultModel::new(1).with_stragglers(1.0, 8.0);
+        let (d, fate) = fm.perturb(0, &OpKind::Elementwise { n: 100 }, 5.0);
+        assert_eq!((d, fate), (5.0, NodeFate::Clean));
+        let (d, fate) = fm.perturb(0, &OpKind::SpMv { n: 100, d: 5 }, 5.0);
+        assert_eq!((d, fate), (5.0, NodeFate::Clean));
+        let (d, fate) = fm.perturb(0, &OpKind::Dot { n: 100 }, 5.0);
+        assert_eq!((d, fate), (40.0, NodeFate::Straggle));
+        let (d, fate) = fm.perturb(0, &OpKind::ScalarSum { m: 9 }, 3.0);
+        assert_eq!((d, fate), (24.0, NodeFate::Straggle));
+    }
+
+    #[test]
+    fn same_seed_same_fates() {
+        let a = FaultModel::new(7).with_stragglers(0.3, 4.0).with_drops(0.1);
+        let b = FaultModel::new(7).with_stragglers(0.3, 4.0).with_drops(0.1);
+        for i in 0..500 {
+            let k = OpKind::Dot { n: 64 };
+            assert_eq!(a.fate(i, &k), b.fate(i, &k));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let a = FaultModel::new(1).with_stragglers(0.5, 4.0);
+        let b = FaultModel::new(2).with_stragglers(0.5, 4.0);
+        let k = OpKind::Dot { n: 64 };
+        assert!((0..200).any(|i| a.fate(i, &k) != b.fate(i, &k)));
+    }
+
+    #[test]
+    fn empirical_rates_match_requested() {
+        let fm = FaultModel::new(99)
+            .with_stragglers(0.2, 4.0)
+            .with_drops(0.1);
+        let k = OpKind::Dot { n: 64 };
+        let n = 20_000usize;
+        let mut straggle = 0usize;
+        let mut dropped = 0usize;
+        for i in 0..n {
+            match fm.fate(i, &k) {
+                NodeFate::Straggle => straggle += 1,
+                NodeFate::Dropped => dropped += 1,
+                NodeFate::Clean => {}
+            }
+        }
+        let sr = straggle as f64 / n as f64;
+        let dr = dropped as f64 / n as f64;
+        assert!((sr - 0.2).abs() < 0.02, "straggler rate {sr}");
+        assert!((dr - 0.1).abs() < 0.02, "drop rate {dr}");
+    }
+
+    #[test]
+    fn drop_wins_over_straggle_on_overlap() {
+        // rate sums to 1: every reduction faults; drop band comes first
+        let fm = FaultModel::new(5).with_stragglers(0.5, 4.0).with_drops(0.5);
+        let k = OpKind::Dot { n: 64 };
+        let fates: Vec<_> = (0..100).map(|i| fm.fate(i, &k)).collect();
+        assert!(fates.iter().all(|f| *f != NodeFate::Clean));
+        assert!(fates.contains(&NodeFate::Dropped));
+        assert!(fates.contains(&NodeFate::Straggle));
+    }
+}

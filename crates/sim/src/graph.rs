@@ -350,7 +350,12 @@ mod tests {
         let mut prev = g.add(OpKind::Source, "src", None, &[]);
         let mut milestones = Vec::new();
         for it in 0..10 {
-            let d = g.add(OpKind::Dot { n: 256 }, format!("dot{it}"), Some(it), &[prev]);
+            let d = g.add(
+                OpKind::Dot { n: 256 },
+                format!("dot{it}"),
+                Some(it),
+                &[prev],
+            );
             let s = g.add(OpKind::Scalar, format!("s{it}"), Some(it), &[d]);
             milestones.push(s);
             prev = s;

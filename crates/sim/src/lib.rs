@@ -40,12 +40,14 @@
 
 pub mod builders;
 pub mod export;
+pub mod faults;
 pub mod graph;
 pub mod model;
 pub mod render;
 pub mod scheduler;
 pub mod topology;
 
+pub use faults::{FaultModel, NodeFate};
 pub use graph::{AlgoDag, NodeId, OpKind, TaskGraph};
 pub use model::{MachineModel, Procs};
 pub use scheduler::ListScheduler;

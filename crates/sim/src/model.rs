@@ -110,9 +110,7 @@ impl MachineModel {
                 self.flop + f64::from(self.levels(d)) * self.flop + self.net.neighbor_latency()
             }
             // summation of m scalars (a reduction spanning m participants)
-            OpKind::ScalarSum { m } => {
-                f64::from(self.levels(m)) * self.flop + self.net_latency(m)
-            }
+            OpKind::ScalarSum { m } => f64::from(self.levels(m)) * self.flop + self.net_latency(m),
             // s sequentially dependent pivot steps
             OpKind::SmallSolve { s } => s as f64 * self.flop,
             // wavefront-scheduled sweep: depth = number of wavefronts

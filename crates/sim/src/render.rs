@@ -164,7 +164,10 @@ mod tests {
     fn empty_schedule_handled() {
         let g = TaskGraph::new();
         let m = MachineModel::pram();
-        assert_eq!(gantt(&g, &m, &GanttOptions::default()), "(empty schedule)\n");
+        assert_eq!(
+            gantt(&g, &m, &GanttOptions::default()),
+            "(empty schedule)\n"
+        );
     }
 
     #[test]
@@ -173,7 +176,10 @@ mod tests {
         let m = MachineModel::pram();
         let s = iteration_summary(&dag.graph, &m);
         for it in 0..6 {
-            assert!(s.contains(&format!("\n{it:>4} |")), "missing iter {it}: {s}");
+            assert!(
+                s.contains(&format!("\n{it:>4} |")),
+                "missing iter {it}: {s}"
+            );
         }
     }
 

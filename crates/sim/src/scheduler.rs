@@ -9,6 +9,7 @@
 //! the honest bounded-machine numbers for E10, with utilization and
 //! waiting statistics the closed-form model cannot provide.
 
+use crate::faults::{FaultModel, NodeFate};
 use crate::graph::{NodeId, OpKind, TaskGraph};
 use crate::model::MachineModel;
 
@@ -23,6 +24,12 @@ pub struct ScheduleResult {
     pub utilization: f64,
     /// Total node-time spent ready-but-waiting for processors.
     pub total_wait: f64,
+    /// Reductions stretched by a straggler (0 without a fault model).
+    pub stragglers: usize,
+    /// Reductions that lost a partial sum and retried.
+    pub dropped: usize,
+    /// Total node-time added by faults (Σ perturbed − nominal durations).
+    pub fault_delay: f64,
 }
 
 /// Greedy list scheduler with critical-path priorities.
@@ -30,6 +37,9 @@ pub struct ScheduleResult {
 pub struct ListScheduler {
     /// Processor budget `P ≥ 1`.
     pub procs: usize,
+    /// Optional deterministic straggler/message-loss model applied to
+    /// reduction nodes.
+    pub faults: Option<FaultModel>,
 }
 
 impl ListScheduler {
@@ -38,7 +48,16 @@ impl ListScheduler {
     pub fn new(procs: usize) -> Self {
         ListScheduler {
             procs: procs.max(1),
+            faults: None,
         }
+    }
+
+    /// Attach a deterministic fault model; reduction nodes then run at
+    /// their perturbed durations and the result reports fault statistics.
+    #[must_use]
+    pub fn with_faults(mut self, model: FaultModel) -> Self {
+        self.faults = Some(model);
+        self
     }
 
     /// Natural parallel width of an operation: how many processors it can
@@ -71,6 +90,9 @@ impl ListScheduler {
                 makespan: 0.0,
                 utilization: 0.0,
                 total_wait: 0.0,
+                stragglers: 0,
+                dropped: 0,
+                fault_delay: 0.0,
             };
         }
 
@@ -102,6 +124,9 @@ impl ListScheduler {
         let mut scheduled = 0usize;
         let mut busy_area = 0.0_f64;
         let mut total_wait = 0.0_f64;
+        let mut stragglers = 0usize;
+        let mut dropped = 0usize;
+        let mut fault_delay = 0.0_f64;
 
         while scheduled < n || !running.is_empty() {
             // start as many ready tasks as fit, highest rank first
@@ -124,7 +149,20 @@ impl ListScheduler {
                         idx += 1;
                         continue;
                     }
-                    let dur = Self::duration(m, kind, grant);
+                    let nominal = Self::duration(m, kind, grant);
+                    let dur = match self.faults {
+                        None => nominal,
+                        Some(fm) => {
+                            let (d, fate) = fm.perturb(node_i, kind, nominal);
+                            match fate {
+                                NodeFate::Clean => {}
+                                NodeFate::Straggle => stragglers += 1,
+                                NodeFate::Dropped => dropped += 1,
+                            }
+                            fault_delay += d - nominal;
+                            d
+                        }
+                    };
                     times[node_i] = (now, now + dur);
                     total_wait += now - ready_at[node_i];
                     busy_area += dur * grant as f64;
@@ -176,6 +214,9 @@ impl ListScheduler {
             makespan,
             utilization,
             total_wait,
+            stragglers,
+            dropped,
+            fault_delay,
         }
     }
 }
@@ -225,7 +266,11 @@ mod tests {
             "makespan {} vs {expect}",
             r.makespan
         );
-        assert!(r.utilization > 0.99, "P=1 must be fully busy: {}", r.utilization);
+        assert!(
+            r.utilization > 0.99,
+            "P=1 must be fully busy: {}",
+            r.utilization
+        );
     }
 
     #[test]
@@ -318,6 +363,87 @@ mod tests {
         let w_small = ListScheduler::new(2).run(&dag.graph, &m).total_wait;
         let w_big = ListScheduler::new(1 << 14).run(&dag.graph, &m).total_wait;
         assert!(w_small > w_big, "wait {w_small} !> {w_big}");
+    }
+
+    #[test]
+    fn fault_free_scheduler_reports_zero_fault_stats() {
+        let dag = builders::standard_cg(1 << 10, 5, 8);
+        let r = ListScheduler::new(64).run(&dag.graph, &MachineModel::pram());
+        assert_eq!(r.stragglers, 0);
+        assert_eq!(r.dropped, 0);
+        assert_eq!(r.fault_delay, 0.0);
+    }
+
+    #[test]
+    fn faulty_schedule_is_deterministic_per_seed() {
+        let dag = builders::lookahead_cg(1 << 10, 5, 12, 4);
+        let m = MachineModel::pram();
+        let fm = FaultModel::new(11)
+            .with_stragglers(0.2, 6.0)
+            .with_drops(0.05);
+        let a = ListScheduler::new(256).with_faults(fm).run(&dag.graph, &m);
+        let b = ListScheduler::new(256).with_faults(fm).run(&dag.graph, &m);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.stragglers, b.stragglers);
+        assert_eq!(a.dropped, b.dropped);
+        assert_eq!(a.times, b.times);
+    }
+
+    #[test]
+    fn faults_never_shrink_the_makespan() {
+        let m = MachineModel::pram();
+        for (name, dag) in [
+            ("std", builders::standard_cg(1 << 12, 5, 12)),
+            ("la", builders::lookahead_cg(1 << 12, 5, 12, 8)),
+        ] {
+            let clean = ListScheduler::new(1 << 14).run(&dag.graph, &m);
+            let fm = FaultModel::new(3).with_stragglers(0.3, 8.0).with_drops(0.1);
+            let faulty = ListScheduler::new(1 << 14)
+                .with_faults(fm)
+                .run(&dag.graph, &m);
+            assert!(
+                faulty.makespan >= clean.makespan - 1e-9,
+                "{name}: faulty {} < clean {}",
+                faulty.makespan,
+                clean.makespan
+            );
+            assert!(
+                faulty.stragglers + faulty.dropped > 0,
+                "{name}: no faults fired"
+            );
+            assert!(faulty.fault_delay > 0.0);
+        }
+    }
+
+    #[test]
+    fn lookahead_absorbs_stragglers_better_than_standard() {
+        // the latency-tolerance claim extended to faults: a straggling
+        // reduction stalls standard CG's critical path for its full extra
+        // duration, while the look-ahead has k iterations of slack to hide
+        // it in. The look-ahead launches ~25× more dots per iteration so it
+        // *catches* more stragglers in absolute terms — the right metric is
+        // makespan added **per straggler**, which the slack divides by an
+        // order of magnitude.
+        let n = 1 << 12;
+        let m = MachineModel::pram();
+        let fm = FaultModel::new(17).with_stragglers(0.05, 16.0);
+        let p = 1 << 19;
+        let per_hit = |dag: &crate::AlgoDag| {
+            let clean = ListScheduler::new(p).run(&dag.graph, &m).makespan;
+            let faulty = ListScheduler::new(p).with_faults(fm).run(&dag.graph, &m);
+            assert!(
+                faulty.stragglers > 0,
+                "no stragglers over {} nodes",
+                dag.graph.len()
+            );
+            (faulty.makespan - clean) / faulty.stragglers as f64
+        };
+        let std_cost = per_hit(&builders::standard_cg(n, 5, 64));
+        let la_cost = per_hit(&builders::lookahead_cg(n, 5, 64, 8));
+        assert!(
+            la_cost < std_cost / 3.0,
+            "per-straggler cost: lookahead {la_cost} !< standard {std_cost}/3"
+        );
     }
 
     #[test]

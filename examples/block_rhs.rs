@@ -23,9 +23,7 @@ fn main() {
         .collect();
     let opts = SolveOptions::default().with_tol(1e-9).with_max_iters(4000);
 
-    println!(
-        "poisson2d {grid}×{grid} (N = {n}), {nrhs} right-hand sides, tol 1e-9\n"
-    );
+    println!("poisson2d {grid}×{grid} (N = {n}), {nrhs} right-hand sides, tol 1e-9\n");
 
     // one-at-a-time standard CG
     let t0 = std::time::Instant::now();

@@ -15,8 +15,8 @@ use cg_lookahead::cg::sstep::SStepCg;
 use cg_lookahead::cg::standard::StandardCg;
 use cg_lookahead::cg::{CgVariant, SolveOptions};
 use cg_lookahead::linalg::gen;
-use cg_lookahead::sim::export::{to_dot, DotOptions};
 use cg_lookahead::sim::builders;
+use cg_lookahead::sim::export::{to_dot, DotOptions};
 use vr_bench::ascii_semilog;
 
 fn main() {
@@ -50,12 +50,7 @@ fn main() {
         );
         // subsample long histories so the plot stays terminal-width
         let stride = (res.residual_norms.len() / 60).max(1);
-        let ys: Vec<f64> = res
-            .residual_norms
-            .iter()
-            .step_by(stride)
-            .copied()
-            .collect();
+        let ys: Vec<f64> = res.residual_norms.iter().step_by(stride).copied().collect();
         histories.push((s.name(), ys));
     }
 
@@ -76,5 +71,8 @@ fn main() {
     );
     std::fs::create_dir_all("target").expect("mkdir");
     std::fs::write("target/lookahead.dot", &dot).expect("write dot");
-    println!("wrote target/lookahead.dot ({} bytes) — render with graphviz", dot.len());
+    println!(
+        "wrote target/lookahead.dot ({} bytes) — render with graphviz",
+        dot.len()
+    );
 }

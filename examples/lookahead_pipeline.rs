@@ -59,7 +59,10 @@ fn main() {
                 "  iteration {i:2}: consumed (v,v) launched at iteration {launched_at:2} → {value:.3}"
             );
         } else {
-            println!("  iteration {i:2}: pipeline filling ({} in flight)", in_flight.len());
+            println!(
+                "  iteration {i:2}: pipeline filling ({} in flight)",
+                in_flight.len()
+            );
         }
     }
     // drain

@@ -80,7 +80,9 @@ fn main() {
     );
 
     let b = gen::rand_vector(a.nrows(), 7);
-    let opts = SolveOptions::default().with_tol(1e-9).with_max_iters(20_000);
+    let opts = SolveOptions::default()
+        .with_tol(1e-9)
+        .with_max_iters(20_000);
     let solvers: Vec<Box<dyn CgVariant>> = vec![
         Box::new(StandardCg::new()),
         Box::new(LookaheadCg::new(2).with_resync(12)),

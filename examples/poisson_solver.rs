@@ -38,10 +38,7 @@ fn build_solvers(name: &str, a: &CsrMatrix) -> Vec<Box<dyn CgVariant>> {
                 Jacobi::new(a).expect("jacobi"),
                 "pcg-jacobi",
             )),
-            "ssor" => Box::new(PrecondCg::new(
-                Ssor::new(a, 1.2).expect("ssor"),
-                "pcg-ssor",
-            )),
+            "ssor" => Box::new(PrecondCg::new(Ssor::new(a, 1.2).expect("ssor"), "pcg-ssor")),
             "ic0" => Box::new(PrecondCg::new(Ic0::new(a).expect("ic0"), "pcg-ic0")),
             other => {
                 eprintln!("unknown preconditioner '{other}'");

@@ -48,6 +48,8 @@ fn main() {
     let la_cycle = builders::lookahead_cg(big_n, 5, 30, 20).steady_cycle_time(&machine);
     println!("\non an idealized machine with ≥ N = 2^20 processors:");
     println!("standard CG      : {std_cycle:.1} time units per iteration  (≈ 2·log N)");
-    println!("look-ahead k=20  : {la_cycle:.1} time units per iteration  (≈ max(log d, log log N))");
+    println!(
+        "look-ahead k=20  : {la_cycle:.1} time units per iteration  (≈ max(log d, log log N))"
+    );
     println!("speedup          : {:.1}×", std_cycle / la_cycle);
 }

@@ -23,7 +23,10 @@ fn solvers(a: &CsrMatrix) -> Vec<Box<dyn CgVariant>> {
         Box::new(LookaheadCg::new(1).with_resync(15)),
         Box::new(LookaheadCg::new(2).with_resync(15)),
         Box::new(LookaheadCg::new(3).with_resync(10)),
-        Box::new(PrecondCg::new(Jacobi::new(a).expect("jacobi"), "pcg-jacobi")),
+        Box::new(PrecondCg::new(
+            Jacobi::new(a).expect("jacobi"),
+            "pcg-jacobi",
+        )),
         Box::new(PrecondCg::new(Ssor::new(a, 1.1).expect("ssor"), "pcg-ssor")),
     ]
 }
@@ -32,11 +35,7 @@ fn problems() -> Vec<(&'static str, CsrMatrix, Vec<f64>)> {
     vec![
         ("poisson1d", gen::poisson1d(60), gen::rand_vector(60, 10)),
         ("poisson2d", gen::poisson2d(12), gen::poisson2d_rhs(12)),
-        (
-            "poisson3d",
-            gen::poisson3d(5),
-            gen::rand_vector(125, 11),
-        ),
+        ("poisson3d", gen::poisson3d(5), gen::rand_vector(125, 11)),
         (
             "anisotropic",
             gen::anisotropic2d(10, 0.1),
@@ -47,11 +46,7 @@ fn problems() -> Vec<(&'static str, CsrMatrix, Vec<f64>)> {
             gen::rand_spd(80, 5, 1.5, 13),
             gen::rand_vector(80, 14),
         ),
-        (
-            "27-point",
-            gen::poisson3d_27pt(4),
-            gen::rand_vector(64, 15),
-        ),
+        ("27-point", gen::poisson3d_27pt(4), gen::rand_vector(64, 15)),
     ]
 }
 
@@ -165,7 +160,9 @@ fn dot_mode_does_not_change_convergence_shape() {
         let opts = SolveOptions::default().with_tol(1e-9).with_dot_mode(mode);
         let res = StandardCg::new().solve(&a, &b, None, &opts);
         assert!(res.converged, "{mode:?}");
-        let la = LookaheadCg::new(2).with_resync(15).solve(&a, &b, None, &opts);
+        let la = LookaheadCg::new(2)
+            .with_resync(15)
+            .solve(&a, &b, None, &opts);
         assert!(la.converged, "lookahead with {mode:?}");
     }
 }

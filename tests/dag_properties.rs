@@ -83,7 +83,11 @@ fn cycle_time_positive_and_total_consistent() {
         let total = dag.total_time(&m);
         // total ≥ (iterations − 1) · steady cycle (startup can only add)
         let floor = cycle * (dag.milestones.len() as f64 - 1.0) * 0.5;
-        assert!(total > floor, "{}: total {total} vs floor {floor}", dag.name);
+        assert!(
+            total > floor,
+            "{}: total {total} vs floor {floor}",
+            dag.name
+        );
         assert!(dag.startup_time(&m) >= 0.0, "{}", dag.name);
     }
 }
@@ -113,7 +117,10 @@ fn graph_sizes_scale_linearly_with_iterations() {
     // linear growth, no superlinear blowup
     let n48 = builders::lookahead_cg(1 << 10, 5, 48, 3).graph.len();
     let per_iter2 = (n48 - n24) as f64 / 24.0;
-    assert!((per_iter - per_iter2).abs() < 1.0, "{per_iter} vs {per_iter2}");
+    assert!(
+        (per_iter - per_iter2).abs() < 1.0,
+        "{per_iter} vs {per_iter2}"
+    );
 }
 
 #[test]

@@ -62,7 +62,10 @@ fn full_pipeline() {
     // --- 5. spectral probe predicts the easier system ---
     let k_raw = estimate_spectrum(&a_rcm, 30, 3).condition();
     let k_hat = estimate_spectrum(&a_hat, 30, 3).condition();
-    assert!(k_hat <= k_raw * 1.1, "scaling should not hurt: {k_hat} vs {k_raw}");
+    assert!(
+        k_hat <= k_raw * 1.1,
+        "scaling should not hurt: {k_hat} vs {k_raw}"
+    );
 
     // --- 6. ground truth via banded Cholesky on the RCM system ---
     let band = SymBanded::from_csr(&a_rcm).expect("symmetric");
@@ -82,7 +85,11 @@ fn full_pipeline() {
         assert!(res.converged, "{}: {:?}", solver.name(), res.termination);
         let x = unscale_solution(&res.x, &s);
         let err = dist2(&x, &x_direct) / (1.0 + norm2(&x_direct));
-        assert!(err < 1e-6, "{}: ‖x − x_direct‖ rel {err:.2e}", solver.name());
+        assert!(
+            err < 1e-6,
+            "{}: ‖x − x_direct‖ rel {err:.2e}",
+            solver.name()
+        );
         // and map all the way back to the original ordering
         let x_orig = shuffle.unapply_vec(&rcm.unapply_vec(&x));
         let ax = a0.spmv(&x_orig);

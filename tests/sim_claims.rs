@@ -55,10 +55,22 @@ fn lookahead_beats_all_baselines_at_scale() {
     let n = 1 << 22;
     let la = builders::lookahead_cg(n, D, ITERS, 22).steady_cycle_time(&m);
     for (name, t) in [
-        ("standard", builders::standard_cg(n, D, ITERS).steady_cycle_time(&m)),
-        ("chrono", builders::chronopoulos_gear(n, D, ITERS).steady_cycle_time(&m)),
-        ("pipelined", builders::pipelined_cg(n, D, ITERS).steady_cycle_time(&m)),
-        ("overlap", builders::overlap_k1(n, D, ITERS).steady_cycle_time(&m)),
+        (
+            "standard",
+            builders::standard_cg(n, D, ITERS).steady_cycle_time(&m),
+        ),
+        (
+            "chrono",
+            builders::chronopoulos_gear(n, D, ITERS).steady_cycle_time(&m),
+        ),
+        (
+            "pipelined",
+            builders::pipelined_cg(n, D, ITERS).steady_cycle_time(&m),
+        ),
+        (
+            "overlap",
+            builders::overlap_k1(n, D, ITERS).steady_cycle_time(&m),
+        ),
     ] {
         assert!(la < t, "lookahead {la} !< {name} {t}");
     }

@@ -3,8 +3,7 @@
 //! gets recorded.
 
 use cg_lookahead::cg::baselines::{
-    ChebyshevIteration, ChronopoulosGearCg, ConjugateResidual, OverlapCr, PipelinedCg,
-    ThreeTermCg,
+    ChebyshevIteration, ChronopoulosGearCg, ConjugateResidual, OverlapCr, PipelinedCg, ThreeTermCg,
 };
 use cg_lookahead::cg::lookahead::LookaheadCg;
 use cg_lookahead::cg::overlap_k1::OverlapK1Cg;
@@ -84,7 +83,11 @@ fn dot_modes_converge_for_every_solver() {
         for s in all_solvers() {
             let res = s.solve(&a, &b, None, &opts);
             assert!(res.converged, "{} with {mode:?}", s.name());
-            assert!(res.true_residual(&a, &b) < 1e-4, "{} with {mode:?}", s.name());
+            assert!(
+                res.true_residual(&a, &b) < 1e-4,
+                "{} with {mode:?}",
+                s.name()
+            );
         }
     }
 }

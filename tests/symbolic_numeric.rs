@@ -64,12 +64,8 @@ fn star_relation_equals_window_evolution_equals_direct_cg() {
         // 3) symbolic star relation evaluated on the base window
         let d = Derivation::run(k);
         let point = d.param_point(&lams, &alfs);
-        let rr_star = d
-            .star_rr()
-            .eval(&point, &win0.mu, &win0.nu, &win0.sigma);
-        let pap_star = d
-            .star_pap()
-            .eval(&point, &mu_ext, &win0.nu, &win0.sigma);
+        let rr_star = d.star_rr().eval(&point, &win0.mu, &win0.nu, &win0.sigma);
+        let pap_star = d.star_pap().eval(&point, &mu_ext, &win0.nu, &win0.sigma);
 
         // 4) numeric window stepped k times with the same parameters and
         //    NO top-entry replenishment: each step consumes two orders from
