@@ -92,15 +92,13 @@ impl CgVariant for ChronopoulosGearCg {
                 kernels::xpay(&r, beta, &mut p);
                 kernels::xpay(&w, beta, &mut s);
                 kernels::axpy(lambda, &p, &mut x);
-                kernels::axpy(-lambda, &s, &mut r);
-                counts.vector_ops += 4;
+                counts.vector_ops += 3;
 
-                a.apply(&r, &mut w);
-                counts.matvecs += 1;
                 rho_prev = rho;
-                rho = dot(md, &r, &r);
-                mu = dot(md, &r, &w);
-                counts.dots += 2;
+                // r ← r − λ·s carries ρ = (r,r) in its sweep; the matvec
+                // w = A·r carries μ = (r,w) in its sweep
+                rho = opts.axpy_norm2_sq(-lambda, &s, &mut r, &mut counts);
+                mu = opts.matvec_dot(a, &r, &mut w, &mut counts);
                 lambda_prev = lambda;
 
                 if opts.record_residuals {

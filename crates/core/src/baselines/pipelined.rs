@@ -16,7 +16,7 @@
 
 use crate::instrument::OpCounts;
 use crate::resilience::guard;
-use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
+use crate::solver::{util, CgVariant, KernelPolicy, SolveOptions, SolveResult, Termination};
 use vr_linalg::kernels::{self, dot};
 use vr_linalg::LinearOperator;
 
@@ -74,12 +74,21 @@ impl CgVariant for PipelinedCg {
 
         let mut termination = Termination::MaxIterations;
         let mut iterations = 0;
+        // Under the fused policy the w-update sweep of iteration `it`
+        // carries δ for iteration `it + 1` (bit-identical association),
+        // so the loop top only pays a standalone reduction at startup.
+        let fused = opts.kernel_policy == KernelPolicy::Fused;
+        let mut delta_carried = 0.0;
         if gamma <= thresh_sq {
             termination = Termination::Converged;
         } else {
             for it in 0..opts.max_iters {
-                let delta = dot(md, &w, &r);
-                counts.dots += 1;
+                let delta = if fused && it > 0 {
+                    delta_carried
+                } else {
+                    counts.dots += 1;
+                    opts.dot(&w, &r)
+                };
                 // q = A·w — on the paper's machine this overlaps the two
                 // reductions above; numerically it is just computed here.
                 a.apply(&w, &mut q);
@@ -103,14 +112,12 @@ impl CgVariant for PipelinedCg {
                 kernels::xpay(&w, beta, &mut s);
                 kernels::xpay(&q, beta, &mut z);
                 kernels::axpy(lambda, &p, &mut x);
-                kernels::axpy(-lambda, &s, &mut r);
-                kernels::axpy(-lambda, &z, &mut w);
-                counts.vector_ops += 6;
+                counts.vector_ops += 4;
 
                 gamma_old = gamma;
                 lambda_old = lambda;
-                gamma = dot(md, &r, &r);
-                counts.dots += 1;
+                // r ← r − λ·s carries γ = (r,r) in its sweep
+                gamma = opts.axpy_norm2_sq(-lambda, &s, &mut r, &mut counts);
 
                 if opts.record_residuals {
                     norms.push(gamma.max(0.0).sqrt());
@@ -123,6 +130,16 @@ impl CgVariant for PipelinedCg {
                 if guard::check_finite(gamma).is_err() {
                     termination = Termination::Breakdown;
                     break;
+                }
+
+                // w ← w − λ·z; fused, the same sweep yields next
+                // iteration's δ = (w,r) (w is dead after a break, so
+                // skipping the update on exit changes nothing)
+                if fused {
+                    delta_carried = opts.axpy_dot(-lambda, &z, &mut w, &r, &mut counts);
+                } else {
+                    kernels::axpy(-lambda, &z, &mut w);
+                    counts.vector_ops += 1;
                 }
             }
         }

@@ -87,10 +87,8 @@ impl<P: Preconditioner> CgVariant for PrecondCg<P> {
                     iterations = it;
                     break;
                 }
-                a.apply(&p, &mut w);
-                counts.matvecs += 1;
-                let pap = dot(md, &p, &w);
-                counts.dots += 1;
+                // matvec carries (p, A·p) in its sweep
+                let pap = opts.matvec_dot(a, &p, &mut w, &mut counts);
                 if guard::check_pivot(pap).is_err() {
                     termination = Termination::Breakdown;
                     iterations = it;
@@ -98,15 +96,15 @@ impl<P: Preconditioner> CgVariant for PrecondCg<P> {
                 }
                 let lambda = rz / pap;
                 kernels::axpy(lambda, &p, &mut x);
-                kernels::axpy(-lambda, &w, &mut r);
-                counts.vector_ops += 2;
+                counts.vector_ops += 1;
                 counts.scalar_ops += 1;
+                // r ← r − λ·w carries (r,r) in its sweep
+                rr = opts.axpy_norm2_sq(-lambda, &w, &mut r, &mut counts);
 
                 self.precond.apply(&r, &mut z);
                 counts.precond_applies += 1;
                 let rz_next = dot(md, &r, &z);
-                rr = dot(md, &r, &r);
-                counts.dots += 2;
+                counts.dots += 1;
 
                 if opts.record_residuals {
                     norms.push(rr.max(0.0).sqrt());

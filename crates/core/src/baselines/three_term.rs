@@ -77,10 +77,8 @@ impl CgVariant for ThreeTermCg {
             termination = Termination::Converged;
         } else {
             for it in 0..opts.max_iters {
-                a.apply(&r, &mut w);
-                counts.matvecs += 1;
-                let rar = dot(md, &r, &w);
-                counts.dots += 1;
+                // matvec carries (r, A·r) in its sweep
+                let rar = opts.matvec_dot(a, &r, &mut w, &mut counts);
                 if guard::check_pivot(rar).is_err() {
                     termination = Termination::Breakdown;
                     iterations = it;

@@ -24,6 +24,14 @@ pub struct OpCounts {
     /// Warm restarts taken after window validation failed (look-ahead
     /// solvers only).
     pub restarts: usize,
+    /// Single-pass fused kernel invocations (`KernelPolicy::Fused` only).
+    ///
+    /// The *logical* tallies above always count reference-equivalent work —
+    /// a fused matvec+dot still increments `matvecs` and `dots` — so the
+    /// E4/E7 op-count claims are policy-independent. This counter records
+    /// how many of those logical groups were actually executed as one
+    /// memory sweep.
+    pub fused_ops: usize,
 }
 
 impl OpCounts {
@@ -37,6 +45,7 @@ impl OpCounts {
             vector_ops: self.vector_ops as f64 / it,
             scalar_ops: self.scalar_ops as f64 / it,
             precond_applies: self.precond_applies as f64 / it,
+            fused_ops: self.fused_ops as f64 / it,
         }
     }
 
@@ -66,6 +75,8 @@ pub struct PerIteration {
     pub scalar_ops: f64,
     /// Preconditioner applications per iteration.
     pub precond_applies: f64,
+    /// Fused single-pass kernel invocations per iteration.
+    pub fused_ops: f64,
 }
 
 /// Counters from the resilience machinery, surfaced on every
@@ -109,6 +120,7 @@ impl std::ops::Add for OpCounts {
             scalar_ops: self.scalar_ops + o.scalar_ops,
             precond_applies: self.precond_applies + o.precond_applies,
             restarts: self.restarts + o.restarts,
+            fused_ops: self.fused_ops + o.fused_ops,
         }
     }
 }
@@ -126,6 +138,7 @@ mod tests {
             scalar_ops: 40,
             precond_applies: 0,
             restarts: 0,
+            fused_ops: 5,
         };
         let p = c.per_iteration(10);
         assert_eq!(p.matvecs, 1.0);
@@ -146,6 +159,7 @@ mod tests {
             scalar_ops: 4,
             precond_applies: 1,
             restarts: 0,
+            fused_ops: 0,
         };
         // n=100, d=5: 1*1000 + 2*200 + 3*200 + 4 + 1*200
         assert_eq!(
@@ -163,6 +177,7 @@ mod tests {
             scalar_ops: 4,
             precond_applies: 5,
             restarts: 1,
+            fused_ops: 6,
         };
         let s = a + a;
         assert_eq!(s.matvecs, 2);

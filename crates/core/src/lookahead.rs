@@ -194,11 +194,10 @@ impl CgVariant for LookaheadCg {
                 }
                 counts.vector_ops += 2 * (k + 1);
                 // one matvec: w_{k+1} = A·w_k
-                let (head, tail) = w.split_at_mut(k + 1);
-                a.apply(&head[k], &mut tail[0]);
-                counts.matvecs += 1;
-
                 if self.resync > 0 && iterations.is_multiple_of(self.resync) {
+                    let (head, tail) = w.split_at_mut(k + 1);
+                    a.apply(&head[k], &mut tail[0]);
+                    counts.matvecs += 1;
                     // periodic drift correction: rebuild the window
                     let (fresh, spent) = MomentWindow::direct(&z, &w, m, md);
                     counts.dots += spent;
@@ -206,11 +205,30 @@ impl CgVariant for LookaheadCg {
                 } else {
                     // three direct top-of-window inner products — these
                     // are the reductions with k iterations of slack, i.e.
-                    // the fault surface the paper's restructuring creates
-                    win.nu[m + 1] = guard::guarded_dot(opts, &z[k], &w[k + 1], &mut rstats);
-                    win.sigma[m + 1] = guard::guarded_dot(opts, &w[k], &w[k + 1], &mut rstats);
-                    win.sigma[m + 2] = guard::guarded_dot(opts, &w[k + 1], &w[k + 1], &mut rstats);
-                    counts.dots += 3;
+                    // the fault surface the paper's restructuring creates.
+                    // Fused: the matvec sweep carries the (w_k, w_{k+1})
+                    // moment and the other two share one pass over w_{k+1}
+                    // (per-element products are commutative, so the scalars
+                    // are bit-identical to the unfused formulation).
+                    let (head, tail) = w.split_at_mut(k + 1);
+                    win.sigma[m + 1] = guard::guarded_matvec_dot(
+                        opts,
+                        a,
+                        &head[k],
+                        &mut tail[0],
+                        &mut counts,
+                        &mut rstats,
+                    );
+                    let (nu_top, sigma_top) = guard::guarded_dot2(
+                        opts,
+                        &tail[0],
+                        &z[k],
+                        &tail[0],
+                        &mut counts,
+                        &mut rstats,
+                    );
+                    win.nu[m + 1] = nu_top;
+                    win.sigma[m + 2] = sigma_top;
                 }
             }
 

@@ -165,11 +165,12 @@ impl CgVariant for OverlapK1Cg {
                 // launched before any of this iteration's scalar results
                 // are needed (on the paper's machine their fan-ins overlap
                 // the rest of this iteration).
-                let rw = dot(md, &r, &w);
-                let ww = dot(md, &w, &w);
-                let rv = dot(md, &r, &v);
-                let wv = dot(md, &w, &v);
-                counts.dots += 4;
+                // Fused pairing: (r,w)/(r,v) share the sweep over r and
+                // (w,w)/(w,v) the sweep over w; the per-element products are
+                // commutative so the scalars are bit-identical to the four
+                // separate dots of the reference formulation.
+                let (rw, rv) = opts.dot2(&r, &w, &v, &mut counts);
+                let (ww, wv) = opts.dot2(&w, &w, &v, &mut counts);
 
                 let lambda = rr / pap;
                 kernels::axpy(lambda, &p, &mut x);

@@ -86,6 +86,79 @@ const MAX_REDUCTION_RETRIES: usize = 2;
 #[must_use]
 pub fn guarded_dot(opts: &SolveOptions, x: &[f64], y: &[f64], stats: &mut RecoveryStats) -> f64 {
     let v = opts.dot(x, y);
+    retry_reduction(opts, x, y, v, stats)
+}
+
+/// Fused matvec+dot ([`SolveOptions::matvec_dot`]) with detect-and-retry
+/// on the reduction.
+///
+/// `y` holds `A·x` after the call, so a non-finite combined value is
+/// repaired by re-running only the *reduction* (`xᵀy` through the fault
+/// path) — the matvec result is already materialized and is not recomputed.
+/// Retries are not tallied (matching [`guarded_dot`]).
+#[must_use]
+pub fn guarded_matvec_dot(
+    opts: &SolveOptions,
+    a: &dyn LinearOperator,
+    x: &[f64],
+    y: &mut [f64],
+    counts: &mut crate::instrument::OpCounts,
+    stats: &mut RecoveryStats,
+) -> f64 {
+    let v = opts.matvec_dot(a, x, y, counts);
+    retry_reduction(opts, x, y, v, stats)
+}
+
+/// Fused solution/residual update ([`SolveOptions::update_xr`]) with
+/// detect-and-retry on the `(r, r)` reduction.
+///
+/// The vector updates land exactly once; only the reduction re-runs on a
+/// detected fault, reading the already-updated `r`.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn guarded_update_xr(
+    opts: &SolveOptions,
+    lambda: f64,
+    p: &[f64],
+    w: &[f64],
+    x: &mut [f64],
+    r: &mut [f64],
+    counts: &mut crate::instrument::OpCounts,
+    stats: &mut RecoveryStats,
+) -> f64 {
+    let v = opts.update_xr(lambda, p, w, x, r, counts);
+    retry_reduction(opts, r, r, v, stats)
+}
+
+/// Fused shared-left dot pair ([`SolveOptions::dot2`]) with independent
+/// detect-and-retry on each component reduction.
+#[must_use]
+pub fn guarded_dot2(
+    opts: &SolveOptions,
+    x: &[f64],
+    y: &[f64],
+    z: &[f64],
+    counts: &mut crate::instrument::OpCounts,
+    stats: &mut RecoveryStats,
+) -> (f64, f64) {
+    let (dy, dz) = opts.dot2(x, y, z, counts);
+    (
+        retry_reduction(opts, x, y, dy, stats),
+        retry_reduction(opts, x, z, dz, stats),
+    )
+}
+
+/// Shared retry tail: if `v` is non-finite and recovery is active,
+/// re-execute the reduction `xᵀy` (still through the injector) up to
+/// [`MAX_REDUCTION_RETRIES`] times. The same policy [`guarded_dot`]
+/// applies after its first attempt.
+fn retry_reduction(
+    opts: &SolveOptions,
+    x: &[f64],
+    y: &[f64],
+    v: f64,
+    stats: &mut RecoveryStats,
+) -> f64 {
     if v.is_finite() || opts.recovery.is_none() {
         return v;
     }

@@ -4,8 +4,29 @@ use crate::instrument::{OpCounts, RecoveryStats};
 use crate::resilience::recovery::RecoveryPolicy;
 use std::sync::Arc;
 use vr_linalg::kernels::{self, DotMode};
-use vr_linalg::LinearOperator;
+use vr_linalg::{fused, LinearOperator};
 use vr_par::fault::{FaultInjector, FaultSite};
+use vr_par::reduce;
+
+/// How per-iteration vector updates and the reductions that consume them
+/// are executed.
+///
+/// Both policies compute *bit-identical* scalar sequences for a given
+/// `(dot_mode, threads, injector)` configuration — the fused kernels in
+/// [`vr_linalg::fused`] preserve the exact association order of their
+/// two-pass compositions. The difference is purely memory traffic: `Fused`
+/// streams each vector through memory once where `Reference` makes separate
+/// passes for the update and the reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelPolicy {
+    /// Textbook composition: separate axpy/xpay passes followed by separate
+    /// inner products. The formulation all op-count claims are stated in.
+    Reference,
+    /// Single-pass fused kernels (update + reduction in one sweep); on
+    /// operators that support it, matvec+dot without materializing `A·p`.
+    #[default]
+    Fused,
+}
 
 /// Options controlling a solve.
 #[derive(Debug, Clone)]
@@ -25,6 +46,14 @@ pub struct SolveOptions {
     /// Breakdown-recovery policy (None = classic behavior: fail on the
     /// first suspicious scalar). See [`crate::resilience::recovery`].
     pub recovery: Option<RecoveryPolicy>,
+    /// Kernel execution policy (fused single-pass vs reference two-pass).
+    pub kernel_policy: KernelPolicy,
+    /// Worker threads for vector kernels and reductions. `1` (the default)
+    /// keeps everything on the calling thread with `dot_mode` association;
+    /// `>= 2` switches reductions to the deterministic 256-leaf chunk tree
+    /// of [`vr_par::reduce`], whose bits are independent of the thread
+    /// count.
+    pub threads: usize,
 }
 
 impl Default for SolveOptions {
@@ -36,6 +65,8 @@ impl Default for SolveOptions {
             record_residuals: true,
             injector: None,
             recovery: None,
+            kernel_policy: KernelPolicy::default(),
+            threads: 1,
         }
     }
 }
@@ -76,17 +107,33 @@ impl SolveOptions {
         self
     }
 
-    /// Inner product through this solve's fault path.
+    /// Set the kernel execution policy.
+    #[must_use]
+    pub fn with_kernel_policy(mut self, policy: KernelPolicy) -> Self {
+        self.kernel_policy = policy;
+        self
+    }
+
+    /// Set the worker-thread count for kernels and reductions.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Inner product through this solve's fault and threading path.
     ///
-    /// Without an injector this is exactly `kernels::dot(self.dot_mode)`;
-    /// with one, the reduction runs through the chunked deterministic tree
-    /// with per-partial and final-value corruption (see
-    /// [`vr_linalg::kernels::dot_with`]).
+    /// Single-threaded without an injector this is exactly
+    /// `kernels::dot(self.dot_mode)`; with `threads >= 2` the reduction is
+    /// the deterministic chunk tree of [`vr_par::reduce::par_dot`]; with an
+    /// injector it is the chunk tree with per-partial and final-value
+    /// corruption, whose bits are independent of the thread count.
     #[must_use]
     pub fn dot(&self, x: &[f64], y: &[f64]) -> f64 {
         match &self.injector {
+            Some(inj) => reduce::par_dot_with(x, y, self.threads.max(1), inj.as_ref()),
+            None if self.threads >= 2 => reduce::par_dot(x, y, self.threads),
             None => kernels::dot(self.dot_mode, x, y),
-            Some(inj) => kernels::dot_with(self.dot_mode, x, y, inj.as_ref()),
         }
     }
 
@@ -96,6 +143,124 @@ impl SolveOptions {
         match &self.injector {
             None => v,
             Some(inj) => inj.corrupt(FaultSite::ScalarRecurrence, v),
+        }
+    }
+
+    /// Whether this configuration executes fused kernels.
+    fn fuse(&self) -> bool {
+        self.kernel_policy == KernelPolicy::Fused
+    }
+
+    /// Fused `y ← A·x` + `(x, y)`, tallying one matvec and one dot
+    /// (reference-equivalent logical counts, regardless of policy).
+    ///
+    /// Fusion requires the serial, fault-free path: operator `apply_dot`
+    /// overrides reduce with `dot_mode` association on the calling thread,
+    /// so with `threads >= 2` or an injector both policies fall back to
+    /// `apply` + [`SolveOptions::dot`] to keep Reference and Fused
+    /// bit-identical per configuration.
+    #[must_use]
+    pub fn matvec_dot(
+        &self,
+        a: &dyn LinearOperator,
+        x: &[f64],
+        y: &mut [f64],
+        counts: &mut OpCounts,
+    ) -> f64 {
+        counts.matvecs += 1;
+        counts.dots += 1;
+        if self.fuse() && self.injector.is_none() && self.threads <= 1 {
+            counts.fused_ops += 1;
+            a.apply_dot(self.dot_mode, x, y)
+        } else {
+            a.apply(x, y);
+            self.dot(x, y)
+        }
+    }
+
+    /// Fused CG update `x ← x + λp`, `r ← r − λw`, returning `(r, r)`;
+    /// tallies two vector ops and one dot.
+    #[must_use]
+    pub fn update_xr(
+        &self,
+        lambda: f64,
+        p: &[f64],
+        w: &[f64],
+        x: &mut [f64],
+        r: &mut [f64],
+        counts: &mut OpCounts,
+    ) -> f64 {
+        counts.vector_ops += 2;
+        counts.dots += 1;
+        if !self.fuse() {
+            kernels::axpy(lambda, p, x);
+            kernels::axpy(-lambda, w, r);
+            return self.dot(r, r);
+        }
+        counts.fused_ops += 1;
+        match &self.injector {
+            Some(inj) => {
+                fused::par_update_xr_with(lambda, p, w, x, r, self.threads.max(1), inj.as_ref())
+            }
+            None if self.threads >= 2 => fused::par_update_xr(lambda, p, w, x, r, self.threads),
+            None => fused::update_xr(self.dot_mode, lambda, p, w, x, r),
+        }
+    }
+
+    /// Fused `y ← y + a·x` + `(y, z)`; tallies one vector op and one dot.
+    #[must_use]
+    pub fn axpy_dot(
+        &self,
+        a: f64,
+        x: &[f64],
+        y: &mut [f64],
+        z: &[f64],
+        counts: &mut OpCounts,
+    ) -> f64 {
+        counts.vector_ops += 1;
+        counts.dots += 1;
+        if !self.fuse() {
+            kernels::axpy(a, x, y);
+            return self.dot(y, z);
+        }
+        counts.fused_ops += 1;
+        match &self.injector {
+            Some(inj) => fused::par_axpy_dot_with(a, x, y, z, self.threads.max(1), inj.as_ref()),
+            None if self.threads >= 2 => fused::par_axpy_dot(a, x, y, z, self.threads),
+            None => fused::axpy_dot(self.dot_mode, a, x, y, z),
+        }
+    }
+
+    /// Fused `y ← y + a·x` + `(y, y)`; tallies one vector op and one dot.
+    #[must_use]
+    pub fn axpy_norm2_sq(&self, a: f64, x: &[f64], y: &mut [f64], counts: &mut OpCounts) -> f64 {
+        counts.vector_ops += 1;
+        counts.dots += 1;
+        if !self.fuse() {
+            kernels::axpy(a, x, y);
+            return self.dot(y, y);
+        }
+        counts.fused_ops += 1;
+        match &self.injector {
+            Some(inj) => fused::par_axpy_norm2_sq_with(a, x, y, self.threads.max(1), inj.as_ref()),
+            None if self.threads >= 2 => fused::par_axpy_norm2_sq(a, x, y, self.threads),
+            None => fused::axpy_norm2_sq(self.dot_mode, a, x, y),
+        }
+    }
+
+    /// Two inner products sharing the left vector, `((x,y), (x,z))`, in one
+    /// sweep under `Fused`; tallies two dots.
+    #[must_use]
+    pub fn dot2(&self, x: &[f64], y: &[f64], z: &[f64], counts: &mut OpCounts) -> (f64, f64) {
+        counts.dots += 2;
+        if !self.fuse() {
+            return (self.dot(x, y), self.dot(x, z));
+        }
+        counts.fused_ops += 1;
+        match &self.injector {
+            Some(inj) => fused::par_dot2_with(x, y, z, self.threads.max(1), inj.as_ref()),
+            None if self.threads >= 2 => fused::par_dot2(x, y, z, self.threads),
+            None => fused::dot2(self.dot_mode, x, y, z),
         }
     }
 }
@@ -375,5 +540,69 @@ mod tests {
         let o = SolveOptions::default();
         let t = util::threshold_sq(&o, 0.0);
         assert!(t > 0.0); // no divide-by-zero convergence trap
+    }
+
+    #[test]
+    fn kernel_policy_default_is_fused() {
+        assert_eq!(SolveOptions::default().kernel_policy, KernelPolicy::Fused);
+        assert_eq!(SolveOptions::default().threads, 1);
+        let o = SolveOptions::default()
+            .with_kernel_policy(KernelPolicy::Reference)
+            .with_threads(0);
+        assert_eq!(o.kernel_policy, KernelPolicy::Reference);
+        assert_eq!(o.threads, 1, "with_threads clamps to >= 1");
+    }
+
+    #[test]
+    fn fused_helpers_bit_match_reference_and_tally_identical_logical_counts() {
+        let a = vr_linalg::gen::poisson2d(7);
+        let n = a.dim();
+        let p = vr_linalg::gen::rand_vector(n, 3);
+        let w0 = a.apply_alloc(&p);
+        for mode in [DotMode::Serial, DotMode::Tree, DotMode::Kahan] {
+            for threads in [1usize, 3] {
+                let base = SolveOptions::default()
+                    .with_dot_mode(mode)
+                    .with_threads(threads);
+                let fo = base.clone().with_kernel_policy(KernelPolicy::Fused);
+                let ro = base.with_kernel_policy(KernelPolicy::Reference);
+                let (mut cf, mut cr) = (OpCounts::default(), OpCounts::default());
+
+                let mut yf = vec![0.0; n];
+                let mut yr = vec![0.0; n];
+                let df = fo.matvec_dot(&a, &p, &mut yf, &mut cf);
+                let dr = ro.matvec_dot(&a, &p, &mut yr, &mut cr);
+                assert_eq!(yf, yr, "{mode:?} t={threads}");
+                assert_eq!(df.to_bits(), dr.to_bits(), "{mode:?} t={threads}");
+
+                let (mut xf, mut rf) = (vec![0.1; n], p.clone());
+                let (mut xr, mut rr) = (vec![0.1; n], p.clone());
+                let uf = fo.update_xr(0.25, &p, &w0, &mut xf, &mut rf, &mut cf);
+                let ur = ro.update_xr(0.25, &p, &w0, &mut xr, &mut rr, &mut cr);
+                assert_eq!((xf, rf), (xr, rr), "{mode:?} t={threads}");
+                assert_eq!(uf.to_bits(), ur.to_bits(), "{mode:?} t={threads}");
+
+                let af = fo.axpy_norm2_sq(-0.5, &p, &mut yf, &mut cf);
+                let ar = ro.axpy_norm2_sq(-0.5, &p, &mut yr, &mut cr);
+                assert_eq!(af.to_bits(), ar.to_bits(), "{mode:?} t={threads}");
+
+                let bf = fo.axpy_dot(0.7, &w0, &mut yf, &p, &mut cf);
+                let br = ro.axpy_dot(0.7, &w0, &mut yr, &p, &mut cr);
+                assert_eq!(bf.to_bits(), br.to_bits(), "{mode:?} t={threads}");
+
+                let pf = fo.dot2(&p, &yf, &w0, &mut cf);
+                let pr = ro.dot2(&p, &yr, &w0, &mut cr);
+                assert_eq!(pf.0.to_bits(), pr.0.to_bits(), "{mode:?} t={threads}");
+                assert_eq!(pf.1.to_bits(), pr.1.to_bits(), "{mode:?} t={threads}");
+
+                // logical tallies are policy-independent; only fused_ops differs
+                assert_eq!(cf.matvecs, cr.matvecs);
+                assert_eq!(cf.dots, cr.dots);
+                assert_eq!(cf.vector_ops, cr.vector_ops);
+                assert_eq!(cr.fused_ops, 0);
+                let expected_fused = if threads == 1 { 5 } else { 4 };
+                assert_eq!(cf.fused_ops, expected_fused, "t={threads}");
+            }
+        }
     }
 }

@@ -203,15 +203,17 @@ impl CgVariant for SStepCg {
             };
             counts.scalar_ops += s * s * s / 3;
 
-            // 4) block update
-            for (i, &yi) in y.iter().enumerate() {
+            // 4) block update; the final r-axpy carries the residual norm
+            //    in the same sweep (bit-identical to axpy-then-dot)
+            let (&y_last, y_rest) = y.split_last().expect("s >= 1");
+            for (i, &yi) in y_rest.iter().enumerate() {
                 kernels::axpy(yi, &p[i], &mut x);
                 kernels::axpy(-yi, &ap[i], &mut r);
             }
-            counts.vector_ops += 2 * s;
+            kernels::axpy(y_last, &p[s - 1], &mut x);
+            counts.vector_ops += 2 * s - 1;
 
-            rr = dot(md, &r, &r);
-            counts.dots += 1;
+            rr = opts.axpy_norm2_sq(-y_last, &ap[s - 1], &mut r, &mut counts);
             iterations += s.min(opts.max_iters - iterations);
             if opts.record_residuals {
                 norms.push(rr.max(0.0).sqrt());

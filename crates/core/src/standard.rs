@@ -79,10 +79,13 @@ impl CgVariant for StandardCg {
             termination = Termination::Converged;
         } else {
             for it in 0..opts.max_iters {
-                a.apply(&p, &mut w);
-                counts.matvecs += 1;
-                let pap = guard::guarded_dot(opts, &p, &w, &mut rstats);
-                counts.dots += 1;
+                // Under the fused policy this iteration runs in three sweeps:
+                // matvec+(p,Ap) fused, then x/r updates+(r,r) fused, then the
+                // direction xpay. (The operator-level no-store kernels that
+                // skip materializing w trade that store for a second stencil
+                // evaluation — a loss on compute-bound cores, so the solver
+                // keeps w and fuses around it.)
+                let pap = guard::guarded_matvec_dot(opts, a, &p, &mut w, &mut counts, &mut rstats);
                 if let Err(kind) = guard::check_pivot(pap) {
                     termination = kind.termination();
                     iterations = it;
@@ -90,12 +93,16 @@ impl CgVariant for StandardCg {
                 }
                 let lambda = opts.scalar(rr / pap);
                 counts.scalar_ops += 1;
-                kernels::axpy(lambda, &p, &mut x);
-                kernels::axpy(-lambda, &w, &mut r);
-                counts.vector_ops += 2;
-
-                let mut rr_next = guard::guarded_dot(opts, &r, &r, &mut rstats);
-                counts.dots += 1;
+                let mut rr_next = guard::guarded_update_xr(
+                    opts,
+                    lambda,
+                    &p,
+                    &w,
+                    &mut x,
+                    &mut r,
+                    &mut counts,
+                    &mut rstats,
+                );
                 iterations = it + 1;
 
                 // recovery hook: periodic true-residual check, residual

@@ -147,30 +147,51 @@ impl SymBanded {
     }
 }
 
+impl SymBanded {
+    /// Value of row `i` of `A·x` — the single source of truth for the
+    /// floating-point operation sequence, shared by `apply` and the fused
+    /// `apply_dot` so both produce identical bits.
+    #[inline]
+    #[allow(clippy::needless_range_loop)] // band offsets index x directly
+    fn row_value(&self, x: &[f64], i: usize) -> f64 {
+        let w = self.width();
+        let mut acc = self.bands[0][i] * x[i];
+        let lo = i.saturating_sub(w);
+        for j in lo..i {
+            acc += self.bands[i - j][j] * x[j];
+        }
+        let hi = (i + w).min(self.n - 1);
+        for j in (i + 1)..=hi {
+            acc += self.bands[j - i][i] * x[j];
+        }
+        acc
+    }
+}
+
 impl LinearOperator for SymBanded {
     fn dim(&self) -> usize {
         self.n
     }
-    #[allow(clippy::needless_range_loop)] // band offsets index x directly
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
-        let w = self.width();
-        for i in 0..self.n {
-            let mut acc = self.bands[0][i] * x[i];
-            let lo = i.saturating_sub(w);
-            for j in lo..i {
-                acc += self.bands[i - j][j] * x[j];
-            }
-            let hi = (i + w).min(self.n - 1);
-            for j in (i + 1)..=hi {
-                acc += self.bands[j - i][i] * x[j];
-            }
-            y[i] = acc;
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = self.row_value(x, i);
         }
     }
     fn max_row_nnz(&self) -> usize {
         2 * self.width() + 1
+    }
+
+    /// Row-fused band SpMV + dot (see [`SymBanded::row_value`]).
+    fn apply_dot(&self, mode: crate::kernels::DotMode, x: &[f64], y: &mut [f64]) -> f64 {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        crate::fused::fused_sum(mode, self.n, |i| {
+            let v = self.row_value(x, i);
+            y[i] = v;
+            x[i] * v
+        })
     }
 }
 

@@ -147,26 +147,58 @@ pub fn norm1(x: &[f64]) -> f64 {
     x.iter().map(|v| v.abs()).sum()
 }
 
+/// Whether two slices overlap in memory (share at least one element).
+///
+/// Safe Rust cannot construct an overlapping `&[f64]` / `&mut [f64]` pair,
+/// but kernels are also reachable through raw-pointer and FFI paths; the
+/// mutating kernels `debug_assert!` on this predicate so an aliasing
+/// violation fails loudly in debug builds instead of silently producing
+/// order-dependent results. This is the documented aliasing contract: for
+/// every kernel taking `&[f64]` inputs and a `&mut [f64]` output, inputs
+/// must not overlap the output (inputs may freely alias *each other*).
+#[must_use]
+pub fn overlaps(a: &[f64], b: &[f64]) -> bool {
+    if a.is_empty() || b.is_empty() {
+        return false;
+    }
+    let a0 = a.as_ptr();
+    let a1 = a0.wrapping_add(a.len());
+    let b0 = b.as_ptr();
+    let b1 = b0.wrapping_add(b.len());
+    a0 < b1 && b0 < a1
+}
+
 /// `y ← a·x + y` (classic axpy).
+///
+/// Aliasing: `x` must not overlap `y` (see [`overlaps`]).
 pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    debug_assert!(!overlaps(x, y), "axpy: x aliases y");
     for (yi, xi) in y.iter_mut().zip(x) {
         *yi += a * xi;
     }
 }
 
 /// `y ← x + a·y` (xpay — the CG direction update `p ← r + α·p`).
+///
+/// Aliasing: `x` must not overlap `y` (see [`overlaps`]).
 pub fn xpay(x: &[f64], a: f64, y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "xpay: length mismatch");
+    debug_assert!(!overlaps(x, y), "xpay: x aliases y");
     for (yi, xi) in y.iter_mut().zip(x) {
         *yi = xi + a * *yi;
     }
 }
 
 /// `w ← a·x + b·y` into a separate output.
+///
+/// Aliasing: neither input may overlap the output `w`; `x` and `y` may
+/// alias each other (both are only read).
 pub fn waxpby(a: f64, x: &[f64], b: f64, y: &[f64], w: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "waxpby: x/y length mismatch");
     assert_eq!(x.len(), w.len(), "waxpby: x/w length mismatch");
+    debug_assert!(!overlaps(x, w), "waxpby: x aliases w");
+    debug_assert!(!overlaps(y, w), "waxpby: y aliases w");
     for ((wi, xi), yi) in w.iter_mut().zip(x).zip(y) {
         *wi = a * xi + b * yi;
     }
@@ -180,33 +212,48 @@ pub fn scal(a: f64, x: &mut [f64]) {
 }
 
 /// `y ← x`.
+///
+/// Aliasing: `x` must not overlap `y` (see [`overlaps`]).
 pub fn copy(x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "copy: length mismatch");
+    debug_assert!(!overlaps(x, y), "copy: x aliases y");
     y.copy_from_slice(x);
 }
 
 /// `w ← x − y`.
+///
+/// Aliasing: neither input may overlap the output `w`.
 pub fn sub(x: &[f64], y: &[f64], w: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "sub: x/y length mismatch");
     assert_eq!(x.len(), w.len(), "sub: x/w length mismatch");
+    debug_assert!(!overlaps(x, w), "sub: x aliases w");
+    debug_assert!(!overlaps(y, w), "sub: y aliases w");
     for ((wi, xi), yi) in w.iter_mut().zip(x).zip(y) {
         *wi = xi - yi;
     }
 }
 
 /// `w ← x + y`.
+///
+/// Aliasing: neither input may overlap the output `w`.
 pub fn add(x: &[f64], y: &[f64], w: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "add: x/y length mismatch");
     assert_eq!(x.len(), w.len(), "add: x/w length mismatch");
+    debug_assert!(!overlaps(x, w), "add: x aliases w");
+    debug_assert!(!overlaps(y, w), "add: y aliases w");
     for ((wi, xi), yi) in w.iter_mut().zip(x).zip(y) {
         *wi = xi + yi;
     }
 }
 
 /// Elementwise (Hadamard) product `w ← x ⊙ y`.
+///
+/// Aliasing: neither input may overlap the output `w`.
 pub fn hadamard(x: &[f64], y: &[f64], w: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "hadamard: x/y length mismatch");
     assert_eq!(x.len(), w.len(), "hadamard: x/w length mismatch");
+    debug_assert!(!overlaps(x, w), "hadamard: x aliases w");
+    debug_assert!(!overlaps(y, w), "hadamard: y aliases w");
     for ((wi, xi), yi) in w.iter_mut().zip(x).zip(y) {
         *wi = xi * yi;
     }
@@ -377,5 +424,23 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn dot_length_mismatch_panics() {
         let _ = dot_serial(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn overlap_predicate_classifies_shared_storage() {
+        let buf = vec![0.0; 10];
+        // identical slices overlap
+        assert!(overlaps(&buf, &buf));
+        // overlapping sub-slices of the same allocation
+        assert!(overlaps(&buf[0..6], &buf[5..10]));
+        assert!(overlaps(&buf[2..4], &buf[0..10]));
+        // adjacent but disjoint sub-slices do not
+        assert!(!overlaps(&buf[0..5], &buf[5..10]));
+        // distinct allocations do not
+        let other = vec![0.0; 10];
+        assert!(!overlaps(&buf, &other));
+        // empty slices never overlap anything
+        assert!(!overlaps(&buf[3..3], &buf));
+        assert!(!overlaps(&[], &buf));
     }
 }

@@ -47,6 +47,7 @@ pub mod banded;
 pub mod dense;
 pub mod eig;
 pub mod error;
+pub mod fused;
 pub mod gen;
 pub mod io;
 pub mod kernels;
@@ -86,6 +87,50 @@ pub trait LinearOperator {
         self.apply(x, &mut y);
         y
     }
+
+    /// Fused `y ← A·x` returning `(x, y)` in the given summation order.
+    ///
+    /// The default is the two-pass composition `apply` + [`kernels::dot`].
+    /// Concrete operators override this with a single-pass form that dots
+    /// each row result as it is produced; the override must be bit-identical
+    /// to the default (same products, same association), which holds
+    /// whenever the row value is computed by the same operation sequence as
+    /// `apply` — see [`fused::fused_sum`].
+    fn apply_dot(&self, mode: kernels::DotMode, x: &[f64], y: &mut [f64]) -> f64 {
+        self.apply(x, y);
+        kernels::dot(mode, x, y)
+    }
+
+    /// Fused `(x, A·x)` *without materializing* `A·x`, if the operator
+    /// supports recomputing rows on the fly (stencils do; stored-matrix
+    /// formats generally gain nothing). Returns `None` when unsupported —
+    /// callers must then use [`LinearOperator::apply_dot`].
+    ///
+    /// Contract: an operator returning `Some` here must also implement
+    /// [`LinearOperator::fused_update_xr`], since a caller that skipped
+    /// storing `A·p` needs the fused update to apply `r ← r − λ·A·p`.
+    fn apply_dot_nostore(&self, _mode: kernels::DotMode, _x: &[f64]) -> Option<f64> {
+        None
+    }
+
+    /// Fused CG update `x ← x + λp`, `r ← r − λ·(A·p)` returning `(r, r)`,
+    /// recomputing `A·p` row-by-row instead of reading a stored `w` buffer.
+    /// Returns `None` when unsupported (see
+    /// [`LinearOperator::apply_dot_nostore`]).
+    ///
+    /// Bit-compatibility: the row values must be the exact bits `apply`
+    /// would store, and the update/summation the exact operation sequence of
+    /// [`fused::update_xr`].
+    fn fused_update_xr(
+        &self,
+        _mode: kernels::DotMode,
+        _lambda: f64,
+        _p: &[f64],
+        _x: &mut [f64],
+        _r: &mut [f64],
+    ) -> Option<f64> {
+        None
+    }
 }
 
 impl<T: LinearOperator + ?Sized> LinearOperator for &T {
@@ -97,6 +142,24 @@ impl<T: LinearOperator + ?Sized> LinearOperator for &T {
     }
     fn max_row_nnz(&self) -> usize {
         (**self).max_row_nnz()
+    }
+    // Forward the fused entry points explicitly: falling back to the default
+    // bodies here would silently discard `T`'s overrides behind a reference.
+    fn apply_dot(&self, mode: kernels::DotMode, x: &[f64], y: &mut [f64]) -> f64 {
+        (**self).apply_dot(mode, x, y)
+    }
+    fn apply_dot_nostore(&self, mode: kernels::DotMode, x: &[f64]) -> Option<f64> {
+        (**self).apply_dot_nostore(mode, x)
+    }
+    fn fused_update_xr(
+        &self,
+        mode: kernels::DotMode,
+        lambda: f64,
+        p: &[f64],
+        x: &mut [f64],
+        r: &mut [f64],
+    ) -> Option<f64> {
+        (**self).fused_update_xr(mode, lambda, p, x, r)
     }
 }
 

@@ -368,6 +368,26 @@ impl LinearOperator for CsrMatrix {
     fn max_row_nnz(&self) -> usize {
         CsrMatrix::max_row_nnz(self)
     }
+
+    /// Row-fused SpMV + dot: each row result is dotted with `x[r]` the
+    /// moment it is produced, so `x` and `y` stream through memory once.
+    /// Bit-identical to `spmv_into` + `kernels::dot` because the row
+    /// accumulation is the identical operation sequence and the outer
+    /// summation runs through [`crate::fused::fused_sum`].
+    fn apply_dot(&self, mode: crate::kernels::DotMode, x: &[f64], y: &mut [f64]) -> f64 {
+        assert_eq!(x.len(), self.ncols, "apply_dot: x length != ncols");
+        assert_eq!(y.len(), self.nrows, "apply_dot: y length != nrows");
+        crate::fused::fused_sum(mode, self.nrows, |r| {
+            let lo = self.indptr[r];
+            let hi = self.indptr[r + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.data[k] * x[self.indices[k]];
+            }
+            y[r] = acc;
+            x[r] * acc
+        })
+    }
 }
 
 #[cfg(test)]

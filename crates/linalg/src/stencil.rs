@@ -27,6 +27,17 @@ impl Stencil1d {
     }
 }
 
+impl Stencil1d {
+    /// Row `i` of `A·x` — shared by `apply` and `apply_dot` so both use
+    /// the identical floating-point operation sequence.
+    #[inline]
+    fn row_value(&self, x: &[f64], i: usize) -> f64 {
+        let left = if i > 0 { x[i - 1] } else { 0.0 };
+        let right = if i + 1 < self.n { x[i + 1] } else { 0.0 };
+        2.0 * x[i] - left - right
+    }
+}
+
 impl LinearOperator for Stencil1d {
     fn dim(&self) -> usize {
         self.n
@@ -34,14 +45,23 @@ impl LinearOperator for Stencil1d {
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
-        for i in 0..self.n {
-            let left = if i > 0 { x[i - 1] } else { 0.0 };
-            let right = if i + 1 < self.n { x[i + 1] } else { 0.0 };
-            y[i] = 2.0 * x[i] - left - right;
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = self.row_value(x, i);
         }
     }
     fn max_row_nnz(&self) -> usize {
         3
+    }
+
+    /// Row-fused stencil application + dot.
+    fn apply_dot(&self, mode: crate::kernels::DotMode, x: &[f64], y: &mut [f64]) -> f64 {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        crate::fused::fused_sum(mode, self.n, |i| {
+            let v = self.row_value(x, i);
+            y[i] = v;
+            x[i] * v
+        })
     }
 }
 
@@ -79,40 +99,281 @@ impl Stencil2d {
     }
 }
 
+impl Stencil2d {
+    /// Row `(i, j)` of `A·x` (with `idx = i·ny + j`) — the single source of
+    /// truth for the floating-point operation sequence, shared by `apply`
+    /// and all fused entry points so every path produces identical bits.
+    #[inline]
+    fn row_value(&self, x: &[f64], i: usize, j: usize, idx: usize) -> f64 {
+        let (nx, ny, eps) = (self.nx, self.ny, self.eps);
+        let center = 2.0 + 2.0 * eps;
+        let mut acc = center * x[idx];
+        if i > 0 {
+            acc -= x[idx - ny];
+        }
+        if i + 1 < nx {
+            acc -= x[idx + ny];
+        }
+        if j > 0 {
+            acc -= eps * x[idx - 1];
+        }
+        if j + 1 < ny {
+            acc -= eps * x[idx + 1];
+        }
+        acc
+    }
+}
+
+impl Stencil2d {
+    /// One grid row of the stencil: `emit(idx, v)` receives every
+    /// `v = row_value(x, i, j, idx)` of row `i` (starting at flat index
+    /// `row = i·ny`) in column order. `UP`/`DOWN` encode the row kind at
+    /// compile time, so the monomorphized interior loop carries no
+    /// per-element conditionals — the floating-point sequence per element
+    /// is still exactly [`Stencil2d::row_value`].
+    #[inline]
+    fn row_sweep<const UP: bool, const DOWN: bool>(
+        &self,
+        x: &[f64],
+        row: usize,
+        emit: &mut impl FnMut(usize, f64),
+    ) {
+        let (ny, eps) = (self.ny, self.eps);
+        let center = 2.0 + 2.0 * eps;
+        // first column: no left neighbor
+        let idx = row;
+        let mut acc = center * x[idx];
+        if UP {
+            acc -= x[idx - ny];
+        }
+        if DOWN {
+            acc -= x[idx + ny];
+        }
+        if ny > 1 {
+            acc -= eps * x[idx + 1];
+        }
+        emit(idx, acc);
+        // interior columns: all four neighbors, branch-free
+        for j in 1..ny.max(1) - 1 {
+            let idx = row + j;
+            let mut acc = center * x[idx];
+            if UP {
+                acc -= x[idx - ny];
+            }
+            if DOWN {
+                acc -= x[idx + ny];
+            }
+            acc -= eps * x[idx - 1];
+            acc -= eps * x[idx + 1];
+            emit(idx, acc);
+        }
+        // last column: no right neighbor
+        if ny > 1 {
+            let idx = row + ny - 1;
+            let mut acc = center * x[idx];
+            if UP {
+                acc -= x[idx - ny];
+            }
+            if DOWN {
+                acc -= x[idx + ny];
+            }
+            acc -= eps * x[idx - 1];
+            emit(idx, acc);
+        }
+    }
+
+    /// Visit every grid point in row-major (strictly increasing `idx`)
+    /// order with branch-free interiors — the throughput backbone of the
+    /// fused entry points below.
+    #[inline]
+    fn grid_sweep(&self, x: &[f64], mut emit: impl FnMut(usize, f64)) {
+        let (nx, ny) = (self.nx, self.ny);
+        if nx == 1 {
+            self.row_sweep::<false, false>(x, 0, &mut emit);
+            return;
+        }
+        self.row_sweep::<false, true>(x, 0, &mut emit);
+        for i in 1..nx - 1 {
+            self.row_sweep::<true, true>(x, i * ny, &mut emit);
+        }
+        self.row_sweep::<true, false>(x, (nx - 1) * ny, &mut emit);
+    }
+
+    /// Serial (`KAHAN = false`) or compensated (`KAHAN = true`) left-to-
+    /// right accumulation of `term(idx, v)` over a [`Stencil2d::grid_sweep`]
+    /// — the same associations [`crate::fused::fused_sum`] uses, so results
+    /// are bit-identical to the generic path; `Tree` mode keeps using the
+    /// generic path because its fan-in order is not row-decomposable.
+    #[inline]
+    fn grid_sweep_sum<const KAHAN: bool>(
+        &self,
+        x: &[f64],
+        mut term: impl FnMut(usize, f64) -> f64,
+    ) -> f64 {
+        let mut sum = 0.0;
+        let mut c = 0.0;
+        self.grid_sweep(x, |idx, v| {
+            let t0 = term(idx, v);
+            if KAHAN {
+                let t = t0 - c;
+                let s = sum + t;
+                c = (s - sum) - t;
+                sum = s;
+            } else {
+                sum += t0;
+            }
+        });
+        sum
+    }
+}
+
+/// Walks grid coordinates `(i, j)` in row-major `idx` order without
+/// divisions — [`crate::fused::fused_sum`] visits indices strictly in
+/// order, so incrementing is enough, and the Tree-mode loops stay free
+/// of integer division.
+struct GridWalk {
+    i: usize,
+    j: usize,
+    ny: usize,
+}
+
+impl GridWalk {
+    fn new(ny: usize) -> Self {
+        GridWalk { i: 0, j: 0, ny }
+    }
+    #[inline]
+    fn advance(&mut self) {
+        self.j += 1;
+        if self.j == self.ny {
+            self.j = 0;
+            self.i += 1;
+        }
+    }
+}
+
 impl LinearOperator for Stencil2d {
     fn dim(&self) -> usize {
         self.nx * self.ny
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        let (nx, ny, eps) = (self.nx, self.ny, self.eps);
+        let (nx, ny) = (self.nx, self.ny);
         assert_eq!(x.len(), nx * ny);
         assert_eq!(y.len(), nx * ny);
-        let center = 2.0 + 2.0 * eps;
         for i in 0..nx {
             let row = i * ny;
             for j in 0..ny {
                 let idx = row + j;
-                let mut acc = center * x[idx];
-                if i > 0 {
-                    acc -= x[idx - ny];
-                }
-                if i + 1 < nx {
-                    acc -= x[idx + ny];
-                }
-                if j > 0 {
-                    acc -= eps * x[idx - 1];
-                }
-                if j + 1 < ny {
-                    acc -= eps * x[idx + 1];
-                }
-                y[idx] = acc;
+                y[idx] = self.row_value(x, i, j, idx);
             }
         }
     }
 
     fn max_row_nnz(&self) -> usize {
         5
+    }
+
+    /// Row-fused stencil application + dot: one sweep instead of two.
+    fn apply_dot(&self, mode: crate::kernels::DotMode, x: &[f64], y: &mut [f64]) -> f64 {
+        use crate::kernels::DotMode;
+        let n = self.nx * self.ny;
+        assert_eq!(x.len(), n);
+        assert_eq!(y.len(), n);
+        match mode {
+            DotMode::Serial => self.grid_sweep_sum::<false>(x, |idx, v| {
+                y[idx] = v;
+                x[idx] * v
+            }),
+            DotMode::Kahan => self.grid_sweep_sum::<true>(x, |idx, v| {
+                y[idx] = v;
+                x[idx] * v
+            }),
+            DotMode::Tree => {
+                let mut g = GridWalk::new(self.ny);
+                crate::fused::fused_sum(mode, n, |idx| {
+                    let v = self.row_value(x, g.i, g.j, idx);
+                    g.advance();
+                    y[idx] = v;
+                    x[idx] * v
+                })
+            }
+        }
+    }
+
+    /// `(x, A·x)` with `A·x` recomputed on the fly and never stored: the
+    /// sweep reads `x` once and writes nothing, the cheapest possible
+    /// matvec-dot for a stencil.
+    fn apply_dot_nostore(&self, mode: crate::kernels::DotMode, x: &[f64]) -> Option<f64> {
+        use crate::kernels::DotMode;
+        let n = self.nx * self.ny;
+        assert_eq!(x.len(), n);
+        Some(match mode {
+            DotMode::Serial => self.grid_sweep_sum::<false>(x, |idx, v| x[idx] * v),
+            DotMode::Kahan => self.grid_sweep_sum::<true>(x, |idx, v| x[idx] * v),
+            DotMode::Tree => {
+                let mut g = GridWalk::new(self.ny);
+                crate::fused::fused_sum(mode, n, |idx| {
+                    let v = self.row_value(x, g.i, g.j, idx);
+                    g.advance();
+                    x[idx] * v
+                })
+            }
+        })
+    }
+
+    /// Fully fused CG update: `x ← x + λp`, `r ← r − λ·(A·p)` with the
+    /// stencil rows of `A·p` recomputed in the sweep, returning `(r, r)`.
+    /// Together with [`Stencil2d::apply_dot_nostore`] this removes the `w`
+    /// buffer from the iteration entirely: 3 streamed reads + 2 writes per
+    /// iteration instead of the reference formulation's 4 sweeps over four
+    /// vectors plus two reductions.
+    fn fused_update_xr(
+        &self,
+        mode: crate::kernels::DotMode,
+        lambda: f64,
+        p: &[f64],
+        x: &mut [f64],
+        r: &mut [f64],
+    ) -> Option<f64> {
+        let n = self.nx * self.ny;
+        assert_eq!(p.len(), n);
+        assert_eq!(x.len(), n);
+        assert_eq!(r.len(), n);
+        debug_assert!(
+            !crate::kernels::overlaps(p, x),
+            "fused_update_xr: p aliases x"
+        );
+        debug_assert!(
+            !crate::kernels::overlaps(p, r),
+            "fused_update_xr: p aliases r"
+        );
+        debug_assert!(
+            !crate::kernels::overlaps(x, r),
+            "fused_update_xr: x aliases r"
+        );
+        use crate::kernels::DotMode;
+        Some(match mode {
+            DotMode::Serial => self.grid_sweep_sum::<false>(p, |idx, v| {
+                x[idx] += lambda * p[idx];
+                r[idx] += (-lambda) * v;
+                r[idx] * r[idx]
+            }),
+            DotMode::Kahan => self.grid_sweep_sum::<true>(p, |idx, v| {
+                x[idx] += lambda * p[idx];
+                r[idx] += (-lambda) * v;
+                r[idx] * r[idx]
+            }),
+            DotMode::Tree => {
+                let mut g = GridWalk::new(self.ny);
+                crate::fused::fused_sum(mode, n, |idx| {
+                    let v = self.row_value(p, g.i, g.j, idx);
+                    g.advance();
+                    x[idx] += lambda * p[idx];
+                    r[idx] += (-lambda) * v;
+                    r[idx] * r[idx]
+                })
+            }
+        })
     }
 }
 
@@ -134,6 +395,35 @@ impl Stencil3d {
     }
 }
 
+impl Stencil3d {
+    /// Row `(i, j, k)` of `A·x` — shared by `apply` and `apply_dot`.
+    #[inline]
+    fn row_value(&self, x: &[f64], i: usize, j: usize, k: usize, idx: usize) -> f64 {
+        let n = self.n;
+        let n2 = n * n;
+        let mut acc = 6.0 * x[idx];
+        if i > 0 {
+            acc -= x[idx - n2];
+        }
+        if i + 1 < n {
+            acc -= x[idx + n2];
+        }
+        if j > 0 {
+            acc -= x[idx - n];
+        }
+        if j + 1 < n {
+            acc -= x[idx + n];
+        }
+        if k > 0 {
+            acc -= x[idx - 1];
+        }
+        if k + 1 < n {
+            acc -= x[idx + 1];
+        }
+        acc
+    }
+}
+
 impl LinearOperator for Stencil3d {
     fn dim(&self) -> usize {
         self.n * self.n * self.n
@@ -149,26 +439,7 @@ impl LinearOperator for Stencil3d {
                 let base = i * n2 + j * n;
                 for k in 0..n {
                     let idx = base + k;
-                    let mut acc = 6.0 * x[idx];
-                    if i > 0 {
-                        acc -= x[idx - n2];
-                    }
-                    if i + 1 < n {
-                        acc -= x[idx + n2];
-                    }
-                    if j > 0 {
-                        acc -= x[idx - n];
-                    }
-                    if j + 1 < n {
-                        acc -= x[idx + n];
-                    }
-                    if k > 0 {
-                        acc -= x[idx - 1];
-                    }
-                    if k + 1 < n {
-                        acc -= x[idx + 1];
-                    }
-                    y[idx] = acc;
+                    y[idx] = self.row_value(x, i, j, k, idx);
                 }
             }
         }
@@ -176,6 +447,29 @@ impl LinearOperator for Stencil3d {
 
     fn max_row_nnz(&self) -> usize {
         7
+    }
+
+    /// Row-fused stencil application + dot.
+    fn apply_dot(&self, mode: crate::kernels::DotMode, x: &[f64], y: &mut [f64]) -> f64 {
+        let n = self.n;
+        let dim = n * n * n;
+        assert_eq!(x.len(), dim);
+        assert_eq!(y.len(), dim);
+        let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+        crate::fused::fused_sum(mode, dim, |idx| {
+            let v = self.row_value(x, i, j, k, idx);
+            k += 1;
+            if k == n {
+                k = 0;
+                j += 1;
+                if j == n {
+                    j = 0;
+                    i += 1;
+                }
+            }
+            y[idx] = v;
+            x[idx] * v
+        })
     }
 }
 
@@ -260,6 +554,60 @@ mod tests {
         }
         assert_eq!(sh.dim(), 10);
         assert_eq!(sh.max_row_nnz(), 3);
+    }
+
+    #[test]
+    fn fused_entry_points_bit_match_two_pass() {
+        use crate::kernels::{axpy, dot, DotMode};
+        let ops: Vec<Box<dyn LinearOperator>> = vec![
+            Box::new(Stencil1d::new(37)),
+            Box::new(Stencil2d::poisson(9)),
+            Box::new(Stencil2d::anisotropic(7, 11, 0.125)),
+            Box::new(Stencil2d::anisotropic(1, 13, 0.5)),
+            Box::new(Stencil2d::anisotropic(13, 1, 2.0)),
+            Box::new(Stencil2d::anisotropic(2, 2, 1.0)),
+            Box::new(Stencil3d::new(5)),
+        ];
+        for op in &ops {
+            let n = op.dim();
+            let x = gen::rand_vector(n, 17);
+            for mode in [DotMode::Serial, DotMode::Tree, DotMode::Kahan] {
+                let mut y_ref = vec![0.0; n];
+                op.apply(&x, &mut y_ref);
+                let reference = dot(mode, &x, &y_ref);
+
+                let mut y_fused = vec![0.0; n];
+                let fused = op.apply_dot(mode, &x, &mut y_fused);
+                assert_eq!(y_fused, y_ref, "{mode:?}");
+                assert_eq!(fused.to_bits(), reference.to_bits(), "{mode:?}");
+
+                if let Some(nostore) = op.apply_dot_nostore(mode, &x) {
+                    assert_eq!(nostore.to_bits(), reference.to_bits(), "{mode:?}");
+                    // the nostore contract requires the fused update too
+                    let p = gen::rand_vector(n, 23);
+                    let lambda = 0.375;
+                    let mut w = vec![0.0; n];
+                    op.apply(&p, &mut w);
+                    let (mut x1, mut r1) = (x.clone(), gen::rand_vector(n, 29));
+                    let (mut x2, mut r2) = (x1.clone(), r1.clone());
+                    let rr = op
+                        .fused_update_xr(mode, lambda, &p, &mut x1, &mut r1)
+                        .expect("nostore implies fused_update_xr");
+                    axpy(lambda, &p, &mut x2);
+                    axpy(-lambda, &w, &mut r2);
+                    assert_eq!(x1, x2, "{mode:?}");
+                    assert_eq!(r1, r2, "{mode:?}");
+                    assert_eq!(rr.to_bits(), dot(mode, &r2, &r2).to_bits(), "{mode:?}");
+                }
+            }
+        }
+        // Stencil2d supports the no-store path; the others fall back
+        let s2 = Stencil2d::poisson(6);
+        let x = gen::rand_vector(36, 31);
+        assert!(s2.apply_dot_nostore(DotMode::Serial, &x).is_some());
+        assert!(Stencil1d::new(5)
+            .apply_dot_nostore(DotMode::Serial, &x[..5])
+            .is_none());
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Golden-trace regression tests.
+//!
+//! Every variant solves one fixed Poisson problem and its per-iteration
+//! scalar trace — the residual-norm sequence, stored as exact f64 bit
+//! patterns — is compared against a checked-in golden file. The α/λ/β
+//! scalars of each iteration are rational functions of this rr stream, so
+//! pinning the rr bits pins the whole scalar recurrence.
+//!
+//! When an *intentional* numerical change lands, regenerate with:
+//!
+//! ```text
+//! REGENERATE_GOLDEN=1 cargo test --test golden_trace
+//! ```
+//!
+//! and review the diff of `tests/golden/` like any other code change.
+
+use cg_lookahead::cg::baselines::{ChronopoulosGearCg, PipelinedCg, PrecondCg, ThreeTermCg};
+use cg_lookahead::cg::lookahead::LookaheadCg;
+use cg_lookahead::cg::overlap_k1::OverlapK1Cg;
+use cg_lookahead::cg::sstep::SStepCg;
+use cg_lookahead::cg::standard::StandardCg;
+use cg_lookahead::cg::{CgVariant, SolveOptions};
+use cg_lookahead::linalg::precond::Jacobi;
+use cg_lookahead::linalg::{gen, CsrMatrix};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn keyed_variants(a: &CsrMatrix) -> Vec<(&'static str, Box<dyn CgVariant>)> {
+    vec![
+        (
+            "standard",
+            Box::new(StandardCg::new()) as Box<dyn CgVariant>,
+        ),
+        ("overlap_k1", Box::new(OverlapK1Cg::new().with_resync(20))),
+        (
+            "lookahead_k2",
+            Box::new(LookaheadCg::new(2).with_resync(12)),
+        ),
+        ("sstep_s3", Box::new(SStepCg::monomial(3))),
+        ("three_term", Box::new(ThreeTermCg::new())),
+        ("chronopoulos_gear", Box::new(ChronopoulosGearCg::new())),
+        ("pipelined", Box::new(PipelinedCg::new())),
+        (
+            "precond_jacobi",
+            Box::new(PrecondCg::new(Jacobi::new(a).unwrap(), "pcg-jacobi")),
+        ),
+    ]
+}
+
+/// Render a solve as the golden text format: a header with iteration count
+/// and termination, then one residual norm per line as hex f64 bits (the
+/// decimal rendering in the trailing comment is informational only).
+fn render_trace(res: &cg_lookahead::cg::SolveResult) -> String {
+    let mut out = String::new();
+    writeln!(out, "iterations {}", res.iterations).unwrap();
+    writeln!(out, "termination {:?}", res.termination).unwrap();
+    for v in &res.residual_norms {
+        writeln!(out, "{:016x} # {v:.17e}", v.to_bits()).unwrap();
+    }
+    out
+}
+
+#[test]
+fn scalar_traces_match_golden_files() {
+    let a = gen::poisson2d(12);
+    let b = gen::poisson2d_rhs(12);
+    let opts = SolveOptions::default().with_tol(1e-8);
+    let regen = std::env::var_os("REGENERATE_GOLDEN").is_some();
+    let dir = golden_dir();
+    let mut mismatches = Vec::new();
+
+    for (key, solver) in keyed_variants(&a) {
+        let res = solver.solve(&a, &b, None, &opts);
+        assert!(res.converged, "{key}: {:?}", res.termination);
+        let trace = render_trace(&res);
+        let path = dir.join(format!("{key}.txt"));
+        if regen {
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(&path, &trace).unwrap();
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{key}: missing golden file {} ({e}); run with REGENERATE_GOLDEN=1 to create it",
+                path.display()
+            )
+        });
+        if golden != trace {
+            // report the first differing line for a readable failure
+            let diff = golden
+                .lines()
+                .zip(trace.lines())
+                .enumerate()
+                .find(|(_, (g, t))| g != t)
+                .map(|(i, (g, t))| format!("line {}: golden `{g}` vs actual `{t}`", i + 1))
+                .unwrap_or_else(|| {
+                    format!(
+                        "length: golden {} vs actual {} lines",
+                        golden.lines().count(),
+                        trace.lines().count()
+                    )
+                });
+            mismatches.push(format!("{key}: {diff}"));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden trace drift (REGENERATE_GOLDEN=1 to accept intentional changes):\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn golden_files_are_committed_for_every_variant() {
+    // guards against a variant silently dropping out of the golden sweep
+    let a = gen::poisson2d(4);
+    for (key, _) in keyed_variants(&a) {
+        let path = golden_dir().join(format!("{key}.txt"));
+        assert!(
+            path.is_file() || std::env::var_os("REGENERATE_GOLDEN").is_some(),
+            "no golden file for `{key}` at {}",
+            path.display()
+        );
+    }
+}

@@ -622,6 +622,105 @@ fn spd_solve_survives_single_fault_with_recovery() {
     });
 }
 
+// ---------- fourth wave: fused single-pass kernels ----------
+
+use cg_lookahead::linalg::fused;
+use cg_lookahead::linalg::kernels::DotMode as FusedDotMode;
+use cg_lookahead::par::fault::FaultInjector as _;
+
+const FUSED_MODES: [FusedDotMode; 3] = [
+    FusedDotMode::Serial,
+    FusedDotMode::Tree,
+    FusedDotMode::Kahan,
+];
+
+#[test]
+fn fused_kernels_are_total_and_finite_preserving() {
+    // any finite bounded input, any mode, any length: every fused kernel
+    // returns a finite scalar and leaves only finite values in its output
+    check(32, |rng| {
+        let n = 1 + rng.below(700);
+        let p = small_vec(rng, n);
+        let w = small_vec(rng, n);
+        let z = small_vec(rng, n);
+        let lambda = rng.range_f64(-3.0, 3.0);
+        for mode in FUSED_MODES {
+            let mut x = small_vec(rng, n);
+            let mut r = small_vec(rng, n);
+            let rr = fused::update_xr(mode, lambda, &p, &w, &mut x, &mut r);
+            assert!(rr.is_finite());
+            assert!(x.iter().chain(r.iter()).all(|v| v.is_finite()));
+
+            let mut y = small_vec(rng, n);
+            assert!(fused::axpy_dot(mode, lambda, &p, &mut y, &z).is_finite());
+            assert!(fused::axpy_norm2_sq(mode, lambda, &w, &mut y).is_finite());
+            assert!(fused::xpay_norm2_sq(mode, &p, lambda, &mut y).is_finite());
+            assert!(y.iter().all(|v| v.is_finite()));
+
+            let mut out = vec![0.0; n];
+            assert!(fused::waxpby_dot(mode, 1.5, &p, -0.5, &w, &mut out, &z).is_finite());
+            assert!(out.iter().all(|v| v.is_finite()));
+
+            let (d1, d2) = fused::dot2(mode, &p, &w, &z);
+            assert!(d1.is_finite() && d2.is_finite());
+        }
+    });
+}
+
+#[test]
+fn update_xr_return_equals_dot_of_output_residual() {
+    // the scalar a fused update_xr hands back is exactly (r,r) of the
+    // residual it just wrote — same mode, same bits
+    check(32, |rng| {
+        let n = 1 + rng.below(500);
+        let p = small_vec(rng, n);
+        let w = small_vec(rng, n);
+        let lambda = rng.range_f64(-2.0, 2.0);
+        for mode in FUSED_MODES {
+            let mut x = small_vec(rng, n);
+            let mut r = small_vec(rng, n);
+            let rr = fused::update_xr(mode, lambda, &p, &w, &mut x, &mut r);
+            assert_eq!(rr.to_bits(), kernels::dot(mode, &r, &r).to_bits());
+        }
+    });
+}
+
+#[test]
+fn par_fused_fault_injection_is_seed_reproducible_and_thread_invariant() {
+    // faults routed through the par_*_with entry points must hit the fused
+    // reduction sites (nonzero injected count at this rate), and the whole
+    // corrupted computation must replay bit-for-bit from the seed alone,
+    // independent of thread count
+    check(12, |rng| {
+        let seed = rng.next_u64();
+        let n = 2048 + rng.below(2048);
+        let p = small_vec(rng, n);
+        let w = small_vec(rng, n);
+        let x0 = small_vec(rng, n);
+        let r0 = small_vec(rng, n);
+        let z = small_vec(rng, n);
+        let run = |threads: usize| {
+            let inj = SeededInjector::new(seed, 0.05, FaultKind::Perturb(0.5));
+            let mut x = x0.clone();
+            let mut r = r0.clone();
+            let rr = fused::par_update_xr_with(0.3, &p, &w, &mut x, &mut r, threads, &inj);
+            let pair = fused::par_dot2_with(&r, &p, &z, threads, &inj);
+            (rr, pair, inj.injected(), x, r)
+        };
+        let (rr1, pair1, hits1, x1, r1) = run(1);
+        for threads in [1usize, 4] {
+            let (rr2, pair2, hits2, x2, r2) = run(threads);
+            assert_eq!(rr1.to_bits(), rr2.to_bits(), "threads={threads}");
+            assert_eq!(pair1.0.to_bits(), pair2.0.to_bits(), "threads={threads}");
+            assert_eq!(pair1.1.to_bits(), pair2.1.to_bits(), "threads={threads}");
+            assert_eq!(hits1, hits2, "threads={threads}");
+            assert_eq!(x1, x2, "threads={threads}");
+            assert_eq!(r1, r2, "threads={threads}");
+        }
+        assert!(hits1 > 0, "faults never reached the fused reduction sites");
+    });
+}
+
 #[test]
 fn injected_rates_reproduce_exactly_per_seed() {
     // the whole subsystem leans on injector determinism: two solves with
