@@ -1,0 +1,195 @@
+//! E17 — extension: persistent-team thread scaling.
+//!
+//! E16 measured what fusion buys a single processor; this experiment
+//! measures what the persistent SPMD team buys several. Every kernel on
+//! the solver hot path — stencil sweeps, fused vector updates, and the
+//! chunk-tree reductions — steps a long-lived worker team through
+//! barrier-synchronized epochs instead of spawning threads per call, so
+//! per-iteration wall clock is arithmetic plus one epoch wake-up, not
+//! thread creation. `DotMode::Tree` keeps every trace bit-identical
+//! across team widths (the differential tests enforce this), so the
+//! sweep below compares *identical numerics* at different widths.
+//!
+//! Sweep: grid size × variant × team width, fixed iteration budget,
+//! min-of-reps wall clock. Headlines (asserted outside `--smoke`, and
+//! only when the host actually has ≥ 4 CPUs — a 1-core container can
+//! only measure oversubscription):
+//!
+//! * at N = 2²⁰ (1024² Poisson stencil), pooled standard CG with 4
+//!   threads sustains ≥ 2.0× the single-thread fused iteration
+//!   throughput;
+//! * pooled `overlap_k1` beats pooled standard CG per-iteration wall
+//!   time at the same width (the paper's §3 claim on a real machine:
+//!   fewer reduction barriers per iteration).
+
+use std::time::Instant;
+use vr_bench::{write_json, Table};
+use vr_cg::overlap_k1::OverlapK1Cg;
+use vr_cg::standard::StandardCg;
+use vr_cg::{CgVariant, SolveOptions};
+use vr_linalg::kernels::DotMode;
+use vr_linalg::stencil::Stencil2d;
+use vr_par::team::GRAIN;
+
+vr_bench::jsonable! {
+    struct Row {
+    grid: usize,
+    n: usize,
+    variant: String,
+    threads: usize,
+    iterations: usize,
+    best_secs: f64,
+    secs_per_iter: f64,
+    iters_per_sec: f64,
+    speedup_vs_one_thread: f64,
+}
+}
+
+fn variants() -> Vec<(&'static str, Box<dyn CgVariant>)> {
+    vec![
+        (
+            "standard",
+            Box::new(StandardCg::new()) as Box<dyn CgVariant>,
+        ),
+        ("overlap-k1", Box::new(OverlapK1Cg::new())),
+    ]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let host_cpus = std::thread::available_parallelism().map_or(1, |v| v.get());
+    // fixed iteration budget (tol 0 never triggers): every width does the
+    // same logical work and, with Tree reductions, the same arithmetic to
+    // the last bit — wall clock is the only thing that moves
+    let (grids, iters, reps): (&[usize], usize, usize) = if smoke {
+        (&[48, 64], 10, 1)
+    } else {
+        (&[512, 1024], 50, 5)
+    };
+    let widths: &[usize] = &[1, 2, 4, 8];
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut table = Table::new(&[
+        "grid", "N", "variant", "threads", "iters", "best s", "s/iter", "iter/s", "speedup",
+    ]);
+
+    for &g in grids {
+        let op = Stencil2d::poisson(g);
+        let n = g * g;
+        let b = vec![1.0; n];
+        for (vname, solver) in variants() {
+            // interleave reps across widths so machine noise hits every
+            // width, not just whichever ran last
+            let mut best = vec![f64::INFINITY; widths.len()];
+            let mut last: Vec<Option<_>> = widths.iter().map(|_| None).collect();
+            for _ in 0..reps {
+                for (k, &threads) in widths.iter().enumerate() {
+                    let opts = SolveOptions::default()
+                        .with_tol(0.0)
+                        .with_max_iters(iters)
+                        .with_dot_mode(DotMode::Tree)
+                        .with_threads(threads);
+                    let t0 = Instant::now();
+                    let res = solver.solve(&op, &b, None, &opts);
+                    best[k] = best[k].min(t0.elapsed().as_secs_f64());
+                    last[k] = Some(res);
+                }
+            }
+            let mut one_spi = f64::NAN;
+            let base = last[0].as_ref().expect("reps >= 1");
+            for (k, &threads) in widths.iter().enumerate() {
+                let res = last[k].as_ref().expect("reps >= 1");
+                assert_eq!(
+                    res.iterations, iters,
+                    "{vname} grid {g} threads {threads}: wrong iteration count"
+                );
+                // width-invariance is the whole point — enforce it here
+                // too, not just in the test suite
+                assert_eq!(
+                    base.x, res.x,
+                    "{vname} grid {g} threads {threads}: trace diverged from width 1"
+                );
+                let spi = best[k] / res.iterations as f64;
+                if threads == 1 {
+                    one_spi = spi;
+                }
+                let speedup = one_spi / spi;
+                table.row(&[
+                    g.to_string(),
+                    n.to_string(),
+                    vname.into(),
+                    threads.to_string(),
+                    res.iterations.to_string(),
+                    format!("{:.4}", best[k]),
+                    format!("{spi:.3e}"),
+                    format!("{:.1}", 1.0 / spi),
+                    format!("{speedup:.2}x"),
+                ]);
+                rows.push(Row {
+                    grid: g,
+                    n,
+                    variant: vname.into(),
+                    threads,
+                    iterations: res.iterations,
+                    best_secs: best[k],
+                    secs_per_iter: spi,
+                    iters_per_sec: 1.0 / spi,
+                    speedup_vs_one_thread: speedup,
+                });
+            }
+        }
+    }
+
+    println!("E17 — persistent-team thread scaling (2-D Poisson stencil, DotMode::Tree)");
+    println!("(host CPUs: {host_cpus}, dispatch grain: {GRAIN})");
+    println!("{}", table.render());
+
+    // --- headlines: 4-thread scaling and overlap_k1's barrier win ---
+    if smoke {
+        println!("(--smoke: tiny grids, headline assertions skipped)");
+    } else if host_cpus < 4 {
+        println!(
+            "(host has {host_cpus} CPUs: 4-thread headline not measurable, assertions skipped)"
+        );
+    } else {
+        let big = *grids.last().unwrap();
+        assert!(big * big >= 1 << 20, "headline grid must reach N = 2^20");
+        let spi = |variant: &str, threads: usize| {
+            rows.iter()
+                .find(|r| r.grid == big && r.variant == variant && r.threads == threads)
+                .expect("headline row")
+                .secs_per_iter
+        };
+        let std1 = spi("standard", 1);
+        let std4 = spi("standard", 4);
+        let ovl4 = spi("overlap-k1", 4);
+        println!(
+            "headline: standard CG, N = {}: 4 threads = {:.2}x single-thread throughput",
+            big * big,
+            std1 / std4
+        );
+        println!(
+            "headline: overlap-k1 vs standard at 4 threads: {:.3e} vs {:.3e} s/iter",
+            ovl4, std4
+        );
+        assert!(
+            std1 / std4 >= 2.0,
+            "headline regression: pooled standard CG at N = 2^20 is only {:.2}x single-thread (need >= 2.0x)",
+            std1 / std4
+        );
+        assert!(
+            ovl4 < std4,
+            "headline regression: overlap-k1 ({ovl4:.3e} s/iter) does not beat standard ({std4:.3e} s/iter) at 4 threads"
+        );
+    }
+
+    write_json(
+        "BENCH_threads",
+        &vr_bench::json!({
+            "smoke": smoke,
+            "host_cpus": host_cpus,
+            "grain": GRAIN,
+            "rows": rows,
+        }),
+    );
+}

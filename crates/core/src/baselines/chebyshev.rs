@@ -25,7 +25,7 @@ use crate::instrument::OpCounts;
 use crate::resilience::guard;
 use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
 use vr_linalg::eig;
-use vr_linalg::kernels::{self, dot};
+use vr_linalg::kernels::dot;
 use vr_linalg::LinearOperator;
 
 /// Chebyshev iteration with spectral bounds supplied or Lanczos-estimated.
@@ -130,13 +130,10 @@ impl CgVariant for ChebyshevIteration {
             let mut w = vec![0.0; n];
 
             for it in 0..opts.max_iters {
-                kernels::axpy(1.0, &d, &mut x);
-                counts.vector_ops += 1;
+                opts.axpy(1.0, &d, &mut x, &mut counts);
                 // r ← r − A·d
-                a.apply(&d, &mut w);
-                counts.matvecs += 1;
-                kernels::axpy(-1.0, &w, &mut r);
-                counts.vector_ops += 1;
+                opts.matvec(a, &d, &mut w, &mut counts);
+                opts.axpy(-1.0, &w, &mut r, &mut counts);
 
                 iterations = it + 1;
 

@@ -15,7 +15,7 @@
 use crate::instrument::OpCounts;
 use crate::resilience::guard;
 use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
-use vr_linalg::kernels::{self, dot};
+use vr_linalg::kernels::dot;
 use vr_linalg::LinearOperator;
 
 /// Chronopoulos-Gear CG solver.
@@ -52,8 +52,7 @@ impl CgVariant for ChronopoulosGearCg {
         }
         let thresh_sq = util::threshold_sq(opts, bnorm);
 
-        let mut w = a.apply_alloc(&r);
-        counts.matvecs += 1;
+        let mut w = opts.matvec_alloc(a, &r, &mut counts);
         let mut rho = dot(md, &r, &r);
         let mut mu = dot(md, &r, &w);
         counts.dots += 2;
@@ -89,10 +88,9 @@ impl CgVariant for ChronopoulosGearCg {
                 let lambda = rho / denom;
 
                 // p ← r + β·p ; s ← w + β·s (= A·p)
-                kernels::xpay(&r, beta, &mut p);
-                kernels::xpay(&w, beta, &mut s);
-                kernels::axpy(lambda, &p, &mut x);
-                counts.vector_ops += 3;
+                opts.xpay(&r, beta, &mut p, &mut counts);
+                opts.xpay(&w, beta, &mut s, &mut counts);
+                opts.axpy(lambda, &p, &mut x, &mut counts);
 
                 rho_prev = rho;
                 // r ← r − λ·s carries ρ = (r,r) in its sweep; the matvec

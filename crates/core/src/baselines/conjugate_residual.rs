@@ -59,8 +59,7 @@ impl CgVariant for ConjugateResidual {
         }
         let thresh_sq = util::threshold_sq(opts, bnorm);
 
-        let mut ar = a.apply_alloc(&r);
-        counts.matvecs += 1;
+        let mut ar = opts.matvec_alloc(a, &r, &mut counts);
         let mut p = r.clone();
         let mut ap = ar.clone();
         counts.vector_ops += 2;
@@ -89,13 +88,11 @@ impl CgVariant for ConjugateResidual {
                     break;
                 }
                 let lambda = rar / apap;
-                kernels::axpy(lambda, &p, &mut x);
-                kernels::axpy(-lambda, &ap, &mut r);
-                counts.vector_ops += 2;
+                opts.axpy(lambda, &p, &mut x, &mut counts);
+                opts.axpy(-lambda, &ap, &mut r, &mut counts);
                 counts.scalar_ops += 1;
 
-                a.apply(&r, &mut ar);
-                counts.matvecs += 1;
+                opts.matvec(a, &r, &mut ar, &mut counts);
                 let rar_next = dot(md, &r, &ar);
                 rr = dot(md, &r, &r);
                 counts.dots += 2;
@@ -115,9 +112,8 @@ impl CgVariant for ConjugateResidual {
 
                 let beta = rar_next / rar;
                 counts.scalar_ops += 1;
-                kernels::xpay(&r, beta, &mut p);
-                kernels::xpay(&ar, beta, &mut ap);
-                counts.vector_ops += 2;
+                opts.xpay(&r, beta, &mut p, &mut counts);
+                opts.xpay(&ar, beta, &mut ap, &mut counts);
                 rar = rar_next;
             }
         }
@@ -181,13 +177,11 @@ impl CgVariant for OverlapCr {
         }
         let thresh_sq = util::threshold_sq(opts, bnorm);
 
-        let mut ar = a.apply_alloc(&r);
-        counts.matvecs += 1;
+        let mut ar = opts.matvec_alloc(a, &r, &mut counts);
         let mut p = r.clone();
         let mut ap = ar.clone();
         counts.vector_ops += 2;
-        let mut v = a.apply_alloc(&ap); // A·Ap
-        counts.matvecs += 1;
+        let mut v = opts.matvec_alloc(a, &ap, &mut counts); // A·Ap
 
         let mut rr = dot(md, &r, &r);
         let mut rar = dot(md, &r, &ar);
@@ -237,8 +231,7 @@ impl CgVariant for OverlapCr {
                 counts.dots += 6;
 
                 let lambda = rar / apap;
-                kernels::axpy(lambda, &p, &mut x);
-                counts.vector_ops += 1;
+                opts.axpy(lambda, &p, &mut x, &mut counts);
 
                 // scalar recurrences
                 let rr_next = rr - 2.0 * lambda * rw + lambda * lambda * ww;
@@ -263,13 +256,11 @@ impl CgVariant for OverlapCr {
                 }
 
                 // vector updates
-                kernels::axpy(-lambda, &ap, &mut r);
-                kernels::axpy(-lambda, &v, &mut ar);
-                kernels::xpay(&r, beta, &mut p);
-                kernels::xpay(&ar, beta, &mut ap);
-                counts.vector_ops += 4;
-                a.apply(&ap, &mut v);
-                counts.matvecs += 1;
+                opts.axpy(-lambda, &ap, &mut r, &mut counts);
+                opts.axpy(-lambda, &v, &mut ar, &mut counts);
+                opts.xpay(&r, beta, &mut p, &mut counts);
+                opts.xpay(&ar, beta, &mut ap, &mut counts);
+                opts.matvec(a, &ap, &mut v, &mut counts);
 
                 rr = rr_next;
                 rar = rar_next;

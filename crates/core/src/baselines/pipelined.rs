@@ -17,7 +17,7 @@
 use crate::instrument::OpCounts;
 use crate::resilience::guard;
 use crate::solver::{util, CgVariant, KernelPolicy, SolveOptions, SolveResult, Termination};
-use vr_linalg::kernels::{self, dot};
+use vr_linalg::kernels::dot;
 use vr_linalg::LinearOperator;
 
 /// Pipelined CG solver (Ghysels-Vanroose).
@@ -54,8 +54,7 @@ impl CgVariant for PipelinedCg {
         }
         let thresh_sq = util::threshold_sq(opts, bnorm);
 
-        let mut w = a.apply_alloc(&r);
-        counts.matvecs += 1;
+        let mut w = opts.matvec_alloc(a, &r, &mut counts);
 
         let mut p = vec![0.0; n];
         let mut s = vec![0.0; n];
@@ -91,8 +90,7 @@ impl CgVariant for PipelinedCg {
                 };
                 // q = A·w — on the paper's machine this overlaps the two
                 // reductions above; numerically it is just computed here.
-                a.apply(&w, &mut q);
-                counts.matvecs += 1;
+                opts.matvec(a, &w, &mut q, &mut counts);
 
                 let (beta, denom) = if it == 0 {
                     (0.0, delta)
@@ -108,11 +106,10 @@ impl CgVariant for PipelinedCg {
                 }
                 let lambda = gamma / denom;
 
-                kernels::xpay(&r, beta, &mut p);
-                kernels::xpay(&w, beta, &mut s);
-                kernels::xpay(&q, beta, &mut z);
-                kernels::axpy(lambda, &p, &mut x);
-                counts.vector_ops += 4;
+                opts.xpay(&r, beta, &mut p, &mut counts);
+                opts.xpay(&w, beta, &mut s, &mut counts);
+                opts.xpay(&q, beta, &mut z, &mut counts);
+                opts.axpy(lambda, &p, &mut x, &mut counts);
 
                 gamma_old = gamma;
                 lambda_old = lambda;
@@ -138,8 +135,7 @@ impl CgVariant for PipelinedCg {
                 if fused {
                     delta_carried = opts.axpy_dot(-lambda, &z, &mut w, &r, &mut counts);
                 } else {
-                    kernels::axpy(-lambda, &z, &mut w);
-                    counts.vector_ops += 1;
+                    opts.axpy(-lambda, &z, &mut w, &mut counts);
                 }
             }
         }

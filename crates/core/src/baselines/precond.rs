@@ -9,7 +9,7 @@
 use crate::instrument::OpCounts;
 use crate::resilience::guard;
 use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
-use vr_linalg::kernels::{self, dot};
+use vr_linalg::kernels::dot;
 use vr_linalg::precond::Preconditioner;
 use vr_linalg::LinearOperator;
 
@@ -95,8 +95,7 @@ impl<P: Preconditioner> CgVariant for PrecondCg<P> {
                     break;
                 }
                 let lambda = rz / pap;
-                kernels::axpy(lambda, &p, &mut x);
-                counts.vector_ops += 1;
+                opts.axpy(lambda, &p, &mut x, &mut counts);
                 counts.scalar_ops += 1;
                 // r ← r − λ·w carries (r,r) in its sweep
                 rr = opts.axpy_norm2_sq(-lambda, &w, &mut r, &mut counts);
@@ -120,8 +119,7 @@ impl<P: Preconditioner> CgVariant for PrecondCg<P> {
                 }
                 let beta = rz_next / rz;
                 counts.scalar_ops += 1;
-                kernels::xpay(&z, beta, &mut p);
-                counts.vector_ops += 1;
+                opts.xpay(&z, beta, &mut p, &mut counts);
                 rz = rz_next;
             }
         }

@@ -117,9 +117,8 @@ impl BlockCg {
                 // W = A·P (sa matvecs)
                 let mut w: Vec<Vec<f64>> = vec![vec![0.0; n]; sa];
                 for (wc, pc) in w.iter_mut().zip(&p) {
-                    a.apply(pc, wc);
+                    opts.matvec(a, pc, wc, &mut counts);
                 }
-                counts.matvecs += sa;
 
                 // Gram blocks in two batched reductions
                 let r_active: Vec<Vec<f64>> = active.iter().map(|&j| r[j].clone()).collect();

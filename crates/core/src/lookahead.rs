@@ -133,14 +133,12 @@ impl CgVariant for LookaheadCg {
             let mut z: Vec<Vec<f64>> = Vec::with_capacity(k + 1);
             z.push(std::mem::take(&mut r0));
             for i in 1..=k {
-                let next = a.apply_alloc(&z[i - 1]);
-                counts.matvecs += 1;
+                let next = opts.matvec_alloc(a, &z[i - 1], &mut counts);
                 z.push(next);
             }
             let mut w: Vec<Vec<f64>> = z.clone();
             counts.vector_ops += k + 1;
-            let wtop = a.apply_alloc(&w[k]);
-            counts.matvecs += 1;
+            let wtop = opts.matvec_alloc(a, &w[k], &mut counts);
             w.push(wtop);
 
             let (mut win, spent) = MomentWindow::direct(&z, &w, m, md);
@@ -165,8 +163,7 @@ impl CgVariant for LookaheadCg {
                     break;
                 }
                 let lambda = opts.scalar(mu0 / sigma1);
-                kernels::axpy(lambda, &w[0], &mut x);
-                counts.vector_ops += 1;
+                opts.axpy(lambda, &w[0], &mut x, &mut counts);
                 counts.scalar_ops += 1;
 
                 // scalar window step
@@ -186,18 +183,16 @@ impl CgVariant for LookaheadCg {
 
                 // vector family updates: z_i ← z_i − λ·w_{i+1} (old w)
                 for i in 0..=k {
-                    kernels::axpy(-lambda, &w[i + 1], &mut z[i]);
+                    opts.axpy(-lambda, &w[i + 1], &mut z[i], &mut counts);
                 }
                 // w_i ← z_i + α·w_i
                 for i in 0..=k {
-                    kernels::xpay(&z[i], alpha, &mut w[i]);
+                    opts.xpay(&z[i], alpha, &mut w[i], &mut counts);
                 }
-                counts.vector_ops += 2 * (k + 1);
                 // one matvec: w_{k+1} = A·w_k
                 if self.resync > 0 && iterations.is_multiple_of(self.resync) {
                     let (head, tail) = w.split_at_mut(k + 1);
-                    a.apply(&head[k], &mut tail[0]);
-                    counts.matvecs += 1;
+                    opts.matvec(a, &head[k], &mut tail[0], &mut counts);
                     // periodic drift correction: rebuild the window
                     let (fresh, spent) = MomentWindow::direct(&z, &w, m, md);
                     counts.dots += spent;

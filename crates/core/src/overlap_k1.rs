@@ -95,9 +95,8 @@ impl CgVariant for OverlapK1Cg {
         // pap = (p,Ap).
         let mut p = r.clone();
         counts.vector_ops += 1;
-        let mut w = a.apply_alloc(&p);
-        let mut v = a.apply_alloc(&w);
-        counts.matvecs += 2;
+        let mut w = opts.matvec_alloc(a, &p, &mut counts);
+        let mut v = opts.matvec_alloc(a, &w, &mut counts);
 
         let mut rr = dot(md, &r, &r);
         // p = r at start ⇒ (r, Ar) = (r, w).
@@ -150,9 +149,8 @@ impl CgVariant for OverlapK1Cg {
                     counts.restarts += 1;
                     r = r_true;
                     p = r.clone();
-                    a.apply(&p, &mut w);
-                    a.apply(&w, &mut v);
-                    counts.matvecs += 2;
+                    opts.matvec(a, &p, &mut w, &mut counts);
+                    opts.matvec(a, &w, &mut v, &mut counts);
                     counts.vector_ops += 1;
                     rr = rr_true;
                     rar = dot(md, &r, &w);
@@ -169,12 +167,20 @@ impl CgVariant for OverlapK1Cg {
                 // (w,w)/(w,v) the sweep over w; the per-element products are
                 // commutative so the scalars are bit-identical to the four
                 // separate dots of the reference formulation.
-                let (rw, rv) = opts.dot2(&r, &w, &v, &mut counts);
-                let (ww, wv) = opts.dot2(&w, &w, &v, &mut counts);
+                // Split-phase: the sweeps fold leaf partials *now*; the
+                // tree_combine fan-ins run at the `.wait()` consume points
+                // below, so they overlap the x update in between — the
+                // paper's launch-early/consume-late schedule on the team.
+                let (rw_p, rv_p) = opts.dot2_deferred(&r, &w, &v, &mut counts);
+                let (ww_p, wv_p) = opts.dot2_deferred(&w, &w, &v, &mut counts);
 
                 let lambda = rr / pap;
-                kernels::axpy(lambda, &p, &mut x);
-                counts.vector_ops += 1;
+                opts.axpy(lambda, &p, &mut x, &mut counts);
+
+                // consume: deferred fan-ins resolve here, bit-identical to
+                // the eager dot2 values
+                let (rw, rv) = (rw_p.wait(), rv_p.wait());
+                let (ww, wv) = (ww_p.wait(), wv_p.wait());
 
                 // scalar recurrences (claim C3, k = 1)
                 let rr_next = rr - 2.0 * lambda * rw + lambda * lambda * ww;
@@ -199,12 +205,10 @@ impl CgVariant for OverlapK1Cg {
                 }
 
                 // vector updates
-                kernels::axpy(-lambda, &w, &mut r);
-                kernels::xpay(&r, alpha, &mut p);
-                counts.vector_ops += 2;
-                a.apply(&p, &mut w);
-                a.apply(&w, &mut v);
-                counts.matvecs += 2;
+                opts.axpy(-lambda, &w, &mut r, &mut counts);
+                opts.xpay(&r, alpha, &mut p, &mut counts);
+                opts.matvec(a, &p, &mut w, &mut counts);
+                opts.matvec(a, &w, &mut v, &mut counts);
 
                 rr = rr_next;
                 rar = rar_next;

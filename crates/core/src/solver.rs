@@ -6,7 +6,8 @@ use std::sync::Arc;
 use vr_linalg::kernels::{self, DotMode};
 use vr_linalg::{fused, LinearOperator};
 use vr_par::fault::{FaultInjector, FaultSite};
-use vr_par::reduce;
+use vr_par::team::{self, Team};
+use vr_par::{reduce, PendingScalar};
 
 /// How per-iteration vector updates and the reductions that consume them
 /// are executed.
@@ -49,11 +50,21 @@ pub struct SolveOptions {
     /// Kernel execution policy (fused single-pass vs reference two-pass).
     pub kernel_policy: KernelPolicy,
     /// Worker threads for vector kernels and reductions. `1` (the default)
-    /// keeps everything on the calling thread with `dot_mode` association;
-    /// `>= 2` switches reductions to the deterministic 256-leaf chunk tree
-    /// of [`vr_par::reduce`], whose bits are independent of the thread
-    /// count.
+    /// keeps everything on the calling thread; `>= 2` runs matvecs, vector
+    /// updates and `DotMode::Tree` reductions on a persistent SPMD team
+    /// (see [`vr_par::team`]). Thread count never changes result bits:
+    /// elementwise kernels and row-partitioned matvecs are exact, and
+    /// `Tree` reductions use a fixed 256-leaf chunk layout at *every*
+    /// width, including 1. Order-preserving modes (`Serial`, `Kahan`)
+    /// keep their reductions on the calling thread (see
+    /// [`SolveOptions::dot`]).
     pub threads: usize,
+    /// Persistent worker team backing multi-threaded solves. Attached once
+    /// by [`SolveOptions::with_threads`] (shared per-process, keyed by
+    /// width) so solver hot loops never spawn threads; `None` for
+    /// single-threaded solves. [`SolveOptions::team`] re-resolves the
+    /// handle if `threads` was mutated directly.
+    pub team: Option<Arc<Team>>,
 }
 
 impl Default for SolveOptions {
@@ -67,6 +78,7 @@ impl Default for SolveOptions {
             recovery: None,
             kernel_policy: KernelPolicy::default(),
             threads: 1,
+            team: None,
         }
     }
 }
@@ -115,25 +127,61 @@ impl SolveOptions {
     }
 
     /// Set the worker-thread count for kernels and reductions.
+    ///
+    /// For `threads >= 2` this attaches the process-shared persistent
+    /// [`Team`] of that width *now*, so the solve itself never spawns —
+    /// hot loops step the long-lived workers through barrier-synchronized
+    /// epochs instead.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self.team = if self.threads >= 2 {
+            Some(team::shared_team(self.threads))
+        } else {
+            None
+        };
         self
+    }
+
+    /// The persistent team handle for this solve (`None` ⇒ single-threaded).
+    ///
+    /// Fast path: the handle attached by [`SolveOptions::with_threads`].
+    /// If `threads` was mutated directly (leaving `team` stale), this
+    /// re-resolves the shared team so the two fields cannot disagree.
+    #[must_use]
+    pub fn team(&self) -> Option<Arc<Team>> {
+        match &self.team {
+            Some(t) if t.width() == self.threads => Some(Arc::clone(t)),
+            _ if self.threads >= 2 => Some(team::shared_team(self.threads)),
+            _ => None,
+        }
     }
 
     /// Inner product through this solve's fault and threading path.
     ///
-    /// Single-threaded without an injector this is exactly
-    /// `kernels::dot(self.dot_mode)`; with `threads >= 2` the reduction is
-    /// the deterministic chunk tree of [`vr_par::reduce::par_dot`]; with an
-    /// injector it is the chunk tree with per-partial and final-value
-    /// corruption, whose bits are independent of the thread count.
+    /// * **Injector attached** — the deterministic 256-leaf chunk tree with
+    ///   per-partial and final-value corruption
+    ///   ([`reduce::par_dot_with_in`]); bits are independent of the team
+    ///   width because the partial layout is fixed by the chunk count, not
+    ///   the thread count.
+    /// * **`DotMode::Tree`** — the same fixed-layout chunk tree at *every*
+    ///   width, including 1, so `Tree` solves are bit-identical for any
+    ///   team size.
+    /// * **`DotMode::Serial` / `DotMode::Kahan`** — order-preserving
+    ///   left-to-right sums that no partitioned reduction can reproduce
+    ///   bit-exactly, so they stay on the calling thread even when a team
+    ///   is attached (the team still parallelizes matvecs and elementwise
+    ///   updates, which are exact per element). Requesting threads must
+    ///   never silently change the summation order the user asked for.
     #[must_use]
     pub fn dot(&self, x: &[f64], y: &[f64]) -> f64 {
+        let t = self.team();
         match &self.injector {
-            Some(inj) => reduce::par_dot_with(x, y, self.threads.max(1), inj.as_ref()),
-            None if self.threads >= 2 => reduce::par_dot(x, y, self.threads),
-            None => kernels::dot(self.dot_mode, x, y),
+            Some(inj) => reduce::par_dot_with_in(t.as_deref(), x, y, inj.as_ref()),
+            None => match self.dot_mode {
+                DotMode::Tree => reduce::par_dot_in(t.as_deref(), x, y),
+                DotMode::Serial | DotMode::Kahan => kernels::dot(self.dot_mode, x, y),
+            },
         }
     }
 
@@ -154,11 +202,12 @@ impl SolveOptions {
     /// Fused `y ← A·x` + `(x, y)`, tallying one matvec and one dot
     /// (reference-equivalent logical counts, regardless of policy).
     ///
-    /// Fusion requires the serial, fault-free path: operator `apply_dot`
-    /// overrides reduce with `dot_mode` association on the calling thread,
-    /// so with `threads >= 2` or an injector both policies fall back to
-    /// `apply` + [`SolveOptions::dot`] to keep Reference and Fused
-    /// bit-identical per configuration.
+    /// The matvec itself always runs team-parallel when a team is attached
+    /// (row partitions are exact). The dot follows [`SolveOptions::dot`]'s
+    /// decision table; single-pass fusion (`apply_dot`, counted in
+    /// `fused_ops`) additionally requires the serial, fault-free,
+    /// order-preserving path, since an operator's fused sweep reduces with
+    /// `dot_mode` association on the calling thread.
     #[must_use]
     pub fn matvec_dot(
         &self,
@@ -169,12 +218,24 @@ impl SolveOptions {
     ) -> f64 {
         counts.matvecs += 1;
         counts.dots += 1;
-        if self.fuse() && self.injector.is_none() && self.threads <= 1 {
-            counts.fused_ops += 1;
-            a.apply_dot(self.dot_mode, x, y)
-        } else {
-            a.apply(x, y);
-            self.dot(x, y)
+        let t = self.team();
+        if self.injector.is_some() {
+            a.apply_team(t.as_deref(), x, y);
+            return self.dot(x, y);
+        }
+        match self.dot_mode {
+            // Tree: matvec + fixed-layout chunk-tree dot at every width
+            // (identical to apply_team followed by par_dot_in).
+            DotMode::Tree => a.apply_dot_team(t.as_deref(), x, y),
+            DotMode::Serial | DotMode::Kahan => {
+                if t.is_none() && self.fuse() {
+                    counts.fused_ops += 1;
+                    a.apply_dot(self.dot_mode, x, y)
+                } else {
+                    a.apply_team(t.as_deref(), x, y);
+                    kernels::dot(self.dot_mode, x, y)
+                }
+            }
         }
     }
 
@@ -192,18 +253,22 @@ impl SolveOptions {
     ) -> f64 {
         counts.vector_ops += 2;
         counts.dots += 1;
+        let t = self.team();
+        let t = t.as_deref();
         if !self.fuse() {
-            kernels::axpy(lambda, p, x);
-            kernels::axpy(-lambda, w, r);
+            team::par_axpy_in(t, lambda, p, x);
+            team::par_axpy_in(t, -lambda, w, r);
             return self.dot(r, r);
         }
         counts.fused_ops += 1;
         match &self.injector {
-            Some(inj) => {
-                fused::par_update_xr_with(lambda, p, w, x, r, self.threads.max(1), inj.as_ref())
-            }
-            None if self.threads >= 2 => fused::par_update_xr(lambda, p, w, x, r, self.threads),
-            None => fused::update_xr(self.dot_mode, lambda, p, w, x, r),
+            Some(inj) => fused::par_update_xr_with_in(t, lambda, p, w, x, r, inj.as_ref()),
+            None => match self.dot_mode {
+                DotMode::Tree => fused::par_update_xr_in(t, lambda, p, w, x, r),
+                DotMode::Serial | DotMode::Kahan => {
+                    fused::update_xr(self.dot_mode, lambda, p, w, x, r)
+                }
+            },
         }
     }
 
@@ -219,15 +284,19 @@ impl SolveOptions {
     ) -> f64 {
         counts.vector_ops += 1;
         counts.dots += 1;
+        let t = self.team();
+        let t = t.as_deref();
         if !self.fuse() {
-            kernels::axpy(a, x, y);
+            team::par_axpy_in(t, a, x, y);
             return self.dot(y, z);
         }
         counts.fused_ops += 1;
         match &self.injector {
-            Some(inj) => fused::par_axpy_dot_with(a, x, y, z, self.threads.max(1), inj.as_ref()),
-            None if self.threads >= 2 => fused::par_axpy_dot(a, x, y, z, self.threads),
-            None => fused::axpy_dot(self.dot_mode, a, x, y, z),
+            Some(inj) => fused::par_axpy_dot_with_in(t, a, x, y, z, inj.as_ref()),
+            None => match self.dot_mode {
+                DotMode::Tree => fused::par_axpy_dot_in(t, a, x, y, z),
+                DotMode::Serial | DotMode::Kahan => fused::axpy_dot(self.dot_mode, a, x, y, z),
+            },
         }
     }
 
@@ -236,15 +305,19 @@ impl SolveOptions {
     pub fn axpy_norm2_sq(&self, a: f64, x: &[f64], y: &mut [f64], counts: &mut OpCounts) -> f64 {
         counts.vector_ops += 1;
         counts.dots += 1;
+        let t = self.team();
+        let t = t.as_deref();
         if !self.fuse() {
-            kernels::axpy(a, x, y);
+            team::par_axpy_in(t, a, x, y);
             return self.dot(y, y);
         }
         counts.fused_ops += 1;
         match &self.injector {
-            Some(inj) => fused::par_axpy_norm2_sq_with(a, x, y, self.threads.max(1), inj.as_ref()),
-            None if self.threads >= 2 => fused::par_axpy_norm2_sq(a, x, y, self.threads),
-            None => fused::axpy_norm2_sq(self.dot_mode, a, x, y),
+            Some(inj) => fused::par_axpy_norm2_sq_with_in(t, a, x, y, inj.as_ref()),
+            None => match self.dot_mode {
+                DotMode::Tree => fused::par_axpy_norm2_sq_in(t, a, x, y),
+                DotMode::Serial | DotMode::Kahan => fused::axpy_norm2_sq(self.dot_mode, a, x, y),
+            },
         }
     }
 
@@ -257,11 +330,103 @@ impl SolveOptions {
             return (self.dot(x, y), self.dot(x, z));
         }
         counts.fused_ops += 1;
+        let t = self.team();
+        let t = t.as_deref();
         match &self.injector {
-            Some(inj) => fused::par_dot2_with(x, y, z, self.threads.max(1), inj.as_ref()),
-            None if self.threads >= 2 => fused::par_dot2(x, y, z, self.threads),
-            None => fused::dot2(self.dot_mode, x, y, z),
+            Some(inj) => fused::par_dot2_with_in(t, x, y, z, inj.as_ref()),
+            None => match self.dot_mode {
+                DotMode::Tree => fused::par_dot2_in(t, x, y, z),
+                DotMode::Serial | DotMode::Kahan => fused::dot2(self.dot_mode, x, y, z),
+            },
         }
+    }
+
+    /// Split-phase variant of [`SolveOptions::dot2`]: *launch* both
+    /// reductions now, *consume* them later.
+    ///
+    /// Under `DotMode::Tree` without an injector the team folds the
+    /// fixed-layout leaf partials during the sweep epoch and the handles
+    /// defer the `tree_combine` fan-in to their consume point
+    /// ([`PendingScalar::wait`]), so the combine overlaps whatever vector
+    /// work the caller schedules in between — the paper's overlap of
+    /// summation with iteration work, realized on a real team. The
+    /// resolved values are bit-identical to [`SolveOptions::dot2`] for the
+    /// same configuration. Order-preserving modes and injected-fault runs
+    /// evaluate eagerly (the fault contract fixes the corruption-event
+    /// order at launch time), returning ready handles.
+    #[must_use]
+    pub fn dot2_deferred(
+        &self,
+        x: &[f64],
+        y: &[f64],
+        z: &[f64],
+        counts: &mut OpCounts,
+    ) -> (PendingScalar, PendingScalar) {
+        if self.injector.is_some() || self.dot_mode != DotMode::Tree {
+            let (dy, dz) = self.dot2(x, y, z, counts);
+            return (PendingScalar::ready(dy), PendingScalar::ready(dz));
+        }
+        counts.dots += 2;
+        let t = self.team();
+        let t = t.as_deref();
+        if self.fuse() {
+            counts.fused_ops += 1;
+            match fused::par_dot2_partials_in(t, x, y, z) {
+                Ok((py, pz)) => (PendingScalar::deferred(py), PendingScalar::deferred(pz)),
+                Err(_) => (
+                    PendingScalar::ready(f64::NAN),
+                    PendingScalar::ready(f64::NAN),
+                ),
+            }
+        } else {
+            let py = reduce::par_dot_partials_in(t, x, y);
+            let pz = reduce::par_dot_partials_in(t, x, z);
+            match (py, pz) {
+                (Ok(py), Ok(pz)) => (PendingScalar::deferred(py), PendingScalar::deferred(pz)),
+                _ => (
+                    PendingScalar::ready(f64::NAN),
+                    PendingScalar::ready(f64::NAN),
+                ),
+            }
+        }
+    }
+
+    /// Team-parallel `y ← A·x`; tallies one matvec. The matvec has no
+    /// fault surface (faults inject on reductions and scalar recurrences),
+    /// and row partitions are bit-exact at any width.
+    pub fn matvec(&self, a: &dyn LinearOperator, x: &[f64], y: &mut [f64], counts: &mut OpCounts) {
+        counts.matvecs += 1;
+        let t = self.team();
+        a.apply_team(t.as_deref(), x, y);
+    }
+
+    /// [`SolveOptions::matvec`] into a freshly allocated vector.
+    #[must_use]
+    pub fn matvec_alloc(
+        &self,
+        a: &dyn LinearOperator,
+        x: &[f64],
+        counts: &mut OpCounts,
+    ) -> Vec<f64> {
+        let mut y = vec![0.0; a.dim()];
+        self.matvec(a, x, &mut y, counts);
+        y
+    }
+
+    /// Team-parallel `y ← y + a·x` (exact per element at any width);
+    /// tallies one vector op.
+    pub fn axpy(&self, a: f64, x: &[f64], y: &mut [f64], counts: &mut OpCounts) {
+        counts.vector_ops += 1;
+        let t = self.team();
+        team::par_axpy_in(t.as_deref(), a, x, y);
+    }
+
+    /// Team-parallel `y ← x + a·y` (exact per element at any width);
+    /// tallies one vector op.
+    pub fn xpay(&self, x: &[f64], a: f64, y: &mut [f64], counts: &mut OpCounts) {
+        counts.vector_ops += 1;
+        let t = self.team();
+        team::par_xpay_in(t.as_deref(), x, a, y);
     }
 }
 
@@ -600,8 +765,18 @@ mod tests {
                 assert_eq!(cf.dots, cr.dots);
                 assert_eq!(cf.vector_ops, cr.vector_ops);
                 assert_eq!(cr.fused_ops, 0);
-                let expected_fused = if threads == 1 { 5 } else { 4 };
-                assert_eq!(cf.fused_ops, expected_fused, "t={threads}");
+                // matvec_dot fuses (apply_dot) only on the serial
+                // order-preserving path: Tree always takes the
+                // width-invariant apply_dot_team two-pass, and an attached
+                // team parallelizes the matvec instead of fusing. The four
+                // sweep kernels (update_xr, axpy_norm2_sq, axpy_dot, dot2)
+                // fuse under every fault-free configuration.
+                let expected_fused = if threads == 1 && mode != DotMode::Tree {
+                    5
+                } else {
+                    4
+                };
+                assert_eq!(cf.fused_ops, expected_fused, "{mode:?} t={threads}");
             }
         }
     }

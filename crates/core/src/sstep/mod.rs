@@ -161,10 +161,9 @@ impl CgVariant for SStepCg {
                     counts.dots += sp;
                     let bcoef = chol.solve(&rhs);
                     for (i, &bi) in bcoef.iter().enumerate() {
-                        kernels::axpy(-bi, &p_prev[i], pc);
-                        kernels::axpy(-bi, &ap_prev[i], apc);
+                        opts.axpy(-bi, &p_prev[i], pc, &mut counts);
+                        opts.axpy(-bi, &ap_prev[i], apc, &mut counts);
                     }
-                    counts.vector_ops += 2 * sp;
                     counts.scalar_ops += sp * sp;
                 }
             }
@@ -207,11 +206,10 @@ impl CgVariant for SStepCg {
             //    in the same sweep (bit-identical to axpy-then-dot)
             let (&y_last, y_rest) = y.split_last().expect("s >= 1");
             for (i, &yi) in y_rest.iter().enumerate() {
-                kernels::axpy(yi, &p[i], &mut x);
-                kernels::axpy(-yi, &ap[i], &mut r);
+                opts.axpy(yi, &p[i], &mut x, &mut counts);
+                opts.axpy(-yi, &ap[i], &mut r, &mut counts);
             }
-            kernels::axpy(y_last, &p[s - 1], &mut x);
-            counts.vector_ops += 2 * s - 1;
+            opts.axpy(y_last, &p[s - 1], &mut x, &mut counts);
 
             rr = opts.axpy_norm2_sq(-y_last, &ap[s - 1], &mut r, &mut counts);
             iterations += s.min(opts.max_iters - iterations);

@@ -7,7 +7,6 @@
 use crate::instrument::{OpCounts, RecoveryStats};
 use crate::resilience::guard::{self, GuardSignal, ResidualGuard};
 use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
-use vr_linalg::kernels;
 use vr_linalg::LinearOperator;
 
 /// Standard CG solver.
@@ -169,8 +168,7 @@ impl CgVariant for StandardCg {
                 if !replaced {
                     let alpha = opts.scalar(rr_next / rr);
                     counts.scalar_ops += 1;
-                    kernels::xpay(&r, alpha, &mut p);
-                    counts.vector_ops += 1;
+                    opts.xpay(&r, alpha, &mut p, &mut counts);
                 }
                 rr = rr_next;
             }

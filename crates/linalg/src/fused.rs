@@ -32,7 +32,8 @@
 use crate::kernels::{self, DotMode};
 use crate::LinearOperator;
 use vr_par::fault::{FaultInjector, FaultSite, NoFaults};
-use vr_par::reduce::{tree_combine, CHUNKS};
+use vr_par::reduce::{resolve_team, tree_combine, CHUNKS};
+use vr_par::team::{run_leaves_team, Poisoned, Team};
 
 // ---------------------------------------------------------------------------
 // Mode-dispatched fused summation drivers
@@ -301,37 +302,13 @@ pub fn matvec_dot<A: LinearOperator + ?Sized>(
 // Chunked parallel variants (deterministic 256-leaf tree, fault-injectable)
 // ---------------------------------------------------------------------------
 
-/// Run `leaf` over every per-chunk work item, distributing items across up
-/// to `threads` scoped threads exactly as [`vr_par::reduce`] distributes
-/// chunk partials. The partial *values* are independent of the thread
-/// split, so results are bit-identical for any `threads >= 1`.
-fn run_leaves<T: Send, R: Send + Copy + Default>(
-    work: &mut [T],
-    n: usize,
-    threads: usize,
-    leaf: &(dyn Fn(&mut T) -> R + Sync),
-) -> Vec<R> {
-    let m = work.len();
-    let mut partials = vec![R::default(); m];
-    let threads = vr_par::par::effective_threads(n, threads);
-    if threads <= 1 {
-        for (p, item) in partials.iter_mut().zip(work.iter_mut()) {
-            *p = leaf(item);
-        }
-    } else {
-        let per = m.div_ceil(threads);
-        std::thread::scope(|s| {
-            for (pslice, wslice) in partials.chunks_mut(per).zip(work.chunks_mut(per)) {
-                s.spawn(move || {
-                    for (p, item) in pslice.iter_mut().zip(wslice.iter_mut()) {
-                        *p = leaf(item);
-                    }
-                });
-            }
-        });
-    }
-    partials
-}
+// Chunk leaves are distributed over the persistent SPMD team via
+// `vr_par::team::run_leaves_team` — the partial *values* depend only on the
+// fixed 256-leaf chunk layout, never on the team width, so results stay
+// bit-identical for any width (and for the serial `team = None` path). A
+// poisoned team (a worker panicked) makes the `par_*_in` kernels NaN-fill
+// their outputs and return NaN, which solver guards turn into an honest
+// breakdown termination.
 
 /// Corrupt the leaf partials and combined value exactly as
 /// [`vr_par::reduce::par_dot_with`] does, then tree-combine.
@@ -357,6 +334,28 @@ pub fn par_update_xr_with(
     threads: usize,
     inj: &dyn FaultInjector,
 ) -> f64 {
+    par_update_xr_with_in(
+        resolve_team(x.len(), threads).as_deref(),
+        lambda,
+        p,
+        w,
+        x,
+        r,
+        inj,
+    )
+}
+
+/// [`par_update_xr_with`] on an explicit [`Team`] (or serially for `None`).
+#[must_use]
+pub fn par_update_xr_with_in(
+    team: Option<&Team>,
+    lambda: f64,
+    p: &[f64],
+    w: &[f64],
+    x: &mut [f64],
+    r: &mut [f64],
+    inj: &dyn FaultInjector,
+) -> f64 {
     let n = x.len();
     assert_eq!(p.len(), n, "par_update_xr: p length mismatch");
     assert_eq!(w.len(), n, "par_update_xr: w length mismatch");
@@ -375,7 +374,7 @@ pub fn par_update_xr_with(
         .zip(r.chunks_mut(chunk))
         .map(|(((pc, wc), xc), rc)| (pc, wc, xc, rc))
         .collect();
-    let mut partials = run_leaves(&mut work, n, threads, &|(pc, wc, xc, rc): &mut (
+    let partials = run_leaves_team(team, &mut work, n, &|(pc, wc, xc, rc): &mut (
         &[f64],
         &[f64],
         &mut [f64],
@@ -389,7 +388,15 @@ pub fn par_update_xr_with(
         }
         acc
     });
-    inject_and_combine(&mut partials, inj)
+    drop(work);
+    match partials {
+        Ok(mut partials) => inject_and_combine(&mut partials, inj),
+        Err(Poisoned) => {
+            x.fill(f64::NAN);
+            r.fill(f64::NAN);
+            f64::NAN
+        }
+    }
 }
 
 /// Chunked-parallel [`update_xr`] (fault-free).
@@ -405,6 +412,19 @@ pub fn par_update_xr(
     par_update_xr_with(lambda, p, w, x, r, threads, &NoFaults)
 }
 
+/// Team-backed [`update_xr`] (fault-free).
+#[must_use]
+pub fn par_update_xr_in(
+    team: Option<&Team>,
+    lambda: f64,
+    p: &[f64],
+    w: &[f64],
+    x: &mut [f64],
+    r: &mut [f64],
+) -> f64 {
+    par_update_xr_with_in(team, lambda, p, w, x, r, &NoFaults)
+}
+
 /// Chunked-parallel [`axpy_dot`] with fault injection on the reduction.
 #[must_use]
 pub fn par_axpy_dot_with(
@@ -413,6 +433,19 @@ pub fn par_axpy_dot_with(
     y: &mut [f64],
     z: &[f64],
     threads: usize,
+    inj: &dyn FaultInjector,
+) -> f64 {
+    par_axpy_dot_with_in(resolve_team(y.len(), threads).as_deref(), a, x, y, z, inj)
+}
+
+/// [`par_axpy_dot_with`] on an explicit [`Team`] (or serially for `None`).
+#[must_use]
+pub fn par_axpy_dot_with_in(
+    team: Option<&Team>,
+    a: f64,
+    x: &[f64],
+    y: &mut [f64],
+    z: &[f64],
     inj: &dyn FaultInjector,
 ) -> f64 {
     let n = y.len();
@@ -430,7 +463,7 @@ pub fn par_axpy_dot_with(
         .zip(y.chunks_mut(chunk))
         .map(|((xc, zc), yc)| (xc, zc, yc))
         .collect();
-    let mut partials = run_leaves(&mut work, n, threads, &|(xc, zc, yc): &mut (
+    let partials = run_leaves_team(team, &mut work, n, &|(xc, zc, yc): &mut (
         &[f64],
         &[f64],
         &mut [f64],
@@ -442,13 +475,26 @@ pub fn par_axpy_dot_with(
         }
         acc
     });
-    inject_and_combine(&mut partials, inj)
+    drop(work);
+    match partials {
+        Ok(mut partials) => inject_and_combine(&mut partials, inj),
+        Err(Poisoned) => {
+            y.fill(f64::NAN);
+            f64::NAN
+        }
+    }
 }
 
 /// Chunked-parallel [`axpy_dot`] (fault-free).
 #[must_use]
 pub fn par_axpy_dot(a: f64, x: &[f64], y: &mut [f64], z: &[f64], threads: usize) -> f64 {
     par_axpy_dot_with(a, x, y, z, threads, &NoFaults)
+}
+
+/// Team-backed [`axpy_dot`] (fault-free).
+#[must_use]
+pub fn par_axpy_dot_in(team: Option<&Team>, a: f64, x: &[f64], y: &mut [f64], z: &[f64]) -> f64 {
+    par_axpy_dot_with_in(team, a, x, y, z, &NoFaults)
 }
 
 /// Chunked-parallel [`axpy_norm2_sq`] with fault injection on the reduction.
@@ -460,6 +506,19 @@ pub fn par_axpy_norm2_sq_with(
     threads: usize,
     inj: &dyn FaultInjector,
 ) -> f64 {
+    par_axpy_norm2_sq_with_in(resolve_team(y.len(), threads).as_deref(), a, x, y, inj)
+}
+
+/// [`par_axpy_norm2_sq_with`] on an explicit [`Team`] (or serially for
+/// `None`).
+#[must_use]
+pub fn par_axpy_norm2_sq_with_in(
+    team: Option<&Team>,
+    a: f64,
+    x: &[f64],
+    y: &mut [f64],
+    inj: &dyn FaultInjector,
+) -> f64 {
     let n = y.len();
     assert_eq!(x.len(), n, "par_axpy_norm2_sq: x length mismatch");
     debug_assert!(!kernels::overlaps(x, y), "par_axpy_norm2_sq: x aliases y");
@@ -468,7 +527,7 @@ pub fn par_axpy_norm2_sq_with(
     }
     let chunk = n.div_ceil(CHUNKS);
     let mut work: Vec<_> = x.chunks(chunk).zip(y.chunks_mut(chunk)).collect();
-    let mut partials = run_leaves(&mut work, n, threads, &|(xc, yc): &mut (
+    let partials = run_leaves_team(team, &mut work, n, &|(xc, yc): &mut (
         &[f64],
         &mut [f64],
     )| {
@@ -479,13 +538,26 @@ pub fn par_axpy_norm2_sq_with(
         }
         acc
     });
-    inject_and_combine(&mut partials, inj)
+    drop(work);
+    match partials {
+        Ok(mut partials) => inject_and_combine(&mut partials, inj),
+        Err(Poisoned) => {
+            y.fill(f64::NAN);
+            f64::NAN
+        }
+    }
 }
 
 /// Chunked-parallel [`axpy_norm2_sq`] (fault-free).
 #[must_use]
 pub fn par_axpy_norm2_sq(a: f64, x: &[f64], y: &mut [f64], threads: usize) -> f64 {
     par_axpy_norm2_sq_with(a, x, y, threads, &NoFaults)
+}
+
+/// Team-backed [`axpy_norm2_sq`] (fault-free).
+#[must_use]
+pub fn par_axpy_norm2_sq_in(team: Option<&Team>, a: f64, x: &[f64], y: &mut [f64]) -> f64 {
+    par_axpy_norm2_sq_with_in(team, a, x, y, &NoFaults)
 }
 
 /// Chunked-parallel [`xpay_norm2_sq`] with fault injection on the reduction.
@@ -497,6 +569,19 @@ pub fn par_xpay_norm2_sq_with(
     threads: usize,
     inj: &dyn FaultInjector,
 ) -> f64 {
+    par_xpay_norm2_sq_with_in(resolve_team(y.len(), threads).as_deref(), x, a, y, inj)
+}
+
+/// [`par_xpay_norm2_sq_with`] on an explicit [`Team`] (or serially for
+/// `None`).
+#[must_use]
+pub fn par_xpay_norm2_sq_with_in(
+    team: Option<&Team>,
+    x: &[f64],
+    a: f64,
+    y: &mut [f64],
+    inj: &dyn FaultInjector,
+) -> f64 {
     let n = y.len();
     assert_eq!(x.len(), n, "par_xpay_norm2_sq: x length mismatch");
     debug_assert!(!kernels::overlaps(x, y), "par_xpay_norm2_sq: x aliases y");
@@ -505,7 +590,7 @@ pub fn par_xpay_norm2_sq_with(
     }
     let chunk = n.div_ceil(CHUNKS);
     let mut work: Vec<_> = x.chunks(chunk).zip(y.chunks_mut(chunk)).collect();
-    let mut partials = run_leaves(&mut work, n, threads, &|(xc, yc): &mut (
+    let partials = run_leaves_team(team, &mut work, n, &|(xc, yc): &mut (
         &[f64],
         &mut [f64],
     )| {
@@ -516,13 +601,26 @@ pub fn par_xpay_norm2_sq_with(
         }
         acc
     });
-    inject_and_combine(&mut partials, inj)
+    drop(work);
+    match partials {
+        Ok(mut partials) => inject_and_combine(&mut partials, inj),
+        Err(Poisoned) => {
+            y.fill(f64::NAN);
+            f64::NAN
+        }
+    }
 }
 
 /// Chunked-parallel [`xpay_norm2_sq`] (fault-free).
 #[must_use]
 pub fn par_xpay_norm2_sq(x: &[f64], a: f64, y: &mut [f64], threads: usize) -> f64 {
     par_xpay_norm2_sq_with(x, a, y, threads, &NoFaults)
+}
+
+/// Team-backed [`xpay_norm2_sq`] (fault-free).
+#[must_use]
+pub fn par_xpay_norm2_sq_in(team: Option<&Team>, x: &[f64], a: f64, y: &mut [f64]) -> f64 {
+    par_xpay_norm2_sq_with_in(team, x, a, y, &NoFaults)
 }
 
 /// Chunked-parallel [`waxpby_dot`] with fault injection on the reduction.
@@ -536,6 +634,32 @@ pub fn par_waxpby_dot_with(
     w: &mut [f64],
     z: &[f64],
     threads: usize,
+    inj: &dyn FaultInjector,
+) -> f64 {
+    par_waxpby_dot_with_in(
+        resolve_team(w.len(), threads).as_deref(),
+        a,
+        x,
+        b,
+        y,
+        w,
+        z,
+        inj,
+    )
+}
+
+/// [`par_waxpby_dot_with`] on an explicit [`Team`] (or serially for
+/// `None`).
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn par_waxpby_dot_with_in(
+    team: Option<&Team>,
+    a: f64,
+    x: &[f64],
+    b: f64,
+    y: &[f64],
+    w: &mut [f64],
+    z: &[f64],
     inj: &dyn FaultInjector,
 ) -> f64 {
     let n = w.len();
@@ -556,7 +680,7 @@ pub fn par_waxpby_dot_with(
         .zip(w.chunks_mut(chunk))
         .map(|(((xc, yc), zc), wc)| (xc, yc, zc, wc))
         .collect();
-    let mut partials = run_leaves(&mut work, n, threads, &|(xc, yc, zc, wc): &mut (
+    let partials = run_leaves_team(team, &mut work, n, &|(xc, yc, zc, wc): &mut (
         &[f64],
         &[f64],
         &[f64],
@@ -569,7 +693,14 @@ pub fn par_waxpby_dot_with(
         }
         acc
     });
-    inject_and_combine(&mut partials, inj)
+    drop(work);
+    match partials {
+        Ok(mut partials) => inject_and_combine(&mut partials, inj),
+        Err(Poisoned) => {
+            w.fill(f64::NAN);
+            f64::NAN
+        }
+    }
 }
 
 /// Chunked-parallel [`waxpby_dot`] (fault-free).
@@ -586,6 +717,21 @@ pub fn par_waxpby_dot(
     par_waxpby_dot_with(a, x, b, y, w, z, threads, &NoFaults)
 }
 
+/// Team-backed [`waxpby_dot`] (fault-free).
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn par_waxpby_dot_in(
+    team: Option<&Team>,
+    a: f64,
+    x: &[f64],
+    b: f64,
+    y: &[f64],
+    w: &mut [f64],
+    z: &[f64],
+) -> f64 {
+    par_waxpby_dot_with_in(team, a, x, b, y, w, z, &NoFaults)
+}
+
 /// Chunked-parallel [`dot2`] with fault injection on both reductions.
 ///
 /// The corruption sequence is exactly two consecutive
@@ -600,14 +746,59 @@ pub fn par_dot2_with(
     threads: usize,
     inj: &dyn FaultInjector,
 ) -> (f64, f64) {
-    let n = x.len();
-    assert_eq!(y.len(), n, "par_dot2: y length mismatch");
-    assert_eq!(z.len(), n, "par_dot2: z length mismatch");
-    if n == 0 {
+    par_dot2_with_in(resolve_team(x.len(), threads).as_deref(), x, y, z, inj)
+}
+
+/// [`par_dot2_with`] on an explicit [`Team`] (or serially for `None`).
+#[must_use]
+pub fn par_dot2_with_in(
+    team: Option<&Team>,
+    x: &[f64],
+    y: &[f64],
+    z: &[f64],
+    inj: &dyn FaultInjector,
+) -> (f64, f64) {
+    if x.is_empty() {
+        assert_eq!(y.len(), 0, "par_dot2: y length mismatch");
+        assert_eq!(z.len(), 0, "par_dot2: z length mismatch");
         return (
             inj.corrupt(FaultSite::DotFinal, 0.0),
             inj.corrupt(FaultSite::DotFinal, 0.0),
         );
+    }
+    let Ok((mut py, mut pz)) = par_dot2_partials_in(team, x, y, z) else {
+        return (f64::NAN, f64::NAN);
+    };
+    let dy = inject_and_combine(&mut py, inj);
+    let dz = inject_and_combine(&mut pz, inj);
+    (dy, dz)
+}
+
+/// Split-phase first half of [`par_dot2_with_in`]: one shared sweep over
+/// `x` computes the fixed-layout leaf partials of both `x·y` and `x·z` on
+/// the team, leaving the [`tree_combine`] fan-ins to the caller — who may
+/// overlap them with the next epoch's vector work (the paper's C2/C3
+/// move). `tree_combine` of each partial vector reproduces the eager
+/// [`par_dot2`] values bit-for-bit, and the partials themselves are
+/// bit-identical to two separate [`vr_par::reduce::par_dot_partials_in`]
+/// sweeps (each chunk accumulator is an independent serial sum).
+///
+/// # Errors
+/// Returns [`Poisoned`] if the team is poisoned.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn par_dot2_partials_in(
+    team: Option<&Team>,
+    x: &[f64],
+    y: &[f64],
+    z: &[f64],
+) -> Result<(Vec<f64>, Vec<f64>), Poisoned> {
+    let n = x.len();
+    assert_eq!(y.len(), n, "par_dot2: y length mismatch");
+    assert_eq!(z.len(), n, "par_dot2: z length mismatch");
+    if n == 0 {
+        return Ok((Vec::new(), Vec::new()));
     }
     let chunk = n.div_ceil(CHUNKS);
     let mut work: Vec<_> = x
@@ -616,7 +807,7 @@ pub fn par_dot2_with(
         .zip(z.chunks(chunk))
         .map(|((xc, yc), zc)| (xc, yc, zc))
         .collect();
-    let pairs = run_leaves(&mut work, n, threads, &|(xc, yc, zc): &mut (
+    let pairs = run_leaves_team(team, &mut work, n, &|(xc, yc, zc): &mut (
         &[f64],
         &[f64],
         &[f64],
@@ -627,18 +818,22 @@ pub fn par_dot2_with(
             az += xc[i] * zc[i];
         }
         (ay, az)
-    });
-    let mut py: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-    let mut pz: Vec<f64> = pairs.iter().map(|p| p.1).collect();
-    let dy = inject_and_combine(&mut py, inj);
-    let dz = inject_and_combine(&mut pz, inj);
-    (dy, dz)
+    })?;
+    let py: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let pz: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+    Ok((py, pz))
 }
 
 /// Chunked-parallel [`dot2`] (fault-free).
 #[must_use]
 pub fn par_dot2(x: &[f64], y: &[f64], z: &[f64], threads: usize) -> (f64, f64) {
     par_dot2_with(x, y, z, threads, &NoFaults)
+}
+
+/// Team-backed [`dot2`] (fault-free).
+#[must_use]
+pub fn par_dot2_in(team: Option<&Team>, x: &[f64], y: &[f64], z: &[f64]) -> (f64, f64) {
+    par_dot2_with_in(team, x, y, z, &NoFaults)
 }
 
 #[cfg(test)]

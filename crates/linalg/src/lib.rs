@@ -131,6 +131,32 @@ pub trait LinearOperator {
     ) -> Option<f64> {
         None
     }
+
+    /// Parallel `y ← A·x` on a persistent SPMD team (`None` ⇒ serial).
+    ///
+    /// Every output row `y[i]` is a function of `x` alone, so *any* row
+    /// partition produces bits identical to the serial [`LinearOperator::
+    /// apply`]. The default ignores the team and applies serially — always
+    /// correct; operators with row-addressable storage (CSR, stencils)
+    /// override it with contiguous row-band partitions, one band per team
+    /// shard. If the team is poisoned (a worker panicked), overrides fill
+    /// `y` with NaN so downstream solver guards terminate honestly.
+    fn apply_team(&self, team: Option<&vr_par::Team>, x: &[f64], y: &mut [f64]) {
+        let _ = team;
+        self.apply(x, y);
+    }
+
+    /// Parallel fused matvec + dot on a team: `y ← A·x`, returning `(x, y)`
+    /// under the deterministic fixed-layout chunk tree of
+    /// [`vr_par::reduce`] (the parallel realization of `DotMode::Tree`).
+    /// Bit-identical for any team width, and identical to
+    /// [`LinearOperator::apply_team`] followed by
+    /// [`vr_par::reduce::par_dot_in`] — which is exactly the default body.
+    /// Returns NaN on a poisoned team.
+    fn apply_dot_team(&self, team: Option<&vr_par::Team>, x: &[f64], y: &mut [f64]) -> f64 {
+        self.apply_team(team, x, y);
+        vr_par::reduce::par_dot_in(team, x, y)
+    }
 }
 
 impl<T: LinearOperator + ?Sized> LinearOperator for &T {
@@ -160,6 +186,12 @@ impl<T: LinearOperator + ?Sized> LinearOperator for &T {
         r: &mut [f64],
     ) -> Option<f64> {
         (**self).fused_update_xr(mode, lambda, p, x, r)
+    }
+    fn apply_team(&self, team: Option<&vr_par::Team>, x: &[f64], y: &mut [f64]) {
+        (**self).apply_team(team, x, y)
+    }
+    fn apply_dot_team(&self, team: Option<&vr_par::Team>, x: &[f64], y: &mut [f64]) -> f64 {
+        (**self).apply_dot_team(team, x, y)
     }
 }
 

@@ -388,6 +388,37 @@ impl LinearOperator for CsrMatrix {
             x[r] * acc
         })
     }
+
+    /// Team-parallel SpMV by contiguous row ranges, one per shard — each
+    /// row sum is the identical operation sequence to
+    /// [`CsrMatrix::spmv_into`], hence bit-identical for any team width.
+    fn apply_team(&self, team: Option<&vr_par::Team>, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "apply_team: x length != ncols");
+        assert_eq!(y.len(), self.nrows, "apply_team: y length != nrows");
+        let n = self.nrows;
+        let width = team.map_or(1, |t| vr_par::team::dispatch_width(n, t.width()));
+        if width <= 1 {
+            self.spmv_into(x, y);
+            return;
+        }
+        let team = team.expect("width > 1 implies a team");
+        let per = n.div_ceil(width);
+        let yp = vr_par::team::SendPtr(y.as_mut_ptr());
+        let res = team.try_run(&move |w| {
+            let lo = w * per;
+            if lo >= n {
+                return;
+            }
+            let hi = ((w + 1) * per).min(n);
+            // Safety: shards own disjoint row ranges of `y`, which outlives
+            // the epoch (`try_run` blocks until every shard finishes).
+            let yband = unsafe { std::slice::from_raw_parts_mut(yp.get().add(lo), hi - lo) };
+            self.spmv_rows_into(x, lo, hi, yband);
+        });
+        if res.is_err() {
+            y.fill(f64::NAN);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -539,26 +570,27 @@ impl CsrMatrix {
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn par_spmv_into(&self, x: &[f64], y: &mut [f64], threads: usize) {
-        assert_eq!(x.len(), self.ncols, "par_spmv: x length != ncols");
-        assert_eq!(y.len(), self.nrows, "par_spmv: y length != nrows");
-        let n = self.nrows;
-        if n == 0 {
-            return;
-        }
-        let chunk = n.div_ceil(vr_par::par::effective_threads(n, threads).max(1));
-        vr_par::par::par_for_mut(y, threads, |ci, yblock| {
-            let base = ci * chunk.max(1);
-            for (off, yi) in yblock.iter_mut().enumerate() {
-                let r = base + off;
-                let lo = self.indptr[r];
-                let hi = self.indptr[r + 1];
-                let mut acc = 0.0;
-                for k in lo..hi {
-                    acc += self.data[k] * x[self.indices[k]];
-                }
-                *yi = acc;
+        self.apply_team(
+            vr_par::reduce::resolve_team(self.nrows, threads).as_deref(),
+            x,
+            y,
+        );
+    }
+
+    /// Row-range SpMV of rows `lo..hi` into `yband` (`yband[0]` is row
+    /// `lo`). The per-row accumulation is the exact operation sequence of
+    /// [`CsrMatrix::spmv_into`], so any row partition is bit-identical to
+    /// the serial product.
+    fn spmv_rows_into(&self, x: &[f64], lo: usize, hi: usize, yband: &mut [f64]) {
+        for (off, yi) in yband.iter_mut().enumerate() {
+            let r = lo + off;
+            debug_assert!(r < hi);
+            let mut acc = 0.0;
+            for k in self.indptr[r]..self.indptr[r + 1] {
+                acc += self.data[k] * x[self.indices[k]];
             }
-        });
+            *yi = acc;
+        }
     }
 
     /// Wrap this matrix as a [`LinearOperator`] whose `apply` uses
@@ -612,13 +644,28 @@ mod par_tests {
 
     #[test]
     fn par_spmv_bit_identical_to_serial() {
-        let a = gen::poisson2d(40); // 1600 rows: parallel path engages
-        let x = gen::rand_vector(1600, 5);
+        // 40_000 rows clear the team dispatch grain for 4 workers
+        let a = gen::poisson2d(200);
+        let x = gen::rand_vector(40_000, 5);
         let serial = a.spmv(&x);
         for t in [1usize, 2, 3, 8] {
-            let mut y = vec![0.0; 1600];
+            let mut y = vec![0.0; 40_000];
             a.par_spmv_into(&x, &mut y, t);
             assert_eq!(y, serial, "threads = {t}");
+        }
+        // explicit team handle through the LinearOperator entry point
+        for w in [2usize, 4] {
+            let team = vr_par::team::Team::new(w);
+            let mut y = vec![0.0; 40_000];
+            a.apply_team(Some(&team), &x, &mut y);
+            assert_eq!(y, serial, "team width {w}");
+            let mut y = vec![0.0; 40_000];
+            let d = a.apply_dot_team(Some(&team), &x, &mut y);
+            assert_eq!(
+                d.to_bits(),
+                vr_par::reduce::par_dot_in(None, &x, &serial).to_bits(),
+                "team dot width {w}"
+            );
         }
     }
 

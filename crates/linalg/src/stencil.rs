@@ -199,6 +199,26 @@ impl Stencil2d {
         self.row_sweep::<true, false>(x, (nx - 1) * ny, &mut emit);
     }
 
+    /// Sweep grid rows `ilo..ihi` writing the stencil row values into
+    /// `yband` (`yband[0]` is flat index `ilo·ny`), choosing the
+    /// const-generic [`Stencil2d::row_sweep`] kind per row position. The
+    /// per-element operation sequence is exactly [`Stencil2d::row_value`],
+    /// so any band partition is bit-identical to the serial `apply`.
+    fn band_sweep_into(&self, x: &[f64], ilo: usize, ihi: usize, yband: &mut [f64]) {
+        let (nx, ny) = (self.nx, self.ny);
+        let base = ilo * ny;
+        let mut emit = |idx: usize, v: f64| yband[idx - base] = v;
+        for i in ilo..ihi {
+            let row = i * ny;
+            match (i > 0, i + 1 < nx) {
+                (false, false) => self.row_sweep::<false, false>(x, row, &mut emit),
+                (false, true) => self.row_sweep::<false, true>(x, row, &mut emit),
+                (true, true) => self.row_sweep::<true, true>(x, row, &mut emit),
+                (true, false) => self.row_sweep::<true, false>(x, row, &mut emit),
+            }
+        }
+    }
+
     /// Serial (`KAHAN = false`) or compensated (`KAHAN = true`) left-to-
     /// right accumulation of `term(idx, v)` over a [`Stencil2d::grid_sweep`]
     /// — the same associations [`crate::fused::fused_sum`] uses, so results
@@ -375,6 +395,41 @@ impl LinearOperator for Stencil2d {
             }
         })
     }
+
+    /// Team-parallel stencil application by contiguous grid-row bands,
+    /// reusing the const-generic [`Stencil2d::row_sweep`] fast path inside
+    /// each band — bit-identical to the serial `apply` for any team width.
+    fn apply_team(&self, team: Option<&vr_par::Team>, x: &[f64], y: &mut [f64]) {
+        let (nx, ny) = (self.nx, self.ny);
+        let n = nx * ny;
+        assert_eq!(x.len(), n);
+        assert_eq!(y.len(), n);
+        let width = team
+            .map_or(1, |t| vr_par::team::dispatch_width(n, t.width()))
+            .min(nx);
+        if width <= 1 {
+            self.apply(x, y);
+            return;
+        }
+        let team = team.expect("width > 1 implies a team");
+        let per = nx.div_ceil(width);
+        let yp = vr_par::team::SendPtr(y.as_mut_ptr());
+        let res = team.try_run(&move |w| {
+            let ilo = w * per;
+            if ilo >= nx {
+                return;
+            }
+            let ihi = ((w + 1) * per).min(nx);
+            // Safety: shards own disjoint grid-row bands (flat ranges
+            // `[ilo·ny, ihi·ny)`) of `y`, which outlives the epoch.
+            let yband =
+                unsafe { std::slice::from_raw_parts_mut(yp.get().add(ilo * ny), (ihi - ilo) * ny) };
+            self.band_sweep_into(x, ilo, ihi, yband);
+        });
+        if res.is_err() {
+            y.fill(f64::NAN);
+        }
+    }
 }
 
 /// Matrix-free 3-D seven-point Laplacian on an `n × n × n` grid.
@@ -470,6 +525,51 @@ impl LinearOperator for Stencil3d {
             y[idx] = v;
             x[idx] * v
         })
+    }
+
+    /// Team-parallel stencil application by contiguous bands of `i`-planes
+    /// (each plane is `n²` contiguous flat indices) — every row value is
+    /// the exact [`Stencil3d::row_value`] sequence, so bands are
+    /// bit-identical to the serial `apply` for any team width.
+    fn apply_team(&self, team: Option<&vr_par::Team>, x: &[f64], y: &mut [f64]) {
+        let n = self.n;
+        let n2 = n * n;
+        let dim = n2 * n;
+        assert_eq!(x.len(), dim);
+        assert_eq!(y.len(), dim);
+        let width = team
+            .map_or(1, |t| vr_par::team::dispatch_width(dim, t.width()))
+            .min(n);
+        if width <= 1 {
+            self.apply(x, y);
+            return;
+        }
+        let team = team.expect("width > 1 implies a team");
+        let per = n.div_ceil(width);
+        let yp = vr_par::team::SendPtr(y.as_mut_ptr());
+        let res = team.try_run(&move |w| {
+            let ilo = w * per;
+            if ilo >= n {
+                return;
+            }
+            let ihi = ((w + 1) * per).min(n);
+            // Safety: shards own disjoint plane bands `[ilo·n², ihi·n²)`
+            // of `y`, which outlives the epoch.
+            let yband =
+                unsafe { std::slice::from_raw_parts_mut(yp.get().add(ilo * n2), (ihi - ilo) * n2) };
+            for i in ilo..ihi {
+                for j in 0..n {
+                    let base = i * n2 + j * n;
+                    for k in 0..n {
+                        let idx = base + k;
+                        yband[idx - ilo * n2] = self.row_value(x, i, j, k, idx);
+                    }
+                }
+            }
+        });
+        if res.is_err() {
+            y.fill(f64::NAN);
+        }
     }
 }
 
@@ -608,6 +708,37 @@ mod tests {
         assert!(Stencil1d::new(5)
             .apply_dot_nostore(DotMode::Serial, &x[..5])
             .is_none());
+    }
+
+    #[test]
+    fn apply_team_bit_matches_serial_across_widths() {
+        use vr_par::team::Team;
+        // large enough to clear the dispatch grain for 4 workers
+        let s2 = Stencil2d::anisotropic(200, 200, 0.3);
+        let x2 = crate::gen::rand_vector(40_000, 7);
+        let mut ser2 = vec![0.0; 40_000];
+        s2.apply(&x2, &mut ser2);
+        let dot_ref = vr_par::reduce::par_dot_in(None, &x2, &ser2);
+        let s3 = Stencil3d::new(32);
+        let x3 = crate::gen::rand_vector(32 * 32 * 32, 9);
+        let mut ser3 = vec![0.0; x3.len()];
+        s3.apply(&x3, &mut ser3);
+        for w in [1usize, 2, 4, 8] {
+            let team = Team::new(w);
+            let mut y = vec![0.0; 40_000];
+            s2.apply_team(Some(&team), &x2, &mut y);
+            assert_eq!(ser2, y, "stencil2d width {w}");
+            let mut y = vec![0.0; 40_000];
+            let d = s2.apply_dot_team(Some(&team), &x2, &mut y);
+            assert_eq!(d.to_bits(), dot_ref.to_bits(), "stencil2d dot width {w}");
+            let mut y = vec![0.0; x3.len()];
+            s3.apply_team(Some(&team), &x3, &mut y);
+            assert_eq!(ser3, y, "stencil3d width {w}");
+        }
+        // `None` team falls back to the serial sweep
+        let mut y = vec![0.0; 40_000];
+        s2.apply_team(None, &x2, &mut y);
+        assert_eq!(ser2, y);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   is reduced serially, and chunk results are combined by the same binary
 //!   fan-in tree as `vr_linalg::kernels::tree_sum`. Results are
 //!   bit-for-bit reproducible across thread counts.
+//! * [`team`] — a persistent SPMD worker [`team::Team`] with
+//!   barrier-stepped epochs and fixed per-worker chunk ownership; the
+//!   solver hot path runs on it, so no per-iteration thread spawns remain.
 //! * [`pool`] — a persistent worker pool for `'static` jobs.
 //! * [`batch`] — fused multi-dot / Gram-matrix reductions (one data pass,
 //!   one fan-in latency for a whole moment family).
@@ -39,9 +42,11 @@ pub mod par;
 pub mod pipeline;
 pub mod pool;
 pub mod reduce;
+pub mod team;
 
 pub use pipeline::PendingScalar;
 pub use pool::ThreadPool;
+pub use team::Team;
 
 /// Number of worker threads to use by default: the available parallelism,
 /// capped at 8 (the experiments are about *structure*, not peak FLOPs).

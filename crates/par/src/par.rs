@@ -95,16 +95,13 @@ pub fn par_axpy(a: f64, x: &[f64], y: &mut [f64], threads: usize) {
     });
 }
 
-/// Clamp the requested thread count to something sensible for `n` items:
-/// at least 1, at most `n`, and no parallelism below 1024 items (thread
-/// spawn cost dominates there).
+/// Clamp the requested thread count to the shared dispatch grain: at most
+/// one worker per [`crate::team::GRAIN`] elements, at least 1. Delegates to
+/// [`crate::team::dispatch_width`] so scoped helpers, reductions, and the
+/// persistent team share a single serial/parallel cutover.
 #[must_use]
 pub fn effective_threads(n: usize, requested: usize) -> usize {
-    if n < 1024 {
-        1
-    } else {
-        requested.clamp(1, n)
-    }
+    crate::team::dispatch_width(n, requested)
 }
 
 #[cfg(test)]
@@ -135,9 +132,15 @@ mod tests {
 
     #[test]
     fn small_inputs_run_serial() {
+        use crate::team::GRAIN;
+        // pinned threshold contract: below one GRAIN of elements per
+        // worker, every kernel stays serial; above it the requested width
+        // is honored one worker per grain at a time
         assert_eq!(effective_threads(10, 8), 1);
-        assert_eq!(effective_threads(2048, 8), 8);
-        assert_eq!(effective_threads(2048, 0), 1);
+        assert_eq!(effective_threads(GRAIN, 8), 1);
+        assert_eq!(effective_threads(2 * GRAIN, 8), 2);
+        assert_eq!(effective_threads(16 * GRAIN, 8), 8);
+        assert_eq!(effective_threads(16 * GRAIN, 0), 1);
         let mut v = vec![0.0; 8];
         par_for_mut(&mut v, 8, |ci, chunk| {
             assert_eq!(ci, 0);

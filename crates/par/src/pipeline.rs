@@ -29,9 +29,22 @@ struct Cell {
     ready: Condvar,
 }
 
-/// Handle to a scalar reduction executing asynchronously on a [`ThreadPool`].
+enum Inner {
+    /// Produced asynchronously by a pool job.
+    Cell(Arc<Cell>),
+    /// Split-phase team reduction: the fixed-layout leaf partials are
+    /// already folded (during the producing sweep's epoch); the
+    /// deterministic [`reduce::tree_combine`] fan-in runs lazily at the
+    /// consume point, overlapping the combine with whatever vector work
+    /// the caller scheduled in between.
+    Deferred(Vec<f64>),
+}
+
+/// Handle to a scalar reduction that has been *launched* but not yet
+/// *consumed* — either an asynchronous pool job or a split-phase team
+/// reduction whose fan-in is deferred to the consume point.
 pub struct PendingScalar {
-    cell: Arc<Cell>,
+    inner: Inner,
 }
 
 impl PendingScalar {
@@ -48,7 +61,9 @@ impl PendingScalar {
             *slot = Some(v);
             cell2.ready.notify_all();
         });
-        PendingScalar { cell }
+        PendingScalar {
+            inner: Inner::Cell(cell),
+        }
     }
 
     /// Launch a deterministic dot product `Σ xᵢ·yᵢ` (single-threaded within
@@ -68,38 +83,49 @@ impl PendingScalar {
     #[must_use]
     pub fn ready(v: f64) -> Self {
         PendingScalar {
-            cell: Arc::new(Cell {
-                value: Mutex::new(Some(v)),
-                ready: Condvar::new(),
-            }),
+            inner: Inner::Deferred(vec![v]),
         }
     }
 
-    /// Non-blocking probe.
+    /// A split-phase team reduction: `partials` are the fixed-layout leaf
+    /// sums already folded during the producing sweep; the deterministic
+    /// [`reduce::tree_combine`] fan-in runs at the consume point
+    /// ([`PendingScalar::wait`] / [`PendingScalar::poll`]), so the combine
+    /// latency overlaps whatever work the caller does in between — the
+    /// paper's C2/C3 overlap on a real team.
     #[must_use]
-    pub fn poll(&self) -> Option<f64> {
-        *self
-            .cell
-            .value
-            .lock()
-            .expect("pending-scalar lock poisoned")
+    pub fn deferred(partials: Vec<f64>) -> Self {
+        PendingScalar {
+            inner: Inner::Deferred(partials),
+        }
     }
 
-    /// Block until the reduction completes and return the value.
+    /// Non-blocking probe. Deferred (split-phase) handles resolve
+    /// immediately by running their fan-in.
+    #[must_use]
+    pub fn poll(&self) -> Option<f64> {
+        match &self.inner {
+            Inner::Cell(cell) => *cell.value.lock().expect("pending-scalar lock poisoned"),
+            Inner::Deferred(partials) => Some(reduce::tree_combine(partials)),
+        }
+    }
+
+    /// Block until the reduction completes and return the value. For a
+    /// deferred (split-phase) handle this runs the `tree_combine` fan-in
+    /// now — the log-depth combine the paper charges at the consume point.
     ///
     /// # Panics
     /// Panics if the producing job panicked (the value never arrives within
     /// the 60 s watchdog).
     #[must_use]
     pub fn wait(&self) -> f64 {
-        let mut slot = self
-            .cell
-            .value
-            .lock()
-            .expect("pending-scalar lock poisoned");
+        let cell = match &self.inner {
+            Inner::Deferred(partials) => return reduce::tree_combine(partials),
+            Inner::Cell(cell) => cell,
+        };
+        let mut slot = cell.value.lock().expect("pending-scalar lock poisoned");
         while slot.is_none() {
-            let (guard, timeout) = self
-                .cell
+            let (guard, timeout) = cell
                 .ready
                 .wait_timeout(slot, std::time::Duration::from_secs(60))
                 .expect("pending-scalar lock poisoned");

@@ -10,6 +10,8 @@
 //!    paper's complexity argument counts.
 
 use crate::fault::{FaultInjector, FaultSite};
+use crate::team::{self, Team};
+use std::sync::Arc;
 
 /// Number of leaf chunks in the deterministic reduction tree.
 ///
@@ -17,54 +19,101 @@ use crate::fault::{FaultInjector, FaultSite};
 /// `⌈log₂ 256⌉ = 8` combine levels.
 pub const CHUNKS: usize = 256;
 
+/// Resolve a legacy `threads` argument to a persistent shared team.
+///
+/// `None` when the grain says the call stays serial anyway; otherwise the
+/// process-wide [`team::shared_team`] of that width. This is how the old
+/// `par_*(…, threads)` entry points shed their per-call `thread::scope`
+/// spawns without an API break.
+#[must_use]
+pub fn resolve_team(n: usize, threads: usize) -> Option<Arc<Team>> {
+    if team::dispatch_width(n, threads) <= 1 {
+        None
+    } else {
+        Some(team::shared_team(threads))
+    }
+}
+
 /// Deterministic parallel dot product.
 ///
 /// `threads` only controls execution width; the value is identical for any
-/// `threads >= 1` because the summation tree is fixed.
+/// `threads >= 1` because the summation tree is fixed. Runs on the
+/// process-wide persistent team (no per-call thread spawns).
 ///
 /// # Panics
 /// Panics if `x.len() != y.len()`.
 #[must_use]
 pub fn par_dot(x: &[f64], y: &[f64], threads: usize) -> f64 {
+    par_dot_in(resolve_team(x.len(), threads).as_deref(), x, y)
+}
+
+/// Deterministic dot product on an explicit [`Team`] (or serially for
+/// `None`). Bit-identical for any team width; returns NaN if the team is
+/// poisoned so solver guards terminate honestly.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+#[must_use]
+pub fn par_dot_in(team: Option<&Team>, x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "par_dot: length mismatch");
+    if x.is_empty() {
+        return 0.0;
+    }
+    match par_dot_partials_in(team, x, y) {
+        Ok(partials) => tree_combine(&partials),
+        Err(team::Poisoned) => f64::NAN,
+    }
+}
+
+/// Split-phase first half of [`par_dot_in`]: compute the fixed-layout leaf
+/// partials on the team but *defer* the [`tree_combine`] fan-in to the
+/// caller, who may overlap it with other vector work (the paper's C2/C3
+/// move). `tree_combine(&partials)` yields exactly the [`par_dot_in`]
+/// value.
+///
+/// # Errors
+/// Returns [`team::Poisoned`] if the team is poisoned.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+pub fn par_dot_partials_in(
+    team: Option<&Team>,
+    x: &[f64],
+    y: &[f64],
+) -> Result<Vec<f64>, team::Poisoned> {
     assert_eq!(x.len(), y.len(), "par_dot: length mismatch");
     let n = x.len();
     if n == 0 {
-        return 0.0;
+        return Ok(Vec::new());
     }
-    let partials = chunk_partials(x, y, threads);
-    tree_combine(&partials)
+    let chunk = n.div_ceil(CHUNKS);
+    let mut work: Vec<(&[f64], &[f64])> = x.chunks(chunk).zip(y.chunks(chunk)).collect();
+    team::run_leaves_team(team, &mut work, n, &|&mut (xc, yc): &mut (
+        &[f64],
+        &[f64],
+    )| { serial_dot(xc, yc) })
 }
 
-/// Deterministic parallel sum.
+/// Deterministic parallel sum (persistent shared team, no per-call spawns).
 #[must_use]
 pub fn par_sum(x: &[f64], threads: usize) -> f64 {
+    par_sum_in(resolve_team(x.len(), threads).as_deref(), x)
+}
+
+/// Deterministic sum on an explicit [`Team`] (or serially for `None`).
+/// Returns NaN if the team is poisoned.
+#[must_use]
+pub fn par_sum_in(team: Option<&Team>, x: &[f64]) -> f64 {
     let n = x.len();
     if n == 0 {
         return 0.0;
     }
     let chunk = n.div_ceil(CHUNKS);
-    let pieces: Vec<&[f64]> = x.chunks(chunk).collect();
-    let mut partials = vec![0.0; pieces.len()];
-    let threads = crate::par::effective_threads(n, threads);
-    if threads <= 1 {
-        for (p, piece) in partials.iter_mut().zip(&pieces) {
-            *p = serial_sum(piece);
-        }
-    } else {
-        let per = pieces.len().div_ceil(threads);
-        std::thread::scope(|s| {
-            for (t, pslice) in partials.chunks_mut(per).enumerate() {
-                let base = t * per;
-                let pieces = &pieces;
-                s.spawn(move || {
-                    for (off, p) in pslice.iter_mut().enumerate() {
-                        *p = serial_sum(pieces[base + off]);
-                    }
-                });
-            }
-        });
+    let mut work: Vec<&[f64]> = x.chunks(chunk).collect();
+    match team::run_leaves_team(team, &mut work, n, &|xc: &mut &[f64]| serial_sum(xc)) {
+        Ok(partials) => tree_combine(&partials),
+        Err(team::Poisoned) => f64::NAN,
     }
-    tree_combine(&partials)
 }
 
 /// Deterministic parallel squared norm.
@@ -73,33 +122,10 @@ pub fn par_norm2_sq(x: &[f64], threads: usize) -> f64 {
     par_dot(x, x, threads)
 }
 
-fn chunk_partials(x: &[f64], y: &[f64], threads: usize) -> Vec<f64> {
-    let n = x.len();
-    let chunk = n.div_ceil(CHUNKS);
-    let pieces_x: Vec<&[f64]> = x.chunks(chunk).collect();
-    let pieces_y: Vec<&[f64]> = y.chunks(chunk).collect();
-    let m = pieces_x.len();
-    let mut partials = vec![0.0; m];
-    let threads = crate::par::effective_threads(n, threads);
-    if threads <= 1 {
-        for i in 0..m {
-            partials[i] = serial_dot(pieces_x[i], pieces_y[i]);
-        }
-    } else {
-        let per = m.div_ceil(threads);
-        std::thread::scope(|s| {
-            for (t, pslice) in partials.chunks_mut(per).enumerate() {
-                let base = t * per;
-                let (px, py) = (&pieces_x, &pieces_y);
-                s.spawn(move || {
-                    for (off, p) in pslice.iter_mut().enumerate() {
-                        *p = serial_dot(px[base + off], py[base + off]);
-                    }
-                });
-            }
-        });
-    }
-    partials
+/// Deterministic squared norm on an explicit [`Team`].
+#[must_use]
+pub fn par_norm2_sq_in(team: Option<&Team>, x: &[f64]) -> f64 {
+    par_dot_in(team, x, x)
 }
 
 fn serial_dot(x: &[f64], y: &[f64]) -> f64 {
@@ -129,11 +155,24 @@ fn serial_sum(x: &[f64]) -> f64 {
 /// thread count, like the fault-free path.
 #[must_use]
 pub fn par_dot_with(x: &[f64], y: &[f64], threads: usize, inj: &dyn FaultInjector) -> f64 {
+    par_dot_with_in(resolve_team(x.len(), threads).as_deref(), x, y, inj)
+}
+
+/// [`par_dot_with`] on an explicit [`Team`]: the injector sees the same
+/// serial DotPartial/DotFinal event order for any team width. A poisoned
+/// team yields NaN without consuming injector events.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+#[must_use]
+pub fn par_dot_with_in(team: Option<&Team>, x: &[f64], y: &[f64], inj: &dyn FaultInjector) -> f64 {
     assert_eq!(x.len(), y.len(), "par_dot_with: length mismatch");
     if x.is_empty() {
         return inj.corrupt(FaultSite::DotFinal, 0.0);
     }
-    let mut partials = chunk_partials(x, y, threads);
+    let Ok(mut partials) = par_dot_partials_in(team, x, y) else {
+        return f64::NAN;
+    };
     for p in &mut partials {
         *p = inj.corrupt(FaultSite::DotPartial, *p);
     }
@@ -275,6 +314,36 @@ mod tests {
         let x = vec![1.0; 4096];
         let inj = PoisonFirstPartial(std::sync::atomic::AtomicU64::new(0));
         assert!(par_dot_with(&x, &x, 2, &inj).is_nan());
+    }
+
+    #[test]
+    fn team_path_bit_matches_serial_and_split_phase_combines() {
+        let x: Vec<f64> = (0..40_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let y: Vec<f64> = (0..40_000).map(|i| ((i % 13) as f64) - 6.0).collect();
+        let serial = par_dot_in(None, &x, &y);
+        let team = crate::team::Team::new(4);
+        assert_eq!(par_dot_in(Some(&team), &x, &y).to_bits(), serial.to_bits());
+        // split-phase: deferred combine reproduces the eager value exactly
+        let partials = par_dot_partials_in(Some(&team), &x, &y).unwrap();
+        assert!(!partials.is_empty() && partials.len() <= CHUNKS);
+        assert_eq!(tree_combine(&partials).to_bits(), serial.to_bits());
+        // sums too
+        assert_eq!(
+            par_sum_in(Some(&team), &x).to_bits(),
+            par_sum_in(None, &x).to_bits()
+        );
+    }
+
+    #[test]
+    fn poisoned_team_reductions_are_nan_not_hangs() {
+        let team = crate::team::Team::new(2);
+        let _ = team.try_run(&|_| panic!("poison"));
+        let x = vec![1.0; 65_536];
+        assert!(par_dot_in(Some(&team), &x, &x).is_nan());
+        assert!(par_sum_in(Some(&team), &x).is_nan());
+        assert!(par_dot_partials_in(Some(&team), &x, &x).is_err());
+        use crate::fault::NoFaults;
+        assert!(par_dot_with_in(Some(&team), &x, &x, &NoFaults).is_nan());
     }
 
     #[test]

@@ -1,0 +1,566 @@
+//! Persistent SPMD worker team with barrier-stepped epochs.
+//!
+//! The scoped-thread helpers in [`crate::par`] and [`crate::reduce`] spawn
+//! OS threads on *every* call. For a CG iteration that performs a handful of
+//! vector sweeps per iteration, the spawn/join cost dwarfs the arithmetic,
+//! so `threads >= 2` mostly measured thread creation — the opposite of the
+//! paper's premise of an always-available N-processor machine.
+//!
+//! A [`Team`] is that machine: `width − 1` long-lived workers plus the
+//! caller (who participates as shard 0). Each kernel invocation is one
+//! *epoch*: the caller publishes a job, every member runs its shard, and
+//! the epoch barrier completes when all shards finish. Shard ownership is
+//! fixed — shard `w` always covers the same index range of a given vector
+//! length — so the same worker touches the same cache-resident slice every
+//! iteration.
+//!
+//! ## Determinism
+//!
+//! The team never influences *values*. Reductions built on it keep the
+//! fixed [`crate::reduce::CHUNKS`]-leaf layout and the deterministic
+//! [`crate::reduce::tree_combine`] fan-in, so results are bit-identical
+//! for any team width; the team only decides which worker computes which
+//! leaves. Elementwise kernels (axpy and friends) are exact per element and
+//! therefore trivially width-invariant.
+//!
+//! ## Failure model
+//!
+//! A panic in any shard *poisons* the team: the epoch still completes (the
+//! barrier counts panicked shards as done, so [`Team::try_run`] never
+//! hangs and never lets a borrowed job outlive the call), but the epoch
+//! and every later one report [`Poisoned`]. Kernel wrappers translate that
+//! into NaN outputs, which the solver's existing pivot/residual guards
+//! convert into an honest breakdown termination.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Dispatch grain: minimum number of elements a worker must receive before
+/// parallel dispatch is worth an epoch wake-up.
+///
+/// Measured on the development host: one `Team` epoch (publish + wake +
+/// barrier) costs on the order of a few microseconds, while a worker sweeps
+/// roughly 1–2 elements/ns on streaming kernels — so below a few thousand
+/// elements per worker the wake-up dominates the arithmetic. 8192 elements
+/// (64 KiB of f64, one worker's L1-resident slice) keeps the crossover
+/// comfortably on the profitable side for every kernel in this workspace.
+/// Shared by [`crate::par`], [`crate::reduce`], and the team path so the
+/// serial/parallel cutover is consistent everywhere.
+pub const GRAIN: usize = 8192;
+
+/// Clamp a requested execution width to the dispatch grain: at most one
+/// worker per [`GRAIN`] elements, at least 1, and exactly 1 when the caller
+/// asked for no parallelism.
+///
+/// This controls *execution width only* — never values. Reductions keep
+/// their fixed chunk layout regardless of the width chosen here.
+#[must_use]
+pub fn dispatch_width(n: usize, requested: usize) -> usize {
+    if requested <= 1 {
+        1
+    } else {
+        requested.min(n / GRAIN).max(1)
+    }
+}
+
+/// Error: a team member panicked during this or an earlier epoch.
+///
+/// The team is permanently disabled; kernel wrappers surface this as NaN
+/// results so solver guards terminate with an honest breakdown instead of
+/// hanging or silently computing garbage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Poisoned;
+
+impl std::fmt::Display for Poisoned {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker team poisoned by a panicked shard")
+    }
+}
+
+impl std::error::Error for Poisoned {}
+
+/// Raw pointer to the epoch's job, lifetime-erased so it can sit in the
+/// shared state while workers run it.
+///
+/// Safety contract: [`Team::try_run`] does not return until every shard has
+/// finished (the barrier counts panicked shards), so the pointee — a
+/// closure borrowed from the caller's stack — outlives every dereference.
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+unsafe impl Send for JobPtr {}
+
+struct State {
+    /// Monotonic epoch counter; workers run one job per increment.
+    epoch: u64,
+    job: Option<JobPtr>,
+    /// Worker shards still running the current epoch (caller not counted).
+    remaining: usize,
+    poisoned: bool,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Signalled when a new epoch (or shutdown) is published.
+    start: Condvar,
+    /// Signalled when the last worker shard of an epoch finishes.
+    done: Condvar,
+    /// Serializes whole epochs across concurrent callers sharing one team.
+    run_lock: Mutex<()>,
+}
+
+/// A persistent SPMD worker team.
+///
+/// `Team::new(width)` spawns `width − 1` OS threads that live until the
+/// team is dropped; the caller acts as shard 0 of every epoch. See the
+/// [module docs](self) for the execution and failure model.
+pub struct Team {
+    width: usize,
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Team {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Team")
+            .field("width", &self.width)
+            .field("poisoned", &self.is_poisoned())
+            .finish()
+    }
+}
+
+impl Team {
+    /// Create a team of total width `width` (caller + `width − 1` workers).
+    ///
+    /// `width <= 1` creates a degenerate team with no workers; every epoch
+    /// runs entirely on the caller.
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        let width = width.max(1);
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                poisoned: false,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+            run_lock: Mutex::new(()),
+        });
+        let workers = (1..width)
+            .map(|idx| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("vr-team-{idx}"))
+                    .spawn(move || worker_loop(&inner, idx))
+                    .expect("failed to spawn team worker")
+            })
+            .collect();
+        Team {
+            width,
+            inner,
+            workers,
+        }
+    }
+
+    /// Total shard count (caller included).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Whether a previous epoch panicked and disabled the team.
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.state.lock().expect("team state lock").poisoned
+    }
+
+    /// Run one epoch: every shard `w ∈ 0..width` executes `job(w)`, the
+    /// caller as shard 0 on its own thread.
+    ///
+    /// Blocks until *all* shards finish — including when a shard panics, so
+    /// the borrowed `job` never outlives the call. Returns [`Poisoned`] if
+    /// any shard of this or an earlier epoch panicked; outputs written by
+    /// a partially-completed epoch are unspecified and the caller must
+    /// discard them (the kernel wrappers overwrite them with NaN).
+    pub fn try_run(&self, job: &(dyn Fn(usize) + Sync)) -> Result<(), Poisoned> {
+        if self.width <= 1 {
+            if self.is_poisoned() {
+                return Err(Poisoned);
+            }
+            if catch_unwind(AssertUnwindSafe(|| job(0))).is_err() {
+                self.inner.state.lock().expect("team state lock").poisoned = true;
+                return Err(Poisoned);
+            }
+            return Ok(());
+        }
+        let _epoch_guard = self.inner.run_lock.lock().expect("team run lock");
+        {
+            let mut st = self.inner.state.lock().expect("team state lock");
+            if st.poisoned {
+                return Err(Poisoned);
+            }
+            // Erase the borrow lifetime; sound because this function blocks
+            // until `remaining == 0` below, on every path.
+            let ptr: *const (dyn Fn(usize) + Sync) = job;
+            st.job = Some(JobPtr(unsafe {
+                std::mem::transmute::<
+                    *const (dyn Fn(usize) + Sync),
+                    *const (dyn Fn(usize) + Sync + 'static),
+                >(ptr)
+            }));
+            st.remaining = self.width - 1;
+            st.epoch += 1;
+            self.inner.start.notify_all();
+        }
+        let caller_panicked = catch_unwind(AssertUnwindSafe(|| job(0))).is_err();
+        let mut st = self.inner.state.lock().expect("team state lock");
+        while st.remaining > 0 {
+            st = self.inner.done.wait(st).expect("team state lock");
+        }
+        st.job = None;
+        if caller_panicked {
+            st.poisoned = true;
+        }
+        if st.poisoned {
+            Err(Poisoned)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Drop for Team {
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.state.lock().expect("team state lock");
+            st.shutdown = true;
+            self.inner.start.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner, idx: usize) {
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = inner.state.lock().expect("team state lock");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch > last_epoch {
+                    last_epoch = st.epoch;
+                    match &st.job {
+                        Some(j) => break JobPtr(j.0),
+                        // epoch bumped without a job: nothing to do
+                        None => continue,
+                    }
+                }
+                st = inner.start.wait(st).expect("team state lock");
+            }
+        };
+        let panicked = catch_unwind(AssertUnwindSafe(|| {
+            let f: &(dyn Fn(usize) + Sync) = unsafe { &*job.0 };
+            f(idx);
+        }))
+        .is_err();
+        let mut st = inner.state.lock().expect("team state lock");
+        if panicked {
+            st.poisoned = true;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            inner.done.notify_all();
+        }
+    }
+}
+
+/// Process-wide team cache: one long-lived team per width, shared by every
+/// solve and by the legacy `par_*(…, threads)` entry points so nothing on
+/// the solver hot path spawns threads per call.
+///
+/// A cached team found poisoned (some earlier caller's job panicked) is
+/// replaced with a fresh one, so an unrelated failure cannot permanently
+/// disable parallelism for the whole process.
+#[must_use]
+pub fn shared_team(width: usize) -> Arc<Team> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<Team>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("team cache lock");
+    match map.get(&width) {
+        Some(t) if !t.is_poisoned() => Arc::clone(t),
+        _ => {
+            let t = Arc::new(Team::new(width));
+            map.insert(width, Arc::clone(&t));
+            t
+        }
+    }
+}
+
+/// Send/Sync wrapper for a raw element pointer handed to team shards.
+///
+/// Safety contract: every shard derived from one `SendPtr` writes a
+/// disjoint index range, and the pointee outlives the epoch (guaranteed by
+/// [`Team::try_run`] blocking until all shards finish).
+pub struct SendPtr<T>(pub *mut T);
+
+// manual impls: the derive would add an unwanted `T: Copy` bound
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer. Going through a method (rather than field
+    /// access) makes edition-2021 closures capture the Sync wrapper, not
+    /// the raw non-Sync pointer field.
+    #[must_use]
+    pub fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+/// Run `leaf` over every item of `work` on the team, returning the per-item
+/// results in order.
+///
+/// `n` is the underlying element count, used only to pick the dispatch
+/// width via [`dispatch_width`]; the result layout is `work.len()` slots
+/// regardless of width, so reductions stay bit-identical. Items are
+/// distributed in fixed contiguous blocks: shard `w` owns items
+/// `[w·per, (w+1)·per)` with `per = ⌈m / width⌉`.
+///
+/// # Errors
+/// Returns [`Poisoned`] if the team is or becomes poisoned; the returned
+/// results are then unspecified and must be discarded.
+pub fn run_leaves_team<T: Send, R: Send + Copy + Default>(
+    team: Option<&Team>,
+    work: &mut [T],
+    n: usize,
+    leaf: &(dyn Fn(&mut T) -> R + Sync),
+) -> Result<Vec<R>, Poisoned> {
+    let m = work.len();
+    let mut out = vec![R::default(); m];
+    let width = dispatch_width(n, team.map_or(1, Team::width)).min(m.max(1));
+    if width <= 1 {
+        if let Some(t) = team {
+            if t.is_poisoned() {
+                return Err(Poisoned);
+            }
+        }
+        for (item, slot) in work.iter_mut().zip(out.iter_mut()) {
+            *slot = leaf(item);
+        }
+        return Ok(out);
+    }
+    let team = team.expect("width > 1 implies a team");
+    let per = m.div_ceil(width);
+    let work_ptr = SendPtr(work.as_mut_ptr());
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    team.try_run(&move |w| {
+        let lo = w * per;
+        if lo >= m {
+            return;
+        }
+        let hi = ((w + 1) * per).min(m);
+        for i in lo..hi {
+            // Safety: shards cover disjoint `[lo, hi)` ranges of both
+            // buffers, and `try_run` keeps the buffers alive until every
+            // shard finishes.
+            unsafe {
+                *out_ptr.get().add(i) = leaf(&mut *work_ptr.get().add(i));
+            }
+        }
+    })?;
+    Ok(out)
+}
+
+/// Team-backed `y ← a·x + y`. Elementwise, hence exact (bit-identical) for
+/// any team width. On a poisoned team `y` is filled with NaN so downstream
+/// guards terminate honestly.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+pub fn par_axpy_in(team: Option<&Team>, a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "par_axpy_in: length mismatch");
+    elementwise_in(team, x, y, move |xi, yi| *yi += a * xi);
+}
+
+/// Team-backed `y ← x + a·y` (the `xpay` update of the direction vector).
+/// Elementwise, hence exact for any team width; NaN-fills `y` on poison.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+pub fn par_xpay_in(team: Option<&Team>, x: &[f64], a: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "par_xpay_in: length mismatch");
+    elementwise_in(team, x, y, move |xi, yi| *yi = xi + a * *yi);
+}
+
+fn elementwise_in(team: Option<&Team>, x: &[f64], y: &mut [f64], f: impl Fn(f64, &mut f64) + Sync) {
+    let n = y.len();
+    let width = dispatch_width(n, team.map_or(1, Team::width));
+    if width <= 1 {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            f(*xi, yi);
+        }
+        return;
+    }
+    let team = team.expect("width > 1 implies a team");
+    let per = n.div_ceil(width);
+    let yp = SendPtr(y.as_mut_ptr());
+    let res = team.try_run(&move |w| {
+        let lo = w * per;
+        if lo >= n {
+            return;
+        }
+        let hi = ((w + 1) * per).min(n);
+        // Safety: disjoint ranges per shard; buffers outlive the epoch.
+        let ys = unsafe { std::slice::from_raw_parts_mut(yp.get().add(lo), hi - lo) };
+        for (yi, xi) in ys.iter_mut().zip(&x[lo..hi]) {
+            f(*xi, yi);
+        }
+    });
+    if res.is_err() {
+        y.fill(f64::NAN);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grain_cutoff_pins_threshold() {
+        // Below one grain of work: serial no matter what was requested.
+        assert_eq!(dispatch_width(GRAIN - 1, 8), 1);
+        assert_eq!(dispatch_width(GRAIN, 8), 1);
+        // Two grains justify two workers, no more.
+        assert_eq!(dispatch_width(2 * GRAIN, 8), 2);
+        // Plenty of work: the full request is honored.
+        assert_eq!(dispatch_width(16 * GRAIN, 8), 8);
+        // Requests of 0 or 1 never dispatch.
+        assert_eq!(dispatch_width(usize::MAX, 1), 1);
+        assert_eq!(dispatch_width(usize::MAX, 0), 1);
+    }
+
+    #[test]
+    fn epochs_run_every_shard() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let team = Team::new(4);
+        let hits = AtomicUsize::new(0);
+        for _ in 0..100 {
+            team.try_run(&|w| {
+                assert!(w < 4);
+                hits.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn degenerate_team_runs_caller_only() {
+        let team = Team::new(1);
+        let mut ran = false;
+        team.try_run(&|w| assert_eq!(w, 0)).unwrap();
+        // borrowed mutable state works through a fresh epoch too
+        let cell = std::sync::Mutex::new(&mut ran);
+        team.try_run(&|_| **cell.lock().unwrap() = true).unwrap();
+        assert!(ran);
+    }
+
+    #[test]
+    fn panic_poisons_and_returns_err_not_hang() {
+        let team = Team::new(3);
+        let r = team.try_run(&|w| {
+            if w == 1 {
+                panic!("injected shard panic");
+            }
+        });
+        assert_eq!(r, Err(Poisoned));
+        assert!(team.is_poisoned());
+        // every later epoch fails fast
+        assert_eq!(team.try_run(&|_| {}), Err(Poisoned));
+    }
+
+    #[test]
+    fn caller_shard_panic_also_poisons() {
+        let team = Team::new(2);
+        let r = team.try_run(&|w| {
+            if w == 0 {
+                panic!("caller shard panic");
+            }
+        });
+        assert_eq!(r, Err(Poisoned));
+        assert!(team.is_poisoned());
+    }
+
+    #[test]
+    fn run_leaves_team_matches_serial() {
+        let mut work: Vec<(usize, f64)> = (0..CHUNK_ITEMS).map(|i| (i, i as f64)).collect();
+        let expect: Vec<f64> = work.iter().map(|&(i, v)| v * 2.0 + i as f64).collect();
+        let team = Team::new(4);
+        let got = run_leaves_team(Some(&team), &mut work, 32 * GRAIN, &|&mut (i, v): &mut (
+            usize,
+            f64,
+        )| {
+            v * 2.0 + i as f64
+        })
+        .unwrap();
+        assert_eq!(got, expect);
+        const CHUNK_ITEMS: usize = 257;
+    }
+
+    #[test]
+    fn par_axpy_in_exact_any_width() {
+        let n = 3 * GRAIN + 17;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mut serial: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let mut pooled = serial.clone();
+        for (yi, xi) in serial.iter_mut().zip(&x) {
+            *yi += 2.5 * xi;
+        }
+        let team = Team::new(4);
+        par_axpy_in(Some(&team), 2.5, &x, &mut pooled);
+        assert_eq!(serial, pooled);
+        let mut p2 = x.clone();
+        let mut p1 = x.clone();
+        par_xpay_in(Some(&team), &serial, -0.25, &mut p2);
+        par_xpay_in(None, &serial, -0.25, &mut p1);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn shared_team_caches_and_replaces_poisoned() {
+        let a = shared_team(3);
+        let b = shared_team(3);
+        assert!(Arc::ptr_eq(&a, &b));
+        let _ = a.try_run(&|_| panic!("poison the shared team"));
+        assert!(a.is_poisoned());
+        let c = shared_team(3);
+        assert!(!Arc::ptr_eq(&a, &c), "poisoned team must be replaced");
+        assert!(!c.is_poisoned());
+        c.try_run(&|_| {}).unwrap();
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        for _ in 0..10 {
+            let team = Team::new(4);
+            team.try_run(&|_| {}).unwrap();
+            drop(team); // must not hang or leak
+        }
+    }
+}

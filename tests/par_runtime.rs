@@ -1,10 +1,13 @@
 //! Integration: the deterministic parallel runtime in concert with the
 //! solvers — the "real machine" half of the reproduction.
 
+use cg_lookahead::cg::resilience::{FaultKind, SeededInjector};
 use cg_lookahead::cg::standard::StandardCg;
-use cg_lookahead::cg::{CgVariant, SolveOptions};
+use cg_lookahead::cg::{CgVariant, SolveOptions, Termination};
+use cg_lookahead::linalg::kernels::DotMode;
 use cg_lookahead::linalg::{gen, kernels, LinearOperator};
-use cg_lookahead::par::{par, reduce, PendingScalar, ThreadPool};
+use cg_lookahead::par::{par, reduce, PendingScalar, Team, ThreadPool};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 #[test]
@@ -115,4 +118,105 @@ fn par_map_and_axpy_compose() {
     let mut y = doubled.clone();
     par::par_axpy(-2.0, &x, &mut y, 4);
     assert!(y.iter().all(|&v| v == 0.0));
+}
+
+// ---------- persistent team lifecycle ----------
+
+#[test]
+fn team_runs_many_epochs_and_drops_cleanly() {
+    // A team is a long-lived machine: hundreds of barrier-stepped epochs on
+    // the same workers, then `drop` joins every worker. The assertions are
+    // the epoch count being exact (no lost or duplicated shards) and the
+    // test completing at all (no deadlock on shutdown).
+    let team = Team::new(4);
+    let hits = AtomicUsize::new(0);
+    for _ in 0..200 {
+        team.try_run(&|_shard| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        })
+        .expect("healthy team");
+    }
+    assert_eq!(hits.load(Ordering::Relaxed), 200 * 4);
+    drop(team);
+}
+
+#[test]
+fn worker_panic_poisons_team_and_solve_breaks_down_honestly() {
+    let team = Arc::new(Team::new(4));
+    // Poison: every worker shard panics during one epoch. The barrier
+    // counts panicked shards, so the epoch completes (no hang) and the
+    // team is permanently disabled.
+    let r = team.try_run(&|shard| assert_eq!(shard, 0, "shard {shard} aborts"));
+    assert!(r.is_err());
+    assert!(team.is_poisoned());
+    // later epochs refuse immediately
+    assert!(team.try_run(&|_| {}).is_err());
+
+    // A solve handed the poisoned team must terminate with an honest
+    // breakdown — NaN-filled kernel outputs tripping the pivot guards —
+    // not hang on a dead barrier or return a silently wrong answer.
+    let a = gen::poisson2d(40);
+    let b = gen::poisson2d_rhs(40);
+    let opts = SolveOptions {
+        team: Some(Arc::clone(&team)),
+        threads: 4,
+        ..SolveOptions::default().with_dot_mode(DotMode::Tree)
+    };
+    let res = StandardCg::new().solve(&a, &b, None, &opts);
+    assert!(!res.converged);
+    assert_eq!(res.termination, Termination::Breakdown);
+}
+
+#[test]
+fn team_backed_tree_solve_matches_single_thread_bits() {
+    // 128² = 16384 unknowns: wide enough that a width-4 team dispatches
+    // real multi-shard epochs, and the whole trace must still match the
+    // single-threaded solve bit for bit.
+    let a = gen::poisson2d(128);
+    let b = gen::poisson2d_rhs(128);
+    let base = SolveOptions::default()
+        .with_tol(1e-9)
+        .with_dot_mode(DotMode::Tree);
+    let one = StandardCg::new().solve(&a, &b, None, &base.clone().with_threads(1));
+    let four = StandardCg::new().solve(&a, &b, None, &base.clone().with_threads(4));
+    assert!(one.converged && four.converged);
+    assert_eq!(one.iterations, four.iterations);
+    assert_eq!(one.x, four.x);
+    assert_eq!(one.residual_norms, four.residual_norms);
+    // the shared team survives for the next solve on the same width
+    let again = StandardCg::new().solve(&a, &b, None, &base.with_threads(4));
+    assert_eq!(four.x, again.x);
+}
+
+#[test]
+fn seeded_fault_injection_is_bit_reproducible_across_team_widths() {
+    // Faults are seeded by global element index, so the same corruption
+    // lands on the same iterate no matter how many shards computed it:
+    // identical traces for widths 1, 2, and 4 (182² ≥ 4·GRAIN engages all
+    // of them for real).
+    let a = gen::poisson2d(182);
+    let b = gen::poisson2d_rhs(182);
+    let mk = |threads: usize| {
+        SolveOptions::default()
+            .with_tol(1e-10)
+            .with_max_iters(12)
+            .with_dot_mode(DotMode::Tree)
+            .with_injector(Arc::new(SeededInjector::new(
+                0xFEED,
+                0.02,
+                FaultKind::Perturb(0.25),
+            )))
+            .with_threads(threads)
+    };
+    let base = StandardCg::new().solve(&a, &b, None, &mk(1));
+    for threads in [2usize, 4] {
+        let res = StandardCg::new().solve(&a, &b, None, &mk(threads));
+        assert_eq!(base.termination, res.termination, "threads {threads}");
+        assert_eq!(base.iterations, res.iterations, "threads {threads}");
+        assert_eq!(base.x, res.x, "threads {threads}: x bits");
+        assert_eq!(
+            base.residual_norms, res.residual_norms,
+            "threads {threads}: trace bits"
+        );
+    }
 }

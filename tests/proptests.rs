@@ -748,3 +748,116 @@ fn injected_rates_reproduce_exactly_per_seed() {
         }
     });
 }
+
+// ---------- fifth wave: persistent team runtime ----------
+
+use cg_lookahead::cg::OpCounts;
+use cg_lookahead::par::{PendingScalar, Team};
+
+#[test]
+fn team_reductions_bits_invariant_across_widths() {
+    // the team decides who computes which chunk leaves, never the leaf
+    // layout or the fan-in order — so any width, including the degenerate
+    // no-team path, produces the same bits. n spans the dispatch grain so
+    // multi-shard epochs genuinely run.
+    check(6, |rng| {
+        let n = 20_000 + rng.below(20_000);
+        let x = small_vec(rng, n);
+        let y = small_vec(rng, n);
+        let d0 = reduce::par_dot_in(None, &x, &y);
+        let s0 = reduce::par_norm2_sq_in(None, &x);
+        for width in [2usize, 4, 8] {
+            let team = Team::new(width);
+            let d = reduce::par_dot_in(Some(&team), &x, &y);
+            let s = reduce::par_norm2_sq_in(Some(&team), &x);
+            assert_eq!(d0.to_bits(), d.to_bits(), "dot width {width}");
+            assert_eq!(s0.to_bits(), s.to_bits(), "norm2 width {width}");
+        }
+    });
+}
+
+#[test]
+fn team_fused_sweeps_bits_invariant_across_widths() {
+    // fused sweep kernels on a team: outputs are exact per element and the
+    // carried reductions use the fixed chunk tree, so vectors and scalars
+    // both match the width-1 run bit for bit
+    check(6, |rng| {
+        let n = 20_000 + rng.below(10_000);
+        let p = small_vec(rng, n);
+        let w = small_vec(rng, n);
+        let z = small_vec(rng, n);
+        let lambda = rng.range_f64(-2.0, 2.0);
+        let mut y0 = small_vec(rng, n);
+        let y_init = y0.clone();
+        let d0 = fused::par_axpy_dot_in(None, lambda, &p, &mut y0, &z);
+        let (u0, v0) = fused::par_dot2_in(None, &w, &p, &z);
+        for width in [2usize, 4] {
+            let team = Team::new(width);
+            let mut y = y_init.clone();
+            let d = fused::par_axpy_dot_in(Some(&team), lambda, &p, &mut y, &z);
+            let (u, v) = fused::par_dot2_in(Some(&team), &w, &p, &z);
+            assert_eq!(d0.to_bits(), d.to_bits(), "axpy_dot width {width}");
+            assert_eq!(y0, y, "axpy output width {width}");
+            assert_eq!(u0.to_bits(), u.to_bits(), "dot2.0 width {width}");
+            assert_eq!(v0.to_bits(), v.to_bits(), "dot2.1 width {width}");
+        }
+    });
+}
+
+#[test]
+fn deferred_dot2_matches_eager_bits() {
+    // the split-phase launch path (partials now, tree fan-in at the
+    // consume point) must be indistinguishable in value from the eager
+    // fused reduction it replaces
+    check(8, |rng| {
+        let n = 12_000 + rng.below(24_000);
+        let x = small_vec(rng, n);
+        let y = small_vec(rng, n);
+        let z = small_vec(rng, n);
+        for threads in [1usize, 4] {
+            let opts = SolveOptions::default()
+                .with_dot_mode(FusedDotMode::Tree)
+                .with_threads(threads);
+            let mut counts = OpCounts::default();
+            let (a_eager, b_eager) = opts.dot2(&x, &y, &z, &mut counts);
+            let (pa, pb) = opts.dot2_deferred(&x, &y, &z, &mut counts);
+            assert_eq!(a_eager.to_bits(), pa.wait().to_bits(), "t={threads}");
+            assert_eq!(b_eager.to_bits(), pb.wait().to_bits(), "t={threads}");
+        }
+    });
+}
+
+#[test]
+fn deferred_pending_scalar_resolves_tree_combine_of_partials() {
+    // PendingScalar::deferred(partials) is the team's launch handle: its
+    // wait() must equal the one-shot team reduction over the same data
+    check(8, |rng| {
+        let n = 9_000 + rng.below(30_000);
+        let x = small_vec(rng, n);
+        let y = small_vec(rng, n);
+        let team = Team::new(4);
+        let partials = reduce::par_dot_partials_in(Some(&team), &x, &y).expect("healthy team");
+        let pending = PendingScalar::deferred(partials);
+        let expect = reduce::par_dot_in(None, &x, &y);
+        assert_eq!(expect.to_bits(), pending.wait().to_bits());
+    });
+}
+
+#[test]
+fn poisoned_team_reductions_return_nan_at_any_width() {
+    // a poisoned team must never return a plausible-but-wrong number: the
+    // kernel wrappers overwrite with NaN so solver guards break down
+    check(3, |rng| {
+        let n = 4 + rng.below(40_000);
+        let x = small_vec(rng, n);
+        for width in [1usize, 2, 4] {
+            let team = Team::new(width);
+            let _ = team.try_run(&|_| panic!("injected shard abort"));
+            assert!(team.is_poisoned(), "width {width}");
+            assert!(reduce::par_dot_in(Some(&team), &x, &x).is_nan());
+            assert!(reduce::par_norm2_sq_in(Some(&team), &x).is_nan());
+            let mut y = x.clone();
+            assert!(fused::par_axpy_dot_in(Some(&team), 0.5, &x, &mut y, &x).is_nan());
+        }
+    });
+}

@@ -127,6 +127,81 @@ fn matrix_free_operator_works_for_every_solver() {
 }
 
 #[test]
+fn serial_and_kahan_modes_are_thread_count_invariant() {
+    // Regression for the `threads >= 2` dispatch bug: a requested Serial or
+    // Kahan summation order must never silently become the chunked tree
+    // when a team is attached. The team may move work across shards, but
+    // the reduction the caller asked for — and therefore every bit of the
+    // trace — has to stay exactly what a single-threaded solve produces.
+    let a = gen::poisson2d(24);
+    let b = gen::poisson2d_rhs(24);
+    for mode in [DotMode::Serial, DotMode::Kahan] {
+        let base = SolveOptions::default()
+            .with_tol(1e-8)
+            .with_max_iters(600)
+            .with_dot_mode(mode);
+        for s in all_solvers() {
+            let one = s.solve(&a, &b, None, &base.clone().with_threads(1));
+            let four = s.solve(&a, &b, None, &base.clone().with_threads(4));
+            assert_eq!(
+                one.iterations,
+                four.iterations,
+                "{} with {mode:?}",
+                s.name()
+            );
+            assert_eq!(one.x, four.x, "{} with {mode:?}: x bits", s.name());
+            assert_eq!(
+                one.residual_norms,
+                four.residual_norms,
+                "{} with {mode:?}: trace bits",
+                s.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn tree_mode_traces_are_bit_identical_across_team_widths() {
+    // The tentpole determinism claim: with `DotMode::Tree` the fixed
+    // 256-chunk leaf layout and deterministic tree fan-in make every
+    // reduction — and therefore whole solver traces — bit-identical for
+    // any team width. 182² = 33124 ≥ 4·GRAIN, so a width-4 team genuinely
+    // dispatches multi-shard epochs instead of degenerating to the caller.
+    let a = gen::poisson2d(182);
+    let b = gen::poisson2d_rhs(182);
+    let solvers: Vec<Box<dyn CgVariant>> = vec![
+        Box::new(StandardCg::new()),
+        Box::new(ChronopoulosGearCg::new()),
+        Box::new(PipelinedCg::new()),
+        Box::new(OverlapK1Cg::new().with_resync(20)),
+        Box::new(LookaheadCg::new(2).with_resync(12)),
+    ];
+    let base = SolveOptions::default()
+        .with_tol(0.0)
+        .with_max_iters(20)
+        .with_dot_mode(DotMode::Tree);
+    for s in solvers {
+        let reference = s.solve(&a, &b, None, &base.clone().with_threads(1));
+        for threads in [2usize, 4, 8] {
+            let res = s.solve(&a, &b, None, &base.clone().with_threads(threads));
+            assert_eq!(
+                reference.iterations,
+                res.iterations,
+                "{} threads={threads}",
+                s.name()
+            );
+            assert_eq!(
+                reference.residual_norms,
+                res.residual_norms,
+                "{} threads={threads}: trace bits",
+                s.name()
+            );
+            assert_eq!(reference.x, res.x, "{} threads={threads}: x bits", s.name());
+        }
+    }
+}
+
+#[test]
 fn solvers_are_deterministic_across_runs() {
     let a = gen::rand_spd(40, 4, 1.5, 5);
     let b = gen::rand_vector(40, 6);
