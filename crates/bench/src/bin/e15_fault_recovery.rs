@@ -302,6 +302,13 @@ fn main() {
 
     write_json(
         "e15_fault_recovery",
-        &vr_bench::json!({ "solver_rows": rows, "scheduler_rows": sim_rows }),
+        &vr_bench::json::envelope(
+            "e15_fault_recovery",
+            false, // e15 has no --smoke mode
+            &[
+                ("solver_rows", vr_bench::json!(rows)),
+                ("scheduler_rows", vr_bench::json!(sim_rows)),
+            ],
+        ),
     );
 }

@@ -162,6 +162,10 @@ fn main() {
 
     write_json(
         "BENCH_fused",
-        &vr_bench::json!({ "smoke": smoke, "rows": rows }),
+        &vr_bench::json::envelope(
+            "e16_fused_kernels",
+            smoke,
+            &[("rows", vr_bench::json!(rows))],
+        ),
     );
 }

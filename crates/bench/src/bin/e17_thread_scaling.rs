@@ -185,11 +185,10 @@ fn main() {
 
     write_json(
         "BENCH_threads",
-        &vr_bench::json!({
-            "smoke": smoke,
-            "host_cpus": host_cpus,
-            "grain": GRAIN,
-            "rows": rows,
-        }),
+        &vr_bench::json::envelope(
+            "e17_thread_scaling",
+            smoke,
+            &[("rows", vr_bench::json!(rows))],
+        ),
     );
 }

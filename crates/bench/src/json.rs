@@ -112,6 +112,34 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Version of the shared experiment-result envelope. Bump when the
+/// envelope keys (not the per-experiment row schemas) change shape.
+pub const SCHEMA_VERSION: i64 = 1;
+
+/// Wrap experiment row sections in the common envelope shared by the
+/// perf-oriented experiments (e15–e18).
+///
+/// Every emitted file starts with the same five keys — `schema_version`,
+/// `experiment`, `smoke`, `host_cpus`, `grain` — so downstream tooling can
+/// interpret any result (e.g. discount headlines measured on a starved
+/// host) without per-experiment parsers. The payload follows as one or
+/// more named row arrays, e.g. `[("rows", rows.to_json())]`.
+#[must_use]
+pub fn envelope(experiment: &str, smoke: bool, sections: &[(&str, Json)]) -> Json {
+    let host_cpus = std::thread::available_parallelism().map_or(1, |v| v.get());
+    let mut pairs = vec![
+        ("schema_version".to_string(), Json::Int(SCHEMA_VERSION)),
+        ("experiment".to_string(), Json::Str(experiment.to_string())),
+        ("smoke".to_string(), Json::Bool(smoke)),
+        ("host_cpus".to_string(), Json::Int(host_cpus as i64)),
+        ("grain".to_string(), Json::Int(vr_par::team::GRAIN as i64)),
+    ];
+    for (k, v) in sections {
+        pairs.push(((*k).to_string(), v.clone()));
+    }
+    Json::Obj(pairs)
+}
+
 /// Conversion into a [`Json`] value (the role a `Serialize` derive would
 /// play; records implement it via [`crate::jsonable!`]).
 pub trait ToJson {
@@ -284,6 +312,31 @@ mod tests {
         let s = Json::Num(1e-10).pretty();
         assert_eq!(s.parse::<f64>().unwrap(), 1e-10, "{s}");
         assert_eq!(Json::Num(2.0).pretty(), "2.0");
+    }
+
+    #[test]
+    fn envelope_leads_with_shared_keys_then_sections() {
+        let rows = crate::json!([crate::json!({ "n": 4 })]);
+        let env = envelope("e99_test", true, &[("rows", rows)]);
+        let s = env.pretty();
+        let order = [
+            "schema_version",
+            "experiment",
+            "smoke",
+            "host_cpus",
+            "grain",
+            "rows",
+        ];
+        let mut last = 0;
+        for key in order {
+            let pos = s.find(&format!("\"{key}\"")).unwrap_or_else(|| {
+                panic!("envelope missing key {key}: {s}");
+            });
+            assert!(pos > last || last == 0, "key {key} out of order: {s}");
+            last = pos;
+        }
+        assert!(s.contains("\"experiment\": \"e99_test\""), "{s}");
+        assert!(s.contains("\"smoke\": true"), "{s}");
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //! | `e13_latency_tolerance` | extension | interconnect topologies and the slack knee |
 //! | `e14_chebyshev_floor` | extension | the zero-reduction comparator |
 //! | `e15_fault_recovery` | extension | fault injection × recovery policy sweep |
+//! | `e16_fused_kernels` | extension | fused single-pass kernel iteration throughput |
+//! | `e17_thread_scaling` | extension | persistent-team width sweep, bit-identical traces |
+//! | `e18_matrix_powers` | extension | cache-blocked MPK vs naive basis build |
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]

@@ -19,7 +19,7 @@
 use crate::instrument::OpCounts;
 use crate::resilience::guard;
 use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
-use vr_linalg::kernels::{self, dot};
+use vr_linalg::kernels::dot;
 use vr_linalg::LinearOperator;
 
 /// Classical conjugate residual iteration.
@@ -195,6 +195,7 @@ impl CgVariant for OverlapCr {
 
         let mut termination = Termination::MaxIterations;
         let mut iterations = 0;
+        let mut vscratch = vec![0.0; b.len()];
         if rr <= thresh_sq {
             termination = Termination::Converged;
         } else {
@@ -202,10 +203,11 @@ impl CgVariant for OverlapCr {
                 if guard::check_pivot(apap).is_err() || guard::check_pivot(rar).is_err() {
                     // validate: near convergence the drifted recursive
                     // scalars can cross zero just before the threshold trips
-                    let ax = a.apply_alloc(&x);
-                    let mut r_true = vec![0.0; b.len()];
-                    kernels::sub(b, &ax, &mut r_true);
-                    let rr_true = dot(md, &r_true, &r_true);
+                    a.apply(&x, &mut vscratch);
+                    for (vi, bi) in vscratch.iter_mut().zip(b) {
+                        *vi = bi - *vi;
+                    }
+                    let rr_true = dot(md, &vscratch, &vscratch);
                     counts.matvecs += 1;
                     counts.vector_ops += 1;
                     counts.dots += 1;

@@ -61,4 +61,4 @@ pub mod sstep;
 pub mod standard;
 
 pub use instrument::{OpCounts, RecoveryStats};
-pub use solver::{CgVariant, KernelPolicy, SolveOptions, SolveResult, Termination};
+pub use solver::{BasisEngine, CgVariant, KernelPolicy, SolveOptions, SolveResult, Termination};

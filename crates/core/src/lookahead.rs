@@ -54,8 +54,9 @@
 use crate::instrument::{OpCounts, RecoveryStats};
 use crate::recurrence::moments::MomentWindow;
 use crate::resilience::guard;
-use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
-use vr_linalg::kernels::{self, dot};
+use crate::solver::{util, BasisEngine, CgVariant, SolveOptions, SolveResult, Termination};
+use vr_linalg::kernels::dot;
+use vr_linalg::mpk::{self, MpkTransform, MpkWorkspace};
 use vr_linalg::LinearOperator;
 
 /// General look-ahead CG solver (paper §4-5).
@@ -121,6 +122,24 @@ impl CgVariant for LookaheadCg {
         #[allow(unused_assignments)]
         let mut final_rr = f64::NAN;
 
+        // Buffers reused across restart passes and inner iterations, so
+        // the whole solve is allocation-free after the first pass warms
+        // them: the z/w vector families, the matrix-powers images and
+        // workspace, the moment window and its μ-step scratch, and the
+        // validation residual scratch.
+        let team = opts.team();
+        let mut ws = MpkWorkspace::new();
+        let mut z: Vec<Vec<f64>> = (0..=k).map(|_| vec![0.0; n]).collect();
+        let mut avfam: Vec<Vec<f64>> = (0..=k).map(|_| vec![0.0; n]).collect();
+        let mut w: Vec<Vec<f64>> = (0..=k + 1).map(|_| vec![0.0; n]).collect();
+        let mut win = MomentWindow {
+            mu: Vec::new(),
+            nu: Vec::new(),
+            sigma: Vec::new(),
+        };
+        let mut mu_scratch: Vec<f64> = Vec::with_capacity(m + 1);
+        let mut vscratch = vec![0.0; n];
+
         // Outer restart loop: each pass performs the paper's "initial start
         // up" (build vector families + moment window from the current true
         // residual) and then iterates on recurrences. When the drifted
@@ -130,18 +149,41 @@ impl CgVariant for LookaheadCg {
         // between restarts terminates with `Breakdown`.
         let termination = 'outer: loop {
             // start-up: z[i] = A^i r, i ≤ k; w[i] = A^i p, i ≤ k+1 (p = r).
-            let mut z: Vec<Vec<f64>> = Vec::with_capacity(k + 1);
-            z.push(std::mem::take(&mut r0));
-            for i in 1..=k {
-                let next = opts.matvec_alloc(a, &z[i - 1], &mut counts);
-                z.push(next);
+            // One monomial matrix-powers pass of depth k+1 yields the whole
+            // z family plus its images; the top image A·z[k] IS the startup
+            // w[k+1] = A^{k+1}·p (p = r), so no extra application is needed.
+            // Either engine computes every column through the exact `apply`
+            // row arithmetic — bit-identical to the legacy per-level loop.
+            z[0].copy_from_slice(&r0);
+            match opts.basis_engine {
+                BasisEngine::Naive => {
+                    mpk::naive_powers(
+                        a,
+                        &MpkTransform::Monomial,
+                        &mut z,
+                        &mut avfam,
+                        team.as_deref(),
+                    );
+                }
+                BasisEngine::Mpk => {
+                    a.matrix_powers(
+                        &MpkTransform::Monomial,
+                        &mut z,
+                        &mut avfam,
+                        team.as_deref(),
+                        opts.mpk_tile,
+                        &mut ws,
+                    );
+                }
             }
-            let mut w: Vec<Vec<f64>> = z.clone();
+            counts.matvecs += k + 1;
+            for (wi, zi) in w.iter_mut().zip(z.iter()) {
+                wi.copy_from_slice(zi);
+            }
+            w[k + 1].copy_from_slice(&avfam[k]);
             counts.vector_ops += k + 1;
-            let wtop = opts.matvec_alloc(a, &w[k], &mut counts);
-            w.push(wtop);
 
-            let (mut win, spent) = MomentWindow::direct(&z, &w, m, md);
+            let spent = win.direct_in(&z, &w, m, md);
             counts.dots += spent;
 
             if norms.is_empty() && opts.record_residuals {
@@ -166,20 +208,20 @@ impl CgVariant for LookaheadCg {
                 opts.axpy(lambda, &w[0], &mut x, &mut counts);
                 counts.scalar_ops += 1;
 
-                // scalar window step
-                let mu_new = win.mu_step(lambda);
-                let alpha = opts.scalar(mu_new[0] / mu0);
+                // scalar window step (in place — no per-iteration allocs)
+                win.mu_step_into(lambda, &mut mu_scratch);
+                let alpha = opts.scalar(mu_scratch[0] / mu0);
                 counts.scalar_ops += win.step_scalar_ops() + 1;
 
                 if opts.record_residuals {
-                    norms.push(mu_new[0].max(0.0).sqrt());
+                    norms.push(mu_scratch[0].max(0.0).sqrt());
                 }
                 iterations += 1;
-                if mu_new[0] <= thresh_sq || guard::check_finite(mu_new[0]).is_err() {
+                if mu_scratch[0] <= thresh_sq || guard::check_finite(mu_scratch[0]).is_err() {
                     suspicious = true;
                     break;
                 }
-                win.finish_step(mu_new, lambda, alpha);
+                win.finish_step_in_place(&mut mu_scratch, lambda, alpha);
 
                 // vector family updates: z_i ← z_i − λ·w_{i+1} (old w)
                 for i in 0..=k {
@@ -193,10 +235,9 @@ impl CgVariant for LookaheadCg {
                 if self.resync > 0 && iterations.is_multiple_of(self.resync) {
                     let (head, tail) = w.split_at_mut(k + 1);
                     opts.matvec(a, &head[k], &mut tail[0], &mut counts);
-                    // periodic drift correction: rebuild the window
-                    let (fresh, spent) = MomentWindow::direct(&z, &w, m, md);
+                    // periodic drift correction: rebuild the window in place
+                    let spent = win.direct_in(&z, &w, m, md);
                     counts.dots += spent;
-                    win = fresh;
                 } else {
                     // three direct top-of-window inner products — these
                     // are the reductions with k iterations of slack, i.e.
@@ -227,13 +268,14 @@ impl CgVariant for LookaheadCg {
                 }
             }
 
-            // validate against the TRUE residual
-            let ax = a.apply_alloc(&x);
+            // validate against the TRUE residual (scratch, no allocation)
+            a.apply_team(team.as_deref(), &x, &mut vscratch);
             counts.matvecs += 1;
-            let mut r_true = vec![0.0; n];
-            kernels::sub(b, &ax, &mut r_true);
+            for (vi, bi) in vscratch.iter_mut().zip(b) {
+                *vi = bi - *vi;
+            }
             counts.vector_ops += 1;
-            let rr_true = dot(md, &r_true, &r_true);
+            let rr_true = dot(md, &vscratch, &vscratch);
             counts.dots += 1;
             final_rr = rr_true;
             if rr_true <= thresh_sq {
@@ -254,7 +296,7 @@ impl CgVariant for LookaheadCg {
             }
             last_restart_rr = rr_true;
             counts.restarts += 1;
-            r0 = r_true;
+            r0.copy_from_slice(&vscratch);
         };
 
         if !opts.record_residuals || norms.is_empty() {

@@ -32,7 +32,7 @@
 use crate::instrument::OpCounts;
 use crate::resilience::guard;
 use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
-use vr_linalg::kernels::{self, dot};
+use vr_linalg::kernels::dot;
 use vr_linalg::LinearOperator;
 
 /// One-step overlapped CG (paper §3).
@@ -114,6 +114,9 @@ impl CgVariant for OverlapK1Cg {
         // validated against the true residual; if unconverged but still
         // progressing, the solver warm-restarts (p = r, direct scalars).
         let mut last_restart_rr = f64::INFINITY;
+        // Scratch for true-residual validation and resync matvecs — reused
+        // across restarts so the hot path stays allocation-free.
+        let mut vscratch = vec![0.0; n];
 
         let mut termination = Termination::MaxIterations;
         let mut iterations = 0;
@@ -124,10 +127,11 @@ impl CgVariant for OverlapK1Cg {
             while it < opts.max_iters {
                 if guard::check_pivot(pap).is_err() || guard::check_pivot(rr).is_err() {
                     // validate against the true residual
-                    let ax = a.apply_alloc(&x);
-                    let mut r_true = vec![0.0; n];
-                    kernels::sub(b, &ax, &mut r_true);
-                    let rr_true = dot(md, &r_true, &r_true);
+                    a.apply(&x, &mut vscratch);
+                    for (vi, bi) in vscratch.iter_mut().zip(b) {
+                        *vi = bi - *vi;
+                    }
+                    let rr_true = dot(md, &vscratch, &vscratch);
                     counts.matvecs += 1;
                     counts.vector_ops += 1;
                     counts.dots += 1;
@@ -147,8 +151,8 @@ impl CgVariant for OverlapK1Cg {
                     // warm restart
                     last_restart_rr = rr_true;
                     counts.restarts += 1;
-                    r = r_true;
-                    p = r.clone();
+                    r.copy_from_slice(&vscratch);
+                    p.copy_from_slice(&r);
                     opts.matvec(a, &p, &mut w, &mut counts);
                     opts.matvec(a, &w, &mut v, &mut counts);
                     counts.vector_ops += 1;
@@ -218,8 +222,8 @@ impl CgVariant for OverlapK1Cg {
                     // residual replacement: recompute the carried scalars
                     // directly (one extra matvec for A·r)
                     rr = dot(md, &r, &r);
-                    let ar = a.apply_alloc(&r);
-                    rar = dot(md, &r, &ar);
+                    a.apply(&r, &mut vscratch);
+                    rar = dot(md, &r, &vscratch);
                     pap = dot(md, &p, &w);
                     counts.matvecs += 1;
                     counts.dots += 3;

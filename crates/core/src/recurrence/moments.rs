@@ -60,27 +60,43 @@ impl MomentWindow {
     /// (needs `z.len() ≥ ⌈m/2⌉+1` and `w.len() ≥ ⌈(m+2)/2⌉+1`).
     #[must_use]
     pub fn direct(z: &[Vec<f64>], w: &[Vec<f64>], m: usize, md: DotMode) -> (MomentWindow, usize) {
+        let mut win = MomentWindow {
+            mu: Vec::new(),
+            nu: Vec::new(),
+            sigma: Vec::new(),
+        };
+        let spent = win.direct_in(z, w, m, md);
+        (win, spent)
+    }
+
+    /// [`MomentWindow::direct`] into `self`, reusing its storage
+    /// (allocation-free once warm at a fixed order). Returns the number
+    /// of inner products spent.
+    ///
+    /// # Panics
+    /// Panics if the families are too short for order `m` (see
+    /// [`MomentWindow::direct`]).
+    pub fn direct_in(&mut self, z: &[Vec<f64>], w: &[Vec<f64>], m: usize, md: DotMode) -> usize {
         let zmax = z.len() - 1;
         let wmax = w.len() - 1;
         assert!(2 * zmax >= m, "z family too short for order {m}");
         assert!(2 * wmax >= m + 2, "w family too short for order {m}");
-        let mut mu = Vec::with_capacity(m + 1);
-        for i in 0..=m {
+        self.mu.clear();
+        self.mu.extend((0..=m).map(|i| {
             let a = (i / 2).min(zmax);
-            mu.push(dot(md, &z[a], &z[i - a]));
-        }
-        let mut nu = Vec::with_capacity(m + 2);
-        for i in 0..=m + 1 {
+            dot(md, &z[a], &z[i - a])
+        }));
+        self.nu.clear();
+        self.nu.extend((0..=m + 1).map(|i| {
             let a = (i / 2).min(zmax);
-            nu.push(dot(md, &z[a], &w[i - a]));
-        }
-        let mut sigma = Vec::with_capacity(m + 3);
-        for i in 0..=m + 2 {
+            dot(md, &z[a], &w[i - a])
+        }));
+        self.sigma.clear();
+        self.sigma.extend((0..=m + 2).map(|i| {
             let a = (i / 2).min(wmax);
-            sigma.push(dot(md, &w[a], &w[i - a]));
-        }
-        let spent = (m + 1) + (m + 2) + (m + 3);
-        (MomentWindow { mu, nu, sigma }, spent)
+            dot(md, &w[a], &w[i - a])
+        }));
+        (m + 1) + (m + 2) + (m + 3)
     }
 
     /// First half of a window step: the new μ family after `r' = r − λAp`:
@@ -90,12 +106,20 @@ impl MomentWindow {
     /// `α = μ₀'/μ₀` between the two halves.
     #[must_use]
     pub fn mu_step(&self, lambda: f64) -> Vec<f64> {
+        let mut mu_new = Vec::with_capacity(self.order() + 1);
+        self.mu_step_into(lambda, &mut mu_new);
+        mu_new
+    }
+
+    /// [`MomentWindow::mu_step`] into a caller-owned buffer — the
+    /// allocation-free form the solver hot loop uses (bit-identical
+    /// values).
+    pub fn mu_step_into(&self, lambda: f64, mu_new: &mut Vec<f64>) {
         let m = self.order();
-        (0..=m)
-            .map(|i| {
-                self.mu[i] - 2.0 * lambda * self.nu[i + 1] + lambda * lambda * self.sigma[i + 2]
-            })
-            .collect()
+        mu_new.clear();
+        mu_new.extend((0..=m).map(|i| {
+            self.mu[i] - 2.0 * lambda * self.nu[i + 1] + lambda * lambda * self.sigma[i + 2]
+        }));
     }
 
     /// Second half of a window step, given the new μ family and both
@@ -109,19 +133,32 @@ impl MomentWindow {
     ///
     /// Leaves the *top* entries `ν'ₘ₊₁, σ'ₘ₊₁, σ'ₘ₊₂` set to `NAN` — the
     /// caller must overwrite them (direct dots or [`MomentWindow::direct`]).
-    pub fn finish_step(&mut self, mu_new: Vec<f64>, lambda: f64, alpha: f64) {
+    pub fn finish_step(&mut self, mut mu_new: Vec<f64>, lambda: f64, alpha: f64) {
+        self.finish_step_in_place(&mut mu_new, lambda, alpha);
+    }
+
+    /// [`MomentWindow::finish_step`] updating `ν`/`σ` in place and
+    /// swapping `μ` with the caller's buffer (which receives the old `μ`
+    /// as scratch for the next iteration) — allocation-free,
+    /// bit-identical values.
+    ///
+    /// The ascending in-place sweep is exact: position `i` reads only
+    /// `ν_i`, `σ_i` (not yet overwritten at step `i`) and `σ_{i+1}` (not
+    /// overwritten until step `i+1`).
+    pub fn finish_step_in_place(&mut self, mu_new: &mut Vec<f64>, lambda: f64, alpha: f64) {
         let m = self.order();
         assert_eq!(mu_new.len(), m + 1, "mu_new has wrong order");
-        let mut nu_new = vec![f64::NAN; m + 2];
-        let mut sigma_new = vec![f64::NAN; m + 3];
-        for i in 0..=m {
+        for (i, &mu) in mu_new.iter().enumerate() {
             let t = self.nu[i] - lambda * self.sigma[i + 1];
-            nu_new[i] = mu_new[i] + alpha * t;
-            sigma_new[i] = mu_new[i] + 2.0 * alpha * t + alpha * alpha * self.sigma[i];
+            self.nu[i] = mu + alpha * t;
+            self.sigma[i] = mu + 2.0 * alpha * t + alpha * alpha * self.sigma[i];
         }
-        self.mu = mu_new;
-        self.nu = nu_new;
-        self.sigma = sigma_new;
+        // un-replenished top entries: NaN by contract until the caller
+        // overwrites them with direct dots
+        self.nu[m + 1] = f64::NAN;
+        self.sigma[m + 1] = f64::NAN;
+        self.sigma[m + 2] = f64::NAN;
+        std::mem::swap(&mut self.mu, mu_new);
     }
 
     /// Scalar operations performed by one full window step (for op

@@ -206,6 +206,9 @@ pub struct ResidualGuard<'a> {
     initial_rr: f64,
     best_rr: f64,
     since_progress: usize,
+    /// Scratch for `A·x` during true-residual recomputation, lazily sized
+    /// on first use and reused across inspections.
+    ax: Vec<f64>,
     /// Counters surfaced through `SolveResult::recovery`.
     pub stats: RecoveryStats,
     /// Extra matvecs spent on true-residual recomputation (for `OpCounts`).
@@ -224,15 +227,20 @@ impl<'a> ResidualGuard<'a> {
             initial_rr: rr0.max(f64::MIN_POSITIVE),
             best_rr: rr0.max(f64::MIN_POSITIVE),
             since_progress: 0,
+            ax: Vec::new(),
             stats: RecoveryStats::default(),
             extra_matvecs: 0,
         }
     }
 
     fn true_residual(&mut self, x: &[f64]) -> (Vec<f64>, f64) {
-        let ax = self.a.apply_alloc(x);
+        self.ax.resize(self.b.len(), 0.0);
+        self.a.apply(x, &mut self.ax);
+        // The residual vector itself is still allocated: `GuardSignal::
+        // Replace` hands ownership to the solver, and replacements only
+        // fire on (rare) fault events — never on the per-iteration path.
         let mut r = vec![0.0; self.b.len()];
-        kernels::sub(self.b, &ax, &mut r);
+        kernels::sub(self.b, &self.ax, &mut r);
         self.extra_matvecs += 1;
         let rr = kernels::dot_serial(&r, &r);
         (r, rr)

@@ -117,6 +117,7 @@ pub fn solve_with_recovery(
     let mut total_iters = 0usize;
     let mut stats = RecoveryStats::default();
     let mut restarts = 0usize;
+    let mut vscratch = vec![0.0; b.len()];
 
     loop {
         let v: &dyn CgVariant = owned.as_deref().unwrap_or(variant);
@@ -159,11 +160,12 @@ pub fn solve_with_recovery(
         // least as good (by true residual) as the start it came from —
         // never let a faulted attempt drag the ladder backwards.
         if res.x.iter().all(|v| v.is_finite()) {
-            let ax = a.apply_alloc(&res.x);
-            let mut r = vec![0.0; b.len()];
-            kernels::sub(b, &ax, &mut r);
+            a.apply(&res.x, &mut vscratch);
+            for (vi, bi) in vscratch.iter_mut().zip(b) {
+                *vi = bi - *vi;
+            }
             total_counts.matvecs += 1;
-            let rr = kernels::dot_serial(&r, &r);
+            let rr = kernels::dot_serial(&vscratch, &vscratch);
             if rr.is_finite() && rr < best_start_rr {
                 best_start_rr = rr;
                 x_start = Some(res.x);

@@ -29,6 +29,26 @@ pub enum KernelPolicy {
     Fused,
 }
 
+/// How block Krylov bases (s-step columns, lookahead startup families)
+/// are constructed.
+///
+/// Both engines compute every element through the exact same per-row
+/// arithmetic, so solver traces are **bit-identical** between them for
+/// any `(dot_mode, threads)` configuration — the difference is purely
+/// memory traffic: `Mpk` streams each operand tile through cache once
+/// per `s` operator applications where `Naive` makes `s` full-vector
+/// passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BasisEngine {
+    /// Level-by-level full-vector sweeps (the reference formulation all
+    /// op-count claims are stated in).
+    Naive,
+    /// Cache-blocked matrix-powers kernel: one temporally-tiled sweep
+    /// builds all `s` columns (see [`vr_linalg::mpk`]).
+    #[default]
+    Mpk,
+}
+
 /// Options controlling a solve.
 #[derive(Debug, Clone)]
 pub struct SolveOptions {
@@ -65,6 +85,12 @@ pub struct SolveOptions {
     /// single-threaded solves. [`SolveOptions::team`] re-resolves the
     /// handle if `threads` was mutated directly.
     pub team: Option<Arc<Team>>,
+    /// Engine for block Krylov basis construction (s-step / lookahead).
+    pub basis_engine: BasisEngine,
+    /// Explicit matrix-powers tile size (rows/planes per tile for
+    /// stencils, matrix rows for CSR). `None` uses the operator's L2
+    /// working-set heuristic. Ignored under [`BasisEngine::Naive`].
+    pub mpk_tile: Option<usize>,
 }
 
 impl Default for SolveOptions {
@@ -79,6 +105,8 @@ impl Default for SolveOptions {
             kernel_policy: KernelPolicy::default(),
             threads: 1,
             team: None,
+            basis_engine: BasisEngine::default(),
+            mpk_tile: None,
         }
     }
 }
@@ -123,6 +151,20 @@ impl SolveOptions {
     #[must_use]
     pub fn with_kernel_policy(mut self, policy: KernelPolicy) -> Self {
         self.kernel_policy = policy;
+        self
+    }
+
+    /// Set the block Krylov basis engine.
+    #[must_use]
+    pub fn with_basis_engine(mut self, engine: BasisEngine) -> Self {
+        self.basis_engine = engine;
+        self
+    }
+
+    /// Override the matrix-powers tile size (see [`SolveOptions::mpk_tile`]).
+    #[must_use]
+    pub fn with_mpk_tile(mut self, tile: Option<usize>) -> Self {
+        self.mpk_tile = tile;
         self
     }
 
@@ -581,9 +623,13 @@ pub(crate) mod util {
             None => (vec![0.0; n], b.to_vec(), bnorm),
             Some(x0) => {
                 assert_eq!(x0.len(), n, "x0 length != operator dim");
-                let ax = a.apply_alloc(x0);
+                // r ← A·x0, then r ← b − r in place: same bits as the
+                // two-buffer `sub(b, ax, r)`, one allocation fewer.
                 let mut r = vec![0.0; n];
-                kernels::sub(b, &ax, &mut r);
+                a.apply(x0, &mut r);
+                for (ri, bi) in r.iter_mut().zip(b) {
+                    *ri = bi - *ri;
+                }
                 (x0.to_vec(), r, bnorm)
             }
         }

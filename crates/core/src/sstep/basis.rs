@@ -14,8 +14,9 @@
 //! Both need one matvec per column, same as monomial (claim C4 preserved).
 
 use crate::instrument::OpCounts;
+use crate::solver::BasisEngine;
 use vr_linalg::eig;
-use vr_linalg::kernels;
+use vr_linalg::mpk::{self, MpkTransform, MpkWorkspace};
 use vr_linalg::LinearOperator;
 
 /// Which polynomial family spans the block Krylov basis.
@@ -47,6 +48,15 @@ pub struct BasisParams {
     kind: BasisKind,
     /// Newton: Leja-ordered shifts (length ≥ s−1). Chebyshev: unused.
     shifts: Vec<f64>,
+    /// Newton: per-level power-of-two magnitude scales (one per shift).
+    ///
+    /// `scales[i] = 2^(−round(log₂ max(|λ_max−θᵢ|, |λ_min−θᵢ|)))` keeps
+    /// every column O(1) in magnitude like the classical per-column 2-norm
+    /// normalization, but (a) multiplying by an exact power of two is
+    /// round-off free, and (b) the scale is known *before* the sweep — no
+    /// data-dependent norm stands between levels, so all `s` columns fuse
+    /// into one matrix-powers pass.
+    scales: Vec<f64>,
     /// Chebyshev interval center.
     center: f64,
     /// Chebyshev interval half-width.
@@ -67,6 +77,7 @@ impl BasisParams {
             BasisKind::Monomial => BasisParams {
                 kind,
                 shifts: Vec::new(),
+                scales: Vec::new(),
                 center: 0.0,
                 half_width: 1.0,
             },
@@ -76,9 +87,13 @@ impl BasisParams {
                 counts.matvecs += tri.steps();
                 counts.dots += 2 * tri.steps();
                 let ritz = tri.eigenvalues();
+                let b = tri.spectral_bounds();
+                let shifts = leja_order(&ritz, s.max(2) - 1);
+                let scales = pow2_scales(&shifts, b.lambda_min, b.lambda_max);
                 BasisParams {
                     kind,
-                    shifts: leja_order(&ritz, s.max(2) - 1),
+                    shifts,
+                    scales,
                     center: 0.0,
                     half_width: 1.0,
                 }
@@ -95,6 +110,7 @@ impl BasisParams {
                 BasisParams {
                     kind,
                     shifts: Vec::new(),
+                    scales: Vec::new(),
                     center: 0.5 * (lo + hi),
                     half_width: (0.5 * (hi - lo)).max(1e-12),
                 }
@@ -108,11 +124,53 @@ impl BasisParams {
         &self.shifts
     }
 
+    /// The per-level power-of-two scales (Newton only).
+    #[must_use]
+    pub fn scales(&self) -> &[f64] {
+        &self.scales
+    }
+
     /// Chebyshev interval `(center, half_width)`.
     #[must_use]
     pub fn interval(&self) -> (f64, f64) {
         (self.center, self.half_width)
     }
+
+    /// The per-level column transform these parameters describe, in the
+    /// form the matrix-powers kernel consumes.
+    #[must_use]
+    pub fn transform(&self) -> MpkTransform<'_> {
+        match self.kind {
+            BasisKind::Monomial => MpkTransform::Monomial,
+            BasisKind::Newton => MpkTransform::Newton {
+                shifts: &self.shifts,
+                scales: &self.scales,
+            },
+            BasisKind::Chebyshev => MpkTransform::Chebyshev {
+                center: self.center,
+                half_width: self.half_width,
+            },
+        }
+    }
+}
+
+/// Power-of-two magnitude scales for Newton columns: `(A − θᵢ)·v` has
+/// magnitude ≈ `max(|λ_max−θᵢ|, |λ_min−θᵢ|)·‖v‖`, so dividing by the
+/// nearest power of two keeps columns O(1) without introducing any
+/// round-off (the mantissa is untouched). Degenerate estimates (zero,
+/// non-finite) fall back to 1.0.
+fn pow2_scales(shifts: &[f64], lo: f64, hi: f64) -> Vec<f64> {
+    shifts
+        .iter()
+        .map(|&theta| {
+            let d = (hi - theta).abs().max((lo - theta).abs());
+            if !d.is_finite() || d <= 0.0 {
+                return 1.0;
+            }
+            let e = d.log2().round().clamp(-1022.0, 1022.0);
+            f64::exp2(-e)
+        })
+        .collect()
 }
 
 /// Leja ordering of candidate points: start at the point of largest
@@ -155,7 +213,7 @@ pub fn leja_order(candidates: &[f64], count: usize) -> Vec<f64> {
 }
 
 /// A block Krylov basis: `v[i]` spans the space, `av[i] = A·v[i]`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct KrylovBasis {
     /// Basis columns, `s` of them.
     pub v: Vec<Vec<f64>>,
@@ -163,10 +221,66 @@ pub struct KrylovBasis {
     pub av: Vec<Vec<f64>>,
 }
 
-/// Build an `s`-column basis of `K_s(A, r)` with exactly `s` matvecs.
+impl KrylovBasis {
+    /// Resize to `s` columns of length `n`, reusing existing column
+    /// storage (allocation-free once warm at a fixed shape).
+    fn reshape(&mut self, s: usize, n: usize) {
+        for block in [&mut self.v, &mut self.av] {
+            block.resize_with(s, Vec::new);
+            for col in block.iter_mut() {
+                col.resize(n, 0.0);
+            }
+        }
+    }
+}
+
+/// Build an `s`-column basis of `K_s(A, r)` into `out`, with exactly `s`
+/// matvecs — `av` levels double as the next column under the shift/
+/// three-term recurrences, so no column costs more than one application.
 ///
-/// `av` is recovered from the three-term/shift recurrences where possible;
-/// only the last column costs an extra matvec — total `s`.
+/// `engine` selects the execution strategy: `Naive` sweeps the full
+/// vector once per level ([`mpk::naive_powers`]); `Mpk` runs the
+/// operator's cache-blocked [`LinearOperator::matrix_powers`] kernel,
+/// which is bit-identical by contract for every tile size and team
+/// width. `ws` carries the kernel's reusable scratch; `out` is reshaped
+/// in place, so repeated builds at a fixed `(s, n)` are allocation-free.
+///
+/// Op tallies are stated in the reference (per-column) formulation and
+/// are engine-independent: 1 vector op for seeding `v[0]`, `s` matvecs,
+/// plus per level the column recurrence (Newton: shift-axpy + scale = 2
+/// ops; Chebyshev: one fused three-term op; monomial: free).
+#[allow(clippy::too_many_arguments)]
+pub fn build_into(
+    a: &dyn LinearOperator,
+    r: &[f64],
+    s: usize,
+    params: &BasisParams,
+    engine: BasisEngine,
+    team: Option<&vr_par::Team>,
+    tile: Option<usize>,
+    ws: &mut MpkWorkspace,
+    out: &mut KrylovBasis,
+    counts: &mut OpCounts,
+) {
+    out.reshape(s, r.len());
+    out.v[0].copy_from_slice(r);
+    counts.vector_ops += 1;
+    let transform = params.transform();
+    match engine {
+        BasisEngine::Naive => mpk::naive_powers(a, &transform, &mut out.v, &mut out.av, team),
+        BasisEngine::Mpk => a.matrix_powers(&transform, &mut out.v, &mut out.av, team, tile, ws),
+    }
+    counts.matvecs += s;
+    counts.vector_ops += match params.kind {
+        BasisKind::Monomial => 0,
+        BasisKind::Newton => 2 * (s - 1),
+        BasisKind::Chebyshev => s - 1,
+    };
+}
+
+/// Build an `s`-column basis of `K_s(A, r)` with exactly `s` matvecs
+/// (convenience wrapper over [`build_into`]: naive engine, serial, fresh
+/// scratch).
 #[must_use]
 pub fn build(
     a: &dyn LinearOperator,
@@ -175,76 +289,21 @@ pub fn build(
     params: &BasisParams,
     counts: &mut OpCounts,
 ) -> KrylovBasis {
-    let n = r.len();
-    let mut v: Vec<Vec<f64>> = Vec::with_capacity(s);
-    v.push(r.to_vec());
-    counts.vector_ops += 1;
-    let mut av: Vec<Vec<f64>> = Vec::with_capacity(s);
-
-    match params.kind {
-        BasisKind::Monomial => {
-            // v_{i+1} = A·v_i ⇒ av_i = v_{i+1}; one extra matvec at the end
-            for i in 0..s - 1 {
-                let next = a.apply_alloc(&v[i]);
-                counts.matvecs += 1;
-                av.push(next.clone());
-                v.push(next);
-            }
-            av.push(a.apply_alloc(&v[s - 1]));
-            counts.matvecs += 1;
-        }
-        BasisKind::Newton => {
-            // v_{i+1} = (A − θᵢ)·vᵢ ⇒ A·vᵢ = v_{i+1} + θᵢ·vᵢ
-            for i in 0..s - 1 {
-                let theta = params.shifts[i % params.shifts.len().max(1)];
-                let image = a.apply_alloc(&v[i]);
-                counts.matvecs += 1;
-                av.push(image.clone());
-                let mut next = image;
-                kernels::axpy(-theta, &v[i], &mut next);
-                counts.vector_ops += 1;
-                // normalize to unit 2-norm to prevent magnitude drift
-                let nn = kernels::norm2(&next);
-                if nn > 0.0 {
-                    kernels::scal(1.0 / nn, &mut next);
-                }
-                counts.vector_ops += 1;
-                v.push(next);
-            }
-            av.push(a.apply_alloc(&v[s - 1]));
-            counts.matvecs += 1;
-        }
-        BasisKind::Chebyshev => {
-            // shifted-scaled Chebyshev three-term recurrence on
-            // t = (A − c)/δ:
-            //   v₁ = t·v₀,  v_{i+1} = 2·t·vᵢ − v_{i−1}
-            let (c, delta) = (params.center, params.half_width);
-            for i in 0..s - 1 {
-                let image = a.apply_alloc(&v[i]);
-                counts.matvecs += 1;
-                av.push(image.clone());
-                let mut next = vec![0.0; n];
-                if i == 0 {
-                    // v₁ = (A·v₀ − c·v₀)/δ
-                    for j in 0..n {
-                        next[j] = (image[j] - c * v[0][j]) / delta;
-                    }
-                } else {
-                    // v_{i+1} = 2(A·vᵢ − c·vᵢ)/δ − v_{i−1}
-                    for j in 0..n {
-                        next[j] = 2.0 * (image[j] - c * v[i][j]) / delta - v[i - 1][j];
-                    }
-                }
-                counts.vector_ops += 1;
-                v.push(next);
-            }
-            av.push(a.apply_alloc(&v[s - 1]));
-            counts.matvecs += 1;
-        }
-    }
-    debug_assert_eq!(v.len(), s);
-    debug_assert_eq!(av.len(), s);
-    KrylovBasis { v, av }
+    let mut out = KrylovBasis::default();
+    let mut ws = MpkWorkspace::new();
+    build_into(
+        a,
+        r,
+        s,
+        params,
+        BasisEngine::Naive,
+        None,
+        None,
+        &mut ws,
+        &mut out,
+        counts,
+    );
+    out
 }
 
 #[cfg(test)]

@@ -32,7 +32,9 @@ use crate::instrument::OpCounts;
 use crate::resilience::guard;
 use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
 use basis::{BasisKind, KrylovBasis};
-use vr_linalg::kernels::{self, dot};
+use vr_linalg::dense::Cholesky;
+use vr_linalg::kernels::dot;
+use vr_linalg::mpk::MpkWorkspace;
 use vr_linalg::{DenseMatrix, LinearOperator};
 
 /// s-step CG solver.
@@ -94,6 +96,7 @@ impl CgVariant for SStepCg {
             counts.vector_ops += 1;
         }
         let thresh_sq = util::threshold_sq(opts, bnorm);
+        let team = opts.team();
 
         // Basis parameters (shifts / interval) from a short Lanczos run.
         let params = basis::BasisParams::estimate(self.basis, a, s, &mut counts);
@@ -105,9 +108,23 @@ impl CgVariant for SStepCg {
             norms.push(rr.max(0.0).sqrt());
         }
 
-        // previous direction block and its image under A
-        let mut p_prev: Vec<Vec<f64>> = Vec::new();
-        let mut ap_prev: Vec<Vec<f64>> = Vec::new();
+        // Two direction blocks, alternating roles each outer step:
+        // `blocks[cur]` receives the fresh basis (becoming the current P),
+        // `blocks[1 − cur]` holds the previous step's P (valid only when
+        // `prev_active`). Swapping indices instead of buffers keeps every
+        // outer step allocation-free once both blocks are warm.
+        let mut blocks = [KrylovBasis::default(), KrylovBasis::default()];
+        let mut cur = 0usize;
+        let mut prev_active = false;
+        let mut ws = MpkWorkspace::new();
+        // dense scratch, sized once
+        let mut gram = DenseMatrix::zeros(s, s);
+        let mut chol = Cholesky::zeros(s);
+        let mut rhs = vec![0.0; s];
+        let mut ycoef = vec![0.0; s];
+        let mut bcoef = vec![0.0; s];
+        // validation scratch for `validate_or_restart`
+        let mut vscratch = vec![0.0; r.len()];
 
         let mut termination = Termination::MaxIterations;
         let mut iterations = 0usize;
@@ -119,68 +136,38 @@ impl CgVariant for SStepCg {
 
         'outer: while termination == Termination::MaxIterations && iterations < opts.max_iters {
             // 1) block basis from the current residual
-            let KrylovBasis { v, av } = basis::build(a, &r, s, &params, &mut counts);
+            basis::build_into(
+                a,
+                &r,
+                s,
+                &params,
+                opts.basis_engine,
+                team.as_deref(),
+                opts.mpk_tile,
+                &mut ws,
+                &mut blocks[cur],
+                &mut counts,
+            );
 
             // 2) A-conjugation against the previous block:
             //    B = (P'ᵀAP')⁻¹ (P'ᵀAV);  P = V − P'B;  AP = AV − AP'B
-            let (mut p, mut ap) = (v, av);
-            if !p_prev.is_empty() {
+            let (lo, hi) = blocks.split_at_mut(1);
+            let (blk, prev) = if cur == 0 {
+                (&mut lo[0], &hi[0])
+            } else {
+                (&mut hi[0], &lo[0])
+            };
+            let (p, ap) = (&mut blk.v, &mut blk.av);
+            if prev_active {
+                let (p_prev, ap_prev) = (&prev.v, &prev.av);
                 let sp = p_prev.len();
-                let mut gram_pp = DenseMatrix::zeros(sp, sp);
                 for i in 0..sp {
                     for j in 0..sp {
-                        gram_pp[(i, j)] = dot(md, &p_prev[i], &ap_prev[j]);
+                        gram[(i, j)] = dot(md, &p_prev[i], &ap_prev[j]);
                     }
                 }
                 counts.dots += sp * sp;
-                let chol = match gram_pp.cholesky() {
-                    Ok(c) => c,
-                    Err(_) => {
-                        if !validate_or_restart(
-                            a,
-                            b,
-                            md,
-                            thresh_sq,
-                            &x,
-                            &mut r,
-                            &mut rr,
-                            &mut last_restart_rr,
-                            &mut counts,
-                            &mut termination,
-                        ) {
-                            break 'outer;
-                        }
-                        p_prev.clear();
-                        ap_prev.clear();
-                        continue 'outer;
-                    }
-                };
-                for (pc, apc) in p.iter_mut().zip(ap.iter_mut()) {
-                    // rhs_i = (p_prev_i, A·v) = (ap_prev_i, v)
-                    let rhs: Vec<f64> = (0..sp).map(|i| dot(md, &ap_prev[i], &*pc)).collect();
-                    counts.dots += sp;
-                    let bcoef = chol.solve(&rhs);
-                    for (i, &bi) in bcoef.iter().enumerate() {
-                        opts.axpy(-bi, &p_prev[i], pc, &mut counts);
-                        opts.axpy(-bi, &ap_prev[i], apc, &mut counts);
-                    }
-                    counts.scalar_ops += sp * sp;
-                }
-            }
-
-            // 3) small SPD solve: (PᵀAP) y = Pᵀ r
-            let mut gram = DenseMatrix::zeros(s, s);
-            for i in 0..s {
-                for j in 0..s {
-                    gram[(i, j)] = dot(md, &p[i], &ap[j]);
-                }
-            }
-            let rhs: Vec<f64> = (0..s).map(|i| dot(md, &p[i], &r)).collect();
-            counts.dots += s * s + s;
-
-            let y = match gram.cholesky() {
-                Ok(c) => c.solve(&rhs),
-                Err(_) => {
+                if gram.cholesky_into(&mut chol).is_err() {
                     if !validate_or_restart(
                         a,
                         b,
@@ -190,21 +177,66 @@ impl CgVariant for SStepCg {
                         &mut r,
                         &mut rr,
                         &mut last_restart_rr,
+                        &mut vscratch,
                         &mut counts,
                         &mut termination,
                     ) {
                         break 'outer;
                     }
-                    p_prev.clear();
-                    ap_prev.clear();
+                    prev_active = false;
                     continue 'outer;
                 }
-            };
+                for (pc, apc) in p.iter_mut().zip(ap.iter_mut()) {
+                    // rhs_i = (p_prev_i, A·v) = (ap_prev_i, v)
+                    for (ri, api) in rhs.iter_mut().zip(ap_prev) {
+                        *ri = dot(md, api, &*pc);
+                    }
+                    counts.dots += sp;
+                    chol.solve_into(&rhs, &mut bcoef);
+                    for (i, &bi) in bcoef.iter().enumerate() {
+                        opts.axpy(-bi, &p_prev[i], pc, &mut counts);
+                        opts.axpy(-bi, &ap_prev[i], apc, &mut counts);
+                    }
+                    counts.scalar_ops += sp * sp;
+                }
+            }
+
+            // 3) small SPD solve: (PᵀAP) y = Pᵀ r
+            for i in 0..s {
+                for j in 0..s {
+                    gram[(i, j)] = dot(md, &p[i], &ap[j]);
+                }
+            }
+            for (ri, pi) in rhs.iter_mut().zip(p.iter()) {
+                *ri = dot(md, pi, &r);
+            }
+            counts.dots += s * s + s;
+
+            if gram.cholesky_into(&mut chol).is_err() {
+                if !validate_or_restart(
+                    a,
+                    b,
+                    md,
+                    thresh_sq,
+                    &x,
+                    &mut r,
+                    &mut rr,
+                    &mut last_restart_rr,
+                    &mut vscratch,
+                    &mut counts,
+                    &mut termination,
+                ) {
+                    break 'outer;
+                }
+                prev_active = false;
+                continue 'outer;
+            }
+            chol.solve_into(&rhs, &mut ycoef);
             counts.scalar_ops += s * s * s / 3;
 
             // 4) block update; the final r-axpy carries the residual norm
             //    in the same sweep (bit-identical to axpy-then-dot)
-            let (&y_last, y_rest) = y.split_last().expect("s >= 1");
+            let (&y_last, y_rest) = ycoef.split_last().expect("s >= 1");
             for (i, &yi) in y_rest.iter().enumerate() {
                 opts.axpy(yi, &p[i], &mut x, &mut counts);
                 opts.axpy(-yi, &ap[i], &mut r, &mut counts);
@@ -230,18 +262,19 @@ impl CgVariant for SStepCg {
                     &mut r,
                     &mut rr,
                     &mut last_restart_rr,
+                    &mut vscratch,
                     &mut counts,
                     &mut termination,
                 ) {
                     break 'outer;
                 }
-                p_prev.clear();
-                ap_prev.clear();
+                prev_active = false;
                 continue 'outer;
             }
 
-            p_prev = p;
-            ap_prev = ap;
+            // the fresh block becomes the previous block for the next step
+            cur = 1 - cur;
+            prev_active = true;
         }
 
         if !opts.record_residuals {
@@ -269,7 +302,7 @@ impl CgVariant for SStepCg {
 /// Shared suspicious-signal handler: recompute the true residual; set
 /// `Converged` (returning false to stop), or refresh `r`/`rr` for a warm
 /// restart (returning true), or set `Breakdown` when no progress
-/// (returning false).
+/// (returning false). `scratch` holds `A·x` transiently (no allocation).
 #[allow(clippy::too_many_arguments)]
 fn validate_or_restart(
     a: &dyn LinearOperator,
@@ -277,16 +310,19 @@ fn validate_or_restart(
     md: vr_linalg::kernels::DotMode,
     thresh_sq: f64,
     x: &[f64],
-    r: &mut Vec<f64>,
+    r: &mut [f64],
     rr: &mut f64,
     last_restart_rr: &mut f64,
+    scratch: &mut [f64],
     counts: &mut OpCounts,
     termination: &mut Termination,
 ) -> bool {
-    let ax = a.apply_alloc(x);
-    let mut r_true = vec![0.0; b.len()];
-    kernels::sub(b, &ax, &mut r_true);
-    let rr_true = dot(md, &r_true, &r_true);
+    a.apply(x, scratch);
+    // scratch ← b − A·x in place (same bits as the two-buffer sub)
+    for (si, bi) in scratch.iter_mut().zip(b) {
+        *si = bi - *si;
+    }
+    let rr_true = dot(md, scratch, scratch);
     counts.matvecs += 1;
     counts.vector_ops += 1;
     counts.dots += 1;
@@ -305,7 +341,7 @@ fn validate_or_restart(
     }
     *last_restart_rr = rr_true;
     counts.restarts += 1;
-    *r = r_true;
+    r.copy_from_slice(scratch);
     *rr = rr_true;
     true
 }

@@ -140,9 +140,27 @@ impl DenseMatrix {
     /// [`Error::FactorizationBreakdown`] if a pivot is non-positive (matrix
     /// is not SPD to working precision).
     pub fn cholesky(&self) -> Result<Cholesky> {
+        let mut out = Cholesky::zeros(self.nrows);
+        self.cholesky_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Cholesky factorization into an existing factor, reusing its storage
+    /// (allocation-free once `out` has the right dimension). On error the
+    /// contents of `out` are unspecified.
+    ///
+    /// # Errors
+    /// [`Error::FactorizationBreakdown`] if a pivot is non-positive (matrix
+    /// is not SPD to working precision).
+    pub fn cholesky_into(&self, out: &mut Cholesky) -> Result<()> {
         assert_eq!(self.nrows, self.ncols, "cholesky: square required");
         let n = self.nrows;
-        let mut l = DenseMatrix::zeros(n, n);
+        if out.l.nrows != n || out.l.ncols != n {
+            out.l = DenseMatrix::zeros(n, n);
+        } else {
+            out.l.data.fill(0.0);
+        }
+        let l = &mut out.l;
         for j in 0..n {
             let mut d = self[(j, j)];
             for k in 0..j {
@@ -161,7 +179,7 @@ impl DenseMatrix {
                 l[(i, j)] = s / dj;
             }
         }
-        Ok(Cholesky { l })
+        Ok(())
     }
 
     /// Solve `A·x = b` via Cholesky (convenience for tests).
@@ -206,6 +224,15 @@ pub struct Cholesky {
 }
 
 impl Cholesky {
+    /// Zero factor of dimension `n` — scratch storage for
+    /// [`DenseMatrix::cholesky_into`].
+    #[must_use]
+    pub fn zeros(n: usize) -> Self {
+        Cholesky {
+            l: DenseMatrix::zeros(n, n),
+        }
+    }
+
     /// The lower-triangular factor.
     #[must_use]
     pub fn l(&self) -> &DenseMatrix {
@@ -218,25 +245,36 @@ impl Cholesky {
     /// Panics if `b.len()` disagrees with the factor dimension.
     #[must_use]
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.l.nrows()];
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// Solve `A·x = b` into an existing buffer (allocation-free; the
+    /// same substitution sequence as [`Cholesky::solve`], bit-identical).
+    ///
+    /// # Panics
+    /// Panics if `b.len()` or `x.len()` disagrees with the factor
+    /// dimension.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
         let n = self.l.nrows();
         assert_eq!(b.len(), n, "cholesky solve: rhs length");
+        assert_eq!(x.len(), n, "cholesky solve: solution length");
+        x.copy_from_slice(b);
         // forward: L·y = b
-        let mut y = b.to_vec();
         for i in 0..n {
             for k in 0..i {
-                y[i] -= self.l[(i, k)] * y[k];
+                x[i] -= self.l[(i, k)] * x[k];
             }
-            y[i] /= self.l[(i, i)];
+            x[i] /= self.l[(i, i)];
         }
         // backward: Lᵀ·x = y
-        let mut x = y;
         for i in (0..n).rev() {
             for k in (i + 1)..n {
                 x[i] -= self.l[(k, i)] * x[k];
             }
             x[i] /= self.l[(i, i)];
         }
-        x
     }
 }
 
@@ -302,6 +340,27 @@ mod tests {
         for (xi, ti) in x.iter().zip(&x_true) {
             assert!((xi - ti).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn cholesky_into_and_solve_into_match_allocating_variants() {
+        let a = spd3();
+        let ch = a.cholesky().unwrap();
+        let mut ch2 = Cholesky::zeros(1); // wrong shape: must reshape
+        a.cholesky_into(&mut ch2).unwrap();
+        assert_eq!(ch.l(), ch2.l());
+        let b = [1.0, 2.0, 3.0];
+        let x = ch.solve(&b);
+        let mut x2 = vec![0.0; 3];
+        ch2.solve_into(&b, &mut x2);
+        assert_eq!(x, x2);
+        // reuse at the same shape (the hot path) reproduces the bits
+        a.cholesky_into(&mut ch2).unwrap();
+        assert_eq!(ch.l(), ch2.l());
+        // stale factor contents must not leak into a refactorization
+        let id = DenseMatrix::identity(3);
+        id.cholesky_into(&mut ch2).unwrap();
+        assert_eq!(ch2.l(), &id);
     }
 
     #[test]

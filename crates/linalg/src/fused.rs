@@ -1057,7 +1057,7 @@ mod tests {
         fn corrupt(&self, _site: FaultSite, value: f64) -> f64 {
             use std::sync::atomic::Ordering;
             let k = self.calls.fetch_add(1, Ordering::Relaxed);
-            if vr_par::fault::splitmix64(self.seed ^ k) % 17 == 0 {
+            if vr_par::fault::splitmix64(self.seed ^ k).is_multiple_of(17) {
                 value * 1.5 + 1.0
             } else {
                 value

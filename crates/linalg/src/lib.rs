@@ -51,6 +51,7 @@ pub mod fused;
 pub mod gen;
 pub mod io;
 pub mod kernels;
+pub mod mpk;
 pub mod precond;
 pub mod reorder;
 pub mod sparse;
@@ -157,6 +158,35 @@ pub trait LinearOperator {
         self.apply_team(team, x, y);
         vr_par::reduce::par_dot_in(team, x, y)
     }
+
+    /// Matrix-powers kernel: build the Krylov column family seeded by
+    /// `v[0]` in one pass. With `s = v.len()`, computes for `l in 0..s`
+    /// `av[l] ← A·v[l]` and, while `l + 1 < s`,
+    /// `v[l+1][j] = transform.level(l, av[l][j], v[l][j], v[l−1][j])` —
+    /// a total of `s` operator applications.
+    ///
+    /// Contract (the same one [`LinearOperator::apply_team`] obeys):
+    /// overrides must produce outputs **bit-identical** to the default
+    /// [`mpk::naive_powers`] body for *every* tile size and team width, by
+    /// computing each row through the exact `apply` operation sequence
+    /// (redundant ghost compute at tile boundaries). On a poisoned team,
+    /// every derived column is NaN-filled so solver guards terminate with
+    /// an honest breakdown. `tile` overrides the operator's internal tile
+    /// heuristic (rows/planes per tile for stencils, matrix rows for CSR);
+    /// `ws` carries reusable scratch so repeated builds are allocation-free
+    /// after warm-up.
+    fn matrix_powers(
+        &self,
+        transform: &mpk::MpkTransform<'_>,
+        v: &mut [Vec<f64>],
+        av: &mut [Vec<f64>],
+        team: Option<&vr_par::Team>,
+        tile: Option<usize>,
+        ws: &mut mpk::MpkWorkspace,
+    ) {
+        let _ = (tile, ws);
+        mpk::naive_powers(self, transform, v, av, team);
+    }
 }
 
 impl<T: LinearOperator + ?Sized> LinearOperator for &T {
@@ -192,6 +222,17 @@ impl<T: LinearOperator + ?Sized> LinearOperator for &T {
     }
     fn apply_dot_team(&self, team: Option<&vr_par::Team>, x: &[f64], y: &mut [f64]) -> f64 {
         (**self).apply_dot_team(team, x, y)
+    }
+    fn matrix_powers(
+        &self,
+        transform: &mpk::MpkTransform<'_>,
+        v: &mut [Vec<f64>],
+        av: &mut [Vec<f64>],
+        team: Option<&vr_par::Team>,
+        tile: Option<usize>,
+        ws: &mut mpk::MpkWorkspace,
+    ) {
+        (**self).matrix_powers(transform, v, av, team, tile, ws)
     }
 }
 

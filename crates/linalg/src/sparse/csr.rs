@@ -389,6 +389,90 @@ impl LinearOperator for CsrMatrix {
         })
     }
 
+    /// `(x, A·x)` without materializing `A·x`: the CSR row accumulation is
+    /// re-run per row and dotted immediately. A stored format gains no
+    /// memory traffic from this (the matrix stream dominates), but the
+    /// entry point exists so callers can treat all operators uniformly —
+    /// the arithmetic contract matches `Stencil2d::apply_dot_nostore`.
+    fn apply_dot_nostore(&self, mode: crate::kernels::DotMode, x: &[f64]) -> Option<f64> {
+        assert_eq!(x.len(), self.ncols, "apply_dot_nostore: x length != ncols");
+        assert_eq!(
+            self.nrows, self.ncols,
+            "apply_dot_nostore: operator must be square"
+        );
+        Some(crate::fused::fused_sum(mode, self.nrows, |r| {
+            let lo = self.indptr[r];
+            let hi = self.indptr[r + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.data[k] * x[self.indices[k]];
+            }
+            x[r] * acc
+        }))
+    }
+
+    /// Fully fused CG update `x ← x + λp`, `r ← r − λ·(A·p)` returning
+    /// `(r, r)`, with each row of `A·p` recomputed by the exact
+    /// [`CsrMatrix::spmv_into`] accumulation — the row sweep never reads a
+    /// stored `w` buffer.
+    fn fused_update_xr(
+        &self,
+        mode: crate::kernels::DotMode,
+        lambda: f64,
+        p: &[f64],
+        x: &mut [f64],
+        r: &mut [f64],
+    ) -> Option<f64> {
+        let n = self.nrows;
+        assert_eq!(
+            self.nrows, self.ncols,
+            "fused_update_xr: operator must be square"
+        );
+        assert_eq!(p.len(), n);
+        assert_eq!(x.len(), n);
+        assert_eq!(r.len(), n);
+        debug_assert!(
+            !crate::kernels::overlaps(p, x),
+            "fused_update_xr: p aliases x"
+        );
+        debug_assert!(
+            !crate::kernels::overlaps(p, r),
+            "fused_update_xr: p aliases r"
+        );
+        debug_assert!(
+            !crate::kernels::overlaps(x, r),
+            "fused_update_xr: x aliases r"
+        );
+        Some(crate::fused::fused_sum(mode, n, |i| {
+            let lo = self.indptr[i];
+            let hi = self.indptr[i + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.data[k] * p[self.indices[k]];
+            }
+            x[i] += lambda * p[i];
+            r[i] += (-lambda) * acc;
+            r[i] * r[i]
+        }))
+    }
+
+    /// Row-range-blocked matrix-powers kernel with per-level halo
+    /// expansion — see [`crate::mpk`] for the plan construction and the
+    /// bit-identity argument. Falls back to the naive engine when the
+    /// sparsity pattern makes halo growth unprofitable (auto tile only) or
+    /// the system is too small to block.
+    fn matrix_powers(
+        &self,
+        transform: &crate::mpk::MpkTransform<'_>,
+        v: &mut [Vec<f64>],
+        av: &mut [Vec<f64>],
+        team: Option<&vr_par::Team>,
+        tile: Option<usize>,
+        ws: &mut crate::mpk::MpkWorkspace,
+    ) {
+        crate::mpk::csr_powers(self, transform, v, av, team, tile, ws);
+    }
+
     /// Team-parallel SpMV by contiguous row ranges, one per shard — each
     /// row sum is the identical operation sequence to
     /// [`CsrMatrix::spmv_into`], hence bit-identical for any team width.

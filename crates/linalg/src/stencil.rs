@@ -430,6 +430,170 @@ impl LinearOperator for Stencil2d {
             y.fill(f64::NAN);
         }
     }
+
+    /// Trapezoidal (ghost-zone) matrix-powers kernel over grid-row tiles.
+    ///
+    /// A tile owning grid rows `[t0, t1)` sweeps level `l` over the clamped
+    /// range `[t0 − (s−1−l), t1 + (s−1−l))`: the sweep narrows by one ghost
+    /// row per level, so all `s` levels complete from three rotating
+    /// L2-resident bands without reloading `v` columns from memory. Ghost
+    /// rows are *recomputed* by the exact [`Stencil2d::row_value`] sequence
+    /// in each neighboring tile, so every output bit is independent of the
+    /// tile size and team width — identical to [`crate::mpk::naive_powers`].
+    fn matrix_powers(
+        &self,
+        transform: &crate::mpk::MpkTransform<'_>,
+        v: &mut [Vec<f64>],
+        av: &mut [Vec<f64>],
+        team: Option<&vr_par::Team>,
+        tile: Option<usize>,
+        ws: &mut crate::mpk::MpkWorkspace,
+    ) {
+        let (nx, ny) = (self.nx, self.ny);
+        let n = nx * ny;
+        let s = v.len();
+        let tile_rows = tile
+            .unwrap_or_else(|| crate::mpk::default_tile_rows(ny, s))
+            .max(1);
+        if s < 2 || tile_rows >= nx {
+            crate::mpk::naive_powers(self, transform, v, av, team);
+            return;
+        }
+        assert_eq!(av.len(), s, "matrix_powers: v/av column count mismatch");
+        for l in 0..s {
+            assert_eq!(v[l].len(), n, "matrix_powers: v column length != dim");
+            assert_eq!(av[l].len(), n, "matrix_powers: av column length != dim");
+        }
+        let ntiles = nx.div_ceil(tile_rows);
+        let width = team
+            .map_or(1, |t| vr_par::team::dispatch_width(n, t.width()))
+            .min(ntiles);
+        let band_len = (tile_rows + 2 * (s - 1)) * ny;
+        // three rotating bands plus one scratch row for ghost-row images
+        let shard_len = 3 * band_len + ny;
+        let bands = ws.bands_mut(width * shard_len);
+        let v_ptrs: Vec<vr_par::team::SendPtr<f64>> = v
+            .iter_mut()
+            .map(|c| vr_par::team::SendPtr(c.as_mut_ptr()))
+            .collect();
+        let av_ptrs: Vec<vr_par::team::SendPtr<f64>> = av
+            .iter_mut()
+            .map(|c| vr_par::team::SendPtr(c.as_mut_ptr()))
+            .collect();
+        let bands_ptr = vr_par::team::SendPtr(bands.as_mut_ptr());
+        let v_ptrs = &v_ptrs[..];
+        let av_ptrs = &av_ptrs[..];
+        let job = move |w: usize| {
+            // Shards beyond the dispatch width own no tiles and no scratch.
+            if w >= width {
+                return;
+            }
+            // Safety: shard `w` owns its `shard_len` slice of the band
+            // scratch; global writes target owned rows only, and owned row
+            // ranges are disjoint across tiles. `try_run` keeps every
+            // buffer alive until all shards finish.
+            let base = unsafe { bands_ptr.get().add(w * shard_len) };
+            let bptr = [base, unsafe { base.add(band_len) }, unsafe {
+                base.add(2 * band_len)
+            }];
+            let img_scratch = unsafe { base.add(3 * band_len) };
+            let v0 = unsafe { std::slice::from_raw_parts(v_ptrs[0].get(), n) };
+            for t in (w..ntiles).step_by(width) {
+                let t0 = t * tile_rows;
+                let t1 = ((t + 1) * tile_rows).min(nx);
+                let (mut prev_i, mut cur_i, mut next_i) = (1usize, 2usize, 0usize);
+                for l in 0..s {
+                    let d = s - 1 - l;
+                    let slo = t0.saturating_sub(d);
+                    let shi = (t1 + d).min(nx);
+                    // v_l lives on band rows [t0 − (s−l), …); v_0 is global.
+                    let (xs, xlo): (&[f64], usize) = if l == 0 {
+                        (v0, 0)
+                    } else {
+                        (
+                            unsafe { std::slice::from_raw_parts(bptr[cur_i], band_len) },
+                            t0.saturating_sub(s - l),
+                        )
+                    };
+                    let (ps, plo): (&[f64], usize) = if l <= 1 {
+                        (v0, 0)
+                    } else {
+                        (
+                            unsafe { std::slice::from_raw_parts(bptr[prev_i], band_len) },
+                            t0.saturating_sub(s - l + 1),
+                        )
+                    };
+                    let next = bptr[next_i];
+                    for i in slo..shi {
+                        let owned = i >= t0 && i < t1;
+                        let row_rel = (i - xlo) * ny;
+                        // Pass 1: the stencil image of row i, written
+                        // straight to its destination — the global av row
+                        // when owned, a scratch row for ghosts. A plain
+                        // contiguous store keeps row_sweep vectorizable.
+                        let img_ptr = if owned {
+                            unsafe { av_ptrs[l].get().add(i * ny) }
+                        } else {
+                            img_scratch
+                        };
+                        {
+                            let mut emit = |idx_rel: usize, image: f64| unsafe {
+                                *img_ptr.add(idx_rel - row_rel) = image;
+                            };
+                            match (i > 0, i + 1 < nx) {
+                                (false, false) => {
+                                    self.row_sweep::<false, false>(xs, row_rel, &mut emit);
+                                }
+                                (false, true) => {
+                                    self.row_sweep::<false, true>(xs, row_rel, &mut emit);
+                                }
+                                (true, true) => {
+                                    self.row_sweep::<true, true>(xs, row_rel, &mut emit);
+                                }
+                                (true, false) => {
+                                    self.row_sweep::<true, false>(xs, row_rel, &mut emit);
+                                }
+                            }
+                        }
+                        // Pass 2: the column recurrence over the whole row
+                        // (one transform dispatch per row, branch-free
+                        // inside), into the rotating band — and the global
+                        // v column when owned. The row is L1-resident from
+                        // pass 1, so the second sweep is arithmetic-only.
+                        if l + 1 < s {
+                            let img = unsafe { std::slice::from_raw_parts(img_ptr, ny) };
+                            let cur = &xs[row_rel..row_rel + ny];
+                            let prev = (l > 0).then(|| &ps[(i - plo) * ny..(i - plo + 1) * ny]);
+                            let next_row = unsafe {
+                                std::slice::from_raw_parts_mut(next.add((i - slo) * ny), ny)
+                            };
+                            transform.combine_row(l, img, cur, prev, next_row);
+                            if owned {
+                                unsafe {
+                                    std::ptr::copy_nonoverlapping(
+                                        next_row.as_ptr(),
+                                        v_ptrs[l + 1].get().add(i * ny),
+                                        ny,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    // rotate: this level's output becomes the next level's
+                    // source; the old source becomes `prev`.
+                    (prev_i, cur_i, next_i) = (cur_i, next_i, prev_i);
+                }
+            }
+        };
+        if width <= 1 {
+            job(0);
+            return;
+        }
+        let team = team.expect("width > 1 implies a team");
+        if team.try_run(&job).is_err() {
+            crate::mpk::poison_outputs(v, av);
+        }
+    }
 }
 
 /// Matrix-free 3-D seven-point Laplacian on an `n × n × n` grid.
@@ -527,6 +691,73 @@ impl LinearOperator for Stencil3d {
         })
     }
 
+    /// `(x, A·x)` with the seven-point rows recomputed on the fly and never
+    /// stored — same contract as [`Stencil2d::apply_dot_nostore`].
+    fn apply_dot_nostore(&self, mode: crate::kernels::DotMode, x: &[f64]) -> Option<f64> {
+        let n = self.n;
+        let dim = n * n * n;
+        assert_eq!(x.len(), dim);
+        let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+        Some(crate::fused::fused_sum(mode, dim, |idx| {
+            let v = self.row_value(x, i, j, k, idx);
+            k += 1;
+            if k == n {
+                k = 0;
+                j += 1;
+                if j == n {
+                    j = 0;
+                    i += 1;
+                }
+            }
+            x[idx] * v
+        }))
+    }
+
+    /// Fully fused CG update with recomputed `A·p` rows — the
+    /// [`Stencil2d::fused_update_xr`] arithmetic on the 3-D stencil walk.
+    fn fused_update_xr(
+        &self,
+        mode: crate::kernels::DotMode,
+        lambda: f64,
+        p: &[f64],
+        x: &mut [f64],
+        r: &mut [f64],
+    ) -> Option<f64> {
+        let n = self.n;
+        let dim = n * n * n;
+        assert_eq!(p.len(), dim);
+        assert_eq!(x.len(), dim);
+        assert_eq!(r.len(), dim);
+        debug_assert!(
+            !crate::kernels::overlaps(p, x),
+            "fused_update_xr: p aliases x"
+        );
+        debug_assert!(
+            !crate::kernels::overlaps(p, r),
+            "fused_update_xr: p aliases r"
+        );
+        debug_assert!(
+            !crate::kernels::overlaps(x, r),
+            "fused_update_xr: x aliases r"
+        );
+        let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+        Some(crate::fused::fused_sum(mode, dim, |idx| {
+            let v = self.row_value(p, i, j, k, idx);
+            k += 1;
+            if k == n {
+                k = 0;
+                j += 1;
+                if j == n {
+                    j = 0;
+                    i += 1;
+                }
+            }
+            x[idx] += lambda * p[idx];
+            r[idx] += (-lambda) * v;
+            r[idx] * r[idx]
+        }))
+    }
+
     /// Team-parallel stencil application by contiguous bands of `i`-planes
     /// (each plane is `n²` contiguous flat indices) — every row value is
     /// the exact [`Stencil3d::row_value`] sequence, so bands are
@@ -569,6 +800,129 @@ impl LinearOperator for Stencil3d {
         });
         if res.is_err() {
             y.fill(f64::NAN);
+        }
+    }
+
+    /// Trapezoidal matrix-powers kernel over bands of `i`-planes — the
+    /// [`Stencil2d::matrix_powers`] scheme with a grid row generalized to a
+    /// contiguous `n²`-element plane. Ghost planes are recomputed by the
+    /// exact [`Stencil3d::row_value`] sequence, so outputs are bit-identical
+    /// to [`crate::mpk::naive_powers`] for any tile size and team width.
+    fn matrix_powers(
+        &self,
+        transform: &crate::mpk::MpkTransform<'_>,
+        v: &mut [Vec<f64>],
+        av: &mut [Vec<f64>],
+        team: Option<&vr_par::Team>,
+        tile: Option<usize>,
+        ws: &mut crate::mpk::MpkWorkspace,
+    ) {
+        let n = self.n;
+        let n2 = n * n;
+        let dim = n2 * n;
+        let s = v.len();
+        let tile_planes = tile
+            .unwrap_or_else(|| crate::mpk::default_tile_rows(n2, s))
+            .max(1);
+        if s < 2 || tile_planes >= n {
+            crate::mpk::naive_powers(self, transform, v, av, team);
+            return;
+        }
+        assert_eq!(av.len(), s, "matrix_powers: v/av column count mismatch");
+        for l in 0..s {
+            assert_eq!(v[l].len(), dim, "matrix_powers: v column length != dim");
+            assert_eq!(av[l].len(), dim, "matrix_powers: av column length != dim");
+        }
+        let ntiles = n.div_ceil(tile_planes);
+        let width = team
+            .map_or(1, |t| vr_par::team::dispatch_width(dim, t.width()))
+            .min(ntiles);
+        let band_len = (tile_planes + 2 * (s - 1)) * n2;
+        let shard_len = 3 * band_len;
+        let bands = ws.bands_mut(width * shard_len);
+        let v_ptrs: Vec<vr_par::team::SendPtr<f64>> = v
+            .iter_mut()
+            .map(|c| vr_par::team::SendPtr(c.as_mut_ptr()))
+            .collect();
+        let av_ptrs: Vec<vr_par::team::SendPtr<f64>> = av
+            .iter_mut()
+            .map(|c| vr_par::team::SendPtr(c.as_mut_ptr()))
+            .collect();
+        let bands_ptr = vr_par::team::SendPtr(bands.as_mut_ptr());
+        let v_ptrs = &v_ptrs[..];
+        let av_ptrs = &av_ptrs[..];
+        let job = move |w: usize| {
+            // Shards beyond the dispatch width own no tiles and no scratch.
+            if w >= width {
+                return;
+            }
+            // Safety: same discipline as `Stencil2d::matrix_powers` — each
+            // shard owns its band slice, owned plane ranges are disjoint
+            // across tiles, and `try_run` outlives every dereference.
+            let base = unsafe { bands_ptr.get().add(w * shard_len) };
+            let bptr = [base, unsafe { base.add(band_len) }, unsafe {
+                base.add(2 * band_len)
+            }];
+            let v0 = unsafe { std::slice::from_raw_parts(v_ptrs[0].get(), dim) };
+            for t in (w..ntiles).step_by(width) {
+                let t0 = t * tile_planes;
+                let t1 = ((t + 1) * tile_planes).min(n);
+                let (mut prev_i, mut cur_i, mut next_i) = (1usize, 2usize, 0usize);
+                for l in 0..s {
+                    let d = s - 1 - l;
+                    let slo = t0.saturating_sub(d);
+                    let shi = (t1 + d).min(n);
+                    let (xs, xlo): (&[f64], usize) = if l == 0 {
+                        (v0, 0)
+                    } else {
+                        (
+                            unsafe { std::slice::from_raw_parts(bptr[cur_i], band_len) },
+                            t0.saturating_sub(s - l),
+                        )
+                    };
+                    let (ps, plo): (&[f64], usize) = if l <= 1 {
+                        (v0, 0)
+                    } else {
+                        (
+                            unsafe { std::slice::from_raw_parts(bptr[prev_i], band_len) },
+                            t0.saturating_sub(s - l + 1),
+                        )
+                    };
+                    let next = bptr[next_i];
+                    for i in slo..shi {
+                        let owned = i >= t0 && i < t1;
+                        for j in 0..n {
+                            let rel_base = (i - xlo) * n2 + j * n;
+                            for k in 0..n {
+                                let idx_rel = rel_base + k;
+                                let image = self.row_value(xs, i, j, k, idx_rel);
+                                let g = idx_rel + xlo * n2;
+                                if owned {
+                                    unsafe { *av_ptrs[l].get().add(g) = image };
+                                }
+                                if l + 1 < s {
+                                    let cur = xs[idx_rel];
+                                    let prev = if l == 0 { 0.0 } else { ps[g - plo * n2] };
+                                    let nv = transform.level(l, image, cur, prev);
+                                    unsafe { *next.add(g - slo * n2) = nv };
+                                    if owned {
+                                        unsafe { *v_ptrs[l + 1].get().add(g) = nv };
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    (prev_i, cur_i, next_i) = (cur_i, next_i, prev_i);
+                }
+            }
+        };
+        if width <= 1 {
+            job(0);
+            return;
+        }
+        let team = team.expect("width > 1 implies a team");
+        if team.try_run(&job).is_err() {
+            crate::mpk::poison_outputs(v, av);
         }
     }
 }
@@ -701,13 +1055,66 @@ mod tests {
                 }
             }
         }
-        // Stencil2d supports the no-store path; the others fall back
+        // 2-D and 3-D stencils (and CSR) support the no-store path; the
+        // 1-D stencil intentionally stays on the two-pass default.
         let s2 = Stencil2d::poisson(6);
         let x = gen::rand_vector(36, 31);
         assert!(s2.apply_dot_nostore(DotMode::Serial, &x).is_some());
+        assert!(Stencil3d::new(3)
+            .apply_dot_nostore(DotMode::Serial, &x[..27])
+            .is_some());
         assert!(Stencil1d::new(5)
             .apply_dot_nostore(DotMode::Serial, &x[..5])
             .is_none());
+    }
+
+    #[test]
+    fn matrix_powers_tiled_matches_naive_bitwise() {
+        use crate::mpk::{naive_powers, MpkTransform, MpkWorkspace};
+        use vr_par::team::Team;
+        let shifts = [0.9, 2.3, 3.7];
+        let scales = [0.5, 1.0, 2.0];
+        let transforms = [
+            MpkTransform::Monomial,
+            MpkTransform::Newton {
+                shifts: &shifts,
+                scales: &scales,
+            },
+            MpkTransform::Chebyshev {
+                center: 4.1,
+                half_width: 3.9,
+            },
+        ];
+        let s = 4;
+        // 200×100 clears the dispatch grain so teams actually split; the
+        // ny = 1 and small-3-D cases cover degenerate tiling serially.
+        let ops: Vec<Box<dyn LinearOperator>> = vec![
+            Box::new(Stencil2d::anisotropic(200, 100, 0.3)),
+            Box::new(Stencil2d::anisotropic(9, 1, 1.0)),
+            Box::new(Stencil3d::new(20)),
+        ];
+        for op in &ops {
+            let n = op.dim();
+            let seed = gen::rand_vector(n, 5);
+            for t in &transforms {
+                let mut v_ref = vec![vec![0.0; n]; s];
+                v_ref[0].copy_from_slice(&seed);
+                let mut av_ref = vec![vec![0.0; n]; s];
+                naive_powers(op.as_ref(), t, &mut v_ref, &mut av_ref, None);
+                for tile in [1usize, 3, 17] {
+                    for width in [1usize, 4] {
+                        let team = Team::new(width);
+                        let mut v = vec![vec![0.0; n]; s];
+                        v[0].copy_from_slice(&seed);
+                        let mut av = vec![vec![0.0; n]; s];
+                        let mut ws = MpkWorkspace::new();
+                        op.matrix_powers(t, &mut v, &mut av, Some(&team), Some(tile), &mut ws);
+                        assert_eq!(v, v_ref, "v diverged: {t:?} tile={tile} width={width}");
+                        assert_eq!(av, av_ref, "av diverged: {t:?} tile={tile} width={width}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

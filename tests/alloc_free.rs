@@ -1,0 +1,124 @@
+//! Zero-allocation-per-iteration contract for the solver hot paths.
+//!
+//! A counting global allocator wraps [`System`] and tallies every
+//! `alloc`/`realloc`/`alloc_zeroed`. Each variant is solved twice on the
+//! same system with `tol = 0.0` (so both runs terminate on
+//! `MaxIterations`) at two different iteration budgets; since setup,
+//! warm-up, and teardown are identical, the extra iterations of the
+//! longer run must contribute **zero** allocations for the two tallies to
+//! match.
+//!
+//! Everything runs in ONE `#[test]` function: the counter is global, and
+//! cargo's default parallel test runner would otherwise interleave
+//! allocations from unrelated tests into the window being measured.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use vr_cg::lookahead::LookaheadCg;
+use vr_cg::sstep::SStepCg;
+use vr_cg::standard::StandardCg;
+use vr_cg::{BasisEngine, CgVariant, SolveOptions, Termination};
+use vr_linalg::gen;
+use vr_linalg::kernels::DotMode;
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn opts(max_iters: usize, engine: BasisEngine) -> SolveOptions {
+    let mut o = SolveOptions::default()
+        .with_tol(0.0) // never converges → exact MaxIterations run
+        .with_max_iters(max_iters)
+        .with_dot_mode(DotMode::Serial)
+        .with_threads(1)
+        .with_basis_engine(engine);
+    o.record_residuals = false; // norms Vec must not grow with iterations
+    o
+}
+
+/// Allocation calls issued by one full solve at the given budget.
+///
+/// An untimed warm-up solve first absorbs process-level lazy
+/// initialization (fmt machinery, thread-locals) that would otherwise be
+/// charged to whichever configuration happens to run first. The
+/// measurement is then the minimum over a few repeats: solver allocation
+/// behaviour is deterministic, so the minimum strips any allocations the
+/// libtest harness thread interleaves into the window.
+fn allocs_for(
+    variant: &dyn CgVariant,
+    a: &dyn vr_linalg::LinearOperator,
+    b: &[f64],
+    max_iters: usize,
+    engine: BasisEngine,
+) -> u64 {
+    let o = opts(max_iters, engine);
+    let _ = variant.solve(a, b, None, &o);
+    let mut best = u64::MAX;
+    for _ in 0..3 {
+        let before = ALLOC_CALLS.load(Ordering::Relaxed);
+        let res = variant.solve(a, b, None, &o);
+        let after = ALLOC_CALLS.load(Ordering::Relaxed);
+        assert_eq!(
+            res.termination,
+            Termination::MaxIterations,
+            "{}: tol=0 run must exhaust its budget",
+            variant.name()
+        );
+        best = best.min(after - before);
+    }
+    best
+}
+
+#[test]
+fn hot_loops_allocate_nothing_per_iteration_after_warmup() {
+    let a = gen::poisson2d(48);
+    let b = gen::poisson2d_rhs(48);
+
+    // (variant, label). The short budget already covers every warm-up
+    // transient: s-step's second direction block is first built on outer
+    // step 2 (iteration s+1), look-ahead's window on its first pass.
+    let variants: Vec<(Box<dyn CgVariant>, &str)> = vec![
+        (Box::new(StandardCg::new()), "standard"),
+        (Box::new(SStepCg::monomial(4)), "sstep-monomial"),
+        (Box::new(SStepCg::newton(4)), "sstep-newton"),
+        (Box::new(LookaheadCg::new(2)), "lookahead-k2"),
+    ];
+
+    for (variant, label) in &variants {
+        for engine in [BasisEngine::Mpk, BasisEngine::Naive] {
+            let short = allocs_for(variant.as_ref(), &a, &b, 10, engine);
+            let long = allocs_for(variant.as_ref(), &a, &b, 40, engine);
+            assert_eq!(
+                short, long,
+                "{label} ({engine:?}): a 40-iteration solve allocated \
+                 {long} times vs {short} for 10 iterations — the extra 30 \
+                 iterations must be allocation-free"
+            );
+        }
+    }
+}

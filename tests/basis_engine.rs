@@ -1,0 +1,108 @@
+//! Solver-level differential harness for [`BasisEngine`].
+//!
+//! The contract: `BasisEngine::Mpk` (the default — cache-blocked
+//! matrix-powers basis construction) produces **exactly the bits** of
+//! `BasisEngine::Naive` (column-by-column repeated apply) for every
+//! s-step basis kind and for look-ahead startup — same termination, same
+//! iteration count, same residual-norm sequence, same solution vector —
+//! at every team width and for explicit as well as heuristic tile sizes.
+//! Order-preserving summation (`DotMode::Tree`) makes the whole solve
+//! deterministic, so any single differing bit in the basis would surface
+//! in the trace.
+
+use cg_lookahead::cg::lookahead::LookaheadCg;
+use cg_lookahead::cg::sstep::SStepCg;
+use cg_lookahead::cg::{BasisEngine, CgVariant, SolveOptions, SolveResult};
+use cg_lookahead::linalg::gen;
+use cg_lookahead::linalg::kernels::DotMode;
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+fn assert_trace_identical(n_label: &str, r: &SolveResult, m: &SolveResult, ctx: &str) {
+    assert_eq!(r.termination, m.termination, "{n_label} {ctx}: termination");
+    assert_eq!(r.iterations, m.iterations, "{n_label} {ctx}: iterations");
+    assert_eq!(
+        bits(&r.residual_norms),
+        bits(&m.residual_norms),
+        "{n_label} {ctx}: residual-norm sequence"
+    );
+    assert_eq!(bits(&r.x), bits(&m.x), "{n_label} {ctx}: solution vector");
+}
+
+fn engine_users() -> Vec<Box<dyn CgVariant>> {
+    vec![
+        Box::new(SStepCg::monomial(4)),
+        Box::new(SStepCg::newton(4)),
+        Box::new(SStepCg::chebyshev(4)),
+        Box::new(LookaheadCg::new(2)),
+        Box::new(LookaheadCg::new(3).with_resync(16)),
+    ]
+}
+
+fn run(
+    v: &dyn CgVariant,
+    a: &cg_lookahead::linalg::CsrMatrix,
+    b: &[f64],
+    engine: BasisEngine,
+    width: usize,
+    tile: Option<usize>,
+) -> SolveResult {
+    let opts = SolveOptions::default()
+        .with_tol(1e-8)
+        .with_dot_mode(DotMode::Tree)
+        .with_threads(width)
+        .with_basis_engine(engine)
+        .with_mpk_tile(tile);
+    v.solve(a, b, None, &opts)
+}
+
+#[test]
+fn mpk_engine_traces_bit_identical_to_naive_across_widths_and_tiles() {
+    let a = gen::poisson2d(24);
+    let b = gen::poisson2d_rhs(24);
+    for v in engine_users() {
+        for width in [1usize, 2, 4] {
+            for tile in [None, Some(512)] {
+                let naive = run(v.as_ref(), &a, &b, BasisEngine::Naive, width, tile);
+                let mpk = run(v.as_ref(), &a, &b, BasisEngine::Mpk, width, tile);
+                let ctx = format!("width={width} tile={tile:?}");
+                assert_trace_identical(&v.name(), &naive, &mpk, &ctx);
+                assert!(naive.converged, "{} {ctx}: converged", v.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn mpk_engine_traces_bit_identical_on_grain_spanning_system() {
+    // n = 136² = 18 496 exceeds twice the dispatch grain, so width-4 team
+    // runs genuinely shard the sweeps instead of clamping to serial.
+    let a = gen::poisson2d(136);
+    let b = gen::poisson2d_rhs(136);
+    let variants: Vec<Box<dyn CgVariant>> = vec![
+        Box::new(SStepCg::monomial(4)),
+        Box::new(LookaheadCg::new(2)),
+    ];
+    for v in variants {
+        for width in [1usize, 4] {
+            let naive = run(v.as_ref(), &a, &b, BasisEngine::Naive, width, None);
+            let mpk = run(v.as_ref(), &a, &b, BasisEngine::Mpk, width, None);
+            let ctx = format!("width={width}");
+            assert_trace_identical(&v.name(), &naive, &mpk, &ctx);
+        }
+    }
+}
+
+#[test]
+fn default_engine_is_mpk_and_builder_round_trips() {
+    let d = SolveOptions::default();
+    assert_eq!(d.basis_engine, BasisEngine::Mpk);
+    assert_eq!(d.mpk_tile, None);
+    let o = SolveOptions::default()
+        .with_basis_engine(BasisEngine::Naive)
+        .with_mpk_tile(Some(4096));
+    assert_eq!(o.basis_engine, BasisEngine::Naive);
+    assert_eq!(o.mpk_tile, Some(4096));
+}

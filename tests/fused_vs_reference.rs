@@ -172,17 +172,24 @@ fn standard_cg_bit_matches_reference_on_stencil() {
 }
 
 #[test]
-fn stencil_nostore_kernels_bit_match_two_pass_composition() {
+fn nostore_kernels_bit_match_two_pass_composition_on_all_operators() {
     // The operator-level no-store kernels (never materializing w = A·p)
     // are kept as API for bandwidth-bound targets even though the solvers
     // prefer the with-w fused schedule on compute-bound cores. Lock down
-    // their bit contract against the two-pass composition directly.
+    // their bit contract against the two-pass composition directly, on
+    // every operator family that implements them: both stencil dims and
+    // general CSR (structured and random sparsity).
+    use cg_lookahead::linalg::stencil::Stencil3d;
     use cg_lookahead::linalg::LinearOperator;
-    for op in [
-        Stencil2d::poisson(17),
-        Stencil2d::anisotropic(5, 31, 0.25),
-        Stencil2d::anisotropic(31, 5, 4.0),
-    ] {
+    let ops: Vec<Box<dyn LinearOperator>> = vec![
+        Box::new(Stencil2d::poisson(17)),
+        Box::new(Stencil2d::anisotropic(5, 31, 0.25)),
+        Box::new(Stencil2d::anisotropic(31, 5, 4.0)),
+        Box::new(Stencil3d::new(9)),
+        Box::new(gen::poisson2d(19)),
+        Box::new(gen::rand_spd(300, 7, 4.0, 21)),
+    ];
+    for op in &ops {
         let n = op.dim();
         let p = pseudo(n, 11);
         for mode in [DotMode::Serial, DotMode::Tree, DotMode::Kahan] {
@@ -190,7 +197,7 @@ fn stencil_nostore_kernels_bit_match_two_pass_composition() {
             op.apply(&p, &mut w);
             let pap = op
                 .apply_dot_nostore(mode, &p)
-                .expect("stencil supports no-store apply_dot");
+                .expect("operator supports no-store apply_dot");
             assert_eq!(
                 pap.to_bits(),
                 kernels::dot(mode, &w, &p).to_bits(),
@@ -204,7 +211,7 @@ fn stencil_nostore_kernels_bit_match_two_pass_composition() {
             let mut r2 = r1.clone();
             let rr = op
                 .fused_update_xr(mode, lambda, &p, &mut x1, &mut r1)
-                .expect("stencil supports fused update_xr");
+                .expect("operator supports fused update_xr");
             kernels::axpy(lambda, &p, &mut x2);
             kernels::axpy(-lambda, &w, &mut r2);
             assert_eq!(bits(&x1), bits(&x2), "{mode:?}: fused_update_xr x");

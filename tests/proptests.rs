@@ -861,3 +861,141 @@ fn poisoned_team_reductions_return_nan_at_any_width() {
         }
     });
 }
+
+// ---------- sixth wave: matrix-powers kernel ----------
+
+use cg_lookahead::cg::sstep::basis::{self, BasisKind, BasisParams, KrylovBasis};
+use cg_lookahead::cg::BasisEngine;
+use cg_lookahead::linalg::mpk::{self, MpkTransform, MpkWorkspace};
+use cg_lookahead::linalg::stencil::{Stencil2d, Stencil3d};
+use cg_lookahead::linalg::LinearOperator;
+
+fn fbits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn mpk_stencil_powers_bit_match_naive_for_any_tile_width_and_basis() {
+    // cache-blocked trapezoidal sweeps recompute ghost zones redundantly,
+    // so whatever the tile size (including degenerate ones) or team width,
+    // the basis must be BIT-identical to s naive repeated applies — for
+    // all three basis transforms and both stencil dimensions. Sizes span
+    // the dispatch grain so team runs genuinely shard.
+    check(4, |rng| {
+        let s = 2 + rng.below(4);
+        let ops: Vec<Box<dyn LinearOperator>> = vec![
+            Box::new(Stencil2d::poisson(40 + rng.below(100))),
+            Box::new(Stencil3d::new(8 + rng.below(18))),
+        ];
+        for a in &ops {
+            let n = a.dim();
+            let r = small_vec(rng, n);
+            let mut counts = OpCounts::default();
+            for kind in [BasisKind::Monomial, BasisKind::Newton, BasisKind::Chebyshev] {
+                let params = BasisParams::estimate(kind, a.as_ref(), s, &mut counts);
+                let mut ws = MpkWorkspace::new();
+                let mut naive = KrylovBasis::default();
+                basis::build_into(
+                    a.as_ref(),
+                    &r,
+                    s,
+                    &params,
+                    BasisEngine::Naive,
+                    None,
+                    None,
+                    &mut ws,
+                    &mut naive,
+                    &mut counts,
+                );
+                // random explicit tile and the auto heuristic (None)
+                for tile in [Some(1 + rng.below(n)), None] {
+                    for width in [1usize, 2, 4] {
+                        let team = (width > 1).then(|| Team::new(width));
+                        let mut out = KrylovBasis::default();
+                        basis::build_into(
+                            a.as_ref(),
+                            &r,
+                            s,
+                            &params,
+                            BasisEngine::Mpk,
+                            team.as_ref(),
+                            tile,
+                            &mut ws,
+                            &mut out,
+                            &mut counts,
+                        );
+                        for l in 0..s {
+                            let ctx = format!(
+                                "{kind:?} n={n} s={s} level={l} tile={tile:?} width={width}"
+                            );
+                            assert_eq!(fbits(&naive.v[l]), fbits(&out.v[l]), "{ctx}: v");
+                            assert_eq!(fbits(&naive.av[l]), fbits(&out.av[l]), "{ctx}: av");
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn mpk_csr_halo_expansion_bit_matches_naive_on_random_sparsity() {
+    // the CSR plan walks dependencies backwards from each row tile,
+    // expanding the halo level by level; any sparsity pattern — including
+    // empty rows, which contribute no dependencies at all — must give the
+    // exact bits of the unblocked sweep. Explicit tiles force the tiled
+    // path even when the profitability heuristic would decline.
+    check(8, |rng| {
+        let n = 30 + rng.below(170);
+        let mut rows = vec![vec![0.0; n]; n];
+        for row in rows.iter_mut() {
+            if rng.below(8) == 0 {
+                continue; // empty row
+            }
+            for _ in 0..(1 + rng.below(6)) {
+                let j = rng.below(n);
+                row[j] = rng.range_f64(-2.0, 2.0);
+            }
+        }
+        let a = cg_lookahead::linalg::CsrMatrix::from_dense(&rows, 0.0);
+        let s = 2 + rng.below(4);
+        let r = small_vec(rng, n);
+        let shifts = small_vec(rng, s.max(2) - 1);
+        let scales: Vec<f64> = (0..s.max(2) - 1)
+            .map(|_| f64::exp2(rng.below(7) as f64 - 3.0))
+            .collect();
+        let transforms = [
+            MpkTransform::Monomial,
+            MpkTransform::Newton {
+                shifts: &shifts,
+                scales: &scales,
+            },
+            MpkTransform::Newton {
+                shifts: &[],
+                scales: &[],
+            },
+            MpkTransform::Chebyshev {
+                center: rng.range_f64(0.5, 4.0),
+                half_width: rng.range_f64(0.25, 2.0),
+            },
+        ];
+        for transform in &transforms {
+            let mut v1 = vec![vec![0.0; n]; s];
+            let mut av1 = vec![vec![0.0; n]; s];
+            v1[0].copy_from_slice(&r);
+            mpk::naive_powers(&a, transform, &mut v1, &mut av1, None);
+            for tile in [1 + rng.below(n), 1 + rng.below(8)] {
+                let mut ws = MpkWorkspace::new();
+                let mut v2 = vec![vec![0.0; n]; s];
+                let mut av2 = vec![vec![0.0; n]; s];
+                v2[0].copy_from_slice(&r);
+                a.matrix_powers(transform, &mut v2, &mut av2, None, Some(tile), &mut ws);
+                for l in 0..s {
+                    let ctx = format!("n={n} s={s} level={l} tile={tile}");
+                    assert_eq!(fbits(&v1[l]), fbits(&v2[l]), "{ctx}: v");
+                    assert_eq!(fbits(&av1[l]), fbits(&av2[l]), "{ctx}: av");
+                }
+            }
+        }
+    });
+}
