@@ -1,0 +1,274 @@
+//! E19 — C1–C3: traced per-iteration critical-path attribution.
+//!
+//! Every earlier experiment *inferred* the paper's claim from op counts or
+//! outside-the-solve wall clock; this one *measures* it. A `vr_obs`
+//! tracer rides along inside the solve, recording when each phase of every
+//! iteration ran on the real worker team, and the critical-path aggregator
+//! attributes each iteration's wall time to {reduction-wait, matvec,
+//! vector, overhead}. "Reduction wait" is dependency-gated time only: an
+//! eager dot (standard CG's `p·Ap`) charges its whole sweep + fan-in,
+//! while §3's overlapped recurrences charge only the deferred fan-in at
+//! the consume point — the sweeps ran as useful vector work.
+//!
+//! Sweep: grid × variant {standard, overlap-k1, lookahead k=2, k=4} ×
+//! team width {1, 4}, fixed iteration budget, `DotMode::Tree`, default
+//! fused kernels. Every traced solve is asserted bit-identical to its
+//! untraced twin (tracing must observe, never perturb).
+//!
+//! Headlines (asserted outside `--smoke` on hosts with ≥ 4 CPUs, largest
+//! grid):
+//!
+//! * overlap-k1's reduction-wait share at width 4 is strictly below
+//!   standard CG's — the paper's §3 claim, measured on real threads;
+//! * an attached tracer costs < 5% of iteration wall time (min-of-reps
+//!   traced vs untraced).
+//!
+//! Artifacts: `BENCH_obs.json` (phase shares per config + full
+//! per-iteration reports) and `e19_trace.json`, a Chrome trace-event
+//! export of one overlap-k1 solve — open it in <https://ui.perfetto.dev>
+//! to *see* the deferred fan-ins hiding under the matvec.
+
+use std::sync::Arc;
+use vr_bench::obs::report_json;
+use vr_bench::{write_json, Table};
+use vr_cg::lookahead::LookaheadCg;
+use vr_cg::overlap_k1::OverlapK1Cg;
+use vr_cg::standard::StandardCg;
+use vr_cg::{CgVariant, SolveOptions};
+use vr_linalg::kernels::DotMode;
+use vr_linalg::stencil::Stencil2d;
+use vr_obs::{Clock, PhaseClass, Report, Tracer};
+
+vr_bench::jsonable! {
+    struct Row {
+    grid: usize,
+    n: usize,
+    variant: String,
+    threads: usize,
+    iterations: usize,
+    untraced_secs_per_iter: f64,
+    traced_secs_per_iter: f64,
+    trace_overhead_ratio: f64,
+    reduction_wait_share: f64,
+    matvec_share: f64,
+    vector_share: f64,
+    overhead_share: f64,
+    reduction_wait_ns_per_iter: f64,
+    dropped_spans: u64,
+}
+}
+
+fn variants() -> Vec<(&'static str, Box<dyn CgVariant>)> {
+    vec![
+        (
+            "standard",
+            Box::new(StandardCg::new()) as Box<dyn CgVariant>,
+        ),
+        ("overlap-k1", Box::new(OverlapK1Cg::new())),
+        ("lookahead-k2", Box::new(LookaheadCg::new(2))),
+        ("lookahead-k4", Box::new(LookaheadCg::new(4))),
+    ]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let host_cpus = std::thread::available_parallelism().map_or(1, |v| v.get());
+    // fixed iteration budget (tol 0 never triggers): traced and untraced
+    // runs do identical logical work, so min-of-reps wall clock isolates
+    // the tracer's own cost
+    let (grids, iters, reps): (&[usize], usize, usize) = if smoke {
+        (&[48], 10, 1)
+    } else {
+        (&[256, 512], 40, 3)
+    };
+    let widths: &[usize] = &[1, 4];
+    let clock = Clock::new();
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut reports: Vec<(String, Report)> = Vec::new();
+    let mut exemplar_trace: Option<String> = None;
+    let mut table = Table::new(&[
+        "grid",
+        "variant",
+        "thr",
+        "iters",
+        "red-wait",
+        "matvec",
+        "vector",
+        "ovh",
+        "s/iter",
+        "trace-ovh",
+    ]);
+
+    for &g in grids {
+        let op = Stencil2d::poisson(g);
+        let n = g * g;
+        let b = vec![1.0; n];
+        for &threads in widths {
+            for (vname, solver) in variants() {
+                let base_opts = SolveOptions::default()
+                    .with_tol(0.0)
+                    .with_max_iters(iters)
+                    .with_dot_mode(DotMode::Tree)
+                    .with_threads(threads);
+
+                let mut best_untraced = f64::INFINITY;
+                let mut untraced = None;
+                for _ in 0..reps {
+                    let t0 = clock.now_ns();
+                    let res = solver.solve(&op, &b, None, &base_opts);
+                    best_untraced = best_untraced.min((clock.now_ns() - t0) as f64 * 1e-9);
+                    untraced = Some(res);
+                }
+                let untraced = untraced.expect("reps >= 1");
+
+                let tracer = Arc::new(Tracer::for_width(threads));
+                let traced_opts = base_opts.clone().with_tracer(Arc::clone(&tracer));
+                let mut best_traced = f64::INFINITY;
+                let mut report = None;
+                for _ in 0..reps {
+                    let t0 = clock.now_ns();
+                    let res = solver.solve(&op, &b, None, &traced_opts);
+                    best_traced = best_traced.min((clock.now_ns() - t0) as f64 * 1e-9);
+                    // observation must never perturb: bit-identical iterates
+                    assert_eq!(
+                        untraced.x, res.x,
+                        "{vname} grid {g} threads {threads}: traced solve diverged from untraced"
+                    );
+                    let log = tracer.drain(); // also resets for the next rep
+                    if g == *grids.last().unwrap()
+                        && threads == *widths.last().unwrap()
+                        && vname == "overlap-k1"
+                    {
+                        exemplar_trace = Some(vr_obs::chrome::trace_json(&log));
+                    }
+                    report = Some(vr_obs::critpath::attribute(&log));
+                }
+                let report = report.expect("reps >= 1");
+                assert!(
+                    !report.iters.is_empty(),
+                    "{vname} grid {g}: no iteration marks recorded"
+                );
+                assert_eq!(
+                    report.dropped, 0,
+                    "{vname} grid {g}: tracer ring wrapped — size capacity up"
+                );
+                let t = report.totals;
+                assert_eq!(
+                    t.reduction_wait_ns + t.matvec_ns + t.vector_ns + t.overhead_ns,
+                    t.total_ns,
+                    "{vname} grid {g}: phases do not sum to iteration time"
+                );
+
+                let spi_un = best_untraced / untraced.iterations as f64;
+                let spi_tr = best_traced / untraced.iterations as f64;
+                let overhead_ratio = spi_tr / spi_un;
+                table.row(&[
+                    g.to_string(),
+                    vname.into(),
+                    threads.to_string(),
+                    untraced.iterations.to_string(),
+                    format!("{:5.1}%", 100.0 * t.share(PhaseClass::ReductionWait)),
+                    format!("{:5.1}%", 100.0 * t.share(PhaseClass::Matvec)),
+                    format!("{:5.1}%", 100.0 * t.share(PhaseClass::Vector)),
+                    format!("{:5.1}%", 100.0 * t.share(PhaseClass::Overhead)),
+                    format!("{spi_un:.3e}"),
+                    format!("{:+.1}%", 100.0 * (overhead_ratio - 1.0)),
+                ]);
+                rows.push(Row {
+                    grid: g,
+                    n,
+                    variant: vname.into(),
+                    threads,
+                    iterations: untraced.iterations,
+                    untraced_secs_per_iter: spi_un,
+                    traced_secs_per_iter: spi_tr,
+                    trace_overhead_ratio: overhead_ratio,
+                    reduction_wait_share: t.share(PhaseClass::ReductionWait),
+                    matvec_share: t.share(PhaseClass::Matvec),
+                    vector_share: t.share(PhaseClass::Vector),
+                    overhead_share: t.share(PhaseClass::Overhead),
+                    reduction_wait_ns_per_iter: t.reduction_wait_ns as f64
+                        / report.iters.len() as f64,
+                    dropped_spans: report.dropped,
+                });
+                reports.push((format!("{vname}/g{g}/w{threads}"), report));
+            }
+        }
+    }
+
+    println!("E19 — critical-path attribution (2-D Poisson stencil, DotMode::Tree, fused kernels)");
+    println!("(host CPUs: {host_cpus}; reduction-wait = dependency-gated time only)");
+    println!("{}", table.render());
+
+    // --- headlines: the §3 overlap claim + tracer cost, largest grid ---
+    if smoke {
+        println!("(--smoke: tiny grid, headline assertions skipped)");
+    } else if host_cpus < 4 {
+        println!(
+            "(host has {host_cpus} CPUs: width-4 headline not measurable, assertions skipped)"
+        );
+    } else {
+        let big = *grids.last().unwrap();
+        let row = |variant: &str, threads: usize| {
+            rows.iter()
+                .find(|r| r.grid == big && r.variant == variant && r.threads == threads)
+                .expect("headline row")
+        };
+        let std4 = row("standard", 4);
+        let ovl4 = row("overlap-k1", 4);
+        println!(
+            "headline: reduction-wait share at 4 threads, N = {}: standard {:.1}% vs overlap-k1 {:.1}%",
+            big * big,
+            100.0 * std4.reduction_wait_share,
+            100.0 * ovl4.reduction_wait_share,
+        );
+        assert!(
+            ovl4.reduction_wait_share < std4.reduction_wait_share,
+            "headline regression: overlap-k1 reduction-wait share ({:.3}) is not below standard CG's ({:.3}) at 4 threads",
+            ovl4.reduction_wait_share,
+            std4.reduction_wait_share
+        );
+        for r in rows.iter().filter(|r| r.grid == big) {
+            println!(
+                "headline: tracer overhead {} w{}: {:+.2}%",
+                r.variant,
+                r.threads,
+                100.0 * (r.trace_overhead_ratio - 1.0)
+            );
+            assert!(
+                r.trace_overhead_ratio < 1.05,
+                "headline regression: attached tracer costs {:.1}% of iteration time for {} at width {} (need < 5%)",
+                100.0 * (r.trace_overhead_ratio - 1.0),
+                r.variant,
+                r.threads
+            );
+        }
+    }
+
+    let report_sections: Vec<(String, vr_bench::json::Json)> = reports
+        .iter()
+        .map(|(label, rep)| (label.clone(), report_json(rep)))
+        .collect();
+    write_json(
+        "BENCH_obs",
+        &vr_bench::json::envelope(
+            "e19_critical_path",
+            smoke,
+            &[
+                ("rows", vr_bench::json!(rows)),
+                (
+                    "reports",
+                    vr_bench::json::Json::Obj(report_sections.clone()),
+                ),
+            ],
+        ),
+    );
+    let trace = exemplar_trace.expect("overlap-k1 exemplar always runs");
+    let path = vr_bench::results_dir().join("e19_trace.json");
+    std::fs::write(&path, trace).expect("write chrome trace");
+    eprintln!(
+        "[e19] wrote {} (open in https://ui.perfetto.dev)",
+        path.display()
+    );
+}

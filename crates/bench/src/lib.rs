@@ -26,11 +26,13 @@
 //! | `e16_fused_kernels` | extension | fused single-pass kernel iteration throughput |
 //! | `e17_thread_scaling` | extension | persistent-team width sweep, bit-identical traces |
 //! | `e18_matrix_powers` | extension | cache-blocked MPK vs naive basis build |
+//! | `e19_critical_path` | C1–C3 | traced per-iteration phase attribution on real threads |
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod json;
+pub mod obs;
 pub mod timing;
 
 use json::ToJson;

@@ -4,8 +4,13 @@
 //! Each measurement warms up, then runs enough iterations to fill a short
 //! measurement window and reports the median per-iteration time. Used by
 //! the `benches/` targets; they are plain `harness = false` binaries.
+//!
+//! Timestamps come from the same monotonic [`vr_obs::Clock`] the span
+//! tracer uses, so wall-clock numbers from this harness and phase
+//! attributions from `vr_obs::critpath` are measured on one time base.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
+use vr_obs::Clock;
 
 /// One benchmark measurement.
 #[derive(Debug, Clone)]
@@ -30,6 +35,7 @@ impl Measurement {
 #[derive(Debug, Default)]
 pub struct Bench {
     results: Vec<Measurement>,
+    clock: Clock,
     /// Measurement window per benchmark.
     pub window: Duration,
 }
@@ -45,6 +51,7 @@ impl Bench {
             .unwrap_or(200);
         Bench {
             results: Vec::new(),
+            clock: Clock::new(),
             window: Duration::from_millis(ms),
         }
     }
@@ -52,21 +59,23 @@ impl Bench {
     /// Time `f`, recording the median of per-batch means.
     pub fn run<R>(&mut self, name: impl Into<String>, mut f: impl FnMut() -> R) {
         let name = name.into();
+        let window_ns = u64::try_from(self.window.as_nanos()).unwrap_or(u64::MAX);
         // warm-up: one call, then estimate the batch size
-        let t0 = Instant::now();
+        let t0 = self.clock.now_ns();
         std::hint::black_box(f());
-        let once = t0.elapsed().max(Duration::from_nanos(50));
-        let per_batch = (self.window.as_nanos() / 10 / once.as_nanos()).clamp(1, 1 << 20) as u64;
+        let once_ns = (self.clock.now_ns() - t0).max(50);
+        let per_batch = (window_ns / 10 / once_ns).clamp(1, 1 << 20);
 
         let mut samples = Vec::new();
         let mut total_iters = 0u64;
-        let deadline = Instant::now() + self.window;
-        while Instant::now() < deadline || samples.len() < 3 {
-            let t = Instant::now();
+        let deadline = self.clock.now_ns() + window_ns;
+        while self.clock.now_ns() < deadline || samples.len() < 3 {
+            let t = self.clock.now_ns();
             for _ in 0..per_batch {
                 std::hint::black_box(f());
             }
-            samples.push(t.elapsed().as_secs_f64() / per_batch as f64);
+            let batch_ns = self.clock.now_ns() - t;
+            samples.push(batch_ns as f64 * 1e-9 / per_batch as f64);
             total_iters += per_batch;
             if samples.len() > 10_000 {
                 break;

@@ -83,6 +83,7 @@ impl CgVariant for ChebyshevIteration {
         let n = a.dim();
         let md = opts.dot_mode;
         let mut counts = OpCounts::default();
+        let _trace = opts.trace_attach();
         let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
         if x0.is_some() {
             counts.matvecs += 1;
@@ -130,6 +131,7 @@ impl CgVariant for ChebyshevIteration {
             let mut w = vec![0.0; n];
 
             for it in 0..opts.max_iters {
+                opts.iter_mark();
                 opts.axpy(1.0, &d, &mut x, &mut counts);
                 // r ← r − A·d
                 opts.matvec(a, &d, &mut w, &mut counts);

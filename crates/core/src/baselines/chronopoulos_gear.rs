@@ -45,6 +45,7 @@ impl CgVariant for ChronopoulosGearCg {
         let n = a.dim();
         let md = opts.dot_mode;
         let mut counts = OpCounts::default();
+        let _trace = opts.trace_attach();
         let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
         if x0.is_some() {
             counts.matvecs += 1;
@@ -73,6 +74,7 @@ impl CgVariant for ChronopoulosGearCg {
             termination = Termination::Converged;
         } else {
             for it in 0..opts.max_iters {
+                opts.iter_mark();
                 let (beta, denom) = if it == 0 {
                     (0.0, mu)
                 } else {

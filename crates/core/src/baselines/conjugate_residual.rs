@@ -52,6 +52,7 @@ impl CgVariant for ConjugateResidual {
         let n = a.dim();
         let md = opts.dot_mode;
         let mut counts = OpCounts::default();
+        let _trace = opts.trace_attach();
         let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
         if x0.is_some() {
             counts.matvecs += 1;
@@ -80,6 +81,7 @@ impl CgVariant for ConjugateResidual {
             termination = Termination::Converged;
         } else {
             for it in 0..opts.max_iters {
+                opts.iter_mark();
                 let apap = dot(md, &ap, &ap);
                 counts.dots += 1;
                 if guard::check_pivot(apap).is_err() || guard::check_pivot(rar).is_err() {
@@ -170,6 +172,7 @@ impl CgVariant for OverlapCr {
     ) -> SolveResult {
         let md = opts.dot_mode;
         let mut counts = OpCounts::default();
+        let _trace = opts.trace_attach();
         let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
         if x0.is_some() {
             counts.matvecs += 1;
@@ -200,6 +203,7 @@ impl CgVariant for OverlapCr {
             termination = Termination::Converged;
         } else {
             for it in 0..opts.max_iters {
+                opts.iter_mark();
                 if guard::check_pivot(apap).is_err() || guard::check_pivot(rar).is_err() {
                     // validate: near convergence the drifted recursive
                     // scalars can cross zero just before the threshold trips

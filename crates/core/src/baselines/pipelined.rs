@@ -47,6 +47,7 @@ impl CgVariant for PipelinedCg {
         let n = a.dim();
         let md = opts.dot_mode;
         let mut counts = OpCounts::default();
+        let _trace = opts.trace_attach();
         let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
         if x0.is_some() {
             counts.matvecs += 1;
@@ -82,6 +83,7 @@ impl CgVariant for PipelinedCg {
             termination = Termination::Converged;
         } else {
             for it in 0..opts.max_iters {
+                opts.iter_mark();
                 let delta = if fused && it > 0 {
                     delta_carried
                 } else {

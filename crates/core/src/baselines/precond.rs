@@ -54,6 +54,7 @@ impl<P: Preconditioner> CgVariant for PrecondCg<P> {
         );
         let md = opts.dot_mode;
         let mut counts = OpCounts::default();
+        let _trace = opts.trace_attach();
         let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
         if x0.is_some() {
             counts.matvecs += 1;
@@ -82,6 +83,7 @@ impl<P: Preconditioner> CgVariant for PrecondCg<P> {
             termination = Termination::Converged;
         } else {
             for it in 0..opts.max_iters {
+                opts.iter_mark();
                 if guard::check_pivot(rz).is_err() {
                     termination = Termination::Breakdown;
                     iterations = it;

@@ -48,6 +48,7 @@ impl CgVariant for ThreeTermCg {
         let n = a.dim();
         let md = opts.dot_mode;
         let mut counts = OpCounts::default();
+        let _trace = opts.trace_attach();
         let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
         if x0.is_some() {
             counts.matvecs += 1;
@@ -77,6 +78,7 @@ impl CgVariant for ThreeTermCg {
             termination = Termination::Converged;
         } else {
             for it in 0..opts.max_iters {
+                opts.iter_mark();
                 // matvec carries (r, A·r) in its sweep
                 let rar = opts.matvec_dot(a, &r, &mut w, &mut counts);
                 if guard::check_pivot(rar).is_err() {

@@ -73,6 +73,7 @@ impl BlockCg {
             assert_eq!(col.len(), n, "rhs column length mismatch");
         }
         let mut counts = OpCounts::default();
+        let _trace = opts.trace_attach();
 
         let mut x: Vec<Vec<f64>> = vec![vec![0.0; n]; s];
         let mut r: Vec<Vec<f64>> = b.to_vec();
@@ -113,6 +114,7 @@ impl BlockCg {
             termination = Termination::Converged;
         } else {
             'outer: for it in 0..opts.max_iters {
+                opts.iter_mark();
                 let sa = active.len();
                 // W = A·P (sa matvecs)
                 let mut w: Vec<Vec<f64>> = vec![vec![0.0; n]; sa];

@@ -108,6 +108,7 @@ impl CgVariant for LookaheadCg {
         let m = 2 * k; // window order for μ
         let md = opts.dot_mode;
         let mut counts = OpCounts::default();
+        let _trace = opts.trace_attach();
         let (mut x, mut r0, bnorm) = util::init_residual(a, b, x0);
         if x0.is_some() {
             counts.matvecs += 1;
@@ -129,6 +130,7 @@ impl CgVariant for LookaheadCg {
         // validation residual scratch.
         let team = opts.team();
         let mut ws = MpkWorkspace::new();
+        ws.set_tracer(opts.tracer.clone());
         let mut z: Vec<Vec<f64>> = (0..=k).map(|_| vec![0.0; n]).collect();
         let mut avfam: Vec<Vec<f64>> = (0..=k).map(|_| vec![0.0; n]).collect();
         let mut w: Vec<Vec<f64>> = (0..=k + 1).map(|_| vec![0.0; n]).collect();
@@ -155,7 +157,7 @@ impl CgVariant for LookaheadCg {
             // Either engine computes every column through the exact `apply`
             // row arithmetic — bit-identical to the legacy per-level loop.
             z[0].copy_from_slice(&r0);
-            match opts.basis_engine {
+            opts.span(vr_obs::SpanKind::MpkBuild, || match opts.basis_engine {
                 BasisEngine::Naive => {
                     mpk::naive_powers(
                         a,
@@ -175,7 +177,7 @@ impl CgVariant for LookaheadCg {
                         &mut ws,
                     );
                 }
-            }
+            });
             counts.matvecs += k + 1;
             for (wi, zi) in w.iter_mut().zip(z.iter()) {
                 wi.copy_from_slice(zi);
@@ -199,6 +201,7 @@ impl CgVariant for LookaheadCg {
             // inner recurrence loop
             let mut suspicious = false;
             while iterations < opts.max_iters {
+                opts.iter_mark();
                 let (mu0, sigma1) = (win.mu[0], win.sigma[1]);
                 if guard::check_pivot(sigma1).is_err() || guard::check_pivot(mu0).is_err() {
                     suspicious = true;
@@ -269,13 +272,15 @@ impl CgVariant for LookaheadCg {
             }
 
             // validate against the TRUE residual (scratch, no allocation)
-            a.apply_team(team.as_deref(), &x, &mut vscratch);
+            let rr_true = opts.span(vr_obs::SpanKind::Guard, || {
+                a.apply_team(team.as_deref(), &x, &mut vscratch);
+                for (vi, bi) in vscratch.iter_mut().zip(b) {
+                    *vi = bi - *vi;
+                }
+                dot(md, &vscratch, &vscratch)
+            });
             counts.matvecs += 1;
-            for (vi, bi) in vscratch.iter_mut().zip(b) {
-                *vi = bi - *vi;
-            }
             counts.vector_ops += 1;
-            let rr_true = dot(md, &vscratch, &vscratch);
             counts.dots += 1;
             final_rr = rr_true;
             if rr_true <= thresh_sq {

@@ -31,9 +31,51 @@
 
 use crate::instrument::OpCounts;
 use crate::resilience::guard;
-use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
+use crate::solver::{util, BasisEngine, CgVariant, SolveOptions, SolveResult, Termination};
 use vr_linalg::kernels::dot;
+use vr_linalg::mpk::{MpkTransform, MpkWorkspace};
 use vr_linalg::LinearOperator;
+use vr_par::team::Team;
+
+/// `w ← A·p`, `v ← A·w` as one monomial matrix-powers call (`s = 2`): the
+/// cache-blocked kernel streams each operand tile through cache once for
+/// both applications instead of making two full-vector passes, and is
+/// **bit-identical** to the two plain matvecs by the
+/// [`LinearOperator::matrix_powers`] contract (every row goes through the
+/// exact `apply` arithmetic). The seed column is swapped in from `p` and
+/// the image columns swapped out into `w` and `v`, so the hot loop stays
+/// allocation-free after the buffers warm.
+#[allow(clippy::too_many_arguments)]
+fn mpk_powers2(
+    a: &dyn LinearOperator,
+    opts: &SolveOptions,
+    team: Option<&Team>,
+    ws: &mut MpkWorkspace,
+    cols_v: &mut [Vec<f64>],
+    cols_av: &mut [Vec<f64>],
+    p: &mut Vec<f64>,
+    w: &mut Vec<f64>,
+    v: &mut Vec<f64>,
+    counts: &mut OpCounts,
+) {
+    counts.matvecs += 2;
+    std::mem::swap(p, &mut cols_v[0]);
+    opts.span(vr_obs::SpanKind::MpkBuild, || {
+        a.matrix_powers(
+            &MpkTransform::Monomial,
+            cols_v,
+            cols_av,
+            team,
+            opts.mpk_tile,
+            ws,
+        );
+    });
+    // Monomial, s = 2: av[0] = A·v[0] and av[1] = A·av[0] (v[1] is the
+    // kernel's copy of av[0] — scratch for the next call).
+    std::mem::swap(p, &mut cols_v[0]);
+    std::mem::swap(w, &mut cols_av[0]);
+    std::mem::swap(v, &mut cols_av[1]);
+}
 
 /// One-step overlapped CG (paper §3).
 ///
@@ -83,6 +125,7 @@ impl CgVariant for OverlapK1Cg {
     ) -> SolveResult {
         let n = a.dim();
         let mut counts = OpCounts::default();
+        let _trace = opts.trace_attach();
         let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
         if x0.is_some() {
             counts.matvecs += 1;
@@ -90,6 +133,20 @@ impl CgVariant for OverlapK1Cg {
         }
         let thresh_sq = util::threshold_sq(opts, bnorm);
         let md = opts.dot_mode;
+
+        // Basis engine for the per-iteration `w = A·p`, `v = A·w` pair:
+        // under `Mpk` both applications run as one s = 2 matrix-powers
+        // build (bit-identical by contract); under `Naive` they stay two
+        // plain matvecs. Buffers are allocated once, outside the loop.
+        let use_mpk = opts.basis_engine == BasisEngine::Mpk && n > 0;
+        let team = opts.team();
+        let mut ws = MpkWorkspace::new();
+        ws.set_tracer(opts.tracer.clone());
+        let (mut cols_v, mut cols_av): (Vec<Vec<f64>>, Vec<Vec<f64>>) = if use_mpk {
+            (vec![vec![0.0; n]; 2], vec![vec![0.0; n]; 2])
+        } else {
+            (Vec::new(), Vec::new())
+        };
 
         // State: p, w = A·p, v = A·w; scalars rr = (r,r), rar = (r,Ar),
         // pap = (p,Ap).
@@ -127,11 +184,13 @@ impl CgVariant for OverlapK1Cg {
             while it < opts.max_iters {
                 if guard::check_pivot(pap).is_err() || guard::check_pivot(rr).is_err() {
                     // validate against the true residual
-                    a.apply(&x, &mut vscratch);
-                    for (vi, bi) in vscratch.iter_mut().zip(b) {
-                        *vi = bi - *vi;
-                    }
-                    let rr_true = dot(md, &vscratch, &vscratch);
+                    let rr_true = opts.span(vr_obs::SpanKind::Guard, || {
+                        a.apply(&x, &mut vscratch);
+                        for (vi, bi) in vscratch.iter_mut().zip(b) {
+                            *vi = bi - *vi;
+                        }
+                        dot(md, &vscratch, &vscratch)
+                    });
                     counts.matvecs += 1;
                     counts.vector_ops += 1;
                     counts.dots += 1;
@@ -151,10 +210,27 @@ impl CgVariant for OverlapK1Cg {
                     // warm restart
                     last_restart_rr = rr_true;
                     counts.restarts += 1;
-                    r.copy_from_slice(&vscratch);
-                    p.copy_from_slice(&r);
-                    opts.matvec(a, &p, &mut w, &mut counts);
-                    opts.matvec(a, &w, &mut v, &mut counts);
+                    opts.span(vr_obs::SpanKind::Recovery, || {
+                        r.copy_from_slice(&vscratch);
+                        p.copy_from_slice(&r);
+                    });
+                    if use_mpk {
+                        mpk_powers2(
+                            a,
+                            opts,
+                            team.as_deref(),
+                            &mut ws,
+                            &mut cols_v,
+                            &mut cols_av,
+                            &mut p,
+                            &mut w,
+                            &mut v,
+                            &mut counts,
+                        );
+                    } else {
+                        opts.matvec(a, &p, &mut w, &mut counts);
+                        opts.matvec(a, &w, &mut v, &mut counts);
+                    }
                     counts.vector_ops += 1;
                     rr = rr_true;
                     rar = dot(md, &r, &w);
@@ -163,6 +239,7 @@ impl CgVariant for OverlapK1Cg {
                     continue;
                 }
                 it += 1;
+                opts.iter_mark();
                 // The four overlappable inner products — on CURRENT vectors,
                 // launched before any of this iteration's scalar results
                 // are needed (on the paper's machine their fan-ins overlap
@@ -211,8 +288,23 @@ impl CgVariant for OverlapK1Cg {
                 // vector updates
                 opts.axpy(-lambda, &w, &mut r, &mut counts);
                 opts.xpay(&r, alpha, &mut p, &mut counts);
-                opts.matvec(a, &p, &mut w, &mut counts);
-                opts.matvec(a, &w, &mut v, &mut counts);
+                if use_mpk {
+                    mpk_powers2(
+                        a,
+                        opts,
+                        team.as_deref(),
+                        &mut ws,
+                        &mut cols_v,
+                        &mut cols_av,
+                        &mut p,
+                        &mut w,
+                        &mut v,
+                        &mut counts,
+                    );
+                } else {
+                    opts.matvec(a, &p, &mut w, &mut counts);
+                    opts.matvec(a, &w, &mut v, &mut counts);
+                }
 
                 rr = rr_next;
                 rar = rar_next;

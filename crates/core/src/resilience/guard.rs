@@ -234,16 +234,20 @@ impl<'a> ResidualGuard<'a> {
     }
 
     fn true_residual(&mut self, x: &[f64]) -> (Vec<f64>, f64) {
-        self.ax.resize(self.b.len(), 0.0);
-        self.a.apply(x, &mut self.ax);
-        // The residual vector itself is still allocated: `GuardSignal::
-        // Replace` hands ownership to the solver, and replacements only
-        // fire on (rare) fault events — never on the per-iteration path.
-        let mut r = vec![0.0; self.b.len()];
-        kernels::sub(self.b, &self.ax, &mut r);
-        self.extra_matvecs += 1;
-        let rr = kernels::dot_serial(&r, &r);
-        (r, rr)
+        // Recorded through the solve thread's TLS attachment (the guard
+        // has no handle on `SolveOptions`); a detached thread skips it.
+        vr_obs::tls::with_span(vr_obs::SpanKind::Guard, || {
+            self.ax.resize(self.b.len(), 0.0);
+            self.a.apply(x, &mut self.ax);
+            // The residual vector itself is still allocated: `GuardSignal::
+            // Replace` hands ownership to the solver, and replacements only
+            // fire on (rare) fault events — never on the per-iteration path.
+            let mut r = vec![0.0; self.b.len()];
+            kernels::sub(self.b, &self.ax, &mut r);
+            self.extra_matvecs += 1;
+            let rr = kernels::dot_serial(&r, &r);
+            (r, rr)
+        })
     }
 
     /// Inspect the state after iteration `iter` produced the recursive

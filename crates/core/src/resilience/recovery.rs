@@ -160,12 +160,14 @@ pub fn solve_with_recovery(
         // least as good (by true residual) as the start it came from —
         // never let a faulted attempt drag the ladder backwards.
         if res.x.iter().all(|v| v.is_finite()) {
-            a.apply(&res.x, &mut vscratch);
-            for (vi, bi) in vscratch.iter_mut().zip(b) {
-                *vi = bi - *vi;
-            }
+            let rr = inner_opts.span(vr_obs::SpanKind::Recovery, || {
+                a.apply(&res.x, &mut vscratch);
+                for (vi, bi) in vscratch.iter_mut().zip(b) {
+                    *vi = bi - *vi;
+                }
+                kernels::dot_serial(&vscratch, &vscratch)
+            });
             total_counts.matvecs += 1;
-            let rr = kernels::dot_serial(&vscratch, &vscratch);
             if rr.is_finite() && rr < best_start_rr {
                 best_start_rr = rr;
                 x_start = Some(res.x);

@@ -91,6 +91,12 @@ pub struct SolveOptions {
     /// stencils, matrix rows for CSR). `None` uses the operator's L2
     /// working-set heuristic. Ignored under [`BasisEngine::Naive`].
     pub mpk_tile: Option<usize>,
+    /// Span tracer for critical-path profiling (None = untraced). When
+    /// attached, solver helpers record [`vr_obs`] spans on shard 0 and the
+    /// team/kernel layers add worker-side detail. Tracing never changes
+    /// result bits — every instrumented call runs the exact same kernel
+    /// sequence — and the untraced path is a single branch per helper.
+    pub tracer: Option<Arc<vr_obs::Tracer>>,
 }
 
 impl Default for SolveOptions {
@@ -107,6 +113,7 @@ impl Default for SolveOptions {
             team: None,
             basis_engine: BasisEngine::default(),
             mpk_tile: None,
+            tracer: None,
         }
     }
 }
@@ -168,6 +175,55 @@ impl SolveOptions {
         self
     }
 
+    /// Attach a span tracer (size it with [`vr_obs::Tracer::for_width`] to
+    /// match `threads` if worker-side detail is wanted).
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Arc<vr_obs::Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Attach the tracer (if any) to the calling thread as shard 0 for the
+    /// duration of the returned guard. Variants call this once at the top
+    /// of `solve` so the TLS-instrumented layers (team epochs, reduction
+    /// fan-ins, deferred waits) record alongside the solver-level spans.
+    #[must_use]
+    pub fn trace_attach(&self) -> Option<vr_obs::tls::AttachGuard> {
+        self.tracer.as_ref().map(|tr| {
+            // SAFETY: the tracer Arc lives in `self` for the whole solve
+            // and the guard is bound to a local in the variant's `solve`
+            // frame, which borrows `self` — so the guard cannot outlive
+            // the tracer, and it is dropped (not leaked) on every exit
+            // path. The solve thread is shard 0 by convention.
+            unsafe { vr_obs::tls::attach(tr, 0) }
+        })
+    }
+
+    /// Record an iteration-boundary marker (shard 0). Variants call this
+    /// at the top of each iteration; the critical-path aggregator buckets
+    /// spans into the windows between consecutive marks.
+    #[inline]
+    pub fn iter_mark(&self) {
+        if let Some(tr) = self.tracer.as_deref() {
+            tr.mark(0, vr_obs::SpanKind::IterMark);
+        }
+    }
+
+    /// Run `f` under a shard-0 span of `kind` when traced; just run it
+    /// when not. The untraced cost is this one branch.
+    #[inline]
+    pub(crate) fn span<R>(&self, kind: vr_obs::SpanKind, f: impl FnOnce() -> R) -> R {
+        match self.tracer.as_deref() {
+            None => f(),
+            Some(tr) => {
+                let start = tr.now_ns();
+                let out = f();
+                tr.record_since(0, kind, start);
+                out
+            }
+        }
+    }
+
     /// Set the worker-thread count for kernels and reductions.
     ///
     /// For `threads >= 2` this attaches the process-shared persistent
@@ -217,19 +273,26 @@ impl SolveOptions {
     ///   never silently change the summation order the user asked for.
     #[must_use]
     pub fn dot(&self, x: &[f64], y: &[f64]) -> f64 {
-        let t = self.team();
-        match &self.injector {
-            Some(inj) => reduce::par_dot_with_in(t.as_deref(), x, y, inj.as_ref()),
-            None => match self.dot_mode {
-                DotMode::Tree => reduce::par_dot_in(t.as_deref(), x, y),
-                DotMode::Serial | DotMode::Kahan => kernels::dot(self.dot_mode, x, y),
-            },
-        }
+        // The caller consumes the scalar immediately, so the whole call —
+        // leaf sweep plus fan-in — is dependency-gated (`DotWait`).
+        self.span(vr_obs::SpanKind::DotWait, || {
+            let t = self.team();
+            match &self.injector {
+                Some(inj) => reduce::par_dot_with_in(t.as_deref(), x, y, inj.as_ref()),
+                None => match self.dot_mode {
+                    DotMode::Tree => reduce::par_dot_in(t.as_deref(), x, y),
+                    DotMode::Serial | DotMode::Kahan => kernels::dot(self.dot_mode, x, y),
+                },
+            }
+        })
     }
 
     /// Pass a scalar-recurrence result through this solve's fault path.
     #[must_use]
     pub fn scalar(&self, v: f64) -> f64 {
+        if let Some(tr) = self.tracer.as_deref() {
+            tr.mark(0, vr_obs::SpanKind::ScalarOp);
+        }
         match &self.injector {
             None => v,
             Some(inj) => inj.corrupt(FaultSite::ScalarRecurrence, v),
@@ -262,20 +325,37 @@ impl SolveOptions {
         counts.dots += 1;
         let t = self.team();
         if self.injector.is_some() {
-            a.apply_team(t.as_deref(), x, y);
+            self.span(vr_obs::SpanKind::Matvec, || {
+                a.apply_team(t.as_deref(), x, y)
+            });
             return self.dot(x, y);
         }
         match self.dot_mode {
-            // Tree: matvec + fixed-layout chunk-tree dot at every width
-            // (identical to apply_team followed by par_dot_in).
-            DotMode::Tree => a.apply_dot_team(t.as_deref(), x, y),
+            // Tree: matvec + fixed-layout chunk-tree dot at every width.
+            // Written as the two calls [`LinearOperator::apply_dot_team`]'s
+            // default body composes (bit-identical by its contract) so the
+            // matvec sweep and the eager, dependency-gated dot are
+            // attributed separately.
+            DotMode::Tree => {
+                let t = t.as_deref();
+                self.span(vr_obs::SpanKind::Matvec, || a.apply_team(t, x, y));
+                self.span(vr_obs::SpanKind::DotWait, || reduce::par_dot_in(t, x, y))
+            }
             DotMode::Serial | DotMode::Kahan => {
                 if t.is_none() && self.fuse() {
                     counts.fused_ops += 1;
-                    a.apply_dot(self.dot_mode, x, y)
+                    // Single fused sweep: the dot rides the matvec's memory
+                    // traffic, so the whole pass is attributed as matvec.
+                    self.span(vr_obs::SpanKind::Matvec, || {
+                        a.apply_dot(self.dot_mode, x, y)
+                    })
                 } else {
-                    a.apply_team(t.as_deref(), x, y);
-                    kernels::dot(self.dot_mode, x, y)
+                    self.span(vr_obs::SpanKind::Matvec, || {
+                        a.apply_team(t.as_deref(), x, y)
+                    });
+                    self.span(vr_obs::SpanKind::DotWait, || {
+                        kernels::dot(self.dot_mode, x, y)
+                    })
                 }
             }
         }
@@ -298,12 +378,18 @@ impl SolveOptions {
         let t = self.team();
         let t = t.as_deref();
         if !self.fuse() {
-            team::par_axpy_in(t, lambda, p, x);
-            team::par_axpy_in(t, -lambda, w, r);
+            self.span(vr_obs::SpanKind::VectorOp, || {
+                team::par_axpy_in(t, lambda, p, x);
+                team::par_axpy_in(t, -lambda, w, r);
+            });
             return self.dot(r, r);
         }
         counts.fused_ops += 1;
-        match &self.injector {
+        // One fused sweep: the update is the useful work and the folded dot
+        // partials ride along, so the pass is `VectorOp`; only the fan-in
+        // inside the kernel (recorded as `DotFanIn` at the combine choke
+        // point) is dependency-gated.
+        self.span(vr_obs::SpanKind::VectorOp, || match &self.injector {
             Some(inj) => fused::par_update_xr_with_in(t, lambda, p, w, x, r, inj.as_ref()),
             None => match self.dot_mode {
                 DotMode::Tree => fused::par_update_xr_in(t, lambda, p, w, x, r),
@@ -311,7 +397,7 @@ impl SolveOptions {
                     fused::update_xr(self.dot_mode, lambda, p, w, x, r)
                 }
             },
-        }
+        })
     }
 
     /// Fused `y ← y + a·x` + `(y, z)`; tallies one vector op and one dot.
@@ -329,17 +415,17 @@ impl SolveOptions {
         let t = self.team();
         let t = t.as_deref();
         if !self.fuse() {
-            team::par_axpy_in(t, a, x, y);
+            self.span(vr_obs::SpanKind::VectorOp, || team::par_axpy_in(t, a, x, y));
             return self.dot(y, z);
         }
         counts.fused_ops += 1;
-        match &self.injector {
+        self.span(vr_obs::SpanKind::VectorOp, || match &self.injector {
             Some(inj) => fused::par_axpy_dot_with_in(t, a, x, y, z, inj.as_ref()),
             None => match self.dot_mode {
                 DotMode::Tree => fused::par_axpy_dot_in(t, a, x, y, z),
                 DotMode::Serial | DotMode::Kahan => fused::axpy_dot(self.dot_mode, a, x, y, z),
             },
-        }
+        })
     }
 
     /// Fused `y ← y + a·x` + `(y, y)`; tallies one vector op and one dot.
@@ -350,17 +436,17 @@ impl SolveOptions {
         let t = self.team();
         let t = t.as_deref();
         if !self.fuse() {
-            team::par_axpy_in(t, a, x, y);
+            self.span(vr_obs::SpanKind::VectorOp, || team::par_axpy_in(t, a, x, y));
             return self.dot(y, y);
         }
         counts.fused_ops += 1;
-        match &self.injector {
+        self.span(vr_obs::SpanKind::VectorOp, || match &self.injector {
             Some(inj) => fused::par_axpy_norm2_sq_with_in(t, a, x, y, inj.as_ref()),
             None => match self.dot_mode {
                 DotMode::Tree => fused::par_axpy_norm2_sq_in(t, a, x, y),
                 DotMode::Serial | DotMode::Kahan => fused::axpy_norm2_sq(self.dot_mode, a, x, y),
             },
-        }
+        })
     }
 
     /// Two inner products sharing the left vector, `((x,y), (x,z))`, in one
@@ -374,13 +460,15 @@ impl SolveOptions {
         counts.fused_ops += 1;
         let t = self.team();
         let t = t.as_deref();
-        match &self.injector {
+        // Eager pair: the sweep produces only dot partials and the caller
+        // consumes both scalars immediately — the whole call is gated.
+        self.span(vr_obs::SpanKind::DotWait, || match &self.injector {
             Some(inj) => fused::par_dot2_with_in(t, x, y, z, inj.as_ref()),
             None => match self.dot_mode {
                 DotMode::Tree => fused::par_dot2_in(t, x, y, z),
                 DotMode::Serial | DotMode::Kahan => fused::dot2(self.dot_mode, x, y, z),
             },
-        }
+        })
     }
 
     /// Split-phase variant of [`SolveOptions::dot2`]: *launch* both
@@ -411,9 +499,15 @@ impl SolveOptions {
         counts.dots += 2;
         let t = self.team();
         let t = t.as_deref();
+        // Launch-only: the leaf sweeps fold partials but nothing consumes a
+        // scalar here, so this is overlappable work (`DotLaunch`); only the
+        // `PendingScalar::wait` consume points are gated (`DeferredWait`).
         if self.fuse() {
             counts.fused_ops += 1;
-            match fused::par_dot2_partials_in(t, x, y, z) {
+            let folded = self.span(vr_obs::SpanKind::DotLaunch, || {
+                fused::par_dot2_partials_in(t, x, y, z)
+            });
+            match folded {
                 Ok((py, pz)) => (PendingScalar::deferred(py), PendingScalar::deferred(pz)),
                 Err(_) => (
                     PendingScalar::ready(f64::NAN),
@@ -421,8 +515,12 @@ impl SolveOptions {
                 ),
             }
         } else {
-            let py = reduce::par_dot_partials_in(t, x, y);
-            let pz = reduce::par_dot_partials_in(t, x, z);
+            let (py, pz) = self.span(vr_obs::SpanKind::DotLaunch, || {
+                (
+                    reduce::par_dot_partials_in(t, x, y),
+                    reduce::par_dot_partials_in(t, x, z),
+                )
+            });
             match (py, pz) {
                 (Ok(py), Ok(pz)) => (PendingScalar::deferred(py), PendingScalar::deferred(pz)),
                 _ => (
@@ -439,7 +537,9 @@ impl SolveOptions {
     pub fn matvec(&self, a: &dyn LinearOperator, x: &[f64], y: &mut [f64], counts: &mut OpCounts) {
         counts.matvecs += 1;
         let t = self.team();
-        a.apply_team(t.as_deref(), x, y);
+        self.span(vr_obs::SpanKind::Matvec, || {
+            a.apply_team(t.as_deref(), x, y)
+        });
     }
 
     /// [`SolveOptions::matvec`] into a freshly allocated vector.
@@ -460,7 +560,9 @@ impl SolveOptions {
     pub fn axpy(&self, a: f64, x: &[f64], y: &mut [f64], counts: &mut OpCounts) {
         counts.vector_ops += 1;
         let t = self.team();
-        team::par_axpy_in(t.as_deref(), a, x, y);
+        self.span(vr_obs::SpanKind::VectorOp, || {
+            team::par_axpy_in(t.as_deref(), a, x, y);
+        });
     }
 
     /// Team-parallel `y ← x + a·y` (exact per element at any width);
@@ -468,7 +570,9 @@ impl SolveOptions {
     pub fn xpay(&self, x: &[f64], a: f64, y: &mut [f64], counts: &mut OpCounts) {
         counts.vector_ops += 1;
         let t = self.team();
-        team::par_xpay_in(t.as_deref(), x, a, y);
+        self.span(vr_obs::SpanKind::VectorOp, || {
+            team::par_xpay_in(t.as_deref(), x, a, y);
+        });
     }
 }
 

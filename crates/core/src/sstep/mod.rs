@@ -90,6 +90,7 @@ impl CgVariant for SStepCg {
         let s = self.s;
         let md = opts.dot_mode;
         let mut counts = OpCounts::default();
+        let _trace = opts.trace_attach();
         let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
         if x0.is_some() {
             counts.matvecs += 1;
@@ -117,6 +118,7 @@ impl CgVariant for SStepCg {
         let mut cur = 0usize;
         let mut prev_active = false;
         let mut ws = MpkWorkspace::new();
+        ws.set_tracer(opts.tracer.clone());
         // dense scratch, sized once
         let mut gram = DenseMatrix::zeros(s, s);
         let mut chol = Cholesky::zeros(s);
@@ -135,19 +137,23 @@ impl CgVariant for SStepCg {
         }
 
         'outer: while termination == Termination::MaxIterations && iterations < opts.max_iters {
-            // 1) block basis from the current residual
-            basis::build_into(
-                a,
-                &r,
-                s,
-                &params,
-                opts.basis_engine,
-                team.as_deref(),
-                opts.mpk_tile,
-                &mut ws,
-                &mut blocks[cur],
-                &mut counts,
-            );
+            // 1) block basis from the current residual (one mark per outer
+            // block step — the natural iteration unit of s-step CG)
+            opts.iter_mark();
+            opts.span(vr_obs::SpanKind::MpkBuild, || {
+                basis::build_into(
+                    a,
+                    &r,
+                    s,
+                    &params,
+                    opts.basis_engine,
+                    team.as_deref(),
+                    opts.mpk_tile,
+                    &mut ws,
+                    &mut blocks[cur],
+                    &mut counts,
+                );
+            });
 
             // 2) A-conjugation against the previous block:
             //    B = (P'ᵀAP')⁻¹ (P'ᵀAV);  P = V − P'B;  AP = AV − AP'B

@@ -35,6 +35,7 @@ impl CgVariant for StandardCg {
     ) -> SolveResult {
         let n = a.dim();
         let mut counts = OpCounts::default();
+        let _trace = opts.trace_attach();
         let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
         if x0.is_some() {
             counts.matvecs += 1;
@@ -78,6 +79,7 @@ impl CgVariant for StandardCg {
             termination = Termination::Converged;
         } else {
             for it in 0..opts.max_iters {
+                opts.iter_mark();
                 // Under the fused policy this iteration runs in three sweeps:
                 // matvec+(p,Ap) fused, then x/r updates+(r,r) fused, then the
                 // direction xpay. (The operator-level no-store kernels that

@@ -316,7 +316,11 @@ fn inject_and_combine(partials: &mut [f64], inj: &dyn FaultInjector) -> f64 {
     for p in partials.iter_mut() {
         *p = inj.corrupt(FaultSite::DotPartial, *p);
     }
-    inj.corrupt(FaultSite::DotFinal, tree_combine(partials))
+    // Every fused kernel's fan-in funnels through here: the producing sweep
+    // was vector work, only this combine is dependency-gated.
+    vr_obs::tls::with_span(vr_obs::SpanKind::DotFanIn, || {
+        inj.corrupt(FaultSite::DotFinal, tree_combine(partials))
+    })
 }
 
 /// Chunked-parallel [`update_xr`] with fault injection on the reduction.

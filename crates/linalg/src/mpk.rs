@@ -217,6 +217,9 @@ pub struct MpkWorkspace {
     bands: Vec<f64>,
     /// Cached CSR halo plan (symbolic; reused while the key matches).
     plan: Option<CsrPlan>,
+    /// Optional span recorder: when set, the tiled engines record one
+    /// `MpkTile` span per tile into the recording shard's slot.
+    tracer: Option<std::sync::Arc<vr_obs::Tracer>>,
 }
 
 impl MpkWorkspace {
@@ -224,6 +227,19 @@ impl MpkWorkspace {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attach (or detach, with `None`) a span recorder. Worker shard `w`
+    /// records its tile sweeps into the tracer's slot `w`, which is exactly
+    /// the shard-exclusivity contract `vr_obs::Tracer` requires.
+    pub fn set_tracer(&mut self, tracer: Option<std::sync::Arc<vr_obs::Tracer>>) {
+        self.tracer = tracer;
+    }
+
+    /// The attached span recorder, if any (cheap handle clone).
+    #[must_use]
+    pub fn tracer(&self) -> Option<std::sync::Arc<vr_obs::Tracer>> {
+        self.tracer.clone()
     }
 
     /// Grow-only band scratch of at least `len` elements.
@@ -499,6 +515,7 @@ pub(crate) fn csr_powers(
         return;
     }
     let ntiles = plan.tiles.len();
+    let tracer = ws.tracer.clone();
     let width = team
         .map_or(1, |t| dispatch_width(n, t.width()))
         .min(ntiles.max(1));
@@ -518,6 +535,7 @@ pub(crate) fn csr_powers(
     let bands_ptr = SendPtr(bands.as_mut_ptr());
     let v_ptrs = &v_ptrs[..];
     let av_ptrs = &av_ptrs[..];
+    let tr = tracer.as_deref();
     let job = move |w: usize| {
         // Shards beyond the dispatch width (the grain clamp can choose
         // fewer shards than the team has) own no tiles and no scratch.
@@ -532,9 +550,13 @@ pub(crate) fn csr_powers(
         };
         let v0 = unsafe { std::slice::from_raw_parts(v_ptrs[0].get(), n) };
         for tile in plan.tiles.iter().skip(w).step_by(width) {
+            let tile_start = tr.map(vr_obs::Tracer::now_ns);
             run_csr_tile(
                 tile, s, transform, indptr, indices, data, v0, v_ptrs, av_ptrs, scratch,
             );
+            if let (Some(tr), Some(s0)) = (tr, tile_start) {
+                tr.record_since(w, vr_obs::SpanKind::MpkTile, s0);
+            }
         }
     };
     if width <= 1 {

@@ -471,6 +471,7 @@ impl LinearOperator for Stencil2d {
         let band_len = (tile_rows + 2 * (s - 1)) * ny;
         // three rotating bands plus one scratch row for ghost-row images
         let shard_len = 3 * band_len + ny;
+        let tracer = ws.tracer();
         let bands = ws.bands_mut(width * shard_len);
         let v_ptrs: Vec<vr_par::team::SendPtr<f64>> = v
             .iter_mut()
@@ -483,6 +484,7 @@ impl LinearOperator for Stencil2d {
         let bands_ptr = vr_par::team::SendPtr(bands.as_mut_ptr());
         let v_ptrs = &v_ptrs[..];
         let av_ptrs = &av_ptrs[..];
+        let tr = tracer.as_deref();
         let job = move |w: usize| {
             // Shards beyond the dispatch width own no tiles and no scratch.
             if w >= width {
@@ -499,6 +501,7 @@ impl LinearOperator for Stencil2d {
             let img_scratch = unsafe { base.add(3 * band_len) };
             let v0 = unsafe { std::slice::from_raw_parts(v_ptrs[0].get(), n) };
             for t in (w..ntiles).step_by(width) {
+                let tile_start = tr.map(vr_obs::Tracer::now_ns);
                 let t0 = t * tile_rows;
                 let t1 = ((t + 1) * tile_rows).min(nx);
                 let (mut prev_i, mut cur_i, mut next_i) = (1usize, 2usize, 0usize);
@@ -583,6 +586,9 @@ impl LinearOperator for Stencil2d {
                     // source; the old source becomes `prev`.
                     (prev_i, cur_i, next_i) = (cur_i, next_i, prev_i);
                 }
+                if let (Some(tr), Some(s0)) = (tr, tile_start) {
+                    tr.record_since(w, vr_obs::SpanKind::MpkTile, s0);
+                }
             }
         };
         if width <= 1 {
@@ -640,6 +646,107 @@ impl Stencil3d {
             acc -= x[idx + 1];
         }
         acc
+    }
+}
+
+impl Stencil3d {
+    /// One `j`-row of an `i`-plane: `emit(idx, v)` receives every
+    /// `v = row_value(x, i, j, k, idx)` of the row starting at flat index
+    /// `row` in `k` order. `IL`/`IH`/`JL`/`JH` encode the neighbor-plane
+    /// and neighbor-row existence at compile time, so the monomorphized
+    /// interior loop carries no per-element conditionals — the
+    /// floating-point sequence per element is still exactly
+    /// [`Stencil3d::row_value`].
+    #[inline]
+    fn row3_sweep<const IL: bool, const IH: bool, const JL: bool, const JH: bool>(
+        &self,
+        x: &[f64],
+        row: usize,
+        emit: &mut impl FnMut(usize, f64),
+    ) {
+        let n = self.n;
+        let n2 = n * n;
+        // first column: no k-low neighbor
+        let idx = row;
+        let mut acc = 6.0 * x[idx];
+        if IL {
+            acc -= x[idx - n2];
+        }
+        if IH {
+            acc -= x[idx + n2];
+        }
+        if JL {
+            acc -= x[idx - n];
+        }
+        if JH {
+            acc -= x[idx + n];
+        }
+        if n > 1 {
+            acc -= x[idx + 1];
+        }
+        emit(idx, acc);
+        // interior columns: all six neighbors, branch-free
+        for k in 1..n.max(1) - 1 {
+            let idx = row + k;
+            let mut acc = 6.0 * x[idx];
+            if IL {
+                acc -= x[idx - n2];
+            }
+            if IH {
+                acc -= x[idx + n2];
+            }
+            if JL {
+                acc -= x[idx - n];
+            }
+            if JH {
+                acc -= x[idx + n];
+            }
+            acc -= x[idx - 1];
+            acc -= x[idx + 1];
+            emit(idx, acc);
+        }
+        // last column: no k-high neighbor
+        if n > 1 {
+            let idx = row + n - 1;
+            let mut acc = 6.0 * x[idx];
+            if IL {
+                acc -= x[idx - n2];
+            }
+            if IH {
+                acc -= x[idx + n2];
+            }
+            if JL {
+                acc -= x[idx - n];
+            }
+            if JH {
+                acc -= x[idx + n];
+            }
+            acc -= x[idx - 1];
+            emit(idx, acc);
+        }
+    }
+
+    /// One whole `i`-plane (`n²` contiguous flat indices starting at
+    /// `plane`) in strictly increasing `idx` order, dispatching the
+    /// const-generic row kind once per `j`-row — the 3-D analogue of
+    /// [`Stencil2d::row_sweep`].
+    #[inline]
+    fn plane_sweep<const IL: bool, const IH: bool>(
+        &self,
+        x: &[f64],
+        plane: usize,
+        emit: &mut impl FnMut(usize, f64),
+    ) {
+        let n = self.n;
+        if n == 1 {
+            self.row3_sweep::<IL, IH, false, false>(x, plane, emit);
+            return;
+        }
+        self.row3_sweep::<IL, IH, false, true>(x, plane, emit);
+        for j in 1..n - 1 {
+            self.row3_sweep::<IL, IH, true, true>(x, plane + j * n, emit);
+        }
+        self.row3_sweep::<IL, IH, true, false>(x, plane + (n - 1) * n, emit);
     }
 }
 
@@ -838,7 +945,9 @@ impl LinearOperator for Stencil3d {
             .map_or(1, |t| vr_par::team::dispatch_width(dim, t.width()))
             .min(ntiles);
         let band_len = (tile_planes + 2 * (s - 1)) * n2;
-        let shard_len = 3 * band_len;
+        // three rotating bands plus one scratch plane for ghost-plane images
+        let shard_len = 3 * band_len + n2;
+        let tracer = ws.tracer();
         let bands = ws.bands_mut(width * shard_len);
         let v_ptrs: Vec<vr_par::team::SendPtr<f64>> = v
             .iter_mut()
@@ -851,6 +960,7 @@ impl LinearOperator for Stencil3d {
         let bands_ptr = vr_par::team::SendPtr(bands.as_mut_ptr());
         let v_ptrs = &v_ptrs[..];
         let av_ptrs = &av_ptrs[..];
+        let tr = tracer.as_deref();
         let job = move |w: usize| {
             // Shards beyond the dispatch width own no tiles and no scratch.
             if w >= width {
@@ -863,8 +973,10 @@ impl LinearOperator for Stencil3d {
             let bptr = [base, unsafe { base.add(band_len) }, unsafe {
                 base.add(2 * band_len)
             }];
+            let img_scratch = unsafe { base.add(3 * band_len) };
             let v0 = unsafe { std::slice::from_raw_parts(v_ptrs[0].get(), dim) };
             for t in (w..ntiles).step_by(width) {
+                let tile_start = tr.map(vr_obs::Tracer::now_ns);
                 let t0 = t * tile_planes;
                 let t1 = ((t + 1) * tile_planes).min(n);
                 let (mut prev_i, mut cur_i, mut next_i) = (1usize, 2usize, 0usize);
@@ -891,28 +1003,66 @@ impl LinearOperator for Stencil3d {
                     let next = bptr[next_i];
                     for i in slo..shi {
                         let owned = i >= t0 && i < t1;
-                        for j in 0..n {
-                            let rel_base = (i - xlo) * n2 + j * n;
-                            for k in 0..n {
-                                let idx_rel = rel_base + k;
-                                let image = self.row_value(xs, i, j, k, idx_rel);
-                                let g = idx_rel + xlo * n2;
-                                if owned {
-                                    unsafe { *av_ptrs[l].get().add(g) = image };
+                        let plane_rel = (i - xlo) * n2;
+                        // Pass 1: the stencil image of plane i, written
+                        // straight to its destination — the global av plane
+                        // when owned, a scratch plane for ghosts. A plain
+                        // contiguous store keeps plane_sweep vectorizable.
+                        let img_ptr = if owned {
+                            unsafe { av_ptrs[l].get().add(i * n2) }
+                        } else {
+                            img_scratch
+                        };
+                        {
+                            let mut emit = |idx_rel: usize, image: f64| unsafe {
+                                *img_ptr.add(idx_rel - plane_rel) = image;
+                            };
+                            match (i > 0, i + 1 < n) {
+                                (false, false) => {
+                                    self.plane_sweep::<false, false>(xs, plane_rel, &mut emit);
                                 }
-                                if l + 1 < s {
-                                    let cur = xs[idx_rel];
-                                    let prev = if l == 0 { 0.0 } else { ps[g - plo * n2] };
-                                    let nv = transform.level(l, image, cur, prev);
-                                    unsafe { *next.add(g - slo * n2) = nv };
-                                    if owned {
-                                        unsafe { *v_ptrs[l + 1].get().add(g) = nv };
-                                    }
+                                (false, true) => {
+                                    self.plane_sweep::<false, true>(xs, plane_rel, &mut emit);
+                                }
+                                (true, true) => {
+                                    self.plane_sweep::<true, true>(xs, plane_rel, &mut emit);
+                                }
+                                (true, false) => {
+                                    self.plane_sweep::<true, false>(xs, plane_rel, &mut emit);
+                                }
+                            }
+                        }
+                        // Pass 2: the column recurrence over the whole plane
+                        // (one transform dispatch per plane, branch-free
+                        // inside), into the rotating band — and the global
+                        // v column when owned. The plane is cache-resident
+                        // from pass 1, so the second sweep is
+                        // arithmetic-only.
+                        if l + 1 < s {
+                            let img = unsafe { std::slice::from_raw_parts(img_ptr, n2) };
+                            let cur = &xs[plane_rel..plane_rel + n2];
+                            let prev = (l > 0).then(|| &ps[(i - plo) * n2..(i - plo + 1) * n2]);
+                            let next_plane = unsafe {
+                                std::slice::from_raw_parts_mut(next.add((i - slo) * n2), n2)
+                            };
+                            transform.combine_row(l, img, cur, prev, next_plane);
+                            if owned {
+                                unsafe {
+                                    std::ptr::copy_nonoverlapping(
+                                        next_plane.as_ptr(),
+                                        v_ptrs[l + 1].get().add(i * n2),
+                                        n2,
+                                    );
                                 }
                             }
                         }
                     }
+                    // rotate: this level's output becomes the next level's
+                    // source; the old source becomes `prev`.
                     (prev_i, cur_i, next_i) = (cur_i, next_i, prev_i);
+                }
+                if let (Some(tr), Some(s0)) = (tr, tile_start) {
+                    tr.record_since(w, vr_obs::SpanKind::MpkTile, s0);
                 }
             }
         };

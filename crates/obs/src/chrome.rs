@@ -1,0 +1,110 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Emits the [Trace Event Format] consumed by Perfetto
+//! (<https://ui.perfetto.dev>) and `chrome://tracing`: one complete-event
+//! (`"ph":"X"`) per span, one instant event (`"ph":"i"`) per `IterMark`,
+//! one track (`tid`) per shard. Timestamps are microseconds with
+//! nanosecond decimals, relative to the tracer's clock origin.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//!
+//! The writer is hand-rolled (this crate has no dependencies); span names
+//! come from the fixed [`SpanKind::name`] table so no string escaping is
+//! needed.
+
+use crate::span::SpanKind;
+use crate::tracer::TraceLog;
+use std::fmt::Write as _;
+
+/// Render a drained trace as a Chrome trace-event JSON string.
+#[must_use]
+pub fn trace_json(log: &TraceLog) -> String {
+    let mut out = String::with_capacity(128 + log.spans.len() * 96);
+    out.push_str("{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [");
+    let mut first = true;
+    for (shard, span) in &log.spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    ");
+        let ts_us = span.start_ns as f64 / 1000.0;
+        if span.kind == SpanKind::IterMark {
+            let _ = write!(
+                out,
+                "{{\"name\": \"{}\", \"cat\": \"solver\", \"ph\": \"i\", \"s\": \"t\", \
+                 \"ts\": {ts_us:.3}, \"pid\": 1, \"tid\": {shard}}}",
+                span.kind.name()
+            );
+        } else {
+            let dur_us = span.dur_ns() as f64 / 1000.0;
+            let _ = write!(
+                out,
+                "{{\"name\": \"{}\", \"cat\": \"solver\", \"ph\": \"X\", \
+                 \"ts\": {ts_us:.3}, \"dur\": {dur_us:.3}, \"pid\": 1, \"tid\": {shard}}}",
+                span.kind.name()
+            );
+        }
+    }
+    let _ = write!(
+        out,
+        "\n  ],\n  \"otherData\": {{\"dropped_spans\": {}}}\n}}\n",
+        log.dropped
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    #[test]
+    fn renders_complete_and_instant_events() {
+        let log = TraceLog {
+            spans: vec![
+                (
+                    0,
+                    Span {
+                        start_ns: 1500,
+                        end_ns: 1500,
+                        kind: SpanKind::IterMark,
+                    },
+                ),
+                (
+                    1,
+                    Span {
+                        start_ns: 2000,
+                        end_ns: 4500,
+                        kind: SpanKind::TeamEpoch,
+                    },
+                ),
+            ],
+            dropped: 3,
+        };
+        let json = trace_json(&log);
+        assert!(json.contains("\"ph\": \"i\""));
+        assert!(json.contains("\"name\": \"team_epoch\""));
+        assert!(json.contains("\"ts\": 2.000"));
+        assert!(json.contains("\"dur\": 2.500"));
+        assert!(json.contains("\"tid\": 1"));
+        assert!(json.contains("\"dropped_spans\": 3"));
+        // balanced braces/brackets (cheap well-formedness check)
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_log_is_valid() {
+        let log = TraceLog {
+            spans: vec![],
+            dropped: 0,
+        };
+        let json = trace_json(&log);
+        assert!(json.contains("\"traceEvents\": [\n  ]"));
+    }
+}

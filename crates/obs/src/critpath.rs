@@ -1,0 +1,339 @@
+//! Per-iteration critical-path attribution.
+//!
+//! The solver thread (shard 0) drops an [`SpanKind::IterMark`] instant at
+//! the top of every iteration; the time between consecutive marks is one
+//! iteration of wall clock. Every *attributed* shard-0 span (one whose
+//! [`SpanKind::phase`] is `Some`) lands in the window containing its start
+//! and contributes its **self time** — its duration minus the durations of
+//! classified spans nested inside it — to that window's phase bucket, so a
+//! `DotFanIn` recorded deep inside a fused `VectorOp` sweep moves its
+//! nanoseconds from the vector bucket to the reduction bucket instead of
+//! counting twice. Unclassified detail spans (`TeamEpoch`, worker-side
+//! `MpkTile`) appear only in the exporters and histograms. Whatever part
+//! of a window no attributed span covers (loop glue, branch logic, the
+//! clock reads themselves) is charged to overhead, so the four phases of
+//! an iteration always sum to its measured wall time.
+
+use crate::hist::DurationHist;
+use crate::span::{PhaseClass, Span, SpanKind, ALL_KINDS};
+use crate::tracer::TraceLog;
+
+/// Nanoseconds attributed to each phase of one window of execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Phases {
+    /// Dependency-gated reduction time (`DotWait` + `DotFanIn` + `DeferredWait`).
+    pub reduction_wait_ns: u64,
+    /// Matrix–vector / basis-build time (`Matvec` + `MpkBuild`).
+    pub matvec_ns: u64,
+    /// Overlappable vector work (`VectorOp` + `DotLaunch`).
+    pub vector_ns: u64,
+    /// Scalar recurrences, guards, recovery, and unattributed window time.
+    pub overhead_ns: u64,
+    /// Window wall time; the four phases sum to this.
+    pub total_ns: u64,
+}
+
+impl Phases {
+    fn add(&mut self, class: PhaseClass, dur_ns: u64) {
+        match class {
+            PhaseClass::ReductionWait => self.reduction_wait_ns += dur_ns,
+            PhaseClass::Matvec => self.matvec_ns += dur_ns,
+            PhaseClass::Vector => self.vector_ns += dur_ns,
+            PhaseClass::Overhead => self.overhead_ns += dur_ns,
+        }
+    }
+
+    fn classified_ns(&self) -> u64 {
+        self.reduction_wait_ns + self.matvec_ns + self.vector_ns + self.overhead_ns
+    }
+
+    fn accumulate(&mut self, other: &Phases) {
+        self.reduction_wait_ns += other.reduction_wait_ns;
+        self.matvec_ns += other.matvec_ns;
+        self.vector_ns += other.vector_ns;
+        self.overhead_ns += other.overhead_ns;
+        self.total_ns += other.total_ns;
+    }
+
+    /// Fraction of the window's wall time in a phase (0 if the window is
+    /// empty).
+    #[must_use]
+    pub fn share(&self, class: PhaseClass) -> f64 {
+        if self.total_ns == 0 {
+            return 0.0;
+        }
+        let ns = match class {
+            PhaseClass::ReductionWait => self.reduction_wait_ns,
+            PhaseClass::Matvec => self.matvec_ns,
+            PhaseClass::Vector => self.vector_ns,
+            PhaseClass::Overhead => self.overhead_ns,
+        };
+        ns as f64 / self.total_ns as f64
+    }
+}
+
+/// One iteration's attribution.
+#[derive(Debug, Clone, Copy)]
+pub struct IterBreakdown {
+    /// Zero-based iteration index (order of `IterMark`s).
+    pub iter: usize,
+    /// Where the iteration's wall time went.
+    pub phases: Phases,
+}
+
+/// The aggregated critical-path report for one traced solve.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Per-iteration breakdowns, in iteration order.
+    pub iters: Vec<IterBreakdown>,
+    /// Sum over all iterations (excludes pre-first-mark setup).
+    pub totals: Phases,
+    /// Spans lost to ring wrap-around (nonzero means the breakdown is
+    /// partial — size the tracer capacity up).
+    pub dropped: u64,
+    /// Per-kind duration histograms over **all** shards, indexed by
+    /// `SpanKind as usize`.
+    pub kind_hist: Vec<DurationHist>,
+}
+
+impl Report {
+    /// Fraction of total iteration time that was dependency-gated on
+    /// reductions — the paper's headline quantity.
+    #[must_use]
+    pub fn reduction_wait_share(&self) -> f64 {
+        self.totals.share(PhaseClass::ReductionWait)
+    }
+
+    /// Histogram for one span kind.
+    #[must_use]
+    pub fn hist(&self, kind: SpanKind) -> &DurationHist {
+        &self.kind_hist[kind as usize]
+    }
+}
+
+/// Attribute a drained trace to per-iteration phases.
+#[must_use]
+pub fn attribute(log: &TraceLog) -> Report {
+    let mut kind_hist: Vec<DurationHist> = ALL_KINDS.iter().map(|_| DurationHist::new()).collect();
+    for (_, span) in &log.spans {
+        kind_hist[span.kind as usize].record(span.dur_ns());
+    }
+
+    // Iteration windows from shard-0 marks (log.spans is start-sorted).
+    let shard0: Vec<Span> = log
+        .spans
+        .iter()
+        .filter(|(shard, _)| *shard == 0)
+        .map(|(_, s)| *s)
+        .collect();
+    let marks: Vec<u64> = shard0
+        .iter()
+        .filter(|s| s.kind == SpanKind::IterMark)
+        .map(|s| s.start_ns)
+        .collect();
+
+    let mut iters: Vec<IterBreakdown> = Vec::new();
+    if !marks.is_empty() {
+        let last_end = shard0
+            .iter()
+            .filter(|s| s.kind.phase().is_some())
+            .map(|s| s.end_ns)
+            .max()
+            .unwrap_or(*marks.last().expect("nonempty"))
+            .max(*marks.last().expect("nonempty"));
+        for (i, &start) in marks.iter().enumerate() {
+            let end = marks.get(i + 1).copied().unwrap_or(last_end);
+            iters.push(IterBreakdown {
+                iter: i,
+                phases: Phases {
+                    total_ns: end.saturating_sub(start),
+                    ..Phases::default()
+                },
+            });
+        }
+        // Classified shard-0 spans, start-sorted with ties broken so an
+        // enclosing span precedes a nested one starting at the same time.
+        let mut classified: Vec<(Span, PhaseClass)> = shard0
+            .iter()
+            .filter_map(|s| s.kind.phase().map(|c| (*s, c)))
+            .collect();
+        classified.sort_by_key(|(s, _)| (s.start_ns, std::cmp::Reverse(s.end_ns)));
+        // Self time: subtract each span's duration from its innermost
+        // enclosing classified span (grandchildren only debit their parent,
+        // so nothing is subtracted twice).
+        let mut self_ns: Vec<u64> = classified.iter().map(|(s, _)| s.dur_ns()).collect();
+        let mut stack: Vec<usize> = Vec::new();
+        for i in 0..classified.len() {
+            let start = classified[i].0.start_ns;
+            while let Some(&top) = stack.last() {
+                if classified[top].0.end_ns <= start {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&parent) = stack.last() {
+                self_ns[parent] = self_ns[parent].saturating_sub(classified[i].0.dur_ns());
+            }
+            stack.push(i);
+        }
+        for (i, (span, class)) in classified.iter().enumerate() {
+            // Window containing the span's start: last mark <= start.
+            let idx = match marks.binary_search(&span.start_ns) {
+                Ok(i) => i,
+                Err(0) => continue, // pre-first-mark setup
+                Err(i) => i - 1,
+            };
+            iters[idx].phases.add(*class, self_ns[i]);
+        }
+        // Charge unattributed window time to overhead.
+        for it in &mut iters {
+            let gap = it.phases.total_ns.saturating_sub(it.phases.classified_ns());
+            it.phases.overhead_ns += gap;
+            // A span straddling a window end can make classified time exceed
+            // the window; keep the invariant total == sum of phases.
+            it.phases.total_ns = it.phases.classified_ns();
+        }
+    }
+
+    let mut totals = Phases::default();
+    for it in &iters {
+        totals.accumulate(&it.phases);
+    }
+    Report {
+        iters,
+        totals,
+        dropped: log.dropped,
+        kind_hist,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+
+    fn span(kind: SpanKind, start: u64, end: u64) -> (usize, Span) {
+        (
+            0,
+            Span {
+                start_ns: start,
+                end_ns: end,
+                kind,
+            },
+        )
+    }
+
+    #[test]
+    fn attributes_two_iterations() {
+        let log = TraceLog {
+            spans: vec![
+                span(SpanKind::IterMark, 100, 100),
+                span(SpanKind::Matvec, 100, 160),
+                span(SpanKind::DotWait, 160, 180),
+                span(SpanKind::VectorOp, 180, 195),
+                span(SpanKind::IterMark, 200, 200),
+                span(SpanKind::Matvec, 200, 250),
+                span(SpanKind::DeferredWait, 255, 260),
+            ],
+            dropped: 0,
+        };
+        let rep = attribute(&log);
+        assert_eq!(rep.iters.len(), 2);
+        let i0 = rep.iters[0].phases;
+        assert_eq!(i0.matvec_ns, 60);
+        assert_eq!(i0.reduction_wait_ns, 20);
+        assert_eq!(i0.vector_ns, 15);
+        assert_eq!(i0.overhead_ns, 5); // 100-wide window, 95 classified
+        assert_eq!(i0.total_ns, 100);
+        let i1 = rep.iters[1].phases;
+        assert_eq!(i1.matvec_ns, 50);
+        assert_eq!(i1.reduction_wait_ns, 5);
+        assert_eq!(i1.total_ns, 60); // closed by the last span end
+        assert!((rep.totals.share(PhaseClass::Matvec) - 110.0 / 160.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn setup_before_first_mark_is_excluded() {
+        let log = TraceLog {
+            spans: vec![
+                span(SpanKind::Matvec, 0, 50),
+                span(SpanKind::IterMark, 60, 60),
+                span(SpanKind::VectorOp, 60, 70),
+            ],
+            dropped: 0,
+        };
+        let rep = attribute(&log);
+        assert_eq!(rep.iters.len(), 1);
+        assert_eq!(rep.totals.matvec_ns, 0);
+        assert_eq!(rep.totals.vector_ns, 10);
+        // histograms still see everything
+        assert_eq!(rep.hist(SpanKind::Matvec).total(), 1);
+    }
+
+    #[test]
+    fn aux_spans_do_not_double_count() {
+        let log = TraceLog {
+            spans: vec![
+                span(SpanKind::IterMark, 0, 0),
+                span(SpanKind::Matvec, 0, 100),
+                span(SpanKind::TeamEpoch, 10, 90), // nested detail
+            ],
+            dropped: 0,
+        };
+        let rep = attribute(&log);
+        assert_eq!(rep.totals.matvec_ns, 100);
+        assert_eq!(rep.totals.total_ns, 100);
+        assert_eq!(rep.totals.overhead_ns, 0);
+    }
+
+    #[test]
+    fn nested_classified_spans_use_self_time() {
+        let log = TraceLog {
+            spans: vec![
+                span(SpanKind::IterMark, 0, 0),
+                span(SpanKind::VectorOp, 0, 100), // fused update sweep
+                span(SpanKind::DotFanIn, 80, 95), // its embedded fan-in
+            ],
+            dropped: 0,
+        };
+        let rep = attribute(&log);
+        assert_eq!(rep.totals.vector_ns, 85); // 100 − 15 nested
+        assert_eq!(rep.totals.reduction_wait_ns, 15);
+        assert_eq!(rep.totals.total_ns, 100);
+        assert_eq!(rep.totals.overhead_ns, 0);
+    }
+
+    #[test]
+    fn grandchildren_only_debit_their_parent() {
+        let log = TraceLog {
+            spans: vec![
+                span(SpanKind::IterMark, 0, 0),
+                span(SpanKind::DotWait, 0, 100), // eager dot: whole call gated
+                span(SpanKind::VectorOp, 10, 50), // (synthetic) nested sweep
+                span(SpanKind::DotFanIn, 20, 30), // combine inside the sweep
+            ],
+            dropped: 0,
+        };
+        let rep = attribute(&log);
+        // DotWait self = 100−40, DotFanIn = 10 → reduction 70; Vector 40−10.
+        assert_eq!(rep.totals.reduction_wait_ns, 70);
+        assert_eq!(rep.totals.vector_ns, 30);
+        assert_eq!(rep.totals.total_ns, 100);
+    }
+
+    #[test]
+    fn end_to_end_with_a_real_tracer() {
+        let t = Tracer::new(1, 64);
+        for _ in 0..3 {
+            t.mark(0, SpanKind::IterMark);
+            let s = t.now_ns();
+            std::hint::black_box((0..1000).sum::<u64>());
+            t.record_since(0, SpanKind::Matvec, s);
+        }
+        let rep = attribute(&t.drain());
+        assert_eq!(rep.iters.len(), 3);
+        assert!(rep.totals.total_ns > 0);
+        assert_eq!(rep.dropped, 0);
+    }
+}

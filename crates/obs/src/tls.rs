@@ -1,0 +1,125 @@
+//! Thread-local tracer attachment.
+//!
+//! Deep callees — a team barrier epoch in `vr_par::team::Team::try_run`, a
+//! `PendingScalar::wait` fan-in — sit below every kernel signature in the
+//! workspace; threading a tracer handle through them would churn every
+//! caller. Instead the solver thread *attaches* `(tracer, shard)` to a
+//! thread-local for the duration of a solve, and leaf sites call
+//! [`with_span`], which costs one thread-local read and a branch when
+//! nothing is attached.
+
+use crate::span::SpanKind;
+use crate::tracer::Tracer;
+use std::cell::Cell;
+use std::ptr::NonNull;
+
+thread_local! {
+    static CURRENT: Cell<Option<(NonNull<Tracer>, usize)>> = const { Cell::new(None) };
+}
+
+/// Restores the previous attachment (usually `None`) on drop.
+///
+/// Not `Send`: the attachment is a property of the attaching thread.
+#[derive(Debug)]
+pub struct AttachGuard {
+    prev: Option<(NonNull<Tracer>, usize)>,
+    // !Send + !Sync: must drop on the attaching thread.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for AttachGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+/// Attach `tracer` to the current thread as `shard` until the returned
+/// guard drops. Nested attachments stack (the guard restores the previous
+/// one).
+///
+/// # Safety
+///
+/// The caller must keep `tracer` alive — and keep the returned guard —
+/// until the guard is dropped, and must not leak the guard (e.g. via
+/// `mem::forget`): the thread-local holds a raw pointer that [`with_span`]
+/// dereferences. Holding the tracer in an `Arc` owned by the solve options
+/// for the full solve, with the guard a stack local of the solve, upholds
+/// this.
+#[must_use]
+pub unsafe fn attach(tracer: &Tracer, shard: usize) -> AttachGuard {
+    let prev = CURRENT.with(|c| c.replace(Some((NonNull::from(tracer), shard))));
+    AttachGuard {
+        prev,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// True if a tracer is attached to the current thread.
+#[must_use]
+pub fn is_attached() -> bool {
+    CURRENT.with(|c| c.get().is_some())
+}
+
+/// Run `f`, recording it as a `kind` span on the attached tracer (if any).
+///
+/// Detached: one thread-local read, one branch, then `f` — no timestamps.
+#[inline]
+pub fn with_span<R>(kind: SpanKind, f: impl FnOnce() -> R) -> R {
+    match CURRENT.with(|c| c.get()) {
+        None => f(),
+        Some((tracer, shard)) => {
+            // SAFETY: `attach` contract — the pointer outlives the
+            // attachment window we are inside.
+            let tracer = unsafe { tracer.as_ref() };
+            let start = tracer.now_ns();
+            let r = f();
+            tracer.record_since(shard, kind, start);
+            r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detached_runs_plain() {
+        assert!(!is_attached());
+        assert_eq!(with_span(SpanKind::TeamEpoch, || 7), 7);
+    }
+
+    #[test]
+    fn attach_records_and_restores() {
+        let t = Tracer::new(1, 16);
+        {
+            let _g = unsafe { attach(&t, 0) };
+            assert!(is_attached());
+            assert_eq!(with_span(SpanKind::DeferredWait, || 3), 3);
+            {
+                // nested attachment shadows, then restores
+                let t2 = Tracer::new(1, 16);
+                let _g2 = unsafe { attach(&t2, 0) };
+                with_span(SpanKind::TeamEpoch, || ());
+                assert_eq!(t2.drain().spans.len(), 1);
+            }
+            assert!(is_attached());
+        }
+        assert!(!is_attached());
+        let log = t.drain();
+        assert_eq!(log.spans.len(), 1);
+        assert_eq!(log.spans[0].1.kind, SpanKind::DeferredWait);
+    }
+
+    #[test]
+    fn attachment_is_per_thread() {
+        let t = Tracer::new(1, 16);
+        let _g = unsafe { attach(&t, 0) };
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                assert!(!is_attached());
+            });
+        });
+        assert!(is_attached());
+    }
+}

@@ -1,0 +1,259 @@
+//! The per-shard ring-buffer span recorder.
+//!
+//! ## Soundness of `&self` recording
+//!
+//! A [`Tracer`] owns one slot per shard, each an `UnsafeCell<ShardLog>`.
+//! The recording API takes `&self` so a single `Arc<Tracer>` can be shared
+//! by the solver thread and the team's workers, but mutation is safe only
+//! under the *shard-exclusivity* discipline the SPMD runtime already
+//! guarantees:
+//!
+//! * shard `w` records **only** into slot `w` (the solver thread is shard
+//!   0; `vr_par::team` workers are shards `1..width`);
+//! * team epochs are serialized by the team's run lock, so a slot is never
+//!   written from two threads at once;
+//! * [`Tracer::drain`] is called only after the traced solve has returned
+//!   (all epochs quiesced — the barrier in `Team::try_run` is a
+//!   happens-before edge between worker writes and the caller).
+//!
+//! All integration sites in this workspace uphold the discipline by
+//! construction. Violating it from outside (e.g. two threads recording to
+//! the same shard) is a logic error that can corrupt *span data* (torn
+//! records), never memory safety of anything but the preallocated `Span`
+//! buffers — `Span` is `Copy` with no invariants.
+
+use crate::clock::Clock;
+use crate::span::{Span, SpanKind};
+use std::cell::UnsafeCell;
+
+/// Default ring capacity per shard (spans). 24 bytes/span → ~1.5 MiB per
+/// shard; ~20 spans/iteration means room for ~3000 iterations before the
+/// ring wraps.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+struct ShardLog {
+    buf: Box<[Span]>,
+    /// Total spans pushed (monotone; `pushed - cap` of them were dropped
+    /// once the ring wraps).
+    pushed: u64,
+}
+
+/// One slot per shard; see the module docs for the exclusivity contract.
+struct ShardSlot(UnsafeCell<ShardLog>);
+
+// SAFETY: slots are accessed under the shard-exclusivity discipline
+// documented above; the contained data is plain `Copy` records.
+unsafe impl Sync for ShardSlot {}
+
+/// A lock-free multi-shard span recorder.
+///
+/// Construction preallocates every ring; recording never allocates and
+/// performs no atomic operations.
+pub struct Tracer {
+    clock: Clock,
+    slots: Box<[ShardSlot]>,
+}
+
+/// A drained trace: spans tagged with their shard, sorted by start time.
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    /// `(shard, span)` pairs sorted by `span.start_ns`.
+    pub spans: Vec<(usize, Span)>,
+    /// Spans lost to ring wrap-around, summed over shards.
+    pub dropped: u64,
+}
+
+impl Tracer {
+    /// A tracer with `shards` slots of `capacity` spans each.
+    ///
+    /// `shards` and `capacity` are clamped to at least 1. Records to shard
+    /// indices `>= shards` are silently ignored (a team wider than the
+    /// tracer loses worker detail, never correctness).
+    #[must_use]
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        let shards = shards.max(1);
+        let capacity = capacity.max(1);
+        let slots = (0..shards)
+            .map(|_| {
+                ShardSlot(UnsafeCell::new(ShardLog {
+                    buf: vec![
+                        Span {
+                            start_ns: 0,
+                            end_ns: 0,
+                            kind: SpanKind::IterMark,
+                        };
+                        capacity
+                    ]
+                    .into_boxed_slice(),
+                    pushed: 0,
+                }))
+            })
+            .collect();
+        Tracer {
+            clock: Clock::new(),
+            slots,
+        }
+    }
+
+    /// A tracer sized for a `width`-wide team with the default capacity.
+    #[must_use]
+    pub fn for_width(width: usize) -> Self {
+        Tracer::new(width, DEFAULT_CAPACITY)
+    }
+
+    /// The tracer's clock (share it: timestamps must have one origin).
+    #[must_use]
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Nanoseconds since the tracer's origin.
+    #[inline]
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Number of shard slots.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Record a span with explicit endpoints into `shard`'s ring.
+    ///
+    /// Hot path: one bounds check, a modulo, two stores. Out-of-range
+    /// shards are ignored.
+    #[inline]
+    pub fn record_span(&self, shard: usize, kind: SpanKind, start_ns: u64, end_ns: u64) {
+        let Some(slot) = self.slots.get(shard) else {
+            return;
+        };
+        // SAFETY: shard exclusivity (module docs) — this thread is the only
+        // writer of `slot` right now, and no drain is concurrent.
+        unsafe {
+            let log = &mut *slot.0.get();
+            let cap = log.buf.len();
+            let i = (log.pushed % cap as u64) as usize;
+            log.buf[i] = Span {
+                start_ns,
+                end_ns,
+                kind,
+            };
+            log.pushed += 1;
+        }
+    }
+
+    /// Record a span that started at `start_ns` and ends now.
+    #[inline]
+    pub fn record_since(&self, shard: usize, kind: SpanKind, start_ns: u64) {
+        let end = self.now_ns();
+        self.record_span(shard, kind, start_ns, end);
+    }
+
+    /// Record an instant event (zero duration) at the current time.
+    #[inline]
+    pub fn mark(&self, shard: usize, kind: SpanKind) {
+        let t = self.now_ns();
+        self.record_span(shard, kind, t, t);
+    }
+
+    /// Copy out every recorded span (sorted by start time) and reset the
+    /// rings.
+    ///
+    /// Call only at quiescence — after the traced solve has returned and
+    /// its team has completed its last epoch (see the module docs).
+    #[must_use]
+    pub fn drain(&self) -> TraceLog {
+        let mut spans = Vec::new();
+        let mut dropped = 0u64;
+        for (shard, slot) in self.slots.iter().enumerate() {
+            // SAFETY: quiescence — no thread is recording (caller contract).
+            unsafe {
+                let log = &mut *slot.0.get();
+                let cap = log.buf.len() as u64;
+                let kept = log.pushed.min(cap);
+                dropped += log.pushed - kept;
+                // Oldest-first: the ring holds the last `kept` pushes.
+                let first = log.pushed - kept;
+                for p in first..log.pushed {
+                    spans.push((shard, log.buf[(p % cap) as usize]));
+                }
+                log.pushed = 0;
+            }
+        }
+        spans.sort_by_key(|(_, s)| s.start_ns);
+        TraceLog { spans, dropped }
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("shards", &self.slots.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_drains_in_start_order() {
+        let t = Tracer::new(2, 8);
+        t.record_span(1, SpanKind::TeamEpoch, 10, 20);
+        t.record_span(0, SpanKind::Matvec, 5, 30);
+        t.record_span(0, SpanKind::DotWait, 35, 40);
+        let log = t.drain();
+        assert_eq!(log.dropped, 0);
+        let kinds: Vec<_> = log.spans.iter().map(|(s, sp)| (*s, sp.kind)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (0, SpanKind::Matvec),
+                (1, SpanKind::TeamEpoch),
+                (0, SpanKind::DotWait)
+            ]
+        );
+        // drain resets
+        assert!(t.drain().spans.is_empty());
+    }
+
+    #[test]
+    fn ring_wrap_drops_oldest_and_counts() {
+        let t = Tracer::new(1, 4);
+        for i in 0..10u64 {
+            t.record_span(0, SpanKind::VectorOp, i, i + 1);
+        }
+        let log = t.drain();
+        assert_eq!(log.dropped, 6);
+        let starts: Vec<u64> = log.spans.iter().map(|(_, s)| s.start_ns).collect();
+        assert_eq!(starts, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn out_of_range_shard_is_ignored() {
+        let t = Tracer::new(1, 4);
+        t.record_span(7, SpanKind::Matvec, 0, 1);
+        assert!(t.drain().spans.is_empty());
+    }
+
+    #[test]
+    fn concurrent_shard_exclusive_recording() {
+        let t = std::sync::Arc::new(Tracer::new(4, 64));
+        std::thread::scope(|s| {
+            for w in 0..4usize {
+                let t = std::sync::Arc::clone(&t);
+                s.spawn(move || {
+                    for i in 0..32u64 {
+                        t.record_span(w, SpanKind::MpkTile, i, i + 1);
+                    }
+                });
+            }
+        });
+        let log = t.drain();
+        assert_eq!(log.spans.len(), 128);
+        assert_eq!(log.dropped, 0);
+    }
+}

@@ -120,6 +120,15 @@ impl PendingScalar {
     #[must_use]
     pub fn wait(&self) -> f64 {
         let cell = match &self.inner {
+            Inner::Deferred(partials) if partials.len() > 1 => {
+                // A real split-phase fan-in: the consume-point combine is
+                // exactly the dependency-gated reduction wait the profiler
+                // charges (ready() handles carry one partial and cost
+                // nothing worth recording).
+                return vr_obs::tls::with_span(vr_obs::SpanKind::DeferredWait, || {
+                    reduce::tree_combine(partials)
+                });
+            }
             Inner::Deferred(partials) => return reduce::tree_combine(partials),
             Inner::Cell(cell) => cell,
         };

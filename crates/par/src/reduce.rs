@@ -60,7 +60,10 @@ pub fn par_dot_in(team: Option<&Team>, x: &[f64], y: &[f64]) -> f64 {
         return 0.0;
     }
     match par_dot_partials_in(team, x, y) {
-        Ok(partials) => tree_combine(&partials),
+        Ok(partials) => {
+            // The eager fan-in: dependency-gated, recorded for the profiler.
+            vr_obs::tls::with_span(vr_obs::SpanKind::DotFanIn, || tree_combine(&partials))
+        }
         Err(team::Poisoned) => f64::NAN,
     }
 }

@@ -198,6 +198,12 @@ impl Team {
             }
             return Ok(());
         }
+        // One barrier epoch = one `team_epoch` span on the caller's shard
+        // (auxiliary detail under whatever solver-level span is open).
+        vr_obs::tls::with_span(vr_obs::SpanKind::TeamEpoch, || self.run_epoch(job))
+    }
+
+    fn run_epoch(&self, job: &(dyn Fn(usize) + Sync)) -> Result<(), Poisoned> {
         let _epoch_guard = self.inner.run_lock.lock().expect("team run lock");
         {
             let mut st = self.inner.state.lock().expect("team state lock");

@@ -14,6 +14,9 @@
 //!   Matrix Market I/O.
 //! * [`par`] — deterministic parallel runtime (bit-reproducible reductions,
 //!   fused batches, pipelined launch-now/consume-later scalars).
+//! * [`obs`] — allocation-free span tracing and per-iteration critical-path
+//!   attribution: measures how much of an iteration is dependency-gated
+//!   reduction wait versus overlappable work, on real threads.
 //! * [`poly`] — exact polynomial algebra for the symbolic (*)-coefficient
 //!   derivation.
 //! * [`sim`] — the idealized parallel machine: task DAGs, cost models,
@@ -42,6 +45,7 @@
 
 pub use vr_cg as cg;
 pub use vr_linalg as linalg;
+pub use vr_obs as obs;
 pub use vr_par as par;
 pub use vr_poly as poly;
 pub use vr_sim as sim;

@@ -121,4 +121,46 @@ fn hot_loops_allocate_nothing_per_iteration_after_warmup() {
             );
         }
     }
+
+    // An *attached* tracer must add ZERO allocations: recording a span is
+    // two stores into a pre-sized ring, so a traced solve's allocation
+    // tally must equal the untraced solve's exactly, at every budget.
+    // (Draining happens outside the measured window — `drain` does
+    // allocate, by design. overlap-k1's own deferred-scalar launches
+    // allocate a few times per iteration with or without a tracer, which
+    // is why the assertion is traced == untraced rather than 10-iter ==
+    // 40-iter.)
+    let tracer = std::sync::Arc::new(vr_obs::Tracer::for_width(1));
+    let traced_variants: Vec<(Box<dyn CgVariant>, &str)> = vec![
+        (Box::new(StandardCg::new()), "standard"),
+        (
+            Box::new(vr_cg::overlap_k1::OverlapK1Cg::new()),
+            "overlap-k1",
+        ),
+        (Box::new(LookaheadCg::new(2)), "lookahead-k2"),
+    ];
+    for (variant, label) in &traced_variants {
+        for max_iters in [10usize, 40] {
+            let untraced = allocs_for(variant.as_ref(), &a, &b, max_iters, BasisEngine::Mpk);
+            let o = opts(max_iters, BasisEngine::Mpk).with_tracer(std::sync::Arc::clone(&tracer));
+            let _ = variant.solve(&a, &b, None, &o); // warm-up
+            let _ = tracer.drain();
+            let mut best = u64::MAX;
+            for _ in 0..3 {
+                let before = ALLOC_CALLS.load(Ordering::Relaxed);
+                let res = variant.solve(&a, &b, None, &o);
+                let after = ALLOC_CALLS.load(Ordering::Relaxed);
+                assert_eq!(res.termination, Termination::MaxIterations);
+                best = best.min(after - before);
+                let log = tracer.drain();
+                assert!(!log.spans.is_empty(), "{label}: tracer recorded nothing");
+            }
+            assert_eq!(
+                best, untraced,
+                "{label} ({max_iters} iters): traced solve allocated {best} \
+                 times vs {untraced} untraced — span recording must be \
+                 allocation-free"
+            );
+        }
+    }
 }
