@@ -1,0 +1,437 @@
+//! E20 — self-healing team runtime: worker failover, checkpoint/rollback,
+//! and checksum-guarded overlapped reductions.
+//!
+//! The 1983 restructuring hides reduction latency behind deeper recurrence
+//! chains — which also widens the blast radius of any fault that lands in
+//! those chains. This experiment measures the three defenses added on top
+//! of the persistent SPMD team:
+//!
+//! 1. **Worker failover** (E20a): a worker of a width-4 team is killed
+//!    mid-solve — once cooperatively, once silently (only the caller's
+//!    heartbeat health check can notice). The fixed 256-leaf reduction
+//!    layout re-shards deterministically onto the survivors, so the solve
+//!    completes with *the same bits* as the full team and as one thread.
+//! 2. **Checkpoint/rollback vs restart** (E20b): fault rate × recovery
+//!    policy × width. A `CheckpointRing` snapshot every C iterations turns
+//!    a detected breakdown into a ≤ C-iteration replay; the classic ladder
+//!    re-runs the whole attempt. Failover composes: the rollback policy on
+//!    a degraded team reproduces the width-1 trajectory bit for bit.
+//! 3. **Checksum-guarded reductions** (E20c): duplicate-leaf split-phase
+//!    dots detect and repair partial-sum corruption at the deferred
+//!    consume point, localizing it to one iteration window.
+//!
+//! Headlines (asserted outside `--smoke`):
+//! * a killed worker at width 4 completes bit-identically on 3 survivors;
+//! * at a 10⁻³ scalar fault rate the rollback policy converges within 2×
+//!   the fault-free iteration count while restart-only needs ≥ 5×;
+//! * checkpointing itself is overhead-class work (`SpanKind::Checkpoint`),
+//!   a few microseconds per period, invisible in the iteration count.
+
+use std::sync::Arc;
+use vr_bench::{write_json, Table};
+use vr_cg::overlap_k1::OverlapK1Cg;
+use vr_cg::resilience::fault::FaultInjector;
+use vr_cg::resilience::{FaultKind, RecoveryPolicy, SeededInjector};
+use vr_cg::standard::StandardCg;
+use vr_cg::{CgVariant, SolveOptions, Termination};
+use vr_linalg::gen;
+use vr_linalg::kernels::{norm2, DotMode};
+use vr_par::fault::FaultSite;
+use vr_par::Team;
+
+vr_bench::jsonable! {
+    struct PolicyRow {
+    rate: f64,
+    policy: String,
+    width: usize,
+    converged: bool,
+    termination: String,
+    iterations: usize,
+    iter_ratio: f64,
+    faults_injected: u64,
+    faults_detected: u64,
+    rollbacks: usize,
+    restarts: usize,
+    rel_true_residual: f64,
+}
+}
+
+vr_bench::jsonable! {
+    struct FailoverRow {
+    kill: String,
+    width: usize,
+    live_width_after: usize,
+    iterations: usize,
+    bit_identical: bool,
+    poisoned: bool,
+}
+}
+
+vr_bench::jsonable! {
+    struct ChecksumRow {
+    rate: f64,
+    checksum: bool,
+    converged: bool,
+    termination: String,
+    iterations: usize,
+    faults_detected: u64,
+    rel_true_residual: f64,
+}
+}
+
+fn tlabel(t: Termination) -> &'static str {
+    match t {
+        Termination::Converged => "converged",
+        Termination::RecoveredConverged => "recovered",
+        Termination::MaxIterations => "max-iters",
+        Termination::Breakdown => "breakdown",
+        Termination::Stagnated => "stagnated",
+        Termination::Diverged => "diverged",
+    }
+}
+
+/// The three recovery configurations of the sweep.
+fn policy(name: &str) -> RecoveryPolicy {
+    match name {
+        // the classic ladder alone: every detected breakdown replays the
+        // whole solve from x0 (cold restart — "restarting from zero", the
+        // pre-checkpoint baseline). A deep restart budget so the
+        // comparison is iteration-limited, not budget-limited.
+        "restart-only" => RecoveryPolicy::default()
+            .with_checkpoint_period(0)
+            .with_warm_restart(false)
+            .with_max_restarts(100),
+        // checkpoint every 8 iterations; corruption replays ≤ 8 iterations
+        _ => RecoveryPolicy::default()
+            .with_checkpoint_period(8)
+            .with_max_rollbacks(64)
+            .with_max_restarts(100),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_policy(
+    a: &dyn vr_linalg::LinearOperator,
+    b: &[f64],
+    rate: f64,
+    pname: &str,
+    team: Option<Arc<Team>>,
+    seed: u64,
+    max_iters: usize,
+    ff_iters: usize,
+) -> PolicyRow {
+    let width = team.as_ref().map_or(1, |t| t.width());
+    let mut opts = SolveOptions::default()
+        .with_tol(1e-8)
+        .with_max_iters(max_iters)
+        .with_dot_mode(DotMode::Tree)
+        .with_recovery(policy(pname));
+    opts = match team {
+        Some(t) => opts.with_team(t),
+        None => opts.with_threads(1),
+    };
+    let inj = Arc::new(
+        SeededInjector::new(seed, rate, FaultKind::Nan).at_site(FaultSite::ScalarRecurrence),
+    );
+    if rate > 0.0 {
+        opts = opts.with_injector(inj.clone());
+    }
+    let res = vr_cg::resilience::solve_with_recovery(&StandardCg::new(), a, b, None, &opts);
+    PolicyRow {
+        rate,
+        policy: pname.into(),
+        width,
+        converged: res.converged,
+        termination: tlabel(res.termination).into(),
+        iterations: res.iterations,
+        iter_ratio: res.iterations as f64 / ff_iters.max(1) as f64,
+        faults_injected: inj.injected(),
+        faults_detected: res.recovery.faults_detected,
+        rollbacks: res.recovery.rollbacks,
+        restarts: res.recovery.restarts,
+        rel_true_residual: res.true_residual(a, b) / norm2(b),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    // ---- E20a: worker failover, bit-identical on survivors ----
+    // 182² = 33124 ≥ 4·GRAIN: a width-4 team dispatches real multi-shard
+    // epochs, so killing a worker exercises actual re-sharding (smoke uses
+    // a smaller grid whose width-2 epochs still engage).
+    let (fg, fwidth) = if smoke { (96usize, 2usize) } else { (182, 4) };
+    let fa = gen::poisson2d(fg);
+    let fb = gen::poisson2d_rhs(fg);
+    let fbase = SolveOptions::default()
+        .with_tol(1e-9)
+        .with_dot_mode(DotMode::Tree);
+    let reference = StandardCg::new().solve(&fa, &fb, None, &fbase.clone().with_threads(1));
+
+    let mut failover_rows = Vec::new();
+    let mut tf = Table::new(&["kill", "width", "live", "iters", "bits", "poisoned"]);
+    for kill in ["none", "cooperative", "silent"] {
+        let team = Arc::new(Team::new(fwidth));
+        // fast heartbeat so a silent death is noticed within a few ms
+        team.set_health_params(1, 3);
+        let killer = if kill == "none" {
+            None
+        } else {
+            let t = Arc::clone(&team);
+            let mode = kill.to_string();
+            Some(std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                if mode == "silent" {
+                    t.kill_worker_silent(1);
+                } else {
+                    t.kill_worker(1);
+                }
+            }))
+        };
+        let res =
+            StandardCg::new().solve(&fa, &fb, None, &fbase.clone().with_team(Arc::clone(&team)));
+        if let Some(k) = killer {
+            k.join().expect("killer thread");
+        }
+        // killed workers may still be mid-demotion; one epoch settles it
+        let _ = team.try_run(&|_| {});
+        let row = FailoverRow {
+            kill: kill.into(),
+            width: fwidth,
+            live_width_after: team.live_width(),
+            iterations: res.iterations,
+            bit_identical: res.x == reference.x && res.residual_norms == reference.residual_norms,
+            poisoned: team.is_poisoned(),
+        };
+        tf.row(&[
+            row.kill.clone(),
+            row.width.to_string(),
+            row.live_width_after.to_string(),
+            row.iterations.to_string(),
+            row.bit_identical.to_string(),
+            row.poisoned.to_string(),
+        ]);
+        if !smoke {
+            assert!(
+                row.bit_identical,
+                "kill={kill}: survivors diverged from the single-thread bits"
+            );
+            assert!(!row.poisoned, "kill={kill}: failover must not poison");
+            if kill != "none" {
+                assert_eq!(
+                    row.live_width_after,
+                    fwidth - 1,
+                    "kill={kill}: worker 1 should be demoted"
+                );
+            }
+        }
+        failover_rows.push(row);
+    }
+    println!(
+        "E20a — worker killed mid-solve at width {fwidth} (Poisson {fg}×{fg}, tol 1e-9, tree dots)"
+    );
+    println!("{}", tf.render());
+    println!("survivors re-shard the fixed 256-leaf layout: identical bits, no poison\n");
+
+    // ---- E20b: fault rate × recovery policy × width ----
+    // Shifted Toeplitz tridiagonal: κ ≈ 4/δ is tunable independently of n,
+    // so the fault-free solve can be made much longer (~2500 iterations)
+    // than the ~500-iteration mean time between scalar faults at 1e-3.
+    // That is the regime where the policies diverge: a cold restart almost
+    // never survives a full fault-free length, a ≤ 8-iteration rollback
+    // barely notices. n = 40000 ≥ 4·GRAIN keeps width-4 team epochs real.
+    let (pn, shift, max_iters) = if smoke {
+        (4096usize, 1e-2f64, 2000usize)
+    } else {
+        (40_000, 6e-5, 20_000)
+    };
+    let pa = gen::tridiag_toeplitz(pn, 2.0 + shift, -1.0);
+    let pb = gen::rand_vector(pn, 7);
+
+    let mut ff = run_policy(&pa, &pb, 0.0, "rollback", None, 0, max_iters, 1);
+    ff.iter_ratio = 1.0;
+    let ff_iters = ff.iterations;
+    println!(
+        "E20b — fault-free baseline: {} iterations (tridiag n={pn}, diag 2+{shift:.0e}, tol 1e-8)",
+        ff_iters
+    );
+
+    let cols = [
+        "rate",
+        "policy",
+        "width",
+        "term",
+        "iters",
+        "ratio",
+        "injected",
+        "detected",
+        "rollbacks",
+        "restarts",
+        "rel resid",
+    ];
+    let mut tp = Table::new(&cols);
+    let mut policy_rows = vec![ff];
+    let rates: &[f64] = if smoke { &[1e-3] } else { &[1e-4, 1e-3, 1e-2] };
+    for (ri, &rate) in rates.iter().enumerate() {
+        for pname in ["restart-only", "rollback"] {
+            let r = run_policy(
+                &pa,
+                &pb,
+                rate,
+                pname,
+                None,
+                0xE20 + ri as u64,
+                max_iters,
+                ff_iters,
+            );
+            policy_rows.push(r);
+        }
+        // rollback + failover: the same seeded faults on a width-4 team
+        // that loses a worker mid-sweep — trajectory must not change
+        let team = Arc::new(Team::new(4));
+        team.set_health_params(1, 3);
+        let t = Arc::clone(&team);
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            t.kill_worker(2);
+        });
+        let r = run_policy(
+            &pa,
+            &pb,
+            rate,
+            "rollback+failover",
+            Some(team),
+            0xE20 + ri as u64,
+            max_iters,
+            ff_iters,
+        );
+        killer.join().expect("killer thread");
+        policy_rows.push(r);
+    }
+    for r in &policy_rows {
+        tp.row(&[
+            format!("{:.0e}", r.rate),
+            r.policy.clone(),
+            r.width.to_string(),
+            r.termination.clone(),
+            r.iterations.to_string(),
+            format!("{:.2}", r.iter_ratio),
+            r.faults_injected.to_string(),
+            r.faults_detected.to_string(),
+            r.rollbacks.to_string(),
+            r.restarts.to_string(),
+            format!("{:.2e}", r.rel_true_residual),
+        ]);
+    }
+    println!("{}", tp.render());
+
+    if !smoke {
+        // headline: rollback ≤ 2× fault-free, restart-only ≥ 5× at 1e-3
+        let get = |pname: &str, width: usize| {
+            policy_rows
+                .iter()
+                .find(|r| (r.rate - 1e-3).abs() < 1e-12 && r.policy == pname && r.width == width)
+                .unwrap_or_else(|| panic!("missing row {pname}@{width}"))
+        };
+        let rb = get("rollback", 1);
+        let ro = get("restart-only", 1);
+        assert!(
+            rb.converged && rb.iterations <= 2 * ff_iters,
+            "rollback at 1e-3 took {} iters vs fault-free {ff_iters} (> 2×)",
+            rb.iterations
+        );
+        assert!(
+            ro.iterations >= 5 * ff_iters,
+            "restart-only at 1e-3 took only {} iters vs fault-free {ff_iters} (< 5×)",
+            ro.iterations
+        );
+        assert!(rb.rollbacks >= 1, "rollback policy never rolled back");
+        // failover composes: degraded-team trajectory == width-1 trajectory
+        let rf = get("rollback+failover", 4);
+        assert_eq!(
+            (rf.iterations, rf.rollbacks, rf.restarts),
+            (rb.iterations, rb.rollbacks, rb.restarts),
+            "rollback on a degraded width-4 team must replay the width-1 trajectory"
+        );
+        println!(
+            "headline: rollback {}it ≤ 2×{ff_iters}; restart-only {}it ≥ 5×{ff_iters}; \
+             degraded-team trajectory identical\n",
+            rb.iterations, ro.iterations
+        );
+    } else {
+        println!("(--smoke: tiny problem, headline assertions skipped)\n");
+    }
+
+    // ---- E20c: checksum-guarded overlapped reductions ----
+    // overlap-k1 consumes split-phase dots at a deferred point; duplicate
+    // leaves + bitwise compare catch partial corruption right there.
+    let ca = gen::poisson2d(if smoke { 32 } else { 64 });
+    let cb = gen::poisson2d_rhs(if smoke { 32 } else { 64 });
+    let mut tc = Table::new(&["rate", "checksum", "term", "iters", "detected", "rel resid"]);
+    let mut checksum_rows = Vec::new();
+    for &(rate, checksum) in &[(0.0, true), (2e-3, false), (2e-3, true)] {
+        let mut opts = SolveOptions::default()
+            .with_tol(1e-8)
+            .with_max_iters(4000)
+            .with_dot_mode(DotMode::Tree)
+            .with_reduction_checksum(checksum)
+            .with_recovery(RecoveryPolicy::default().with_checkpoint_period(8));
+        if rate > 0.0 {
+            opts = opts.with_injector(Arc::new(
+                SeededInjector::new(3, rate, FaultKind::Perturb(0.5))
+                    .at_site(FaultSite::DotPartial),
+            ));
+        }
+        let res = vr_cg::resilience::solve_with_recovery(
+            &OverlapK1Cg::new().with_resync(20),
+            &ca,
+            &cb,
+            None,
+            &opts,
+        );
+        let row = ChecksumRow {
+            rate,
+            checksum,
+            converged: res.converged,
+            termination: tlabel(res.termination).into(),
+            iterations: res.iterations,
+            faults_detected: res.recovery.faults_detected,
+            rel_true_residual: res.true_residual(&ca, &cb) / norm2(&cb),
+        };
+        tc.row(&[
+            format!("{:.0e}", row.rate),
+            row.checksum.to_string(),
+            row.termination.clone(),
+            row.iterations.to_string(),
+            row.faults_detected.to_string(),
+            format!("{:.2e}", row.rel_true_residual),
+        ]);
+        if !smoke && checksum && rate > 0.0 {
+            assert!(
+                row.converged,
+                "checksum-guarded overlap-k1 must survive partial corruption: {:?}",
+                row.termination
+            );
+            assert!(
+                row.faults_detected >= 1,
+                "duplicate-leaf checksum detected nothing at rate {rate}"
+            );
+        }
+        checksum_rows.push(row);
+    }
+    println!("E20c — overlap-k1 with duplicate-leaf checksums on split-phase dots");
+    println!("{}", tc.render());
+
+    write_json(
+        "BENCH_selfheal",
+        &vr_bench::json::envelope(
+            "e20_self_healing",
+            smoke,
+            &[
+                ("failover_rows", vr_bench::json!(failover_rows)),
+                ("policy_rows", vr_bench::json!(policy_rows)),
+                ("checksum_rows", vr_bench::json!(checksum_rows)),
+            ],
+        ),
+    );
+}

@@ -12,7 +12,8 @@
 //! (valid under CG orthogonality), giving `λ = ρ / (μ − β·ρ/λ_prev)`.
 //! `Ap` is maintained by the recurrence `Ap ← w + β·Ap` — no extra matvec.
 
-use crate::instrument::OpCounts;
+use crate::instrument::{OpCounts, RecoveryStats};
+use crate::resilience::checkpoint::CheckpointRing;
 use crate::resilience::guard;
 use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
 use vr_linalg::kernels::dot;
@@ -68,13 +69,56 @@ impl CgVariant for ChronopoulosGearCg {
         let mut lambda_prev = 0.0;
         let mut rho_prev = 0.0;
 
+        // Checkpoint ring (policy-gated): [x, r, p, s, w] + the four
+        // carried scalars — s = A·p and w = A·r are snapshotted rather than
+        // recomputed so a restore costs zero matvecs.
+        let mut rstats = RecoveryStats::default();
+        let mut ring = opts
+            .recovery
+            .as_ref()
+            .and_then(|policy| CheckpointRing::from_policy(policy, 5, n, 4));
+
         let mut termination = Termination::MaxIterations;
         let mut iterations = 0;
         if rho <= thresh_sq {
             termination = Termination::Converged;
         } else {
-            for it in 0..opts.max_iters {
+            let mut it = 0usize;
+            macro_rules! rollback_or {
+                ($fallback:block) => {
+                    if let Some(rg) = ring.as_mut() {
+                        let mut scal = [0.0; 4];
+                        if let Some(c) = rg.rollback(
+                            opts,
+                            &mut [&mut x, &mut r, &mut p, &mut s, &mut w],
+                            &mut scal,
+                        ) {
+                            rho = scal[0];
+                            mu = scal[1];
+                            lambda_prev = scal[2];
+                            rho_prev = scal[3];
+                            rstats.rollbacks += 1;
+                            if opts.record_residuals {
+                                norms.truncate(c + 1);
+                            }
+                            iterations = c;
+                            it = c;
+                            continue;
+                        }
+                    }
+                    $fallback
+                };
+            }
+            while it < opts.max_iters {
                 opts.iter_mark();
+                if let Some(rg) = ring.as_mut() {
+                    rg.maybe_save(
+                        opts,
+                        it,
+                        &[&x, &r, &p, &s, &w],
+                        &[rho, mu, lambda_prev, rho_prev],
+                    );
+                }
                 let (beta, denom) = if it == 0 {
                     (0.0, mu)
                 } else {
@@ -83,9 +127,11 @@ impl CgVariant for ChronopoulosGearCg {
                 };
                 counts.scalar_ops += 3;
                 if guard::check_pivot(denom).is_err() {
-                    termination = Termination::Breakdown;
-                    iterations = it;
-                    break;
+                    rollback_or!({
+                        termination = Termination::Breakdown;
+                        iterations = it;
+                        break;
+                    });
                 }
                 let lambda = rho / denom;
 
@@ -110,16 +156,24 @@ impl CgVariant for ChronopoulosGearCg {
                     break;
                 }
                 if guard::check_finite(rho).is_err() {
-                    termination = Termination::Breakdown;
-                    break;
+                    rollback_or!({
+                        termination = Termination::Breakdown;
+                        break;
+                    });
                 }
+                it += 1;
             }
+        }
+        if termination == Termination::Converged && rstats.rollbacks > 0 {
+            termination = Termination::RecoveredConverged;
         }
 
         if !opts.record_residuals {
             norms.push(rho.max(0.0).sqrt());
         }
-        SolveResult::new(x, termination, iterations, norms, counts)
+        let mut res = SolveResult::new(x, termination, iterations, norms, counts);
+        res.recovery = rstats;
+        res
     }
 }
 

@@ -14,7 +14,8 @@
 //! x ← x + λ·p;   r ← r − λ·s;   w ← w − λ·z
 //! ```
 
-use crate::instrument::OpCounts;
+use crate::instrument::{OpCounts, RecoveryStats};
+use crate::resilience::checkpoint::CheckpointRing;
 use crate::resilience::guard;
 use crate::solver::{util, CgVariant, KernelPolicy, SolveOptions, SolveResult, Termination};
 use vr_linalg::kernels::dot;
@@ -72,6 +73,14 @@ impl CgVariant for PipelinedCg {
             norms.push(gamma.max(0.0).sqrt());
         }
 
+        // Checkpoint ring (policy-gated): the pipelined recurrences maintain
+        // five live vectors — q alone is recomputed each iteration — so a
+        // snapshot is [x, r, p, s, z, w] plus the carried scalar chain.
+        let mut rstats = RecoveryStats::default();
+        let mut ring = opts
+            .recovery
+            .as_ref()
+            .and_then(|policy| CheckpointRing::from_policy(policy, 6, n, 4));
         let mut termination = Termination::MaxIterations;
         let mut iterations = 0;
         // Under the fused policy the w-update sweep of iteration `it`
@@ -82,8 +91,42 @@ impl CgVariant for PipelinedCg {
         if gamma <= thresh_sq {
             termination = Termination::Converged;
         } else {
-            for it in 0..opts.max_iters {
+            let mut it = 0usize;
+            macro_rules! rollback_or {
+                ($fallback:block) => {
+                    if let Some(rg) = ring.as_mut() {
+                        let mut scal = [0.0; 4];
+                        if let Some(c) = rg.rollback(
+                            opts,
+                            &mut [&mut x, &mut r, &mut p, &mut s, &mut z, &mut w],
+                            &mut scal,
+                        ) {
+                            gamma = scal[0];
+                            gamma_old = scal[1];
+                            lambda_old = scal[2];
+                            delta_carried = scal[3];
+                            rstats.rollbacks += 1;
+                            if opts.record_residuals {
+                                norms.truncate(c + 1);
+                            }
+                            iterations = c;
+                            it = c;
+                            continue;
+                        }
+                    }
+                    $fallback
+                };
+            }
+            while it < opts.max_iters {
                 opts.iter_mark();
+                if let Some(rg) = ring.as_mut() {
+                    rg.maybe_save(
+                        opts,
+                        it,
+                        &[&x, &r, &p, &s, &z, &w],
+                        &[gamma, gamma_old, lambda_old, delta_carried],
+                    );
+                }
                 let delta = if fused && it > 0 {
                     delta_carried
                 } else {
@@ -102,9 +145,11 @@ impl CgVariant for PipelinedCg {
                 };
                 counts.scalar_ops += 3;
                 if guard::check_pivot(denom).is_err() {
-                    termination = Termination::Breakdown;
-                    iterations = it;
-                    break;
+                    rollback_or!({
+                        termination = Termination::Breakdown;
+                        iterations = it;
+                        break;
+                    });
                 }
                 let lambda = gamma / denom;
 
@@ -127,8 +172,10 @@ impl CgVariant for PipelinedCg {
                     break;
                 }
                 if guard::check_finite(gamma).is_err() {
-                    termination = Termination::Breakdown;
-                    break;
+                    rollback_or!({
+                        termination = Termination::Breakdown;
+                        break;
+                    });
                 }
 
                 // w ← w − λ·z; fused, the same sweep yields next
@@ -139,13 +186,19 @@ impl CgVariant for PipelinedCg {
                 } else {
                     opts.axpy(-lambda, &z, &mut w, &mut counts);
                 }
+                it += 1;
             }
+        }
+        if termination == Termination::Converged && rstats.rollbacks > 0 {
+            termination = Termination::RecoveredConverged;
         }
 
         if !opts.record_residuals {
             norms.push(gamma.max(0.0).sqrt());
         }
-        SolveResult::new(x, termination, iterations, norms, counts)
+        let mut res = SolveResult::new(x, termination, iterations, norms, counts);
+        res.recovery = rstats;
+        res
     }
 }
 

@@ -6,7 +6,8 @@
 //! *parallel* profile (Jacobi is depth-1; SSOR/IC(0) serialize sweeps),
 //! which E10 exploits.
 
-use crate::instrument::OpCounts;
+use crate::instrument::{OpCounts, RecoveryStats};
+use crate::resilience::checkpoint::CheckpointRing;
 use crate::resilience::guard;
 use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
 use vr_linalg::kernels::dot;
@@ -77,24 +78,60 @@ impl<P: Preconditioner> CgVariant for PrecondCg<P> {
             norms.push(rr.max(0.0).sqrt());
         }
 
+        // Checkpoint ring (policy-gated): at the loop top only [x, r, p] and
+        // the scalars (rz, rr) are live — z is overwritten by the next
+        // preconditioner apply before any read, and w by the matvec.
+        let mut rstats = RecoveryStats::default();
+        let mut ring = opts
+            .recovery
+            .as_ref()
+            .and_then(|policy| CheckpointRing::from_policy(policy, 3, n, 2));
         let mut termination = Termination::MaxIterations;
         let mut iterations = 0;
         if rr <= thresh_sq {
             termination = Termination::Converged;
         } else {
-            for it in 0..opts.max_iters {
+            let mut it = 0usize;
+            macro_rules! rollback_or {
+                ($fallback:block) => {
+                    if let Some(rg) = ring.as_mut() {
+                        let mut scal = [0.0; 2];
+                        if let Some(c) = rg.rollback(opts, &mut [&mut x, &mut r, &mut p], &mut scal)
+                        {
+                            rz = scal[0];
+                            rr = scal[1];
+                            rstats.rollbacks += 1;
+                            if opts.record_residuals {
+                                norms.truncate(c + 1);
+                            }
+                            iterations = c;
+                            it = c;
+                            continue;
+                        }
+                    }
+                    $fallback
+                };
+            }
+            while it < opts.max_iters {
                 opts.iter_mark();
+                if let Some(rg) = ring.as_mut() {
+                    rg.maybe_save(opts, it, &[&x, &r, &p], &[rz, rr]);
+                }
                 if guard::check_pivot(rz).is_err() {
-                    termination = Termination::Breakdown;
-                    iterations = it;
-                    break;
+                    rollback_or!({
+                        termination = Termination::Breakdown;
+                        iterations = it;
+                        break;
+                    });
                 }
                 // matvec carries (p, A·p) in its sweep
                 let pap = opts.matvec_dot(a, &p, &mut w, &mut counts);
                 if guard::check_pivot(pap).is_err() {
-                    termination = Termination::Breakdown;
-                    iterations = it;
-                    break;
+                    rollback_or!({
+                        termination = Termination::Breakdown;
+                        iterations = it;
+                        break;
+                    });
                 }
                 let lambda = rz / pap;
                 opts.axpy(lambda, &p, &mut x, &mut counts);
@@ -116,20 +153,28 @@ impl<P: Preconditioner> CgVariant for PrecondCg<P> {
                     break;
                 }
                 if guard::check_finite(rr).is_err() {
-                    termination = Termination::Breakdown;
-                    break;
+                    rollback_or!({
+                        termination = Termination::Breakdown;
+                        break;
+                    });
                 }
                 let beta = rz_next / rz;
                 counts.scalar_ops += 1;
                 opts.xpay(&z, beta, &mut p, &mut counts);
                 rz = rz_next;
+                it += 1;
             }
+        }
+        if termination == Termination::Converged && rstats.rollbacks > 0 {
+            termination = Termination::RecoveredConverged;
         }
 
         if !opts.record_residuals {
             norms.push(rr.max(0.0).sqrt());
         }
-        SolveResult::new(x, termination, iterations, norms, counts)
+        let mut res = SolveResult::new(x, termination, iterations, norms, counts);
+        res.recovery = rstats;
+        res
     }
 }
 

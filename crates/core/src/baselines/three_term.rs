@@ -15,7 +15,8 @@
 //! and because its dependency structure (two serialized reductions, like
 //! standard CG) makes a useful control in the machine-model experiments.
 
-use crate::instrument::OpCounts;
+use crate::instrument::{OpCounts, RecoveryStats};
+use crate::resilience::checkpoint::CheckpointRing;
 use crate::resilience::guard;
 use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
 use vr_linalg::kernels::dot;
@@ -72,19 +73,63 @@ impl CgVariant for ThreeTermCg {
             norms.push(rr.max(0.0).sqrt());
         }
 
+        // Checkpoint ring (policy-gated): the three-term recurrence needs
+        // BOTH levels of its history — [x, r, x_prev, r_prev] plus the four
+        // carried scalars — to replay exactly.
+        let mut rstats = RecoveryStats::default();
+        let mut ring = opts
+            .recovery
+            .as_ref()
+            .and_then(|policy| CheckpointRing::from_policy(policy, 4, n, 4));
         let mut termination = Termination::MaxIterations;
         let mut iterations = 0;
         if rr <= thresh_sq {
             termination = Termination::Converged;
         } else {
-            for it in 0..opts.max_iters {
+            let mut it = 0usize;
+            macro_rules! rollback_or {
+                ($fallback:block) => {
+                    if let Some(rg) = ring.as_mut() {
+                        let mut scal = [0.0; 4];
+                        if let Some(c) = rg.rollback(
+                            opts,
+                            &mut [&mut x, &mut r, &mut x_prev, &mut r_prev],
+                            &mut scal,
+                        ) {
+                            rr = scal[0];
+                            rr_prev = scal[1];
+                            gamma_prev = scal[2];
+                            rho_prev = scal[3];
+                            rstats.rollbacks += 1;
+                            if opts.record_residuals {
+                                norms.truncate(c + 1);
+                            }
+                            iterations = c;
+                            it = c;
+                            continue;
+                        }
+                    }
+                    $fallback
+                };
+            }
+            while it < opts.max_iters {
                 opts.iter_mark();
+                if let Some(rg) = ring.as_mut() {
+                    rg.maybe_save(
+                        opts,
+                        it,
+                        &[&x, &r, &x_prev, &r_prev],
+                        &[rr, rr_prev, gamma_prev, rho_prev],
+                    );
+                }
                 // matvec carries (r, A·r) in its sweep
                 let rar = opts.matvec_dot(a, &r, &mut w, &mut counts);
                 if guard::check_pivot(rar).is_err() {
-                    termination = Termination::Breakdown;
-                    iterations = it;
-                    break;
+                    rollback_or!({
+                        termination = Termination::Breakdown;
+                        iterations = it;
+                        break;
+                    });
                 }
                 let gamma = rr / rar;
                 let rho = if it == 0 {
@@ -94,9 +139,11 @@ impl CgVariant for ThreeTermCg {
                 };
                 counts.scalar_ops += 4;
                 if guard::check_finite(rho).is_err() {
-                    termination = Termination::Breakdown;
-                    iterations = it;
-                    break;
+                    rollback_or!({
+                        termination = Termination::Breakdown;
+                        iterations = it;
+                        break;
+                    });
                 }
 
                 // u_{n+1} = ρ(u + γ r) + (1−ρ) u_{n−1}
@@ -128,16 +175,24 @@ impl CgVariant for ThreeTermCg {
                     break;
                 }
                 if guard::check_finite(rr).is_err() {
-                    termination = Termination::Breakdown;
-                    break;
+                    rollback_or!({
+                        termination = Termination::Breakdown;
+                        break;
+                    });
                 }
+                it += 1;
             }
+        }
+        if termination == Termination::Converged && rstats.rollbacks > 0 {
+            termination = Termination::RecoveredConverged;
         }
 
         if !opts.record_residuals {
             norms.push(rr.max(0.0).sqrt());
         }
-        SolveResult::new(x, termination, iterations, norms, counts)
+        let mut res = SolveResult::new(x, termination, iterations, norms, counts);
+        res.recovery = rstats;
+        res
     }
 }
 

@@ -91,6 +91,10 @@ pub struct RecoveryStats {
     pub replacements: usize,
     /// Warm restarts taken by the recovery ladder.
     pub restarts: usize,
+    /// Checkpoint rollbacks taken: corruption was localized by a guard and
+    /// the solve resumed from a [`crate::resilience::CheckpointRing`]
+    /// snapshot ≤ C iterations back instead of restarting from scratch.
+    pub rollbacks: usize,
     /// Look-ahead depth of the variant that produced the final result
     /// (0 = standard CG): where on the `k → k/2 → … → standard` ladder
     /// the solve ended.
@@ -104,6 +108,7 @@ impl std::ops::Add for RecoveryStats {
             faults_detected: self.faults_detected + o.faults_detected,
             replacements: self.replacements + o.replacements,
             restarts: self.restarts + o.restarts,
+            rollbacks: self.rollbacks + o.rollbacks,
             // not additive: keep the later (more backed-off) depth
             final_k: o.final_k,
         }

@@ -53,6 +53,7 @@
 
 use crate::instrument::{OpCounts, RecoveryStats};
 use crate::recurrence::moments::MomentWindow;
+use crate::resilience::checkpoint::CheckpointRing;
 use crate::resilience::guard;
 use crate::solver::{util, BasisEngine, CgVariant, SolveOptions, SolveResult, Termination};
 use vr_linalg::kernels::dot;
@@ -142,6 +143,16 @@ impl CgVariant for LookaheadCg {
         let mut mu_scratch: Vec<f64> = Vec::with_capacity(m + 1);
         let mut vscratch = vec![0.0; n];
 
+        // Checkpoint ring (policy-gated): snapshots [x, r] only — the
+        // vector families and moment window are rebuilt by the outer
+        // startup pass on rollback, exactly like a warm restart but from a
+        // known-good ≤ C-iterations-old state instead of the (possibly
+        // poisoned) current iterate.
+        let mut ring = opts
+            .recovery
+            .as_ref()
+            .and_then(|policy| CheckpointRing::from_policy(policy, 2, n, 0));
+
         // Outer restart loop: each pass performs the paper's "initial start
         // up" (build vector families + moment window from the current true
         // residual) and then iterates on recurrences. When the drifted
@@ -149,7 +160,7 @@ impl CgVariant for LookaheadCg {
         // VALIDATED against the true residual; a spurious signal triggers a
         // warm restart from the current iterate, and lack of progress
         // between restarts terminates with `Breakdown`.
-        let termination = 'outer: loop {
+        let mut termination = 'outer: loop {
             // start-up: z[i] = A^i r, i ≤ k; w[i] = A^i p, i ≤ k+1 (p = r).
             // One monomial matrix-powers pass of depth k+1 yields the whole
             // z family plus its images; the top image A·z[k] IS the startup
@@ -206,6 +217,9 @@ impl CgVariant for LookaheadCg {
                 if guard::check_pivot(sigma1).is_err() || guard::check_pivot(mu0).is_err() {
                     suspicious = true;
                     break;
+                }
+                if let Some(rg) = ring.as_mut() {
+                    rg.maybe_save(opts, iterations, &[&x, &z[0]], &[]);
                 }
                 let lambda = opts.scalar(mu0 / sigma1);
                 opts.axpy(lambda, &w[0], &mut x, &mut counts);
@@ -289,6 +303,20 @@ impl CgVariant for LookaheadCg {
             if !suspicious {
                 break 'outer Termination::MaxIterations;
             }
+            // rollback rung: a poisoned or non-progressing iterate can
+            // still be rescued from a ≤ C-iterations-old snapshot; the
+            // outer startup pass rebuilds the families and window from the
+            // restored residual
+            if let Some(rg) = ring.as_mut() {
+                if let Some(c) = rg.rollback(opts, &mut [&mut x, &mut r0], &mut []) {
+                    rstats.rollbacks += 1;
+                    if opts.record_residuals {
+                        norms.truncate(c + 1);
+                    }
+                    iterations = c;
+                    continue 'outer;
+                }
+            }
             // spurious signal: restart if we are still making progress.
             // A non-finite true residual means the iterate itself is
             // poisoned (e.g. a corrupted λ reached x) — restarting from it
@@ -310,6 +338,9 @@ impl CgVariant for LookaheadCg {
             // replace the (possibly drifted) last recursive value with the
             // validated true residual norm
             *norms.last_mut().expect("non-empty") = final_rr.max(0.0).sqrt();
+        }
+        if termination == Termination::Converged && rstats.rollbacks > 0 {
+            termination = Termination::RecoveredConverged;
         }
         let mut res = SolveResult::new(x, termination, iterations, norms, counts);
         rstats.restarts = counts.restarts;
@@ -488,6 +519,40 @@ mod tests {
         for (xi, ei) in res.x.iter().zip(&exact) {
             assert!((xi - ei).abs() < 1e-6, "{xi} vs {ei}");
         }
+    }
+
+    #[test]
+    fn checkpoint_rollback_survives_moderate_faults() {
+        // with the ring active, a corrupted λ that poisons x no longer
+        // forces Breakdown: the solve restores a ≤ C-old [x, r] snapshot
+        // and rebuilds the window from it via the outer startup pass
+        use crate::resilience::{FaultKind, RecoveryPolicy, SeededInjector};
+        use std::sync::Arc;
+        let a = gen::poisson2d(12);
+        let b = gen::poisson2d_rhs(12);
+        let mut total_rollbacks = 0usize;
+        for seed in 0..10u64 {
+            let o = SolveOptions::default()
+                .with_tol(1e-7)
+                .with_max_iters(600)
+                .with_injector(Arc::new(SeededInjector::new(seed, 2e-3, FaultKind::Nan)))
+                .with_recovery(
+                    RecoveryPolicy::default()
+                        .with_checkpoint_period(10)
+                        .with_max_rollbacks(16),
+                );
+            let res = LookaheadCg::new(4).with_resync(10).solve(&a, &b, None, &o);
+            if res.recovery.rollbacks > 0 && res.converged {
+                assert_eq!(
+                    res.termination,
+                    Termination::RecoveredConverged,
+                    "seed {seed}"
+                );
+                assert!(res.true_residual(&a, &b) < 1e-4, "seed {seed}");
+                total_rollbacks += res.recovery.rollbacks;
+            }
+        }
+        assert!(total_rollbacks >= 1, "no seed exercised the rollback path");
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`guard`] — the shared breakdown guard all variants route their
 //!   checks through, plus the in-loop [`guard::ResidualGuard`] doing
 //!   periodic true-residual recomputation and residual replacement.
+//! * [`checkpoint`] — the preallocated [`checkpoint::CheckpointRing`]:
+//!   periodic snapshots of minimal solver state so a detected corruption
+//!   rolls back ≤ C iterations instead of restarting from zero.
 //! * [`recovery`] — the [`recovery::RecoveryPolicy`] knobs and the restart
 //!   ladder with look-ahead-depth backoff (`k → k/2 → … → standard CG`).
 //!
@@ -36,10 +39,12 @@
 //! assert!(res.converged, "{:?}", res.termination);
 //! ```
 
+pub mod checkpoint;
 pub mod fault;
 pub mod guard;
 pub mod recovery;
 
+pub use checkpoint::CheckpointRing;
 pub use fault::{FaultKind, SeededInjector, SingleFault};
 pub use guard::{GuardSignal, ResidualGuard};
 pub use recovery::{solve_with_recovery, Recoverable, RecoveryPolicy};

@@ -36,6 +36,20 @@ pub struct RecoveryPolicy {
     /// Back off the look-ahead depth (`k → k/2 → … → standard CG`) on each
     /// restart; `false` retries the same variant (faults are transient).
     pub backoff: bool,
+    /// Restart from the best finite iterate seen so far (`true`, the
+    /// default) or from the caller's `x0` (`false` — the classic cold
+    /// restart, the baseline the checkpoint/rollback rung is measured
+    /// against in E20).
+    pub warm_restart: bool,
+    /// Snapshot minimal solver state into a
+    /// [`crate::resilience::CheckpointRing`] every this many iterations
+    /// (0 = checkpointing disabled, the classic ladder). With a period C,
+    /// guard-detected corruption rolls the solve back ≤ C iterations —
+    /// the rung of the recovery ladder *above* restart.
+    pub checkpoint_period: usize,
+    /// Budget of checkpoint rollbacks per solve attempt; once spent, the
+    /// next corruption falls through to the restart ladder as before.
+    pub max_rollbacks: usize,
 }
 
 impl Default for RecoveryPolicy {
@@ -47,6 +61,9 @@ impl Default for RecoveryPolicy {
             divergence_factor: 1e8,
             max_restarts: 8,
             backoff: true,
+            warm_restart: true,
+            checkpoint_period: 0,
+            max_rollbacks: 8,
         }
     }
 }
@@ -84,6 +101,28 @@ impl RecoveryPolicy {
     #[must_use]
     pub fn with_backoff(mut self, on: bool) -> Self {
         self.backoff = on;
+        self
+    }
+
+    /// Enable or disable warm restarts (restart from the best finite
+    /// iterate rather than from `x0`).
+    #[must_use]
+    pub fn with_warm_restart(mut self, on: bool) -> Self {
+        self.warm_restart = on;
+        self
+    }
+
+    /// Set the checkpoint period (0 disables checkpoint/rollback).
+    #[must_use]
+    pub fn with_checkpoint_period(mut self, c: usize) -> Self {
+        self.checkpoint_period = c;
+        self
+    }
+
+    /// Set the per-attempt rollback budget.
+    #[must_use]
+    pub fn with_max_rollbacks(mut self, n: usize) -> Self {
+        self.max_rollbacks = n;
         self
     }
 }
@@ -128,6 +167,7 @@ pub fn solve_with_recovery(
         total_counts = total_counts + res.counts;
         stats.faults_detected += res.recovery.faults_detected;
         stats.replacements += res.recovery.replacements;
+        stats.rollbacks += res.recovery.rollbacks;
         if all_norms.is_empty() {
             all_norms.extend_from_slice(&res.residual_norms);
         } else {
@@ -158,8 +198,9 @@ pub fn solve_with_recovery(
 
         // Warm start from the attempt's iterate if it is finite AND at
         // least as good (by true residual) as the start it came from —
-        // never let a faulted attempt drag the ladder backwards.
-        if res.x.iter().all(|v| v.is_finite()) {
+        // never let a faulted attempt drag the ladder backwards. A
+        // cold-restart policy skips this entirely and replays from `x0`.
+        if policy.warm_restart && res.x.iter().all(|v| v.is_finite()) {
             let rr = inner_opts.span(vr_obs::SpanKind::Recovery, || {
                 a.apply(&res.x, &mut vscratch);
                 for (vi, bi) in vscratch.iter_mut().zip(b) {
@@ -232,12 +273,19 @@ mod tests {
             .with_replacement_threshold(0.25)
             .with_stagnation_window(50)
             .with_max_restarts(3)
-            .with_backoff(false);
+            .with_backoff(false)
+            .with_warm_restart(false)
+            .with_checkpoint_period(16)
+            .with_max_rollbacks(4);
         assert_eq!(p.true_residual_period, 10);
         assert_eq!(p.replacement_threshold, 0.25);
         assert_eq!(p.stagnation_window, 50);
         assert_eq!(p.max_restarts, 3);
         assert!(!p.backoff);
+        assert!(!p.warm_restart);
+        assert_eq!(p.checkpoint_period, 16);
+        assert_eq!(p.max_rollbacks, 4);
+        assert!(RecoveryPolicy::default().warm_restart);
     }
 
     #[test]

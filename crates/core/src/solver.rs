@@ -2,6 +2,7 @@
 
 use crate::instrument::{OpCounts, RecoveryStats};
 use crate::resilience::recovery::RecoveryPolicy;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use vr_linalg::kernels::{self, DotMode};
 use vr_linalg::{fused, LinearOperator};
@@ -49,6 +50,25 @@ pub enum BasisEngine {
     Mpk,
 }
 
+/// Record of a thread request clamped to the host's parallelism by
+/// [`SolveOptions::with_threads`] — the recorded warning that replaces
+/// silent oversubscription on small containers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadClamp {
+    /// What the caller asked for.
+    pub requested: usize,
+    /// What the host could grant (`available_parallelism`).
+    pub granted: usize,
+}
+
+/// The host's available parallelism (1 if it cannot be determined).
+#[must_use]
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// Options controlling a solve.
 #[derive(Debug, Clone)]
 pub struct SolveOptions {
@@ -85,6 +105,26 @@ pub struct SolveOptions {
     /// single-threaded solves. [`SolveOptions::team`] re-resolves the
     /// handle if `threads` was mutated directly.
     pub team: Option<Arc<Team>>,
+    /// Set when [`SolveOptions::with_threads`] clamped an oversubscribing
+    /// request down to the host's parallelism (graceful degradation on
+    /// small containers; `None` when the request was granted as asked).
+    /// Explicit [`SolveOptions::with_team`] attachments are never clamped.
+    pub thread_clamp: Option<ThreadClamp>,
+    /// Duplicate-leaf checksum guard on split-phase reductions
+    /// ([`SolveOptions::dot2_deferred`]): when `true` under
+    /// `DotMode::Tree`, every deferred dot computes its fixed-layout leaf
+    /// partials twice and the consume point compares the copies bit-for-bit
+    /// (see [`PendingScalar::checked_deferred`]), so injected corruption is
+    /// detected — and where possible repaired — in the *same* iteration
+    /// window instead of smearing forward through the recurrences. Costs
+    /// one extra leaf sweep per guarded reduction; fault-free checked
+    /// solves stay bit-identical to unchecked ones.
+    pub checksum: bool,
+    /// Corrupted-leaf detections from checksum-guarded reductions, counted
+    /// at their consume points. Variants drain this into
+    /// [`RecoveryStats::faults_detected`] (see
+    /// [`SolveOptions::drain_checksum_detections`]).
+    pub checksum_detected: Arc<AtomicU64>,
     /// Engine for block Krylov basis construction (s-step / lookahead).
     pub basis_engine: BasisEngine,
     /// Explicit matrix-powers tile size (rows/planes per tile for
@@ -111,6 +151,9 @@ impl Default for SolveOptions {
             kernel_policy: KernelPolicy::default(),
             threads: 1,
             team: None,
+            thread_clamp: None,
+            checksum: false,
+            checksum_detected: Arc::new(AtomicU64::new(0)),
             basis_engine: BasisEngine::default(),
             mpk_tile: None,
             tracer: None,
@@ -226,13 +269,25 @@ impl SolveOptions {
 
     /// Set the worker-thread count for kernels and reductions.
     ///
-    /// For `threads >= 2` this attaches the process-shared persistent
-    /// [`Team`] of that width *now*, so the solve itself never spawns —
-    /// hot loops step the long-lived workers through barrier-synchronized
+    /// The request is clamped to the host's available parallelism — a team
+    /// wider than the machine only adds context-switch latency to every
+    /// barrier epoch, so oversubscription degrades gracefully instead of
+    /// silently: a clamp is recorded in [`SolveOptions::thread_clamp`].
+    /// (Values are width-invariant, so clamping never changes result
+    /// bits.) Callers that genuinely want an oversubscribed or
+    /// fault-injected team attach one explicitly with
+    /// [`SolveOptions::with_team`].
+    ///
+    /// For an effective width `>= 2` this attaches the process-shared
+    /// persistent [`Team`] *now*, so the solve itself never spawns — hot
+    /// loops step the long-lived workers through barrier-synchronized
     /// epochs instead.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        let requested = threads.max(1);
+        let granted = requested.min(host_cpus());
+        self.thread_clamp = (granted < requested).then_some(ThreadClamp { requested, granted });
+        self.threads = granted;
         self.team = if self.threads >= 2 {
             Some(team::shared_team(self.threads))
         } else {
@@ -241,15 +296,52 @@ impl SolveOptions {
         self
     }
 
+    /// Attach an explicit [`Team`] (no host-parallelism clamp — the caller
+    /// owns the width choice). Used by failover experiments that need a
+    /// team they can kill workers of, and by tests pinning multi-shard
+    /// behavior on small hosts.
+    #[must_use]
+    pub fn with_team(mut self, team: Arc<Team>) -> Self {
+        self.threads = team.width();
+        self.thread_clamp = None;
+        self.team = Some(team);
+        self
+    }
+
+    /// Enable / disable the duplicate-leaf reduction checksum (see
+    /// [`SolveOptions::checksum`]).
+    #[must_use]
+    pub fn with_reduction_checksum(mut self, on: bool) -> Self {
+        self.checksum = on;
+        self
+    }
+
+    /// Drain the checksum detection counter (returns the count since the
+    /// last drain). Variants call this once at solve start (discarding
+    /// leftovers from an aborted earlier consumer of a cloned option set)
+    /// and once at solve end, folding the result into
+    /// [`RecoveryStats::faults_detected`].
+    #[must_use]
+    pub fn drain_checksum_detections(&self) -> u64 {
+        self.checksum_detected.swap(0, Ordering::Relaxed)
+    }
+
     /// The persistent team handle for this solve (`None` ⇒ single-threaded).
     ///
-    /// Fast path: the handle attached by [`SolveOptions::with_threads`].
-    /// If `threads` was mutated directly (leaving `team` stale), this
-    /// re-resolves the shared team so the two fields cannot disagree.
+    /// Fast path: the handle attached by [`SolveOptions::with_threads`] /
+    /// [`SolveOptions::with_team`] — *unless it is poisoned*: a poisoned
+    /// handle is never returned (the solve that poisoned it already
+    /// surfaced its breakdown; later consumers must not inherit the dying
+    /// team, which used to be a race when two solves observed the poison
+    /// concurrently). A *degraded* team (lost workers, failover active) is
+    /// still returned: mid-solve worker loss keeps the solve on the
+    /// surviving members, bit-identically. If `threads` was mutated
+    /// directly (leaving `team` stale) or the attached team is poisoned,
+    /// this re-resolves the shared team so the fields cannot disagree.
     #[must_use]
     pub fn team(&self) -> Option<Arc<Team>> {
         match &self.team {
-            Some(t) if t.width() == self.threads => Some(Arc::clone(t)),
+            Some(t) if t.width() == self.threads && !t.is_poisoned() => Some(Arc::clone(t)),
             _ if self.threads >= 2 => Some(team::shared_team(self.threads)),
             _ => None,
         }
@@ -492,9 +584,12 @@ impl SolveOptions {
         z: &[f64],
         counts: &mut OpCounts,
     ) -> (PendingScalar, PendingScalar) {
-        if self.injector.is_some() || self.dot_mode != DotMode::Tree {
+        if self.dot_mode != DotMode::Tree || (self.injector.is_some() && !self.checksum) {
             let (dy, dz) = self.dot2(x, y, z, counts);
             return (PendingScalar::ready(dy), PendingScalar::ready(dz));
+        }
+        if self.checksum {
+            return self.dot2_checked_deferred(x, y, z, counts);
         }
         counts.dots += 2;
         let t = self.team();
@@ -529,6 +624,51 @@ impl SolveOptions {
                 ),
             }
         }
+    }
+
+    /// Checksum-guarded launch half of [`SolveOptions::dot2_deferred`]:
+    /// each reduction's fixed-layout leaf partials are computed *twice*
+    /// (independent sweeps of the same deterministic schedule), both copies
+    /// pass through the fault injector as separate `DotPartial` event
+    /// streams in a fixed program order, and the consume point verifies
+    /// them against each other. This genuinely defers the fan-in even with
+    /// an injector attached — the corruption surface moves to launch time,
+    /// preserving the width-independent fault determinism contract.
+    fn dot2_checked_deferred(
+        &self,
+        x: &[f64],
+        y: &[f64],
+        z: &[f64],
+        counts: &mut OpCounts,
+    ) -> (PendingScalar, PendingScalar) {
+        counts.dots += 2;
+        let t = self.team();
+        let t = t.as_deref();
+        let launched = self.span(vr_obs::SpanKind::DotLaunch, || {
+            let ya = reduce::par_dot_partials_in(t, x, y);
+            let za = reduce::par_dot_partials_in(t, x, z);
+            let yb = reduce::par_dot_partials_in(t, x, y);
+            let zb = reduce::par_dot_partials_in(t, x, z);
+            (ya, za, yb, zb)
+        });
+        let (Ok(mut ya), Ok(mut za), Ok(mut yb), Ok(mut zb)) = launched else {
+            return (
+                PendingScalar::ready(f64::NAN),
+                PendingScalar::ready(f64::NAN),
+            );
+        };
+        if let Some(inj) = &self.injector {
+            // Fixed serial corruption order (copy A of both dots, then
+            // copy B) so a given seed reproduces the same fault pattern at
+            // any team width, like the eager path.
+            for p in ya.iter_mut().chain(&mut za).chain(&mut yb).chain(&mut zb) {
+                *p = inj.corrupt(FaultSite::DotPartial, *p);
+            }
+        }
+        (
+            PendingScalar::checked_deferred(ya, yb, Arc::clone(&self.checksum_detected)),
+            PendingScalar::checked_deferred(za, zb, Arc::clone(&self.checksum_detected)),
+        )
     }
 
     /// Team-parallel `y ← A·x`; tallies one matvec. The matvec has no
@@ -876,9 +1016,15 @@ mod tests {
         let w0 = a.apply_alloc(&p);
         for mode in [DotMode::Serial, DotMode::Tree, DotMode::Kahan] {
             for threads in [1usize, 3] {
-                let base = SolveOptions::default()
-                    .with_dot_mode(mode)
-                    .with_threads(threads);
+                // An explicit team bypasses the host-cpu clamp so the
+                // multi-shard arm still exercises width 3 on 1-core hosts.
+                let base = if threads > 1 {
+                    SolveOptions::default()
+                        .with_dot_mode(mode)
+                        .with_team(team::shared_team(threads))
+                } else {
+                    SolveOptions::default().with_dot_mode(mode).with_threads(1)
+                };
                 let fo = base.clone().with_kernel_policy(KernelPolicy::Fused);
                 let ro = base.with_kernel_policy(KernelPolicy::Reference);
                 let (mut cf, mut cr) = (OpCounts::default(), OpCounts::default());

@@ -28,7 +28,8 @@
 
 pub mod basis;
 
-use crate::instrument::OpCounts;
+use crate::instrument::{OpCounts, RecoveryStats};
+use crate::resilience::checkpoint::CheckpointRing;
 use crate::resilience::guard;
 use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
 use basis::{BasisKind, KrylovBasis};
@@ -132,6 +133,38 @@ impl CgVariant for SStepCg {
         let mut iterations = 0usize;
         let mut last_restart_rr = f64::INFINITY;
 
+        // Checkpoint ring (policy-gated): snapshots [x, r] + [rr] at block
+        // boundaries; the direction blocks are NOT saved — a restore
+        // resumes with `prev_active = false`, so the next block starts
+        // unconjugated (exactly the state after a warm restart, but from a
+        // ≤ C-iterations-old known-good iterate).
+        let mut rstats = RecoveryStats::default();
+        let mut ring = opts
+            .recovery
+            .as_ref()
+            .and_then(|policy| CheckpointRing::from_policy(policy, 2, r.len(), 1));
+        macro_rules! rollback_or_break {
+            ($lbl:lifetime) => {
+                if termination == Termination::Breakdown {
+                    if let Some(rg) = ring.as_mut() {
+                        let mut scal = [0.0];
+                        if let Some(c) = rg.rollback(opts, &mut [&mut x, &mut r], &mut scal) {
+                            rr = scal[0];
+                            rstats.rollbacks += 1;
+                            if opts.record_residuals {
+                                norms.truncate(c / s + 1);
+                            }
+                            iterations = c;
+                            termination = Termination::MaxIterations;
+                            prev_active = false;
+                            continue $lbl;
+                        }
+                    }
+                }
+                break $lbl;
+            };
+        }
+
         if rr <= thresh_sq {
             termination = Termination::Converged;
         }
@@ -140,6 +173,9 @@ impl CgVariant for SStepCg {
             // 1) block basis from the current residual (one mark per outer
             // block step — the natural iteration unit of s-step CG)
             opts.iter_mark();
+            if let Some(rg) = ring.as_mut() {
+                rg.maybe_save(opts, iterations, &[&x, &r], &[rr]);
+            }
             opts.span(vr_obs::SpanKind::MpkBuild, || {
                 basis::build_into(
                     a,
@@ -187,7 +223,7 @@ impl CgVariant for SStepCg {
                         &mut counts,
                         &mut termination,
                     ) {
-                        break 'outer;
+                        rollback_or_break!('outer);
                     }
                     prev_active = false;
                     continue 'outer;
@@ -232,7 +268,7 @@ impl CgVariant for SStepCg {
                     &mut counts,
                     &mut termination,
                 ) {
-                    break 'outer;
+                    rollback_or_break!('outer);
                 }
                 prev_active = false;
                 continue 'outer;
@@ -272,7 +308,7 @@ impl CgVariant for SStepCg {
                     &mut counts,
                     &mut termination,
                 ) {
-                    break 'outer;
+                    rollback_or_break!('outer);
                 }
                 prev_active = false;
                 continue 'outer;
@@ -283,10 +319,17 @@ impl CgVariant for SStepCg {
             prev_active = true;
         }
 
+        if termination == Termination::Converged && rstats.rollbacks > 0 {
+            termination = Termination::RecoveredConverged;
+        }
         if !opts.record_residuals {
             norms.push(rr.max(0.0).sqrt());
         }
-        SolveResult::new(x, termination, iterations, norms, counts)
+        rstats.restarts = counts.restarts;
+        rstats.final_k = s;
+        let mut res = SolveResult::new(x, termination, iterations, norms, counts);
+        res.recovery = rstats;
+        res
     }
 
     fn backoff(&self) -> Option<Box<dyn CgVariant>> {

@@ -5,9 +5,36 @@
 //! gates `Ap` gates `(p,Ap)` gates `λ`), three vector updates.
 
 use crate::instrument::{OpCounts, RecoveryStats};
+use crate::resilience::checkpoint::CheckpointRing;
 use crate::resilience::guard::{self, GuardSignal, ResidualGuard};
 use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
 use vr_linalg::LinearOperator;
+
+/// Roll the `[x, r, p]` + `[rr]` state back to the newest checkpoint, fixing
+/// up the residual history and rollback tally. Returns the checkpoint
+/// iteration to resume from, or `None` when the rollback rung is exhausted
+/// (the failure then falls through to the restart ladder as before).
+#[allow(clippy::too_many_arguments)]
+fn try_rollback(
+    ring: &mut Option<CheckpointRing>,
+    opts: &SolveOptions,
+    x: &mut [f64],
+    r: &mut [f64],
+    p: &mut [f64],
+    rr: &mut f64,
+    norms: &mut Vec<f64>,
+    rstats: &mut RecoveryStats,
+) -> Option<usize> {
+    let ring = ring.as_mut()?;
+    let mut scalars = [0.0];
+    let c = ring.rollback(opts, &mut [x, r, p], &mut scalars)?;
+    *rr = scalars[0];
+    rstats.rollbacks += 1;
+    if opts.record_residuals {
+        norms.truncate(c + 1);
+    }
+    Some(c)
+}
 
 /// Standard CG solver.
 #[derive(Debug, Clone, Copy, Default)]
@@ -75,11 +102,21 @@ impl CgVariant for StandardCg {
                 start_converged = false;
             }
         }
+        // checkpoint ring (policy-gated): snapshots [x, r, p] + [rr]
+        let mut ring = opts
+            .recovery
+            .as_ref()
+            .and_then(|policy| CheckpointRing::from_policy(policy, 3, n, 1));
+
         if start_converged {
             termination = Termination::Converged;
         } else {
-            for it in 0..opts.max_iters {
+            let mut it = 0usize;
+            while it < opts.max_iters {
                 opts.iter_mark();
+                if let Some(ring) = ring.as_mut() {
+                    ring.maybe_save(opts, it, &[&x, &r, &p], &[rr]);
+                }
                 // Under the fused policy this iteration runs in three sweeps:
                 // matvec+(p,Ap) fused, then x/r updates+(r,r) fused, then the
                 // direction xpay. (The operator-level no-store kernels that
@@ -88,6 +125,20 @@ impl CgVariant for StandardCg {
                 // keeps w and fuses around it.)
                 let pap = guard::guarded_matvec_dot(opts, a, &p, &mut w, &mut counts, &mut rstats);
                 if let Err(kind) = guard::check_pivot(pap) {
+                    if let Some(c) = try_rollback(
+                        &mut ring,
+                        opts,
+                        &mut x,
+                        &mut r,
+                        &mut p,
+                        &mut rr,
+                        &mut norms,
+                        &mut rstats,
+                    ) {
+                        iterations = c;
+                        it = c;
+                        continue;
+                    }
                     termination = kind.termination();
                     iterations = it;
                     break;
@@ -124,6 +175,25 @@ impl CgVariant for StandardCg {
                             replaced = true;
                         }
                         GuardSignal::Halt(t) => {
+                            // rollback can undo fault-driven divergence, but
+                            // stagnation persists in the guard's window — a
+                            // replay would halt again immediately
+                            if t != Termination::Stagnated {
+                                if let Some(c) = try_rollback(
+                                    &mut ring,
+                                    opts,
+                                    &mut x,
+                                    &mut r,
+                                    &mut p,
+                                    &mut rr,
+                                    &mut norms,
+                                    &mut rstats,
+                                ) {
+                                    iterations = c;
+                                    it = c;
+                                    continue;
+                                }
+                            }
                             termination = t;
                             if opts.record_residuals {
                                 norms.push(rr_next.max(0.0).sqrt());
@@ -163,6 +233,20 @@ impl CgVariant for StandardCg {
                     norms.push(rr_next.max(0.0).sqrt());
                 }
                 if guard::check_finite(rr_next).is_err() {
+                    if let Some(c) = try_rollback(
+                        &mut ring,
+                        opts,
+                        &mut x,
+                        &mut r,
+                        &mut p,
+                        &mut rr,
+                        &mut norms,
+                        &mut rstats,
+                    ) {
+                        iterations = c;
+                        it = c;
+                        continue;
+                    }
                     termination = Termination::Breakdown;
                     rr = rr_next;
                     break;
@@ -173,7 +257,11 @@ impl CgVariant for StandardCg {
                     opts.xpay(&r, alpha, &mut p, &mut counts);
                 }
                 rr = rr_next;
+                it += 1;
             }
+        }
+        if termination == Termination::Converged && rstats.rollbacks > 0 {
+            termination = Termination::RecoveredConverged;
         }
 
         if let Some(g) = rguard {
@@ -330,6 +418,59 @@ mod tests {
                 assert!(rel < 1e-6, "seed {seed}: claimed convergence at rel {rel}");
             }
         }
+    }
+
+    #[test]
+    fn checkpoint_rollback_rescues_poisoned_iterate() {
+        // a NaN in the scalar recurrence poisons x itself — beyond residual
+        // replacement. With a checkpoint ring the solve rolls back ≤ C
+        // iterations and replays (fresh injector draws), instead of
+        // surfacing Breakdown to the restart ladder.
+        use crate::resilience::{FaultKind, RecoveryPolicy, SeededInjector};
+        use std::sync::Arc;
+        use vr_par::fault::FaultSite;
+        let a = gen::poisson2d(10);
+        let b = gen::poisson2d_rhs(10);
+        let mut total_rollbacks = 0usize;
+        for seed in 0..10u64 {
+            let inj = SeededInjector::new(seed, 0.02, FaultKind::Nan)
+                .at_site(FaultSite::ScalarRecurrence);
+            let o = SolveOptions::default()
+                .with_tol(1e-9)
+                .with_injector(Arc::new(inj))
+                .with_recovery(RecoveryPolicy::default().with_checkpoint_period(8));
+            let res = StandardCg::new().solve(&a, &b, None, &o);
+            if res.recovery.rollbacks > 0 && res.converged {
+                assert_eq!(
+                    res.termination,
+                    Termination::RecoveredConverged,
+                    "seed {seed}"
+                );
+                assert!(res.true_residual(&a, &b) < 1e-7, "seed {seed}");
+                total_rollbacks += res.recovery.rollbacks;
+            }
+        }
+        assert!(total_rollbacks >= 1, "no seed exercised the rollback path");
+    }
+
+    #[test]
+    fn rollback_disabled_by_default_keeps_breakdown_contract() {
+        // checkpoint_period defaults to 0: a poisoned iterate still
+        // surfaces Breakdown for the restart ladder, bit-for-bit as before
+        use crate::resilience::{FaultKind, RecoveryPolicy, SeededInjector};
+        use std::sync::Arc;
+        use vr_par::fault::FaultSite;
+        let a = gen::poisson2d(10);
+        let b = gen::poisson2d_rhs(10);
+        let inj =
+            SeededInjector::new(11, 0.05, FaultKind::Nan).at_site(FaultSite::ScalarRecurrence);
+        let o = SolveOptions::default()
+            .with_tol(1e-9)
+            .with_injector(Arc::new(inj))
+            .with_recovery(RecoveryPolicy::default());
+        let res = StandardCg::new().solve(&a, &b, None, &o);
+        assert_eq!(res.recovery.rollbacks, 0);
+        assert!(!res.converged || res.termination == Termination::Converged);
     }
 
     #[test]

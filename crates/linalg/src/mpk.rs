@@ -517,7 +517,7 @@ pub(crate) fn csr_powers(
     let ntiles = plan.tiles.len();
     let tracer = ws.tracer.clone();
     let width = team
-        .map_or(1, |t| dispatch_width(n, t.width()))
+        .map_or(1, |t| dispatch_width(n, t.live_width()))
         .min(ntiles.max(1));
     let shard_len = plan.max_scratch;
     let bands: &mut [f64] = {
@@ -564,7 +564,7 @@ pub(crate) fn csr_powers(
         return;
     }
     let team = team.expect("width > 1 implies a team");
-    if team.try_run(&job).is_err() {
+    if team.try_run_shards(&job, width).is_err() {
         poison_outputs(v, av);
     }
 }

@@ -480,7 +480,7 @@ impl LinearOperator for CsrMatrix {
         assert_eq!(x.len(), self.ncols, "apply_team: x length != ncols");
         assert_eq!(y.len(), self.nrows, "apply_team: y length != nrows");
         let n = self.nrows;
-        let width = team.map_or(1, |t| vr_par::team::dispatch_width(n, t.width()));
+        let width = team.map_or(1, |t| vr_par::team::dispatch_width(n, t.live_width()));
         if width <= 1 {
             self.spmv_into(x, y);
             return;
@@ -488,17 +488,21 @@ impl LinearOperator for CsrMatrix {
         let team = team.expect("width > 1 implies a team");
         let per = n.div_ceil(width);
         let yp = vr_par::team::SendPtr(y.as_mut_ptr());
-        let res = team.try_run(&move |w| {
-            let lo = w * per;
-            if lo >= n {
-                return;
-            }
-            let hi = ((w + 1) * per).min(n);
-            // Safety: shards own disjoint row ranges of `y`, which outlives
-            // the epoch (`try_run` blocks until every shard finishes).
-            let yband = unsafe { std::slice::from_raw_parts_mut(yp.get().add(lo), hi - lo) };
-            self.spmv_rows_into(x, lo, hi, yband);
-        });
+        let res = team.try_run_shards(
+            &move |w| {
+                let lo = w * per;
+                if lo >= n {
+                    return;
+                }
+                let hi = ((w + 1) * per).min(n);
+                // Safety: shards own disjoint row ranges of `y`, which
+                // outlives the epoch (`try_run_shards` blocks until every
+                // shard finishes).
+                let yband = unsafe { std::slice::from_raw_parts_mut(yp.get().add(lo), hi - lo) };
+                self.spmv_rows_into(x, lo, hi, yband);
+            },
+            width,
+        );
         if res.is_err() {
             y.fill(f64::NAN);
         }

@@ -405,7 +405,7 @@ impl LinearOperator for Stencil2d {
         assert_eq!(x.len(), n);
         assert_eq!(y.len(), n);
         let width = team
-            .map_or(1, |t| vr_par::team::dispatch_width(n, t.width()))
+            .map_or(1, |t| vr_par::team::dispatch_width(n, t.live_width()))
             .min(nx);
         if width <= 1 {
             self.apply(x, y);
@@ -414,18 +414,22 @@ impl LinearOperator for Stencil2d {
         let team = team.expect("width > 1 implies a team");
         let per = nx.div_ceil(width);
         let yp = vr_par::team::SendPtr(y.as_mut_ptr());
-        let res = team.try_run(&move |w| {
-            let ilo = w * per;
-            if ilo >= nx {
-                return;
-            }
-            let ihi = ((w + 1) * per).min(nx);
-            // Safety: shards own disjoint grid-row bands (flat ranges
-            // `[ilo·ny, ihi·ny)`) of `y`, which outlives the epoch.
-            let yband =
-                unsafe { std::slice::from_raw_parts_mut(yp.get().add(ilo * ny), (ihi - ilo) * ny) };
-            self.band_sweep_into(x, ilo, ihi, yband);
-        });
+        let res = team.try_run_shards(
+            &move |w| {
+                let ilo = w * per;
+                if ilo >= nx {
+                    return;
+                }
+                let ihi = ((w + 1) * per).min(nx);
+                // Safety: shards own disjoint grid-row bands (flat ranges
+                // `[ilo·ny, ihi·ny)`) of `y`, which outlives the epoch.
+                let yband = unsafe {
+                    std::slice::from_raw_parts_mut(yp.get().add(ilo * ny), (ihi - ilo) * ny)
+                };
+                self.band_sweep_into(x, ilo, ihi, yband);
+            },
+            width,
+        );
         if res.is_err() {
             y.fill(f64::NAN);
         }
@@ -466,7 +470,7 @@ impl LinearOperator for Stencil2d {
         }
         let ntiles = nx.div_ceil(tile_rows);
         let width = team
-            .map_or(1, |t| vr_par::team::dispatch_width(n, t.width()))
+            .map_or(1, |t| vr_par::team::dispatch_width(n, t.live_width()))
             .min(ntiles);
         let band_len = (tile_rows + 2 * (s - 1)) * ny;
         // three rotating bands plus one scratch row for ghost-row images
@@ -596,7 +600,7 @@ impl LinearOperator for Stencil2d {
             return;
         }
         let team = team.expect("width > 1 implies a team");
-        if team.try_run(&job).is_err() {
+        if team.try_run_shards(&job, width).is_err() {
             crate::mpk::poison_outputs(v, av);
         }
     }
@@ -876,7 +880,7 @@ impl LinearOperator for Stencil3d {
         assert_eq!(x.len(), dim);
         assert_eq!(y.len(), dim);
         let width = team
-            .map_or(1, |t| vr_par::team::dispatch_width(dim, t.width()))
+            .map_or(1, |t| vr_par::team::dispatch_width(dim, t.live_width()))
             .min(n);
         if width <= 1 {
             self.apply(x, y);
@@ -885,26 +889,30 @@ impl LinearOperator for Stencil3d {
         let team = team.expect("width > 1 implies a team");
         let per = n.div_ceil(width);
         let yp = vr_par::team::SendPtr(y.as_mut_ptr());
-        let res = team.try_run(&move |w| {
-            let ilo = w * per;
-            if ilo >= n {
-                return;
-            }
-            let ihi = ((w + 1) * per).min(n);
-            // Safety: shards own disjoint plane bands `[ilo·n², ihi·n²)`
-            // of `y`, which outlives the epoch.
-            let yband =
-                unsafe { std::slice::from_raw_parts_mut(yp.get().add(ilo * n2), (ihi - ilo) * n2) };
-            for i in ilo..ihi {
-                for j in 0..n {
-                    let base = i * n2 + j * n;
-                    for k in 0..n {
-                        let idx = base + k;
-                        yband[idx - ilo * n2] = self.row_value(x, i, j, k, idx);
+        let res = team.try_run_shards(
+            &move |w| {
+                let ilo = w * per;
+                if ilo >= n {
+                    return;
+                }
+                let ihi = ((w + 1) * per).min(n);
+                // Safety: shards own disjoint plane bands `[ilo·n², ihi·n²)`
+                // of `y`, which outlives the epoch.
+                let yband = unsafe {
+                    std::slice::from_raw_parts_mut(yp.get().add(ilo * n2), (ihi - ilo) * n2)
+                };
+                for i in ilo..ihi {
+                    for j in 0..n {
+                        let base = i * n2 + j * n;
+                        for k in 0..n {
+                            let idx = base + k;
+                            yband[idx - ilo * n2] = self.row_value(x, i, j, k, idx);
+                        }
                     }
                 }
-            }
-        });
+            },
+            width,
+        );
         if res.is_err() {
             y.fill(f64::NAN);
         }
@@ -942,7 +950,7 @@ impl LinearOperator for Stencil3d {
         }
         let ntiles = n.div_ceil(tile_planes);
         let width = team
-            .map_or(1, |t| vr_par::team::dispatch_width(dim, t.width()))
+            .map_or(1, |t| vr_par::team::dispatch_width(dim, t.live_width()))
             .min(ntiles);
         let band_len = (tile_planes + 2 * (s - 1)) * n2;
         // three rotating bands plus one scratch plane for ghost-plane images
@@ -1071,7 +1079,7 @@ impl LinearOperator for Stencil3d {
             return;
         }
         let team = team.expect("width > 1 implies a team");
-        if team.try_run(&job).is_err() {
+        if team.try_run_shards(&job, width).is_err() {
             crate::mpk::poison_outputs(v, av);
         }
     }

@@ -38,10 +38,19 @@ pub enum SpanKind {
     MpkTile = 11,
     /// Instant marker on shard 0 delimiting solver iterations.
     IterMark = 12,
+    /// A `CheckpointRing` snapshot: copying minimal solver state into
+    /// preallocated scratch every C iterations.
+    Checkpoint = 13,
+    /// The caller running a shard failed over from a dead worker
+    /// (deterministic re-shard onto survivors).
+    Reshard = 14,
+    /// An epoch-timeout health check: the caller inspecting per-worker
+    /// heartbeat counters for stragglers or dead workers.
+    HealthCheck = 15,
 }
 
 /// Every kind, in discriminant order (index with `kind as usize`).
-pub const ALL_KINDS: [SpanKind; 13] = [
+pub const ALL_KINDS: [SpanKind; 16] = [
     SpanKind::Matvec,
     SpanKind::MpkBuild,
     SpanKind::VectorOp,
@@ -55,6 +64,9 @@ pub const ALL_KINDS: [SpanKind; 13] = [
     SpanKind::TeamEpoch,
     SpanKind::MpkTile,
     SpanKind::IterMark,
+    SpanKind::Checkpoint,
+    SpanKind::Reshard,
+    SpanKind::HealthCheck,
 ];
 
 /// The four buckets of the per-iteration critical-path attribution.
@@ -88,6 +100,9 @@ impl SpanKind {
             SpanKind::TeamEpoch => "team_epoch",
             SpanKind::MpkTile => "mpk_tile",
             SpanKind::IterMark => "iter",
+            SpanKind::Checkpoint => "checkpoint",
+            SpanKind::Reshard => "reshard",
+            SpanKind::HealthCheck => "health_check",
         }
     }
 
@@ -102,7 +117,12 @@ impl SpanKind {
             SpanKind::DotWait | SpanKind::DotFanIn | SpanKind::DeferredWait => {
                 Some(PhaseClass::ReductionWait)
             }
-            SpanKind::ScalarOp | SpanKind::Guard | SpanKind::Recovery => Some(PhaseClass::Overhead),
+            SpanKind::ScalarOp
+            | SpanKind::Guard
+            | SpanKind::Recovery
+            | SpanKind::Checkpoint
+            | SpanKind::Reshard
+            | SpanKind::HealthCheck => Some(PhaseClass::Overhead),
             SpanKind::TeamEpoch | SpanKind::MpkTile | SpanKind::IterMark => None,
         }
     }

@@ -46,7 +46,7 @@ pub mod team;
 
 pub use pipeline::PendingScalar;
 pub use pool::ThreadPool;
-pub use team::Team;
+pub use team::{shared_team, Team};
 
 /// Number of worker threads to use by default: the available parallelism,
 /// capped at 8 (the experiments are about *structure*, not peak FLOPs).

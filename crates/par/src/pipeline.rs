@@ -22,6 +22,7 @@
 
 use crate::pool::ThreadPool;
 use crate::reduce;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 struct Cell {
@@ -38,6 +39,23 @@ enum Inner {
     /// consume point, overlapping the combine with whatever vector work
     /// the caller scheduled in between.
     Deferred(Vec<f64>),
+    /// A checksum-guarded split-phase reduction: two *independently
+    /// computed* copies of the leaf partials. Because the leaf layout and
+    /// summation order are deterministic, the copies are bit-identical
+    /// absent corruption, so the consume point can compare them exactly
+    /// (an ABFT-style duplicate-leaf invariant). A mismatched leaf with
+    /// exactly one finite copy is repaired in place; anything else
+    /// resolves to NaN so downstream guards trip *this* iteration instead
+    /// of letting the corruption smear forward through the recurrences.
+    Checked {
+        a: Vec<f64>,
+        b: Vec<f64>,
+        /// Corrupted-leaf detections, reported to the owner of the counter
+        /// (the solver folds it into its `RecoveryStats`).
+        detected: Arc<AtomicU64>,
+        /// Detection is counted once even if the handle is consumed twice.
+        counted: AtomicBool,
+    },
 }
 
 /// Handle to a scalar reduction that has been *launched* but not yet
@@ -100,13 +118,47 @@ impl PendingScalar {
         }
     }
 
+    /// A checksum-guarded split-phase reduction ([`PendingScalar::deferred`]
+    /// with a duplicate-leaf invariant): `a` and `b` are two independently
+    /// computed copies of the same deterministic leaf partials. At the
+    /// consume point they are compared bit-for-bit; corrupted leaves are
+    /// counted into `detected`, repaired when exactly one copy is finite,
+    /// and otherwise resolved to NaN so the solver's guards localize the
+    /// fault to this iteration window.
+    ///
+    /// # Panics
+    /// Panics if the copies differ in length (they must come from the same
+    /// fixed chunk layout).
+    #[must_use]
+    pub fn checked_deferred(a: Vec<f64>, b: Vec<f64>, detected: Arc<AtomicU64>) -> Self {
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "checked_deferred: partial layout mismatch"
+        );
+        PendingScalar {
+            inner: Inner::Checked {
+                a,
+                b,
+                detected,
+                counted: AtomicBool::new(false),
+            },
+        }
+    }
+
     /// Non-blocking probe. Deferred (split-phase) handles resolve
-    /// immediately by running their fan-in.
+    /// immediately by running their fan-in (checked handles verify first).
     #[must_use]
     pub fn poll(&self) -> Option<f64> {
         match &self.inner {
             Inner::Cell(cell) => *cell.value.lock().expect("pending-scalar lock poisoned"),
             Inner::Deferred(partials) => Some(reduce::tree_combine(partials)),
+            Inner::Checked {
+                a,
+                b,
+                detected,
+                counted,
+            } => Some(verify_and_combine(a, b, detected, counted)),
         }
     }
 
@@ -130,6 +182,16 @@ impl PendingScalar {
                 });
             }
             Inner::Deferred(partials) => return reduce::tree_combine(partials),
+            Inner::Checked {
+                a,
+                b,
+                detected,
+                counted,
+            } => {
+                return vr_obs::tls::with_span(vr_obs::SpanKind::DeferredWait, || {
+                    verify_and_combine(a, b, detected, counted)
+                });
+            }
             Inner::Cell(cell) => cell,
         };
         let mut slot = cell.value.lock().expect("pending-scalar lock poisoned");
@@ -145,6 +207,46 @@ impl PendingScalar {
             );
         }
         slot.expect("checked above")
+    }
+}
+
+/// Consume-point verification of a duplicate-leaf checked reduction.
+///
+/// Both copies were produced by the identical deterministic leaf schedule,
+/// so any bitwise difference *is* corruption. Mismatched leaves are counted
+/// (once per handle, even across repeated consumes); a leaf with exactly
+/// one finite copy is repaired by taking the finite value, anything else is
+/// unrepairable and collapses the result to NaN — which downstream
+/// pivot/residual guards convert into a localized recovery action.
+fn verify_and_combine(a: &[f64], b: &[f64], detected: &AtomicU64, counted: &AtomicBool) -> f64 {
+    let mut bad = 0u64;
+    let mut unrepairable = false;
+    let mut sum_src: Vec<f64> = Vec::new(); // allocated only on the corrupt path
+    for (i, (&ai, &bi)) in a.iter().zip(b).enumerate() {
+        if ai.to_bits() == bi.to_bits() {
+            continue;
+        }
+        bad += 1;
+        if sum_src.is_empty() {
+            sum_src = a.to_vec();
+        }
+        match (ai.is_finite(), bi.is_finite()) {
+            (true, false) => sum_src[i] = ai,
+            (false, true) => sum_src[i] = bi,
+            // both finite but disagreeing (a silent flip we cannot vote
+            // on), or both non-finite: no honest repair exists.
+            _ => unrepairable = true,
+        }
+    }
+    if bad > 0 && !counted.swap(true, Ordering::Relaxed) {
+        detected.fetch_add(bad, Ordering::Relaxed);
+    }
+    if bad == 0 {
+        reduce::tree_combine(a)
+    } else if unrepairable {
+        f64::NAN
+    } else {
+        reduce::tree_combine(&sum_src)
     }
 }
 
@@ -189,6 +291,46 @@ mod tests {
         let _ = p.poll();
         assert_eq!(p.wait(), 1.0);
         assert_eq!(p.poll(), Some(1.0));
+    }
+
+    #[test]
+    fn checked_deferred_clean_copies_match_plain_deferred() {
+        let partials: Vec<f64> = (0..256).map(|i| (i as f64).sin()).collect();
+        let expect = reduce::tree_combine(&partials);
+        let detected = Arc::new(AtomicU64::new(0));
+        let p = PendingScalar::checked_deferred(partials.clone(), partials, Arc::clone(&detected));
+        assert_eq!(p.wait().to_bits(), expect.to_bits());
+        assert_eq!(p.poll(), Some(expect));
+        assert_eq!(detected.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn checked_deferred_repairs_single_nonfinite_leaf() {
+        let clean: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let expect = reduce::tree_combine(&clean);
+        let mut hit = clean.clone();
+        hit[17] = f64::NAN;
+        let detected = Arc::new(AtomicU64::new(0));
+        // corruption in either copy must repair to the same clean value
+        let p = PendingScalar::checked_deferred(hit.clone(), clean.clone(), Arc::clone(&detected));
+        assert_eq!(p.wait().to_bits(), expect.to_bits());
+        let q = PendingScalar::checked_deferred(clean.clone(), hit, Arc::clone(&detected));
+        assert_eq!(q.wait().to_bits(), expect.to_bits());
+        assert_eq!(detected.load(Ordering::Relaxed), 2);
+        // double consume counts each handle's detection once
+        let _ = p.wait();
+        assert_eq!(detected.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn checked_deferred_silent_flip_resolves_to_nan() {
+        let clean: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let mut flipped = clean.clone();
+        flipped[5] += 1.0; // both copies finite, values disagree: no vote
+        let detected = Arc::new(AtomicU64::new(0));
+        let p = PendingScalar::checked_deferred(clean, flipped, Arc::clone(&detected));
+        assert!(p.wait().is_nan());
+        assert_eq!(detected.load(Ordering::Relaxed), 1);
     }
 
     #[test]

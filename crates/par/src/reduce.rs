@@ -338,6 +338,28 @@ mod tests {
     }
 
     #[test]
+    fn degraded_team_reductions_bit_identical() {
+        // Failover re-shards the fixed 256-leaf layout onto survivors, so
+        // losing workers must not move a single bit of any reduction.
+        let x: Vec<f64> = (0..80_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let y: Vec<f64> = (0..80_000).map(|i| ((i % 13) as f64) - 6.0).collect();
+        let serial = par_dot_in(None, &x, &y);
+        let team = crate::team::Team::new(4);
+        assert_eq!(par_dot_in(Some(&team), &x, &y).to_bits(), serial.to_bits());
+        team.kill_worker(2);
+        assert_eq!(par_dot_in(Some(&team), &x, &y).to_bits(), serial.to_bits());
+        team.kill_worker(1);
+        team.kill_worker(3);
+        assert_eq!(team.try_run(&|_| {}), Ok(()));
+        assert_eq!(team.live_width(), 1);
+        assert_eq!(par_dot_in(Some(&team), &x, &y).to_bits(), serial.to_bits());
+        assert_eq!(
+            par_sum_in(Some(&team), &x).to_bits(),
+            par_sum_in(None, &x).to_bits()
+        );
+    }
+
+    #[test]
     fn poisoned_team_reductions_are_nan_not_hangs() {
         let team = crate::team::Team::new(2);
         let _ = team.try_run(&|_| panic!("poison"));

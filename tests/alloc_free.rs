@@ -122,6 +122,39 @@ fn hot_loops_allocate_nothing_per_iteration_after_warmup() {
         }
     }
 
+    // The checkpoint hook must keep the contract: with a checkpoint period
+    // of 4, the 40-iteration run takes ~8 more snapshots than the
+    // 10-iteration run, and every one of them must be pure
+    // `copy_from_slice` into the ring preallocated at solve start.
+    // (The guard's *periodic true-residual check* allocates its
+    // replacement vector by documented design, so it is disabled here to
+    // isolate the checkpoint hook itself.)
+    let ck = vr_cg::resilience::RecoveryPolicy::default()
+        .with_checkpoint_period(4)
+        .with_true_residual_period(0);
+    for (variant, label) in &variants {
+        let o10 = opts(10, BasisEngine::Mpk).with_recovery(ck.clone());
+        let o40 = opts(40, BasisEngine::Mpk).with_recovery(ck.clone());
+        let measure = |o: &SolveOptions| {
+            let _ = variant.solve(&a, &b, None, o);
+            let mut best = u64::MAX;
+            for _ in 0..3 {
+                let before = ALLOC_CALLS.load(Ordering::Relaxed);
+                let _ = variant.solve(&a, &b, None, o);
+                let after = ALLOC_CALLS.load(Ordering::Relaxed);
+                best = best.min(after - before);
+            }
+            best
+        };
+        let short = measure(&o10);
+        let long = measure(&o40);
+        assert_eq!(
+            short, long,
+            "{label}: checkpointing every 4 iterations must stay \
+             allocation-free after warm-up ({long} vs {short} allocs)"
+        );
+    }
+
     // An *attached* tracer must add ZERO allocations: recording a span is
     // two stores into a pre-sized ring, so a traced solve's allocation
     // tally must equal the untraced solve's exactly, at every budget.

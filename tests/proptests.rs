@@ -999,3 +999,75 @@ fn mpk_csr_halo_expansion_bit_matches_naive_on_random_sparsity() {
         }
     });
 }
+
+// ---------- seventh wave: self-healing runtime under concurrent faults ----------
+
+use cg_lookahead::par::fault::FaultSite;
+
+#[test]
+fn concurrent_shard_faults_recover_bit_reproducibly_across_widths() {
+    // Multiple leaf partials corrupted in the SAME reduction epoch — at a
+    // 256-leaf layout and 1% per-leaf rate, most faulty dots lose two or
+    // more leaves, landing on shards of *different* workers at width > 1.
+    // Faults are seeded by injector call order, which the fixed leaf
+    // layout makes width-invariant, so the entire recovery trajectory —
+    // detections, restarts, checkpoint rollbacks, iteration count, final
+    // bits — must be identical for widths 1, 2, and 4.
+    use cg_lookahead::linalg::kernels::DotMode;
+    use std::sync::Arc;
+
+    check(4, |rng| {
+        let seed = rng.next_u64() % 10_000;
+        let a = gen::poisson2d(64); // 4096 unknowns
+        let b = gen::poisson2d_rhs(64);
+        let mk = |width: usize| {
+            let o = SolveOptions::default()
+                .with_tol(1e-8)
+                .with_max_iters(500)
+                .with_dot_mode(DotMode::Tree)
+                .with_injector(Arc::new(
+                    SeededInjector::new(seed, 0.01, FaultKind::Nan).at_site(FaultSite::DotPartial),
+                ))
+                .with_recovery(
+                    RecoveryPolicy::default()
+                        .with_checkpoint_period(8)
+                        .with_max_restarts(3),
+                );
+            if width > 1 {
+                o.with_team(Arc::new(Team::new(width)))
+            } else {
+                o.with_threads(1)
+            }
+        };
+        let base = cg_lookahead::cg::resilience::solve_with_recovery(
+            &StandardCg::new(),
+            &a,
+            &b,
+            None,
+            &mk(1),
+        );
+        for width in [2usize, 4] {
+            let res = cg_lookahead::cg::resilience::solve_with_recovery(
+                &StandardCg::new(),
+                &a,
+                &b,
+                None,
+                &mk(width),
+            );
+            assert_eq!(
+                base.termination, res.termination,
+                "seed {seed} width {width}"
+            );
+            assert_eq!(base.iterations, res.iterations, "seed {seed} width {width}");
+            assert_eq!(
+                base.recovery, res.recovery,
+                "seed {seed} width {width}: RecoveryStats must be width-invariant"
+            );
+            assert_eq!(base.x, res.x, "seed {seed} width {width}: x bits");
+            assert_eq!(
+                base.residual_norms, res.residual_norms,
+                "seed {seed} width {width}: trace bits"
+            );
+        }
+    });
+}
