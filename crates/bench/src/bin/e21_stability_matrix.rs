@@ -1,0 +1,481 @@
+//! E21 — cross-variant stability shoot-out: every registered CG variant ×
+//! every hostile scenario.
+//!
+//! The depth-l pipeline (Cornelis-Cools-Vanroose) and the
+//! predict-and-recompute family (Chen-Carson) buy communication slack with
+//! auxiliary recurrences — exactly the trade the 1983 paper pioneered, and
+//! exactly where finite-precision drift and injected faults bite. This
+//! experiment runs the full solver registry through five scenarios:
+//!
+//! 1. **Convergence matrix** (E21a): well-conditioned (2-D Poisson) and
+//!    ill-conditioned (anisotropic, ε = 10⁻³) SPD systems at tol 1e-8 —
+//!    every variant must converge and the claim must be corroborated by
+//!    the *true* residual.
+//! 2. **Attainable-accuracy floor** (E21b): a shifted Toeplitz system
+//!    solved far past convergence (tol 0). The residual-recurrence drift
+//!    of the plain pipelined variant costs it orders of magnitude of final
+//!    accuracy; predict-and-recompute repairs it.
+//! 3. **Fault injection** (E21c): 10⁻³ NaN rate against reduction partials
+//!    with the rollback recovery ladder — no variant may claim convergence
+//!    the true residual does not back.
+//! 4. **Degraded team** (E21d): a worker of a width-4 team is killed
+//!    mid-solve; the fixed leaf layout re-shards deterministically, so
+//!    every variant must finish bit-identical to its width-1 run.
+//! 5. **Reduction-wait share** (E21e): vr-obs critical-path attribution at
+//!    width 4 — the depth-2 pipeline's two iterations of reduction slack
+//!    must beat overlap-k1's single iteration.
+//!
+//! Headlines (asserted outside `--smoke`):
+//! * predict-recompute's accuracy floor is within 10× of standard CG on a
+//!   system where the plain pipelined floor is ≥ 100× worse;
+//! * every convergence claim in every scenario is corroborated by the true
+//!   residual (no variant lies under faults);
+//! * a degraded team changes no bits for any variant;
+//! * (on ≥ 4-CPU hosts) deep-pipelined l=2 has a strictly smaller
+//!   reduction-wait share than overlap-k1 at width 4.
+
+use std::sync::Arc;
+use vr_bench::{write_json, Table};
+use vr_cg::overlap_k1::OverlapK1Cg;
+use vr_cg::pipelined_deep::DeepPipelinedCg;
+use vr_cg::registry;
+use vr_cg::resilience::fault::FaultInjector;
+use vr_cg::resilience::{FaultKind, RecoveryPolicy, SeededInjector};
+use vr_cg::{CgVariant, SolveOptions, Termination};
+use vr_linalg::gen;
+use vr_linalg::kernels::{norm2, DotMode};
+use vr_linalg::stencil::Stencil2d;
+use vr_linalg::CsrMatrix;
+use vr_obs::{critpath, PhaseClass, Tracer};
+use vr_par::fault::FaultSite;
+use vr_par::Team;
+
+vr_bench::jsonable! {
+    struct MatrixRow {
+    scenario: String,
+    variant: String,
+    converged: bool,
+    termination: String,
+    iterations: usize,
+    rel_true_residual: f64,
+}
+}
+
+vr_bench::jsonable! {
+    struct FloorRow {
+    variant: String,
+    termination: String,
+    iterations: usize,
+    floor_rel_residual: f64,
+    ratio_vs_standard: f64,
+}
+}
+
+vr_bench::jsonable! {
+    struct FaultRow {
+    variant: String,
+    converged: bool,
+    termination: String,
+    iterations: usize,
+    faults_injected: u64,
+    faults_detected: u64,
+    rollbacks: usize,
+    restarts: usize,
+    rel_true_residual: f64,
+}
+}
+
+vr_bench::jsonable! {
+    struct DegradedRow {
+    variant: String,
+    width: usize,
+    live_width_after: usize,
+    iterations: usize,
+    bit_identical: bool,
+    poisoned: bool,
+}
+}
+
+vr_bench::jsonable! {
+    struct CritRow {
+    variant: String,
+    width: usize,
+    iterations: usize,
+    reduction_wait_share: f64,
+    matvec_share: f64,
+    vector_share: f64,
+    overhead_share: f64,
+}
+}
+
+fn tlabel(t: Termination) -> &'static str {
+    match t {
+        Termination::Converged => "converged",
+        Termination::RecoveredConverged => "recovered",
+        Termination::MaxIterations => "max-iters",
+        Termination::Breakdown => "breakdown",
+        Termination::Stagnated => "stagnated",
+        Termination::Diverged => "diverged",
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let host_cpus = std::thread::available_parallelism().map_or(1, |v| v.get());
+
+    // ---- E21a: convergence matrix on well- and ill-conditioned SPD ----
+    let (wg, ig) = if smoke { (16usize, 12usize) } else { (32, 24) };
+    let problems: Vec<(&str, CsrMatrix, Vec<f64>)> = vec![
+        (
+            "well(poisson2d)",
+            gen::poisson2d(wg),
+            gen::poisson2d_rhs(wg),
+        ),
+        (
+            "ill(anisotropic)",
+            gen::anisotropic2d(ig, 1e-3),
+            gen::rand_vector(ig * ig, 17),
+        ),
+    ];
+    let mut matrix_rows = Vec::new();
+    let mut ta = Table::new(&["scenario", "variant", "term", "iters", "rel resid"]);
+    for (sname, a, b) in &problems {
+        let bn = norm2(b);
+        let opts = SolveOptions::default()
+            .with_tol(1e-8)
+            .with_max_iters(20_000);
+        for (key, solver) in registry::keyed_variants(a) {
+            let res = solver.solve(a, b, None, &opts);
+            let row = MatrixRow {
+                scenario: (*sname).into(),
+                variant: key.into(),
+                converged: res.converged,
+                termination: tlabel(res.termination).into(),
+                iterations: res.iterations,
+                rel_true_residual: res.true_residual(a, b) / bn,
+            };
+            ta.row(&[
+                row.scenario.clone(),
+                row.variant.clone(),
+                row.termination.clone(),
+                row.iterations.to_string(),
+                format!("{:.2e}", row.rel_true_residual),
+            ]);
+            if !smoke {
+                assert!(
+                    row.converged,
+                    "{key} on {sname}: {} after {} iterations",
+                    row.termination, row.iterations
+                );
+                assert!(
+                    row.rel_true_residual < 1e-6,
+                    "{key} on {sname}: claimed convergence, true rel residual {:.2e}",
+                    row.rel_true_residual
+                );
+            }
+            matrix_rows.push(row);
+        }
+    }
+    println!(
+        "E21a — convergence matrix ({} variants, tol 1e-8)",
+        registry::VARIANT_COUNT
+    );
+    println!("{}", ta.render());
+
+    // ---- E21b: attainable-accuracy floor ----
+    // Shifted Toeplitz tridiagonal (κ ≈ 4/shift) solved far past
+    // convergence: the recurrence residual keeps shrinking, the TRUE
+    // residual stagnates at each variant's rounding floor. The plain
+    // pipelined recurrences drift (residual-replacement-free), the
+    // predict-and-recompute corrections pin the floor back near standard
+    // CG's.
+    let (fn_, fshift, fiters) = if smoke {
+        (400usize, 4e-3f64, 900usize)
+    } else {
+        (2000, 4e-4, 4000)
+    };
+    let fa = gen::tridiag_toeplitz(fn_, 2.0 + fshift, -1.0);
+    let fb = gen::rand_vector(fn_, 5);
+    let fbn = norm2(&fb);
+    let fopts = SolveOptions::default().with_tol(0.0).with_max_iters(fiters);
+    let mut floor_rows: Vec<FloorRow> = Vec::new();
+    let mut tb = Table::new(&["variant", "term", "iters", "floor", "× standard"]);
+    let mut std_floor = f64::NAN;
+    for (key, solver) in registry::keyed_variants(&fa) {
+        let res = solver.solve(&fa, &fb, None, &fopts);
+        let floor = res.true_residual(&fa, &fb) / fbn;
+        if key == "standard" {
+            std_floor = floor;
+        }
+        let row = FloorRow {
+            variant: key.into(),
+            termination: tlabel(res.termination).into(),
+            iterations: res.iterations,
+            floor_rel_residual: floor,
+            ratio_vs_standard: floor / std_floor,
+        };
+        tb.row(&[
+            row.variant.clone(),
+            row.termination.clone(),
+            row.iterations.to_string(),
+            format!("{:.2e}", row.floor_rel_residual),
+            format!("{:.1}", row.ratio_vs_standard),
+        ]);
+        floor_rows.push(row);
+    }
+    println!(
+        "E21b — attainable accuracy after {fiters} iterations \
+         (tridiag n={fn_}, diag 2+{fshift:.0e}, tol 0)"
+    );
+    println!("{}", tb.render());
+    let floor_of = |key: &str| {
+        floor_rows
+            .iter()
+            .find(|r| r.variant == key)
+            .unwrap_or_else(|| panic!("missing floor row {key}"))
+            .floor_rel_residual
+    };
+    if !smoke {
+        let (pl, pr) = (floor_of("pipelined"), floor_of("predict_recompute"));
+        assert!(
+            pl >= 100.0 * std_floor,
+            "plain pipelined floor {pl:.2e} is < 100× standard {std_floor:.2e} — \
+             the scenario no longer separates the variants"
+        );
+        assert!(
+            pr <= 10.0 * std_floor,
+            "predict-recompute floor {pr:.2e} exceeds 10× standard {std_floor:.2e}"
+        );
+        println!(
+            "headline: pipelined floor {pl:.1e} ≥ 100× standard {std_floor:.1e}; \
+             predict-recompute {pr:.1e} ≤ 10×\n"
+        );
+    }
+
+    // ---- E21c: 10⁻³ NaN faults against reduction partials ----
+    let cg_grid = if smoke { 16usize } else { 32 };
+    let ca = gen::poisson2d(cg_grid);
+    let cb = gen::poisson2d_rhs(cg_grid);
+    let cbn = norm2(&cb);
+    let mut fault_rows = Vec::new();
+    let mut tc = Table::new(&[
+        "variant",
+        "term",
+        "iters",
+        "injected",
+        "detected",
+        "rollbacks",
+        "restarts",
+        "rel resid",
+    ]);
+    for (key, solver) in registry::keyed_variants(&ca) {
+        let inj = Arc::new(
+            SeededInjector::new(0xE21, 1e-3, FaultKind::Nan).at_site(FaultSite::DotPartial),
+        );
+        let opts = SolveOptions::default()
+            .with_tol(1e-8)
+            .with_max_iters(20_000)
+            .with_dot_mode(DotMode::Tree)
+            .with_injector(inj.clone())
+            .with_recovery(
+                RecoveryPolicy::default()
+                    .with_checkpoint_period(8)
+                    .with_max_rollbacks(64)
+                    .with_max_restarts(100),
+            );
+        let res = vr_cg::resilience::solve_with_recovery(solver.as_ref(), &ca, &cb, None, &opts);
+        let row = FaultRow {
+            variant: key.into(),
+            converged: res.converged,
+            termination: tlabel(res.termination).into(),
+            iterations: res.iterations,
+            faults_injected: inj.injected(),
+            faults_detected: res.recovery.faults_detected,
+            rollbacks: res.recovery.rollbacks,
+            restarts: res.recovery.restarts,
+            rel_true_residual: res.true_residual(&ca, &cb) / cbn,
+        };
+        tc.row(&[
+            row.variant.clone(),
+            row.termination.clone(),
+            row.iterations.to_string(),
+            row.faults_injected.to_string(),
+            row.faults_detected.to_string(),
+            row.rollbacks.to_string(),
+            row.restarts.to_string(),
+            format!("{:.2e}", row.rel_true_residual),
+        ]);
+        if !smoke {
+            // honesty: a convergence claim must be backed by the residual
+            if row.converged {
+                assert!(
+                    row.rel_true_residual < 1e-6,
+                    "{key}: claimed {} under faults, true rel residual {:.2e}",
+                    row.termination,
+                    row.rel_true_residual
+                );
+            }
+        }
+        fault_rows.push(row);
+    }
+    if !smoke {
+        // the tentpole variants must actually ride out the fault storm
+        for key in ["standard", "deep_pipelined_l2", "predict_recompute"] {
+            let r = fault_rows
+                .iter()
+                .find(|r| r.variant == key)
+                .expect("registry row");
+            assert!(
+                r.converged,
+                "{key} did not recover at 1e-3 NaN rate: {}",
+                r.termination
+            );
+        }
+    }
+    println!(
+        "E21c — 1e-3 NaN rate on reduction partials, rollback ladder \
+         (Poisson {cg_grid}×{cg_grid}, tree dots)"
+    );
+    println!("{}", tc.render());
+
+    // ---- E21d: degraded team — kill a worker mid-solve ----
+    // n ≥ 4·GRAIN so a width-4 team dispatches real multi-shard epochs
+    // (smoke: smaller grid, width 2).
+    let (dg, dwidth) = if smoke { (96usize, 2usize) } else { (182, 4) };
+    let da = gen::poisson2d(dg);
+    let db = gen::poisson2d_rhs(dg);
+    let dopts = SolveOptions::default()
+        .with_tol(1e-9)
+        .with_dot_mode(DotMode::Tree);
+    let mut degraded_rows = Vec::new();
+    let mut td = Table::new(&["variant", "width", "live", "iters", "bits", "poisoned"]);
+    for (key, solver) in registry::keyed_variants(&da) {
+        let reference = solver.solve(&da, &db, None, &dopts.clone().with_threads(1));
+        let team = Arc::new(Team::new(dwidth));
+        team.set_health_params(1, 3);
+        let t = Arc::clone(&team);
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            t.kill_worker(1);
+        });
+        let res = solver.solve(&da, &db, None, &dopts.clone().with_team(Arc::clone(&team)));
+        killer.join().expect("killer thread");
+        let _ = team.try_run(&|_| {}); // settle any mid-demotion state
+        let row = DegradedRow {
+            variant: key.into(),
+            width: dwidth,
+            live_width_after: team.live_width(),
+            iterations: res.iterations,
+            bit_identical: res.x == reference.x && res.residual_norms == reference.residual_norms,
+            poisoned: team.is_poisoned(),
+        };
+        td.row(&[
+            row.variant.clone(),
+            row.width.to_string(),
+            row.live_width_after.to_string(),
+            row.iterations.to_string(),
+            row.bit_identical.to_string(),
+            row.poisoned.to_string(),
+        ]);
+        if !smoke {
+            assert!(
+                row.bit_identical,
+                "{key}: degraded-team solve diverged from the single-thread bits"
+            );
+            assert!(!row.poisoned, "{key}: failover must not poison the team");
+        }
+        degraded_rows.push(row);
+    }
+    println!("E21d — worker killed mid-solve at width {dwidth} (Poisson {dg}×{dg}, tol 1e-9)");
+    println!("{}", td.render());
+
+    // ---- E21e: reduction-wait share, deep l=2 vs overlap-k1 ----
+    let (eg, eiters, ewidth) = if smoke {
+        (48usize, 24usize, 2usize)
+    } else {
+        (96, 60, 4)
+    };
+    let ea = Stencil2d::poisson(eg);
+    let eb = vec![1.0; eg * eg];
+    let evariants: Vec<(&str, Box<dyn CgVariant>)> = vec![
+        ("overlap_k1", Box::new(OverlapK1Cg::new())),
+        ("deep_pipelined_l2", Box::new(DeepPipelinedCg::new(2))),
+    ];
+    let mut crit_rows = Vec::new();
+    let mut te = Table::new(&[
+        "variant", "width", "iters", "red-wait", "matvec", "vector", "ovh",
+    ]);
+    for (key, solver) in &evariants {
+        let tracer = Arc::new(Tracer::for_width(ewidth));
+        let opts = SolveOptions::default()
+            .with_tol(0.0)
+            .with_max_iters(eiters)
+            .with_dot_mode(DotMode::Tree)
+            .with_threads(ewidth)
+            .with_tracer(Arc::clone(&tracer));
+        let res = solver.solve(&ea, &eb, None, &opts);
+        let report = critpath::attribute(&tracer.drain());
+        assert!(!report.iters.is_empty(), "{key}: no iteration marks");
+        let t = report.totals;
+        let row = CritRow {
+            variant: (*key).into(),
+            width: ewidth,
+            iterations: res.iterations,
+            reduction_wait_share: t.share(PhaseClass::ReductionWait),
+            matvec_share: t.share(PhaseClass::Matvec),
+            vector_share: t.share(PhaseClass::Vector),
+            overhead_share: t.share(PhaseClass::Overhead),
+        };
+        te.row(&[
+            row.variant.clone(),
+            row.width.to_string(),
+            row.iterations.to_string(),
+            format!("{:5.1}%", 100.0 * row.reduction_wait_share),
+            format!("{:5.1}%", 100.0 * row.matvec_share),
+            format!("{:5.1}%", 100.0 * row.vector_share),
+            format!("{:5.1}%", 100.0 * row.overhead_share),
+        ]);
+        crit_rows.push(row);
+    }
+    println!(
+        "E21e — critical-path attribution at width {ewidth} \
+         (Poisson stencil {eg}×{eg}, {eiters} iterations, tree dots)"
+    );
+    println!("{}", te.render());
+    if !smoke && host_cpus >= 4 {
+        let share = |key: &str| {
+            crit_rows
+                .iter()
+                .find(|r| r.variant == key)
+                .expect("crit row")
+                .reduction_wait_share
+        };
+        let (ov, dp) = (share("overlap_k1"), share("deep_pipelined_l2"));
+        assert!(
+            dp < ov,
+            "deep l=2 reduction-wait share {dp:.3} not below overlap-k1 {ov:.3} at width {ewidth}"
+        );
+        println!(
+            "headline: deep l=2 red-wait {dp:.1}% < overlap-k1 {ov:.1}%\n",
+            dp = 100.0 * dp,
+            ov = 100.0 * ov
+        );
+    } else if !smoke {
+        println!("(host has {host_cpus} CPUs: width-4 reduction-wait headline not measurable, assertion skipped)\n");
+    }
+
+    write_json(
+        "BENCH_stability",
+        &vr_bench::json::envelope(
+            "e21_stability_matrix",
+            smoke,
+            &[
+                ("matrix_rows", vr_bench::json!(matrix_rows)),
+                ("floor_rows", vr_bench::json!(floor_rows)),
+                ("fault_rows", vr_bench::json!(fault_rows)),
+                ("degraded_rows", vr_bench::json!(degraded_rows)),
+                ("crit_rows", vr_bench::json!(crit_rows)),
+            ],
+        ),
+    );
+}

@@ -45,6 +45,22 @@ impl CgVariant for PipelinedCg {
         x0: Option<&[f64]>,
         opts: &SolveOptions,
     ) -> SolveResult {
+        solve_gv(a, b, x0, opts)
+    }
+}
+
+/// The Ghysels-Vanroose iteration itself, shared between [`PipelinedCg`]
+/// and the depth-1 configuration of
+/// [`crate::pipelined_deep::DeepPipelinedCg`]: a depth-1 pipeline *is* the
+/// GV recurrence, so both entry points must produce the same bits — the
+/// differential suite in `tests/pipelined_differential.rs` pins that.
+pub(crate) fn solve_gv(
+    a: &dyn LinearOperator,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &SolveOptions,
+) -> SolveResult {
+    {
         let n = a.dim();
         let md = opts.dot_mode;
         let mut counts = OpCounts::default();

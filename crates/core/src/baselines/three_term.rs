@@ -61,6 +61,9 @@ impl CgVariant for ThreeTermCg {
         let mut r_prev = r.clone();
         counts.vector_ops += 2;
         let mut w = vec![0.0; n];
+        // scratch for the next iterate/residual, rotated (never reallocated)
+        let mut x_next = vec![0.0; n];
+        let mut r_next = vec![0.0; n];
 
         let mut rr = dot(md, &r, &r);
         counts.dots += 1;
@@ -147,19 +150,20 @@ impl CgVariant for ThreeTermCg {
                 }
 
                 // u_{n+1} = ρ(u + γ r) + (1−ρ) u_{n−1}
-                let mut x_next = vec![0.0; n];
                 for i in 0..n {
                     x_next[i] = rho * (x[i] + gamma * r[i]) + (1.0 - rho) * x_prev[i];
                 }
                 // r_{n+1} = ρ(r − γ A r) + (1−ρ) r_{n−1}
-                let mut r_next = vec![0.0; n];
                 for i in 0..n {
                     r_next[i] = rho * (r[i] - gamma * w[i]) + (1.0 - rho) * r_prev[i];
                 }
                 counts.vector_ops += 2;
 
-                x_prev = std::mem::replace(&mut x, x_next);
-                r_prev = std::mem::replace(&mut r, r_next);
+                // rotate: x_prev ← x, x ← x_next, scratch ← old x_prev
+                std::mem::swap(&mut x, &mut x_next);
+                std::mem::swap(&mut x_prev, &mut x_next);
+                std::mem::swap(&mut r, &mut r_next);
+                std::mem::swap(&mut r_prev, &mut r_next);
                 rr_prev = rr;
                 gamma_prev = gamma;
                 rho_prev = rho;

@@ -29,6 +29,11 @@
 //! | [`baselines::precond`] | preconditioned CG | §1 (mentions preconditioning) |
 //! | [`sstep`] | s-step / communication-avoiding CG (monomial, Newton, Chebyshev bases) | the paper's descendants |
 //! | [`block`] | block CG for multiple right-hand sides | O'Leary 1980, contemporary |
+//! | [`pipelined_deep`] | depth-l pipelined CG | Cornelis-Cools-Vanroose 2018 |
+//! | [`predict_recompute`] | predict-and-recompute CG (plain and pipelined) | Chen-Carson 2019 |
+//!
+//! [`registry`] holds the canonical list of all registered variants; test
+//! suites and the stability shoot-out derive their sweeps from it.
 //!
 //! All solvers implement [`CgVariant`] and are *numerically equivalent to
 //! CG in exact arithmetic* — the integration tests verify iterate-level
@@ -54,7 +59,10 @@ pub mod block;
 pub mod instrument;
 pub mod lookahead;
 pub mod overlap_k1;
+pub mod pipelined_deep;
+pub mod predict_recompute;
 pub mod recurrence;
+pub mod registry;
 pub mod resilience;
 pub mod solver;
 pub mod sstep;

@@ -1,0 +1,414 @@
+//! Predict-and-recompute CG (Chen & Carson, arXiv 1905.01549).
+//!
+//! Pipelined CG variants buy reduction overlap by replacing directly
+//! computed quantities with recurrences, and the recurrences drift: the
+//! attainable accuracy floor of Ghysels-Vanroose pipelined CG is orders of
+//! magnitude above standard CG's. The predict-and-recompute idea restores
+//! most of that floor while keeping the communication shape:
+//!
+//! * **predict** — the scalar needed *immediately* (the next β) is
+//!   predicted from the quadratic identity
+//!   `ν′ = (r−αs, r−αs) = ν − 2αδ + α²γ` using already-known dots, so the
+//!   direction update never waits on a reduction;
+//! * **recompute** — every inner product is then *recomputed from the
+//!   actual vectors* in one batched split-phase reduction, and the
+//!   recomputed values (not the predictions) drive the next iteration.
+//!   Scalars therefore never compound recurrence error across iterations.
+//!
+//! Two variants:
+//!
+//! * [`PredictRecomputeCg`] (PR-CG): `s = A·p` is a true matvec each
+//!   iteration — one matvec, one batched 4-dot reduction launched after it
+//!   and consumed at the next loop top. Attainable accuracy ≈ standard CG.
+//! * [`PipelinedPrCg`]: additionally maintains `w = A·r`, `u = A·s` by
+//!   recurrences so the single matvec `c = A·w` overlaps the in-flight
+//!   reduction batch (the Ghysels-Vanroose communication shape with the
+//!   predict-and-recompute scalar schedule).
+//!
+//! Per iteration both launch the same four dots, as two shared-left
+//! split-phase pairs ([`SolveOptions::dot2_deferred`]):
+//! `(r,r), (r,s)` and `(s,s), (s,p)`.
+
+use crate::instrument::{OpCounts, RecoveryStats};
+use crate::resilience::checkpoint::CheckpointRing;
+use crate::resilience::guard;
+use crate::solver::{util, CgVariant, SolveOptions, SolveResult, Termination};
+use crate::standard::StandardCg;
+use vr_linalg::LinearOperator;
+
+/// PR-CG: predict-and-recompute CG with a true matvec `s = A·p` per
+/// iteration (the non-pipelined variant of Chen & Carson 1905.01549).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PredictRecomputeCg;
+
+impl PredictRecomputeCg {
+    /// Construct.
+    #[must_use]
+    pub fn new() -> Self {
+        PredictRecomputeCg
+    }
+}
+
+/// Pipelined PR-CG: `s = A·p`, `w = A·r`, `u = A·s` maintained by
+/// recurrences; the one matvec per iteration (`c = A·w`) overlaps the
+/// batched reduction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelinedPrCg;
+
+impl PipelinedPrCg {
+    /// Construct.
+    #[must_use]
+    pub fn new() -> Self {
+        PipelinedPrCg
+    }
+}
+
+impl CgVariant for PredictRecomputeCg {
+    fn name(&self) -> String {
+        "predict-recompute-cg".into()
+    }
+
+    fn solve(
+        &self,
+        a: &dyn LinearOperator,
+        b: &[f64],
+        x0: Option<&[f64]>,
+        opts: &SolveOptions,
+    ) -> SolveResult {
+        solve_pr(a, b, x0, opts, false)
+    }
+
+    fn backoff(&self) -> Option<Box<dyn CgVariant>> {
+        Some(Box::new(StandardCg::new()))
+    }
+
+    fn depth(&self) -> usize {
+        1
+    }
+}
+
+impl CgVariant for PipelinedPrCg {
+    fn name(&self) -> String {
+        "pipelined-pr-cg".into()
+    }
+
+    fn solve(
+        &self,
+        a: &dyn LinearOperator,
+        b: &[f64],
+        x0: Option<&[f64]>,
+        opts: &SolveOptions,
+    ) -> SolveResult {
+        solve_pr(a, b, x0, opts, true)
+    }
+
+    fn backoff(&self) -> Option<Box<dyn CgVariant>> {
+        Some(Box::new(PredictRecomputeCg::new()))
+    }
+
+    fn depth(&self) -> usize {
+        1
+    }
+}
+
+/// The shared predict-and-recompute loop. `pipelined` selects the vector
+/// schedule: `false` recomputes `s = A·p` directly (PR-CG), `true`
+/// maintains `s`, `w`, `u` by recurrences around the single matvec
+/// `c = A·w` (pipelined PR-CG). The scalar schedule — predict `ν′`,
+/// recompute all four dots — is identical.
+fn solve_pr(
+    a: &dyn LinearOperator,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &SolveOptions,
+    pipelined: bool,
+) -> SolveResult {
+    let n = a.dim();
+    let mut counts = OpCounts::default();
+    let _trace = opts.trace_attach();
+    let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
+    if x0.is_some() {
+        counts.matvecs += 1;
+        counts.vector_ops += 1;
+    }
+    let thresh_sq = util::threshold_sq(opts, bnorm);
+    let _ = opts.drain_checksum_detections();
+
+    // p = r, s = A·p; the pipelined schedule also needs w = A·r (= s at
+    // startup, but kept as its own buffer) and u = A·s.
+    let mut p = r.clone();
+    let mut s = opts.matvec_alloc(a, &p, &mut counts);
+    let mut w = if pipelined { s.clone() } else { Vec::new() };
+    let mut u = if pipelined {
+        opts.matvec_alloc(a, &s, &mut counts)
+    } else {
+        Vec::new()
+    };
+    let mut c = if pipelined { vec![0.0; n] } else { Vec::new() };
+
+    // Startup dots, computed through the same split-phase launch the loop
+    // uses (consumed immediately here — there is nothing to overlap yet).
+    let (nu_p, delta_p) = opts.dot2_deferred(&r, &r, &s, &mut counts);
+    let (gamma_p, mu_p) = opts.dot2_deferred(&s, &s, &p, &mut counts);
+    let (mut nu, mut delta) = (nu_p.wait(), delta_p.wait());
+    let (mut gamma, mut mu) = (gamma_p.wait(), mu_p.wait());
+
+    let mut norms = Vec::new();
+    if opts.record_residuals {
+        norms.push(nu.max(0.0).sqrt());
+    }
+
+    // Checkpoint ring (policy-gated). Snapshot = the full loop-top vector
+    // state plus the four recomputed dots; the pipelined schedule carries
+    // two extra recurrence vectors (u is snapshotted, c is recomputed).
+    let mut rstats = RecoveryStats::default();
+    let nvecs = if pipelined { 6 } else { 4 };
+    let mut ring = opts
+        .recovery
+        .as_ref()
+        .and_then(|policy| CheckpointRing::from_policy(policy, nvecs, n, 4));
+
+    let mut termination = Termination::MaxIterations;
+    let mut iterations = 0;
+    if nu <= thresh_sq {
+        termination = Termination::Converged;
+    } else {
+        let mut it = 0usize;
+        macro_rules! rollback_or {
+            ($fallback:block) => {
+                if let Some(rg) = ring.as_mut() {
+                    let mut scal = [0.0; 4];
+                    let restored = if pipelined {
+                        rg.rollback(
+                            opts,
+                            &mut [&mut x, &mut r, &mut p, &mut s, &mut w, &mut u],
+                            &mut scal,
+                        )
+                    } else {
+                        rg.rollback(opts, &mut [&mut x, &mut r, &mut p, &mut s], &mut scal)
+                    };
+                    if let Some(chk) = restored {
+                        nu = scal[0];
+                        mu = scal[1];
+                        delta = scal[2];
+                        gamma = scal[3];
+                        rstats.rollbacks += 1;
+                        if opts.record_residuals {
+                            norms.truncate(chk + 1);
+                        }
+                        iterations = chk;
+                        it = chk;
+                        continue;
+                    }
+                }
+                $fallback
+            };
+        }
+        while it < opts.max_iters {
+            opts.iter_mark();
+            if let Some(rg) = ring.as_mut() {
+                if pipelined {
+                    rg.maybe_save(opts, it, &[&x, &r, &p, &s, &w, &u], &[nu, mu, delta, gamma]);
+                } else {
+                    rg.maybe_save(opts, it, &[&x, &r, &p, &s], &[nu, mu, delta, gamma]);
+                }
+            }
+            if guard::check_pivot(mu).is_err() || guard::check_pivot(nu).is_err() {
+                rollback_or!({
+                    termination = Termination::Breakdown;
+                    iterations = it;
+                    break;
+                });
+            }
+            let alpha = nu / mu;
+            // Predict ν′ = (r − αs, r − αs) from the recomputed dots of
+            // this loop top — β never waits on a reduction.
+            let nu_pred = opts.scalar(nu - 2.0 * alpha * delta + alpha * alpha * gamma);
+            let beta = nu_pred / nu;
+            counts.scalar_ops += 3;
+
+            opts.axpy(alpha, &p, &mut x, &mut counts);
+            opts.axpy(-alpha, &s, &mut r, &mut counts);
+            if pipelined {
+                // w = A·r maintained by recurrence: w ← w − α·u.
+                opts.axpy(-alpha, &u, &mut w, &mut counts);
+            }
+            opts.xpay(&r, beta, &mut p, &mut counts);
+            if pipelined {
+                // s = A·p by recurrence, then recompute every dot from the
+                // actual vectors; the matvec c = A·w runs with the batch
+                // in flight and lands in u ← c + β·u.
+                opts.xpay(&w, beta, &mut s, &mut counts);
+                let (nu_p, delta_p) = opts.dot2_deferred(&r, &r, &s, &mut counts);
+                let (gamma_p, mu_p) = opts.dot2_deferred(&s, &s, &p, &mut counts);
+                opts.matvec(a, &w, &mut c, &mut counts);
+                opts.xpay(&c, beta, &mut u, &mut counts);
+                nu = nu_p.wait();
+                delta = delta_p.wait();
+                gamma = gamma_p.wait();
+                mu = mu_p.wait();
+            } else {
+                // True matvec s = A·p, then the recompute batch. The four
+                // dots launch split-phase and are consumed after the loop
+                // tail bookkeeping — on the paper's machine they overlap
+                // the next iteration's control flow.
+                opts.matvec(a, &p, &mut s, &mut counts);
+                let (nu_p, delta_p) = opts.dot2_deferred(&r, &r, &s, &mut counts);
+                let (gamma_p, mu_p) = opts.dot2_deferred(&s, &s, &p, &mut counts);
+                nu = nu_p.wait();
+                delta = delta_p.wait();
+                gamma = gamma_p.wait();
+                mu = mu_p.wait();
+            }
+
+            if opts.record_residuals {
+                norms.push(nu.max(0.0).sqrt());
+            }
+            iterations = it + 1;
+            if nu <= thresh_sq {
+                termination = Termination::Converged;
+                break;
+            }
+            if guard::check_finite(nu).is_err() {
+                rollback_or!({
+                    termination = Termination::Breakdown;
+                    break;
+                });
+            }
+            it += 1;
+        }
+    }
+    if termination == Termination::Converged && rstats.rollbacks > 0 {
+        termination = Termination::RecoveredConverged;
+    }
+
+    if !opts.record_residuals {
+        norms.push(nu.max(0.0).sqrt());
+    }
+    rstats.faults_detected += opts.drain_checksum_detections();
+    let mut res = SolveResult::new(x, termination, iterations, norms, counts);
+    res.recovery = rstats;
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard::StandardCg;
+    use vr_linalg::gen;
+    use vr_linalg::kernels::DotMode;
+
+    #[test]
+    fn pr_cg_converges_and_matches_standard() {
+        let a = gen::poisson2d(10);
+        let b = gen::poisson2d_rhs(10);
+        let opts = SolveOptions::default().with_tol(1e-9);
+        let std = StandardCg::new().solve(&a, &b, None, &opts);
+        let pr = PredictRecomputeCg::new().solve(&a, &b, None, &opts);
+        assert!(pr.converged, "{:?}", pr.termination);
+        let m = std.residual_norms.len().min(pr.residual_norms.len());
+        for i in 0..m.saturating_sub(2) {
+            let (s, o) = (std.residual_norms[i], pr.residual_norms[i]);
+            assert!(
+                (s - o).abs() <= 1e-5 * (1.0 + s.abs()),
+                "iter {i}: {s} vs {o}"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_pr_cg_converges_and_matches_standard() {
+        let a = gen::poisson2d(10);
+        let b = gen::poisson2d_rhs(10);
+        let opts = SolveOptions::default().with_tol(1e-9);
+        let std = StandardCg::new().solve(&a, &b, None, &opts);
+        let pr = PipelinedPrCg::new().solve(&a, &b, None, &opts);
+        assert!(pr.converged, "{:?}", pr.termination);
+        let m = std.residual_norms.len().min(pr.residual_norms.len());
+        for i in 0..m.saturating_sub(2) {
+            let (s, o) = (std.residual_norms[i], pr.residual_norms[i]);
+            assert!(
+                (s - o).abs() <= 1e-4 * (1.0 + s.abs()),
+                "iter {i}: {s} vs {o}"
+            );
+        }
+    }
+
+    #[test]
+    fn operation_shape_per_iteration() {
+        let a = gen::poisson2d(10);
+        let b = gen::poisson2d_rhs(10);
+        // PR-CG: 1 matvec + 4 dots per iteration; pipelined PR-CG the same
+        // (its startup costs one extra matvec for u = A·s).
+        let pr = PredictRecomputeCg::new().solve(&a, &b, None, &SolveOptions::default());
+        assert!(pr.converged);
+        let per = pr.counts.per_iteration(pr.iterations);
+        assert!((per.matvecs - 1.0).abs() < 0.2, "matvecs {}", per.matvecs);
+        assert!((per.dots - 4.0).abs() < 0.4, "dots {}", per.dots);
+        let pp = PipelinedPrCg::new().solve(&a, &b, None, &SolveOptions::default());
+        assert!(pp.converged);
+        let per = pp.counts.per_iteration(pp.iterations);
+        assert!((per.matvecs - 1.0).abs() < 0.2, "matvecs {}", per.matvecs);
+        assert!((per.dots - 4.0).abs() < 0.4, "dots {}", per.dots);
+    }
+
+    #[test]
+    fn dot_modes_and_threads_converge() {
+        let a = gen::poisson2d(10);
+        let b = gen::poisson2d_rhs(10);
+        for mode in [DotMode::Serial, DotMode::Tree, DotMode::Kahan] {
+            let opts = SolveOptions::default().with_tol(1e-9).with_dot_mode(mode);
+            for v in [
+                Box::new(PredictRecomputeCg::new()) as Box<dyn CgVariant>,
+                Box::new(PipelinedPrCg::new()),
+            ] {
+                let res = v.solve(&a, &b, None, &opts);
+                assert!(res.converged, "{} with {mode:?}", v.name());
+                assert!(res.true_residual(&a, &b) < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rhs_immediate() {
+        let a = gen::poisson1d(5);
+        for v in [
+            Box::new(PredictRecomputeCg::new()) as Box<dyn CgVariant>,
+            Box::new(PipelinedPrCg::new()),
+        ] {
+            let res = v.solve(&a, &[0.0; 5], None, &SolveOptions::default());
+            assert!(res.converged, "{}", v.name());
+            assert_eq!(res.iterations, 0, "{}", v.name());
+        }
+    }
+
+    #[test]
+    fn breakdown_on_indefinite() {
+        let a = gen::tridiag_toeplitz(10, 0.2, -1.0);
+        let b = gen::rand_vector(10, 4);
+        for v in [
+            Box::new(PredictRecomputeCg::new()) as Box<dyn CgVariant>,
+            Box::new(PipelinedPrCg::new()),
+        ] {
+            let res = v.solve(&a, &b, None, &SolveOptions::default());
+            assert!(
+                !res.converged || res.true_residual(&a, &b) < 1e-6 * vr_linalg::kernels::norm2(&b),
+                "{}: dishonest {:?}",
+                v.name(),
+                res.termination
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_ladder() {
+        assert_eq!(
+            PipelinedPrCg::new().backoff().unwrap().name(),
+            "predict-recompute-cg"
+        );
+        assert_eq!(
+            PredictRecomputeCg::new().backoff().unwrap().name(),
+            "standard-cg"
+        );
+    }
+}

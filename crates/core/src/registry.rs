@@ -1,0 +1,99 @@
+//! The solver registry: one canonical list of every CG variant.
+//!
+//! Test suites (golden traces, cross-variant conformance, the stability
+//! shoot-out bench) must not each hand-maintain their own variant list —
+//! a variant added to the crate but missing from a suite is silently
+//! untested. They all derive their sweep from [`keyed_variants`] and
+//! assert [`VARIANT_COUNT`], so adding a solver without registering it
+//! (or registering without extending the suites' golden data) fails
+//! loudly.
+
+use crate::baselines::{ChronopoulosGearCg, PipelinedCg, PrecondCg, ThreeTermCg};
+use crate::lookahead::LookaheadCg;
+use crate::overlap_k1::OverlapK1Cg;
+use crate::pipelined_deep::DeepPipelinedCg;
+use crate::predict_recompute::{PipelinedPrCg, PredictRecomputeCg};
+use crate::solver::CgVariant;
+use crate::sstep::SStepCg;
+use crate::standard::StandardCg;
+use vr_linalg::precond::Jacobi;
+use vr_linalg::CsrMatrix;
+
+/// Number of registered variants. Suites assert this against the length
+/// of [`keyed_variants`] so the registry and its consumers cannot drift.
+pub const VARIANT_COUNT: usize = 11;
+
+/// Every registered variant, paired with its stable golden-trace key
+/// (`tests/golden/<key>.txt`). Constructor parameters (look-ahead resync
+/// periods, s-step basis, pipeline depth) are the canonical defaults the
+/// whole test tree pins against.
+///
+/// # Panics
+/// Panics if the Jacobi preconditioner cannot be built (zero diagonal),
+/// which no registry consumer's SPD test matrix triggers.
+#[must_use]
+pub fn keyed_variants(a: &CsrMatrix) -> Vec<(&'static str, Box<dyn CgVariant>)> {
+    let list: Vec<(&'static str, Box<dyn CgVariant>)> = vec![
+        ("standard", Box::new(StandardCg::new())),
+        ("overlap_k1", Box::new(OverlapK1Cg::new().with_resync(20))),
+        (
+            "lookahead_k2",
+            Box::new(LookaheadCg::new(2).with_resync(12)),
+        ),
+        ("sstep_s3", Box::new(SStepCg::monomial(3))),
+        ("three_term", Box::new(ThreeTermCg::new())),
+        ("chronopoulos_gear", Box::new(ChronopoulosGearCg::new())),
+        ("pipelined", Box::new(PipelinedCg::new())),
+        (
+            "precond_jacobi",
+            Box::new(PrecondCg::new(Jacobi::new(a).unwrap(), "pcg-jacobi")),
+        ),
+        ("deep_pipelined_l2", Box::new(DeepPipelinedCg::new(2))),
+        ("predict_recompute", Box::new(PredictRecomputeCg::new())),
+        (
+            "pipelined_predict_recompute",
+            Box::new(PipelinedPrCg::new()),
+        ),
+    ];
+    debug_assert_eq!(list.len(), VARIANT_COUNT);
+    list
+}
+
+/// The registered variants without their keys, for sweeps that only need
+/// the solvers.
+#[must_use]
+pub fn all_variants(a: &CsrMatrix) -> Vec<Box<dyn CgVariant>> {
+    keyed_variants(a).into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_linalg::gen;
+
+    #[test]
+    fn registry_has_declared_count_and_unique_names() {
+        let a = gen::poisson2d(4);
+        let list = keyed_variants(&a);
+        assert_eq!(list.len(), VARIANT_COUNT);
+        let mut keys: Vec<_> = list.iter().map(|(k, _)| *k).collect();
+        let mut names: Vec<_> = list.iter().map(|(_, v)| v.name()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        names.sort();
+        names.dedup();
+        assert_eq!(keys.len(), VARIANT_COUNT, "duplicate golden keys");
+        assert_eq!(names.len(), VARIANT_COUNT, "duplicate solver names");
+    }
+
+    #[test]
+    fn every_registered_variant_solves_a_small_poisson_problem() {
+        let a = gen::poisson2d(10);
+        let b = gen::poisson2d_rhs(10);
+        let opts = crate::solver::SolveOptions::default().with_tol(1e-8);
+        for (key, solver) in keyed_variants(&a) {
+            let res = solver.solve(&a, &b, None, &opts);
+            assert!(res.converged, "{key}: {:?}", res.termination);
+        }
+    }
+}

@@ -626,6 +626,54 @@ impl SolveOptions {
         }
     }
 
+    /// Split-phase single inner product `(x, y)`: *launch* the reduction
+    /// now, *consume* it later.
+    ///
+    /// The one-reduction sibling of [`SolveOptions::dot2_deferred`], for
+    /// schedules that keep an odd number of dots in flight (the depth-l
+    /// pipeline launches `l + 1` Gram-column dots per iteration). Same
+    /// decision table: `DotMode::Tree` defers the fan-in to the consume
+    /// point (checksum-guarded when enabled), order-preserving modes and
+    /// injected-fault runs evaluate eagerly and return a ready handle.
+    /// Resolved values are bit-identical to [`SolveOptions::dot`].
+    #[must_use]
+    pub fn dot_deferred(&self, x: &[f64], y: &[f64], counts: &mut OpCounts) -> PendingScalar {
+        if self.dot_mode != DotMode::Tree || (self.injector.is_some() && !self.checksum) {
+            counts.dots += 1;
+            return PendingScalar::ready(self.dot(x, y));
+        }
+        counts.dots += 1;
+        let t = self.team();
+        let t = t.as_deref();
+        if self.checksum {
+            let launched = self.span(vr_obs::SpanKind::DotLaunch, || {
+                (
+                    reduce::par_dot_partials_in(t, x, y),
+                    reduce::par_dot_partials_in(t, x, y),
+                )
+            });
+            let (Ok(mut pa), Ok(mut pb)) = launched else {
+                return PendingScalar::ready(f64::NAN);
+            };
+            if let Some(inj) = &self.injector {
+                // Fixed serial corruption order (copy A then copy B),
+                // matching the dot2 checked path's width-independent
+                // fault determinism.
+                for p in pa.iter_mut().chain(&mut pb) {
+                    *p = inj.corrupt(FaultSite::DotPartial, *p);
+                }
+            }
+            return PendingScalar::checked_deferred(pa, pb, Arc::clone(&self.checksum_detected));
+        }
+        let folded = self.span(vr_obs::SpanKind::DotLaunch, || {
+            reduce::par_dot_partials_in(t, x, y)
+        });
+        match folded {
+            Ok(p) => PendingScalar::deferred(p),
+            Err(_) => PendingScalar::ready(f64::NAN),
+        }
+    }
+
     /// Checksum-guarded launch half of [`SolveOptions::dot2_deferred`]:
     /// each reduction's fixed-layout leaf partials are computed *twice*
     /// (independent sweeps of the same deterministic schedule), both copies

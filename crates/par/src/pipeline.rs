@@ -33,6 +33,11 @@ struct Cell {
 enum Inner {
     /// Produced asynchronously by a pool job.
     Cell(Arc<Cell>),
+    /// An already-resolved scalar. Unlike a one-partial `Deferred`, this
+    /// carries no heap buffer, so pipeline start-up fallbacks (and the
+    /// eager Serial/Kahan paths that return ready handles every
+    /// iteration) stay allocation-free on the solver hot loop.
+    Ready(f64),
     /// Split-phase team reduction: the fixed-layout leaf partials are
     /// already folded (during the producing sweep's epoch); the
     /// deterministic [`reduce::tree_combine`] fan-in runs lazily at the
@@ -98,10 +103,12 @@ impl PendingScalar {
 
     /// An already-resolved scalar (useful at pipeline start-up, where the
     /// first k iterations fall back to directly computed values).
+    /// Allocation-free: hot loops that resolve eagerly (Serial/Kahan dot
+    /// modes) hand out one of these per reduction.
     #[must_use]
     pub fn ready(v: f64) -> Self {
         PendingScalar {
-            inner: Inner::Deferred(vec![v]),
+            inner: Inner::Ready(v),
         }
     }
 
@@ -152,6 +159,7 @@ impl PendingScalar {
     pub fn poll(&self) -> Option<f64> {
         match &self.inner {
             Inner::Cell(cell) => *cell.value.lock().expect("pending-scalar lock poisoned"),
+            Inner::Ready(v) => Some(*v),
             Inner::Deferred(partials) => Some(reduce::tree_combine(partials)),
             Inner::Checked {
                 a,
@@ -172,6 +180,7 @@ impl PendingScalar {
     #[must_use]
     pub fn wait(&self) -> f64 {
         let cell = match &self.inner {
+            Inner::Ready(v) => return *v,
             Inner::Deferred(partials) if partials.len() > 1 => {
                 // A real split-phase fan-in: the consume-point combine is
                 // exactly the dependency-gated reduction wait the profiler

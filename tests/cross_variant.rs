@@ -4,31 +4,30 @@
 //! CG; these tests cross-check solutions between all variants and against
 //! dense Cholesky on every problem family the workload generators produce.
 
-use cg_lookahead::cg::baselines::{ChronopoulosGearCg, PipelinedCg, PrecondCg, ThreeTermCg};
+use cg_lookahead::cg::baselines::PrecondCg;
 use cg_lookahead::cg::lookahead::LookaheadCg;
-use cg_lookahead::cg::overlap_k1::OverlapK1Cg;
+use cg_lookahead::cg::registry::{self, VARIANT_COUNT};
 use cg_lookahead::cg::standard::StandardCg;
 use cg_lookahead::cg::{CgVariant, SolveOptions};
 use cg_lookahead::linalg::kernels::norm2;
-use cg_lookahead::linalg::precond::{Ic0, Jacobi, Ssor};
+use cg_lookahead::linalg::precond::{Ic0, Ssor};
 use cg_lookahead::linalg::{gen, CsrMatrix, DenseMatrix};
 
+/// The registry's canonical list plus the extra parameterizations this
+/// suite has always exercised (other look-ahead depths, SSOR-PCG). Deriving
+/// from the registry means a newly registered variant is cross-checked here
+/// automatically; the count assertion keeps the two from drifting apart.
 fn solvers(a: &CsrMatrix) -> Vec<Box<dyn CgVariant>> {
-    vec![
-        Box::new(StandardCg::new()),
-        Box::new(ThreeTermCg::new()),
-        Box::new(ChronopoulosGearCg::new()),
-        Box::new(PipelinedCg::new()),
-        Box::new(OverlapK1Cg::new().with_resync(20)),
-        Box::new(LookaheadCg::new(1).with_resync(15)),
-        Box::new(LookaheadCg::new(2).with_resync(15)),
-        Box::new(LookaheadCg::new(3).with_resync(10)),
-        Box::new(PrecondCg::new(
-            Jacobi::new(a).expect("jacobi"),
-            "pcg-jacobi",
-        )),
-        Box::new(PrecondCg::new(Ssor::new(a, 1.1).expect("ssor"), "pcg-ssor")),
-    ]
+    let mut list = registry::all_variants(a);
+    assert_eq!(list.len(), VARIANT_COUNT, "registry drifted");
+    list.push(Box::new(LookaheadCg::new(1).with_resync(15)));
+    list.push(Box::new(LookaheadCg::new(3).with_resync(10)));
+    list.push(Box::new(PrecondCg::new(
+        Ssor::new(a, 1.1).expect("ssor"),
+        "pcg-ssor",
+    )));
+    assert_eq!(list.len(), VARIANT_COUNT + 3);
+    list
 }
 
 fn problems() -> Vec<(&'static str, CsrMatrix, Vec<f64>)> {

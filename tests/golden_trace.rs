@@ -14,14 +14,9 @@
 //!
 //! and review the diff of `tests/golden/` like any other code change.
 
-use cg_lookahead::cg::baselines::{ChronopoulosGearCg, PipelinedCg, PrecondCg, ThreeTermCg};
-use cg_lookahead::cg::lookahead::LookaheadCg;
-use cg_lookahead::cg::overlap_k1::OverlapK1Cg;
-use cg_lookahead::cg::sstep::SStepCg;
-use cg_lookahead::cg::standard::StandardCg;
-use cg_lookahead::cg::{CgVariant, SolveOptions};
-use cg_lookahead::linalg::precond::Jacobi;
-use cg_lookahead::linalg::{gen, CsrMatrix};
+use cg_lookahead::cg::registry::{keyed_variants, VARIANT_COUNT};
+use cg_lookahead::cg::SolveOptions;
+use cg_lookahead::linalg::gen;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -29,28 +24,6 @@ fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
         .join("golden")
-}
-
-fn keyed_variants(a: &CsrMatrix) -> Vec<(&'static str, Box<dyn CgVariant>)> {
-    vec![
-        (
-            "standard",
-            Box::new(StandardCg::new()) as Box<dyn CgVariant>,
-        ),
-        ("overlap_k1", Box::new(OverlapK1Cg::new().with_resync(20))),
-        (
-            "lookahead_k2",
-            Box::new(LookaheadCg::new(2).with_resync(12)),
-        ),
-        ("sstep_s3", Box::new(SStepCg::monomial(3))),
-        ("three_term", Box::new(ThreeTermCg::new())),
-        ("chronopoulos_gear", Box::new(ChronopoulosGearCg::new())),
-        ("pipelined", Box::new(PipelinedCg::new())),
-        (
-            "precond_jacobi",
-            Box::new(PrecondCg::new(Jacobi::new(a).unwrap(), "pcg-jacobi")),
-        ),
-    ]
 }
 
 /// Render a solve as the golden text format: a header with iteration count
@@ -75,7 +48,9 @@ fn scalar_traces_match_golden_files() {
     let dir = golden_dir();
     let mut mismatches = Vec::new();
 
-    for (key, solver) in keyed_variants(&a) {
+    let variants = keyed_variants(&a);
+    assert_eq!(variants.len(), VARIANT_COUNT, "registry drifted");
+    for (key, solver) in variants {
         let res = solver.solve(&a, &b, None, &opts);
         assert!(res.converged, "{key}: {:?}", res.termination);
         let trace = render_trace(&res);

@@ -1071,3 +1071,170 @@ fn concurrent_shard_faults_recover_bit_reproducibly_across_widths() {
         }
     });
 }
+
+// ---------- eighth wave: deep-pipelined and predict-and-recompute ----------
+
+use cg_lookahead::cg::pipelined_deep::DeepPipelinedCg;
+use cg_lookahead::cg::predict_recompute::{PipelinedPrCg, PredictRecomputeCg};
+
+#[test]
+fn predict_recompute_scalars_track_true_recurrence_on_random_spd() {
+    // The recomputed ν = (r,r) and μ = (w,w)-family scalars are predictions
+    // corrected one iteration later; on a well-conditioned random SPD
+    // system they must stay finite, agree with the exact (standard CG)
+    // residual recurrence while the iteration is in its convergent regime,
+    // and the claimed solution must be corroborated by the true residual.
+    check(12, |rng| {
+        let seed = rng.next_u64() % 8000;
+        let n = 40 + rng.below(41);
+        let a = gen::rand_spd(n, 5, 2.5, seed);
+        let b = gen::rand_vector(n, seed.wrapping_add(3));
+        let bnorm = kernels::norm2(&b);
+        let opts = SolveOptions::default().with_tol(1e-9).with_max_iters(600);
+        let exact = StandardCg::new().solve(&a, &b, None, &opts);
+        for v in [
+            Box::new(PredictRecomputeCg::new()) as Box<dyn CgVariant>,
+            Box::new(PipelinedPrCg::new()),
+        ] {
+            let res = v.solve(&a, &b, None, &opts);
+            assert!(
+                res.converged,
+                "{} seed {seed}: {:?}",
+                v.name(),
+                res.termination
+            );
+            for (k, nrm) in res.residual_norms.iter().enumerate() {
+                assert!(
+                    nrm.is_finite(),
+                    "{} seed {seed}: non-finite recomputed norm at {k}",
+                    v.name()
+                );
+            }
+            // early iterations (before rounding regimes diverge) must track
+            // the exact recurrence to a loose relative tolerance
+            let m = exact
+                .residual_norms
+                .len()
+                .min(res.residual_norms.len())
+                .min(12);
+            for k in 0..m {
+                let (e, p) = (exact.residual_norms[k], res.residual_norms[k]);
+                assert!(
+                    (e - p).abs() <= 1e-3 * (1.0 + e.abs()),
+                    "{} seed {seed}: recomputed norm[{k}] {p:e} drifts from exact {e:e}",
+                    v.name()
+                );
+            }
+            let rel = res.true_residual(&a, &b) / bnorm.max(1e-300);
+            assert!(
+                rel < 1e-6,
+                "{} seed {seed}: rel true residual {rel:e}",
+                v.name()
+            );
+        }
+    });
+}
+
+#[test]
+fn deep_pipeline_fault_recovery_is_bit_reproducible_across_widths() {
+    // Seeded NaN upsets against the depth-2 pipeline's reduction partials:
+    // the rollback-refill recovery (restore checkpointed x, recompute the
+    // true residual, restart the Lanczos epoch) is seeded by injector call
+    // order, which the fixed leaf layout makes width-invariant — so the
+    // whole trajectory must be identical at widths 1, 2, and 4.
+    use cg_lookahead::linalg::kernels::DotMode;
+    use std::sync::Arc;
+
+    check(4, |rng| {
+        let seed = rng.next_u64() % 10_000;
+        let a = gen::poisson2d(24);
+        let b = gen::poisson2d_rhs(24);
+        let mk = |width: usize| {
+            let o = SolveOptions::default()
+                .with_tol(1e-8)
+                .with_max_iters(400)
+                .with_dot_mode(DotMode::Tree)
+                .with_injector(Arc::new(
+                    SeededInjector::new(seed, 0.002, FaultKind::Nan).at_site(FaultSite::DotPartial),
+                ))
+                .with_recovery(
+                    RecoveryPolicy::default()
+                        .with_checkpoint_period(8)
+                        .with_max_restarts(4),
+                );
+            if width > 1 {
+                o.with_team(Arc::new(Team::new(width)))
+            } else {
+                o.with_threads(1)
+            }
+        };
+        let solver = DeepPipelinedCg::new(2);
+        let base = solver.solve(&a, &b, None, &mk(1));
+        for width in [2usize, 4] {
+            let res = solver.solve(&a, &b, None, &mk(width));
+            assert_eq!(
+                base.termination, res.termination,
+                "seed {seed} width {width}"
+            );
+            assert_eq!(base.iterations, res.iterations, "seed {seed} width {width}");
+            assert_eq!(
+                base.recovery, res.recovery,
+                "seed {seed} width {width}: RecoveryStats must be width-invariant"
+            );
+            assert_eq!(base.x, res.x, "seed {seed} width {width}: x bits");
+            assert_eq!(
+                base.residual_norms, res.residual_norms,
+                "seed {seed} width {width}: trace bits"
+            );
+        }
+    });
+}
+
+#[test]
+fn new_variants_survive_single_fault_with_checkpoint_rollback() {
+    // One random upset (random kind, random strike time) against each of
+    // the three new variants with checkpointing on: the internal
+    // rollback must round-trip the saved state — the solve still converges
+    // and the solution is the true one.
+    check(16, |rng| {
+        let seed = rng.next_u64() % 2000;
+        let n = 36;
+        let a = gen::rand_spd(n, 4, 2.0, seed);
+        let b = gen::rand_vector(n, seed.wrapping_add(7));
+        let kind = match rng.below(3) {
+            0 => FaultKind::Nan,
+            1 => FaultKind::Inf,
+            _ => FaultKind::Perturb(1.0),
+        };
+        let at_call = rng.next_u64() % 20_000;
+        let inj = std::sync::Arc::new(SingleFault::new(at_call, kind));
+        let opts = SolveOptions::default()
+            .with_tol(1e-9)
+            .with_max_iters(1500)
+            .with_injector(inj)
+            .with_recovery(
+                RecoveryPolicy::default()
+                    .with_checkpoint_period(6)
+                    .with_max_restarts(4),
+            );
+        for v in [
+            Box::new(DeepPipelinedCg::new(2)) as Box<dyn CgVariant>,
+            Box::new(PredictRecomputeCg::new()),
+            Box::new(PipelinedPrCg::new()),
+        ] {
+            let res =
+                cg_lookahead::cg::resilience::solve_with_recovery(v.as_ref(), &a, &b, None, &opts);
+            assert!(
+                res.converged,
+                "{} under {kind:?}@{at_call} seed {seed}: {:?}",
+                v.name(),
+                res.termination
+            );
+            assert!(
+                res.true_residual(&a, &b) <= 1e-6 * (1.0 + kernels::norm2(&b)),
+                "{} under {kind:?}@{at_call} seed {seed}: bad solution",
+                v.name()
+            );
+        }
+    });
+}

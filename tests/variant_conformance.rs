@@ -1,0 +1,332 @@
+//! Cross-variant conformance: one table, every registered solver, every
+//! contract.
+//!
+//! The rows come from [`cg_lookahead::cg::registry::keyed_variants`] — the
+//! same canonical list the golden traces and the E21 stability shoot-out
+//! sweep — so a solver added to the crate is automatically held to every
+//! column here, and a solver missing from the registry trips the
+//! [`VARIANT_COUNT`] assertion. The columns:
+//!
+//! 1. **SPD convergence** — converges on well- and ill-conditioned SPD
+//!    systems and the claimed convergence is corroborated by the *true*
+//!    residual `b − A·x`, not just the recurrence's internal scalar.
+//! 2. **Honest termination** — on indefinite and singular operators a
+//!    variant may break down or run out of budget, but must never report
+//!    `Converged` while the true residual says otherwise.
+//! 3. **Tracing is observation** — an attached tracer changes no bits.
+//! 4. **Width invariance** — under the order-preserving `Tree` reduction,
+//!    team widths 1/2/4 produce identical bits.
+//! 5. **Fused ≡ Reference** — the fused kernel policy matches the two-pass
+//!    reference policy bitwise under Serial/Tree, to 1e-14 under Kahan.
+//! 6. **Zero hot-path allocations** — after warm-up, extra iterations
+//!    allocate nothing (counting global allocator, 10- vs 40-iteration
+//!    budgets).
+//!
+//! The allocation column needs a quiet window, so a process-wide mutex
+//! serializes every test in this binary against the measured solves.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use cg_lookahead::cg::registry::{keyed_variants, VARIANT_COUNT};
+use cg_lookahead::cg::{KernelPolicy, SolveOptions, SolveResult, Termination};
+use cg_lookahead::linalg::kernels::{self, DotMode};
+use cg_lookahead::linalg::{gen, CsrMatrix};
+use cg_lookahead::obs::Tracer;
+use cg_lookahead::par::Team;
+
+// ---------------------------------------------------------------- plumbing
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Serializes the tests in this binary: the allocation column measures a
+/// global counter, and libtest's parallel runner would otherwise bleed
+/// another test's allocations into the window.
+static GATE: Mutex<()> = Mutex::new(());
+
+fn gate() -> MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+fn assert_bit_identical(a: &SolveResult, b: &SolveResult, ctx: &str) {
+    assert_eq!(a.termination, b.termination, "{ctx}: termination");
+    assert_eq!(a.iterations, b.iterations, "{ctx}: iterations");
+    assert_eq!(
+        bits(&a.residual_norms),
+        bits(&b.residual_norms),
+        "{ctx}: residual history bits"
+    );
+    assert_eq!(bits(&a.x), bits(&b.x), "{ctx}: solution bits");
+}
+
+/// Singular SPSD operator: the 1-D Neumann Laplacian (row sums zero, the
+/// constant vector spans the nullspace). Its diagonal is strictly positive
+/// so the registry's Jacobi variant still constructs.
+fn neumann_laplacian(n: usize) -> CsrMatrix {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let mut row = vec![0.0; n];
+            row[i] = if i == 0 || i == n - 1 { 1.0 } else { 2.0 };
+            if i > 0 {
+                row[i - 1] = -1.0;
+            }
+            if i + 1 < n {
+                row[i + 1] = -1.0;
+            }
+            row
+        })
+        .collect();
+    CsrMatrix::from_dense(&rows, 0.0)
+}
+
+// ----------------------------------------------------- column 1: converge
+
+#[test]
+fn every_variant_converges_on_spd_problems_with_corroborated_residual() {
+    let _g = gate();
+    let problems: Vec<(&str, CsrMatrix, Vec<f64>)> = vec![
+        ("poisson2d", gen::poisson2d(16), gen::poisson2d_rhs(16)),
+        (
+            "anisotropic2d",
+            gen::anisotropic2d(12, 0.05),
+            gen::rand_vector(144, 17),
+        ),
+        (
+            "rand_spd",
+            gen::rand_spd(300, 7, 4.0, 21),
+            gen::rand_vector(300, 9),
+        ),
+    ];
+    for (pname, a, b) in &problems {
+        let opts = SolveOptions::default().with_tol(1e-8).with_max_iters(2000);
+        let bnorm = kernels::norm2(b);
+        let variants = keyed_variants(a);
+        assert_eq!(variants.len(), VARIANT_COUNT, "registry drifted");
+        for (key, solver) in variants {
+            let res = solver.solve(a, b, None, &opts);
+            assert!(
+                res.converged,
+                "{key} on {pname}: {:?} after {} iterations",
+                res.termination, res.iterations
+            );
+            let rel = res.true_residual(a, b) / bnorm;
+            assert!(
+                rel < 1e-6,
+                "{key} on {pname}: claimed convergence but true relative \
+                 residual is {rel:e}"
+            );
+        }
+    }
+}
+
+// ------------------------------------------------------ column 2: honesty
+
+#[test]
+fn no_variant_claims_false_convergence_on_indefinite_or_singular() {
+    let _g = gate();
+    // indefinite: eigenvalues 0.2 − 2·cos(kπ/(n+1)) straddle zero
+    let indefinite = gen::tridiag_toeplitz(48, 0.2, -1.0);
+    // singular and inconsistent: a random rhs has a nullspace component
+    let singular = neumann_laplacian(48);
+    let b = gen::rand_vector(48, 5);
+    let bnorm = kernels::norm2(&b);
+    for (mname, a) in [("indefinite", &indefinite), ("singular", &singular)] {
+        let opts = SolveOptions::default().with_tol(1e-8).with_max_iters(400);
+        for (key, solver) in keyed_variants(a) {
+            let res = solver.solve(a, &b, None, &opts);
+            // Breakdown or MaxIterations are both honest outcomes here;
+            // a Converged claim must be backed by the actual residual.
+            if res.converged {
+                let rel = res.true_residual(a, &b) / bnorm;
+                assert!(
+                    rel < 1e-5,
+                    "{key} on {mname}: reported {:?} but true relative \
+                     residual is {rel:e}",
+                    res.termination
+                );
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------ column 3: tracing
+
+#[test]
+fn attached_tracer_changes_no_bits_for_any_variant() {
+    let _g = gate();
+    let a = gen::poisson2d(14);
+    let b = gen::poisson2d_rhs(14);
+    for threads in [1usize, 2] {
+        let opts = SolveOptions::default()
+            .with_tol(1e-9)
+            .with_dot_mode(DotMode::Tree)
+            .with_team(Arc::new(Team::new(threads)));
+        for (key, solver) in keyed_variants(&a) {
+            let plain = solver.solve(&a, &b, None, &opts);
+            let tracer = Arc::new(Tracer::for_width(threads));
+            let traced_opts = opts.clone().with_tracer(Arc::clone(&tracer));
+            let traced = solver.solve(&a, &b, None, &traced_opts);
+            assert_bit_identical(&plain, &traced, &format!("{key} (threads {threads})"));
+            assert!(
+                !tracer.drain().spans.is_empty(),
+                "{key} (threads {threads}): traced solve recorded no spans"
+            );
+        }
+    }
+}
+
+// ------------------------------------------------- column 4: width invariance
+
+#[test]
+fn thread_width_is_bit_invariant_under_tree_reduction() {
+    let _g = gate();
+    let a = gen::anisotropic2d(12, 0.1);
+    let b = gen::rand_vector(144, 23);
+    let solve_at = |width: usize| {
+        let opts = SolveOptions::default()
+            .with_tol(1e-9)
+            .with_dot_mode(DotMode::Tree)
+            .with_team(Arc::new(Team::new(width)));
+        keyed_variants(&a)
+            .into_iter()
+            .map(|(key, solver)| (key, solver.solve(&a, &b, None, &opts)))
+            .collect::<Vec<_>>()
+    };
+    let base = solve_at(1);
+    for width in [2usize, 4] {
+        for ((key, one), (_, wide)) in base.iter().zip(solve_at(width)) {
+            assert_bit_identical(one, &wide, &format!("{key} (width 1 vs {width})"));
+        }
+    }
+}
+
+// ------------------------------------------------ column 5: fused policy
+
+#[test]
+fn fused_policy_matches_reference_for_every_variant_and_dot_mode() {
+    let _g = gate();
+    let a = gen::poisson2d(14);
+    let b = gen::poisson2d_rhs(14);
+    for mode in [DotMode::Serial, DotMode::Tree, DotMode::Kahan] {
+        let base = SolveOptions::default().with_tol(1e-8).with_dot_mode(mode);
+        for (key, solver) in keyed_variants(&a) {
+            let reference = solver.solve(
+                &a,
+                &b,
+                None,
+                &base.clone().with_kernel_policy(KernelPolicy::Reference),
+            );
+            let fused = solver.solve(
+                &a,
+                &b,
+                None,
+                &base.clone().with_kernel_policy(KernelPolicy::Fused),
+            );
+            let ctx = format!("{key} / {mode:?}");
+            if matches!(mode, DotMode::Serial | DotMode::Tree) {
+                assert_bit_identical(&reference, &fused, &ctx);
+            } else {
+                // Kahan: the API contract promises 1e-14 relative agreement
+                assert_eq!(reference.iterations, fused.iterations, "{ctx}: iterations");
+                for (i, (r, f)) in reference
+                    .residual_norms
+                    .iter()
+                    .zip(&fused.residual_norms)
+                    .enumerate()
+                {
+                    assert!(
+                        (r - f).abs() <= 1e-14 * (1.0 + r.abs()),
+                        "{ctx}: norm[{i}] {r} vs {f}"
+                    );
+                }
+                for (i, (r, f)) in reference.x.iter().zip(&fused.x).enumerate() {
+                    assert!(
+                        (r - f).abs() <= 1e-14 * (1.0 + r.abs()),
+                        "{ctx}: x[{i}] {r} vs {f}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// -------------------------------------------------- column 6: allocations
+
+#[test]
+fn hot_loops_allocate_nothing_per_iteration_after_warmup() {
+    let _g = gate();
+    let a = gen::poisson2d(48);
+    let b = gen::poisson2d_rhs(48);
+
+    let opts = |max_iters: usize| {
+        let mut o = SolveOptions::default()
+            .with_tol(0.0) // never converges → exact MaxIterations run
+            .with_max_iters(max_iters)
+            .with_dot_mode(DotMode::Serial)
+            .with_threads(1);
+        o.record_residuals = false; // norms Vec must not grow per iteration
+        o
+    };
+    // warm-up solve, then minimum over repeats: solver allocation behaviour
+    // is deterministic, so the minimum strips any stray harness allocations
+    let allocs_for = |solver: &dyn cg_lookahead::cg::CgVariant, max_iters: usize| {
+        let o = opts(max_iters);
+        let _ = solver.solve(&a, &b, None, &o);
+        let mut best = u64::MAX;
+        for _ in 0..3 {
+            let before = ALLOC_CALLS.load(Ordering::Relaxed);
+            let res = solver.solve(&a, &b, None, &o);
+            let after = ALLOC_CALLS.load(Ordering::Relaxed);
+            assert_eq!(
+                res.termination,
+                Termination::MaxIterations,
+                "{}: tol=0 run must exhaust its budget",
+                solver.name()
+            );
+            best = best.min(after - before);
+        }
+        best
+    };
+
+    for (key, solver) in keyed_variants(&a) {
+        let short = allocs_for(solver.as_ref(), 10);
+        let long = allocs_for(solver.as_ref(), 40);
+        assert_eq!(
+            short, long,
+            "{key}: a 40-iteration solve allocated {long} times vs {short} \
+             for 10 iterations — the extra 30 iterations must be \
+             allocation-free"
+        );
+    }
+}
