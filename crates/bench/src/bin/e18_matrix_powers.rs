@@ -161,7 +161,7 @@ fn main() {
     println!("E18 — cache-blocked matrix-powers kernel (2-D Poisson stencil basis build)");
     println!(
         "(host CPUs: {host_cpus}, dispatch grain: {GRAIN}, L2 budget: {} KiB)",
-        mpk::MPK_L2_BUDGET_BYTES >> 10
+        mpk::mpk_l2_budget_bytes() >> 10
     );
     println!("{}", table.render());
 

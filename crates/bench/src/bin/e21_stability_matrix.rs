@@ -116,6 +116,7 @@ fn tlabel(t: Termination) -> &'static str {
         Termination::Breakdown => "breakdown",
         Termination::Stagnated => "stagnated",
         Termination::Diverged => "diverged",
+        Termination::Unsupported => "unsupported",
     }
 }
 

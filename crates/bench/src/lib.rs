@@ -27,6 +27,9 @@
 //! | `e17_thread_scaling` | extension | persistent-team width sweep, bit-identical traces |
 //! | `e18_matrix_powers` | extension | cache-blocked MPK vs naive basis build |
 //! | `e19_critical_path` | C1–C3 | traced per-iteration phase attribution on real threads |
+//! | `e20_self_healing` | extension | worker failover and checkpoint/rollback overhead |
+//! | `e21_stability_matrix` | extension | cross-variant attainable-accuracy shoot-out |
+//! | `e22_simd_bandwidth` | extension | SIMD/mixed-precision roofline, bytes per iteration |
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]

@@ -27,10 +27,12 @@ fn phases_json(p: &Phases) -> Json {
 
 /// Render a critical-path [`Report`] as a JSON object.
 ///
-/// Layout: `iterations` (count), `dropped_spans`, `totals` (phase ns and
-/// shares over all iterations), `per_iter` (one phases object per
-/// iteration window), and `span_kinds` (count / mean / p50 / p99 / max per
-/// recorded span kind, all shards — kinds never recorded are omitted).
+/// Layout: `iterations` (count), `dropped_spans`, `total_bytes` (logical
+/// traffic summed over every span that accounted it), `totals` (phase ns
+/// and shares over all iterations), `per_iter` (one phases object per
+/// iteration window), and `span_kinds` (count / mean / p50 / p99 / max /
+/// bytes per recorded span kind, all shards — kinds never recorded are
+/// omitted).
 #[must_use]
 pub fn report_json(report: &Report) -> Json {
     let per_iter: Vec<Json> = report
@@ -57,6 +59,7 @@ pub fn report_json(report: &Report) -> Json {
                 "p50_upper_ns": h.quantile_upper_ns(0.5),
                 "p99_upper_ns": h.quantile_upper_ns(0.99),
                 "max_ns": h.max_ns(),
+                "bytes": Json::Int(report.bytes(*k) as i64),
             })
         })
         .collect();
@@ -64,6 +67,7 @@ pub fn report_json(report: &Report) -> Json {
     crate::json!({
         "iterations": report.iters.len(),
         "dropped_spans": report.dropped,
+        "total_bytes": Json::Int(report.total_bytes() as i64),
         "totals": phases_json(&report.totals),
         "per_iter": Json::Arr(per_iter),
         "span_kinds": Json::Arr(kinds),

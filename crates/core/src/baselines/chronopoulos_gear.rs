@@ -43,9 +43,13 @@ impl CgVariant for ChronopoulosGearCg {
         x0: Option<&[f64]>,
         opts: &SolveOptions,
     ) -> SolveResult {
+        if opts.precision == crate::solver::Precision::Mixed {
+            return crate::mixed::reject(a, b, x0, opts);
+        }
         let n = a.dim();
         let md = opts.dot_mode;
         let mut counts = OpCounts::default();
+        let _simd = opts.simd_guard();
         let _trace = opts.trace_attach();
         let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
         if x0.is_some() {

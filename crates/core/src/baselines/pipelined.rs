@@ -38,6 +38,10 @@ impl CgVariant for PipelinedCg {
         "pipelined-cg".into()
     }
 
+    fn mixed_eligible(&self) -> bool {
+        true
+    }
+
     fn solve(
         &self,
         a: &dyn LinearOperator,
@@ -45,6 +49,9 @@ impl CgVariant for PipelinedCg {
         x0: Option<&[f64]>,
         opts: &SolveOptions,
     ) -> SolveResult {
+        if opts.precision == crate::solver::Precision::Mixed {
+            return crate::mixed::solve_pipelined(a, b, x0, opts);
+        }
         solve_gv(a, b, x0, opts)
     }
 }
@@ -64,6 +71,7 @@ pub(crate) fn solve_gv(
         let n = a.dim();
         let md = opts.dot_mode;
         let mut counts = OpCounts::default();
+        let _simd = opts.simd_guard();
         let _trace = opts.trace_attach();
         let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
         if x0.is_some() {

@@ -47,6 +47,9 @@ impl<P: Preconditioner> CgVariant for PrecondCg<P> {
         x0: Option<&[f64]>,
         opts: &SolveOptions,
     ) -> SolveResult {
+        if opts.precision == crate::solver::Precision::Mixed {
+            return crate::mixed::reject(a, b, x0, opts);
+        }
         let n = a.dim();
         assert_eq!(
             self.precond.dim(),
@@ -55,6 +58,7 @@ impl<P: Preconditioner> CgVariant for PrecondCg<P> {
         );
         let md = opts.dot_mode;
         let mut counts = OpCounts::default();
+        let _simd = opts.simd_guard();
         let _trace = opts.trace_attach();
         let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
         if x0.is_some() {

@@ -73,6 +73,7 @@ impl BlockCg {
             assert_eq!(col.len(), n, "rhs column length mismatch");
         }
         let mut counts = OpCounts::default();
+        let _simd = opts.simd_guard();
         let _trace = opts.trace_attach();
 
         let mut x: Vec<Vec<f64>> = vec![vec![0.0; n]; s];

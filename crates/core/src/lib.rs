@@ -58,6 +58,7 @@ pub mod baselines;
 pub mod block;
 pub mod instrument;
 pub mod lookahead;
+pub mod mixed;
 pub mod overlap_k1;
 pub mod pipelined_deep;
 pub mod predict_recompute;
@@ -69,4 +70,7 @@ pub mod sstep;
 pub mod standard;
 
 pub use instrument::{OpCounts, RecoveryStats};
-pub use solver::{BasisEngine, CgVariant, KernelPolicy, SolveOptions, SolveResult, Termination};
+pub use solver::{
+    BasisEngine, CgVariant, KernelPolicy, Precision, SimdPolicy, SolveOptions, SolveResult,
+    Termination,
+};

@@ -1,0 +1,830 @@
+//! Mixed-precision CG twins: `f32` working vectors, `f64` safety net.
+//!
+//! The bandwidth argument: CG at useful problem sizes is memory-bound, and
+//! every hot sweep (matvec, fused update, reduction leaf) streams working
+//! vectors whose *storage* precision is what the memory bus pays for.
+//! Holding `x`, `r`, `p` and the variant's auxiliaries in `f32` halves the
+//! bytes per iteration; the arithmetic that decides anything — reduction
+//! accumulation, scalar recurrences, convergence — stays in `f64`:
+//!
+//! * every `f32` reduction leaf widens each product to `f64` *before*
+//!   summing ([`vr_par::simd::leaf_dot_f32`] and friends), in the same
+//!   lane-blocked accumulator layout as the `f64` leaves, so reduction
+//!   values are bit-identical across scalar/AVX2/AVX-512 backends;
+//! * the scalar recurrences (`λ`, `β`, and the overlapped identities of
+//!   the paper's §3) run entirely in `f64`;
+//! * a **shadow guard** periodically widens the `f32` iterate to `f64`,
+//!   recomputes the true residual `b − A·x` through the operator's full
+//!   `f64` [`LinearOperator::apply`], and either *confirms* convergence,
+//!   *replaces* the working residual (Cools-style residual replacement —
+//!   the `f32` recurrence restarts from the `f64` truth), or declares
+//!   stagnation at the `f32`-attainable floor.
+//!
+//! A mixed solve **never** reports convergence from the `f32` recurrence
+//! alone: [`Termination::Converged`] is only ever set after the shadow
+//! guard's `f64` confirmation. Tolerances below the `f32` floor terminate
+//! with [`Termination::Stagnated`] instead of falsely converging.
+//!
+//! Only variants whose dependency structure has a faithful `f32` twin here
+//! are eligible ([`CgVariant::mixed_eligible`]): standard CG, the paper's
+//! one-step overlapped CG, and Ghysels-Vanroose pipelined CG. Every other
+//! variant rejects [`Precision::Mixed`] with
+//! [`Termination::Unsupported`] — an explicit error beats a silent `f64`
+//! fallback whose numbers the caller would misattribute (see
+//! [`reject`]). Likewise an operator without a native `f32` path
+//! ([`LinearOperator::apply_f32`]).
+
+use crate::instrument::OpCounts;
+use crate::resilience::guard;
+use crate::solver::{util, SolveOptions, SolveResult, Termination};
+use vr_linalg::kernels;
+use vr_linalg::LinearOperator;
+use vr_par::{reduce, simd};
+
+#[cfg(doc)]
+use crate::solver::{CgVariant, Precision};
+
+/// Confirm the `f32` recurrence against the `f64` truth every this many
+/// iterations (in addition to every convergence claim and every suspicious
+/// scalar). Frequent enough to bound drift, rare enough that the extra
+/// `f64` matvec is noise against the per-iteration sweep traffic.
+const CONFIRM_PERIOD: usize = 32;
+
+/// Widen `src` into `dst` (exact: every `f32` is representable in `f64`).
+fn widen_into(src: &[f32], dst: &mut [f64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = f64::from(*s);
+    }
+}
+
+/// Narrow `src` into `dst` (round-to-nearest).
+fn narrow_into(src: &[f64], dst: &mut [f32]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = *s as f32;
+    }
+}
+
+/// Explicit rejection of a mixed-precision request: no iterations, the
+/// starting point handed back unchanged with its honest initial residual,
+/// and [`Termination::Unsupported`]. Used by every ineligible variant and
+/// by eligible variants on operators without a native `f32` path.
+pub(crate) fn reject(
+    a: &dyn LinearOperator,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &SolveOptions,
+) -> SolveResult {
+    let mut counts = OpCounts::default();
+    let (x, r, _bnorm) = util::init_residual(a, b, x0);
+    if x0.is_some() {
+        counts.matvecs += 1;
+        counts.vector_ops += 1;
+    }
+    let rr = kernels::dot(opts.dot_mode, &r, &r);
+    counts.dots += 1;
+    SolveResult::new(
+        x,
+        Termination::Unsupported,
+        0,
+        vec![rr.max(0.0).sqrt()],
+        counts,
+    )
+}
+
+/// Verdict of one `f64` shadow confirmation.
+enum Confirm {
+    /// True residual meets the tolerance: the solve is genuinely done.
+    Converged(f64),
+    /// Not converged, but still making progress — the caller replaces its
+    /// working residual with the `f64` truth (left in [`Shadow::rt`]) and
+    /// restarts its direction state.
+    Replace(f64),
+    /// No meaningful progress across consecutive confirmations: the
+    /// `f32`-attainable floor. Terminate honestly.
+    Stagnated(f64),
+}
+
+/// The `f64` safety net: widened iterate, true residual, and a progress
+/// tracker deciding replacement vs stagnation.
+struct Shadow {
+    /// Widened copy of the `f32` iterate.
+    xw: Vec<f64>,
+    /// True residual `b − A·xw` as of the last confirmation.
+    rt: Vec<f64>,
+    /// Scratch for `A·xw`.
+    ax: Vec<f64>,
+    thresh_sq: f64,
+    /// Best confirmed squared true-residual norm so far.
+    best: f64,
+    /// Consecutive confirmations without the required improvement.
+    strikes: u32,
+}
+
+impl Shadow {
+    /// Confirmations in a row that may fail to improve [`Shadow::best`] by
+    /// [`Shadow::IMPROVE`] before the solve is declared stagnated.
+    const MAX_STRIKES: u32 = 3;
+    /// Required squared-norm reduction factor between confirmations.
+    const IMPROVE: f64 = 0.5;
+
+    fn new(n: usize, thresh_sq: f64) -> Self {
+        Shadow {
+            xw: vec![0.0; n],
+            rt: vec![0.0; n],
+            ax: vec![0.0; n],
+            thresh_sq,
+            best: f64::INFINITY,
+            strikes: 0,
+        }
+    }
+
+    /// Recompute the `f64` true residual of the `f32` iterate and judge it.
+    /// Costs one `f64` matvec + one vector op + one dot, tallied honestly.
+    fn confirm(
+        &mut self,
+        a: &dyn LinearOperator,
+        opts: &SolveOptions,
+        b: &[f64],
+        x32: &[f32],
+        counts: &mut OpCounts,
+    ) -> Confirm {
+        // Widen (4n + 8n) + f64 matvec vector streams (16n) + residual
+        // subtraction (24n) + dot (16n): the guard's full-width traffic,
+        // tallied so E22 sees the true cost of the f64 safety net.
+        let guard_bytes = 68 * x32.len() as u64;
+        let rr_true = opts.span_bytes(vr_obs::SpanKind::Guard, guard_bytes, || {
+            widen_into(x32, &mut self.xw);
+            a.apply(&self.xw, &mut self.ax);
+            for (rt, (bi, axi)) in self.rt.iter_mut().zip(b.iter().zip(&self.ax)) {
+                *rt = bi - axi;
+            }
+            kernels::dot(opts.dot_mode, &self.rt, &self.rt)
+        });
+        counts.matvecs += 1;
+        counts.vector_ops += 1;
+        counts.dots += 1;
+        if rr_true <= self.thresh_sq {
+            return Confirm::Converged(rr_true);
+        }
+        if rr_true.is_finite() && rr_true <= Self::IMPROVE * self.best {
+            self.strikes = 0;
+        } else {
+            self.strikes += 1;
+        }
+        if rr_true.is_finite() {
+            self.best = self.best.min(rr_true);
+        }
+        if self.strikes >= Self::MAX_STRIKES {
+            Confirm::Stagnated(rr_true)
+        } else {
+            Confirm::Replace(rr_true)
+        }
+    }
+}
+
+/// Common startup for all mixed loops: `f64` initial residual (exact),
+/// narrowed working copies, threshold, and the `f32`-path probe.
+///
+/// Returns `Err` with the explicit rejection when the operator has no
+/// native `f32` matvec.
+// The large `Err` (a full `SolveResult`) is built once per rejected solve,
+// never on a hot path — boxing would only move the rejection allocation.
+#[allow(clippy::type_complexity, clippy::result_large_err)]
+fn mixed_init(
+    a: &dyn LinearOperator,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &SolveOptions,
+    counts: &mut OpCounts,
+) -> Result<(Vec<f32>, Vec<f32>, f64, f64), SolveResult> {
+    let (xw, rw, bnorm) = util::init_residual(a, b, x0);
+    if x0.is_some() {
+        counts.matvecs += 1;
+        counts.vector_ops += 1;
+    }
+    let thresh_sq = util::threshold_sq(opts, bnorm);
+    // Initial convergence is judged on the f64 residual before narrowing —
+    // the one convergence decision that needs no shadow confirmation.
+    let rr0 = kernels::dot(opts.dot_mode, &rw, &rw);
+    counts.dots += 1;
+    let x: Vec<f32> = xw.iter().map(|&v| v as f32).collect();
+    let r: Vec<f32> = rw.iter().map(|&v| v as f32).collect();
+    counts.vector_ops += 2;
+    // Capability probe: one f32 sweep. Operators answer statically, so a
+    // `false` here is a configuration error, not a transient.
+    let mut probe = vec![0.0f32; a.dim()];
+    if !a.apply_f32(&x, &mut probe) {
+        return Err(reject(a, b, x0, opts));
+    }
+    Ok((x, r, rr0, thresh_sq))
+}
+
+/// Mixed-precision standard CG (Hestenes-Stiefel structure, `f32` working
+/// vectors). The loop shape mirrors [`crate::standard::StandardCg`]: one
+/// matvec and two dependent reductions per iteration, with the fused
+/// update-and-norm sweep; the shadow guard replaces the `f64` path's
+/// [`crate::resilience::guard::ResidualGuard`].
+pub(crate) fn solve_standard(
+    a: &dyn LinearOperator,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &SolveOptions,
+) -> SolveResult {
+    let _simd = opts.simd_guard();
+    let _trace = opts.trace_attach();
+    let n = a.dim();
+    let mut counts = OpCounts::default();
+    let (mut x, mut r, rr0, thresh_sq) = match mixed_init(a, b, x0, opts, &mut counts) {
+        Ok(init) => init,
+        Err(rejected) => return rejected,
+    };
+    let mut p = r.clone();
+    let mut w = vec![0.0f32; n];
+    counts.vector_ops += 1;
+
+    let mut rr = rr0;
+    let mut norms = Vec::new();
+    if opts.record_residuals {
+        norms.push(rr.max(0.0).sqrt());
+    }
+    let mut shadow = Shadow::new(n, thresh_sq);
+    let mut termination = Termination::MaxIterations;
+    let mut iterations = 0;
+    // Set after a residual replacement; a pivot failure in the very next
+    // iteration is a genuine breakdown, not accumulated f32 drift.
+    let mut just_replaced = false;
+
+    if rr <= thresh_sq {
+        termination = Termination::Converged;
+    } else {
+        let mut it = 0;
+        while it < opts.max_iters {
+            opts.iter_mark();
+            counts.matvecs += 1;
+            counts.dots += 1;
+            opts.span_bytes(vr_obs::SpanKind::Matvec, 8 * n as u64, || {
+                a.apply_f32(&p, &mut w)
+            });
+            let pap = opts.span_bytes(vr_obs::SpanKind::DotWait, 8 * n as u64, || {
+                reduce::dot_f32_wide(&p, &w)
+            });
+            if guard::check_pivot(pap).is_err() {
+                if just_replaced {
+                    termination = Termination::Breakdown;
+                    iterations = it;
+                    break;
+                }
+                match shadow.confirm(a, opts, b, &x, &mut counts) {
+                    Confirm::Converged(rt) => {
+                        termination = Termination::Converged;
+                        iterations = it;
+                        push_final(&mut norms, opts, rt);
+                        break;
+                    }
+                    Confirm::Stagnated(rt) => {
+                        termination = Termination::Stagnated;
+                        iterations = it;
+                        push_final(&mut norms, opts, rt);
+                        break;
+                    }
+                    Confirm::Replace(rt) => {
+                        narrow_into(&shadow.rt, &mut r);
+                        p.copy_from_slice(&r);
+                        counts.vector_ops += 2;
+                        counts.restarts += 1;
+                        rr = rt;
+                        just_replaced = true;
+                        continue;
+                    }
+                }
+            }
+            let lambda = opts.scalar(rr / pap);
+            counts.scalar_ops += 1;
+            counts.vector_ops += 2;
+            counts.dots += 1;
+            // p, w read; x, r read-modify-write → 6 f32 streams.
+            let rr_next = opts.span_bytes(vr_obs::SpanKind::VectorOp, 24 * n as u64, || {
+                simd::leaf_update_xr_f32(lambda as f32, &p, &w, &mut x, &mut r)
+            });
+            if opts.record_residuals {
+                norms.push(rr_next.max(0.0).sqrt());
+            }
+            iterations = it + 1;
+
+            let due = (it + 1).is_multiple_of(CONFIRM_PERIOD);
+            if rr_next <= thresh_sq || due || !rr_next.is_finite() {
+                match shadow.confirm(a, opts, b, &x, &mut counts) {
+                    Confirm::Converged(rt) => {
+                        termination = Termination::Converged;
+                        set_final(&mut norms, rt);
+                        break;
+                    }
+                    Confirm::Stagnated(rt) => {
+                        termination = Termination::Stagnated;
+                        set_final(&mut norms, rt);
+                        break;
+                    }
+                    Confirm::Replace(rt) => {
+                        narrow_into(&shadow.rt, &mut r);
+                        p.copy_from_slice(&r);
+                        counts.vector_ops += 2;
+                        counts.restarts += 1;
+                        rr = rt;
+                        just_replaced = true;
+                        it += 1;
+                        continue;
+                    }
+                }
+            }
+            just_replaced = false;
+            let beta = opts.scalar(rr_next / rr);
+            counts.scalar_ops += 1;
+            rr = rr_next;
+            counts.vector_ops += 1;
+            opts.span_bytes(vr_obs::SpanKind::VectorOp, 12 * n as u64, || {
+                simd::leaf_xpay_f32(&r, beta as f32, &mut p)
+            });
+            it += 1;
+        }
+    }
+    finish(x, termination, iterations, norms, counts, rr, opts)
+}
+
+/// Mixed-precision one-step overlapped CG (the paper's §3 structure). The
+/// four overlappable inner products run as two shared-sweep pairs over the
+/// `f32` vectors (widened accumulation); the (*) scalar recurrences stay
+/// pure `f64`. Scalar-recurrence drift — the classic weakness this
+/// formulation trades for its overlap — is caught by the same shadow guard
+/// cadence as the other mixed loops.
+pub(crate) fn solve_overlap_k1(
+    a: &dyn LinearOperator,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &SolveOptions,
+) -> SolveResult {
+    let _simd = opts.simd_guard();
+    let _trace = opts.trace_attach();
+    let n = a.dim();
+    let mut counts = OpCounts::default();
+    let (mut x, mut r, rr0, thresh_sq) = match mixed_init(a, b, x0, opts, &mut counts) {
+        Ok(init) => init,
+        Err(rejected) => return rejected,
+    };
+    let mut p = r.clone();
+    let mut w = vec![0.0f32; n];
+    let mut v = vec![0.0f32; n];
+    counts.vector_ops += 1;
+
+    // Startup: w = A·p, v = A·w, carried scalars.
+    counts.matvecs += 2;
+    opts.span_bytes(vr_obs::SpanKind::Matvec, 16 * n as u64, || {
+        a.apply_f32(&p, &mut w);
+        a.apply_f32(&w, &mut v);
+    });
+    let mut rr = rr0;
+    let mut rar = opts.span_bytes(vr_obs::SpanKind::DotWait, 8 * n as u64, || {
+        reduce::dot_f32_wide(&r, &w)
+    });
+    counts.dots += 1;
+    let mut pap = rar;
+
+    let mut norms = Vec::new();
+    if opts.record_residuals {
+        norms.push(rr.max(0.0).sqrt());
+    }
+    let mut shadow = Shadow::new(n, thresh_sq);
+    let mut termination = Termination::MaxIterations;
+    let mut iterations = 0;
+    let mut just_replaced = false;
+
+    if rr <= thresh_sq {
+        termination = Termination::Converged;
+    } else {
+        let mut it = 0;
+        while it < opts.max_iters {
+            opts.iter_mark();
+            let suspicious = guard::check_pivot(pap).is_err() || guard::check_pivot(rr).is_err();
+            let due = it > 0 && it.is_multiple_of(CONFIRM_PERIOD);
+            if suspicious || due {
+                if suspicious && just_replaced {
+                    termination = Termination::Breakdown;
+                    iterations = it;
+                    break;
+                }
+                match shadow.confirm(a, opts, b, &x, &mut counts) {
+                    Confirm::Converged(rt) => {
+                        termination = Termination::Converged;
+                        iterations = it;
+                        push_final(&mut norms, opts, rt);
+                        break;
+                    }
+                    Confirm::Stagnated(rt) => {
+                        termination = Termination::Stagnated;
+                        iterations = it;
+                        push_final(&mut norms, opts, rt);
+                        break;
+                    }
+                    Confirm::Replace(rt) => {
+                        // Warm restart from the f64 truth: p = r, direct
+                        // carried scalars (one extra matvec pair).
+                        narrow_into(&shadow.rt, &mut r);
+                        p.copy_from_slice(&r);
+                        counts.vector_ops += 2;
+                        counts.restarts += 1;
+                        counts.matvecs += 2;
+                        opts.span_bytes(vr_obs::SpanKind::Matvec, 16 * n as u64, || {
+                            a.apply_f32(&p, &mut w);
+                            a.apply_f32(&w, &mut v);
+                        });
+                        rr = rt;
+                        rar = opts.span_bytes(vr_obs::SpanKind::DotWait, 8 * n as u64, || {
+                            reduce::dot_f32_wide(&r, &w)
+                        });
+                        counts.dots += 1;
+                        pap = rar;
+                        just_replaced = suspicious;
+                    }
+                }
+            }
+            it += 1;
+            // The four overlappable inner products on CURRENT vectors —
+            // (r,w)/(r,v) share the sweep over r, (w,w)/(w,v) the sweep
+            // over w, exactly like the f64 formulation.
+            counts.dots += 4;
+            let ((rw, rv), (ww, wv)) =
+                opts.span_bytes(vr_obs::SpanKind::DotWait, 24 * n as u64, || {
+                    (
+                        simd::leaf_dot2_f32(&r, &w, &v),
+                        simd::leaf_dot2_f32(&w, &w, &v),
+                    )
+                });
+            let lambda = opts.scalar(rr / pap);
+            counts.vector_ops += 1;
+            opts.span_bytes(vr_obs::SpanKind::VectorOp, 12 * n as u64, || {
+                simd::leaf_axpy_f32(lambda as f32, &p, &mut x)
+            });
+
+            // Scalar recurrences (claim C3, k = 1) — pure f64.
+            let rr_next = rr - 2.0 * lambda * rw + lambda * lambda * ww;
+            let rar_next = rar - 2.0 * lambda * rv + lambda * lambda * wv;
+            let alpha = rr_next / rr;
+            let rnext_w = rw - lambda * ww;
+            let pap_next = rar_next + 2.0 * alpha * rnext_w + alpha * alpha * pap;
+            counts.scalar_ops += 12;
+
+            if opts.record_residuals {
+                norms.push(rr_next.max(0.0).sqrt());
+            }
+            iterations = it;
+            if rr_next <= thresh_sq {
+                match shadow.confirm(a, opts, b, &x, &mut counts) {
+                    Confirm::Converged(rt) => {
+                        termination = Termination::Converged;
+                        set_final(&mut norms, rt);
+                        break;
+                    }
+                    Confirm::Stagnated(rt) => {
+                        termination = Termination::Stagnated;
+                        set_final(&mut norms, rt);
+                        break;
+                    }
+                    Confirm::Replace(rt) => {
+                        narrow_into(&shadow.rt, &mut r);
+                        p.copy_from_slice(&r);
+                        counts.vector_ops += 2;
+                        counts.restarts += 1;
+                        counts.matvecs += 2;
+                        opts.span_bytes(vr_obs::SpanKind::Matvec, 16 * n as u64, || {
+                            a.apply_f32(&p, &mut w);
+                            a.apply_f32(&w, &mut v);
+                        });
+                        rr = rt;
+                        rar = opts.span_bytes(vr_obs::SpanKind::DotWait, 8 * n as u64, || {
+                            reduce::dot_f32_wide(&r, &w)
+                        });
+                        counts.dots += 1;
+                        pap = rar;
+                        just_replaced = false;
+                        continue;
+                    }
+                }
+            }
+            if guard::check_finite(rr_next).is_err() {
+                // Route through the validation branch at the loop top.
+                rr = rr_next;
+                continue;
+            }
+
+            // Vector updates + the next matvec pair.
+            counts.vector_ops += 2;
+            opts.span_bytes(vr_obs::SpanKind::VectorOp, 24 * n as u64, || {
+                simd::leaf_axpy_f32(-(lambda as f32), &w, &mut r);
+                simd::leaf_xpay_f32(&r, alpha as f32, &mut p);
+            });
+            counts.matvecs += 2;
+            opts.span_bytes(vr_obs::SpanKind::Matvec, 16 * n as u64, || {
+                a.apply_f32(&p, &mut w);
+                a.apply_f32(&w, &mut v);
+            });
+
+            rr = rr_next;
+            rar = rar_next;
+            pap = pap_next;
+            just_replaced = false;
+        }
+    }
+    finish(x, termination, iterations, norms, counts, rr, opts)
+}
+
+/// Mixed-precision Ghysels-Vanroose pipelined CG. Recurrence-maintained
+/// auxiliaries `s = A·p`, `q = A·w`, `z = A·s` live in `f32` alongside the
+/// working vectors; `γ`, `δ`, `β`, `λ` stay `f64`. A residual replacement
+/// restarts the pipeline cleanly (next iteration takes the `β = 0` startup
+/// branch), since the auxiliary recurrences are only valid along an
+/// uninterrupted direction history.
+pub(crate) fn solve_pipelined(
+    a: &dyn LinearOperator,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &SolveOptions,
+) -> SolveResult {
+    let _simd = opts.simd_guard();
+    let _trace = opts.trace_attach();
+    let n = a.dim();
+    let mut counts = OpCounts::default();
+    let (mut x, mut r, rr0, thresh_sq) = match mixed_init(a, b, x0, opts, &mut counts) {
+        Ok(init) => init,
+        Err(rejected) => return rejected,
+    };
+    let mut w = vec![0.0f32; n];
+    counts.matvecs += 1;
+    opts.span_bytes(vr_obs::SpanKind::Matvec, 8 * n as u64, || {
+        a.apply_f32(&r, &mut w)
+    });
+    let mut p = vec![0.0f32; n];
+    let mut s = vec![0.0f32; n];
+    let mut z = vec![0.0f32; n];
+    let mut q = vec![0.0f32; n];
+
+    let mut gamma_old = 1.0f64;
+    let mut lambda_old = 1.0f64;
+    let mut gamma = rr0;
+
+    let mut norms = Vec::new();
+    if opts.record_residuals {
+        norms.push(gamma.max(0.0).sqrt());
+    }
+    let mut shadow = Shadow::new(n, thresh_sq);
+    let mut termination = Termination::MaxIterations;
+    let mut iterations = 0;
+    let mut just_replaced = false;
+    // Forces the β = 0 startup branch (fresh pipeline) — true at solve
+    // start and after every residual replacement.
+    let mut fresh = true;
+
+    if gamma <= thresh_sq {
+        termination = Termination::Converged;
+    } else {
+        let mut it = 0usize;
+        while it < opts.max_iters {
+            opts.iter_mark();
+            counts.dots += 1;
+            let delta = opts.span_bytes(vr_obs::SpanKind::DotWait, 8 * n as u64, || {
+                reduce::dot_f32_wide(&w, &r)
+            });
+            // q = A·w — the reduction-overlapped matvec of the pipeline.
+            counts.matvecs += 1;
+            opts.span_bytes(vr_obs::SpanKind::Matvec, 8 * n as u64, || {
+                a.apply_f32(&w, &mut q)
+            });
+
+            let (beta, denom) = if fresh {
+                (0.0, delta)
+            } else {
+                let beta = gamma / gamma_old;
+                (beta, delta - beta * gamma / lambda_old)
+            };
+            counts.scalar_ops += 3;
+            if guard::check_pivot(denom).is_err() {
+                if just_replaced {
+                    termination = Termination::Breakdown;
+                    iterations = it;
+                    break;
+                }
+                match shadow.confirm(a, opts, b, &x, &mut counts) {
+                    Confirm::Converged(rt) => {
+                        termination = Termination::Converged;
+                        iterations = it;
+                        push_final(&mut norms, opts, rt);
+                        break;
+                    }
+                    Confirm::Stagnated(rt) => {
+                        termination = Termination::Stagnated;
+                        iterations = it;
+                        push_final(&mut norms, opts, rt);
+                        break;
+                    }
+                    Confirm::Replace(rt) => {
+                        narrow_into(&shadow.rt, &mut r);
+                        counts.vector_ops += 1;
+                        counts.restarts += 1;
+                        counts.matvecs += 1;
+                        opts.span_bytes(vr_obs::SpanKind::Matvec, 8 * n as u64, || {
+                            a.apply_f32(&r, &mut w)
+                        });
+                        gamma = rt;
+                        fresh = true;
+                        just_replaced = true;
+                        continue;
+                    }
+                }
+            }
+            let lambda = opts.scalar(gamma / denom);
+            counts.scalar_ops += 1;
+
+            counts.vector_ops += 4;
+            opts.span_bytes(vr_obs::SpanKind::VectorOp, 48 * n as u64, || {
+                let bf = beta as f32;
+                simd::leaf_xpay_f32(&r, bf, &mut p);
+                simd::leaf_xpay_f32(&w, bf, &mut s);
+                simd::leaf_xpay_f32(&q, bf, &mut z);
+                simd::leaf_axpy_f32(lambda as f32, &p, &mut x);
+            });
+
+            gamma_old = gamma;
+            lambda_old = lambda;
+            // r ← r − λ·s carries γ = (r,r) in its sweep.
+            counts.vector_ops += 1;
+            counts.dots += 1;
+            gamma = opts.span_bytes(vr_obs::SpanKind::VectorOp, 12 * n as u64, || {
+                simd::leaf_axpy_norm2_sq_f32(-(lambda as f32), &s, &mut r)
+            });
+
+            if opts.record_residuals {
+                norms.push(gamma.max(0.0).sqrt());
+            }
+            iterations = it + 1;
+
+            let due = (it + 1).is_multiple_of(CONFIRM_PERIOD);
+            if gamma <= thresh_sq || due || guard::check_finite(gamma).is_err() {
+                match shadow.confirm(a, opts, b, &x, &mut counts) {
+                    Confirm::Converged(rt) => {
+                        termination = Termination::Converged;
+                        set_final(&mut norms, rt);
+                        break;
+                    }
+                    Confirm::Stagnated(rt) => {
+                        termination = Termination::Stagnated;
+                        set_final(&mut norms, rt);
+                        break;
+                    }
+                    Confirm::Replace(rt) => {
+                        narrow_into(&shadow.rt, &mut r);
+                        counts.vector_ops += 1;
+                        counts.restarts += 1;
+                        counts.matvecs += 1;
+                        opts.span_bytes(vr_obs::SpanKind::Matvec, 8 * n as u64, || {
+                            a.apply_f32(&r, &mut w)
+                        });
+                        gamma = rt;
+                        fresh = true;
+                        just_replaced = true;
+                        it += 1;
+                        continue;
+                    }
+                }
+            }
+
+            // w ← w − λ·z maintains the matvec image for the next δ.
+            counts.vector_ops += 1;
+            opts.span_bytes(vr_obs::SpanKind::VectorOp, 12 * n as u64, || {
+                simd::leaf_axpy_f32(-(lambda as f32), &z, &mut w)
+            });
+            fresh = false;
+            just_replaced = false;
+            it += 1;
+        }
+    }
+    finish(x, termination, iterations, norms, counts, gamma, opts)
+}
+
+/// Append the final true-residual norm when it would otherwise be lost
+/// (early-exit paths that break before the per-iteration push).
+fn push_final(norms: &mut Vec<f64>, opts: &SolveOptions, rr_true: f64) {
+    let v = rr_true.max(0.0).sqrt();
+    if opts.record_residuals || norms.is_empty() {
+        norms.push(v);
+    } else {
+        *norms.last_mut().expect("nonempty") = v;
+    }
+}
+
+/// Overwrite the last recorded norm with the confirmed `f64` truth (the
+/// recursive value it replaces described the same iterate, less honestly).
+fn set_final(norms: &mut Vec<f64>, rr_true: f64) {
+    let v = rr_true.max(0.0).sqrt();
+    match norms.last_mut() {
+        Some(last) => *last = v,
+        None => norms.push(v),
+    }
+}
+
+/// Widen the `f32` iterate and assemble the [`SolveResult`].
+fn finish(
+    x32: Vec<f32>,
+    termination: Termination,
+    iterations: usize,
+    mut norms: Vec<f64>,
+    counts: OpCounts,
+    last_rr: f64,
+    _opts: &SolveOptions,
+) -> SolveResult {
+    if norms.is_empty() {
+        // record_residuals off and no confirmation fired before exit.
+        norms.push(last_rr.max(0.0).sqrt());
+    }
+    let x: Vec<f64> = x32.iter().map(|&v| f64::from(v)).collect();
+    SolveResult::new(x, termination, iterations, norms, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{CgVariant, Precision, SolveOptions};
+    use crate::standard::StandardCg;
+    use vr_linalg::gen;
+
+    fn mixed_opts(tol: f64) -> SolveOptions {
+        SolveOptions::default()
+            .with_precision(Precision::Mixed)
+            .with_tol(tol)
+    }
+
+    #[test]
+    fn standard_mixed_converges_and_confirms_in_f64() {
+        let a = gen::poisson2d(24);
+        let b = gen::poisson2d_rhs(24);
+        let res = StandardCg::new().solve(&a, &b, None, &mixed_opts(1e-5));
+        assert!(res.converged, "termination {:?}", res.termination);
+        // The claim is confirmed against the f64 true residual, so the
+        // reported final norm must match a from-scratch recomputation.
+        let true_res = res.true_residual(&a, &b);
+        let bnorm = vr_linalg::kernels::norm2(&b);
+        assert!(
+            true_res <= 1e-5 * bnorm,
+            "reported convergence but true residual is {true_res:e} (bnorm {bnorm:e})"
+        );
+    }
+
+    #[test]
+    fn standard_mixed_never_falsely_converges_below_f32_floor() {
+        let a = gen::poisson2d(16);
+        let b = gen::poisson2d_rhs(16);
+        // Far below the f32-attainable floor: must NOT report convergence.
+        let res = StandardCg::new().solve(&a, &b, None, &mixed_opts(1e-14).with_max_iters(2000));
+        assert!(!res.converged, "false convergence at tol 1e-14");
+        assert!(
+            matches!(
+                res.termination,
+                Termination::Stagnated | Termination::MaxIterations
+            ),
+            "termination {:?}",
+            res.termination
+        );
+    }
+
+    #[test]
+    fn mixed_rejects_operator_without_f32_path() {
+        // DenseMatrix has no apply_f32 override.
+        let rows: Vec<Vec<f64>> = (0..4)
+            .map(|i| (0..4).map(|j| if i == j { 2.0 } else { 0.1 }).collect())
+            .collect();
+        let a = vr_linalg::DenseMatrix::from_rows(&rows).unwrap();
+        let b = vec![1.0; 4];
+        let res = StandardCg::new().solve(&a, &b, None, &mixed_opts(1e-6));
+        assert_eq!(res.termination, Termination::Unsupported);
+        assert!(!res.converged);
+        assert_eq!(res.iterations, 0);
+    }
+
+    #[test]
+    fn mixed_solution_matches_f64_solution() {
+        let a = gen::poisson2d(16);
+        let b = gen::poisson2d_rhs(16);
+        let f64_res = StandardCg::new().solve(&a, &b, None, &SolveOptions::default());
+        let mix_res = StandardCg::new().solve(&a, &b, None, &mixed_opts(1e-5));
+        assert!(mix_res.converged);
+        let err: f64 = f64_res
+            .x
+            .iter()
+            .zip(&mix_res.x)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        let xnorm = vr_linalg::kernels::norm2(&f64_res.x);
+        assert!(
+            err <= 1e-3 * xnorm,
+            "mixed solution drifted: err {err:e} vs ‖x‖ {xnorm:e}"
+        );
+    }
+}

@@ -117,6 +117,10 @@ impl CgVariant for OverlapK1Cg {
         }
     }
 
+    fn mixed_eligible(&self) -> bool {
+        true
+    }
+
     fn solve(
         &self,
         a: &dyn LinearOperator,
@@ -124,8 +128,12 @@ impl CgVariant for OverlapK1Cg {
         x0: Option<&[f64]>,
         opts: &SolveOptions,
     ) -> SolveResult {
+        if opts.precision == crate::solver::Precision::Mixed {
+            return crate::mixed::solve_overlap_k1(a, b, x0, opts);
+        }
         let n = a.dim();
         let mut counts = OpCounts::default();
+        let _simd = opts.simd_guard();
         let _trace = opts.trace_attach();
         let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
         if x0.is_some() {

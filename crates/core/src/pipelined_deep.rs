@@ -111,6 +111,11 @@ impl CgVariant for DeepPipelinedCg {
         x0: Option<&[f64]>,
         opts: &SolveOptions,
     ) -> SolveResult {
+        if opts.precision == crate::solver::Precision::Mixed {
+            // The depth-l Gram machinery has no f32 twin (and the l = 1
+            // special case must not silently diverge from l >= 2 behavior).
+            return crate::mixed::reject(a, b, x0, opts);
+        }
         if self.l == 1 {
             return solve_gv(a, b, x0, opts);
         }
@@ -141,6 +146,7 @@ fn solve_deep(
 ) -> SolveResult {
     let n = a.dim();
     let mut counts = OpCounts::default();
+    let _simd = opts.simd_guard();
     let _trace = opts.trace_attach();
     let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
     if x0.is_some() {

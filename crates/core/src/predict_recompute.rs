@@ -75,6 +75,9 @@ impl CgVariant for PredictRecomputeCg {
         x0: Option<&[f64]>,
         opts: &SolveOptions,
     ) -> SolveResult {
+        if opts.precision == crate::solver::Precision::Mixed {
+            return crate::mixed::reject(a, b, x0, opts);
+        }
         solve_pr(a, b, x0, opts, false)
     }
 
@@ -99,6 +102,9 @@ impl CgVariant for PipelinedPrCg {
         x0: Option<&[f64]>,
         opts: &SolveOptions,
     ) -> SolveResult {
+        if opts.precision == crate::solver::Precision::Mixed {
+            return crate::mixed::reject(a, b, x0, opts);
+        }
         solve_pr(a, b, x0, opts, true)
     }
 
@@ -125,6 +131,7 @@ fn solve_pr(
 ) -> SolveResult {
     let n = a.dim();
     let mut counts = OpCounts::default();
+    let _simd = opts.simd_guard();
     let _trace = opts.trace_attach();
     let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
     if x0.is_some() {

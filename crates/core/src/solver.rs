@@ -50,6 +50,49 @@ pub enum BasisEngine {
     Mpk,
 }
 
+/// Which instruction-set backend the leaf kernels run on.
+///
+/// Every level of [`vr_par::simd`] produces **bit-identical** results — the
+/// lane-blocked accumulator layout is part of the numerical contract, not
+/// an implementation detail — so this policy only ever changes speed. It
+/// exists so measurements (and the differential suite) can pin a backend
+/// explicitly instead of depending on the `VR_SIMD` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimdPolicy {
+    /// Ambient selection: the thread-local override if one is installed,
+    /// else the process level (`VR_SIMD` env, else best available).
+    #[default]
+    Auto,
+    /// Force the portable scalar backend on the solve thread.
+    Scalar,
+    /// Force the widest available vector backend on the solve thread
+    /// (falls back to scalar on hosts without AVX2).
+    Simd,
+}
+
+/// Working precision of the iteration's vector recurrences.
+///
+/// `Mixed` keeps the CG working vectors (`x`, `r`, `p`, and the variant's
+/// auxiliaries) in `f32` — halving the bytes every sweep streams — while
+/// *all* safety-critical arithmetic stays in `f64`: reduction accumulation
+/// (the `f32` leaf kernels widen every product before summing), the scalar
+/// recurrences, periodic true-residual recomputation, residual replacement,
+/// and convergence confirmation. A mixed solve never reports convergence
+/// from the `f32` recurrence alone; the claim is always confirmed against
+/// the `f64` true residual (see [`crate::mixed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full double precision everywhere (the reference formulation).
+    #[default]
+    F64,
+    /// `f32` working vectors with `f64` guard arithmetic. Only variants
+    /// with [`CgVariant::mixed_eligible`]` == true` support it; others
+    /// terminate immediately with [`Termination::Unsupported`]. Requires
+    /// an operator with a native `f32` path
+    /// ([`LinearOperator::apply_f32`]).
+    Mixed,
+}
+
 /// Record of a thread request clamped to the host's parallelism by
 /// [`SolveOptions::with_threads`] — the recorded warning that replaces
 /// silent oversubscription on small containers.
@@ -131,6 +174,12 @@ pub struct SolveOptions {
     /// stencils, matrix rows for CSR). `None` uses the operator's L2
     /// working-set heuristic. Ignored under [`BasisEngine::Naive`].
     pub mpk_tile: Option<usize>,
+    /// Instruction-set backend for leaf kernels (never changes bits; see
+    /// [`SimdPolicy`]). Variants install it on the solve thread via
+    /// [`SolveOptions::simd_guard`].
+    pub simd_policy: SimdPolicy,
+    /// Working precision of the vector recurrences (see [`Precision`]).
+    pub precision: Precision,
     /// Span tracer for critical-path profiling (None = untraced). When
     /// attached, solver helpers record [`vr_obs`] spans on shard 0 and the
     /// team/kernel layers add worker-side detail. Tracing never changes
@@ -156,6 +205,8 @@ impl Default for SolveOptions {
             checksum_detected: Arc::new(AtomicU64::new(0)),
             basis_engine: BasisEngine::default(),
             mpk_tile: None,
+            simd_policy: SimdPolicy::default(),
+            precision: Precision::default(),
             tracer: None,
         }
     }
@@ -218,6 +269,35 @@ impl SolveOptions {
         self
     }
 
+    /// Set the instruction-set backend policy (see [`SimdPolicy`]).
+    #[must_use]
+    pub fn with_simd_policy(mut self, policy: SimdPolicy) -> Self {
+        self.simd_policy = policy;
+        self
+    }
+
+    /// Set the working precision (see [`Precision`]).
+    #[must_use]
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Install this solve's [`SimdPolicy`] on the calling thread for the
+    /// duration of the returned guard. Variants call this once at the top
+    /// of `solve`, next to [`SolveOptions::trace_attach`]. `Auto` installs
+    /// nothing (ambient level); `Scalar`/`Simd` pin the backend via
+    /// [`vr_par::simd::lane_guard`]. Team workers always run at the
+    /// process level — safe because every level produces the same bits.
+    #[must_use]
+    pub fn simd_guard(&self) -> Option<vr_par::simd::LaneGuard> {
+        match self.simd_policy {
+            SimdPolicy::Auto => None,
+            SimdPolicy::Scalar => Some(vr_par::simd::lane_guard(vr_par::simd::SimdLevel::Scalar)),
+            SimdPolicy::Simd => Some(vr_par::simd::lane_guard(vr_par::simd::auto_level())),
+        }
+    }
+
     /// Attach a span tracer (size it with [`vr_obs::Tracer::for_width`] to
     /// match `threads` if worker-side detail is wanted).
     #[must_use]
@@ -256,12 +336,27 @@ impl SolveOptions {
     /// when not. The untraced cost is this one branch.
     #[inline]
     pub(crate) fn span<R>(&self, kind: vr_obs::SpanKind, f: impl FnOnce() -> R) -> R {
+        self.span_bytes(kind, 0, f)
+    }
+
+    /// [`SolveOptions::span`] carrying a logical-traffic byte tally: the
+    /// vector elements the wrapped sweep accesses × their element width,
+    /// read-modify-write streams counted twice (see
+    /// [`vr_obs::Span::bytes`]). Untraced, `bytes` is dropped unevaluated
+    /// work-free — callers pass a precomputed product, never a closure.
+    #[inline]
+    pub(crate) fn span_bytes<R>(
+        &self,
+        kind: vr_obs::SpanKind,
+        bytes: u64,
+        f: impl FnOnce() -> R,
+    ) -> R {
         match self.tracer.as_deref() {
             None => f(),
             Some(tr) => {
                 let start = tr.now_ns();
                 let out = f();
-                tr.record_since(0, kind, start);
+                tr.record_since_bytes(0, kind, start, bytes);
                 out
             }
         }
@@ -367,7 +462,7 @@ impl SolveOptions {
     pub fn dot(&self, x: &[f64], y: &[f64]) -> f64 {
         // The caller consumes the scalar immediately, so the whole call —
         // leaf sweep plus fan-in — is dependency-gated (`DotWait`).
-        self.span(vr_obs::SpanKind::DotWait, || {
+        self.span_bytes(vr_obs::SpanKind::DotWait, 16 * x.len() as u64, || {
             let t = self.team();
             match &self.injector {
                 Some(inj) => reduce::par_dot_with_in(t.as_deref(), x, y, inj.as_ref()),
@@ -415,9 +510,14 @@ impl SolveOptions {
     ) -> f64 {
         counts.matvecs += 1;
         counts.dots += 1;
+        // Byte tallies cover the *vector* streams only (x read, y write =
+        // 16n; the ride-along dot re-reads both = +16n) — operator-internal
+        // data (CSR values/indices, stencil coefficients) is not counted,
+        // matching `SolveOptions::matvec`.
+        let mv_bytes = 16 * x.len() as u64;
         let t = self.team();
         if self.injector.is_some() {
-            self.span(vr_obs::SpanKind::Matvec, || {
+            self.span_bytes(vr_obs::SpanKind::Matvec, mv_bytes, || {
                 a.apply_team(t.as_deref(), x, y)
             });
             return self.dot(x, y);
@@ -430,22 +530,24 @@ impl SolveOptions {
             // attributed separately.
             DotMode::Tree => {
                 let t = t.as_deref();
-                self.span(vr_obs::SpanKind::Matvec, || a.apply_team(t, x, y));
-                self.span(vr_obs::SpanKind::DotWait, || reduce::par_dot_in(t, x, y))
+                self.span_bytes(vr_obs::SpanKind::Matvec, mv_bytes, || a.apply_team(t, x, y));
+                self.span_bytes(vr_obs::SpanKind::DotWait, mv_bytes, || {
+                    reduce::par_dot_in(t, x, y)
+                })
             }
             DotMode::Serial | DotMode::Kahan => {
                 if t.is_none() && self.fuse() {
                     counts.fused_ops += 1;
                     // Single fused sweep: the dot rides the matvec's memory
                     // traffic, so the whole pass is attributed as matvec.
-                    self.span(vr_obs::SpanKind::Matvec, || {
+                    self.span_bytes(vr_obs::SpanKind::Matvec, mv_bytes, || {
                         a.apply_dot(self.dot_mode, x, y)
                     })
                 } else {
-                    self.span(vr_obs::SpanKind::Matvec, || {
+                    self.span_bytes(vr_obs::SpanKind::Matvec, mv_bytes, || {
                         a.apply_team(t.as_deref(), x, y)
                     });
-                    self.span(vr_obs::SpanKind::DotWait, || {
+                    self.span_bytes(vr_obs::SpanKind::DotWait, mv_bytes, || {
                         kernels::dot(self.dot_mode, x, y)
                     })
                 }
@@ -467,10 +569,12 @@ impl SolveOptions {
     ) -> f64 {
         counts.vector_ops += 2;
         counts.dots += 1;
+        // p, w read; x, r read-modify-write → 6 streams of f64.
+        let up_bytes = 48 * p.len() as u64;
         let t = self.team();
         let t = t.as_deref();
         if !self.fuse() {
-            self.span(vr_obs::SpanKind::VectorOp, || {
+            self.span_bytes(vr_obs::SpanKind::VectorOp, up_bytes, || {
                 team::par_axpy_in(t, lambda, p, x);
                 team::par_axpy_in(t, -lambda, w, r);
             });
@@ -481,14 +585,16 @@ impl SolveOptions {
         // partials ride along, so the pass is `VectorOp`; only the fan-in
         // inside the kernel (recorded as `DotFanIn` at the combine choke
         // point) is dependency-gated.
-        self.span(vr_obs::SpanKind::VectorOp, || match &self.injector {
-            Some(inj) => fused::par_update_xr_with_in(t, lambda, p, w, x, r, inj.as_ref()),
-            None => match self.dot_mode {
-                DotMode::Tree => fused::par_update_xr_in(t, lambda, p, w, x, r),
-                DotMode::Serial | DotMode::Kahan => {
-                    fused::update_xr(self.dot_mode, lambda, p, w, x, r)
-                }
-            },
+        self.span_bytes(vr_obs::SpanKind::VectorOp, up_bytes, || {
+            match &self.injector {
+                Some(inj) => fused::par_update_xr_with_in(t, lambda, p, w, x, r, inj.as_ref()),
+                None => match self.dot_mode {
+                    DotMode::Tree => fused::par_update_xr_in(t, lambda, p, w, x, r),
+                    DotMode::Serial | DotMode::Kahan => {
+                        fused::update_xr(self.dot_mode, lambda, p, w, x, r)
+                    }
+                },
+            }
         })
     }
 
@@ -504,19 +610,25 @@ impl SolveOptions {
     ) -> f64 {
         counts.vector_ops += 1;
         counts.dots += 1;
+        // x read, y read-modify-write, z read by the folded dot → 4 streams.
+        let op_bytes = 32 * x.len() as u64;
         let t = self.team();
         let t = t.as_deref();
         if !self.fuse() {
-            self.span(vr_obs::SpanKind::VectorOp, || team::par_axpy_in(t, a, x, y));
+            self.span_bytes(vr_obs::SpanKind::VectorOp, 24 * x.len() as u64, || {
+                team::par_axpy_in(t, a, x, y)
+            });
             return self.dot(y, z);
         }
         counts.fused_ops += 1;
-        self.span(vr_obs::SpanKind::VectorOp, || match &self.injector {
-            Some(inj) => fused::par_axpy_dot_with_in(t, a, x, y, z, inj.as_ref()),
-            None => match self.dot_mode {
-                DotMode::Tree => fused::par_axpy_dot_in(t, a, x, y, z),
-                DotMode::Serial | DotMode::Kahan => fused::axpy_dot(self.dot_mode, a, x, y, z),
-            },
+        self.span_bytes(vr_obs::SpanKind::VectorOp, op_bytes, || {
+            match &self.injector {
+                Some(inj) => fused::par_axpy_dot_with_in(t, a, x, y, z, inj.as_ref()),
+                None => match self.dot_mode {
+                    DotMode::Tree => fused::par_axpy_dot_in(t, a, x, y, z),
+                    DotMode::Serial | DotMode::Kahan => fused::axpy_dot(self.dot_mode, a, x, y, z),
+                },
+            }
         })
     }
 
@@ -525,19 +637,27 @@ impl SolveOptions {
     pub fn axpy_norm2_sq(&self, a: f64, x: &[f64], y: &mut [f64], counts: &mut OpCounts) -> f64 {
         counts.vector_ops += 1;
         counts.dots += 1;
+        // x read, y read-modify-write (the norm rides the update) → 3 streams.
+        let op_bytes = 24 * x.len() as u64;
         let t = self.team();
         let t = t.as_deref();
         if !self.fuse() {
-            self.span(vr_obs::SpanKind::VectorOp, || team::par_axpy_in(t, a, x, y));
+            self.span_bytes(vr_obs::SpanKind::VectorOp, op_bytes, || {
+                team::par_axpy_in(t, a, x, y)
+            });
             return self.dot(y, y);
         }
         counts.fused_ops += 1;
-        self.span(vr_obs::SpanKind::VectorOp, || match &self.injector {
-            Some(inj) => fused::par_axpy_norm2_sq_with_in(t, a, x, y, inj.as_ref()),
-            None => match self.dot_mode {
-                DotMode::Tree => fused::par_axpy_norm2_sq_in(t, a, x, y),
-                DotMode::Serial | DotMode::Kahan => fused::axpy_norm2_sq(self.dot_mode, a, x, y),
-            },
+        self.span_bytes(vr_obs::SpanKind::VectorOp, op_bytes, || {
+            match &self.injector {
+                Some(inj) => fused::par_axpy_norm2_sq_with_in(t, a, x, y, inj.as_ref()),
+                None => match self.dot_mode {
+                    DotMode::Tree => fused::par_axpy_norm2_sq_in(t, a, x, y),
+                    DotMode::Serial | DotMode::Kahan => {
+                        fused::axpy_norm2_sq(self.dot_mode, a, x, y)
+                    }
+                },
+            }
         })
     }
 
@@ -554,13 +674,18 @@ impl SolveOptions {
         let t = t.as_deref();
         // Eager pair: the sweep produces only dot partials and the caller
         // consumes both scalars immediately — the whole call is gated.
-        self.span(vr_obs::SpanKind::DotWait, || match &self.injector {
-            Some(inj) => fused::par_dot2_with_in(t, x, y, z, inj.as_ref()),
-            None => match self.dot_mode {
-                DotMode::Tree => fused::par_dot2_in(t, x, y, z),
-                DotMode::Serial | DotMode::Kahan => fused::dot2(self.dot_mode, x, y, z),
+        // x, y, z each read once in the shared sweep → 3 streams.
+        self.span_bytes(
+            vr_obs::SpanKind::DotWait,
+            24 * x.len() as u64,
+            || match &self.injector {
+                Some(inj) => fused::par_dot2_with_in(t, x, y, z, inj.as_ref()),
+                None => match self.dot_mode {
+                    DotMode::Tree => fused::par_dot2_in(t, x, y, z),
+                    DotMode::Serial | DotMode::Kahan => fused::dot2(self.dot_mode, x, y, z),
+                },
             },
-        })
+        )
     }
 
     /// Split-phase variant of [`SolveOptions::dot2`]: *launch* both
@@ -599,7 +724,8 @@ impl SolveOptions {
         // `PendingScalar::wait` consume points are gated (`DeferredWait`).
         if self.fuse() {
             counts.fused_ops += 1;
-            let folded = self.span(vr_obs::SpanKind::DotLaunch, || {
+            // Shared sweep: x, y, z read once → 3 streams.
+            let folded = self.span_bytes(vr_obs::SpanKind::DotLaunch, 24 * x.len() as u64, || {
                 fused::par_dot2_partials_in(t, x, y, z)
             });
             match folded {
@@ -610,12 +736,14 @@ impl SolveOptions {
                 ),
             }
         } else {
-            let (py, pz) = self.span(vr_obs::SpanKind::DotLaunch, || {
-                (
-                    reduce::par_dot_partials_in(t, x, y),
-                    reduce::par_dot_partials_in(t, x, z),
-                )
-            });
+            // Two separate sweeps, each reading two vectors → 4 streams.
+            let (py, pz) =
+                self.span_bytes(vr_obs::SpanKind::DotLaunch, 32 * x.len() as u64, || {
+                    (
+                        reduce::par_dot_partials_in(t, x, y),
+                        reduce::par_dot_partials_in(t, x, z),
+                    )
+                });
             match (py, pz) {
                 (Ok(py), Ok(pz)) => (PendingScalar::deferred(py), PendingScalar::deferred(pz)),
                 _ => (
@@ -646,12 +774,14 @@ impl SolveOptions {
         let t = self.team();
         let t = t.as_deref();
         if self.checksum {
-            let launched = self.span(vr_obs::SpanKind::DotLaunch, || {
-                (
-                    reduce::par_dot_partials_in(t, x, y),
-                    reduce::par_dot_partials_in(t, x, y),
-                )
-            });
+            // Duplicate sweeps for the checksum: 2 × (x, y read).
+            let launched =
+                self.span_bytes(vr_obs::SpanKind::DotLaunch, 32 * x.len() as u64, || {
+                    (
+                        reduce::par_dot_partials_in(t, x, y),
+                        reduce::par_dot_partials_in(t, x, y),
+                    )
+                });
             let (Ok(mut pa), Ok(mut pb)) = launched else {
                 return PendingScalar::ready(f64::NAN);
             };
@@ -665,7 +795,7 @@ impl SolveOptions {
             }
             return PendingScalar::checked_deferred(pa, pb, Arc::clone(&self.checksum_detected));
         }
-        let folded = self.span(vr_obs::SpanKind::DotLaunch, || {
+        let folded = self.span_bytes(vr_obs::SpanKind::DotLaunch, 16 * x.len() as u64, || {
             reduce::par_dot_partials_in(t, x, y)
         });
         match folded {
@@ -692,7 +822,8 @@ impl SolveOptions {
         counts.dots += 2;
         let t = self.team();
         let t = t.as_deref();
-        let launched = self.span(vr_obs::SpanKind::DotLaunch, || {
+        // Four sweeps (two per dot for the checksum), two reads each.
+        let launched = self.span_bytes(vr_obs::SpanKind::DotLaunch, 64 * x.len() as u64, || {
             let ya = reduce::par_dot_partials_in(t, x, y);
             let za = reduce::par_dot_partials_in(t, x, z);
             let yb = reduce::par_dot_partials_in(t, x, y);
@@ -722,10 +853,14 @@ impl SolveOptions {
     /// Team-parallel `y ← A·x`; tallies one matvec. The matvec has no
     /// fault surface (faults inject on reductions and scalar recurrences),
     /// and row partitions are bit-exact at any width.
+    ///
+    /// Byte accounting covers the vector streams only (x read, y write);
+    /// operator-internal data — CSR values/indices, stencil coefficients —
+    /// is excluded, keeping the tally operator-shape-independent.
     pub fn matvec(&self, a: &dyn LinearOperator, x: &[f64], y: &mut [f64], counts: &mut OpCounts) {
         counts.matvecs += 1;
         let t = self.team();
-        self.span(vr_obs::SpanKind::Matvec, || {
+        self.span_bytes(vr_obs::SpanKind::Matvec, 16 * x.len() as u64, || {
             a.apply_team(t.as_deref(), x, y)
         });
     }
@@ -748,7 +883,8 @@ impl SolveOptions {
     pub fn axpy(&self, a: f64, x: &[f64], y: &mut [f64], counts: &mut OpCounts) {
         counts.vector_ops += 1;
         let t = self.team();
-        self.span(vr_obs::SpanKind::VectorOp, || {
+        // x read, y read-modify-write → 3 streams.
+        self.span_bytes(vr_obs::SpanKind::VectorOp, 24 * x.len() as u64, || {
             team::par_axpy_in(t.as_deref(), a, x, y);
         });
     }
@@ -758,7 +894,8 @@ impl SolveOptions {
     pub fn xpay(&self, x: &[f64], a: f64, y: &mut [f64], counts: &mut OpCounts) {
         counts.vector_ops += 1;
         let t = self.team();
-        self.span(vr_obs::SpanKind::VectorOp, || {
+        // x read, y read-modify-write → 3 streams.
+        self.span_bytes(vr_obs::SpanKind::VectorOp, 24 * x.len() as u64, || {
             team::par_xpay_in(t.as_deref(), x, a, y);
         });
     }
@@ -783,6 +920,13 @@ pub enum Termination {
     /// The true residual grew beyond the policy's divergence factor
     /// (recovery-guarded solves only).
     Diverged,
+    /// The requested configuration is not supported by this variant — e.g.
+    /// [`Precision::Mixed`] on a variant without a mixed-precision path, or
+    /// on an operator without [`LinearOperator::apply_f32`]. The solve
+    /// performed no iterations; rejecting explicitly beats silently
+    /// falling back to `f64` and reporting numbers the caller would
+    /// misattribute.
+    Unsupported,
 }
 
 impl Termination {
@@ -892,6 +1036,14 @@ pub trait CgVariant {
     /// [`RecoveryStats::final_k`]).
     fn depth(&self) -> usize {
         0
+    }
+
+    /// Whether this variant supports [`Precision::Mixed`]. Defaults to
+    /// `false`; variants with a mixed-precision twin in [`crate::mixed`]
+    /// override it. A mixed solve on an ineligible variant terminates with
+    /// [`Termination::Unsupported`] instead of silently running in `f64`.
+    fn mixed_eligible(&self) -> bool {
+        false
     }
 }
 
@@ -1004,6 +1156,7 @@ mod tests {
             Termination::Breakdown,
             Termination::Stagnated,
             Termination::Diverged,
+            Termination::Unsupported,
         ] {
             assert!(!t.is_converged(), "{t:?}");
         }

@@ -88,9 +88,13 @@ impl CgVariant for SStepCg {
         x0: Option<&[f64]>,
         opts: &SolveOptions,
     ) -> SolveResult {
+        if opts.precision == crate::solver::Precision::Mixed {
+            return crate::mixed::reject(a, b, x0, opts);
+        }
         let s = self.s;
         let md = opts.dot_mode;
         let mut counts = OpCounts::default();
+        let _simd = opts.simd_guard();
         let _trace = opts.trace_attach();
         let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
         if x0.is_some() {

@@ -16,8 +16,10 @@
 //!   update `r[i] += (-λ)·w[i]` is the same IEEE operation sequence as
 //!   [`kernels::axpy`]`(-λ, w, r)`;
 //! * the `par_*` chunked variants reproduce the fixed 256-leaf chunk tree of
-//!   [`vr_par::reduce`], so they are bit-identical for any thread count and
-//!   to the composition `axpy` + [`vr_par::reduce::par_dot`];
+//!   [`vr_par::reduce`] with its canonical lane-blocked leaves
+//!   ([`vr_par::simd`]), so they are bit-identical for any thread count,
+//!   any SIMD backend, and to the composition `axpy` +
+//!   [`vr_par::reduce::par_dot`];
 //! * the `par_*_with` forms pass every leaf partial through the injector at
 //!   [`FaultSite::DotPartial`] and the combined value through
 //!   [`FaultSite::DotFinal`], in the same order as
@@ -384,13 +386,7 @@ pub fn par_update_xr_with_in(
         &mut [f64],
         &mut [f64],
     )| {
-        let mut acc = 0.0;
-        for i in 0..xc.len() {
-            xc[i] += lambda * pc[i];
-            rc[i] += (-lambda) * wc[i];
-            acc += rc[i] * rc[i];
-        }
-        acc
+        vr_par::simd::leaf_update_xr(lambda, pc, wc, xc, rc)
     });
     drop(work);
     match partials {
@@ -472,12 +468,7 @@ pub fn par_axpy_dot_with_in(
         &[f64],
         &mut [f64],
     )| {
-        let mut acc = 0.0;
-        for i in 0..yc.len() {
-            yc[i] += a * xc[i];
-            acc += yc[i] * zc[i];
-        }
-        acc
+        vr_par::simd::leaf_axpy_dot(a, xc, yc, zc)
     });
     drop(work);
     match partials {
@@ -535,12 +526,7 @@ pub fn par_axpy_norm2_sq_with_in(
         &[f64],
         &mut [f64],
     )| {
-        let mut acc = 0.0;
-        for i in 0..yc.len() {
-            yc[i] += a * xc[i];
-            acc += yc[i] * yc[i];
-        }
-        acc
+        vr_par::simd::leaf_axpy_norm2_sq(a, xc, yc)
     });
     drop(work);
     match partials {
@@ -598,12 +584,7 @@ pub fn par_xpay_norm2_sq_with_in(
         &[f64],
         &mut [f64],
     )| {
-        let mut acc = 0.0;
-        for i in 0..yc.len() {
-            yc[i] = xc[i] + a * yc[i];
-            acc += yc[i] * yc[i];
-        }
-        acc
+        vr_par::simd::leaf_xpay_norm2_sq(xc, a, yc)
     });
     drop(work);
     match partials {
@@ -676,6 +657,9 @@ pub fn par_waxpby_dot_with_in(
     if n == 0 {
         return inj.corrupt(FaultSite::DotFinal, 0.0);
     }
+    // `w` is a pure streaming write: bypass the cache when the whole output
+    // exceeds the probed L2-derived cutoff (values unchanged either way)
+    let nt = std::mem::size_of_val(w) > vr_par::cache::nt_store_cutoff_bytes();
     let chunk = n.div_ceil(CHUNKS);
     let mut work: Vec<_> = x
         .chunks(chunk)
@@ -690,12 +674,7 @@ pub fn par_waxpby_dot_with_in(
         &[f64],
         &mut [f64],
     )| {
-        let mut acc = 0.0;
-        for i in 0..wc.len() {
-            wc[i] = a * xc[i] + b * yc[i];
-            acc += wc[i] * zc[i];
-        }
-        acc
+        vr_par::simd::leaf_waxpby_dot(a, xc, b, yc, wc, zc, nt)
     });
     drop(work);
     match partials {
@@ -785,7 +764,7 @@ pub fn par_dot2_with_in(
 /// move). `tree_combine` of each partial vector reproduces the eager
 /// [`par_dot2`] values bit-for-bit, and the partials themselves are
 /// bit-identical to two separate [`vr_par::reduce::par_dot_partials_in`]
-/// sweeps (each chunk accumulator is an independent serial sum).
+/// sweeps (each chunk accumulator is an independent lane-blocked leaf sum).
 ///
 /// # Errors
 /// Returns [`Poisoned`] if the team is poisoned.
@@ -816,12 +795,7 @@ pub fn par_dot2_partials_in(
         &[f64],
         &[f64],
     )| {
-        let (mut ay, mut az) = (0.0, 0.0);
-        for i in 0..xc.len() {
-            ay += xc[i] * yc[i];
-            az += xc[i] * zc[i];
-        }
-        (ay, az)
+        vr_par::simd::leaf_dot2(xc, yc, zc)
     })?;
     let py: Vec<f64> = pairs.iter().map(|p| p.0).collect();
     let pz: Vec<f64> = pairs.iter().map(|p| p.1).collect();

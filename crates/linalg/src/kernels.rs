@@ -174,9 +174,7 @@ pub fn overlaps(a: &[f64], b: &[f64]) -> bool {
 pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
     debug_assert!(!overlaps(x, y), "axpy: x aliases y");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += a * xi;
-    }
+    vr_par::simd::leaf_axpy(a, x, y);
 }
 
 /// `y ← x + a·y` (xpay — the CG direction update `p ← r + α·p`).
@@ -185,9 +183,7 @@ pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
 pub fn xpay(x: &[f64], a: f64, y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "xpay: length mismatch");
     debug_assert!(!overlaps(x, y), "xpay: x aliases y");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi = xi + a * *yi;
-    }
+    vr_par::simd::leaf_xpay(x, a, y);
 }
 
 /// `w ← a·x + b·y` into a separate output.
@@ -199,9 +195,8 @@ pub fn waxpby(a: f64, x: &[f64], b: f64, y: &[f64], w: &mut [f64]) {
     assert_eq!(x.len(), w.len(), "waxpby: x/w length mismatch");
     debug_assert!(!overlaps(x, w), "waxpby: x aliases w");
     debug_assert!(!overlaps(y, w), "waxpby: y aliases w");
-    for ((wi, xi), yi) in w.iter_mut().zip(x).zip(y) {
-        *wi = a * xi + b * yi;
-    }
+    let nt = std::mem::size_of_val(w) > vr_par::cache::nt_store_cutoff_bytes();
+    vr_par::simd::leaf_waxpby(a, x, b, y, w, nt);
 }
 
 /// `x ← a·x`.

@@ -89,6 +89,24 @@ pub trait LinearOperator {
         y
     }
 
+    /// Working-precision matvec `y ← A·x` with `f32` storage *and* `f32`
+    /// arithmetic, returning `true` when performed.
+    ///
+    /// This is the operator half of mixed-precision CG: the solver keeps
+    /// its working vectors in `f32` and streams half the bytes per sweep,
+    /// while convergence decisions stay in `f64` (widened reductions plus
+    /// true-residual confirmation through [`LinearOperator::apply`]).
+    /// The per-row operation *sequence* must match `apply` — same
+    /// neighbor/coefficient order, narrowed — so the `f32` recurrence
+    /// tracks its `f64` twin as closely as `f32` rounding allows.
+    ///
+    /// The default returns `false` (no native `f32` path): mixed-precision
+    /// solvers must then reject the configuration rather than silently
+    /// widening every iterate. Matrix-free stencils and CSR override it.
+    fn apply_f32(&self, _x: &[f32], _y: &mut [f32]) -> bool {
+        false
+    }
+
     /// Fused `y ← A·x` returning `(x, y)` in the given summation order.
     ///
     /// The default is the two-pass composition `apply` + [`kernels::dot`].
@@ -198,6 +216,9 @@ impl<T: LinearOperator + ?Sized> LinearOperator for &T {
     }
     fn max_row_nnz(&self) -> usize {
         (**self).max_row_nnz()
+    }
+    fn apply_f32(&self, x: &[f32], y: &mut [f32]) -> bool {
+        (**self).apply_f32(x, y)
     }
     // Forward the fused entry points explicitly: falling back to the default
     // bodies here would silently discard `T`'s overrides behind a reference.

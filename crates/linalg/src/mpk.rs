@@ -37,18 +37,23 @@ use crate::{CsrMatrix, LinearOperator};
 use vr_par::team::{dispatch_width, SendPtr};
 use vr_par::Team;
 
-/// Working-set budget for one tile's rotating bands: three quarters of a
-/// conservative 2 MiB L2 slice, leaving the rest for the source and
-/// destination column streams and the matrix entries. Measured on the E18
-/// sweep: the larger tile amortizes the `2·(s−1)` recomputed ghost rows
-/// (≈ 25% redundant work at 1 MiB and s = 8, ≈ 14% here) and still leaves
-/// the bands L2-resident.
-pub const MPK_L2_BUDGET_BYTES: usize = 3 << 19;
+/// Working-set budget for one tile's rotating bands: three quarters of the
+/// *probed* per-core L2 ([`vr_par::cache::cache_info`]), leaving the rest
+/// for the source and destination column streams and the matrix entries.
+/// The 3/4 fraction reproduces the E18 sweep optimum (1.5 MiB on the 2 MiB
+/// measurement host): the larger tile amortizes the `2·(s−1)` recomputed
+/// ghost rows (≈ 25% redundant work at half the budget, ≈ 14% here) while
+/// keeping the bands L2-resident. `VR_L2_BYTES` overrides the probe for
+/// experiments; a conservative 1 MiB fallback applies when sysfs is absent.
+#[must_use]
+pub fn mpk_l2_budget_bytes() -> usize {
+    vr_par::cache::cache_info().l2_bytes / 4 * 3
+}
 
 /// Tile-size heuristic for grid-structured operators: the number of grid
 /// rows (2-D) or planes (3-D) per tile such that the three rotating
 /// ghost-zone bands of `tile + 2·(levels − 1)` rows fit in
-/// [`MPK_L2_BUDGET_BYTES`].
+/// [`mpk_l2_budget_bytes`].
 ///
 /// `row_elems` is the element count of one grid row/plane. Tile size never
 /// affects output bits (see the module docs), so this only has to be in the
@@ -57,17 +62,17 @@ pub const MPK_L2_BUDGET_BYTES: usize = 3 << 19;
 #[must_use]
 pub fn default_tile_rows(row_elems: usize, levels: usize) -> usize {
     let per_row_bytes = row_elems.max(1).saturating_mul(3 * 8);
-    let rows = MPK_L2_BUDGET_BYTES / per_row_bytes;
+    let rows = mpk_l2_budget_bytes() / per_row_bytes;
     rows.saturating_sub(2 * levels.saturating_sub(1))
         .clamp(4, 4096)
 }
 
 /// Tile-size heuristic for CSR row-range blocking: the number of matrix
 /// rows per tile such that the per-level halo scratch (`levels` live
-/// vectors of roughly tile length) stays inside [`MPK_L2_BUDGET_BYTES`].
+/// vectors of roughly tile length) stays inside [`mpk_l2_budget_bytes`].
 #[must_use]
 pub fn default_csr_tile_rows(nrows: usize, levels: usize) -> usize {
-    let rows = MPK_L2_BUDGET_BYTES / (8 * levels.max(1));
+    let rows = mpk_l2_budget_bytes() / (8 * levels.max(1));
     rows.clamp(256, nrows.max(256))
 }
 
@@ -177,21 +182,15 @@ impl MpkTransform<'_> {
                 } else {
                     scales[l % scales.len()]
                 };
-                for ((o, &image), &c) in out.iter_mut().zip(img).zip(cur) {
-                    *o = (image - sigma * c) * gamma;
-                }
+                vr_par::simd::leaf_newton_row(sigma, gamma, img, cur, out);
             }
             MpkTransform::Chebyshev { center, half_width } => {
                 if l == 0 {
-                    for ((o, &image), &c) in out.iter_mut().zip(img).zip(cur) {
-                        *o = (image - center * c) / half_width;
-                    }
+                    vr_par::simd::leaf_cheb0_row(center, half_width, img, cur, out);
                 } else {
                     let prev = prev.expect("combine_row: chebyshev l >= 1 needs prev");
                     assert_eq!(prev.len(), out.len(), "combine_row: prev/out length");
-                    for (((o, &image), &c), &p) in out.iter_mut().zip(img).zip(cur).zip(prev) {
-                        *o = 2.0 * (image - center * c) / half_width - p;
-                    }
+                    vr_par::simd::leaf_chebl_row(center, half_width, img, cur, prev, out);
                 }
             }
         }
@@ -297,12 +296,10 @@ pub fn naive_powers<A: LinearOperator + ?Sized>(
         if l + 1 < s {
             let (head, tail) = v.split_at_mut(l + 1);
             let cur = &head[l];
-            let prev: &[f64] = if l == 0 { &head[0] } else { &head[l - 1] };
+            let prev: Option<&[f64]> = if l == 0 { None } else { Some(&head[l - 1]) };
             let img = &av[l];
             let next = &mut tail[0];
-            for j in 0..n {
-                next[j] = transform.level(l, img[j], cur[j], prev[j]);
-            }
+            transform.combine_row(l, img, cur, prev, next);
         }
     }
 }
@@ -723,9 +720,16 @@ mod tests {
 
     #[test]
     fn tile_heuristics_are_sane() {
-        // 2-D Poisson at ny = 1024: a few dozen rows per tile.
-        let t = default_tile_rows(1024, 8);
-        assert!((4..=128).contains(&t), "unexpected 2-D tile: {t}");
+        // 2-D Poisson at ny = 1024: derived from the probed L2 budget so the
+        // test holds on any host (and under a `VR_L2_BYTES` override).
+        let budget = mpk_l2_budget_bytes();
+        let expect = (budget / (1024 * 3 * 8)).saturating_sub(14).clamp(4, 4096);
+        assert_eq!(default_tile_rows(1024, 8), expect);
+        // The budget itself is 3/4 of a plausible L2 slice.
+        assert!(
+            (48 * 1024..=48 << 20).contains(&budget),
+            "implausible MPK budget: {budget}"
+        );
         // Tiny rows clamp to the floor instead of exploding.
         assert_eq!(default_tile_rows(usize::MAX / 16, 8), 4);
         assert!(default_csr_tile_rows(1 << 20, 8) >= 256);

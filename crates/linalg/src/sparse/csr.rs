@@ -21,13 +21,29 @@ use crate::LinearOperator;
 ///                        vec![2.0, 1.0, 1.0, 2.0]).unwrap();
 /// assert_eq!(a.apply_alloc(&[1.0, 1.0]), vec![3.0, 3.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CsrMatrix {
     nrows: usize,
     ncols: usize,
     indptr: Vec<usize>,
     indices: Vec<usize>,
     data: Vec<f64>,
+    /// Lazily narrowed copy of `data` backing [`LinearOperator::apply_f32`]
+    /// (built on first mixed-precision matvec, invalidated by value
+    /// mutation). Cache state is excluded from `PartialEq`.
+    data_f32: std::sync::OnceLock<Vec<f32>>,
+}
+
+impl PartialEq for CsrMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        // Structural equality only: whether the f32 value cache has been
+        // materialized is not part of the matrix's identity.
+        self.nrows == other.nrows
+            && self.ncols == other.ncols
+            && self.indptr == other.indptr
+            && self.indices == other.indices
+            && self.data == other.data
+    }
 }
 
 impl CsrMatrix {
@@ -98,6 +114,7 @@ impl CsrMatrix {
             indptr,
             indices,
             data,
+            data_f32: std::sync::OnceLock::new(),
         })
     }
 
@@ -119,6 +136,7 @@ impl CsrMatrix {
             indptr,
             indices,
             data,
+            data_f32: std::sync::OnceLock::new(),
         }
     }
 
@@ -131,6 +149,7 @@ impl CsrMatrix {
             indptr: (0..=n).collect(),
             indices: (0..n).collect(),
             data: vec![1.0; n],
+            data_f32: std::sync::OnceLock::new(),
         }
     }
 
@@ -188,7 +207,9 @@ impl CsrMatrix {
     }
 
     /// Mutable value array (structure is immutable; values may be edited).
+    /// Invalidates the lazily-built `f32` value cache.
     pub fn data_mut(&mut self) -> &mut [f64] {
+        self.data_f32.take();
         &mut self.data
     }
 
@@ -325,8 +346,9 @@ impl CsrMatrix {
         self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
     }
 
-    /// Scale all values in place.
+    /// Scale all values in place. Invalidates the `f32` value cache.
     pub fn scale(&mut self, s: f64) {
+        self.data_f32.take();
         for v in &mut self.data {
             *v *= s;
         }
@@ -367,6 +389,29 @@ impl LinearOperator for CsrMatrix {
 
     fn max_row_nnz(&self) -> usize {
         CsrMatrix::max_row_nnz(self)
+    }
+
+    /// Native `f32` SpMV against a lazily narrowed copy of the value array
+    /// (built once, cached; see [`CsrMatrix::data_mut`] for invalidation).
+    /// The row accumulation is the [`CsrMatrix::spmv_into`] operation
+    /// sequence in `f32`.
+    #[allow(clippy::needless_range_loop)] // CSR row loop indexes indptr
+    fn apply_f32(&self, x: &[f32], y: &mut [f32]) -> bool {
+        assert_eq!(x.len(), self.ncols, "apply_f32: x length != ncols");
+        assert_eq!(y.len(), self.nrows, "apply_f32: y length != nrows");
+        let data = self
+            .data_f32
+            .get_or_init(|| self.data.iter().map(|&v| v as f32).collect());
+        for r in 0..self.nrows {
+            let lo = self.indptr[r];
+            let hi = self.indptr[r + 1];
+            let mut acc = 0.0f32;
+            for k in lo..hi {
+                acc += data[k] * x[self.indices[k]];
+            }
+            y[r] = acc;
+        }
+        true
     }
 
     /// Row-fused SpMV + dot: each row result is dotted with `x[r]` the

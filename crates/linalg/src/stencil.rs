@@ -182,6 +182,28 @@ impl Stencil2d {
         }
     }
 
+    /// One grid row of the stencil written contiguously into `out` via the
+    /// SIMD row kernel ([`vr_par::simd::leaf_stencil2d_row`]). The
+    /// per-element operation sequence is exactly [`Stencil2d::row_value`]
+    /// and bit-identical at every lane width, so this is interchangeable
+    /// with an emit-based [`Stencil2d::row_sweep`] that stores each value.
+    /// `row = i·ny` is the flat index of the row inside `x` (which may be a
+    /// band slice, as long as the needed neighbor rows are in-slice).
+    #[inline]
+    fn row_sweep_into(&self, x: &[f64], has_up: bool, has_down: bool, row: usize, out: &mut [f64]) {
+        let ny = self.ny;
+        let up = has_up.then(|| &x[row - ny..row]);
+        let down = has_down.then(|| &x[row + ny..row + 2 * ny]);
+        vr_par::simd::leaf_stencil2d_row(
+            2.0 + 2.0 * self.eps,
+            self.eps,
+            up,
+            down,
+            &x[row..row + ny],
+            out,
+        );
+    }
+
     /// Visit every grid point in row-major (strictly increasing `idx`)
     /// order with branch-free interiors — the throughput backbone of the
     /// fused entry points below.
@@ -206,16 +228,8 @@ impl Stencil2d {
     /// so any band partition is bit-identical to the serial `apply`.
     fn band_sweep_into(&self, x: &[f64], ilo: usize, ihi: usize, yband: &mut [f64]) {
         let (nx, ny) = (self.nx, self.ny);
-        let base = ilo * ny;
-        let mut emit = |idx: usize, v: f64| yband[idx - base] = v;
-        for i in ilo..ihi {
-            let row = i * ny;
-            match (i > 0, i + 1 < nx) {
-                (false, false) => self.row_sweep::<false, false>(x, row, &mut emit),
-                (false, true) => self.row_sweep::<false, true>(x, row, &mut emit),
-                (true, true) => self.row_sweep::<true, true>(x, row, &mut emit),
-                (true, false) => self.row_sweep::<true, false>(x, row, &mut emit),
-            }
+        for (i, yrow) in (ilo..ihi).zip(yband.chunks_exact_mut(ny)) {
+            self.row_sweep_into(x, i > 0, i + 1 < nx, i * ny, yrow);
         }
     }
 
@@ -280,17 +294,41 @@ impl LinearOperator for Stencil2d {
         let (nx, ny) = (self.nx, self.ny);
         assert_eq!(x.len(), nx * ny);
         assert_eq!(y.len(), nx * ny);
-        for i in 0..nx {
-            let row = i * ny;
-            for j in 0..ny {
-                let idx = row + j;
-                y[idx] = self.row_value(x, i, j, idx);
-            }
-        }
+        self.band_sweep_into(x, 0, nx, y);
     }
 
     fn max_row_nnz(&self) -> usize {
         5
+    }
+
+    /// Native `f32` sweep: the [`Stencil2d::row_value`] operation sequence
+    /// with every coefficient and operand narrowed to `f32`.
+    fn apply_f32(&self, x: &[f32], y: &mut [f32]) -> bool {
+        let (nx, ny) = (self.nx, self.ny);
+        assert_eq!(x.len(), nx * ny);
+        assert_eq!(y.len(), nx * ny);
+        let eps = self.eps as f32;
+        let center = 2.0 + 2.0 * eps;
+        for i in 0..nx {
+            for j in 0..ny {
+                let idx = i * ny + j;
+                let mut acc = center * x[idx];
+                if i > 0 {
+                    acc -= x[idx - ny];
+                }
+                if i + 1 < nx {
+                    acc -= x[idx + ny];
+                }
+                if j > 0 {
+                    acc -= eps * x[idx - 1];
+                }
+                if j + 1 < ny {
+                    acc -= eps * x[idx + 1];
+                }
+                y[idx] = acc;
+            }
+        }
+        true
     }
 
     /// Row-fused stencil application + dot: one sweep instead of two.
@@ -537,30 +575,18 @@ impl LinearOperator for Stencil2d {
                         // Pass 1: the stencil image of row i, written
                         // straight to its destination — the global av row
                         // when owned, a scratch row for ghosts. A plain
-                        // contiguous store keeps row_sweep vectorizable.
+                        // contiguous store feeds the SIMD row kernel.
                         let img_ptr = if owned {
                             unsafe { av_ptrs[l].get().add(i * ny) }
                         } else {
                             img_scratch
                         };
                         {
-                            let mut emit = |idx_rel: usize, image: f64| unsafe {
-                                *img_ptr.add(idx_rel - row_rel) = image;
-                            };
-                            match (i > 0, i + 1 < nx) {
-                                (false, false) => {
-                                    self.row_sweep::<false, false>(xs, row_rel, &mut emit);
-                                }
-                                (false, true) => {
-                                    self.row_sweep::<false, true>(xs, row_rel, &mut emit);
-                                }
-                                (true, true) => {
-                                    self.row_sweep::<true, true>(xs, row_rel, &mut emit);
-                                }
-                                (true, false) => {
-                                    self.row_sweep::<true, false>(xs, row_rel, &mut emit);
-                                }
-                            }
+                            // Safety: `img_ptr` addresses `ny` writable
+                            // elements (an owned global av row or the
+                            // scratch row) disjoint from `xs`.
+                            let img_row = unsafe { std::slice::from_raw_parts_mut(img_ptr, ny) };
+                            self.row_sweep_into(xs, i > 0, i + 1 < nx, row_rel, img_row);
                         }
                         // Pass 2: the column recurrence over the whole row
                         // (one transform dispatch per row, branch-free
@@ -654,103 +680,47 @@ impl Stencil3d {
 }
 
 impl Stencil3d {
-    /// One `j`-row of an `i`-plane: `emit(idx, v)` receives every
-    /// `v = row_value(x, i, j, k, idx)` of the row starting at flat index
-    /// `row` in `k` order. `IL`/`IH`/`JL`/`JH` encode the neighbor-plane
-    /// and neighbor-row existence at compile time, so the monomorphized
-    /// interior loop carries no per-element conditionals — the
-    /// floating-point sequence per element is still exactly
-    /// [`Stencil3d::row_value`].
+    /// One `k`-row written contiguously into `out` via the SIMD row kernel
+    /// ([`vr_par::simd::leaf_stencil3d_row`]) — the 3-D analogue of
+    /// [`Stencil2d::row_sweep_into`], with the exact
+    /// [`Stencil3d::row_value`] operation sequence per element.
     #[inline]
-    fn row3_sweep<const IL: bool, const IH: bool, const JL: bool, const JH: bool>(
+    #[allow(clippy::too_many_arguments)]
+    fn row3_sweep_into(
         &self,
         x: &[f64],
+        has_il: bool,
+        has_ih: bool,
+        has_jl: bool,
+        has_jh: bool,
         row: usize,
-        emit: &mut impl FnMut(usize, f64),
+        out: &mut [f64],
     ) {
         let n = self.n;
         let n2 = n * n;
-        // first column: no k-low neighbor
-        let idx = row;
-        let mut acc = 6.0 * x[idx];
-        if IL {
-            acc -= x[idx - n2];
-        }
-        if IH {
-            acc -= x[idx + n2];
-        }
-        if JL {
-            acc -= x[idx - n];
-        }
-        if JH {
-            acc -= x[idx + n];
-        }
-        if n > 1 {
-            acc -= x[idx + 1];
-        }
-        emit(idx, acc);
-        // interior columns: all six neighbors, branch-free
-        for k in 1..n.max(1) - 1 {
-            let idx = row + k;
-            let mut acc = 6.0 * x[idx];
-            if IL {
-                acc -= x[idx - n2];
-            }
-            if IH {
-                acc -= x[idx + n2];
-            }
-            if JL {
-                acc -= x[idx - n];
-            }
-            if JH {
-                acc -= x[idx + n];
-            }
-            acc -= x[idx - 1];
-            acc -= x[idx + 1];
-            emit(idx, acc);
-        }
-        // last column: no k-high neighbor
-        if n > 1 {
-            let idx = row + n - 1;
-            let mut acc = 6.0 * x[idx];
-            if IL {
-                acc -= x[idx - n2];
-            }
-            if IH {
-                acc -= x[idx + n2];
-            }
-            if JL {
-                acc -= x[idx - n];
-            }
-            if JH {
-                acc -= x[idx + n];
-            }
-            acc -= x[idx - 1];
-            emit(idx, acc);
-        }
+        let ilo = has_il.then(|| &x[row - n2..row - n2 + n]);
+        let ihi = has_ih.then(|| &x[row + n2..row + n2 + n]);
+        let jlo = has_jl.then(|| &x[row - n..row]);
+        let jhi = has_jh.then(|| &x[row + n..row + 2 * n]);
+        vr_par::simd::leaf_stencil3d_row(ilo, ihi, jlo, jhi, &x[row..row + n], out);
     }
 
-    /// One whole `i`-plane (`n²` contiguous flat indices starting at
-    /// `plane`) in strictly increasing `idx` order, dispatching the
-    /// const-generic row kind once per `j`-row — the 3-D analogue of
-    /// [`Stencil2d::row_sweep`].
+    /// One whole `i`-plane written contiguously into `out` (`n²` elements)
+    /// through [`Stencil3d::row3_sweep_into`], dispatching the row kind
+    /// once per `j`-row.
     #[inline]
-    fn plane_sweep<const IL: bool, const IH: bool>(
+    fn plane_sweep_into(
         &self,
         x: &[f64],
+        has_il: bool,
+        has_ih: bool,
         plane: usize,
-        emit: &mut impl FnMut(usize, f64),
+        out: &mut [f64],
     ) {
         let n = self.n;
-        if n == 1 {
-            self.row3_sweep::<IL, IH, false, false>(x, plane, emit);
-            return;
+        for (j, orow) in out.chunks_exact_mut(n).enumerate() {
+            self.row3_sweep_into(x, has_il, has_ih, j > 0, j + 1 < n, plane + j * n, orow);
         }
-        self.row3_sweep::<IL, IH, false, true>(x, plane, emit);
-        for j in 1..n - 1 {
-            self.row3_sweep::<IL, IH, true, true>(x, plane + j * n, emit);
-        }
-        self.row3_sweep::<IL, IH, true, false>(x, plane + (n - 1) * n, emit);
     }
 }
 
@@ -764,19 +734,50 @@ impl LinearOperator for Stencil3d {
         assert_eq!(x.len(), n * n * n);
         assert_eq!(y.len(), n * n * n);
         let n2 = n * n;
-        for i in 0..n {
-            for j in 0..n {
-                let base = i * n2 + j * n;
-                for k in 0..n {
-                    let idx = base + k;
-                    y[idx] = self.row_value(x, i, j, k, idx);
-                }
-            }
+        for (i, yplane) in y.chunks_exact_mut(n2).enumerate() {
+            self.plane_sweep_into(x, i > 0, i + 1 < n, i * n2, yplane);
         }
     }
 
     fn max_row_nnz(&self) -> usize {
         7
+    }
+
+    /// Native `f32` sweep: the [`Stencil3d::row_value`] operation sequence
+    /// with every operand narrowed to `f32`.
+    fn apply_f32(&self, x: &[f32], y: &mut [f32]) -> bool {
+        let n = self.n;
+        assert_eq!(x.len(), n * n * n);
+        assert_eq!(y.len(), n * n * n);
+        let n2 = n * n;
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let idx = (i * n + j) * n + k;
+                    let mut acc = 6.0 * x[idx];
+                    if i > 0 {
+                        acc -= x[idx - n2];
+                    }
+                    if i + 1 < n {
+                        acc -= x[idx + n2];
+                    }
+                    if j > 0 {
+                        acc -= x[idx - n];
+                    }
+                    if j + 1 < n {
+                        acc -= x[idx + n];
+                    }
+                    if k > 0 {
+                        acc -= x[idx - 1];
+                    }
+                    if k + 1 < n {
+                        acc -= x[idx + 1];
+                    }
+                    y[idx] = acc;
+                }
+            }
+        }
+        true
     }
 
     /// Row-fused stencil application + dot.
@@ -901,14 +902,8 @@ impl LinearOperator for Stencil3d {
                 let yband = unsafe {
                     std::slice::from_raw_parts_mut(yp.get().add(ilo * n2), (ihi - ilo) * n2)
                 };
-                for i in ilo..ihi {
-                    for j in 0..n {
-                        let base = i * n2 + j * n;
-                        for k in 0..n {
-                            let idx = base + k;
-                            yband[idx - ilo * n2] = self.row_value(x, i, j, k, idx);
-                        }
-                    }
+                for (i, yplane) in (ilo..ihi).zip(yband.chunks_exact_mut(n2)) {
+                    self.plane_sweep_into(x, i > 0, i + 1 < n, i * n2, yplane);
                 }
             },
             width,
@@ -1015,30 +1010,18 @@ impl LinearOperator for Stencil3d {
                         // Pass 1: the stencil image of plane i, written
                         // straight to its destination — the global av plane
                         // when owned, a scratch plane for ghosts. A plain
-                        // contiguous store keeps plane_sweep vectorizable.
+                        // contiguous store feeds the SIMD row kernel.
                         let img_ptr = if owned {
                             unsafe { av_ptrs[l].get().add(i * n2) }
                         } else {
                             img_scratch
                         };
                         {
-                            let mut emit = |idx_rel: usize, image: f64| unsafe {
-                                *img_ptr.add(idx_rel - plane_rel) = image;
-                            };
-                            match (i > 0, i + 1 < n) {
-                                (false, false) => {
-                                    self.plane_sweep::<false, false>(xs, plane_rel, &mut emit);
-                                }
-                                (false, true) => {
-                                    self.plane_sweep::<false, true>(xs, plane_rel, &mut emit);
-                                }
-                                (true, true) => {
-                                    self.plane_sweep::<true, true>(xs, plane_rel, &mut emit);
-                                }
-                                (true, false) => {
-                                    self.plane_sweep::<true, false>(xs, plane_rel, &mut emit);
-                                }
-                            }
+                            // Safety: `img_ptr` addresses `n²` writable
+                            // elements (an owned global av plane or the
+                            // scratch plane) disjoint from `xs`.
+                            let img_plane = unsafe { std::slice::from_raw_parts_mut(img_ptr, n2) };
+                            self.plane_sweep_into(xs, i > 0, i + 1 < n, plane_rel, img_plane);
                         }
                         // Pass 2: the column recurrence over the whole plane
                         // (one transform dispatch per plane, branch-free

@@ -41,9 +41,13 @@ pub fn trace_json(log: &TraceLog) -> String {
             let _ = write!(
                 out,
                 "{{\"name\": \"{}\", \"cat\": \"solver\", \"ph\": \"X\", \
-                 \"ts\": {ts_us:.3}, \"dur\": {dur_us:.3}, \"pid\": 1, \"tid\": {shard}}}",
+                 \"ts\": {ts_us:.3}, \"dur\": {dur_us:.3}, \"pid\": 1, \"tid\": {shard}",
                 span.kind.name()
             );
+            if span.bytes > 0 {
+                let _ = write!(out, ", \"args\": {{\"bytes\": {}}}", span.bytes);
+            }
+            out.push('}');
         }
     }
     let _ = write!(
@@ -68,6 +72,7 @@ mod tests {
                     Span {
                         start_ns: 1500,
                         end_ns: 1500,
+                        bytes: 0,
                         kind: SpanKind::IterMark,
                     },
                 ),
@@ -76,6 +81,7 @@ mod tests {
                     Span {
                         start_ns: 2000,
                         end_ns: 4500,
+                        bytes: 4096,
                         kind: SpanKind::TeamEpoch,
                     },
                 ),
@@ -89,6 +95,7 @@ mod tests {
         assert!(json.contains("\"dur\": 2.500"));
         assert!(json.contains("\"tid\": 1"));
         assert!(json.contains("\"dropped_spans\": 3"));
+        assert!(json.contains("\"args\": {\"bytes\": 4096}"));
         // balanced braces/brackets (cheap well-formedness check)
         assert_eq!(
             json.matches('{').count(),

@@ -94,6 +94,11 @@ pub struct Report {
     /// Per-kind duration histograms over **all** shards, indexed by
     /// `SpanKind as usize`.
     pub kind_hist: Vec<DurationHist>,
+    /// Per-kind logical bytes moved ([`crate::span::Span::bytes`]) over
+    /// **all** shards, indexed by `SpanKind as usize`. Sites that don't
+    /// account traffic contribute 0, so this is a lower bound on true
+    /// memory traffic but an exact tally of the accounted sweeps.
+    pub kind_bytes: Vec<u64>,
 }
 
 impl Report {
@@ -109,14 +114,28 @@ impl Report {
     pub fn hist(&self, kind: SpanKind) -> &DurationHist {
         &self.kind_hist[kind as usize]
     }
+
+    /// Logical bytes moved by all spans of one kind.
+    #[must_use]
+    pub fn bytes(&self, kind: SpanKind) -> u64 {
+        self.kind_bytes[kind as usize]
+    }
+
+    /// Logical bytes moved by all accounted spans, every kind.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.kind_bytes.iter().sum()
+    }
 }
 
 /// Attribute a drained trace to per-iteration phases.
 #[must_use]
 pub fn attribute(log: &TraceLog) -> Report {
     let mut kind_hist: Vec<DurationHist> = ALL_KINDS.iter().map(|_| DurationHist::new()).collect();
+    let mut kind_bytes = vec![0u64; ALL_KINDS.len()];
     for (_, span) in &log.spans {
         kind_hist[span.kind as usize].record(span.dur_ns());
+        kind_bytes[span.kind as usize] += span.bytes;
     }
 
     // Iteration windows from shard-0 marks (log.spans is start-sorted).
@@ -205,6 +224,7 @@ pub fn attribute(log: &TraceLog) -> Report {
         totals,
         dropped: log.dropped,
         kind_hist,
+        kind_bytes,
     }
 }
 
@@ -219,9 +239,24 @@ mod tests {
             Span {
                 start_ns: start,
                 end_ns: end,
+                bytes: 0,
                 kind,
             },
         )
+    }
+
+    #[test]
+    fn bytes_aggregate_per_kind_across_shards() {
+        let t = Tracer::new(2, 16);
+        t.record_span_bytes(0, SpanKind::Matvec, 0, 10, 800);
+        t.record_span_bytes(0, SpanKind::VectorOp, 10, 20, 300);
+        t.record_span_bytes(1, SpanKind::Matvec, 0, 10, 800);
+        t.record_span(0, SpanKind::DotWait, 20, 30); // unaccounted: 0 bytes
+        let rep = attribute(&t.drain());
+        assert_eq!(rep.bytes(SpanKind::Matvec), 1600);
+        assert_eq!(rep.bytes(SpanKind::VectorOp), 300);
+        assert_eq!(rep.bytes(SpanKind::DotWait), 0);
+        assert_eq!(rep.total_bytes(), 1900);
     }
 
     #[test]

@@ -128,7 +128,7 @@ impl SpanKind {
     }
 }
 
-/// One recorded span: fixed-size, `Copy`, 24 bytes — ring buffers of these
+/// One recorded span: fixed-size, `Copy`, 32 bytes — ring buffers of these
 /// are preallocated so recording never touches the allocator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Span {
@@ -137,6 +137,13 @@ pub struct Span {
     /// End, nanoseconds since the tracer's clock origin. Equal to
     /// `start_ns` for instant events (`IterMark`).
     pub end_ns: u64,
+    /// Logical bytes the measured operation moved through memory: elements
+    /// accessed × element width, counting a read-modify-write stream twice.
+    /// 0 when the recording site does not account traffic. This is the
+    /// *algorithmic* traffic (what a perfect cache would move), so mixed
+    /// f32 sweeps report half the bytes of their f64 twins — the quantity
+    /// the E22 bandwidth accounting compares against measured time.
+    pub bytes: u64,
     /// What this span measures.
     pub kind: SpanKind,
 }

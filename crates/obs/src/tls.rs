@@ -65,6 +65,13 @@ pub fn is_attached() -> bool {
 /// Detached: one thread-local read, one branch, then `f` — no timestamps.
 #[inline]
 pub fn with_span<R>(kind: SpanKind, f: impl FnOnce() -> R) -> R {
+    with_span_bytes(kind, 0, f)
+}
+
+/// [`with_span`] carrying a logical-traffic byte count (see
+/// [`crate::span::Span::bytes`]). Detached, `bytes` is simply dropped.
+#[inline]
+pub fn with_span_bytes<R>(kind: SpanKind, bytes: u64, f: impl FnOnce() -> R) -> R {
     match CURRENT.with(|c| c.get()) {
         None => f(),
         Some((tracer, shard)) => {
@@ -73,7 +80,7 @@ pub fn with_span<R>(kind: SpanKind, f: impl FnOnce() -> R) -> R {
             let tracer = unsafe { tracer.as_ref() };
             let start = tracer.now_ns();
             let r = f();
-            tracer.record_since(shard, kind, start);
+            tracer.record_since_bytes(shard, kind, start, bytes);
             r
         }
     }

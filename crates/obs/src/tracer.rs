@@ -26,7 +26,7 @@ use crate::clock::Clock;
 use crate::span::{Span, SpanKind};
 use std::cell::UnsafeCell;
 
-/// Default ring capacity per shard (spans). 24 bytes/span → ~1.5 MiB per
+/// Default ring capacity per shard (spans). 32 bytes/span → ~2 MiB per
 /// shard; ~20 spans/iteration means room for ~3000 iterations before the
 /// ring wraps.
 pub const DEFAULT_CAPACITY: usize = 1 << 16;
@@ -80,6 +80,7 @@ impl Tracer {
                         Span {
                             start_ns: 0,
                             end_ns: 0,
+                            bytes: 0,
                             kind: SpanKind::IterMark,
                         };
                         capacity
@@ -126,6 +127,20 @@ impl Tracer {
     /// shards are ignored.
     #[inline]
     pub fn record_span(&self, shard: usize, kind: SpanKind, start_ns: u64, end_ns: u64) {
+        self.record_span_bytes(shard, kind, start_ns, end_ns, 0);
+    }
+
+    /// [`Tracer::record_span`] carrying a logical-traffic byte count (see
+    /// [`Span::bytes`]).
+    #[inline]
+    pub fn record_span_bytes(
+        &self,
+        shard: usize,
+        kind: SpanKind,
+        start_ns: u64,
+        end_ns: u64,
+        bytes: u64,
+    ) {
         let Some(slot) = self.slots.get(shard) else {
             return;
         };
@@ -138,6 +153,7 @@ impl Tracer {
             log.buf[i] = Span {
                 start_ns,
                 end_ns,
+                bytes,
                 kind,
             };
             log.pushed += 1;
@@ -149,6 +165,13 @@ impl Tracer {
     pub fn record_since(&self, shard: usize, kind: SpanKind, start_ns: u64) {
         let end = self.now_ns();
         self.record_span(shard, kind, start_ns, end);
+    }
+
+    /// [`Tracer::record_since`] carrying a logical-traffic byte count.
+    #[inline]
+    pub fn record_since_bytes(&self, shard: usize, kind: SpanKind, start_ns: u64, bytes: u64) {
+        let end = self.now_ns();
+        self.record_span_bytes(shard, kind, start_ns, end, bytes);
     }
 
     /// Record an instant event (zero duration) at the current time.

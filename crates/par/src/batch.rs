@@ -45,11 +45,8 @@ pub fn multi_dot(pairs: &[(&[f64], &[f64])], threads: usize) -> Vec<f64> {
             let lo = c * chunk;
             let hi = ((c + 1) * chunk).min(n);
             for (k, (x, y)) in pairs.iter().enumerate() {
-                let mut acc = 0.0;
-                for i in lo..hi {
-                    acc += x[i] * y[i];
-                }
-                row[k] = acc;
+                // same lane-blocked leaf order as `reduce::par_dot`
+                row[k] = crate::simd::leaf_dot(&x[lo..hi], &y[lo..hi]);
             }
         }
     };

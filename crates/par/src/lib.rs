@@ -37,11 +37,13 @@
 #![warn(clippy::all)]
 
 pub mod batch;
+pub mod cache;
 pub mod fault;
 pub mod par;
 pub mod pipeline;
 pub mod pool;
 pub mod reduce;
+pub mod simd;
 pub mod team;
 
 pub use pipeline::PendingScalar;

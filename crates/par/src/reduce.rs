@@ -2,10 +2,14 @@
 //!
 //! The summation order is fixed by a *chunk tree*, not by thread timing:
 //! the input is split into `CHUNKS` equal pieces (a constant, independent of
-//! how many threads execute), each piece is reduced serially, and the piece
+//! how many threads execute), each piece is reduced in the canonical
+//! lane-blocked layout of [`crate::simd`] (element `i` of the piece feeds
+//! accumulator `i mod 8`, combined in a fixed association), and the piece
 //! results are combined by a binary fan-in tree. Consequences:
 //!
-//! 1. results are bit-for-bit identical for any thread count, and
+//! 1. results are bit-for-bit identical for any thread count *and* any
+//!    SIMD backend (the lane-blocked leaf order is what scalar, AVX2 and
+//!    AVX-512 all execute), and
 //! 2. the combine stage is literally the `⌈log₂ CHUNKS⌉`-deep tree the
 //!    paper's complexity argument counts.
 
@@ -131,20 +135,38 @@ pub fn par_norm2_sq_in(team: Option<&Team>, x: &[f64]) -> f64 {
     par_dot_in(team, x, x)
 }
 
-fn serial_dot(x: &[f64], y: &[f64]) -> f64 {
-    let mut acc = 0.0;
-    for (a, b) in x.iter().zip(y) {
-        acc += a * b;
+/// Deterministic chunked-tree widening dot over `f32` slices: the same
+/// fixed 256-leaf layout as [`par_dot`], with every product term widened to
+/// `f64` before accumulation (the mixed-precision working mode's dot).
+/// Serial by design — the mixed-precision solve loops are single-sweep.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+#[must_use]
+pub fn dot_f32_wide(x: &[f32], y: &[f32]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot_f32_wide: length mismatch");
+    let n = x.len();
+    if n == 0 {
+        return 0.0;
     }
-    acc
+    let chunk = n.div_ceil(CHUNKS);
+    // Stack buffer, not a Vec: this dot sits in the mixed-precision hot
+    // loop, which promises zero allocations per iteration.
+    let mut partials = [0.0f64; CHUNKS];
+    let mut m = 0;
+    for (xc, yc) in x.chunks(chunk).zip(y.chunks(chunk)) {
+        partials[m] = crate::simd::leaf_dot_f32(xc, yc);
+        m += 1;
+    }
+    vr_obs::tls::with_span(vr_obs::SpanKind::DotFanIn, || tree_combine(&partials[..m]))
+}
+
+fn serial_dot(x: &[f64], y: &[f64]) -> f64 {
+    crate::simd::leaf_dot(x, y)
 }
 
 fn serial_sum(x: &[f64]) -> f64 {
-    let mut acc = 0.0;
-    for a in x {
-        acc += a;
-    }
-    acc
+    crate::simd::leaf_sum(x)
 }
 
 /// Deterministic parallel dot product with fault injection on the
@@ -379,5 +401,58 @@ mod tests {
         let a = par_dot(&x, &ones, 1);
         let b = tree_combine(&x);
         assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn leaf_order_is_the_canonical_lane_blocked_layout() {
+        // Pin the leaf summation order: each 256-tree leaf must equal the
+        // explicit 8-lane blocked reference, not a plain serial sum.
+        let n = 10_001usize;
+        let x: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i % 29) as f64) - 14.0).collect();
+        let chunk = n.div_ceil(CHUNKS);
+        let reference: Vec<f64> = x
+            .chunks(chunk)
+            .zip(y.chunks(chunk))
+            .map(|(xc, yc)| {
+                let mut acc = [0.0f64; 8];
+                for (i, (a, b)) in xc.iter().zip(yc).enumerate() {
+                    acc[i & 7] += a * b;
+                }
+                crate::simd::combine8(&acc)
+            })
+            .collect();
+        let partials = par_dot_partials_in(None, &x, &y).unwrap();
+        assert_eq!(partials.len(), reference.len());
+        for (p, r) in partials.iter().zip(&reference) {
+            assert_eq!(p.to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn reductions_bit_identical_across_simd_levels() {
+        use crate::simd::{available, with_level, SimdLevel};
+        let x: Vec<f64> = (0..33_333).map(|i| (i as f64 * 0.01).sin()).collect();
+        let y: Vec<f64> = (0..33_333).map(|i| (i as f64 * 0.02).cos()).collect();
+        let reference = with_level(SimdLevel::Scalar, || par_dot(&x, &y, 2));
+        for l in [SimdLevel::Avx2, SimdLevel::Avx512] {
+            if available(l) {
+                let got = with_level(l, || par_dot(&x, &y, 2));
+                assert_eq!(got.to_bits(), reference.to_bits(), "{l:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_f32_wide_is_deterministic_and_widening() {
+        let x: Vec<f32> = (0..12_345).map(|i| (i as f32 * 0.01).sin()).collect();
+        let y: Vec<f32> = (0..12_345).map(|i| (i as f32 * 0.02).cos()).collect();
+        let d = dot_f32_wide(&x, &y);
+        assert_eq!(d.to_bits(), dot_f32_wide(&x, &y).to_bits());
+        // widening reference: upcast then full-precision chunked dot
+        let xw: Vec<f64> = x.iter().map(|&v| f64::from(v)).collect();
+        let yw: Vec<f64> = y.iter().map(|&v| f64::from(v)).collect();
+        assert_eq!(d.to_bits(), par_dot(&xw, &yw, 1).to_bits());
+        assert_eq!(dot_f32_wide(&[], &[]), 0.0);
     }
 }

@@ -684,7 +684,7 @@ pub fn run_leaves_team<T: Send, R: Send + Copy + Default>(
 /// Panics if `x.len() != y.len()`.
 pub fn par_axpy_in(team: Option<&Team>, a: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "par_axpy_in: length mismatch");
-    elementwise_in(team, x, y, move |xi, yi| *yi += a * xi);
+    elementwise_in(team, x, y, move |xs, ys| crate::simd::leaf_axpy(a, xs, ys));
 }
 
 /// Team-backed `y ← x + a·y` (the `xpay` update of the direction vector).
@@ -694,16 +694,22 @@ pub fn par_axpy_in(team: Option<&Team>, a: f64, x: &[f64], y: &mut [f64]) {
 /// Panics if `x.len() != y.len()`.
 pub fn par_xpay_in(team: Option<&Team>, x: &[f64], a: f64, y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "par_xpay_in: length mismatch");
-    elementwise_in(team, x, y, move |xi, yi| *yi = xi + a * *yi);
+    elementwise_in(team, x, y, move |xs, ys| crate::simd::leaf_xpay(xs, a, ys));
 }
 
-fn elementwise_in(team: Option<&Team>, x: &[f64], y: &mut [f64], f: impl Fn(f64, &mut f64) + Sync) {
+/// Shard `y` (and the matching range of `x`) into contiguous blocks and run
+/// `f(x_block, y_block)` on each — the sweep body is a [`crate::simd`] leaf
+/// kernel, exact per element, so any sharding is bit-identical to serial.
+fn elementwise_in(
+    team: Option<&Team>,
+    x: &[f64],
+    y: &mut [f64],
+    f: impl Fn(&[f64], &mut [f64]) + Sync,
+) {
     let n = y.len();
     let width = dispatch_width(n, team.map_or(1, Team::live_width));
     if width <= 1 {
-        for (yi, xi) in y.iter_mut().zip(x) {
-            f(*xi, yi);
-        }
+        f(x, y);
         return;
     }
     let team = team.expect("width > 1 implies a team");
@@ -718,9 +724,7 @@ fn elementwise_in(team: Option<&Team>, x: &[f64], y: &mut [f64], f: impl Fn(f64,
             let hi = ((w + 1) * per).min(n);
             // Safety: disjoint ranges per shard; buffers outlive the epoch.
             let ys = unsafe { std::slice::from_raw_parts_mut(yp.get().add(lo), hi - lo) };
-            for (yi, xi) in ys.iter_mut().zip(&x[lo..hi]) {
-                f(*xi, yi);
-            }
+            f(&x[lo..hi], ys);
         },
         width,
     );

@@ -163,6 +163,53 @@ fn hot_loops_allocate_nothing_per_iteration_after_warmup() {
     // allocate a few times per iteration with or without a tracer, which
     // is why the assertion is traced == untraced rather than 10-iter ==
     // 40-iter.)
+    // The SIMD policy is one thread-local store and the mixed-precision
+    // path allocates its whole f32 working set (plus the f64 shadow-guard
+    // buffers) at solve start: extra iterations must stay allocation-free
+    // under both knobs — including the iteration that crosses the guard's
+    // confirmation period, whose true-residual check runs entirely in
+    // preallocated scratch. (The warm-up solve also fills the CsrMatrix
+    // f32 value cache, so it is not charged to the measured window.)
+    let mixed_variants: Vec<(Box<dyn CgVariant>, &str)> = vec![
+        (Box::new(StandardCg::new()), "standard"),
+        (
+            Box::new(vr_cg::overlap_k1::OverlapK1Cg::new()),
+            "overlap-k1",
+        ),
+        (Box::new(vr_cg::baselines::PipelinedCg::new()), "pipelined"),
+    ];
+    for (variant, label) in &mixed_variants {
+        for precision in [vr_cg::Precision::F64, vr_cg::Precision::Mixed] {
+            let measure = |max_iters: usize| {
+                let o = opts(max_iters, BasisEngine::Mpk)
+                    .with_simd_policy(vr_cg::SimdPolicy::Simd)
+                    .with_precision(precision);
+                let _ = variant.solve(&a, &b, None, &o); // warm-up
+                let mut best = u64::MAX;
+                for _ in 0..3 {
+                    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+                    let res = variant.solve(&a, &b, None, &o);
+                    let after = ALLOC_CALLS.load(Ordering::Relaxed);
+                    assert_eq!(
+                        res.termination,
+                        Termination::MaxIterations,
+                        "{label} ({precision:?}): tol=0 run must exhaust its budget"
+                    );
+                    best = best.min(after - before);
+                }
+                best
+            };
+            let short = measure(10);
+            let long = measure(40);
+            assert_eq!(
+                short, long,
+                "{label} (simd, {precision:?}): a 40-iteration solve \
+                 allocated {long} times vs {short} for 10 iterations — the \
+                 extra 30 iterations must be allocation-free"
+            );
+        }
+    }
+
     let tracer = std::sync::Arc::new(vr_obs::Tracer::for_width(1));
     let traced_variants: Vec<(Box<dyn CgVariant>, &str)> = vec![
         (Box::new(StandardCg::new()), "standard"),

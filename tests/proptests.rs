@@ -1238,3 +1238,114 @@ fn new_variants_survive_single_fault_with_checkpoint_rollback() {
         }
     });
 }
+
+// ---------- ninth wave: SIMD lanes and mixed precision ----------
+
+use cg_lookahead::cg::{Precision, SimdPolicy};
+
+fn mixed_eligible_trio() -> Vec<Box<dyn CgVariant>> {
+    vec![
+        Box::new(StandardCg::new()) as Box<dyn CgVariant>,
+        Box::new(OverlapK1Cg::new()),
+        Box::new(PipelinedCg::new()),
+    ]
+}
+
+/// Pinning the SIMD policy is unobservable on random SPD systems: under
+/// the order-preserving `Tree` reduction, `Scalar` and `Simd` solves are
+/// bit-for-bit identical — iterate and residual trace — for random
+/// dimensions straddling the 8-lane blocks.
+#[test]
+fn simd_policy_is_bit_invariant_on_random_spd() {
+    use cg_lookahead::linalg::kernels::DotMode;
+    check(24, |rng| {
+        let n = 16 + rng.below(70); // 16..=85: odd sizes included
+        let seed = rng.next_u64();
+        let a = gen::rand_spd(n, 4, 3.0, seed);
+        let b = gen::rand_vector(n, seed.wrapping_add(3));
+        let opts = SolveOptions::default()
+            .with_tol(1e-9)
+            .with_max_iters(600)
+            .with_dot_mode(DotMode::Tree);
+        for v in mixed_eligible_trio() {
+            let s = v.solve(
+                &a,
+                &b,
+                None,
+                &opts.clone().with_simd_policy(SimdPolicy::Scalar),
+            );
+            let w = v.solve(
+                &a,
+                &b,
+                None,
+                &opts.clone().with_simd_policy(SimdPolicy::Simd),
+            );
+            let eq =
+                s.x.iter()
+                    .zip(&w.x)
+                    .all(|(p, q)| p.to_bits() == q.to_bits())
+                    && s.residual_norms
+                        .iter()
+                        .zip(&w.residual_norms)
+                        .all(|(p, q)| p.to_bits() == q.to_bits())
+                    && s.residual_norms.len() == w.residual_norms.len();
+            assert!(
+                eq,
+                "{} n {n} seed {seed:#x}: simd changed the bits",
+                v.name()
+            );
+        }
+    });
+}
+
+/// Cools-style residual-replacement bound (per the 1601.07068 analysis of
+/// pipelined CG rounding errors): with `f32` working vectors, periodic
+/// true-residual confirmation, and residual replacement, the *f64 true*
+/// residual at exit may not drift beyond the recursive residual by more
+/// than O(ε₃₂ · (‖A‖·‖x‖ + ‖b‖)). The guard also forbids optimistic
+/// exits: a `Converged` claim must hold at the requested tolerance
+/// against the true residual.
+#[test]
+fn mixed_precision_residual_replacement_bound_on_random_spd() {
+    check(24, |rng| {
+        let n = 24 + rng.below(60);
+        let seed = rng.next_u64();
+        let a = gen::rand_spd(n, 4, 2.0 + rng.range_f64(0.0, 2.0), seed);
+        let b = gen::rand_vector(n, seed.wrapping_add(11));
+        let tol = 1e-5;
+        let opts = SolveOptions::default()
+            .with_tol(tol)
+            .with_max_iters(2000)
+            .with_precision(Precision::Mixed);
+        // ‖A‖_∞ from the row sums (exact for CSR)
+        let norm_a = (0..n)
+            .map(|i| a.row(i).map(|(_, v)| v.abs()).sum::<f64>())
+            .fold(0.0f64, f64::max);
+        let bnorm = kernels::norm2(&b);
+        for v in mixed_eligible_trio() {
+            let res = v.solve(&a, &b, None, &opts);
+            let true_res = res.true_residual(&a, &b);
+            let xnorm = kernels::norm2(&res.x);
+            // replacement bound: true residual tracks the recursive one up
+            // to the f32 working-precision floor of the problem's scale
+            let floor = 1e3 * f64::from(f32::EPSILON) * (norm_a * xnorm + bnorm);
+            assert!(
+                true_res <= res.final_residual + floor,
+                "{} n {n} seed {seed:#x}: true residual {true_res:e} exceeds \
+                 recursive {:e} + replacement floor {floor:e} ({:?})",
+                v.name(),
+                res.final_residual,
+                res.termination
+            );
+            // no optimistic exits
+            if res.converged {
+                assert!(
+                    true_res <= 10.0 * tol * bnorm,
+                    "{} n {n} seed {seed:#x}: claimed convergence at tol \
+                     {tol:e} but true residual is {true_res:e}",
+                    v.name()
+                );
+            }
+        }
+    });
+}

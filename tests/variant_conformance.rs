@@ -21,6 +21,11 @@
 //! 6. **Zero hot-path allocations** — after warm-up, extra iterations
 //!    allocate nothing (counting global allocator, 10- vs 40-iteration
 //!    budgets).
+//! 7. **Mixed precision** — eligible variants converge to an
+//!    f32-attainable floor with the claim confirmed against the f64 true
+//!    residual (never false convergence); ineligible variants reject with
+//!    [`Termination::Unsupported`] and zero iterations, not a silent f64
+//!    fallback.
 //!
 //! The allocation column needs a quiet window, so a process-wide mutex
 //! serializes every test in this binary against the measured solves.
@@ -30,7 +35,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use cg_lookahead::cg::registry::{keyed_variants, VARIANT_COUNT};
-use cg_lookahead::cg::{KernelPolicy, SolveOptions, SolveResult, Termination};
+use cg_lookahead::cg::{KernelPolicy, Precision, SolveOptions, SolveResult, Termination};
 use cg_lookahead::linalg::kernels::{self, DotMode};
 use cg_lookahead::linalg::{gen, CsrMatrix};
 use cg_lookahead::obs::Tracer;
@@ -328,5 +333,92 @@ fn hot_loops_allocate_nothing_per_iteration_after_warmup() {
              for 10 iterations — the extra 30 iterations must be \
              allocation-free"
         );
+    }
+}
+
+// -------------------------------------------- column 7: mixed precision
+
+/// Eligible variants run the mixed-precision path to an f32-attainable
+/// floor and the claim is corroborated by the *f64* true residual (the
+/// never-false-convergence invariant); ineligible variants reject the
+/// request explicitly with zero iterations — never a silent f64 fallback
+/// whose numbers the caller would misattribute.
+#[test]
+fn mixed_precision_converges_or_rejects_explicitly_per_eligibility() {
+    let _g = gate();
+    let a = gen::poisson2d(16);
+    let b = gen::poisson2d_rhs(16);
+    let bnorm = kernels::norm2(&b);
+    let opts = SolveOptions::default()
+        .with_tol(1e-5) // comfortably above the f32 recurrence floor
+        .with_max_iters(2000)
+        .with_precision(Precision::Mixed);
+    let variants = keyed_variants(&a);
+    assert_eq!(variants.len(), VARIANT_COUNT, "registry drifted");
+    let mut eligible = 0;
+    for (key, solver) in variants {
+        let res = solver.solve(&a, &b, None, &opts);
+        if solver.mixed_eligible() {
+            eligible += 1;
+            assert!(
+                res.converged,
+                "{key}: mixed-eligible but {:?} after {} iterations",
+                res.termination, res.iterations
+            );
+            let rel = res.true_residual(&a, &b) / bnorm;
+            assert!(
+                rel < 1e-4,
+                "{key}: mixed claimed convergence but f64 true relative \
+                 residual is {rel:e}"
+            );
+        } else {
+            assert_eq!(
+                res.termination,
+                Termination::Unsupported,
+                "{key}: mixed-ineligible must reject explicitly, got {:?}",
+                res.termination
+            );
+            assert_eq!(res.iterations, 0, "{key}: rejection must do no work");
+            assert!(!res.converged);
+            assert!(
+                res.x.iter().all(|&v| v == 0.0),
+                "{key}: rejection must not scribble on the iterate"
+            );
+        }
+    }
+    assert!(
+        eligible >= 3,
+        "expected standard/overlap-k1/pipelined to be mixed-eligible, got {eligible}"
+    );
+}
+
+/// Below the f32-attainable floor the mixed path must stay honest: it may
+/// stagnate or exhaust its budget, but a `Converged` claim must survive
+/// the f64 true-residual check at the requested tolerance.
+#[test]
+fn mixed_precision_never_reports_unbacked_convergence_below_f32_floor() {
+    let _g = gate();
+    let a = gen::poisson2d(16);
+    let b = gen::poisson2d_rhs(16);
+    let bnorm = kernels::norm2(&b);
+    let tol = 1e-14; // unreachable with f32 working vectors
+    let opts = SolveOptions::default()
+        .with_tol(tol)
+        .with_max_iters(800)
+        .with_precision(Precision::Mixed);
+    for (key, solver) in keyed_variants(&a) {
+        if !solver.mixed_eligible() {
+            continue;
+        }
+        let res = solver.solve(&a, &b, None, &opts);
+        if res.converged {
+            let rel = res.true_residual(&a, &b) / bnorm;
+            assert!(
+                rel <= 10.0 * tol,
+                "{key}: mixed reported {:?} at tol {tol:e} but the f64 \
+                 true relative residual is {rel:e}",
+                res.termination
+            );
+        }
     }
 }
