@@ -36,6 +36,10 @@ impl CgVariant for ChronopoulosGearCg {
         "chronopoulos-gear-cg".into()
     }
 
+    fn sweep_eligible(&self) -> bool {
+        true
+    }
+
     fn solve(
         &self,
         a: &dyn LinearOperator,
@@ -43,6 +47,9 @@ impl CgVariant for ChronopoulosGearCg {
         x0: Option<&[f64]>,
         opts: &SolveOptions,
     ) -> SolveResult {
+        if opts.sweep_policy == crate::solver::SweepPolicy::WholeIteration {
+            return crate::sweep::solve_chronopoulos_gear(a, b, x0, opts);
+        }
         if opts.precision == crate::solver::Precision::Mixed {
             return crate::mixed::reject(a, b, x0, opts);
         }

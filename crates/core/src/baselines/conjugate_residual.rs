@@ -49,6 +49,9 @@ impl CgVariant for ConjugateResidual {
         x0: Option<&[f64]>,
         opts: &SolveOptions,
     ) -> SolveResult {
+        if opts.sweep_policy == crate::solver::SweepPolicy::WholeIteration {
+            return crate::sweep::reject(a, b, x0, opts);
+        }
         if opts.precision == crate::solver::Precision::Mixed {
             return crate::mixed::reject(a, b, x0, opts);
         }
@@ -174,6 +177,9 @@ impl CgVariant for OverlapCr {
         x0: Option<&[f64]>,
         opts: &SolveOptions,
     ) -> SolveResult {
+        if opts.sweep_policy == crate::solver::SweepPolicy::WholeIteration {
+            return crate::sweep::reject(a, b, x0, opts);
+        }
         if opts.precision == crate::solver::Precision::Mixed {
             return crate::mixed::reject(a, b, x0, opts);
         }

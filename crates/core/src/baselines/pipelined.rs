@@ -42,6 +42,10 @@ impl CgVariant for PipelinedCg {
         true
     }
 
+    fn sweep_eligible(&self) -> bool {
+        true
+    }
+
     fn solve(
         &self,
         a: &dyn LinearOperator,
@@ -49,6 +53,9 @@ impl CgVariant for PipelinedCg {
         x0: Option<&[f64]>,
         opts: &SolveOptions,
     ) -> SolveResult {
+        if opts.sweep_policy == crate::solver::SweepPolicy::WholeIteration {
+            return crate::sweep::solve_pipelined(a, b, x0, opts);
+        }
         if opts.precision == crate::solver::Precision::Mixed {
             return crate::mixed::solve_pipelined(a, b, x0, opts);
         }

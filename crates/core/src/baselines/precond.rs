@@ -47,6 +47,11 @@ impl<P: Preconditioner> CgVariant for PrecondCg<P> {
         x0: Option<&[f64]>,
         opts: &SolveOptions,
     ) -> SolveResult {
+        if opts.sweep_policy == crate::solver::SweepPolicy::WholeIteration {
+            // The preconditioner application is an opaque second operator
+            // the sweep engine cannot stage — no single-pass schedule.
+            return crate::sweep::reject(a, b, x0, opts);
+        }
         if opts.precision == crate::solver::Precision::Mixed {
             return crate::mixed::reject(a, b, x0, opts);
         }

@@ -46,6 +46,11 @@ impl CgVariant for ThreeTermCg {
         x0: Option<&[f64]>,
         opts: &SolveOptions,
     ) -> SolveResult {
+        if opts.sweep_policy == crate::solver::SweepPolicy::WholeIteration {
+            // The three-term recurrence reads both r and r_prev around its
+            // mid-iteration reduction — no single-pass schedule exists.
+            return crate::sweep::reject(a, b, x0, opts);
+        }
         if opts.precision == crate::solver::Precision::Mixed {
             return crate::mixed::reject(a, b, x0, opts);
         }

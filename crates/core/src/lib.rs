@@ -68,9 +68,10 @@ pub mod resilience;
 pub mod solver;
 pub mod sstep;
 pub mod standard;
+pub mod sweep;
 
 pub use instrument::{OpCounts, RecoveryStats};
 pub use solver::{
     BasisEngine, CgVariant, KernelPolicy, Precision, SimdPolicy, SolveOptions, SolveResult,
-    Termination,
+    SweepPolicy, Termination,
 };

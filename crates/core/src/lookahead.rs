@@ -104,6 +104,11 @@ impl CgVariant for LookaheadCg {
         x0: Option<&[f64]>,
         opts: &SolveOptions,
     ) -> SolveResult {
+        if opts.sweep_policy == crate::solver::SweepPolicy::WholeIteration {
+            // The k-deep moment window interleaves basis builds with the
+            // deferred Gram reductions — no single-pass schedule exists.
+            return crate::sweep::reject(a, b, x0, opts);
+        }
         if opts.precision == crate::solver::Precision::Mixed {
             return crate::mixed::reject(a, b, x0, opts);
         }

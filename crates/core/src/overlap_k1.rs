@@ -121,6 +121,10 @@ impl CgVariant for OverlapK1Cg {
         true
     }
 
+    fn sweep_eligible(&self) -> bool {
+        true
+    }
+
     fn solve(
         &self,
         a: &dyn LinearOperator,
@@ -128,6 +132,9 @@ impl CgVariant for OverlapK1Cg {
         x0: Option<&[f64]>,
         opts: &SolveOptions,
     ) -> SolveResult {
+        if opts.sweep_policy == crate::solver::SweepPolicy::WholeIteration {
+            return crate::sweep::solve_overlap_k1(a, b, x0, opts, self.resync);
+        }
         if opts.precision == crate::solver::Precision::Mixed {
             return crate::mixed::solve_overlap_k1(a, b, x0, opts);
         }

@@ -111,6 +111,12 @@ impl CgVariant for DeepPipelinedCg {
         x0: Option<&[f64]>,
         opts: &SolveOptions,
     ) -> SolveResult {
+        if opts.sweep_policy == crate::solver::SweepPolicy::WholeIteration {
+            // The depth-l basis/Gram bookkeeping spans l matvec depths (and
+            // the l = 1 delegation must not silently run the GV sweep twin
+            // this variant's conformance row declares unsupported).
+            return crate::sweep::reject(a, b, x0, opts);
+        }
         if opts.precision == crate::solver::Precision::Mixed {
             // The depth-l Gram machinery has no f32 twin (and the l = 1
             // special case must not silently diverge from l >= 2 behavior).

@@ -75,6 +75,11 @@ impl CgVariant for PredictRecomputeCg {
         x0: Option<&[f64]>,
         opts: &SolveOptions,
     ) -> SolveResult {
+        if opts.sweep_policy == crate::solver::SweepPolicy::WholeIteration {
+            // The predicted/recomputed scalar pairs straddle the matvec —
+            // no single-pass schedule exists.
+            return crate::sweep::reject(a, b, x0, opts);
+        }
         if opts.precision == crate::solver::Precision::Mixed {
             return crate::mixed::reject(a, b, x0, opts);
         }
@@ -102,6 +107,11 @@ impl CgVariant for PipelinedPrCg {
         x0: Option<&[f64]>,
         opts: &SolveOptions,
     ) -> SolveResult {
+        if opts.sweep_policy == crate::solver::SweepPolicy::WholeIteration {
+            // Same as the plain variant: the predict/recompute scalar pairs
+            // straddle the matvec — no single-pass schedule exists.
+            return crate::sweep::reject(a, b, x0, opts);
+        }
         if opts.precision == crate::solver::Precision::Mixed {
             return crate::mixed::reject(a, b, x0, opts);
         }

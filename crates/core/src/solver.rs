@@ -30,6 +30,36 @@ pub enum KernelPolicy {
     Fused,
 }
 
+/// How much of an iteration a single kernel invocation covers.
+///
+/// [`KernelPolicy`] fuses *pairs* (an update with the reduction that
+/// consumes it); `SweepPolicy::WholeIteration` generalizes that to the whole
+/// iteration: matvec staging, both dot reductions, and the x/r/p updates run
+/// as one pass over cache-resident chunk slices (the
+/// [`vr_linalg::sweep::FusedIterationSweep`] engine), so each vector element
+/// is loaded from DRAM once per iteration instead of once per kernel.
+///
+/// Both policies compute **bit-identical** solves for an eligible
+/// configuration — the sweep engine reproduces the fixed 256-leaf chunk
+/// reduction layout and the exact elementwise operation sequences of the
+/// unfused path at any tile size, lane width, and thread width. The sweep is
+/// opt-in and deliberately narrow: it requires `DotMode::Tree`,
+/// `Precision::F64`, no fault injector, no recovery policy, no reduction
+/// checksum, a sweepable operator ([`LinearOperator::as_sweep`]), and a
+/// variant whose dependency structure permits a single-pass schedule
+/// ([`CgVariant::sweep_eligible`]). Anything else terminates with
+/// [`Termination::Unsupported`] — rejecting explicitly beats silently
+/// falling back and reporting numbers the caller would misattribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepPolicy {
+    /// Per-kernel execution under [`KernelPolicy`] (the default).
+    #[default]
+    Fused,
+    /// One cache-resident pass per CG iteration (see
+    /// [`vr_linalg::sweep`]).
+    WholeIteration,
+}
+
 /// How block Krylov bases (s-step columns, lookahead startup families)
 /// are constructed.
 ///
@@ -132,6 +162,23 @@ pub struct SolveOptions {
     pub recovery: Option<RecoveryPolicy>,
     /// Kernel execution policy (fused single-pass vs reference two-pass).
     pub kernel_policy: KernelPolicy,
+    /// Iteration execution policy (per-kernel vs whole-iteration sweep
+    /// fusion; see [`SweepPolicy`]).
+    pub sweep_policy: SweepPolicy,
+    /// Explicit whole-iteration sweep staging-tile size, in *elements* per
+    /// staged sub-range (see [`vr_linalg::sweep::FusedIterationSweep`]).
+    /// `None` uses the L1-derived heuristic from the [`vr_par::cache`]
+    /// probe. Numerically inert — any tile size produces identical bits —
+    /// so it exists for cache experiments and the differential tests'
+    /// degenerate (1-element / whole-domain) coverage. Ignored under
+    /// [`SweepPolicy::Fused`].
+    pub sweep_tile: Option<usize>,
+    /// Resolved non-temporal-store cutoff (bytes), read once from the
+    /// [`vr_par::cache`] sysfs probe when the options are built. Kernels
+    /// that stream a pure output compare their output size against this
+    /// precomputed value ([`SolveOptions::nt_stores`]) instead of
+    /// re-deriving the cutoff per invocation.
+    pub nt_cutoff_bytes: usize,
     /// Worker threads for vector kernels and reductions. `1` (the default)
     /// keeps everything on the calling thread; `>= 2` runs matvecs, vector
     /// updates and `DotMode::Tree` reductions on a persistent SPMD team
@@ -198,6 +245,9 @@ impl Default for SolveOptions {
             injector: None,
             recovery: None,
             kernel_policy: KernelPolicy::default(),
+            sweep_policy: SweepPolicy::default(),
+            sweep_tile: None,
+            nt_cutoff_bytes: vr_par::cache::nt_store_cutoff_bytes(),
             threads: 1,
             team: None,
             thread_clamp: None,
@@ -255,6 +305,30 @@ impl SolveOptions {
         self
     }
 
+    /// Set the iteration execution policy (see [`SweepPolicy`]).
+    #[must_use]
+    pub fn with_sweep_policy(mut self, policy: SweepPolicy) -> Self {
+        self.sweep_policy = policy;
+        self
+    }
+
+    /// Override the whole-iteration sweep staging tile (see
+    /// [`SolveOptions::sweep_tile`]).
+    #[must_use]
+    pub fn with_sweep_tile(mut self, tile: Option<usize>) -> Self {
+        self.sweep_tile = tile;
+        self
+    }
+
+    /// Whether a pure streaming write of `len` `f64` elements should bypass
+    /// the cache with non-temporal stores, decided against the cutoff
+    /// resolved once at option-build time (values are unchanged either way;
+    /// this is purely a traffic heuristic).
+    #[must_use]
+    pub fn nt_stores(&self, len: usize) -> bool {
+        len * std::mem::size_of::<f64>() > self.nt_cutoff_bytes
+    }
+
     /// Set the block Krylov basis engine.
     #[must_use]
     pub fn with_basis_engine(mut self, engine: BasisEngine) -> Self {
@@ -306,19 +380,31 @@ impl SolveOptions {
         self
     }
 
-    /// Attach the tracer (if any) to the calling thread as shard 0 for the
-    /// duration of the returned guard. Variants call this once at the top
-    /// of `solve` so the TLS-instrumented layers (team epochs, reduction
-    /// fan-ins, deferred waits) record alongside the solver-level spans.
+    /// Attach the tracer (if any) to the calling thread as shard 0 — and to
+    /// the solve's worker team, so every worker records its barrier-epoch
+    /// busy window on its own shard — for the duration of the returned
+    /// guard. Variants call this once at the top of `solve` so the
+    /// TLS-instrumented layers (team epochs, reduction fan-ins, deferred
+    /// waits) record alongside the solver-level spans. Size the tracer with
+    /// [`vr_obs::Tracer::for_width`] to match `threads`; out-of-range
+    /// shards are silently dropped by the tracer, so a shard-0-only tracer
+    /// simply skips the worker-side detail.
     #[must_use]
-    pub fn trace_attach(&self) -> Option<vr_obs::tls::AttachGuard> {
+    pub fn trace_attach(&self) -> Option<TraceGuard> {
         self.tracer.as_ref().map(|tr| {
-            // SAFETY: the tracer Arc lives in `self` for the whole solve
-            // and the guard is bound to a local in the variant's `solve`
-            // frame, which borrows `self` — so the guard cannot outlive
-            // the tracer, and it is dropped (not leaked) on every exit
-            // path. The solve thread is shard 0 by convention.
-            unsafe { vr_obs::tls::attach(tr, 0) }
+            let team = self.team();
+            if let Some(t) = &team {
+                t.set_tracer(Some(Arc::clone(tr)));
+            }
+            TraceGuard {
+                // SAFETY: the tracer Arc lives in `self` for the whole solve
+                // and the guard is bound to a local in the variant's `solve`
+                // frame, which borrows `self` — so the guard cannot outlive
+                // the tracer, and it is dropped (not leaked) on every exit
+                // path. The solve thread is shard 0 by convention.
+                _tls: unsafe { vr_obs::tls::attach(tr, 0) },
+                team,
+            }
         })
     }
 
@@ -901,6 +987,23 @@ impl SolveOptions {
     }
 }
 
+/// Guard returned by [`SolveOptions::trace_attach`]: detaches the calling
+/// thread's shard-0 tracer and clears the worker team's tracer slot when
+/// dropped, so spans from a later (possibly untraced) solve on the shared
+/// team never leak into this solve's recorder.
+pub struct TraceGuard {
+    _tls: vr_obs::tls::AttachGuard,
+    team: Option<Arc<Team>>,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if let Some(t) = &self.team {
+            t.set_tracer(None);
+        }
+    }
+}
+
 /// Why a solve stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Termination {
@@ -1043,6 +1146,16 @@ pub trait CgVariant {
     /// override it. A mixed solve on an ineligible variant terminates with
     /// [`Termination::Unsupported`] instead of silently running in `f64`.
     fn mixed_eligible(&self) -> bool {
+        false
+    }
+
+    /// Whether this variant supports [`SweepPolicy::WholeIteration`].
+    /// Defaults to `false`; variants whose dependency structure permits a
+    /// single-pass iteration schedule (a whole-iteration twin in
+    /// [`crate::sweep`]) override it. A sweep solve on an ineligible
+    /// variant terminates with [`Termination::Unsupported`] instead of
+    /// silently running per-kernel.
+    fn sweep_eligible(&self) -> bool {
         false
     }
 }

@@ -88,6 +88,11 @@ impl CgVariant for SStepCg {
         x0: Option<&[f64]>,
         opts: &SolveOptions,
     ) -> SolveResult {
+        if opts.sweep_policy == crate::solver::SweepPolicy::WholeIteration {
+            // The s-step block exchange (basis build + Gram solve) spans
+            // s matvec depths — no single-pass schedule exists.
+            return crate::sweep::reject(a, b, x0, opts);
+        }
         if opts.precision == crate::solver::Precision::Mixed {
             return crate::mixed::reject(a, b, x0, opts);
         }

@@ -57,6 +57,10 @@ impl CgVariant for StandardCg {
         true
     }
 
+    fn sweep_eligible(&self) -> bool {
+        true
+    }
+
     fn solve(
         &self,
         a: &dyn LinearOperator,
@@ -64,6 +68,9 @@ impl CgVariant for StandardCg {
         x0: Option<&[f64]>,
         opts: &SolveOptions,
     ) -> SolveResult {
+        if opts.sweep_policy == crate::solver::SweepPolicy::WholeIteration {
+            return crate::sweep::solve_standard(a, b, x0, opts);
+        }
         if opts.precision == crate::solver::Precision::Mixed {
             return crate::mixed::solve_standard(a, b, x0, opts);
         }

@@ -1,0 +1,630 @@
+//! Whole-iteration sweep twins: one cache-resident pass per CG iteration.
+//!
+//! Under [`SweepPolicy::WholeIteration`](crate::solver::SweepPolicy) an
+//! eligible variant routes here instead of running its per-kernel loop. Each
+//! twin replays the *exact* scalar recurrence, guard sequence, and norm
+//! recording of its unfused counterpart, but executes the vector work of an
+//! iteration as a small number of barrier-separated team epochs on a
+//! [`FusedIterationSweep`] engine: every epoch walks the fixed 256-leaf
+//! chunk layout once, staging operator rows into a cache-resident band and
+//! folding the iteration's reductions in the same pass. Because each chunk
+//! is processed by the identical leaf-kernel call sequence as the per-kernel
+//! path (see `vr_linalg::sweep`), the produced bits — `x`, residual norms,
+//! iteration counts, termination — are identical to
+//! [`SweepPolicy::Fused`](crate::solver::SweepPolicy) at any staging tile,
+//! SIMD lane width, and team width.
+//!
+//! # Eligibility
+//!
+//! The sweep schedule replays the *fused tree* arithmetic, so it refuses —
+//! with [`Termination::Unsupported`], mirroring [`crate::mixed::reject`] —
+//! any configuration whose unfused bits it could not reproduce:
+//!
+//! * `dot_mode != Tree` (serial/Kahan orders fold on the calling thread),
+//! * `kernel_policy != Fused` (the reference two-pass kernels pair
+//!   reductions differently),
+//! * fault injection, recovery policies, or checksum-guarded reductions
+//!   (their retry/validation hooks interleave with the kernels),
+//! * `precision != F64`,
+//! * operators without a native sweep decomposition
+//!   ([`LinearOperator::as_sweep`] returning `None`).
+//!
+//! # Operation accounting
+//!
+//! Twins tally the *logical* algorithm — the same [`OpCounts`] as the
+//! unfused path — even though the standard-CG schedule physically evaluates
+//! the operator twice per iteration (the `p·Ap` pass does not store `A·p`;
+//! the update pass recomputes it in-band, trading a streamed store for
+//! cache-resident flops). The physical traffic is what the per-shard
+//! [`IterSweep`](vr_obs::SpanKind::IterSweep) spans record.
+
+use crate::instrument::{OpCounts, RecoveryStats};
+use crate::resilience::guard;
+use crate::solver::{util, KernelPolicy, Precision, SolveOptions, SolveResult, Termination};
+use vr_linalg::kernels::{dot, DotMode};
+use vr_linalg::sweep::FusedIterationSweep;
+use vr_linalg::LinearOperator;
+
+/// Whether this (operator, options) pair can run the whole-iteration sweep
+/// with bits identical to the per-kernel fused path.
+pub(crate) fn eligible(a: &dyn LinearOperator, opts: &SolveOptions) -> bool {
+    opts.dot_mode == DotMode::Tree
+        && opts.kernel_policy == KernelPolicy::Fused
+        && opts.injector.is_none()
+        && opts.recovery.is_none()
+        && !opts.checksum
+        && opts.precision == Precision::F64
+        && a.as_sweep().is_some()
+}
+
+/// Explicit rejection of a whole-iteration-sweep request: no iterations,
+/// the starting point handed back unchanged with its honest initial
+/// residual, and [`Termination::Unsupported`]. Used by every ineligible
+/// variant and by eligible variants on ineligible configurations (see the
+/// module docs for the eligibility rules).
+pub(crate) fn reject(
+    a: &dyn LinearOperator,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &SolveOptions,
+) -> SolveResult {
+    let mut counts = OpCounts::default();
+    let (x, r, _bnorm) = util::init_residual(a, b, x0);
+    if x0.is_some() {
+        counts.matvecs += 1;
+        counts.vector_ops += 1;
+    }
+    let rr = dot(opts.dot_mode, &r, &r);
+    counts.dots += 1;
+    SolveResult::new(
+        x,
+        Termination::Unsupported,
+        0,
+        vec![rr.max(0.0).sqrt()],
+        counts,
+    )
+}
+
+/// Standard CG as a three-epoch sweep per iteration.
+///
+/// Epoch schedule (distinct vector streams per epoch in parentheses;
+/// the staging band is cache-resident and unstreamed):
+///
+/// 1. `pap ← (p, A·p)` without storing `A·p` (read `p`: 8n bytes),
+/// 2. `x ← x + λp`, `r ← r − λ·(A·p)` recomputed in-band, carrying
+///    `rr = (r, r)` (read `p`, update `x`, `r`: 40n bytes),
+/// 3. `p ← r + αp` (read `r`, update `p`: 24n bytes),
+///
+/// for 72n logical bytes/iteration against the per-kernel fused path's
+/// 104n (matvec+dot 24n, update 48n, xpay 24n, `w` store 8n).
+pub(crate) fn solve_standard(
+    a: &dyn LinearOperator,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &SolveOptions,
+) -> SolveResult {
+    if !eligible(a, opts) {
+        return reject(a, b, x0, opts);
+    }
+    let mut counts = OpCounts::default();
+    let _simd = opts.simd_guard();
+    let _trace = opts.trace_attach();
+    let team = opts.team();
+    let tm = team.as_deref();
+    let mut eng = FusedIterationSweep::new(
+        a.as_sweep().expect("eligibility implies a sweep operator"),
+        tm,
+        opts.sweep_tile,
+        opts.tracer.clone(),
+    );
+    let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
+    if x0.is_some() {
+        counts.matvecs += 1;
+        counts.vector_ops += 1;
+    }
+    let thresh_sq = util::threshold_sq(opts, bnorm);
+
+    let mut p = r.clone();
+    counts.vector_ops += 1;
+
+    let mut rstats = RecoveryStats::default();
+    let mut rr = guard::guarded_dot(opts, &r, &r, &mut rstats);
+    counts.dots += 1;
+    let mut norms = Vec::new();
+    if opts.record_residuals {
+        norms.push(rr.max(0.0).sqrt());
+    }
+
+    let mut termination = Termination::MaxIterations;
+    let mut iterations = 0;
+    if rr <= thresh_sq {
+        termination = Termination::Converged;
+    } else {
+        let mut it = 0usize;
+        while it < opts.max_iters {
+            opts.iter_mark();
+            // Epoch 1: pap = (p, A·p), no w store. Logically one
+            // matvec+dot, like the unfused guarded_matvec_dot.
+            let pap = eng.epoch_matvec_dot_nostore(tm, &p);
+            counts.matvecs += 1;
+            counts.dots += 1;
+            if let Err(kind) = guard::check_pivot(pap) {
+                termination = kind.termination();
+                iterations = it;
+                break;
+            }
+            let lambda = opts.scalar(rr / pap);
+            counts.scalar_ops += 1;
+            // Epoch 2: x/r updates with A·p recomputed in-band, carrying
+            // (r, r) — bit-identical to guarded_update_xr on a stored w.
+            let rr_next = eng.epoch_update_xr_recompute(tm, lambda, &p, &mut x, &mut r);
+            counts.vector_ops += 2;
+            counts.dots += 1;
+            counts.fused_ops += 1;
+            iterations = it + 1;
+
+            if rr_next <= thresh_sq {
+                if opts.record_residuals {
+                    norms.push(rr_next.max(0.0).sqrt());
+                }
+                termination = Termination::Converged;
+                rr = rr_next;
+                break;
+            }
+            if opts.record_residuals {
+                norms.push(rr_next.max(0.0).sqrt());
+            }
+            if guard::check_finite(rr_next).is_err() {
+                termination = Termination::Breakdown;
+                rr = rr_next;
+                break;
+            }
+            let alpha = opts.scalar(rr_next / rr);
+            counts.scalar_ops += 1;
+            // Epoch 3: direction update p ← r + α·p.
+            eng.epoch_xpay(tm, &r, alpha, &mut p);
+            counts.vector_ops += 1;
+            rr = rr_next;
+            it += 1;
+        }
+    }
+
+    if !opts.record_residuals {
+        norms.push(rr.max(0.0).sqrt());
+    }
+    let mut res = SolveResult::new(x, termination, iterations, norms, counts);
+    res.recovery = rstats;
+    res
+}
+
+/// Chronopoulos-Gear CG as a two-epoch sweep per iteration.
+///
+/// Epoch schedule: (1) the four-way vector update `p ← r + βp`,
+/// `s ← w + βs`, `x ← x + λp`, `r ← r − λs` carrying `ρ = (r, r)`
+/// (72n bytes); (2) `w ← A·r` carrying `μ = (r, w)` (16n) — 88n
+/// logical bytes/iteration against the per-kernel path's 128n.
+pub(crate) fn solve_chronopoulos_gear(
+    a: &dyn LinearOperator,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &SolveOptions,
+) -> SolveResult {
+    if !eligible(a, opts) {
+        return reject(a, b, x0, opts);
+    }
+    let n = a.dim();
+    let md = opts.dot_mode;
+    let mut counts = OpCounts::default();
+    let _simd = opts.simd_guard();
+    let _trace = opts.trace_attach();
+    let team = opts.team();
+    let tm = team.as_deref();
+    let mut eng = FusedIterationSweep::new(
+        a.as_sweep().expect("eligibility implies a sweep operator"),
+        tm,
+        opts.sweep_tile,
+        opts.tracer.clone(),
+    );
+    let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
+    if x0.is_some() {
+        counts.matvecs += 1;
+        counts.vector_ops += 1;
+    }
+    let thresh_sq = util::threshold_sq(opts, bnorm);
+
+    let mut w = opts.matvec_alloc(a, &r, &mut counts);
+    let mut rho = dot(md, &r, &r);
+    let mut mu = dot(md, &r, &w);
+    counts.dots += 2;
+
+    let mut norms = Vec::new();
+    if opts.record_residuals {
+        norms.push(rho.max(0.0).sqrt());
+    }
+
+    let mut p = vec![0.0; n];
+    let mut s = vec![0.0; n]; // s = A·p maintained by recurrence
+    let mut lambda_prev = 0.0;
+    let mut rho_prev = 0.0;
+
+    let mut termination = Termination::MaxIterations;
+    let mut iterations = 0;
+    if rho <= thresh_sq {
+        termination = Termination::Converged;
+    } else {
+        let mut it = 0usize;
+        while it < opts.max_iters {
+            opts.iter_mark();
+            let (beta, denom) = if it == 0 {
+                (0.0, mu)
+            } else {
+                let beta = rho / rho_prev;
+                (beta, mu - beta * rho / lambda_prev)
+            };
+            counts.scalar_ops += 3;
+            if guard::check_pivot(denom).is_err() {
+                termination = Termination::Breakdown;
+                iterations = it;
+                break;
+            }
+            let lambda = rho / denom;
+
+            rho_prev = rho;
+            // Epoch 1: p ← r + β·p ; s ← w + β·s ; x ← x + λ·p ;
+            // r ← r − λ·s carrying ρ = (r, r). Logically two xpay, one
+            // axpy, and one fused axpy+norm — same tallies as unfused.
+            rho = eng.epoch_cg_update(tm, beta, lambda, &mut r, &mut p, &w, &mut s, &mut x);
+            counts.vector_ops += 4;
+            counts.dots += 1;
+            counts.fused_ops += 1;
+            // Epoch 2: w ← A·r carrying μ = (r, w) — the barrier above
+            // finalizes r before any shard's matvec reads it.
+            mu = eng.epoch_matvec_store_dot(tm, &r, &mut w);
+            counts.matvecs += 1;
+            counts.dots += 1;
+            lambda_prev = lambda;
+
+            if opts.record_residuals {
+                norms.push(rho.max(0.0).sqrt());
+            }
+            iterations = it + 1;
+            if rho <= thresh_sq {
+                termination = Termination::Converged;
+                break;
+            }
+            if guard::check_finite(rho).is_err() {
+                termination = Termination::Breakdown;
+                break;
+            }
+            it += 1;
+        }
+    }
+
+    if !opts.record_residuals {
+        norms.push(rho.max(0.0).sqrt());
+    }
+    SolveResult::new(x, termination, iterations, norms, counts)
+}
+
+/// Ghysels-Vanroose pipelined CG as a two-epoch sweep per iteration.
+///
+/// Epoch schedule: (1) `q ← A·w` (16n bytes); (2) the six-way update
+/// `p ← r + βp`, `s ← w + βs`, `z ← q + βz`, `x ← x + λp`,
+/// `r ← r − λs` carrying `γ`, `w ← w − λz` carrying next-δ (104n) —
+/// 120n logical bytes/iteration against the per-kernel path's 168n.
+///
+/// The w-update half of epoch 2 runs even on a converging final
+/// iteration, where the unfused loop breaks before it; `w` and the
+/// carried δ are dead on every exit path, so no observable bit changes
+/// (the unfused code relies on the mirror-image of this argument to skip
+/// the update on exit). Its tallies are added only when the unfused
+/// path would have executed it.
+pub(crate) fn solve_pipelined(
+    a: &dyn LinearOperator,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &SolveOptions,
+) -> SolveResult {
+    if !eligible(a, opts) {
+        return reject(a, b, x0, opts);
+    }
+    let n = a.dim();
+    let md = opts.dot_mode;
+    let mut counts = OpCounts::default();
+    let _simd = opts.simd_guard();
+    let _trace = opts.trace_attach();
+    let team = opts.team();
+    let tm = team.as_deref();
+    let mut eng = FusedIterationSweep::new(
+        a.as_sweep().expect("eligibility implies a sweep operator"),
+        tm,
+        opts.sweep_tile,
+        opts.tracer.clone(),
+    );
+    let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
+    if x0.is_some() {
+        counts.matvecs += 1;
+        counts.vector_ops += 1;
+    }
+    let thresh_sq = util::threshold_sq(opts, bnorm);
+
+    let mut w = opts.matvec_alloc(a, &r, &mut counts);
+
+    let mut p = vec![0.0; n];
+    let mut s = vec![0.0; n];
+    let mut z = vec![0.0; n];
+    let mut q = vec![0.0; n];
+
+    let mut gamma_old = 1.0;
+    let mut lambda_old = 1.0;
+    let mut gamma = dot(md, &r, &r);
+    counts.dots += 1;
+
+    let mut norms = Vec::new();
+    if opts.record_residuals {
+        norms.push(gamma.max(0.0).sqrt());
+    }
+
+    let mut termination = Termination::MaxIterations;
+    let mut iterations = 0;
+    // Eligibility pins KernelPolicy::Fused, so as in the unfused loop the
+    // w-update sweep of iteration `it` carries δ for iteration `it + 1`
+    // (bit-identical association) and only startup pays a standalone dot.
+    let mut delta_carried = 0.0;
+    if gamma <= thresh_sq {
+        termination = Termination::Converged;
+    } else {
+        let mut it = 0usize;
+        while it < opts.max_iters {
+            opts.iter_mark();
+            let delta = if it > 0 {
+                delta_carried
+            } else {
+                counts.dots += 1;
+                opts.dot(&w, &r)
+            };
+            // Epoch 1: q ← A·w (on the paper's machine this overlaps the
+            // reductions; numerically it is just computed here).
+            eng.epoch_matvec_store(tm, &w, &mut q);
+            counts.matvecs += 1;
+
+            let (beta, denom) = if it == 0 {
+                (0.0, delta)
+            } else {
+                let beta = gamma / gamma_old;
+                (beta, delta - beta * gamma / lambda_old)
+            };
+            counts.scalar_ops += 3;
+            if guard::check_pivot(denom).is_err() {
+                termination = Termination::Breakdown;
+                iterations = it;
+                break;
+            }
+            let lambda = gamma / denom;
+
+            gamma_old = gamma;
+            lambda_old = lambda;
+            // Epoch 2: all six recurrence updates, carrying γ = (r, r) and
+            // next iteration's δ = (w, r).
+            let (g, d) = eng.epoch_pipelined_update(
+                tm, beta, lambda, &q, &mut r, &mut p, &mut w, &mut s, &mut z, &mut x,
+            );
+            gamma = g;
+            // three xpay + one axpy + the fused r-update norm
+            counts.vector_ops += 5;
+            counts.dots += 1;
+            counts.fused_ops += 1;
+
+            if opts.record_residuals {
+                norms.push(gamma.max(0.0).sqrt());
+            }
+            iterations = it + 1;
+            if gamma <= thresh_sq {
+                termination = Termination::Converged;
+                break;
+            }
+            if guard::check_finite(gamma).is_err() {
+                termination = Termination::Breakdown;
+                break;
+            }
+            // the w update executed in epoch 2; tally it where the unfused
+            // loop runs its axpy_dot
+            delta_carried = d;
+            counts.vector_ops += 1;
+            counts.dots += 1;
+            counts.fused_ops += 1;
+            it += 1;
+        }
+    }
+
+    if !opts.record_residuals {
+        norms.push(gamma.max(0.0).sqrt());
+    }
+    SolveResult::new(x, termination, iterations, norms, counts)
+}
+
+/// Overlap-k1 CG as a four-epoch sweep per iteration.
+///
+/// Epoch schedule: (1) the four overlappable inner products
+/// `(r,w) (r,v) (w,w) (w,v)` on pre-update vectors, fused with
+/// `x ← x + λp` and `r ← r − λw` (56n bytes); (2) `p ← r + αp` (24n);
+/// (3) `w ← A·p` (16n); (4) `v ← A·w` (16n) — 112n logical
+/// bytes/iteration against the per-kernel path's 176n.
+///
+/// Epoch 1 applies the r update before the convergence/finiteness checks
+/// where the unfused loop defers it; on every early-exit path `r` is
+/// either dead (converged / breakdown return only `x`), overwritten (warm
+/// restart copies the true residual), or consistent (the validation branch
+/// reads only `x` and `b`), so no observable bit changes. Its tally is
+/// added only when the unfused path would have executed the axpy.
+pub(crate) fn solve_overlap_k1(
+    a: &dyn LinearOperator,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &SolveOptions,
+    resync: usize,
+) -> SolveResult {
+    if !eligible(a, opts) {
+        return reject(a, b, x0, opts);
+    }
+    let n = a.dim();
+    let md = opts.dot_mode;
+    let mut counts = OpCounts::default();
+    let _simd = opts.simd_guard();
+    let _trace = opts.trace_attach();
+    let team = opts.team();
+    let tm = team.as_deref();
+    let mut eng = FusedIterationSweep::new(
+        a.as_sweep().expect("eligibility implies a sweep operator"),
+        tm,
+        opts.sweep_tile,
+        opts.tracer.clone(),
+    );
+    let (mut x, mut r, bnorm) = util::init_residual(a, b, x0);
+    if x0.is_some() {
+        counts.matvecs += 1;
+        counts.vector_ops += 1;
+    }
+    let thresh_sq = util::threshold_sq(opts, bnorm);
+
+    // State: p, w = A·p, v = A·w; scalars rr = (r,r), rar = (r,Ar),
+    // pap = (p,Ap).
+    let mut p = r.clone();
+    counts.vector_ops += 1;
+    let mut w = opts.matvec_alloc(a, &p, &mut counts);
+    let mut v = opts.matvec_alloc(a, &w, &mut counts);
+
+    let mut rr = dot(md, &r, &r);
+    // p = r at start ⇒ (r, Ar) = (r, w).
+    let mut rar = dot(md, &r, &w);
+    counts.dots += 2;
+    let mut pap = rar;
+
+    let mut norms = Vec::new();
+    if opts.record_residuals {
+        norms.push(rr.max(0.0).sqrt());
+    }
+
+    let mut last_restart_rr = f64::INFINITY;
+    // Scratch for true-residual validation and resync matvecs — reused
+    // across restarts so the hot path stays allocation-free.
+    let mut vscratch = vec![0.0; n];
+
+    let mut rstats = RecoveryStats::default();
+    let mut termination = Termination::MaxIterations;
+    let mut iterations = 0;
+    if rr <= thresh_sq {
+        termination = Termination::Converged;
+    } else {
+        let mut it = 0;
+        while it < opts.max_iters {
+            if guard::check_pivot(pap).is_err() || guard::check_pivot(rr).is_err() {
+                // validate against the true residual
+                let rr_true = opts.span(vr_obs::SpanKind::Guard, || {
+                    a.apply(&x, &mut vscratch);
+                    for (vi, bi) in vscratch.iter_mut().zip(b) {
+                        *vi = bi - *vi;
+                    }
+                    dot(md, &vscratch, &vscratch)
+                });
+                counts.matvecs += 1;
+                counts.vector_ops += 1;
+                counts.dots += 1;
+                if rr_true <= thresh_sq {
+                    termination = Termination::Converged;
+                    iterations = it;
+                    if let Some(last) = norms.last_mut() {
+                        *last = rr_true.max(0.0).sqrt();
+                    }
+                    break;
+                }
+                if rr_true >= 0.25 * last_restart_rr {
+                    termination = Termination::Breakdown;
+                    iterations = it;
+                    break;
+                }
+                // warm restart
+                last_restart_rr = rr_true;
+                counts.restarts += 1;
+                opts.span(vr_obs::SpanKind::Recovery, || {
+                    r.copy_from_slice(&vscratch);
+                    p.copy_from_slice(&r);
+                });
+                eng.epoch_matvec_store(tm, &p, &mut w);
+                eng.epoch_matvec_store(tm, &w, &mut v);
+                counts.matvecs += 2;
+                counts.vector_ops += 1;
+                rr = rr_true;
+                rar = dot(md, &r, &w);
+                counts.dots += 1;
+                pap = rar;
+                continue;
+            }
+            it += 1;
+            opts.iter_mark();
+            let lambda = rr / pap;
+            // Epoch 1: the four overlappable inner products — folded on the
+            // pre-update r and w within each chunk, exactly the leaf
+            // partials the unfused dot2_deferred launches before the
+            // updates — fused with x ← x + λ·p and r ← r − λ·w.
+            let (rw, rv, ww, wv) = eng.epoch_overlap_update(tm, lambda, &w, &v, &p, &mut r, &mut x);
+            counts.dots += 4;
+            counts.fused_ops += 2; // the two shared-sweep dot2 launches
+            counts.vector_ops += 1; // the x axpy; the r axpy tallies below
+
+            // scalar recurrences (claim C3, k = 1)
+            let rr_next = rr - 2.0 * lambda * rw + lambda * lambda * ww;
+            let rar_next = rar - 2.0 * lambda * rv + lambda * lambda * wv;
+            let alpha = rr_next / rr;
+            let rnext_w = rw - lambda * ww;
+            let pap_next = rar_next + 2.0 * alpha * rnext_w + alpha * alpha * pap;
+            counts.scalar_ops += 12;
+
+            if opts.record_residuals {
+                norms.push(rr_next.max(0.0).sqrt());
+            }
+            iterations = it;
+            if rr_next <= thresh_sq {
+                termination = Termination::Converged;
+                break;
+            }
+            if guard::check_finite(rr_next).is_err() {
+                // route through the validation branch at the loop top
+                rr = rr_next;
+                continue;
+            }
+
+            // the r update executed in epoch 1; epochs 2-4 rebuild the
+            // direction and its operator images
+            counts.vector_ops += 1;
+            eng.epoch_xpay(tm, &r, alpha, &mut p);
+            counts.vector_ops += 1;
+            eng.epoch_matvec_store(tm, &p, &mut w);
+            eng.epoch_matvec_store(tm, &w, &mut v);
+            counts.matvecs += 2;
+
+            rr = rr_next;
+            rar = rar_next;
+            pap = pap_next;
+
+            if resync > 0 && it.is_multiple_of(resync) {
+                // residual replacement: recompute the carried scalars
+                // directly (one extra matvec for A·r)
+                rr = dot(md, &r, &r);
+                a.apply(&r, &mut vscratch);
+                rar = dot(md, &r, &vscratch);
+                pap = dot(md, &p, &w);
+                counts.matvecs += 1;
+                counts.dots += 3;
+            }
+        }
+    }
+
+    if !opts.record_residuals {
+        norms.push(rr.max(0.0).sqrt());
+    }
+    rstats.faults_detected += opts.drain_checksum_detections();
+    let mut res = SolveResult::new(x, termination, iterations, norms, counts);
+    res.recovery = rstats;
+    res
+}

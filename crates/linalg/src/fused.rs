@@ -609,6 +609,10 @@ pub fn par_xpay_norm2_sq_in(team: Option<&Team>, x: &[f64], a: f64, y: &mut [f64
 }
 
 /// Chunked-parallel [`waxpby_dot`] with fault injection on the reduction.
+///
+/// `nt` selects non-temporal stores for the streaming write of `w`
+/// (values bit-identical either way); callers resolve the cutoff once per
+/// solve via `SolveOptions::nt_stores` rather than per invocation.
 #[allow(clippy::too_many_arguments)]
 #[must_use]
 pub fn par_waxpby_dot_with(
@@ -618,6 +622,7 @@ pub fn par_waxpby_dot_with(
     y: &[f64],
     w: &mut [f64],
     z: &[f64],
+    nt: bool,
     threads: usize,
     inj: &dyn FaultInjector,
 ) -> f64 {
@@ -629,6 +634,7 @@ pub fn par_waxpby_dot_with(
         y,
         w,
         z,
+        nt,
         inj,
     )
 }
@@ -645,6 +651,7 @@ pub fn par_waxpby_dot_with_in(
     y: &[f64],
     w: &mut [f64],
     z: &[f64],
+    nt: bool,
     inj: &dyn FaultInjector,
 ) -> f64 {
     let n = w.len();
@@ -657,9 +664,6 @@ pub fn par_waxpby_dot_with_in(
     if n == 0 {
         return inj.corrupt(FaultSite::DotFinal, 0.0);
     }
-    // `w` is a pure streaming write: bypass the cache when the whole output
-    // exceeds the probed L2-derived cutoff (values unchanged either way)
-    let nt = std::mem::size_of_val(w) > vr_par::cache::nt_store_cutoff_bytes();
     let chunk = n.div_ceil(CHUNKS);
     let mut work: Vec<_> = x
         .chunks(chunk)
@@ -687,6 +691,7 @@ pub fn par_waxpby_dot_with_in(
 }
 
 /// Chunked-parallel [`waxpby_dot`] (fault-free).
+#[allow(clippy::too_many_arguments)]
 #[must_use]
 pub fn par_waxpby_dot(
     a: f64,
@@ -695,9 +700,10 @@ pub fn par_waxpby_dot(
     y: &[f64],
     w: &mut [f64],
     z: &[f64],
+    nt: bool,
     threads: usize,
 ) -> f64 {
-    par_waxpby_dot_with(a, x, b, y, w, z, threads, &NoFaults)
+    par_waxpby_dot_with(a, x, b, y, w, z, nt, threads, &NoFaults)
 }
 
 /// Team-backed [`waxpby_dot`] (fault-free).
@@ -711,8 +717,9 @@ pub fn par_waxpby_dot_in(
     y: &[f64],
     w: &mut [f64],
     z: &[f64],
+    nt: bool,
 ) -> f64 {
-    par_waxpby_dot_with_in(team, a, x, b, y, w, z, &NoFaults)
+    par_waxpby_dot_with_in(team, a, x, b, y, w, z, nt, &NoFaults)
 }
 
 /// Chunked-parallel [`dot2`] with fault injection on both reductions.
@@ -925,7 +932,7 @@ mod tests {
             let mut w1 = vec![0.0; n];
             let mut w2 = vec![0.0; n];
             let fused = waxpby_dot(mode, 2.0, &x, -0.5, &yv, &mut w1, &z);
-            waxpby(2.0, &x, -0.5, &yv, &mut w2);
+            waxpby(2.0, &x, -0.5, &yv, &mut w2, false);
             assert_eq!(w1, w2);
             assert_eq!(fused.to_bits(), dot(mode, &w2, &z).to_bits(), "{mode:?}");
         }
@@ -1005,8 +1012,8 @@ mod tests {
 
             let mut w1 = vec![0.0; n];
             let mut w2 = vec![0.0; n];
-            let fw = par_waxpby_dot(1.25, &p, 0.5, &w, &mut w1, &z, threads);
-            waxpby(1.25, &p, 0.5, &w, &mut w2);
+            let fw = par_waxpby_dot(1.25, &p, 0.5, &w, &mut w1, &z, false, threads);
+            waxpby(1.25, &p, 0.5, &w, &mut w2, false);
             assert_eq!(fw.to_bits(), par_dot(&w2, &z, threads).to_bits());
 
             let (dy, dz) = par_dot2(&p, &w, &z, threads);
@@ -1085,7 +1092,10 @@ mod tests {
         assert_eq!(par_axpy_dot(2.0, &[], &mut [], &[], 4), 0.0);
         assert_eq!(par_axpy_norm2_sq(2.0, &[], &mut [], 4), 0.0);
         assert_eq!(par_xpay_norm2_sq(&[], 2.0, &mut [], 4), 0.0);
-        assert_eq!(par_waxpby_dot(1.0, &[], 1.0, &[], &mut [], &[], 4), 0.0);
+        assert_eq!(
+            par_waxpby_dot(1.0, &[], 1.0, &[], &mut [], &[], false, 4),
+            0.0
+        );
         assert_eq!(par_dot2(&[], &[], &[], 4), (0.0, 0.0));
         for mode in MODES {
             assert_eq!(update_xr(mode, 2.0, &[], &[], &mut [], &mut []), 0.0);

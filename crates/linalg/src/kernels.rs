@@ -188,14 +188,18 @@ pub fn xpay(x: &[f64], a: f64, y: &mut [f64]) {
 
 /// `w ← a·x + b·y` into a separate output.
 ///
+/// `nt` selects non-temporal (cache-bypassing) stores for the pure
+/// streaming write of `w`; values are bit-identical either way. Callers
+/// resolve the cutoff once per solve (`SolveOptions::nt_stores`) instead
+/// of re-reading the cache probe per invocation.
+///
 /// Aliasing: neither input may overlap the output `w`; `x` and `y` may
 /// alias each other (both are only read).
-pub fn waxpby(a: f64, x: &[f64], b: f64, y: &[f64], w: &mut [f64]) {
+pub fn waxpby(a: f64, x: &[f64], b: f64, y: &[f64], w: &mut [f64], nt: bool) {
     assert_eq!(x.len(), y.len(), "waxpby: x/y length mismatch");
     assert_eq!(x.len(), w.len(), "waxpby: x/w length mismatch");
     debug_assert!(!overlaps(x, w), "waxpby: x aliases w");
     debug_assert!(!overlaps(y, w), "waxpby: y aliases w");
-    let nt = std::mem::size_of_val(w) > vr_par::cache::nt_store_cutoff_bytes();
     vr_par::simd::leaf_waxpby(a, x, b, y, w, nt);
 }
 
@@ -368,7 +372,7 @@ mod tests {
         assert_eq!(p, vec![4.0, 5.0, 6.0]);
 
         let mut w = vec![0.0; 3];
-        waxpby(2.0, &x, -1.0, &p, &mut w);
+        waxpby(2.0, &x, -1.0, &p, &mut w, false);
         assert_eq!(w, vec![-2.0, -1.0, 0.0]);
     }
 

@@ -56,6 +56,7 @@ pub mod precond;
 pub mod reorder;
 pub mod sparse;
 pub mod stencil;
+pub mod sweep;
 pub mod vector;
 
 pub use dense::DenseMatrix;
@@ -205,6 +206,17 @@ pub trait LinearOperator {
         let _ = (tile, ws);
         mpk::naive_powers(self, transform, v, av, team);
     }
+
+    /// Borrow this operator as a whole-iteration sweep operand, if it
+    /// supports band-addressable row staging (`y[lo..hi] ← (A·x)[lo..hi]`
+    /// through the exact `apply` operation sequence). Returning `Some`
+    /// opts the operator into [`sweep::FusedIterationSweep`], the engine
+    /// behind `SweepPolicy::WholeIteration` in the solver crate; the
+    /// default `None` makes whole-iteration fusion an explicit per-format
+    /// capability rather than a silent fallback.
+    fn as_sweep(&self) -> Option<sweep::SweepOperator<'_>> {
+        None
+    }
 }
 
 impl<T: LinearOperator + ?Sized> LinearOperator for &T {
@@ -254,6 +266,9 @@ impl<T: LinearOperator + ?Sized> LinearOperator for &T {
         ws: &mut mpk::MpkWorkspace,
     ) {
         (**self).matrix_powers(transform, v, av, team, tile, ws)
+    }
+    fn as_sweep(&self) -> Option<sweep::SweepOperator<'_>> {
+        (**self).as_sweep()
     }
 }
 

@@ -391,6 +391,10 @@ impl LinearOperator for CsrMatrix {
         CsrMatrix::max_row_nnz(self)
     }
 
+    fn as_sweep(&self) -> Option<crate::sweep::SweepOperator<'_>> {
+        (self.nrows == self.ncols).then_some(crate::sweep::SweepOperator::Csr(self))
+    }
+
     /// Native `f32` SpMV against a lazily narrowed copy of the value array
     /// (built once, cached; see [`CsrMatrix::data_mut`] for invalidation).
     /// The row accumulation is the [`CsrMatrix::spmv_into`] operation
@@ -714,7 +718,7 @@ impl CsrMatrix {
     /// `lo`). The per-row accumulation is the exact operation sequence of
     /// [`CsrMatrix::spmv_into`], so any row partition is bit-identical to
     /// the serial product.
-    fn spmv_rows_into(&self, x: &[f64], lo: usize, hi: usize, yband: &mut [f64]) {
+    pub(crate) fn spmv_rows_into(&self, x: &[f64], lo: usize, hi: usize, yband: &mut [f64]) {
         for (off, yi) in yband.iter_mut().enumerate() {
             let r = lo + off;
             debug_assert!(r < hi);

@@ -190,7 +190,14 @@ impl Stencil2d {
     /// `row = i·ny` is the flat index of the row inside `x` (which may be a
     /// band slice, as long as the needed neighbor rows are in-slice).
     #[inline]
-    fn row_sweep_into(&self, x: &[f64], has_up: bool, has_down: bool, row: usize, out: &mut [f64]) {
+    pub(crate) fn row_sweep_into(
+        &self,
+        x: &[f64],
+        has_up: bool,
+        has_down: bool,
+        row: usize,
+        out: &mut [f64],
+    ) {
         let ny = self.ny;
         let up = has_up.then(|| &x[row - ny..row]);
         let down = has_down.then(|| &x[row + ny..row + 2 * ny]);
@@ -299,6 +306,10 @@ impl LinearOperator for Stencil2d {
 
     fn max_row_nnz(&self) -> usize {
         5
+    }
+
+    fn as_sweep(&self) -> Option<crate::sweep::SweepOperator<'_>> {
+        Some(crate::sweep::SweepOperator::Stencil2d(self))
     }
 
     /// Native `f32` sweep: the [`Stencil2d::row_value`] operation sequence
@@ -684,9 +695,15 @@ impl Stencil3d {
     /// ([`vr_par::simd::leaf_stencil3d_row`]) — the 3-D analogue of
     /// [`Stencil2d::row_sweep_into`], with the exact
     /// [`Stencil3d::row_value`] operation sequence per element.
+    /// Grid side length `n` (the operator dimension is `n³`).
+    #[inline]
+    pub(crate) fn side(&self) -> usize {
+        self.n
+    }
+
     #[inline]
     #[allow(clippy::too_many_arguments)]
-    fn row3_sweep_into(
+    pub(crate) fn row3_sweep_into(
         &self,
         x: &[f64],
         has_il: bool,
@@ -741,6 +758,10 @@ impl LinearOperator for Stencil3d {
 
     fn max_row_nnz(&self) -> usize {
         7
+    }
+
+    fn as_sweep(&self) -> Option<crate::sweep::SweepOperator<'_>> {
+        Some(crate::sweep::SweepOperator::Stencil3d(self))
     }
 
     /// Native `f32` sweep: the [`Stencil3d::row_value`] operation sequence

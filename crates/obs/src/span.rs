@@ -31,8 +31,11 @@ pub enum SpanKind {
     Guard = 8,
     /// A breakdown-recovery action (restart, k-backoff step).
     Recovery = 9,
-    /// One team barrier epoch (`Team::try_run`), recorded on the caller.
-    /// Nested inside solver-level spans; auxiliary detail, not attributed.
+    /// One team barrier epoch (`Team::try_run`): recorded on the caller's
+    /// shard via TLS, and — when a tracer is attached to the team — on
+    /// every worker's own shard slot, so per-shard busy/idle windows are
+    /// measurable. Nested inside solver-level spans; auxiliary detail, not
+    /// attributed.
     TeamEpoch = 10,
     /// One MPK tile sweep on one shard (worker-side detail of `MpkBuild`).
     MpkTile = 11,
@@ -47,10 +50,14 @@ pub enum SpanKind {
     /// An epoch-timeout health check: the caller inspecting per-worker
     /// heartbeat counters for stragglers or dead workers.
     HealthCheck = 15,
+    /// One whole-iteration fused sweep epoch (`SweepPolicy::WholeIteration`)
+    /// on one shard: matvec staging, dot partials, and vector updates in a
+    /// single cache-resident pass over the shard's chunks.
+    IterSweep = 16,
 }
 
 /// Every kind, in discriminant order (index with `kind as usize`).
-pub const ALL_KINDS: [SpanKind; 16] = [
+pub const ALL_KINDS: [SpanKind; 17] = [
     SpanKind::Matvec,
     SpanKind::MpkBuild,
     SpanKind::VectorOp,
@@ -67,6 +74,7 @@ pub const ALL_KINDS: [SpanKind; 16] = [
     SpanKind::Checkpoint,
     SpanKind::Reshard,
     SpanKind::HealthCheck,
+    SpanKind::IterSweep,
 ];
 
 /// The four buckets of the per-iteration critical-path attribution.
@@ -103,6 +111,7 @@ impl SpanKind {
             SpanKind::Checkpoint => "checkpoint",
             SpanKind::Reshard => "reshard",
             SpanKind::HealthCheck => "health_check",
+            SpanKind::IterSweep => "iter_sweep",
         }
     }
 
@@ -113,7 +122,9 @@ impl SpanKind {
     pub fn phase(self) -> Option<PhaseClass> {
         match self {
             SpanKind::Matvec | SpanKind::MpkBuild => Some(PhaseClass::Matvec),
-            SpanKind::VectorOp | SpanKind::DotLaunch => Some(PhaseClass::Vector),
+            SpanKind::VectorOp | SpanKind::DotLaunch | SpanKind::IterSweep => {
+                Some(PhaseClass::Vector)
+            }
             SpanKind::DotWait | SpanKind::DotFanIn | SpanKind::DeferredWait => {
                 Some(PhaseClass::ReductionWait)
             }

@@ -177,6 +177,12 @@ struct Inner {
     /// Ticks before an unclaimed-but-running worker is demoted as a
     /// straggler.
     straggler_ticks: AtomicU64,
+    /// Per-solve span recorder shared with the workers
+    /// ([`Team::set_tracer`]). Workers clone the `Arc` at claim time and
+    /// record their own [`vr_obs::SpanKind::TeamEpoch`] busy window on
+    /// their shard's slot, so cross-shard idle time is measurable (the
+    /// caller's TLS recorder only ever sees shard 0).
+    tracer: Mutex<Option<Arc<vr_obs::Tracer>>>,
 }
 
 /// A persistent SPMD worker team.
@@ -230,6 +236,7 @@ impl Team {
             kill_silent: (0..nworkers).map(|_| AtomicBool::new(false)).collect(),
             tick_ms: AtomicU64::new(DEFAULT_TICK_MS),
             straggler_ticks: AtomicU64::new(DEFAULT_STRAGGLER_TICKS),
+            tracer: Mutex::new(None),
         });
         let workers = (1..width)
             .map(|idx| {
@@ -299,6 +306,24 @@ impl Team {
         self.inner
             .straggler_ticks
             .store(straggler_ticks.max(1), Ordering::Relaxed);
+    }
+
+    /// Attach (or with `None`, detach) a span recorder that the team's
+    /// *workers* record into: each worker wraps its shard of every epoch in
+    /// a [`vr_obs::SpanKind::TeamEpoch`] span on its own shard slot, so a
+    /// drained trace shows per-shard busy windows — the prerequisite for
+    /// measuring cross-shard idle time. The caller's shard-0 spans still
+    /// come from its thread-local recorder ([`vr_obs::tls`]); this slot
+    /// only adds the worker side.
+    ///
+    /// The tracer should be sized for the team width
+    /// ([`vr_obs::Tracer::for_width`]); records to out-of-range shards are
+    /// silently dropped. On a process-shared team, concurrent solves share
+    /// this slot — `TeamEpoch` is an auxiliary (phase-`None`) kind, so a
+    /// stray epoch from another solve never perturbs critical-path
+    /// attribution.
+    pub fn set_tracer(&self, tracer: Option<Arc<vr_obs::Tracer>>) {
+        *self.inner.tracer.lock().expect("team tracer lock") = tracer;
     }
 
     /// Request a *clean* departure of worker `idx ∈ 1..width` at its next
@@ -536,11 +561,19 @@ fn worker_loop(inner: &Inner, idx: usize) {
                 st = inner.start.wait(st).expect("team state lock");
             }
         };
+        // Clone the tracer Arc up front (never hold the slot lock while the
+        // job runs) and bracket the shard's busy window with a TeamEpoch
+        // span on this shard's own slot.
+        let tracer = inner.tracer.lock().expect("team tracer lock").clone();
+        let s0 = tracer.as_ref().map(|t| t.now_ns());
         let panicked = catch_unwind(AssertUnwindSafe(|| {
             let f: &(dyn Fn(usize) + Sync) = unsafe { &*job.0 };
             f(shard);
         }))
         .is_err();
+        if let (Some(t), Some(s0)) = (tracer.as_ref(), s0) {
+            t.record_since(shard, vr_obs::SpanKind::TeamEpoch, s0);
+        }
         let mut st = inner.state.lock().expect("team state lock");
         if panicked {
             st.poisoned = true;
@@ -942,6 +975,30 @@ mod tests {
         par_xpay_in(Some(&team), &serial, -0.25, &mut p2);
         par_xpay_in(None, &serial, -0.25, &mut p1);
         assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn attached_tracer_records_worker_epochs_per_shard() {
+        let team = Team::new(4);
+        let tracer = Arc::new(vr_obs::Tracer::for_width(4));
+        team.set_tracer(Some(Arc::clone(&tracer)));
+        for _ in 0..5 {
+            team.try_run(&|_| {}).unwrap();
+        }
+        team.set_tracer(None);
+        // quiescence: try_run blocked until every shard finished
+        let log = tracer.drain();
+        for shard in 1..4 {
+            let n = log
+                .spans
+                .iter()
+                .filter(|(s, sp)| *s == shard && sp.kind == vr_obs::SpanKind::TeamEpoch)
+                .count();
+            assert_eq!(n, 5, "worker shard {shard} must record every epoch");
+        }
+        // detached again: no further records
+        team.try_run(&|_| {}).unwrap();
+        assert!(tracer.drain().spans.is_empty());
     }
 
     #[test]

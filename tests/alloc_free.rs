@@ -210,6 +210,60 @@ fn hot_loops_allocate_nothing_per_iteration_after_warmup() {
         }
     }
 
+    // Whole-iteration sweep fusion: the epoch engine preallocates its
+    // staging bands and 256-leaf partial buffers at solve start, and every
+    // epoch runs in that fixed storage — extra iterations must be
+    // allocation-free for all four sweep-eligible variants. (overlap-k1's
+    // per-kernel path allocates per-iteration deferred-scalar launches;
+    // the sweep twin folds those reductions inside the epochs, so here it
+    // is held to the exact 10-vs-40 contract as well.)
+    let sweep_variants: Vec<(Box<dyn CgVariant>, &str)> = vec![
+        (Box::new(StandardCg::new()), "standard"),
+        (
+            Box::new(vr_cg::overlap_k1::OverlapK1Cg::new()),
+            "overlap-k1",
+        ),
+        (
+            Box::new(vr_cg::baselines::ChronopoulosGearCg::new()),
+            "chronopoulos-gear",
+        ),
+        (Box::new(vr_cg::baselines::PipelinedCg::new()), "pipelined"),
+    ];
+    for (variant, label) in &sweep_variants {
+        let measure = |max_iters: usize| {
+            let mut o = SolveOptions::default()
+                .with_tol(0.0)
+                .with_max_iters(max_iters)
+                .with_dot_mode(DotMode::Tree)
+                .with_threads(1)
+                .with_sweep_policy(vr_cg::SweepPolicy::WholeIteration);
+            o.record_residuals = false;
+            let _ = variant.solve(&a, &b, None, &o); // warm-up
+            let mut best = u64::MAX;
+            for _ in 0..3 {
+                let before = ALLOC_CALLS.load(Ordering::Relaxed);
+                let res = variant.solve(&a, &b, None, &o);
+                let after = ALLOC_CALLS.load(Ordering::Relaxed);
+                assert_eq!(
+                    res.termination,
+                    Termination::MaxIterations,
+                    "{label} (sweep): tol=0 run must exhaust its budget, \
+                     not reject"
+                );
+                best = best.min(after - before);
+            }
+            best
+        };
+        let short = measure(10);
+        let long = measure(40);
+        assert_eq!(
+            short, long,
+            "{label} (whole-iteration sweep): a 40-iteration solve \
+             allocated {long} times vs {short} for 10 iterations — sweep \
+             epochs must run entirely in the engine's preallocated storage"
+        );
+    }
+
     let tracer = std::sync::Arc::new(vr_obs::Tracer::for_width(1));
     let traced_variants: Vec<(Box<dyn CgVariant>, &str)> = vec![
         (Box::new(StandardCg::new()), "standard"),

@@ -26,6 +26,10 @@
 //!    residual (never false convergence); ineligible variants reject with
 //!    [`Termination::Unsupported`] and zero iterations, not a silent f64
 //!    fallback.
+//! 8. **Sweep policy** — variants flagged `sweep_eligible` produce bits
+//!    identical to the per-kernel fused path under
+//!    `SweepPolicy::WholeIteration`; the rest reject with
+//!    [`Termination::Unsupported`] and zero iterations.
 //!
 //! The allocation column needs a quiet window, so a process-wide mutex
 //! serializes every test in this binary against the measured solves.
@@ -390,6 +394,63 @@ fn mixed_precision_converges_or_rejects_explicitly_per_eligibility() {
         eligible >= 3,
         "expected standard/overlap-k1/pipelined to be mixed-eligible, got {eligible}"
     );
+}
+
+// -------------------------------------------------- column 8: sweep policy
+
+/// Variants flagged `sweep_eligible` must run the whole-iteration sweep
+/// bit-identically to the per-kernel fused path (same x, norms, iteration
+/// count); every other registered variant must reject the request
+/// explicitly with zero iterations — never silently fall back to the
+/// per-kernel loop.
+#[test]
+fn sweep_policy_matches_fused_or_rejects_explicitly_per_eligibility() {
+    let _g = gate();
+    let a = gen::poisson2d(16);
+    let b = gen::poisson2d_rhs(16);
+    for threads in [1usize, 2] {
+        let base = SolveOptions::default()
+            .with_tol(1e-8)
+            .with_max_iters(2000)
+            .with_dot_mode(DotMode::Tree)
+            .with_threads(threads);
+        let variants = keyed_variants(&a);
+        assert_eq!(variants.len(), VARIANT_COUNT, "registry drifted");
+        let mut eligible = 0;
+        for (key, solver) in variants {
+            let sweep = solver.solve(
+                &a,
+                &b,
+                None,
+                &base
+                    .clone()
+                    .with_sweep_policy(cg_lookahead::cg::SweepPolicy::WholeIteration),
+            );
+            if solver.sweep_eligible() {
+                eligible += 1;
+                let fused = solver.solve(&a, &b, None, &base);
+                assert_bit_identical(&fused, &sweep, &format!("{key} (sweep, threads {threads})"));
+                assert!(sweep.converged, "{key}: {:?}", sweep.termination);
+            } else {
+                assert_eq!(
+                    sweep.termination,
+                    Termination::Unsupported,
+                    "{key}: sweep-ineligible must reject explicitly, got {:?}",
+                    sweep.termination
+                );
+                assert_eq!(sweep.iterations, 0, "{key}: rejection must do no work");
+                assert!(
+                    sweep.x.iter().all(|&v| v == 0.0),
+                    "{key}: rejection must not scribble on the iterate"
+                );
+            }
+        }
+        assert_eq!(
+            eligible, 4,
+            "expected standard/overlap-k1/chronopoulos-gear/pipelined to be \
+             sweep-eligible, got {eligible}"
+        );
+    }
 }
 
 /// Below the f32-attainable floor the mixed path must stay honest: it may
