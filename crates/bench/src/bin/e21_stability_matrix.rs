@@ -117,6 +117,7 @@ fn tlabel(t: Termination) -> &'static str {
         Termination::Stagnated => "stagnated",
         Termination::Diverged => "diverged",
         Termination::Unsupported => "unsupported",
+        Termination::Cancelled => "cancelled",
     }
 }
 

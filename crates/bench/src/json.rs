@@ -1,123 +1,22 @@
-//! Minimal JSON serialization for experiment results.
+//! JSON serialization for experiment results.
 //!
-//! The experiment binaries emit machine-readable JSON under
-//! `target/experiments/`. The values involved are flat records of numbers
-//! and strings, so a tiny value tree + pretty printer covers everything the
-//! harness needs without an external serialization framework (the build
-//! must work fully offline).
+//! The value tree, parser, and `ToJson` trait live in [`vr_obs::json`]
+//! (the leaf crate) so the solve service can share one JSON
+//! implementation with the harness without a dependency cycle; this
+//! module re-exports them and keeps the harness-specific part — the
+//! shared experiment-result *envelope*, which needs `vr_par::team::GRAIN`
+//! and so cannot live in the leaf. Experiment binaries keep using
+//! `vr_bench::json::{Json, ToJson}` and the `vr_bench::json!` /
+//! `vr_bench::jsonable!` macros unchanged.
 
-use std::fmt::Write as _;
-
-/// A JSON value tree.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Integer (kept exact, no float round-trip).
-    Int(i64),
-    /// Floating point number. Non-finite values render as `null`, matching
-    /// the common JSON-encoder convention.
-    Num(f64),
-    /// String.
-    Str(String),
-    /// Array.
-    Arr(Vec<Json>),
-    /// Object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Render with two-space indentation and a trailing newline-free body.
-    #[must_use]
-    pub fn pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: usize) {
-        let pad = "  ".repeat(indent);
-        let pad_in = "  ".repeat(indent + 1);
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Int(i) => {
-                let _ = write!(out, "{i}");
-            }
-            Json::Num(x) => {
-                if x.is_finite() {
-                    let _ = write!(out, "{x:?}");
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push_str("[\n");
-                for (i, item) in items.iter().enumerate() {
-                    out.push_str(&pad_in);
-                    item.write(out, indent + 1);
-                    if i + 1 < items.len() {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                }
-                out.push_str(&pad);
-                out.push(']');
-            }
-            Json::Obj(pairs) => {
-                if pairs.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push_str("{\n");
-                for (i, (k, v)) in pairs.iter().enumerate() {
-                    out.push_str(&pad_in);
-                    write_escaped(out, k);
-                    out.push_str(": ");
-                    v.write(out, indent + 1);
-                    if i + 1 < pairs.len() {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                }
-                out.push_str(&pad);
-                out.push('}');
-            }
-        }
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
+pub use vr_obs::json::{parse, report_json, Json, ParseError, ToJson};
 
 /// Version of the shared experiment-result envelope. Bump when the
 /// envelope keys (not the per-experiment row schemas) change shape.
 pub const SCHEMA_VERSION: i64 = 1;
 
 /// Wrap experiment row sections in the common envelope shared by the
-/// perf-oriented experiments (e15–e18).
+/// perf-oriented experiments (e15–e24) and the solve-service wire format.
 ///
 /// Every emitted file starts with the same five keys — `schema_version`,
 /// `experiment`, `smoke`, `host_cpus`, `grain` — so downstream tooling can
@@ -140,179 +39,28 @@ pub fn envelope(experiment: &str, smoke: bool, sections: &[(&str, Json)]) -> Jso
     Json::Obj(pairs)
 }
 
-/// Conversion into a [`Json`] value (the role a `Serialize` derive would
-/// play; records implement it via [`crate::jsonable!`]).
-pub trait ToJson {
-    /// Convert to a JSON value tree.
-    fn to_json(&self) -> Json;
-}
-
-impl ToJson for Json {
-    fn to_json(&self) -> Json {
-        self.clone()
-    }
-}
-
-impl ToJson for bool {
-    fn to_json(&self) -> Json {
-        Json::Bool(*self)
-    }
-}
-
-impl ToJson for f64 {
-    fn to_json(&self) -> Json {
-        Json::Num(*self)
-    }
-}
-
-impl ToJson for f32 {
-    fn to_json(&self) -> Json {
-        Json::Num(f64::from(*self))
-    }
-}
-
-impl ToJson for String {
-    fn to_json(&self) -> Json {
-        Json::Str(self.clone())
-    }
-}
-
-impl ToJson for &str {
-    fn to_json(&self) -> Json {
-        Json::Str((*self).to_string())
-    }
-}
-
-macro_rules! impl_tojson_int {
-    ($($t:ty),*) => {$(
-        impl ToJson for $t {
-            fn to_json(&self) -> Json {
-                Json::Int(*self as i64)
-            }
-        }
-    )*};
-}
-impl_tojson_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
-
-impl<T: ToJson> ToJson for Vec<T> {
-    fn to_json(&self) -> Json {
-        Json::Arr(self.iter().map(ToJson::to_json).collect())
-    }
-}
-
-impl<T: ToJson> ToJson for [T] {
-    fn to_json(&self) -> Json {
-        Json::Arr(self.iter().map(ToJson::to_json).collect())
-    }
-}
-
-impl<T: ToJson + ?Sized> ToJson for &T {
-    fn to_json(&self) -> Json {
-        (*self).to_json()
-    }
-}
-
-impl<T: ToJson> ToJson for Option<T> {
-    fn to_json(&self) -> Json {
-        match self {
-            None => Json::Null,
-            Some(v) => v.to_json(),
-        }
-    }
-}
-
 /// Build a [`Json`] object literal: `json!({ "rows": rows, "slope": s })`.
+///
+/// Delegates to [`vr_obs::json!`]; kept under the `vr_bench` name so the
+/// experiment binaries' call sites are stable.
 #[macro_export]
 macro_rules! json {
-    ({ $($key:literal : $val:expr),* $(,)? }) => {
-        $crate::json::Json::Obj(vec![
-            $( (($key).to_string(), $crate::json::ToJson::to_json(&$val)) ),*
-        ])
-    };
-    ([ $($val:expr),* $(,)? ]) => {
-        $crate::json::Json::Arr(vec![
-            $( $crate::json::ToJson::to_json(&$val) ),*
-        ])
-    };
-    ($val:expr) => {
-        $crate::json::ToJson::to_json(&$val)
-    };
+    ($($tt:tt)*) => { ::vr_obs::json!($($tt)*) };
 }
 
 /// Define a struct together with a field-by-field [`ToJson`] impl (the
 /// stand-in for `#[derive(Serialize)]` on experiment row records).
+///
+/// Delegates to [`vr_obs::jsonable!`]; kept under the `vr_bench` name so
+/// the experiment binaries' call sites are stable.
 #[macro_export]
 macro_rules! jsonable {
-    ( $(#[$meta:meta])* $vis:vis struct $name:ident {
-        $( $(#[$fmeta:meta])* $fvis:vis $field:ident : $ty:ty ),* $(,)?
-    } ) => {
-        $(#[$meta])*
-        $vis struct $name {
-            $( $(#[$fmeta])* $fvis $field : $ty ),*
-        }
-        impl $crate::json::ToJson for $name {
-            fn to_json(&self) -> $crate::json::Json {
-                $crate::json::Json::Obj(vec![
-                    $( (stringify!($field).to_string(),
-                        $crate::json::ToJson::to_json(&self.$field)) ),*
-                ])
-            }
-        }
-    };
+    ($($tt:tt)*) => { ::vr_obs::jsonable! { $($tt)* } };
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn scalars_render() {
-        assert_eq!(Json::Null.pretty(), "null");
-        assert_eq!(Json::Bool(true).pretty(), "true");
-        assert_eq!(Json::Int(-3).pretty(), "-3");
-        assert_eq!(Json::Num(1.5).pretty(), "1.5");
-        assert_eq!(Json::Num(f64::NAN).pretty(), "null");
-        assert_eq!(Json::Num(f64::INFINITY).pretty(), "null");
-        assert_eq!(Json::Str("a\"b".into()).pretty(), "\"a\\\"b\"");
-    }
-
-    #[test]
-    fn object_and_array_layout() {
-        let v = crate::json!({ "xs": vec![1u32, 2], "name": "t" });
-        let s = v.pretty();
-        assert!(s.starts_with("{\n"), "{s}");
-        assert!(s.contains("\"xs\": [\n"), "{s}");
-        assert!(s.contains("\"name\": \"t\""), "{s}");
-        assert!(s.ends_with('}'), "{s}");
-    }
-
-    #[test]
-    fn jsonable_struct_round_trips_fields() {
-        crate::jsonable! {
-            struct Row {
-                n: usize,
-                err: f64,
-                tag: String,
-            }
-        }
-        let r = Row {
-            n: 4,
-            err: 0.25,
-            tag: "x".into(),
-        };
-        let s = r.to_json().pretty();
-        assert!(s.contains("\"n\": 4"), "{s}");
-        assert!(s.contains("\"err\": 0.25"), "{s}");
-        assert!(s.contains("\"tag\": \"x\""), "{s}");
-    }
-
-    #[test]
-    fn float_formatting_round_trips() {
-        // {:?} keeps the shortest representation that parses back exactly
-        let s = Json::Num(1e-10).pretty();
-        assert_eq!(s.parse::<f64>().unwrap(), 1e-10, "{s}");
-        assert_eq!(Json::Num(2.0).pretty(), "2.0");
-    }
 
     #[test]
     fn envelope_leads_with_shared_keys_then_sections() {
@@ -340,8 +88,22 @@ mod tests {
     }
 
     #[test]
-    fn control_chars_escaped() {
-        let s = Json::Str("a\nb\u{1}".into()).pretty();
-        assert_eq!(s, "\"a\\nb\\u0001\"");
+    fn delegating_macros_produce_obs_values() {
+        crate::jsonable! {
+            struct Row {
+                n: usize,
+            }
+        }
+        let v = crate::json!({ "rows": vec![Row { n: 4 }] });
+        // round-trips through the shared parser: proof both sides agree
+        let back = parse(&v.pretty()).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(
+            back.get("rows").unwrap().as_arr().unwrap()[0]
+                .get("n")
+                .unwrap()
+                .as_i64(),
+            Some(4)
+        );
     }
 }

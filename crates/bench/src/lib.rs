@@ -30,6 +30,8 @@
 //! | `e20_self_healing` | extension | worker failover and checkpoint/rollback overhead |
 //! | `e21_stability_matrix` | extension | cross-variant attainable-accuracy shoot-out |
 //! | `e22_simd_bandwidth` | extension | SIMD/mixed-precision roofline, bytes per iteration |
+//! | `e23_sweep_fusion` | extension | whole-iteration sweep fusion vs per-kernel fused |
+//! | `e24_solve_service` | extension | multi-tenant daemon: admission, batching, failover |
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]

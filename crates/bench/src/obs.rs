@@ -1,78 +1,12 @@
 //! Bridge from `vr_obs` critical-path reports to the experiment JSON
 //! envelope.
 //!
-//! [`vr_obs::critpath::attribute`] turns a drained trace into a
-//! [`Report`]; this module renders that report as the same [`Json`] value
-//! tree every other experiment emits, so `BENCH_obs.json` needs no
-//! special-case parser: phase totals, per-iteration breakdowns, and
-//! per-span-kind histogram summaries are plain named sections.
+//! The rendering itself moved to [`vr_obs::json::report_json`] so the
+//! solve service can stream phase attribution to clients with the same
+//! layout the experiment files use; this module re-exports it under the
+//! name the experiment binaries already import.
 
-use crate::json::Json;
-use vr_obs::span::ALL_KINDS;
-use vr_obs::{PhaseClass, Phases, Report};
-
-fn phases_json(p: &Phases) -> Json {
-    crate::json!({
-        "reduction_wait_ns": p.reduction_wait_ns,
-        "matvec_ns": p.matvec_ns,
-        "vector_ns": p.vector_ns,
-        "overhead_ns": p.overhead_ns,
-        "total_ns": p.total_ns,
-        "reduction_wait_share": p.share(PhaseClass::ReductionWait),
-        "matvec_share": p.share(PhaseClass::Matvec),
-        "vector_share": p.share(PhaseClass::Vector),
-        "overhead_share": p.share(PhaseClass::Overhead),
-    })
-}
-
-/// Render a critical-path [`Report`] as a JSON object.
-///
-/// Layout: `iterations` (count), `dropped_spans`, `total_bytes` (logical
-/// traffic summed over every span that accounted it), `totals` (phase ns
-/// and shares over all iterations), `per_iter` (one phases object per
-/// iteration window), and `span_kinds` (count / mean / p50 / p99 / max /
-/// bytes per recorded span kind, all shards — kinds never recorded are
-/// omitted).
-#[must_use]
-pub fn report_json(report: &Report) -> Json {
-    let per_iter: Vec<Json> = report
-        .iters
-        .iter()
-        .map(|it| {
-            let mut obj = vec![("iter".to_string(), Json::Int(it.iter as i64))];
-            if let Json::Obj(pairs) = phases_json(&it.phases) {
-                obj.extend(pairs);
-            }
-            Json::Obj(obj)
-        })
-        .collect();
-
-    let kinds: Vec<Json> = ALL_KINDS
-        .iter()
-        .filter(|k| report.hist(**k).total() > 0)
-        .map(|k| {
-            let h = report.hist(*k);
-            crate::json!({
-                "kind": k.name(),
-                "count": h.total(),
-                "mean_ns": h.mean_ns(),
-                "p50_upper_ns": h.quantile_upper_ns(0.5),
-                "p99_upper_ns": h.quantile_upper_ns(0.99),
-                "max_ns": h.max_ns(),
-                "bytes": Json::Int(report.bytes(*k) as i64),
-            })
-        })
-        .collect();
-
-    crate::json!({
-        "iterations": report.iters.len(),
-        "dropped_spans": report.dropped,
-        "total_bytes": Json::Int(report.total_bytes() as i64),
-        "totals": phases_json(&report.totals),
-        "per_iter": Json::Arr(per_iter),
-        "span_kinds": Json::Arr(kinds),
-    })
-}
+pub use vr_obs::json::report_json;
 
 #[cfg(test)]
 mod tests {
@@ -80,25 +14,17 @@ mod tests {
     use vr_obs::{SpanKind, Tracer};
 
     #[test]
-    fn report_round_trips_to_json() {
+    fn reexported_report_json_matches_envelope_idiom() {
         let t = Tracer::new(1, 256);
-        for _ in 0..2 {
-            t.mark(0, SpanKind::IterMark);
-            let s = t.now_ns();
-            std::hint::black_box((0..500).sum::<u64>());
-            t.record_since(0, SpanKind::Matvec, s);
-            let s = t.now_ns();
-            t.record_since(0, SpanKind::DotWait, s);
-        }
+        t.mark(0, SpanKind::IterMark);
+        let s = t.now_ns();
+        std::hint::black_box((0..500).sum::<u64>());
+        t.record_since(0, SpanKind::Matvec, s);
         let rep = vr_obs::critpath::attribute(&t.drain());
-        let j = report_json(&rep).pretty();
-        assert!(j.contains("\"iterations\": 2"), "{j}");
-        assert!(j.contains("\"dropped_spans\": 0"), "{j}");
-        assert!(j.contains("\"reduction_wait_share\""), "{j}");
-        assert!(j.contains("\"kind\": \"matvec\""), "{j}");
-        // unrecorded kinds are omitted
-        assert!(!j.contains("\"kind\": \"recovery\""), "{j}");
-        // cheap well-formedness check
-        assert_eq!(j.matches('{').count(), j.matches('}').count(), "{j}");
+        let j = report_json(&rep);
+        let env = crate::json::envelope("e99_test", true, &[("trace", j)]);
+        // the report embeds cleanly in the envelope and parses back
+        let back = crate::json::parse(&env.pretty()).unwrap();
+        assert!(back.get("trace").unwrap().get("totals").is_some());
     }
 }

@@ -139,6 +139,14 @@ impl CgVariant for ChebyshevIteration {
 
             for it in 0..opts.max_iters {
                 opts.iter_mark();
+                // rr is only refreshed every check_every iterations — the
+                // streamed value is the latest *paid-for* residual, honest
+                // to this method's reduction-avoidance contract
+                if opts.service_poll(it, rr) {
+                    termination = Termination::Cancelled;
+                    iterations = it;
+                    break;
+                }
                 opts.axpy(1.0, &d, &mut x, &mut counts);
                 // r ← r − A·d
                 opts.matvec(a, &d, &mut w, &mut counts);

@@ -122,6 +122,11 @@ impl CgVariant for ChronopoulosGearCg {
             }
             while it < opts.max_iters {
                 opts.iter_mark();
+                if opts.service_poll(it, rho) {
+                    termination = Termination::Cancelled;
+                    iterations = it;
+                    break;
+                }
                 if let Some(rg) = ring.as_mut() {
                     rg.maybe_save(
                         opts,

@@ -89,6 +89,11 @@ impl CgVariant for ConjugateResidual {
         } else {
             for it in 0..opts.max_iters {
                 opts.iter_mark();
+                if opts.service_poll(it, rr) {
+                    termination = Termination::Cancelled;
+                    iterations = it;
+                    break;
+                }
                 let apap = dot(md, &ap, &ap);
                 counts.dots += 1;
                 if guard::check_pivot(apap).is_err() || guard::check_pivot(rar).is_err() {
@@ -218,6 +223,11 @@ impl CgVariant for OverlapCr {
         } else {
             for it in 0..opts.max_iters {
                 opts.iter_mark();
+                if opts.service_poll(it, rr) {
+                    termination = Termination::Cancelled;
+                    iterations = it;
+                    break;
+                }
                 if guard::check_pivot(apap).is_err() || guard::check_pivot(rar).is_err() {
                     // validate: near convergence the drifted recursive
                     // scalars can cross zero just before the threshold trips

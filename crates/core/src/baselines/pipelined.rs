@@ -150,6 +150,11 @@ pub(crate) fn solve_gv(
             }
             while it < opts.max_iters {
                 opts.iter_mark();
+                if opts.service_poll(it, gamma) {
+                    termination = Termination::Cancelled;
+                    iterations = it;
+                    break;
+                }
                 if let Some(rg) = ring.as_mut() {
                     rg.maybe_save(
                         opts,

@@ -123,6 +123,11 @@ impl<P: Preconditioner> CgVariant for PrecondCg<P> {
             }
             while it < opts.max_iters {
                 opts.iter_mark();
+                if opts.service_poll(it, rr) {
+                    termination = Termination::Cancelled;
+                    iterations = it;
+                    break;
+                }
                 if let Some(rg) = ring.as_mut() {
                     rg.maybe_save(opts, it, &[&x, &r, &p], &[rz, rr]);
                 }

@@ -126,6 +126,11 @@ impl CgVariant for ThreeTermCg {
             }
             while it < opts.max_iters {
                 opts.iter_mark();
+                if opts.service_poll(it, rr) {
+                    termination = Termination::Cancelled;
+                    iterations = it;
+                    break;
+                }
                 if let Some(rg) = ring.as_mut() {
                     rg.maybe_save(
                         opts,

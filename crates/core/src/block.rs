@@ -16,15 +16,28 @@
 //! P  = R + P·Β
 //! ```
 //!
-//! All `2s²` inner products per iteration form TWO batched reductions
-//! (`vr_par::batch::gram` computes each family in one data pass).
+//! All `2s²` inner products per iteration form batched Gram families.
+//! They are computed serially with the SIMD leaf kernel over whole
+//! columns: serial summation is trivially bit-invariant across team
+//! widths (the property the daemon's batch scheduler relies on), and at
+//! block sizes the flat single-pass dot beats the 256-chunk partitioned
+//! reduction — the chunks exist to shard work across workers, but the
+//! s × s Gram family is many *small* dots, where per-chunk dispatch
+//! overhead would dominate the arithmetic.
 
 use crate::instrument::OpCounts;
 use crate::resilience::guard;
 use crate::solver::{SolveOptions, Termination};
 use vr_linalg::kernels;
 use vr_linalg::{DenseMatrix, LinearOperator};
-use vr_par::batch;
+use vr_par::simd::leaf_dot;
+
+/// Serial SIMD Gram block `G[i][j] = (u[i], v[j])`, one flat pass per dot.
+fn gram_block(u: &[&[f64]], v: &[&[f64]]) -> Vec<Vec<f64>> {
+    u.iter()
+        .map(|x| v.iter().map(|y| leaf_dot(x, y)).collect())
+        .collect()
+}
 
 /// Result of a block solve.
 #[derive(Debug, Clone)]
@@ -90,10 +103,8 @@ impl BlockCg {
 
         let mut norms: Vec<Vec<f64>> = vec![Vec::new(); s];
         let col_rr = |r: &[Vec<f64>], counts: &mut OpCounts| -> Vec<f64> {
-            let pairs: Vec<(&[f64], &[f64])> =
-                r.iter().map(|c| (c.as_slice(), c.as_slice())).collect();
             counts.dots += s;
-            batch::multi_dot(&pairs, 1)
+            r.iter().map(|c| leaf_dot(c, c)).collect()
         };
         let mut rr = col_rr(&r, &mut counts);
         if opts.record_residuals {
@@ -114,19 +125,36 @@ impl BlockCg {
         if active.is_empty() {
             termination = Termination::Converged;
         } else {
+            let mut w: Vec<Vec<f64>> = vec![vec![0.0; n]; active.len()];
             'outer: for it in 0..opts.max_iters {
                 opts.iter_mark();
+                // progress streams the worst (max) active-column squared
+                // residual — the quantity the block's convergence gates on
+                let worst = active
+                    .iter()
+                    .map(|&j| rr[j])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                if opts.service_poll(it, worst) {
+                    termination = Termination::Cancelled;
+                    iterations = it;
+                    break 'outer;
+                }
                 let sa = active.len();
-                // W = A·P (sa matvecs)
-                let mut w: Vec<Vec<f64>> = vec![vec![0.0; n]; sa];
+                // W = A·P (sa matvecs); the buffer is hoisted — deflation
+                // only ever shrinks the block, so truncate and reuse
+                w.truncate(sa);
                 for (wc, pc) in w.iter_mut().zip(&p) {
                     opts.matvec(a, pc, wc, &mut counts);
                 }
 
-                // Gram blocks in two batched reductions
-                let r_active: Vec<Vec<f64>> = active.iter().map(|&j| r[j].clone()).collect();
-                let ptw = batch::gram(&p, &w, 1); // PᵀW (sa×sa)
-                let ptr = batch::gram(&p, &r_active, 1); // PᵀR_active
+                // Gram blocks, flat serial SIMD passes over views (no
+                // per-iteration column clones)
+                let (ptw, ptr) = {
+                    let pv: Vec<&[f64]> = p.iter().map(Vec::as_slice).collect();
+                    let wv: Vec<&[f64]> = w.iter().map(Vec::as_slice).collect();
+                    let rv: Vec<&[f64]> = active.iter().map(|&j| r[j].as_slice()).collect();
+                    (gram_block(&pv, &wv), gram_block(&pv, &rv)) // PᵀW (sa×sa), PᵀR_active
+                };
                 counts.dots += 2 * sa * sa;
 
                 let gram = DenseMatrix::from_rows(&ptw).expect("square");
@@ -182,8 +210,11 @@ impl BlockCg {
                 }
 
                 // Β = −(PᵀW)⁻¹(WᵀR_still); P ← R_still + P·Β
-                let r_still: Vec<Vec<f64>> = still.iter().map(|&c| r[active[c]].clone()).collect();
-                let wtr = batch::gram(&w, &r_still, 1);
+                let wtr = {
+                    let wv: Vec<&[f64]> = w.iter().map(Vec::as_slice).collect();
+                    let rv: Vec<&[f64]> = still.iter().map(|&c| r[active[c]].as_slice()).collect();
+                    gram_block(&wv, &rv)
+                };
                 counts.dots += sa * still.len();
                 let beta: Vec<Vec<f64>> = (0..still.len())
                     .map(|c| {
@@ -194,8 +225,8 @@ impl BlockCg {
                 counts.scalar_ops += sa * sa * still.len();
                 let p_old = p;
                 p = Vec::with_capacity(still.len());
-                for (c, rc) in r_still.iter().enumerate() {
-                    let mut new_col = rc.clone();
+                for (c, &sc) in still.iter().enumerate() {
+                    let mut new_col = r[active[sc]].clone();
                     for (i, pc) in p_old.iter().enumerate() {
                         let bic = beta[c][i];
                         if bic != 0.0 {

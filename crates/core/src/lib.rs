@@ -72,6 +72,6 @@ pub mod sweep;
 
 pub use instrument::{OpCounts, RecoveryStats};
 pub use solver::{
-    BasisEngine, CgVariant, KernelPolicy, Precision, SimdPolicy, SolveOptions, SolveResult,
-    SweepPolicy, Termination,
+    BasisEngine, CgVariant, KernelPolicy, Precision, ProgressHook, RoutingMeta, SimdPolicy,
+    SolveOptions, SolveResult, SweepPolicy, Termination,
 };

@@ -222,6 +222,10 @@ impl CgVariant for LookaheadCg {
             let mut suspicious = false;
             while iterations < opts.max_iters {
                 opts.iter_mark();
+                if opts.service_poll(iterations, win.mu[0]) {
+                    final_rr = win.mu[0];
+                    break 'outer Termination::Cancelled;
+                }
                 let (mu0, sigma1) = (win.mu[0], win.sigma[1]);
                 if guard::check_pivot(sigma1).is_err() || guard::check_pivot(mu0).is_err() {
                     suspicious = true;

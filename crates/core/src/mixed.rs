@@ -260,6 +260,11 @@ pub(crate) fn solve_standard(
         let mut it = 0;
         while it < opts.max_iters {
             opts.iter_mark();
+            if opts.service_poll(it, rr) {
+                termination = Termination::Cancelled;
+                iterations = it;
+                break;
+            }
             counts.matvecs += 1;
             counts.dots += 1;
             opts.span_bytes(vr_obs::SpanKind::Matvec, 8 * n as u64, || {
@@ -403,6 +408,11 @@ pub(crate) fn solve_overlap_k1(
         let mut it = 0;
         while it < opts.max_iters {
             opts.iter_mark();
+            if opts.service_poll(it, rr) {
+                termination = Termination::Cancelled;
+                iterations = it;
+                break;
+            }
             let suspicious = guard::check_pivot(pap).is_err() || guard::check_pivot(rr).is_err();
             let due = it > 0 && it.is_multiple_of(CONFIRM_PERIOD);
             if suspicious || due {
@@ -588,6 +598,11 @@ pub(crate) fn solve_pipelined(
         let mut it = 0usize;
         while it < opts.max_iters {
             opts.iter_mark();
+            if opts.service_poll(it, gamma) {
+                termination = Termination::Cancelled;
+                iterations = it;
+                break;
+            }
             counts.dots += 1;
             let delta = opts.span_bytes(vr_obs::SpanKind::DotWait, 8 * n as u64, || {
                 reduce::dot_f32_wide(&w, &r)

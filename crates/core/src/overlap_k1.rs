@@ -305,6 +305,11 @@ impl CgVariant for OverlapK1Cg {
                 }
                 it += 1;
                 opts.iter_mark();
+                if opts.service_poll(it - 1, rr) {
+                    termination = Termination::Cancelled;
+                    iterations = it - 1;
+                    break;
+                }
                 // The four overlappable inner products — on CURRENT vectors,
                 // launched before any of this iteration's scalar results
                 // are needed (on the paper's machine their fan-ins overlap

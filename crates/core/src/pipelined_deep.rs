@@ -343,6 +343,10 @@ fn solve_deep(
                 }
                 kglob += 1;
                 opts.iter_mark();
+                if opts.service_poll(kglob - 1, last_rnorm * last_rnorm) {
+                    termination = Termination::Cancelled;
+                    break 'epochs;
+                }
 
                 // ---- consume phase: assemble B column m ---------------
                 if kloc + 1 >= l {

@@ -223,6 +223,11 @@ fn solve_pr(
         }
         while it < opts.max_iters {
             opts.iter_mark();
+            if opts.service_poll(it, nu) {
+                termination = Termination::Cancelled;
+                iterations = it;
+                break;
+            }
             if let Some(rg) = ring.as_mut() {
                 if pipelined {
                     rg.maybe_save(opts, it, &[&x, &r, &p, &s, &w, &u], &[nu, mu, delta, gamma]);

@@ -2,7 +2,7 @@
 
 use crate::instrument::{OpCounts, RecoveryStats};
 use crate::resilience::recovery::RecoveryPolicy;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use vr_linalg::kernels::{self, DotMode};
 use vr_linalg::{fused, LinearOperator};
@@ -123,6 +123,38 @@ pub enum Precision {
     Mixed,
 }
 
+/// Per-iteration progress callback: `(iteration, residual_norm)`.
+///
+/// Invoked from [`SolveOptions::service_poll`] at the top of every
+/// iteration of every variant, with the *recursive* residual norm the
+/// variant is tracking (the square root of the same squared quantity its
+/// convergence test compares — for variants that push per-iteration
+/// entries into [`SolveResult::residual_norms`], the streamed value is
+/// bit-identical to the recorded one). The callback runs on the solve
+/// thread, so it must be cheap and must not block on the solve itself;
+/// the solve daemon uses it to stream convergence events to clients.
+#[derive(Clone)]
+pub struct ProgressHook(Arc<dyn Fn(usize, f64) + Send + Sync>);
+
+impl ProgressHook {
+    /// Wrap a callback.
+    pub fn new(f: impl Fn(usize, f64) + Send + Sync + 'static) -> Self {
+        ProgressHook(Arc::new(f))
+    }
+
+    /// Invoke the callback.
+    #[inline]
+    pub fn call(&self, iter: usize, residual: f64) {
+        (self.0)(iter, residual);
+    }
+}
+
+impl std::fmt::Debug for ProgressHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProgressHook(..)")
+    }
+}
+
 /// Record of a thread request clamped to the host's parallelism by
 /// [`SolveOptions::with_threads`] — the recorded warning that replaces
 /// silent oversubscription on small containers.
@@ -233,6 +265,17 @@ pub struct SolveOptions {
     /// result bits — every instrumented call runs the exact same kernel
     /// sequence — and the untraced path is a single branch per helper.
     pub tracer: Option<Arc<vr_obs::Tracer>>,
+    /// Cooperative cancellation flag (None = uncancellable). Checked at
+    /// every iteration boundary by [`SolveOptions::service_poll`]: when
+    /// the flag is observed `true`, the variant stops *before* starting
+    /// the iteration and returns [`Termination::Cancelled`] with the
+    /// honest partial state (iterate, residual history, op counts) it had
+    /// accumulated. Checking never changes result bits of uncancelled
+    /// solves — it is a relaxed atomic load per iteration.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Per-iteration progress callback (None = silent). See
+    /// [`ProgressHook`].
+    pub progress: Option<ProgressHook>,
 }
 
 impl Default for SolveOptions {
@@ -258,6 +301,8 @@ impl Default for SolveOptions {
             simd_policy: SimdPolicy::default(),
             precision: Precision::default(),
             tracer: None,
+            cancel: None,
+            progress: None,
         }
     }
 }
@@ -415,6 +460,41 @@ impl SolveOptions {
     pub fn iter_mark(&self) {
         if let Some(tr) = self.tracer.as_deref() {
             tr.mark(0, vr_obs::SpanKind::IterMark);
+        }
+    }
+
+    /// Attach a cooperative cancellation flag (see
+    /// [`SolveOptions::cancel`]).
+    #[must_use]
+    pub fn with_cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Attach a per-iteration progress callback (see [`ProgressHook`]).
+    #[must_use]
+    pub fn with_progress(mut self, f: impl Fn(usize, f64) + Send + Sync + 'static) -> Self {
+        self.progress = Some(ProgressHook::new(f));
+        self
+    }
+
+    /// Service hook, called by every variant at the top of each iteration
+    /// right after [`SolveOptions::iter_mark`], with the *squared*
+    /// recursive residual norm its convergence test is about to compare.
+    /// Streams progress (as `rr_sq.max(0.0).sqrt()` — exactly how variants
+    /// derive recorded norms from their squared recurrences) and polls the
+    /// cancellation flag; returns `true` when the solve should stop with
+    /// [`Termination::Cancelled`] instead of starting the iteration. The
+    /// unattached path is two `None` branches — no atomics, no arithmetic.
+    #[inline]
+    #[must_use]
+    pub fn service_poll(&self, iter: usize, rr_sq: f64) -> bool {
+        if let Some(p) = &self.progress {
+            p.call(iter, rr_sq.max(0.0).sqrt());
+        }
+        match &self.cancel {
+            None => false,
+            Some(flag) => flag.load(Ordering::Relaxed),
         }
     }
 
@@ -1030,6 +1110,13 @@ pub enum Termination {
     /// falling back to `f64` and reporting numbers the caller would
     /// misattribute.
     Unsupported,
+    /// The caller's cancellation flag ([`SolveOptions::with_cancel_flag`])
+    /// was observed set at an iteration boundary. The result carries the
+    /// honest partial state — iterate, residual history, op counts — as of
+    /// the last completed iteration; never counts as converged, even if
+    /// the residual happened to be below tolerance when the flag landed
+    /// (the convergence test for that iteration never ran).
+    Cancelled,
 }
 
 impl Termination {
@@ -1041,6 +1128,25 @@ impl Termination {
             Termination::Converged | Termination::RecoveredConverged
         )
     }
+}
+
+/// How a solve was routed by a scheduling layer (the solve daemon): which
+/// registry variant ran, why it was chosen, and whether the job was
+/// coalesced into a block-CG batch. Attached after the fact by the
+/// scheduler via [`SolveResult::with_routing`] — the variants themselves
+/// never populate it (a library solve has no routing decision to record).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingMeta {
+    /// Registry key of the variant that ran (e.g. `"predict_recompute"`),
+    /// or `"block"` for batched solves.
+    pub variant_key: String,
+    /// Why the router picked it (e.g. `"accuracy: lowest measured residual
+    /// floor"`, `"explicit request"`, `"batched with 3 compatible jobs"`).
+    pub reason: String,
+    /// Whether the job was coalesced into a block-CG batch.
+    pub batched: bool,
+    /// Number of right-hand sides sharing the batch (1 for singletons).
+    pub batch_width: usize,
 }
 
 /// Outcome of a solve.
@@ -1069,6 +1175,9 @@ pub struct SolveResult {
     pub recovery: RecoveryStats,
     /// Whether the tolerance was met ([`Termination::is_converged`]).
     pub converged: bool,
+    /// Routing metadata attached by a scheduling layer (`None` for plain
+    /// library solves; see [`RoutingMeta`]).
+    pub routing: Option<RoutingMeta>,
 }
 
 impl SolveResult {
@@ -1097,7 +1206,15 @@ impl SolveResult {
             final_residual,
             counts,
             recovery: RecoveryStats::default(),
+            routing: None,
         }
+    }
+
+    /// Attach routing metadata (builder used by scheduling layers).
+    #[must_use]
+    pub fn with_routing(mut self, routing: RoutingMeta) -> Self {
+        self.routing = Some(routing);
+        self
     }
 
     /// True residual norm `‖b − A·x‖₂`, recomputed from scratch.
@@ -1270,9 +1387,54 @@ mod tests {
             Termination::Stagnated,
             Termination::Diverged,
             Termination::Unsupported,
+            Termination::Cancelled,
         ] {
             assert!(!t.is_converged(), "{t:?}");
         }
+    }
+
+    #[test]
+    fn service_poll_streams_progress_and_polls_cancel() {
+        use std::sync::Mutex;
+        // unattached: free and never cancels
+        let o = SolveOptions::default();
+        assert!(!o.service_poll(0, 4.0));
+
+        let seen: Arc<Mutex<Vec<(usize, f64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let flag = Arc::new(AtomicBool::new(false));
+        let o = SolveOptions::default()
+            .with_cancel_flag(Arc::clone(&flag))
+            .with_progress(move |it, res| seen2.lock().unwrap().push((it, res)));
+        assert!(!o.service_poll(0, 4.0));
+        flag.store(true, Ordering::Relaxed);
+        assert!(o.service_poll(1, 1.0), "set flag must cancel");
+        // progress streamed the sqrt of the squared residual, both times
+        assert_eq!(*seen.lock().unwrap(), vec![(0, 2.0), (1, 1.0)]);
+        // a negative squared residual (breakdown in flight) streams 0, not NaN
+        let _ = o.service_poll(2, -1.0);
+        assert_eq!(seen.lock().unwrap().last(), Some(&(2, 0.0)));
+    }
+
+    #[test]
+    fn routing_meta_attaches_without_perturbing_result() {
+        let r = SolveResult::new(
+            vec![0.0],
+            Termination::Converged,
+            3,
+            vec![1.0, 0.01],
+            OpCounts::default(),
+        );
+        assert_eq!(r.routing, None, "library solves carry no routing");
+        let routed = r.clone().with_routing(RoutingMeta {
+            variant_key: "predict_recompute".into(),
+            reason: "accuracy: lowest measured residual floor".into(),
+            batched: false,
+            batch_width: 1,
+        });
+        assert_eq!(routed.routing.as_ref().unwrap().batch_width, 1);
+        assert_eq!(routed.x, r.x);
+        assert_eq!(routed.final_residual, r.final_residual);
     }
 
     #[test]

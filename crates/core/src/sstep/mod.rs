@@ -182,6 +182,10 @@ impl CgVariant for SStepCg {
             // 1) block basis from the current residual (one mark per outer
             // block step — the natural iteration unit of s-step CG)
             opts.iter_mark();
+            if opts.service_poll(iterations, rr) {
+                termination = Termination::Cancelled;
+                break 'outer;
+            }
             if let Some(rg) = ring.as_mut() {
                 rg.maybe_save(opts, iterations, &[&x, &r], &[rr]);
             }

@@ -129,6 +129,11 @@ impl CgVariant for StandardCg {
             let mut it = 0usize;
             while it < opts.max_iters {
                 opts.iter_mark();
+                if opts.service_poll(it, rr) {
+                    termination = Termination::Cancelled;
+                    iterations = it;
+                    break;
+                }
                 if let Some(ring) = ring.as_mut() {
                     ring.maybe_save(opts, it, &[&x, &r, &p], &[rr]);
                 }

@@ -143,6 +143,11 @@ pub(crate) fn solve_standard(
         let mut it = 0usize;
         while it < opts.max_iters {
             opts.iter_mark();
+            if opts.service_poll(it, rr) {
+                termination = Termination::Cancelled;
+                iterations = it;
+                break;
+            }
             // Epoch 1: pap = (p, A·p), no w store. Logically one
             // matvec+dot, like the unfused guarded_matvec_dot.
             let pap = eng.epoch_matvec_dot_nostore(tm, &p);
@@ -255,6 +260,11 @@ pub(crate) fn solve_chronopoulos_gear(
         let mut it = 0usize;
         while it < opts.max_iters {
             opts.iter_mark();
+            if opts.service_poll(it, rho) {
+                termination = Termination::Cancelled;
+                iterations = it;
+                break;
+            }
             let (beta, denom) = if it == 0 {
                 (0.0, mu)
             } else {
@@ -377,6 +387,11 @@ pub(crate) fn solve_pipelined(
         let mut it = 0usize;
         while it < opts.max_iters {
             opts.iter_mark();
+            if opts.service_poll(it, gamma) {
+                termination = Termination::Cancelled;
+                iterations = it;
+                break;
+            }
             let delta = if it > 0 {
                 delta_carried
             } else {
@@ -562,6 +577,11 @@ pub(crate) fn solve_overlap_k1(
             }
             it += 1;
             opts.iter_mark();
+            if opts.service_poll(it - 1, rr) {
+                termination = Termination::Cancelled;
+                iterations = it - 1;
+                break;
+            }
             let lambda = rr / pap;
             // Epoch 1: the four overlappable inner products — folded on the
             // pre-update r and w within each chunk, exactly the leaf

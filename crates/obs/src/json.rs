@@ -1,0 +1,849 @@
+//! JSON value tree, serializer, and parser.
+//!
+//! This module is the one JSON implementation in the workspace (the build
+//! must work fully offline, so no external serialization framework). It
+//! started life in `vr_bench::json` as a write-only pretty printer for
+//! experiment results; the solve service promoted it here — the lowest
+//! leaf crate — because the wire protocol and the routing table need to
+//! *read* JSON too, and both `vr-svc` and `vr-bench` must share one value
+//! type without a dependency cycle. `vr_bench::json` re-exports everything
+//! here, so experiment binaries are unchanged.
+//!
+//! The parser is a recursive-descent reader of the full JSON grammar
+//! (objects, arrays, strings with escapes incl. surrogate pairs, numbers,
+//! literals) with a depth limit. Numbers without a fraction or exponent
+//! that fit `i64` parse as [`Json::Int`]; everything else as
+//! [`Json::Num`] via `f64::from_str`, which is correctly rounded — a
+//! float serialized by [`Json::pretty`] (shortest round-trip `{:?}`
+//! formatting) parses back to the *same bits*, the property the streamed
+//! convergence events rely on.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer (kept exact, no float round-trip).
+    Int(i64),
+    /// Floating point number. Non-finite values render as `null`, matching
+    /// the common JSON-encoder convention.
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Render with two-space indentation and a trailing newline-free body.
+    #[must_use]
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, true);
+        out
+    }
+
+    /// Render on one line with no indentation — the wire format for
+    /// newline-delimited JSON (one message per line, so the body must not
+    /// contain raw newlines).
+    #[must_use]
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, false);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize, pretty: bool) {
+        let (pad, pad_in, nl, sp): (String, String, &str, &str) = if pretty {
+            ("  ".repeat(indent), "  ".repeat(indent + 1), "\n", " ")
+        } else {
+            (String::new(), String::new(), "", "")
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                out.push_str(nl);
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    item.write(out, indent + 1, pretty);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                out.push_str(nl);
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    write_escaped(out, k);
+                    out.push(':');
+                    out.push_str(sp);
+                    v.write(out, indent + 1, pretty);
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+
+    // ------------------------------------------------ reader conveniences
+
+    /// Object field lookup (first match; `None` for non-objects).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` (integers only — floats do not coerce).
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` ([`Json::Int`] widens losslessly up to 2⁵³;
+    /// JSON writers for measured quantities emit `Num` anyway).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            #[allow(clippy::cast_precision_loss)]
+            Json::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ------------------------------------------------------------------ parser
+
+/// Where and why a parse failed (byte offset into the input).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Nesting depth cap: deeper documents are rejected instead of risking a
+/// stack overflow on hostile input (the wire format accepts bytes from
+/// arbitrary clients).
+const MAX_DEPTH: usize = 128;
+
+/// Parse a complete JSON document (exactly one value plus whitespace).
+///
+/// # Errors
+/// Returns a [`ParseError`] with a byte offset on malformed input,
+/// trailing garbage, or nesting deeper than 128 levels.
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            at: self.pos,
+            msg: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // surrogate pair: the low half must follow
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(cp)
+                                        .ok_or_else(|| self.err("invalid code point"))?
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid code point"))?
+                            };
+                            out.push(c);
+                            // hex4 leaves pos one short of the convention
+                            // below: it consumed its digits itself
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // multi-byte UTF-8 sequences pass through unescaped;
+                    // re-decode from the source slice
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("empty"))?;
+                    if c == '\u{0}' {
+                        return Err(self.err("unescaped control character"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(slice).map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.err("expected digit"));
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.err("expected fraction digit"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.err("expected exponent digit"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if integral {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+// ------------------------------------------------------------------ ToJson
+
+/// Conversion into a [`Json`] value (the role a `Serialize` derive would
+/// play; records implement it via [`crate::jsonable!`]).
+pub trait ToJson {
+    /// Convert to a JSON value tree.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::Num(f64::from(*self))
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+macro_rules! impl_tojson_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+    )*};
+}
+impl_tojson_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (*self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            None => Json::Null,
+            Some(v) => v.to_json(),
+        }
+    }
+}
+
+/// Build a [`Json`] object literal: `json!({ "rows": rows, "slope": s })`.
+#[macro_export]
+macro_rules! json {
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::json::Json::Obj(vec![
+            $( (($key).to_string(), $crate::json::ToJson::to_json(&$val)) ),*
+        ])
+    };
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::json::Json::Arr(vec![
+            $( $crate::json::ToJson::to_json(&$val) ),*
+        ])
+    };
+    ($val:expr) => {
+        $crate::json::ToJson::to_json(&$val)
+    };
+}
+
+/// Define a struct together with a field-by-field [`ToJson`] impl (the
+/// stand-in for `#[derive(Serialize)]` on experiment row records).
+#[macro_export]
+macro_rules! jsonable {
+    ( $(#[$meta:meta])* $vis:vis struct $name:ident {
+        $( $(#[$fmeta:meta])* $fvis:vis $field:ident : $ty:ty ),* $(,)?
+    } ) => {
+        $(#[$meta])*
+        $vis struct $name {
+            $( $(#[$fmeta])* $fvis $field : $ty ),*
+        }
+        impl $crate::json::ToJson for $name {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::Obj(vec![
+                    $( (stringify!($field).to_string(),
+                        $crate::json::ToJson::to_json(&self.$field)) ),*
+                ])
+            }
+        }
+    };
+}
+
+// -------------------------------------------------- phase-report events
+
+/// Render a critical-path [`crate::Report`] as a JSON object — the event
+/// payload the solve service streams to clients and the section the
+/// experiment binaries embed in their envelopes.
+///
+/// Layout: `iterations` (count), `dropped_spans`, `total_bytes` (logical
+/// traffic summed over every span that accounted it), `totals` (phase ns
+/// and shares over all iterations), `per_iter` (one phases object per
+/// iteration window), and `span_kinds` (count / mean / p50 / p99 / max /
+/// bytes per recorded span kind, all shards — kinds never recorded are
+/// omitted).
+#[must_use]
+pub fn report_json(report: &crate::Report) -> Json {
+    let per_iter: Vec<Json> = report
+        .iters
+        .iter()
+        .map(|it| {
+            let mut obj = vec![("iter".to_string(), Json::Int(it.iter as i64))];
+            if let Json::Obj(pairs) = phases_json(&it.phases) {
+                obj.extend(pairs);
+            }
+            Json::Obj(obj)
+        })
+        .collect();
+
+    let kinds: Vec<Json> = crate::span::ALL_KINDS
+        .iter()
+        .filter(|k| report.hist(**k).total() > 0)
+        .map(|k| {
+            let h = report.hist(*k);
+            crate::json!({
+                "kind": k.name(),
+                "count": h.total(),
+                "mean_ns": h.mean_ns(),
+                "p50_upper_ns": h.quantile_upper_ns(0.5),
+                "p99_upper_ns": h.quantile_upper_ns(0.99),
+                "max_ns": h.max_ns(),
+                "bytes": Json::Int(report.bytes(*k) as i64),
+            })
+        })
+        .collect();
+
+    crate::json!({
+        "iterations": report.iters.len(),
+        "dropped_spans": report.dropped,
+        "total_bytes": Json::Int(report.total_bytes() as i64),
+        "totals": phases_json(&report.totals),
+        "per_iter": Json::Arr(per_iter),
+        "span_kinds": Json::Arr(kinds),
+    })
+}
+
+fn phases_json(p: &crate::Phases) -> Json {
+    use crate::PhaseClass;
+    crate::json!({
+        "reduction_wait_ns": p.reduction_wait_ns,
+        "matvec_ns": p.matvec_ns,
+        "vector_ns": p.vector_ns,
+        "overhead_ns": p.overhead_ns,
+        "total_ns": p.total_ns,
+        "reduction_wait_share": p.share(PhaseClass::ReductionWait),
+        "matvec_share": p.share(PhaseClass::Matvec),
+        "vector_share": p.share(PhaseClass::Vector),
+        "overhead_share": p.share(PhaseClass::Overhead),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.pretty(), "null");
+        assert_eq!(Json::Bool(true).pretty(), "true");
+        assert_eq!(Json::Int(-3).pretty(), "-3");
+        assert_eq!(Json::Num(1.5).pretty(), "1.5");
+        assert_eq!(Json::Num(f64::NAN).pretty(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).pretty(), "null");
+        assert_eq!(Json::Str("a\"b".into()).pretty(), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn object_and_array_layout() {
+        let v = crate::json!({ "xs": vec![1u32, 2], "name": "t" });
+        let s = v.pretty();
+        assert!(s.starts_with("{\n"), "{s}");
+        assert!(s.contains("\"xs\": [\n"), "{s}");
+        assert!(s.contains("\"name\": \"t\""), "{s}");
+        assert!(s.ends_with('}'), "{s}");
+    }
+
+    #[test]
+    fn compact_is_single_line_and_parses_back() {
+        let v = crate::json!({ "xs": vec![1u32, 2], "s": "a\nb", "f": 0.25 });
+        let line = v.compact();
+        assert!(!line.contains('\n'), "{line}");
+        assert_eq!(parse(&line).unwrap(), v);
+    }
+
+    #[test]
+    fn jsonable_struct_round_trips_fields() {
+        crate::jsonable! {
+            struct Row {
+                n: usize,
+                err: f64,
+                tag: String,
+            }
+        }
+        let r = Row {
+            n: 4,
+            err: 0.25,
+            tag: "x".into(),
+        };
+        let s = r.to_json().pretty();
+        assert!(s.contains("\"n\": 4"), "{s}");
+        assert!(s.contains("\"err\": 0.25"), "{s}");
+        assert!(s.contains("\"tag\": \"x\""), "{s}");
+    }
+
+    #[test]
+    fn float_formatting_round_trips() {
+        // {:?} keeps the shortest representation that parses back exactly
+        let s = Json::Num(1e-10).pretty();
+        assert_eq!(s.parse::<f64>().unwrap(), 1e-10, "{s}");
+        assert_eq!(Json::Num(2.0).pretty(), "2.0");
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let s = Json::Str("a\nb\u{1}".into()).pretty();
+        assert_eq!(s, "\"a\\nb\\u0001\"");
+    }
+
+    // ------------------------------------------------------- parser tests
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("42").unwrap(), Json::Int(42));
+        assert_eq!(parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(parse("1.5").unwrap(), Json::Num(1.5));
+        assert_eq!(parse("1e3").unwrap(), Json::Num(1000.0));
+        assert_eq!(parse("-2.5e-2").unwrap(), Json::Num(-0.025));
+        assert_eq!(parse("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parse_containers_and_nesting() {
+        let v = parse(r#"{"a": [1, 2.5, "x"], "b": {"c": null}, "d": []}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Null));
+        assert_eq!(v.get("d").unwrap(), &Json::Arr(vec![]));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        assert_eq!(
+            parse(r#""a\n\t\"\\A""#).unwrap(),
+            Json::Str("a\n\t\"\\A".into())
+        );
+        // surrogate pair: U+1F600
+        assert_eq!(parse(r#""😀""#).unwrap(), Json::Str("\u{1F600}".into()));
+        // raw multi-byte UTF-8 passes through
+        assert_eq!(parse("\"héllo\"").unwrap(), Json::Str("héllo".into()));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "tru",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "[1] garbage",
+            "01x",
+            r#""\ud83d""#,
+            "nul",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_hostile_nesting() {
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.msg.contains("deep"), "{err}");
+    }
+
+    #[test]
+    fn pretty_output_round_trips_bit_exact() {
+        let v = crate::json!({
+            "f": 8.825881496423853e-9,
+            "g": 1.0065275824648756,
+            "i": -3_i64,
+            "nested": crate::json!([0.1, 0.2, 1e300]),
+        });
+        let back = parse(&v.pretty()).unwrap();
+        assert_eq!(back, v);
+        // the bit-exactness the streamed events rely on
+        let f = back.get("f").unwrap().as_f64().unwrap();
+        assert_eq!(f.to_bits(), 8.825881496423853e-9_f64.to_bits());
+    }
+
+    #[test]
+    fn accessors_reject_wrong_types() {
+        let v = parse(r#"{"s": "x", "n": 1.5, "i": 2, "b": true}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("s").unwrap().as_f64(), None);
+        assert_eq!(v.get("n").unwrap().as_i64(), None);
+        assert_eq!(v.get("i").unwrap().as_f64(), Some(2.0));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(v.as_str(), None, "object is not a string");
+    }
+
+    #[test]
+    fn report_round_trips_to_json() {
+        use crate::{SpanKind, Tracer};
+        let t = Tracer::new(1, 256);
+        for _ in 0..2 {
+            t.mark(0, SpanKind::IterMark);
+            let s = t.now_ns();
+            std::hint::black_box((0..500).sum::<u64>());
+            t.record_since(0, SpanKind::Matvec, s);
+            let s = t.now_ns();
+            t.record_since(0, SpanKind::DotWait, s);
+        }
+        let rep = crate::critpath::attribute(&t.drain());
+        let j = report_json(&rep).pretty();
+        assert!(j.contains("\"iterations\": 2"), "{j}");
+        assert!(j.contains("\"reduction_wait_share\""), "{j}");
+        // serialized report is itself valid JSON
+        assert!(parse(&j).is_ok());
+    }
+}

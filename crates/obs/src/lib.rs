@@ -61,11 +61,13 @@ pub mod chrome;
 pub mod clock;
 pub mod critpath;
 pub mod hist;
+pub mod json;
 pub mod span;
 pub mod tls;
 pub mod tracer;
 
 pub use clock::Clock;
 pub use critpath::{IterBreakdown, Phases, Report};
+pub use json::{report_json, Json, ToJson};
 pub use span::{PhaseClass, Span, SpanKind};
 pub use tracer::{TraceLog, Tracer};

@@ -1,0 +1,137 @@
+//! The solve daemon.
+//!
+//! ```text
+//! vr-svc [--listen tcp:HOST:PORT | --listen uds:/path/to.sock]
+//!        [--width N] [--queue-cap N]
+//!        [--routing PATH | --measure]
+//! ```
+//!
+//! Defaults: `tcp:127.0.0.1:7070`, width = available parallelism, queue
+//! capacity 16, routing from `./BENCH_stability.json` when present (else
+//! the standard-variant fallback). `--measure` re-measures residual
+//! floors on this host at startup instead of trusting a committed table.
+//!
+//! The daemon prints the bound address on stdout (`listening on …`) and
+//! serves until a client sends a shutdown request.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vr_svc::{Listen, RoutingTable, Server, ServerConfig};
+
+struct Args {
+    listen: Listen,
+    width: usize,
+    queue_cap: usize,
+    routing_path: Option<PathBuf>,
+    measure: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: vr-svc [--listen tcp:HOST:PORT|uds:PATH] [--width N] \
+         [--queue-cap N] [--routing PATH] [--measure]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        listen: Listen::Tcp("127.0.0.1:7070".into()),
+        width: std::thread::available_parallelism().map_or(2, usize::from),
+        queue_cap: 16,
+        routing_path: None,
+        measure: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| usage_for(name));
+        match flag.as_str() {
+            "--listen" => {
+                let v = value("--listen");
+                args.listen = if let Some(path) = v.strip_prefix("uds:") {
+                    Listen::Uds(PathBuf::from(path))
+                } else {
+                    Listen::Tcp(v.strip_prefix("tcp:").unwrap_or(&v).to_string())
+                };
+            }
+            "--width" => args.width = parse_num(&value("--width"), "--width"),
+            "--queue-cap" => args.queue_cap = parse_num(&value("--queue-cap"), "--queue-cap"),
+            "--routing" => args.routing_path = Some(PathBuf::from(value("--routing"))),
+            "--measure" => args.measure = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn usage_for(name: &str) -> String {
+    eprintln!("{name} needs a value");
+    usage();
+}
+
+fn parse_num(s: &str, name: &str) -> usize {
+    match s.parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            eprintln!("{name} needs a positive integer, got {s:?}");
+            usage();
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    let routing = if args.measure {
+        eprintln!("measuring residual floors on this host...");
+        let t = RoutingTable::measure(16, 300);
+        eprintln!("measured {} variants", t.measured_variants());
+        t
+    } else {
+        let path = args
+            .routing_path
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("BENCH_stability.json"));
+        match RoutingTable::load(&path) {
+            Ok(t) => {
+                eprintln!(
+                    "routing table: {} ({} variants measured)",
+                    path.display(),
+                    t.measured_variants()
+                );
+                t
+            }
+            Err(e) if args.routing_path.is_none() => {
+                eprintln!("no routing table ({e}); using standard-variant fallback");
+                RoutingTable::default()
+            }
+            Err(e) => {
+                eprintln!("failed to load {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let server = match Server::start(ServerConfig {
+        listen: args.listen,
+        width: args.width,
+        team: None,
+        queue_cap: args.queue_cap,
+        routing,
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.addr());
+    server.join();
+    println!("drained; bye");
+    ExitCode::SUCCESS
+}

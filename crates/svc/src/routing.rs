@@ -1,0 +1,289 @@
+//! Deadline-class → variant routing, driven by measured stability data.
+//!
+//! The router consumes the same artifact the E21 stability shoot-out
+//! commits (`BENCH_stability.json`): per-variant attainable residual
+//! floors (`floor_rows`) and critical-path reduction-wait shares
+//! (`crit_rows`). Routing is **data-driven, not hardcoded** — the table
+//! is loaded at daemon startup and can be re-measured on the host with
+//! [`RoutingTable::measure`], so a machine where (say) the pipelined
+//! variant's floor is tighter routes differently than the committed
+//! numbers.
+//!
+//! Rules (documented in DESIGN.md §17):
+//!
+//! - **accuracy** → the variant with the lowest measured floor.
+//! - **latency** → among variants that can still *reach* the requested
+//!   tolerance (floor ≤ tol/10), the one with the lowest measured
+//!   reduction-wait share; variants without a wait measurement lose to
+//!   any measured one. Falls back to the accuracy rule when no measured
+//!   variant can reach the tolerance.
+//! - **throughput** → `standard`: batches carry the throughput story and
+//!   the block path ignores the singleton variant anyway.
+
+use vr_cg::registry;
+use vr_linalg::gen;
+use vr_obs::json::Json;
+
+use crate::proto::DeadlineClass;
+
+/// Safety margin between a job's tolerance and a variant's measured
+/// floor: the router only trusts a variant to reach `tol` when its floor
+/// is at least this factor below it.
+const FLOOR_MARGIN: f64 = 10.0;
+
+/// Per-variant measurements backing routing decisions.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTable {
+    /// `(registry key, attainable relative residual floor)`.
+    floors: Vec<(String, f64)>,
+    /// `(registry key, reduction-wait share of the critical path)`.
+    waits: Vec<(String, f64)>,
+}
+
+impl RoutingTable {
+    /// Build from a parsed `BENCH_stability.json` document. Missing
+    /// sections are tolerated (the router degrades to its fallbacks);
+    /// malformed rows are skipped rather than failing daemon startup.
+    #[must_use]
+    pub fn from_json(doc: &Json) -> Self {
+        let mut floors = Vec::new();
+        if let Some(rows) = doc.get("floor_rows").and_then(Json::as_arr) {
+            for row in rows {
+                if let (Some(v), Some(f)) = (
+                    row.get("variant").and_then(Json::as_str),
+                    row.get("floor_rel_residual").and_then(Json::as_f64),
+                ) {
+                    if f.is_finite() && f >= 0.0 {
+                        floors.push((v.to_string(), f));
+                    }
+                }
+            }
+        }
+        let mut waits = Vec::new();
+        if let Some(rows) = doc.get("crit_rows").and_then(Json::as_arr) {
+            for row in rows {
+                if let (Some(v), Some(w)) = (
+                    row.get("variant").and_then(Json::as_str),
+                    row.get("reduction_wait_share").and_then(Json::as_f64),
+                ) {
+                    if w.is_finite() && (0.0..=1.0).contains(&w) {
+                        // keep the best (lowest) share across widths
+                        match waits.iter_mut().find(|(k, _): &&mut (String, f64)| k == v) {
+                            Some((_, old)) => *old = w.min(*old),
+                            None => waits.push((v.to_string(), w)),
+                        }
+                    }
+                }
+            }
+        }
+        RoutingTable { floors, waits }
+    }
+
+    /// Load and parse a stability artifact from disk.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        let doc = vr_obs::json::parse(&text).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: {e:?}", path.display()),
+            )
+        })?;
+        Ok(Self::from_json(&doc))
+    }
+
+    /// Re-measure residual floors on this host: run every registry
+    /// variant at `tol = 0` for `iters` iterations on a `grid × grid`
+    /// Poisson problem and record the true relative residual it attains.
+    /// Cheap (seconds at `grid = 16`, `iters = 300`) and enough for the
+    /// accuracy rule; wait shares keep whatever the loaded table had.
+    #[must_use]
+    pub fn measure(grid: usize, iters: usize) -> Self {
+        let a = gen::poisson2d(grid);
+        let b = gen::poisson2d_rhs(grid);
+        let bnorm = vr_linalg::kernels::norm2(&b);
+        let opts = vr_cg::SolveOptions::default()
+            .with_tol(0.0)
+            .with_max_iters(iters);
+        let floors = registry::keyed_variants(&a)
+            .into_iter()
+            .map(|(key, solver)| {
+                let res = solver.solve(&a, &b, None, &opts);
+                (key.to_string(), res.true_residual(&a, &b) / bnorm)
+            })
+            .collect();
+        RoutingTable {
+            floors,
+            waits: Vec::new(),
+        }
+    }
+
+    /// Number of variants with a measured floor.
+    #[must_use]
+    pub fn measured_variants(&self) -> usize {
+        self.floors.len()
+    }
+
+    /// Pick a variant for a singleton job. Returns `(registry key,
+    /// human-readable reason)`; always returns a key that exists in the
+    /// table or the `"standard"` fallback.
+    #[must_use]
+    pub fn route(&self, class: DeadlineClass, tol: f64) -> (String, String) {
+        match class {
+            DeadlineClass::Throughput => (
+                "standard".to_string(),
+                "throughput: batch-friendly default".to_string(),
+            ),
+            DeadlineClass::Accuracy => self.route_accuracy(),
+            DeadlineClass::Latency => self.route_latency(tol),
+        }
+    }
+
+    fn route_accuracy(&self) -> (String, String) {
+        match self
+            .floors
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("floors are finite"))
+        {
+            Some((key, floor)) => (
+                key.clone(),
+                format!("accuracy: lowest measured residual floor ({floor:.2e})"),
+            ),
+            None => (
+                "standard".to_string(),
+                "accuracy: no stability table, standard fallback".to_string(),
+            ),
+        }
+    }
+
+    fn route_latency(&self, tol: f64) -> (String, String) {
+        let reachable = |key: &str| {
+            self.floors
+                .iter()
+                .find(|(k, _)| k == key)
+                .is_some_and(|(_, floor)| *floor * FLOOR_MARGIN <= tol)
+        };
+        let best = self
+            .waits
+            .iter()
+            .filter(|(key, _)| reachable(key))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("waits are finite"));
+        match best {
+            Some((key, share)) => (
+                key.clone(),
+                format!(
+                    "latency: lowest measured reduction-wait share ({share:.4}) \
+                     among variants reaching tol {tol:.1e}"
+                ),
+            ),
+            None => {
+                let (key, _) = self.route_accuracy();
+                (
+                    key,
+                    format!(
+                        "latency: no measured variant reaches tol {tol:.1e}, \
+                         deferring to the accuracy rule"
+                    ),
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_obs::json::parse;
+
+    fn table() -> RoutingTable {
+        // a miniature of the committed BENCH_stability.json shape
+        let doc = parse(
+            r#"{
+            "floor_rows": [
+                {"variant": "standard", "floor_rel_residual": 1.1e-12},
+                {"variant": "lookahead_k2", "floor_rel_residual": 3.6e-13},
+                {"variant": "pipelined", "floor_rel_residual": 1.6e-7},
+                {"variant": "deep_pipelined_l2", "floor_rel_residual": 4.4e-4}
+            ],
+            "crit_rows": [
+                {"variant": "overlap_k1", "width": 4, "reduction_wait_share": 0.0425},
+                {"variant": "overlap_k1", "width": 2, "reduction_wait_share": 0.0611},
+                {"variant": "deep_pipelined_l2", "width": 4, "reduction_wait_share": 0.0403}
+            ],
+            "floor_rows_missing_fields_ok": true
+        }"#,
+        )
+        .unwrap();
+        let mut t = RoutingTable::from_json(&doc);
+        // overlap_k1 needs a floor to be latency-eligible
+        t.floors.push(("overlap_k1".into(), 1.1e-12));
+        t
+    }
+
+    #[test]
+    fn accuracy_routes_to_lowest_floor() {
+        let (key, reason) = table().route(DeadlineClass::Accuracy, 1e-8);
+        assert_eq!(key, "lookahead_k2");
+        assert!(
+            reason.contains("lowest measured residual floor"),
+            "{reason}"
+        );
+    }
+
+    #[test]
+    fn latency_excludes_variants_whose_floor_misses_the_tolerance() {
+        let t = table();
+        // at 1e-8 deep_pipelined_l2 (floor 4.4e-4) is unreachable →
+        // overlap_k1 (best share 0.0425 across widths) wins
+        let (key, _) = t.route(DeadlineClass::Latency, 1e-8);
+        assert_eq!(key, "overlap_k1");
+        // at a loose 1e-2 the deep pipeline is eligible and has the
+        // lower wait share
+        let (key, _) = t.route(DeadlineClass::Latency, 1e-2);
+        assert_eq!(key, "deep_pipelined_l2");
+    }
+
+    #[test]
+    fn throughput_routes_to_standard() {
+        let (key, _) = table().route(DeadlineClass::Throughput, 1e-8);
+        assert_eq!(key, "standard");
+    }
+
+    #[test]
+    fn empty_table_falls_back_to_standard() {
+        let t = RoutingTable::default();
+        for class in [
+            DeadlineClass::Accuracy,
+            DeadlineClass::Latency,
+            DeadlineClass::Throughput,
+        ] {
+            let (key, _) = t.route(class, 1e-8);
+            assert_eq!(key, "standard");
+        }
+    }
+
+    #[test]
+    fn committed_artifact_loads_when_present() {
+        // the workspace root holds the real table two levels up from this
+        // crate; tolerate its absence (fresh checkouts of the crate alone)
+        let path =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_stability.json");
+        if let Ok(t) = RoutingTable::load(&path) {
+            assert_eq!(
+                t.measured_variants(),
+                vr_cg::registry::VARIANT_COUNT,
+                "committed table should floor-measure every registry variant"
+            );
+            let (key, _) = t.route(DeadlineClass::Accuracy, 1e-10);
+            assert!(!key.is_empty());
+        }
+    }
+
+    #[test]
+    fn measure_floors_every_registry_variant() {
+        let t = RoutingTable::measure(8, 60);
+        assert_eq!(t.measured_variants(), vr_cg::registry::VARIANT_COUNT);
+        for (key, floor) in &t.floors {
+            assert!(floor.is_finite(), "{key}: floor {floor}");
+        }
+    }
+}

@@ -21,6 +21,9 @@
 //!   derivation.
 //! * [`sim`] — the idealized parallel machine: task DAGs, cost models,
 //!   topologies, schedulers, Gantt/Graphviz rendering.
+//! * [`svc`] — the solver as a service: a multi-tenant daemon with bounded
+//!   admission, block-CG batching of compatible jobs, stability-table
+//!   variant routing, and streamed per-iteration convergence events.
 //!
 //! ```
 //! use cg_lookahead::cg::{lookahead::LookaheadCg, standard::StandardCg,
@@ -49,3 +52,4 @@ pub use vr_obs as obs;
 pub use vr_par as par;
 pub use vr_poly as poly;
 pub use vr_sim as sim;
+pub use vr_svc as svc;

@@ -1,0 +1,109 @@
+//! Every checked-in `BENCH_*.json` must parse with the crate's own JSON
+//! reader and carry the shared envelope emitted by
+//! `vr_bench::json::envelope`: `schema_version` (the pinned integer),
+//! `experiment` (a string), `smoke` (a bool), `host_cpus`/`grain`
+//! (positive integers), and at least one array-valued results section.
+//!
+//! This is the committed-artifact analogue of the CI smoke legs'
+//! `python3 -m json.tool` check — but it validates the *schema*, not just
+//! well-formedness, and it runs at `cargo test` time so a hand-edited or
+//! truncated result file fails the build before it fails a reader.
+
+use vr_obs::json::{parse, Json};
+
+fn checked_in_bench_files() -> Vec<std::path::PathBuf> {
+    // The bench artifacts live at the workspace root, one directory above
+    // this (facade) crate's manifest when running from a member; at the
+    // manifest dir itself when running from the root package.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut found: Vec<_> = std::fs::read_dir(root)
+        .expect("workspace root readable")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    found.sort();
+    found
+}
+
+#[test]
+fn all_checked_in_bench_files_carry_the_shared_envelope() {
+    let files = checked_in_bench_files();
+    assert!(
+        !files.is_empty(),
+        "no BENCH_*.json files found at the workspace root — the committed \
+         experiment artifacts are part of the repo's contract"
+    );
+    for path in &files {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{name}: unreadable: {e}"));
+        let doc = parse(&text)
+            .unwrap_or_else(|e| panic!("{name}: does not parse with vr_obs::json::parse: {e:?}"));
+
+        let version = doc
+            .get("schema_version")
+            .and_then(Json::as_i64)
+            .unwrap_or_else(|| panic!("{name}: missing integer schema_version"));
+        assert_eq!(
+            version,
+            vr_bench::json::SCHEMA_VERSION,
+            "{name}: schema_version drifted from the shared envelope"
+        );
+
+        let experiment = doc
+            .get("experiment")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("{name}: missing string experiment"));
+        assert!(
+            !experiment.is_empty(),
+            "{name}: experiment name must be non-empty"
+        );
+
+        assert!(
+            doc.get("smoke").and_then(Json::as_bool).is_some(),
+            "{name}: missing bool smoke"
+        );
+
+        for key in ["host_cpus", "grain"] {
+            let v = doc
+                .get(key)
+                .and_then(Json::as_i64)
+                .unwrap_or_else(|| panic!("{name}: missing integer {key}"));
+            assert!(v >= 1, "{name}: {key} = {v} must be positive");
+        }
+
+        // every experiment carries at least one array-valued results section
+        let Json::Obj(fields) = &doc else {
+            panic!("{name}: top level must be an object");
+        };
+        let has_section = fields
+            .iter()
+            .any(|(_, v)| matches!(v, Json::Arr(items) if !items.is_empty()));
+        assert!(
+            has_section,
+            "{name}: no non-empty array-valued results section"
+        );
+    }
+}
+
+#[test]
+fn committed_artifacts_are_full_runs_not_smoke() {
+    // CI's smoke legs write to target/experiments and are never committed;
+    // anything checked in at the root must be a full (non-smoke) run so
+    // the numbers in the docs trace to real measurements.
+    for path in checked_in_bench_files() {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = parse(&text).unwrap();
+        assert_eq!(
+            doc.get("smoke").and_then(Json::as_bool),
+            Some(false),
+            "{name}: committed artifact claims smoke=true"
+        );
+    }
+}

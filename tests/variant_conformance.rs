@@ -35,7 +35,7 @@
 //! serializes every test in this binary against the measured solves.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use cg_lookahead::cg::registry::{keyed_variants, VARIANT_COUNT};
@@ -482,4 +482,239 @@ fn mixed_precision_never_reports_unbacked_convergence_below_f32_floor() {
             );
         }
     }
+}
+
+// ------------------------------------------------ column 9: cancellation
+
+/// A cancel flag raised before the solve starts must stop every variant at
+/// its first loop top: [`Termination::Cancelled`], zero iterations, and no
+/// convergence claim. This is the service-layer contract — a daemon
+/// cancelling a queued job must never receive a half-trusted "converged".
+#[test]
+fn pre_set_cancel_flag_stops_every_variant_before_any_iteration() {
+    let _g = gate();
+    let a = gen::poisson2d(14);
+    let b = gen::poisson2d_rhs(14);
+    let flag = Arc::new(AtomicBool::new(true));
+    let opts = SolveOptions::default()
+        .with_tol(1e-9)
+        .with_cancel_flag(Arc::clone(&flag));
+    let variants = keyed_variants(&a);
+    assert_eq!(variants.len(), VARIANT_COUNT, "registry drifted");
+    for (key, solver) in variants {
+        let res = solver.solve(&a, &b, None, &opts);
+        assert_eq!(
+            res.termination,
+            Termination::Cancelled,
+            "{key}: pre-set cancel flag must yield Cancelled"
+        );
+        assert!(
+            !res.converged,
+            "{key}: cancelled must not claim convergence"
+        );
+        assert_eq!(
+            res.iterations, 0,
+            "{key}: pre-set flag must stop before any iteration"
+        );
+    }
+}
+
+/// Raising the flag from the progress stream mid-solve stops every variant
+/// promptly (within its pipeline depth) and the partial result stays
+/// honest: cancelled, not converged, iterations no greater than the
+/// uncancelled run, and the streamed (iter, residual) pairs well-formed —
+/// iterations non-decreasing from 0, residuals finite and non-negative.
+#[test]
+fn mid_solve_cancellation_stops_promptly_with_honest_partial_state() {
+    let _g = gate();
+    let a = gen::poisson2d(14);
+    let b = gen::poisson2d_rhs(14);
+    // tol 0 never converges: the cancel is the only way out before budget
+    let base = SolveOptions::default().with_tol(0.0).with_max_iters(200);
+    const CUTOFF: usize = 3;
+    for (key, solver) in keyed_variants(&a) {
+        let full = solver.solve(&a, &b, None, &base);
+        let flag = Arc::new(AtomicBool::new(false));
+        let streamed: Arc<Mutex<Vec<(usize, f64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let opts = {
+            let flag = Arc::clone(&flag);
+            let streamed = Arc::clone(&streamed);
+            base.clone()
+                .with_cancel_flag(Arc::clone(&flag))
+                .with_progress(move |iter, residual| {
+                    streamed.lock().unwrap().push((iter, residual));
+                    if iter >= CUTOFF {
+                        flag.store(true, Ordering::Relaxed);
+                    }
+                })
+        };
+        let res = solver.solve(&a, &b, None, &opts);
+        assert_eq!(
+            res.termination,
+            Termination::Cancelled,
+            "{key}: mid-solve cancel must yield Cancelled, got {:?}",
+            res.termination
+        );
+        assert!(!res.converged, "{key}");
+        assert!(
+            res.iterations <= full.iterations,
+            "{key}: cancelled run did {} iterations vs {} uncancelled",
+            res.iterations,
+            full.iterations
+        );
+        let events = streamed.lock().unwrap();
+        assert!(!events.is_empty(), "{key}: no progress events streamed");
+        assert_eq!(events[0].0, 0, "{key}: stream must start at iteration 0");
+        for w in events.windows(2) {
+            assert!(
+                w[1].0 >= w[0].0,
+                "{key}: streamed iterations regressed: {} then {}",
+                w[0].0,
+                w[1].0
+            );
+        }
+        for &(it, rn) in events.iter() {
+            assert!(
+                rn.is_finite() && rn >= 0.0,
+                "{key}: streamed residual at iter {it} is {rn}"
+            );
+        }
+    }
+}
+
+// --------------------------------------------------- column 10: block CG
+
+/// Block CG (the paper's spatial dual: one batched Gram reduction serves
+/// s right-hand sides) converges on SPD systems for the widths the solve
+/// service batches at, with every column corroborated by the true
+/// residual.
+#[test]
+fn block_cg_converges_on_spd_for_widths_two_and_four() {
+    let _g = gate();
+    let problems: Vec<(&str, CsrMatrix)> = vec![
+        ("poisson2d", gen::poisson2d(16)),
+        ("anisotropic2d", gen::anisotropic2d(12, 0.05)),
+    ];
+    for (pname, a) in &problems {
+        let n = a.nrows();
+        for s in [2usize, 4] {
+            let bs: Vec<Vec<f64>> = (0..s)
+                .map(|k| gen::rand_vector(n, 100 + k as u64))
+                .collect();
+            let opts = SolveOptions::default().with_tol(1e-8).with_max_iters(2000);
+            let res = cg_lookahead::cg::block::BlockCg::new().solve(a, &bs, &opts);
+            assert!(
+                res.converged,
+                "block s={s} on {pname}: {:?} after {}",
+                res.termination, res.iterations
+            );
+            for (j, b) in bs.iter().enumerate() {
+                let ax = a.spmv(&res.x[j]);
+                let rnorm: f64 = b
+                    .iter()
+                    .zip(&ax)
+                    .map(|(bi, ai)| (bi - ai) * (bi - ai))
+                    .sum::<f64>()
+                    .sqrt();
+                let rel = rnorm / kernels::norm2(b);
+                assert!(
+                    rel < 1e-6,
+                    "block s={s} on {pname} column {j}: true relative \
+                     residual {rel:e}"
+                );
+            }
+        }
+    }
+}
+
+/// On a singular, inconsistent system block CG may break down or exhaust
+/// its budget, but a `converged` claim must be backed by every column's
+/// true residual — the block analogue of the honesty column.
+#[test]
+fn block_cg_never_claims_false_convergence_on_singular() {
+    let _g = gate();
+    let a = neumann_laplacian(48);
+    let bs: Vec<Vec<f64>> = (0..3).map(|k| gen::rand_vector(48, 130 + k)).collect();
+    let opts = SolveOptions::default().with_tol(1e-8).with_max_iters(400);
+    let res = cg_lookahead::cg::block::BlockCg::new().solve(&a, &bs, &opts);
+    if res.converged {
+        for (j, b) in bs.iter().enumerate() {
+            let ax = a.spmv(&res.x[j]);
+            let rnorm: f64 = b
+                .iter()
+                .zip(&ax)
+                .map(|(bi, ai)| (bi - ai) * (bi - ai))
+                .sum::<f64>()
+                .sqrt();
+            let rel = rnorm / kernels::norm2(b);
+            assert!(
+                rel < 1e-5,
+                "block on singular: claimed convergence but column {j} \
+                 true relative residual is {rel:e}"
+            );
+        }
+    }
+}
+
+/// Under the order-preserving `Tree` reduction a block solve is
+/// bit-invariant across team widths — the property the service layer
+/// leans on when a degraded team finishes a batched job.
+#[test]
+fn block_cg_width_bit_invariant_under_tree_reduction() {
+    let _g = gate();
+    let a = gen::poisson2d(12);
+    let n = a.nrows();
+    let bs: Vec<Vec<f64>> = (0..3).map(|k| gen::rand_vector(n, 140 + k)).collect();
+    let solve_at = |width: usize| {
+        let opts = SolveOptions::default()
+            .with_tol(1e-9)
+            .with_dot_mode(DotMode::Tree)
+            .with_team(Arc::new(Team::new(width)));
+        cg_lookahead::cg::block::BlockCg::new().solve(&a, &bs, &opts)
+    };
+    let base = solve_at(1);
+    assert!(base.converged, "{:?}", base.termination);
+    for width in [2usize, 4] {
+        let wide = solve_at(width);
+        assert_eq!(base.termination, wide.termination, "width {width}");
+        assert_eq!(base.iterations, wide.iterations, "width {width}");
+        for (j, (bx, wx)) in base.x.iter().zip(&wide.x).enumerate() {
+            assert_eq!(
+                bits(bx),
+                bits(wx),
+                "width {width} column {j}: solution bits"
+            );
+        }
+        for (j, (bh, wh)) in base
+            .residual_norms
+            .iter()
+            .zip(&wide.residual_norms)
+            .enumerate()
+        {
+            assert_eq!(
+                bits(bh),
+                bits(wh),
+                "width {width} column {j}: residual history bits"
+            );
+        }
+    }
+}
+
+/// Cancellation composes with the block solver exactly as with the
+/// single-rhs variants: a pre-set flag stops the block before any
+/// iteration with an honest `Cancelled`.
+#[test]
+fn block_cg_honours_cancellation() {
+    let _g = gate();
+    let a = gen::poisson2d(12);
+    let n = a.nrows();
+    let bs: Vec<Vec<f64>> = (0..2).map(|k| gen::rand_vector(n, 150 + k)).collect();
+    let flag = Arc::new(AtomicBool::new(true));
+    let opts = SolveOptions::default()
+        .with_tol(1e-9)
+        .with_cancel_flag(flag);
+    let res = cg_lookahead::cg::block::BlockCg::new().solve(&a, &bs, &opts);
+    assert_eq!(res.termination, Termination::Cancelled);
+    assert!(!res.converged);
+    assert_eq!(res.iterations, 0);
 }
